@@ -1,0 +1,107 @@
+//! Criterion benchmarks of the figure pipelines at reduced scale: what does
+//! it cost to rerun each experiment of §V? (The full-scale series are
+//! produced by the `fig*` binaries; these benches keep the pipelines
+//! honest and measurable.)
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use roia_model::calibrate;
+use roia_sim::{
+    measure_migration_params, measure_replication_params, run_session, MeasureConfig,
+    PaperSession, Ramp, SessionConfig,
+};
+use rtf_rms::{ModelDriven, ModelDrivenConfig, StaticInterval};
+
+fn small_campaign() -> MeasureConfig {
+    MeasureConfig {
+        max_users: 80,
+        step: 20,
+        settle_ticks: 5,
+        sample_ticks: 10,
+        noise: 0.05,
+        ..MeasureConfig::default()
+    }
+}
+
+/// Fig. 4/6 pipeline: measurement campaign + LM calibration.
+fn bench_fig4_calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig4_replication_campaign_small", |b| {
+        b.iter(|| measure_replication_params(black_box(&small_campaign())))
+    });
+    group.bench_function("fig6_migration_campaign_small", |b| {
+        b.iter(|| measure_migration_params(black_box(&small_campaign())))
+    });
+    group.bench_function("fig4_fit_only", |b| {
+        let m = measure_replication_params(&small_campaign());
+        b.iter(|| calibrate(black_box(&m)).unwrap())
+    });
+    group.finish();
+}
+
+/// Fig. 5/7 pipeline: threshold computation from a calibrated model.
+fn bench_fig5_thresholds(c: &mut Criterion) {
+    let mut m = measure_replication_params(&small_campaign());
+    m.merge(&measure_migration_params(&small_campaign()));
+    let cal = calibrate(&m).unwrap();
+    let model = roia_model::ScalabilityModel::new(cal.params, 0.040);
+    let mut group = c.benchmark_group("figures");
+    group.bench_function("fig5_capacity_ladder", |b| {
+        b.iter(|| black_box(&model).max_replicas(0))
+    });
+    group.bench_function("fig7_migration_budget", |b| {
+        b.iter(|| black_box(&model).migrations_initiate(2, 200, 0, 120))
+    });
+    group.finish();
+}
+
+/// Fig. 8 pipeline: a short managed session per policy.
+fn bench_fig8_session(c: &mut Criterion) {
+    let mut m = measure_replication_params(&small_campaign());
+    m.merge(&measure_migration_params(&small_campaign()));
+    let cal = calibrate(&m).unwrap();
+    let model = roia_model::ScalabilityModel::new(cal.params, 0.040);
+
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+    group.bench_function("fig8_session_short_model_driven", |b| {
+        b.iter(|| {
+            let config = SessionConfig {
+                ticks: 250,
+                max_churn_per_tick: 3,
+                ..SessionConfig::default()
+            };
+            let policy =
+                Box::new(ModelDriven::new(model.clone(), ModelDrivenConfig::default()));
+            run_session(config, policy, &PaperSession {
+                peak: 60,
+                ramp_up_secs: 4.0,
+                hold_secs: 2.0,
+                ramp_down_secs: 4.0,
+            })
+        })
+    });
+    group.bench_function("policy_compare_session_short_static", |b| {
+        b.iter(|| {
+            let config = SessionConfig {
+                ticks: 250,
+                max_churn_per_tick: 3,
+                ..SessionConfig::default()
+            };
+            run_session(
+                config,
+                Box::new(StaticInterval::new(1, 10_000)),
+                &Ramp { from: 0, to: 60, duration_secs: 4.0 },
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig4_calibration,
+    bench_fig5_thresholds,
+    bench_fig8_session
+);
+criterion_main!(benches);

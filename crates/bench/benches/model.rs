@@ -1,0 +1,85 @@
+//! Criterion microbenchmarks of the scalability model itself: how cheap is
+//! it for RTF-RMS to consult Eq. (1)–(5) and the Listing-1 planner at
+//! runtime, and what does a full Levenberg–Marquardt calibration cost.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use roia_fit::lm::fit_default;
+use roia_fit::model::Polynomial;
+use roia_model::{
+    l_max, n_max, plan, tick_duration_equal, CostFn, ModelParams, PlannerConfig, ZoneLoad,
+};
+
+fn demo_params() -> ModelParams {
+    ModelParams {
+        t_ua_dser: CostFn::Linear { c0: 2.7e-6, c1: 3.8e-9 },
+        t_ua: CostFn::Quadratic { c0: 1.2e-4, c1: 3.6e-8, c2: 1.4e-10 },
+        t_aoi: CostFn::Quadratic { c0: 1e-7, c1: 1.4e-9, c2: 2e-10 },
+        t_su: CostFn::Linear { c0: 8e-8, c1: 6.2e-8 },
+        t_fa_dser: CostFn::Linear { c0: 2e-6, c1: 1e-10 },
+        t_fa: CostFn::Linear { c0: 1.2e-5, c1: 1e-10 },
+        t_npc: CostFn::ZERO,
+        t_mig_ini: CostFn::Linear { c0: 2e-4, c1: 7e-6 },
+        t_mig_rcv: CostFn::Linear { c0: 1.5e-4, c1: 4e-6 },
+    }
+}
+
+fn bench_tick_prediction(c: &mut Criterion) {
+    let params = demo_params();
+    c.bench_function("model/tick_duration_eq1", |b| {
+        b.iter(|| tick_duration_equal(&params, black_box(ZoneLoad::new(4, 500, 50))))
+    });
+}
+
+fn bench_capacity(c: &mut Criterion) {
+    let params = demo_params();
+    let mut group = c.benchmark_group("model/capacity");
+    for l in [1u32, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("n_max", l), &l, |b, &l| {
+            b.iter(|| n_max(&params, black_box(l), 0, 0.040))
+        });
+    }
+    group.bench_function("l_max_c015", |b| b.iter(|| l_max(&params, 0, 0.040, 0.15)));
+    group.finish();
+}
+
+fn bench_planner(c: &mut Criterion) {
+    let params = demo_params();
+    let config = PlannerConfig::default();
+    let mut group = c.benchmark_group("model/planner");
+    for replicas in [3usize, 8, 32] {
+        // A maximally imbalanced group: everyone on one server.
+        let mut users = vec![0u32; replicas];
+        users[0] = 120;
+        group.bench_with_input(
+            BenchmarkId::new("plan_imbalanced", replicas),
+            &users,
+            |b, users| b.iter(|| plan(&params, black_box(users), &config)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_lm_fit(c: &mut Criterion) {
+    // The §V-A fit workload: ~600 noisy samples per parameter, quadratic.
+    let xs: Vec<f64> = (0..600).map(|i| 10.0 + (i % 30) as f64 * 10.0).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .enumerate()
+        .map(|(i, x)| {
+            let noise = 1.0 + 0.1 * (((i as f64) * 0.37).sin());
+            (1.2e-4 + 3.6e-8 * x + 1.4e-10 * x * x) * noise
+        })
+        .collect();
+    c.bench_function("fit/lm_quadratic_600pts", |b| {
+        b.iter(|| fit_default(&Polynomial::quadratic(), black_box(&xs), black_box(&ys)).unwrap())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_tick_prediction,
+    bench_capacity,
+    bench_planner,
+    bench_lm_fit
+);
+criterion_main!(benches);

@@ -1,0 +1,114 @@
+//! Criterion microbenchmarks of the substrate layers: wire serialization,
+//! interest management, the message bus and a full server tick — the
+//! per-tick costs the scalability model abstracts as `t_*` parameters.
+
+use bytes::Bytes;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtf_core::entity::{UserId, Vec2};
+use rtf_core::event::Packet;
+use rtf_core::net::Bus;
+use rtf_core::server::{Server, ServerConfig};
+use rtf_core::wire::Wire;
+use rtf_core::zone::ZoneId;
+use rtfdemo::{compute_aoi, CommandBatch, CostModel, RtfDemoApp, World};
+
+fn bench_wire(c: &mut Criterion) {
+    let pkt = Packet::UserInput {
+        user: UserId(7),
+        seq: 42,
+        payload: CommandBatch::movement(1.0, 0.5).with_attack(UserId(9), 10).to_bytes(),
+    };
+    let encoded = pkt.to_bytes();
+    let mut group = c.benchmark_group("wire");
+    group.bench_function("encode_user_input", |b| b.iter(|| black_box(&pkt).to_bytes()));
+    group.bench_function("decode_user_input", |b| {
+        b.iter(|| Packet::from_bytes(black_box(&encoded)).unwrap())
+    });
+    let update = Packet::ReplicaUpdate {
+        origin: rtf_core::net::NodeId(1),
+        users: (0..100).map(UserId).collect(),
+        payload: Bytes::from(vec![0u8; 2000]),
+    };
+    group.bench_function("encode_replica_update_100users", |b| {
+        b.iter(|| black_box(&update).to_bytes())
+    });
+    group.finish();
+}
+
+fn bench_aoi(c: &mut Criterion) {
+    let world = World::default();
+    let mut group = c.benchmark_group("aoi/euclidean");
+    for n in [100u64, 300, 1000] {
+        let others: Vec<(UserId, Vec2)> = (1..=n)
+            .map(|i| (UserId(i), world.spawn_point(UserId(i))))
+            .collect();
+        let observer_pos = world.spawn_point(UserId(0));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &others, |b, others| {
+            b.iter(|| {
+                compute_aoi(
+                    &world,
+                    UserId(0),
+                    black_box(&observer_pos),
+                    others.iter().copied(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bus(c: &mut Criterion) {
+    let bus = Bus::new();
+    let a = bus.register("a");
+    let b_ep = bus.register("b");
+    let payload = Bytes::from(vec![0u8; 128]);
+    c.bench_function("bus/send_recv_128B", |b| {
+        b.iter(|| {
+            a.send(b_ep.id(), payload.clone()).unwrap();
+            b_ep.try_recv().unwrap()
+        })
+    });
+}
+
+/// A full real-time-loop iteration with `n` connected users sending inputs
+/// — the real cost behind the paper's T(1, n, 0).
+fn bench_server_tick(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server/tick");
+    group.sample_size(20);
+    for n in [50u64, 150] {
+        let bus = Bus::new();
+        let app = RtfDemoApp::new(World::default(), 0, CostModel::exact());
+        let mut server =
+            Server::new(&bus, "bench", ZoneId(1), app, ServerConfig::default());
+        let clients: Vec<_> = (0..n)
+            .map(|i| {
+                let ep = bus.register(&format!("c{i}"));
+                server.connect_user(UserId(i), ep.id());
+                ep
+            })
+            .collect();
+        let input = CommandBatch::movement(1.0, 0.0).to_bytes();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                for (i, ep) in clients.iter().enumerate() {
+                    let pkt = Packet::UserInput {
+                        user: UserId(i as u64),
+                        seq: 0,
+                        payload: input.clone(),
+                    };
+                    ep.send(server.id(), pkt.to_bytes()).unwrap();
+                }
+                let record = server.tick();
+                // Drain the clients so inboxes do not grow unboundedly.
+                for ep in &clients {
+                    while ep.try_recv().is_some() {}
+                }
+                black_box(record)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire, bench_aoi, bench_bus, bench_server_tick);
+criterion_main!(benches);

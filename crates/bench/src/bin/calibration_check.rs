@@ -1,0 +1,29 @@
+//! Diagnostic: where do the calibrated headline numbers land relative to
+//! the paper (n_max(1) ≈ 235, trigger ≈ 188, l_max(0.15) = 8,
+//! l_max(0.05) = 48)?
+
+use roia_bench::{calibrated_model, default_campaign};
+
+fn main() {
+    let (calibration, model) = calibrated_model(&default_campaign());
+    println!("fit quality (worst R^2): {:.5}", calibration.worst_r_squared());
+    for fit in &calibration.fits {
+        println!(
+            "  {:>10}: coeffs {:?} r2={:.4} rmse={:.3e}",
+            fit.kind.symbol(),
+            fit.cost_fn.coefficients(),
+            fit.fit.r_squared,
+            fit.fit.rmse,
+        );
+    }
+    let n1 = model.max_users(1, 0);
+    println!("n_max(1) = {n1}   (paper: 235)");
+    println!("trigger  = {}  (paper: 188)", model.replication_trigger(1, 0));
+    for l in 2..=10 {
+        println!("n_max({l}) = {}", model.max_users(l, 0));
+    }
+    let lim15 = model.max_replicas(0);
+    println!("l_max(c=0.15) = {}  (paper: 8)", lim15.l_max);
+    let m05 = model.clone().with_improvement_factor(0.05);
+    println!("l_max(c=0.05) = {}  (paper: 48)", m05.max_replicas(0).l_max);
+}

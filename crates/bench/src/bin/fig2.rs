@@ -1,0 +1,71 @@
+//! Figure 2 — "Using the scalability model for workload-aware user
+//! migration in two steps."
+//!
+//! The illustration scenario of §III-B: 45 users distributed [25, 12, 8]
+//! across three replicas are equalized to [15, 15, 15], but each replica
+//! may only initiate/receive as many migrations per second as Eq. (5)
+//! allows, so the rebalancing takes multiple rounds. This binary runs the
+//! Listing-1 planner with the calibrated RTFDemo model and prints every
+//! round.
+
+use roia_bench::{calibrated_model, default_campaign};
+
+fn main() {
+    let (_cal, model) = calibrated_model(&default_campaign());
+
+    let initial = [25u32, 12, 8];
+    println!("=== Fig. 2: workload-aware migration, initial distribution {initial:?} ===\n");
+
+    // Show the Eq. (5) budgets the planner works under.
+    let n: u32 = initial.iter().sum();
+    for (i, &a) in initial.iter().enumerate() {
+        let ini = model.migrations_initiate(3, n, 0, a);
+        let rcv = model.migrations_receive(3, n, 0, a);
+        println!("replica {i}: {a:>2} users   x_max_ini = {ini:<3} x_max_rcv = {rcv}");
+    }
+
+    let plan = model.plan_migrations(&initial, 0);
+    println!();
+    print_plan(&plan);
+    println!(
+        "balanced: {} (paper: reaches [15, 15, 15]; with the calibrated budgets ({}+ \
+         migrations/s at this light load) one round suffices)",
+        plan.balanced,
+        model.migrations_initiate(3, n, 0, 25)
+    );
+
+    // The figure's *two-step* dynamic assumes tightly budgeted servers. The
+    // same 25/12/8 imbalance under real load reproduces it: scaled by 5,
+    // the 125-user source is budget-limited and rebalancing takes rounds.
+    let loaded: Vec<u32> = initial.iter().map(|u| u * 5).collect();
+    println!("\n--- same shape under heavy load: {loaded:?} ---\n");
+    let n2: u32 = loaded.iter().sum();
+    for (i, &a) in loaded.iter().enumerate() {
+        println!(
+            "replica {i}: {a:>3} users   x_max_ini = {:<4} x_max_rcv = {}",
+            model.migrations_initiate(3, n2, 0, a),
+            model.migrations_receive(3, n2, 0, a)
+        );
+    }
+    let plan2 = model.plan_migrations(&loaded, 0);
+    println!();
+    print_plan(&plan2);
+    println!(
+        "balanced: {} in {} rounds (paper's figure: 2 rounds — budget-limited rebalancing)",
+        plan2.balanced,
+        plan2.rounds.len()
+    );
+}
+
+fn print_plan(plan: &roia_model::MigrationPlan) {
+    for (round_no, round) in plan.rounds.iter().enumerate() {
+        println!("round {} (1 second):", round_no + 1);
+        for mv in &round.moves {
+            println!(
+                "  migrate {:>2} users: replica {} -> replica {}",
+                mv.users, mv.from, mv.to
+            );
+        }
+        println!("  distribution now {:?}", round.resulting_users);
+    }
+}

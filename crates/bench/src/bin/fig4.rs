@@ -1,0 +1,62 @@
+//! Figure 4 — "Model parameters for replication in the RTFDemo application."
+//!
+//! Reruns the §V-A parameter-determination campaign (up to 300 bots on two
+//! replicas of one zone), fits every per-task cost with the
+//! Levenberg–Marquardt algorithm using the paper's function shapes
+//! (quadratic for `t_ua`/`t_aoi`, linear otherwise), and prints the
+//! measured samples next to the fitted approximation functions for the four
+//! parameters the figure shows.
+
+use roia_bench::{calibrated_model, default_campaign};
+use roia_model::ParamKind;
+use roia_sim::{table, Series};
+
+fn main() {
+    let campaign = default_campaign();
+    let (calibration, _model) = calibrated_model(&campaign);
+
+    println!("=== Fig. 4: fitted approximation functions (CPU time per entity, µs) ===\n");
+    for kind in [ParamKind::UaDser, ParamKind::Ua, ParamKind::Aoi, ParamKind::Su] {
+        let fit = calibration.fit_for(kind).expect("campaign covers the figure's params");
+        let coeffs = fit.cost_fn.coefficients();
+        let shape = if coeffs.len() == 3 { "quadratic" } else { "linear" };
+        println!(
+            "{:>10} ({shape}): coeffs = {:?}   R² = {:.4}  RMSE = {:.3e}",
+            kind.symbol(),
+            coeffs,
+            fit.fit.r_squared,
+            fit.fit.rmse
+        );
+    }
+
+    // The fitted curves evaluated on the figure's x-axis (user count).
+    println!("\n--- fitted curves (µs per entity) ---");
+    let mut columns = Vec::new();
+    for kind in [ParamKind::UaDser, ParamKind::Ua, ParamKind::Aoi, ParamKind::Su] {
+        let fit = calibration.fit_for(kind).unwrap();
+        let mut s = Series::new(kind.symbol());
+        let mut n = 20u32;
+        while n <= campaign.max_users {
+            s.push(n as f64, fit.cost_fn.eval(n as f64) * 1e6);
+            n += 20;
+        }
+        columns.push(s);
+    }
+    let refs: Vec<&Series> = columns.iter().collect();
+    println!("{}", table("users", &refs));
+
+    // Shape checks the paper calls out in the text.
+    let ua = calibration.fit_for(ParamKind::Ua).unwrap();
+    let su = calibration.fit_for(ParamKind::Su).unwrap();
+    println!("paper: 't_ua grows faster than any linear function' -> fitted quadratic coefficient = {:.3e}",
+        ua.cost_fn.coefficients().get(2).copied().unwrap_or(0.0));
+    println!("paper: 't_su increases linearly' -> fitted slope = {:.3e}",
+        su.cost_fn.coefficients().get(1).copied().unwrap_or(0.0));
+    println!("paper: 't_fa, t_fa_dser very short compared to other parameters':");
+    let fa = calibration.fit_for(ParamKind::Fa).unwrap();
+    println!(
+        "  t_fa(300)  = {:.2} µs vs t_ua(300) = {:.2} µs",
+        fa.cost_fn.eval(300.0) * 1e6,
+        ua.cost_fn.eval(300.0) * 1e6
+    );
+}

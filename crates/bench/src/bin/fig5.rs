@@ -1,0 +1,40 @@
+//! Figure 5 — "The effect of replication on scalability of the RTFDemo
+//! application."
+//!
+//! Prints `n_max(l)` (Eq. (2)) and the 80 % replication trigger (the
+//! figure's dashed line) for every replica count up to `l_max` (Eq. (3)),
+//! plus the paper's §V-A scalars: the single-server capacity (235 in the
+//! paper), the trigger (188), and l_max for c = 0.15 (8) and c = 0.05 (48).
+
+use roia_bench::{calibrated_model, default_campaign};
+use roia_sim::{table, Series};
+
+fn main() {
+    let (_calibration, model) = calibrated_model(&default_campaign());
+
+    let limit = model.max_replicas(0);
+    let mut cap = Series::new("max_users");
+    let mut trigger = Series::new("trigger_80pct");
+    for (i, &users) in limit.capacity_per_replica.iter().enumerate() {
+        let l = (i + 1) as f64;
+        cap.push(l, users as f64);
+        trigger.push(l, (users as f64 * model.trigger_fraction).floor());
+    }
+
+    println!("=== Fig. 5: users vs replicas (U = 40 ms, c = 0.15, trigger = 80 %) ===\n");
+    println!("{}", table("replicas", &[&cap, &trigger]));
+
+    println!("single-server capacity n_max(1) = {}   (paper: 235)", limit.single_server_capacity);
+    println!(
+        "replication trigger at 80 %      = {}   (paper: 188)",
+        model.replication_trigger(1, 0)
+    );
+    println!("l_max(c = 0.15)                  = {}   (paper: 8)", limit.l_max);
+    let loose = model.clone().with_improvement_factor(0.05);
+    println!("l_max(c = 0.05)                  = {}  (paper: 48)", loose.max_replicas(0).l_max);
+    let strict = model.clone().with_improvement_factor(1.0);
+    println!(
+        "l_max(c = 1.0)                   = {}   (paper: 1, 'values close or equal to 1 lead to l_max = 1')",
+        strict.max_replicas(0).l_max
+    );
+}

@@ -1,0 +1,49 @@
+//! Figure 6 — "Model parameters for user migration in the RTFDemo
+//! application."
+//!
+//! Reruns the migration measurement campaign (migrations issued between two
+//! servers at varying populations), fits `t_mig_ini` and `t_mig_rcv` with
+//! linear approximation functions, and prints both curves. The paper's
+//! observation to reproduce: both grow almost linearly and initiating is
+//! more expensive than receiving.
+
+use roia_bench::default_campaign;
+use roia_model::{calibrate, ParamKind};
+use roia_sim::{measure_migration_params, table, Series};
+
+fn main() {
+    let campaign = default_campaign();
+    let measurements = measure_migration_params(&campaign);
+    let calibration = calibrate(&measurements).expect("migration params sampled");
+
+    println!("=== Fig. 6: migration cost parameters (ms per migration) ===\n");
+    let mut columns = Vec::new();
+    for kind in [ParamKind::MigIni, ParamKind::MigRcv] {
+        let fit = calibration.fit_for(kind).expect("fitted");
+        println!(
+            "{:>10}: coeffs = {:?}  R² = {:.4}",
+            kind.symbol(),
+            fit.cost_fn.coefficients(),
+            fit.fit.r_squared
+        );
+        let mut s = Series::new(kind.symbol());
+        let mut n = 20u32;
+        while n <= campaign.max_users {
+            s.push(n as f64, fit.cost_fn.eval(n as f64) * 1e3);
+            n += 20;
+        }
+        columns.push(s);
+    }
+    let refs: Vec<&Series> = columns.iter().collect();
+    println!("\n{}", table("users", &refs));
+
+    let ini = calibration.fit_for(ParamKind::MigIni).unwrap();
+    let rcv = calibration.fit_for(ParamKind::MigRcv).unwrap();
+    let n = 200.0;
+    println!(
+        "paper: 'CPU time for initiating migrations is higher than for receiving': t_mig_ini({n}) = {:.3} ms > t_mig_rcv({n}) = {:.3} ms : {}",
+        ini.cost_fn.eval(n) * 1e3,
+        rcv.cost_fn.eval(n) * 1e3,
+        ini.cost_fn.eval(n) > rcv.cost_fn.eval(n)
+    );
+}

@@ -1,0 +1,62 @@
+//! Figure 7 — "Scalability Model output: Number of user migrations for the
+//! RTFDemo application."
+//!
+//! For a range of observed tick durations, prints how many migrations a
+//! server may initiate (`x_max_ini`) and receive (`x_max_rcv`) per second
+//! without exceeding U = 40 ms (Eq. (5)). The user count entering
+//! `t_mig_*(n)` at each tick duration is inferred from the model itself:
+//! the population of a server of a two-replica group whose predicted tick
+//! equals the x value (the setup of the paper's worked example with servers
+//! A and B).
+//!
+//! Also reprints the worked example of §V-A: 180 users at 35 ms vs 80 users
+//! at 15 ms ⇒ RTF-RMS performs min{x_ini, x_rcv} migrations per second.
+
+use roia_bench::{calibrated_model, default_campaign};
+use roia_model::{migration_curve, x_max_from_tick, MigrationSide, ZoneLoad};
+use roia_sim::{table, Series};
+
+fn main() {
+    let (_cal, model) = calibrated_model(&default_campaign());
+
+    // Invert the tick prediction: for each candidate active-user count `a`
+    // on one of two replicas (zone population n = 2a), Eq. (4) gives the
+    // tick duration; collect (tick, n) samples across the feasible range.
+    let mut samples: Vec<(f64, u32)> = Vec::new();
+    let mut a = 5u32;
+    loop {
+        let n = 2 * a;
+        let tick =
+            roia_model::tick_duration(&model.params, ZoneLoad::new(2, n, 0), a);
+        if tick >= model.u_threshold {
+            break;
+        }
+        samples.push((tick, n));
+        a += 5;
+    }
+
+    let curve = migration_curve(&model.params, &samples, model.u_threshold);
+    let mut ini = Series::new("x_max_ini/s");
+    let mut rcv = Series::new("x_max_rcv/s");
+    for p in &curve {
+        ini.push(p.tick * 1e3, p.x_ini as f64);
+        rcv.push(p.tick * 1e3, p.x_rcv as f64);
+    }
+
+    println!("=== Fig. 7: migration budgets vs tick duration (U = 40 ms) ===\n");
+    println!("{}", table("tick_ms", &[&ini, &rcv]));
+
+    // §V-A worked example.
+    let ini_a = x_max_from_tick(&model.params, MigrationSide::Initiate, 0.035, 180, 0.040);
+    let rcv_b = x_max_from_tick(&model.params, MigrationSide::Receive, 0.015, 80, 0.040);
+    println!("worked example (server A: 180 users @ 35 ms, server B: 80 users @ 15 ms):");
+    println!("  x_max_ini(A) = {ini_a}   (paper: 3)");
+    println!("  x_max_rcv(B) = {rcv_b}  (paper: 34)");
+    println!("  RTF-RMS performs min{{{ini_a}, {rcv_b}}} = {} migrations/s (paper: 3)", ini_a.min(rcv_b));
+    let ini_a2 = x_max_from_tick(&model.params, MigrationSide::Initiate, 0.030, 160, 0.040);
+    let rcv_b2 = x_max_from_tick(&model.params, MigrationSide::Receive, 0.020, 100, 0.040);
+    println!(
+        "  after rebalancing (A: 160 @ 30 ms): min{{{ini_a2}, {rcv_b2}}} = {} (paper: 5)",
+        ini_a2.min(rcv_b2)
+    );
+}

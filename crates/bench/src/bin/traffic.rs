@@ -1,0 +1,62 @@
+//! Traffic analysis — the paper's §VI future work, executed.
+//!
+//! "In \[10\], a traffic analysis of online games was presented that revealed
+//! an asymmetry between the bandwidth used for incoming and outgoing server
+//! messages [...] the authors showed a strong relationship between the
+//! number of users and bandwidth usage." This binary measures both effects
+//! on the running RTFDemo deployment, fits the bandwidth model of
+//! `roia_model::bandwidth`, and derives the bandwidth-constrained capacity
+//! that complements Eq. (2).
+
+use roia_bench::{calibrated_model, default_campaign};
+use roia_model::{n_max_joint, ZoneLoad};
+use roia_sim::{measure_bandwidth_params, table, Series};
+
+fn main() {
+    let campaign = default_campaign();
+    println!("measuring traffic rates ({}-bot campaign)...\n", campaign.max_users);
+    let bw = measure_bandwidth_params(&campaign).expect("traffic fit succeeds");
+
+    println!("fitted per-tick traffic rates (bytes):");
+    println!("  client in  per user:     {:?}", bw.client_in_per_user.coefficients());
+    println!("  client out per user:     {:?}", bw.client_out_per_user.coefficients());
+    println!("  peer out per active:     {:?}", bw.peer_out_per_active.coefficients());
+    println!();
+
+    // The strong user-count/bandwidth relationship of [10], per replica
+    // count, plus the out/in asymmetry.
+    let mut out1 = Series::new("out_l1_KB/s");
+    let mut out2 = Series::new("out_l2_KB/s");
+    let mut asym = Series::new("out/in_ratio_l2");
+    for n in (25..=300).step_by(25) {
+        let l1 = ZoneLoad::new(1, n, 0);
+        let l2 = ZoneLoad::new(2, n, 0);
+        // 25 ticks per second.
+        out1.push(n as f64, bw.bytes_out_per_tick(l1) * 25.0 / 1024.0);
+        out2.push(n as f64, bw.bytes_out_per_tick(l2) * 25.0 / 1024.0);
+        asym.push(n as f64, bw.asymmetry(l2));
+    }
+    println!("{}", table("users", &[&out1, &out2, &asym]));
+
+    // The bandwidth-constrained capacity, joint with the CPU model.
+    let (_cal, model) = calibrated_model(&campaign);
+    println!("capacity under uplink caps (l = 1):");
+    println!(
+        "{:>14} {:>12} {:>12} {:>12}",
+        "uplink", "n_max(bw)", "n_max(cpu)", "n_max(joint)"
+    );
+    for mbit in [2.0f64, 5.0, 10.0, 50.0] {
+        // Mbit/s → bytes per 40 ms tick.
+        let cap = mbit * 1e6 / 8.0 * 0.040;
+        let nb = bw.n_max_bandwidth(1, cap);
+        let nc = model.max_users(1, 0);
+        let nj = n_max_joint(&model.params, &bw, 1, 0, model.u_threshold, cap);
+        println!("{:>11} Mb/s {:>12} {:>12} {:>12}", mbit, nb, nc, nj);
+    }
+    println!();
+    println!("paper [10]'s asymmetry (outgoing ≫ incoming server traffic): ratio at");
+    println!(
+        "300 users on 2 replicas = {:.1}x",
+        bw.asymmetry(ZoneLoad::new(2, 300, 0))
+    );
+}

@@ -1,0 +1,34 @@
+//! # roia-bench — the figure-regeneration harness
+//!
+//! One binary per figure of the paper's evaluation (`fig2`, `fig4` … `fig8`,
+//! `policy_compare`) plus Criterion microbenchmarks of the substrate and the
+//! model. This library holds the helpers the binaries share.
+
+#![warn(missing_docs)]
+
+use roia_model::calibrate::Calibration;
+use roia_model::ScalabilityModel;
+use roia_sim::{calibrate_demo, MeasureConfig};
+
+/// The paper's thresholds for RTFDemo: U = 40 ms (25 updates/s), c = 0.15,
+/// replication trigger at 80 % of capacity.
+pub const U_THRESHOLD: f64 = 0.040;
+/// Eq. (3)'s minimum-improvement factor used in §V-A.
+pub const IMPROVEMENT_FACTOR: f64 = 0.15;
+/// The §V-A replication-trigger fraction.
+pub const TRIGGER_FRACTION: f64 = 0.8;
+
+/// Runs the full §V-A measurement campaign and returns both the raw
+/// calibration (for fit-quality reporting) and the assembled model.
+pub fn calibrated_model(config: &MeasureConfig) -> (Calibration, ScalabilityModel) {
+    let calibration = calibrate_demo(config).expect("campaign covers all parameters");
+    let model = ScalabilityModel::new(calibration.params.clone(), U_THRESHOLD)
+        .with_improvement_factor(IMPROVEMENT_FACTOR)
+        .with_trigger_fraction(TRIGGER_FRACTION);
+    (calibration, model)
+}
+
+/// The default campaign of the figure binaries (the paper's 300 bots).
+pub fn default_campaign() -> MeasureConfig {
+    MeasureConfig::default()
+}

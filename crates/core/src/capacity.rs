@@ -1,0 +1,301 @@
+//! Capacity thresholds — Eq. (2) and Eq. (3) of the paper.
+//!
+//! * [`n_max`] answers "how many users fit on `l` replicas before the tick
+//!   duration exceeds the quality threshold `U`?"
+//! * [`l_max`] answers "how many replicas can this application use
+//!   efficiently?", given the minimum-improvement factor `c`.
+//! * [`replication_trigger`] is the §V-A rule of thumb: enact replication at
+//!   a fixed percentage (80 % in the paper) of `n_max`, so migration
+//!   overhead and late-arriving users cannot push the tick past `U`.
+
+use crate::params::ModelParams;
+use crate::tick::{tick_duration_equal, ZoneLoad};
+
+/// Hard ceiling for the user-count search: no single zone of a ROIA holds
+/// more users than this (the paper's application class tops out around 10⁴
+/// concurrent users for the *whole* application).
+pub const N_SEARCH_CAP: u32 = 10_000_000;
+
+/// Hard ceiling for the replica-count search in [`l_max`].
+pub const L_SEARCH_CAP: u32 = 4096;
+
+/// Eq. (2): the maximum number of users `n` such that `T(l, n, m) < U`,
+/// for `l` replicas, `m` NPCs and tick-duration threshold `U` (seconds).
+///
+/// Returns 0 if even a single user violates the threshold. The search
+/// assumes `T` is non-decreasing in `n` (use
+/// [`ModelParams::validate_monotone`] on fitted parameters first); it
+/// proceeds by exponential ramp-up followed by binary search.
+pub fn n_max(params: &ModelParams, l: u32, m: u32, u_threshold: f64) -> u32 {
+    assert!(l >= 1, "a zone needs at least one replica");
+    assert!(u_threshold > 0.0, "threshold must be positive");
+
+    let over = |n: u32| tick_duration_equal(params, ZoneLoad { replicas: l, users: n, npcs: m })
+        >= u_threshold;
+
+    if over(1) {
+        return 0;
+    }
+    // Exponential ramp: find the first power-of-two bound that violates U.
+    let mut hi = 2u32;
+    while hi < N_SEARCH_CAP && !over(hi) {
+        hi = hi.saturating_mul(2);
+    }
+    if hi >= N_SEARCH_CAP && !over(N_SEARCH_CAP) {
+        return N_SEARCH_CAP;
+    }
+    let mut lo = hi / 2; // known good
+    // Invariant: !over(lo) && over(hi).
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if over(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    lo
+}
+
+/// Result of the replica-limit computation of Eq. (3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaLimit {
+    /// `l_max`: the largest replica count that still yields at least a
+    /// `c`-fraction of the single-server capacity in extra users.
+    pub l_max: u32,
+    /// `n_max(l)` for `l = 1 ..= l_max` (index 0 holds `l = 1`).
+    pub capacity_per_replica: Vec<u32>,
+    /// The single-server capacity `n_max(1, m, U)` the improvement factor
+    /// is measured against.
+    pub single_server_capacity: u32,
+}
+
+impl ReplicaLimit {
+    /// Capacity with `l` replicas (1-based); `None` beyond `l_max`.
+    pub fn capacity(&self, l: u32) -> Option<u32> {
+        if l == 0 {
+            return None;
+        }
+        self.capacity_per_replica.get(l as usize - 1).copied()
+    }
+}
+
+/// Eq. (3): the maximum number of replicas worth enacting.
+///
+/// Adding replica `l` is worthwhile only if the capacity target
+/// `n'_max = n_max(l−1) + c·n_max(1)` still meets the threshold on `l`
+/// replicas, i.e. `T(l, n'_max, m) < U`. The factor `0 < c ≤ 1` expresses
+/// the minimum improvement expected from each additional resource (the
+/// paper picks `c = 0.15` for RTFDemo, yielding `l_max = 8`).
+pub fn l_max(params: &ModelParams, m: u32, u_threshold: f64, c: f64) -> ReplicaLimit {
+    assert!(c > 0.0 && c <= 1.0, "improvement factor must satisfy 0 < c <= 1");
+
+    let n1 = n_max(params, 1, m, u_threshold);
+    let mut capacities = vec![n1];
+    let mut l = 1u32;
+    while l < L_SEARCH_CAP {
+        let next = l + 1;
+        let n_prev = *capacities.last().expect("at least one entry");
+        let target = n_prev as f64 + c * n1 as f64;
+        let t = tick_duration_equal(
+            params,
+            ZoneLoad { replicas: next, users: target.ceil() as u32, npcs: m },
+        );
+        if t >= u_threshold {
+            break;
+        }
+        capacities.push(n_max(params, next, m, u_threshold));
+        l = next;
+    }
+    ReplicaLimit { l_max: l, capacity_per_replica: capacities, single_server_capacity: n1 }
+}
+
+/// §V-A's replication trigger: enact replication once the user count reaches
+/// `fraction` (the paper: 0.8) of the current capacity, leaving headroom for
+/// migration overhead and users that connect during load balancing.
+pub fn replication_trigger(capacity: u32, fraction: f64) -> u32 {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    (capacity as f64 * fraction).floor() as u32
+}
+
+/// One point of the Fig. 5 curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityPoint {
+    /// Replica count `l`.
+    pub replicas: u32,
+    /// Maximum users `n_max(l, m, U)`.
+    pub max_users: u32,
+    /// The replication trigger at this capacity (80 % line in Fig. 5).
+    pub trigger: u32,
+}
+
+/// Computes the Fig. 5 series: `n_max` and the trigger for each replica
+/// count in `1..=l_hi`.
+pub fn capacity_curve(
+    params: &ModelParams,
+    m: u32,
+    u_threshold: f64,
+    trigger_fraction: f64,
+    l_hi: u32,
+) -> Vec<CapacityPoint> {
+    (1..=l_hi)
+        .map(|l| {
+            let cap = n_max(params, l, m, u_threshold);
+            CapacityPoint {
+                replicas: l,
+                max_users: cap,
+                trigger: replication_trigger(cap, trigger_fraction),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costfn::CostFn;
+
+    /// Parameters with an analytically known capacity: own cost constant
+    /// 1e-4 s/user, no shadow/NPC cost. T(1,n) = 1e-4·n < 0.04 ⇒ n_max=399.
+    fn flat_params() -> ModelParams {
+        ModelParams {
+            t_ua_dser: CostFn::Constant(0.25e-4),
+            t_ua: CostFn::Constant(0.25e-4),
+            t_aoi: CostFn::Constant(0.25e-4),
+            t_su: CostFn::Constant(0.25e-4),
+            ..ModelParams::default()
+        }
+    }
+
+    /// Parameters with replication overhead: shadow cost grows with n so
+    /// capacity saturates as replicas are added.
+    fn saturating_params() -> ModelParams {
+        ModelParams {
+            t_ua_dser: CostFn::Linear { c0: 1e-5, c1: 0.0 },
+            t_ua: CostFn::Linear { c0: 4e-5, c1: 1.5e-7 },
+            t_aoi: CostFn::Linear { c0: 3e-5, c1: 1.5e-7 },
+            t_su: CostFn::Linear { c0: 2e-5, c1: 0.0 },
+            t_fa_dser: CostFn::Linear { c0: 2e-6, c1: 1e-8 },
+            t_fa: CostFn::Linear { c0: 2e-6, c1: 3e-8 },
+            ..ModelParams::default()
+        }
+    }
+
+    #[test]
+    fn n_max_exact_for_flat_cost() {
+        // T(1,n) = 1e-4·n; strict inequality T < 0.04 ⇒ n = 399.
+        assert_eq!(n_max(&flat_params(), 1, 0, 0.04), 399);
+    }
+
+    #[test]
+    fn n_max_zero_when_even_one_user_violates() {
+        let p = ModelParams { t_ua: CostFn::Constant(1.0), ..ModelParams::default() };
+        assert_eq!(n_max(&p, 1, 0, 0.04), 0);
+    }
+
+    #[test]
+    fn n_max_monotone_in_threshold() {
+        let p = saturating_params();
+        let a = n_max(&p, 1, 0, 0.020);
+        let b = n_max(&p, 1, 0, 0.040);
+        let c = n_max(&p, 1, 0, 0.080);
+        assert!(a < b && b < c, "{a} {b} {c}");
+    }
+
+    #[test]
+    fn n_max_monotone_in_replicas() {
+        let p = saturating_params();
+        let caps: Vec<u32> = (1..=6).map(|l| n_max(&p, l, 0, 0.040)).collect();
+        for w in caps.windows(2) {
+            assert!(w[1] >= w[0], "capacity must not shrink with replicas: {caps:?}");
+        }
+    }
+
+    #[test]
+    fn n_max_unbounded_workload_hits_cap() {
+        // Zero cost: every user count is fine; search returns the cap.
+        let p = ModelParams::default();
+        assert_eq!(n_max(&p, 1, 0, 0.04), N_SEARCH_CAP);
+    }
+
+    #[test]
+    fn n_max_respects_strictness() {
+        // T(1,n) = 1e-3·n, U = 0.01: T(10) = 0.01 is NOT < U ⇒ n_max = 9.
+        let p = ModelParams {
+            t_ua: CostFn::Constant(1e-3),
+            ..ModelParams::default()
+        };
+        assert_eq!(n_max(&p, 1, 0, 0.01), 9);
+    }
+
+    #[test]
+    fn l_max_one_when_c_is_one_and_overhead_high() {
+        // Huge shadow cost: adding a replica cannot add a full n_max(1).
+        let p = ModelParams {
+            t_ua: CostFn::Constant(1e-4),
+            t_fa: CostFn::Constant(1e-4),
+            ..ModelParams::default()
+        };
+        let r = l_max(&p, 0, 0.04, 1.0);
+        assert_eq!(r.l_max, 1);
+        assert_eq!(r.capacity_per_replica.len(), 1);
+    }
+
+    #[test]
+    fn l_max_grows_as_c_shrinks() {
+        // Mirrors §V-A: smaller c accepts more replicas (c=0.05 gave 48,
+        // c=0.15 gave 8 in the paper).
+        let p = saturating_params();
+        let tight = l_max(&p, 0, 0.04, 0.5);
+        let loose = l_max(&p, 0, 0.04, 0.05);
+        assert!(
+            loose.l_max > tight.l_max,
+            "c=0.05 ⇒ {} replicas, c=0.5 ⇒ {}",
+            loose.l_max,
+            tight.l_max
+        );
+    }
+
+    #[test]
+    fn l_max_unbounded_scaling_hits_search_cap() {
+        // No replication overhead at all: capacity doubles forever, so only
+        // the search cap stops the loop.
+        let p = flat_params();
+        let r = l_max(&p, 0, 0.04, 0.5);
+        assert_eq!(r.l_max, L_SEARCH_CAP);
+    }
+
+    #[test]
+    fn replica_limit_capacity_accessor() {
+        let p = saturating_params();
+        let r = l_max(&p, 0, 0.04, 0.15);
+        assert_eq!(r.capacity(0), None);
+        assert_eq!(r.capacity(1), Some(r.single_server_capacity));
+        assert_eq!(r.capacity(r.l_max + 1), None);
+    }
+
+    #[test]
+    fn trigger_is_floor_of_fraction() {
+        // The paper: 80 % of 235 ⇒ 188.
+        assert_eq!(replication_trigger(235, 0.8), 188);
+        assert_eq!(replication_trigger(0, 0.8), 0);
+        assert_eq!(replication_trigger(100, 1.0), 100);
+    }
+
+    #[test]
+    fn capacity_curve_matches_n_max() {
+        let p = saturating_params();
+        let curve = capacity_curve(&p, 0, 0.04, 0.8, 4);
+        assert_eq!(curve.len(), 4);
+        for pt in &curve {
+            assert_eq!(pt.max_users, n_max(&p, pt.replicas, 0, 0.04));
+            assert_eq!(pt.trigger, replication_trigger(pt.max_users, 0.8));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < c <= 1")]
+    fn l_max_rejects_bad_c() {
+        l_max(&ModelParams::default(), 0, 0.04, 0.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Heterogeneous replication groups — the capacity math behind §IV's
+//! *resource substitution*.
+//!
+//! Eq. (1) assumes identical replicas. After RTF-RMS substitutes one
+//! machine with a more powerful resource, the group is mixed: server `i`
+//! executes the same work `1/s_i` times faster (speedup `s_i ≥ 1`). Under
+//! the per-entity decomposition of §III-A, server `i` owning `a_i` of the
+//! zone's `n` users ticks in
+//!
+//! ```text
+//! T_i = [ a_i·own(n) + (n − a_i)·fwd(n) + m_i·npc(n) ] / s_i
+//! ```
+//!
+//! The best static allocation *equalizes* the ticks: setting all `T_i = T`
+//! and `Σ a_i = n` yields
+//!
+//! ```text
+//! T(n) = n · [ own(n) + (L−1)·fwd(n) ] / Σ s_i          (NPCs omitted)
+//! a_i  = ( s_i·T − n·fwd(n) ) / ( own(n) − fwd(n) )
+//! ```
+//!
+//! A very slow server may get a negative `a_i` (its whole budget is eaten
+//! by shadow processing); it is then pinned to zero users and the system
+//! re-solved over the rest. `n_max_hetero` searches for the largest `n`
+//! whose equalized tick stays below `U` — with all speedups equal it
+//! reduces exactly to Eq. (2).
+
+use crate::params::ModelParams;
+
+/// The equalized-tick allocation for `n` users over servers with the given
+/// speedups. Returns `(shares, tick_seconds)`; shares sum to `n`.
+pub fn equalized_allocation(
+    params: &ModelParams,
+    n: u32,
+    speedups: &[f64],
+) -> (Vec<u32>, f64) {
+    assert!(!speedups.is_empty(), "a group has at least one server");
+    assert!(speedups.iter().all(|s| *s > 0.0), "speedups must be positive");
+    let nf = n as f64;
+    let own = params.own_cost(nf);
+    let fwd = params.shadow_cost(nf);
+
+    // Active servers participate in the allocation; pinned ones only mirror.
+    let mut active: Vec<usize> = (0..speedups.len()).collect();
+    let mut shares_f = vec![0.0f64; speedups.len()];
+    let mut tick;
+    loop {
+        let l_active = active.len() as f64;
+        let speed_sum: f64 = active.iter().map(|&i| speedups[i]).sum();
+        // Equal ticks over the active set (pinned servers own no users, so
+        // they drop out of the Σa_i = n constraint entirely):
+        // T = n·(own + (|A|−1)·fwd) / Σ_{i∈A} s_i.
+        tick = nf * (own + (l_active - 1.0) * fwd) / speed_sum;
+        if own <= fwd {
+            // Degenerate costs: shadow as expensive as own — just split
+            // proportionally to speed.
+            for &i in &active {
+                shares_f[i] = nf * speedups[i] / speed_sum;
+            }
+            break;
+        }
+        let mut pinned_any = false;
+        for &i in &active {
+            shares_f[i] = (speedups[i] * tick - nf * fwd) / (own - fwd);
+        }
+        // Pin servers whose share went negative and re-solve.
+        let before = active.len();
+        active.retain(|&i| {
+            if shares_f[i] < 0.0 {
+                shares_f[i] = 0.0;
+                false
+            } else {
+                true
+            }
+        });
+        pinned_any |= active.len() != before;
+        if !pinned_any || active.is_empty() {
+            break;
+        }
+    }
+
+    // Round to integers while conserving n (largest remainders win).
+    let mut shares: Vec<u32> = shares_f.iter().map(|s| s.floor() as u32).collect();
+    let mut remainder = n as i64 - shares.iter().map(|&s| s as i64).sum::<i64>();
+    let mut order: Vec<usize> = (0..shares.len()).collect();
+    order.sort_by(|&a, &b| {
+        let fa = shares_f[a] - shares_f[a].floor();
+        let fb = shares_f[b] - shares_f[b].floor();
+        fb.partial_cmp(&fa).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut k = 0;
+    while remainder > 0 {
+        shares[order[k % order.len()]] += 1;
+        remainder -= 1;
+        k += 1;
+    }
+    (shares, tick)
+}
+
+/// The worst per-server tick when `n` users are spread with the equalized
+/// allocation (integer rounding makes ticks slightly unequal; this reports
+/// the true maximum).
+pub fn worst_tick_hetero(params: &ModelParams, n: u32, m: u32, speedups: &[f64]) -> f64 {
+    let (shares, _) = equalized_allocation(params, n, speedups);
+    let nf = n as f64;
+    let own = params.own_cost(nf);
+    let fwd = params.shadow_cost(nf);
+    let npc = params.npc_cost(nf) * m as f64 / speedups.len() as f64;
+    shares
+        .iter()
+        .zip(speedups)
+        .map(|(&a, &s)| (a as f64 * own + (nf - a as f64) * fwd + npc) / s)
+        .fold(0.0, f64::max)
+}
+
+/// The heterogeneous analogue of Eq. (2): the largest `n` whose equalized
+/// allocation keeps every server's tick below `u_threshold`.
+pub fn n_max_hetero(
+    params: &ModelParams,
+    speedups: &[f64],
+    m: u32,
+    u_threshold: f64,
+) -> u32 {
+    assert!(u_threshold > 0.0);
+    let over = |n: u32| worst_tick_hetero(params, n, m, speedups) >= u_threshold;
+    if over(1) {
+        return 0;
+    }
+    let mut hi = 2u32;
+    while hi < crate::capacity::N_SEARCH_CAP && !over(hi) {
+        hi = hi.saturating_mul(2);
+    }
+    if hi >= crate::capacity::N_SEARCH_CAP && !over(crate::capacity::N_SEARCH_CAP) {
+        return crate::capacity::N_SEARCH_CAP;
+    }
+    let mut lo = hi / 2;
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if over(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    lo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capacity::n_max;
+    use crate::costfn::CostFn;
+    use crate::tick::{tick_duration, ZoneLoad};
+
+    fn params() -> ModelParams {
+        ModelParams {
+            t_ua: CostFn::Linear { c0: 1e-4, c1: 2e-7 },
+            t_fa: CostFn::Linear { c0: 8e-6, c1: 1e-8 },
+            ..ModelParams::default()
+        }
+    }
+
+    #[test]
+    fn homogeneous_group_matches_eq2() {
+        let p = params();
+        for l in [1usize, 2, 4] {
+            let speedups = vec![1.0; l];
+            let hetero = n_max_hetero(&p, &speedups, 0, 0.040);
+            let homo = n_max(&p, l as u32, 0, 0.040);
+            assert!(
+                hetero.abs_diff(homo) <= 1,
+                "l = {l}: hetero {hetero} vs Eq. (2) {homo}"
+            );
+        }
+    }
+
+    #[test]
+    fn shares_conserve_users() {
+        let p = params();
+        for n in [1u32, 7, 45, 200] {
+            let (shares, _) = equalized_allocation(&p, n, &[1.0, 2.0, 1.5]);
+            assert_eq!(shares.iter().sum::<u32>(), n, "n = {n}: {shares:?}");
+        }
+    }
+
+    #[test]
+    fn faster_server_gets_more_users() {
+        let p = params();
+        let (shares, _) = equalized_allocation(&p, 150, &[1.0, 2.0]);
+        assert!(shares[1] > shares[0], "{shares:?}");
+    }
+
+    #[test]
+    fn equalized_ticks_are_nearly_equal() {
+        let p = params();
+        let speedups = [1.0, 2.0, 1.3];
+        let n = 200u32;
+        let (shares, _) = equalized_allocation(&p, n, &speedups);
+        let ticks: Vec<f64> = shares
+            .iter()
+            .zip(&speedups)
+            .map(|(&a, &s)| {
+                (a as f64 * p.own_cost(n as f64)
+                    + (n - a) as f64 * p.shadow_cost(n as f64))
+                    / s
+            })
+            .collect();
+        let hi = ticks.iter().cloned().fold(0.0, f64::max);
+        let lo = ticks.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(
+            (hi - lo) / hi < 0.05,
+            "ticks should be near-equal: {ticks:?}"
+        );
+    }
+
+    #[test]
+    fn substitution_raises_capacity() {
+        // Replacing one of two standard machines with a 2x machine must
+        // increase the group's capacity — the §IV substitution premise.
+        let p = params();
+        let before = n_max_hetero(&p, &[1.0, 1.0], 0, 0.040);
+        let after = n_max_hetero(&p, &[1.0, 2.0], 0, 0.040);
+        assert!(after > before, "{after} vs {before}");
+    }
+
+    #[test]
+    fn equalized_beats_equal_split_on_mixed_group() {
+        // The naive equal split overloads the slow machine; the equalized
+        // allocation's worst tick is strictly better.
+        let p = params();
+        let n = 240u32;
+        let equal_split_worst = tick_duration(&p, ZoneLoad::new(2, n, 0), n / 2); // slow server, s = 1
+        let hetero_worst = worst_tick_hetero(&p, n, 0, &[1.0, 3.0]);
+        assert!(
+            hetero_worst < equal_split_worst,
+            "equalized {hetero_worst} vs equal-split-on-slow {equal_split_worst}"
+        );
+    }
+
+    #[test]
+    fn very_slow_server_is_pinned_to_zero() {
+        // A server 50x slower than its peers cannot even afford the shadow
+        // load at high n; the allocator pins it and the shares still sum.
+        let p = ModelParams {
+            t_ua: CostFn::Constant(1e-4),
+            t_fa: CostFn::Constant(9e-5), // shadow nearly as dear as own
+            ..ModelParams::default()
+        };
+        let n = 300u32;
+        let (shares, _) = equalized_allocation(&p, n, &[0.02, 1.0, 1.0]);
+        assert_eq!(shares.iter().sum::<u32>(), n);
+        assert_eq!(shares[0], 0, "hopeless server pinned: {shares:?}");
+    }
+
+    #[test]
+    fn single_server_reduces_to_plain_tick() {
+        let p = params();
+        let n = 100u32;
+        let worst = worst_tick_hetero(&p, n, 0, &[1.0]);
+        let plain = tick_duration(&p, ZoneLoad::new(1, n, 0), n);
+        assert!((worst - plain).abs() < 1e-12);
+    }
+}

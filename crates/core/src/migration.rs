@@ -1,0 +1,238 @@
+//! Migration-rate thresholds — Eq. (5) of the paper.
+//!
+//! Migrating a user costs CPU time on both ends: `t_mig_ini(n)` on the
+//! source server and `t_mig_rcv(n)` on the target. Eq. (5) bounds how many
+//! migrations a server may initiate/receive per second so that its tick
+//! duration plus the migration overhead stays below the threshold `U`:
+//!
+//! ```text
+//! x_max_ini(l,n,m,a,U) = max{ x ∈ ℕ | T(l,n,m,a) + x·t_mig_ini(n) < U }
+//! x_max_rcv(l,n,m,a,U) = max{ x ∈ ℕ | T(l,n,m,a) + x·t_mig_rcv(n) < U }
+//! ```
+
+use crate::params::ModelParams;
+use crate::tick::{tick_duration, ZoneLoad};
+
+/// Direction of a migration threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MigrationSide {
+    /// The server initiates (sends) migrations.
+    Initiate,
+    /// The server receives migrations.
+    Receive,
+}
+
+/// `max{ x ∈ ℕ | base + x·cost < threshold }` — the common core of Eq. (5).
+///
+/// Returns 0 when the base already violates the threshold. When the
+/// per-migration cost is zero (degenerate fitted parameters) the count is
+/// clamped to `u32::MAX`.
+fn max_additional(base: f64, cost: f64, threshold: f64) -> u32 {
+    let budget = threshold - base;
+    if budget <= 0.0 {
+        return 0;
+    }
+    if cost <= 0.0 {
+        return u32::MAX;
+    }
+    // Strict inequality: the analytic answer is floor-ish of budget/cost,
+    // but floating-point rounding can put it off by one in either
+    // direction, so nudge against the actual comparison.
+    let mut x = (budget / cost).floor();
+    if x >= u32::MAX as f64 {
+        return u32::MAX;
+    }
+    while x > 0.0 && base + x * cost >= threshold {
+        x -= 1.0;
+    }
+    while base + (x + 1.0) * cost < threshold {
+        x += 1.0;
+        if x >= u32::MAX as f64 {
+            return u32::MAX;
+        }
+    }
+    x.max(0.0) as u32
+}
+
+/// Eq. (5), initiate side, from a *predicted* tick duration: how many
+/// migrations may a server with `active` of the zone's `users` initiate per
+/// second without exceeding `u_threshold`.
+pub fn x_max_ini(
+    params: &ModelParams,
+    load: ZoneLoad,
+    active: u32,
+    u_threshold: f64,
+) -> u32 {
+    let t = tick_duration(params, load, active);
+    max_additional(t, params.t_mig_ini.eval(load.users as f64), u_threshold)
+}
+
+/// Eq. (5), receive side. See [`x_max_ini`].
+pub fn x_max_rcv(
+    params: &ModelParams,
+    load: ZoneLoad,
+    active: u32,
+    u_threshold: f64,
+) -> u32 {
+    let t = tick_duration(params, load, active);
+    max_additional(t, params.t_mig_rcv.eval(load.users as f64), u_threshold)
+}
+
+/// Eq. (5) evaluated from an *observed* tick duration instead of the
+/// model-predicted one — this is how Fig. 7 presents the thresholds
+/// ("number of user migrations for a given tick duration") and how RTF-RMS
+/// applies them at runtime, where the monitored tick duration is available.
+pub fn x_max_from_tick(
+    params: &ModelParams,
+    side: MigrationSide,
+    observed_tick: f64,
+    users: u32,
+    u_threshold: f64,
+) -> u32 {
+    let cost = match side {
+        MigrationSide::Initiate => params.t_mig_ini.eval(users as f64),
+        MigrationSide::Receive => params.t_mig_rcv.eval(users as f64),
+    };
+    max_additional(observed_tick, cost, u_threshold)
+}
+
+/// One point of the Fig. 7 series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MigrationPoint {
+    /// The observed tick duration (seconds).
+    pub tick: f64,
+    /// Users on the server (the x in `t_mig_*(x)`).
+    pub users: u32,
+    /// Migrations the server may initiate per second.
+    pub x_ini: u32,
+    /// Migrations the server may receive per second.
+    pub x_rcv: u32,
+}
+
+/// Computes the Fig. 7 curve: migration budgets across a range of tick
+/// durations, with the user count supplied per tick sample (the paper's
+/// figure varies both together, since tick duration is a function of load).
+pub fn migration_curve(
+    params: &ModelParams,
+    samples: &[(f64, u32)],
+    u_threshold: f64,
+) -> Vec<MigrationPoint> {
+    samples
+        .iter()
+        .map(|&(tick, users)| MigrationPoint {
+            tick,
+            users,
+            x_ini: x_max_from_tick(params, MigrationSide::Initiate, tick, users, u_threshold),
+            x_rcv: x_max_from_tick(params, MigrationSide::Receive, tick, users, u_threshold),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costfn::CostFn;
+
+    fn params() -> ModelParams {
+        ModelParams {
+            t_ua_dser: CostFn::Constant(1e-5),
+            t_ua: CostFn::Constant(2e-5),
+            t_aoi: CostFn::Constant(3e-5),
+            t_su: CostFn::Constant(4e-5),
+            t_fa_dser: CostFn::Constant(1e-6),
+            t_fa: CostFn::Constant(1e-6),
+            t_npc: CostFn::ZERO,
+            t_mig_ini: CostFn::Constant(2e-3),
+            t_mig_rcv: CostFn::Constant(5e-4),
+        }
+    }
+
+    #[test]
+    fn budget_formula_exact() {
+        // base 0.030, cost 0.002, U 0.040: 0.030 + x·0.002 < 0.040 ⇒ x ≤ 4.
+        assert_eq!(max_additional(0.030, 0.002, 0.040), 4);
+    }
+
+    #[test]
+    fn strict_inequality_excludes_exact_hit() {
+        // 0.030 + 5·0.002 = 0.040 is not < 0.040.
+        assert_eq!(max_additional(0.030, 0.002, 0.040), 4);
+        // With a slightly larger threshold, 5 fits.
+        assert_eq!(max_additional(0.030, 0.002, 0.0401), 5);
+    }
+
+    #[test]
+    fn overloaded_server_gets_zero_budget() {
+        assert_eq!(max_additional(0.050, 0.002, 0.040), 0);
+        assert_eq!(max_additional(0.040, 0.002, 0.040), 0);
+    }
+
+    #[test]
+    fn zero_cost_gives_unbounded_budget() {
+        assert_eq!(max_additional(0.01, 0.0, 0.04), u32::MAX);
+    }
+
+    #[test]
+    fn receive_budget_exceeds_initiate_budget() {
+        // The paper measured t_mig_ini > t_mig_rcv for RTFDemo, so a server
+        // can receive more migrations than it can initiate at equal load.
+        let p = params();
+        let load = ZoneLoad::new(2, 100, 0);
+        let ini = x_max_ini(&p, load, 50, 0.040);
+        let rcv = x_max_rcv(&p, load, 50, 0.040);
+        assert!(rcv > ini, "rcv {rcv} vs ini {ini}");
+    }
+
+    #[test]
+    fn heavier_server_has_smaller_budget() {
+        let p = params();
+        let load = ZoneLoad::new(2, 200, 0);
+        let heavy = x_max_ini(&p, load, 180, 0.040);
+        let light = x_max_ini(&p, load, 20, 0.040);
+        assert!(light > heavy, "light {light} vs heavy {heavy}");
+    }
+
+    #[test]
+    fn observed_tick_variant_matches_predicted_variant() {
+        let p = params();
+        let load = ZoneLoad::new(2, 100, 0);
+        let t = crate::tick::tick_duration(&p, load, 70);
+        let from_model = x_max_ini(&p, load, 70, 0.040);
+        let from_tick =
+            x_max_from_tick(&p, MigrationSide::Initiate, t, load.users, 0.040);
+        assert_eq!(from_model, from_tick);
+    }
+
+    #[test]
+    fn paper_worked_example_shape() {
+        // §V-A example: server A with 180 users at 35 ms can initiate only a
+        // handful of migrations; server B with 80 users at 15 ms can receive
+        // an order of magnitude more. Calibrate costs to reproduce
+        // min{3, 34} = 3.
+        let p = ModelParams {
+            // t_mig_ini(180) ≈ 1.45 ms ⇒ (40−35)/1.45 ⇒ 3 migrations.
+            t_mig_ini: CostFn::Linear { c0: 1e-4, c1: 7.5e-6 },
+            // t_mig_rcv(80) ≈ 0.72 ms ⇒ (40−15)/0.72 ⇒ 34 migrations.
+            t_mig_rcv: CostFn::Linear { c0: 1e-4, c1: 7.75e-6 },
+            ..params()
+        };
+        let ini = x_max_from_tick(&p, MigrationSide::Initiate, 0.035, 180, 0.040);
+        let rcv = x_max_from_tick(&p, MigrationSide::Receive, 0.015, 80, 0.040);
+        assert_eq!(ini.min(rcv), ini, "the initiate side is the bottleneck");
+        assert_eq!(ini, 3);
+        assert_eq!(rcv, 34);
+    }
+
+    #[test]
+    fn migration_curve_is_monotone_in_tick() {
+        let p = params();
+        let samples: Vec<(f64, u32)> = (0..=8).map(|i| (0.005 * i as f64, 100)).collect();
+        let curve = migration_curve(&p, &samples, 0.040);
+        for w in curve.windows(2) {
+            assert!(w[1].x_ini <= w[0].x_ini);
+            assert!(w[1].x_rcv <= w[0].x_rcv);
+        }
+        // At U itself the budget is zero.
+        assert_eq!(curve.last().unwrap().x_ini, 0);
+    }
+}

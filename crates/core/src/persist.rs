@@ -1,0 +1,203 @@
+//! Persistence of calibrated models — a provider calibrates once per
+//! application version (the §V-A campaign takes minutes on a testbed) and
+//! reuses the fitted parameters across sessions.
+//!
+//! The format is a deliberately simple, diff-friendly `key = values` text
+//! file (no external format crates in the dependency budget):
+//!
+//! ```text
+//! roia-model v1
+//! u_threshold = 0.04
+//! improvement_factor = 0.15
+//! trigger_fraction = 0.8
+//! t_ua = 0.00012 3.6e-8 1.4e-10
+//! ...
+//! ```
+
+use crate::costfn::CostFn;
+use crate::params::{ModelParams, ParamKind};
+use crate::ScalabilityModel;
+use std::fmt;
+
+/// Magic first line of the format.
+const HEADER: &str = "roia-model v1";
+
+/// Errors from [`parse_model`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PersistError {
+    /// The first line is not the expected header.
+    BadHeader,
+    /// A line is not `key = values`.
+    BadLine(String),
+    /// A numeric field failed to parse.
+    BadNumber(String),
+    /// A required key is missing.
+    MissingKey(&'static str),
+    /// The same key appears twice.
+    DuplicateKey(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::BadHeader => write!(f, "missing '{HEADER}' header"),
+            PersistError::BadLine(l) => write!(f, "malformed line: {l}"),
+            PersistError::BadNumber(v) => write!(f, "malformed number: {v}"),
+            PersistError::MissingKey(k) => write!(f, "missing key: {k}"),
+            PersistError::DuplicateKey(k) => write!(f, "duplicate key: {k}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+/// Serializes a model to the text format.
+pub fn format_model(model: &ScalabilityModel) -> String {
+    let mut out = String::new();
+    out.push_str(HEADER);
+    out.push('\n');
+    out.push_str(&format!("u_threshold = {}\n", model.u_threshold));
+    out.push_str(&format!("improvement_factor = {}\n", model.improvement_factor));
+    out.push_str(&format!("trigger_fraction = {}\n", model.trigger_fraction));
+    for kind in ParamKind::ALL {
+        let coeffs = model.params.get(kind).coefficients();
+        let values: Vec<String> = coeffs.iter().map(|c| format!("{c}")).collect();
+        out.push_str(&format!("{} = {}\n", kind.symbol(), values.join(" ")));
+    }
+    out
+}
+
+fn kind_for(symbol: &str) -> Option<ParamKind> {
+    ParamKind::ALL.iter().copied().find(|k| k.symbol() == symbol)
+}
+
+/// Parses a model from the text format.
+pub fn parse_model(text: &str) -> Result<ScalabilityModel, PersistError> {
+    let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#'));
+    if lines.next() != Some(HEADER) {
+        return Err(PersistError::BadHeader);
+    }
+
+    let mut u_threshold: Option<f64> = None;
+    let mut improvement: Option<f64> = None;
+    let mut trigger: Option<f64> = None;
+    let mut params = ModelParams::default();
+    let mut seen: Vec<String> = Vec::new();
+
+    for line in lines {
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| PersistError::BadLine(line.to_owned()))?;
+        let key = key.trim();
+        let value = value.trim();
+        if seen.iter().any(|s| s == key) {
+            return Err(PersistError::DuplicateKey(key.to_owned()));
+        }
+        seen.push(key.to_owned());
+
+        let parse_one = |v: &str| -> Result<f64, PersistError> {
+            v.parse::<f64>().map_err(|_| PersistError::BadNumber(v.to_owned()))
+        };
+        match key {
+            "u_threshold" => u_threshold = Some(parse_one(value)?),
+            "improvement_factor" => improvement = Some(parse_one(value)?),
+            "trigger_fraction" => trigger = Some(parse_one(value)?),
+            symbol => {
+                let kind = kind_for(symbol)
+                    .ok_or_else(|| PersistError::BadLine(line.to_owned()))?;
+                let coeffs: Result<Vec<f64>, PersistError> =
+                    value.split_whitespace().map(parse_one).collect();
+                params.set(kind, CostFn::from_coefficients(&coeffs?));
+            }
+        }
+    }
+
+    let model = ScalabilityModel::new(
+        params,
+        u_threshold.ok_or(PersistError::MissingKey("u_threshold"))?,
+    )
+    .with_improvement_factor(improvement.ok_or(PersistError::MissingKey("improvement_factor"))?)
+    .with_trigger_fraction(trigger.ok_or(PersistError::MissingKey("trigger_fraction"))?);
+    Ok(model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ScalabilityModel {
+        let params = ModelParams {
+            t_ua: CostFn::Quadratic { c0: 1.2e-4, c1: 3.6e-8, c2: 1.4e-10 },
+            t_su: CostFn::Linear { c0: 8e-8, c1: 6.2e-8 },
+            t_mig_ini: CostFn::Linear { c0: 2e-4, c1: 7e-6 },
+            ..ModelParams::default()
+        };
+        ScalabilityModel::new(params, 0.040)
+            .with_improvement_factor(0.15)
+            .with_trigger_fraction(0.8)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let m = model();
+        let text = format_model(&m);
+        let parsed = parse_model(&text).unwrap();
+        assert_eq!(m, parsed);
+    }
+
+    #[test]
+    fn round_trip_preserves_thresholds() {
+        let m = model();
+        let parsed = parse_model(&format_model(&m)).unwrap();
+        assert_eq!(parsed.u_threshold, 0.040);
+        assert_eq!(parsed.improvement_factor, 0.15);
+        assert_eq!(parsed.trigger_fraction, 0.8);
+        assert_eq!(parsed.max_users(1, 0), m.max_users(1, 0));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let mut text = String::from("roia-model v1\n\n# a comment\n");
+        text.push_str("u_threshold = 0.04\nimprovement_factor = 0.15\ntrigger_fraction = 0.8\n");
+        text.push_str("t_ua = 1e-4\n");
+        let m = parse_model(&text).unwrap();
+        assert_eq!(m.params.t_ua, CostFn::Constant(1e-4));
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert_eq!(parse_model("nope\n"), Err(PersistError::BadHeader));
+        assert_eq!(parse_model(""), Err(PersistError::BadHeader));
+    }
+
+    #[test]
+    fn malformed_line_rejected() {
+        let text = "roia-model v1\nu_threshold 0.04\n";
+        assert!(matches!(parse_model(text), Err(PersistError::BadLine(_))));
+    }
+
+    #[test]
+    fn unknown_key_rejected() {
+        let text = "roia-model v1\nt_quux = 1.0\n";
+        assert!(matches!(parse_model(text), Err(PersistError::BadLine(_))));
+    }
+
+    #[test]
+    fn bad_number_rejected() {
+        let text = "roia-model v1\nu_threshold = fast\n";
+        assert!(matches!(parse_model(text), Err(PersistError::BadNumber(_))));
+    }
+
+    #[test]
+    fn missing_threshold_rejected() {
+        let text = "roia-model v1\nimprovement_factor = 0.15\ntrigger_fraction = 0.8\n";
+        assert_eq!(parse_model(text), Err(PersistError::MissingKey("u_threshold")));
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let text =
+            "roia-model v1\nu_threshold = 0.04\nu_threshold = 0.05\n";
+        assert!(matches!(parse_model(text), Err(PersistError::DuplicateKey(_))));
+    }
+}

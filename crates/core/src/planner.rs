@@ -1,0 +1,352 @@
+//! The RTF-RMS user-migration planner — Listing 1 and Fig. 2 of the paper.
+//!
+//! Given the replicas of one zone and their current user counts, the planner
+//! equalizes load by migrating users from the most loaded server `s_max` to
+//! the underloaded ones, but never schedules more migrations per second than
+//! Eq. (5) allows on either end. Because those budgets may be too small to
+//! equalize in one second, planning proceeds in *rounds* (one round ≈ one
+//! second of migration work); Fig. 2 shows a two-round rebalancing of 45
+//! users across three replicas.
+
+use crate::migration::{x_max_ini, x_max_rcv};
+use crate::params::ModelParams;
+use crate::tick::ZoneLoad;
+
+/// Identifier of a replica within a zone (index into the planner input).
+pub type ReplicaIdx = usize;
+
+/// A single scheduled migration batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Move {
+    /// Source replica (the round's `s_max`).
+    pub from: ReplicaIdx,
+    /// Target replica.
+    pub to: ReplicaIdx,
+    /// Number of users to migrate.
+    pub users: u32,
+}
+
+/// One second's worth of migrations (one execution of Listing 1).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Round {
+    /// The migrations of this round.
+    pub moves: Vec<Move>,
+    /// User counts per replica *after* applying the round.
+    pub resulting_users: Vec<u32>,
+}
+
+impl Round {
+    /// Total users moved in this round.
+    pub fn total_moved(&self) -> u32 {
+        self.moves.iter().map(|m| m.users).sum()
+    }
+}
+
+/// A complete migration plan: the rounds needed to balance the zone.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MigrationPlan {
+    /// Rounds in execution order.
+    pub rounds: Vec<Round>,
+    /// Whether the plan ends in a balanced state (every replica within one
+    /// user of the average); `false` means the per-round budgets reached a
+    /// fixed point first (e.g. an overloaded server with zero initiate
+    /// budget).
+    pub balanced: bool,
+}
+
+impl MigrationPlan {
+    /// Total users moved across all rounds.
+    pub fn total_moved(&self) -> u32 {
+        self.rounds.iter().map(Round::total_moved).sum()
+    }
+
+    /// Final user counts (or `None` for an empty plan).
+    pub fn final_users(&self) -> Option<&[u32]> {
+        self.rounds.last().map(|r| r.resulting_users.as_slice())
+    }
+}
+
+/// Configuration for the planner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlannerConfig {
+    /// Tick-duration threshold `U` (seconds).
+    pub u_threshold: f64,
+    /// Number of NPCs in the zone.
+    pub npcs: u32,
+    /// Upper bound on planning rounds (safety against pathological budgets).
+    pub max_rounds: usize,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        Self { u_threshold: 0.040, npcs: 0, max_rounds: 64 }
+    }
+}
+
+/// Is the distribution balanced, i.e. every count within one user of the
+/// integer average? (Perfect equality is impossible when `n` is not
+/// divisible by the replica count.)
+fn is_balanced(users: &[u32]) -> bool {
+    let n: u32 = users.iter().sum();
+    let avg = n / users.len() as u32;
+    users.iter().all(|&u| u >= avg.saturating_sub(1) && u <= avg + 1)
+}
+
+/// One execution of Listing 1: select `s_max`, compute the Eq. (5) budgets
+/// and schedule migrations toward the underloaded replicas.
+///
+/// Returns `None` when the distribution is already balanced or no migration
+/// is possible this round (zero budgets).
+pub fn plan_round(
+    params: &ModelParams,
+    users: &[u32],
+    config: &PlannerConfig,
+) -> Option<Round> {
+    assert!(!users.is_empty(), "a zone has at least one replica");
+    if users.len() == 1 || is_balanced(users) {
+        return None;
+    }
+
+    let n: u32 = users.iter().sum();
+    let l = users.len() as u32;
+    let load = ZoneLoad { replicas: l, users: n, npcs: config.npcs };
+    let avg = n / l; // integer division, as in Listing 1
+
+    // s_max: replica with the highest user count.
+    let (s_max, &s_max_users) = users
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, u)| u)
+        .expect("non-empty");
+
+    // (i) deviation of each server's user count from the average;
+    // (ii) x_max_ini for s_max; (iii) x_max_rcv for each remaining server.
+    let mut ini_budget = x_max_ini(params, load, s_max_users, config.u_threshold);
+    if ini_budget == 0 {
+        return None;
+    }
+    // The source must not be drained below the average.
+    let mut surplus = s_max_users - avg;
+
+    let mut moves = Vec::new();
+    let mut resulting = users.to_vec();
+    for (i, &u) in users.iter().enumerate() {
+        if i == s_max || ini_budget == 0 || surplus == 0 {
+            continue;
+        }
+        let deficit = avg.saturating_sub(u); // d[i] > 0 ⇒ underloaded
+        if deficit == 0 {
+            continue;
+        }
+        let rcv_budget = x_max_rcv(params, load, u, config.u_threshold);
+        let k = deficit.min(rcv_budget).min(ini_budget).min(surplus);
+        if k == 0 {
+            continue;
+        }
+        moves.push(Move { from: s_max, to: i, users: k });
+        resulting[s_max] -= k;
+        resulting[i] += k;
+        ini_budget -= k;
+        surplus -= k;
+    }
+
+    if moves.is_empty() {
+        None
+    } else {
+        Some(Round { moves, resulting_users: resulting })
+    }
+}
+
+/// Plans rounds until the zone is balanced, the budgets reach a fixed point,
+/// or `max_rounds` is hit (Fig. 2's scenario completes in two rounds).
+pub fn plan(params: &ModelParams, users: &[u32], config: &PlannerConfig) -> MigrationPlan {
+    let mut current = users.to_vec();
+    let mut rounds = Vec::new();
+    for _ in 0..config.max_rounds {
+        match plan_round(params, &current, config) {
+            Some(round) => {
+                current = round.resulting_users.clone();
+                rounds.push(round);
+            }
+            None => break,
+        }
+    }
+    let balanced = is_balanced(&current);
+    MigrationPlan { rounds, balanced }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costfn::CostFn;
+
+    /// Parameters with generous budgets: everything balances in one round.
+    fn fast_params() -> ModelParams {
+        ModelParams {
+            t_ua_dser: CostFn::Constant(1e-6),
+            t_ua: CostFn::Constant(1e-6),
+            t_aoi: CostFn::Constant(1e-6),
+            t_su: CostFn::Constant(1e-6),
+            t_mig_ini: CostFn::Constant(1e-5),
+            t_mig_rcv: CostFn::Constant(1e-5),
+            ..ModelParams::default()
+        }
+    }
+
+    /// Parameters tuned so a 45-user/3-replica zone needs two rounds, the
+    /// Fig. 2 scenario: s_max can initiate only 5 migrations per round.
+    fn fig2_params() -> ModelParams {
+        ModelParams {
+            // own cost: 25 users → tick = 25·1.32e-3 = 33 ms; budget 7 ms.
+            t_ua_dser: CostFn::Constant(0.33e-3),
+            t_ua: CostFn::Constant(0.33e-3),
+            t_aoi: CostFn::Constant(0.33e-3),
+            t_su: CostFn::Constant(0.33e-3),
+            // 7 ms / 1.2 ms ⇒ 5 initiations per round.
+            t_mig_ini: CostFn::Constant(1.2e-3),
+            // receivers are far cheaper, they are not the bottleneck.
+            t_mig_rcv: CostFn::Constant(0.1e-3),
+            ..ModelParams::default()
+        }
+    }
+
+    fn conservation_holds(initial: &[u32], plan: &MigrationPlan) {
+        let before: u32 = initial.iter().sum();
+        if let Some(after) = plan.final_users() {
+            assert_eq!(before, after.iter().sum::<u32>(), "users must be conserved");
+        }
+    }
+
+    #[test]
+    fn balanced_input_needs_no_plan() {
+        let p = fast_params();
+        let plan = plan(&p, &[15, 15, 15], &PlannerConfig::default());
+        assert!(plan.rounds.is_empty());
+        assert!(plan.balanced);
+    }
+
+    #[test]
+    fn single_replica_never_migrates() {
+        let p = fast_params();
+        assert!(plan_round(&p, &[100], &PlannerConfig::default()).is_none());
+    }
+
+    #[test]
+    fn one_round_suffices_with_large_budgets() {
+        let p = fast_params();
+        let initial = [45, 0, 0];
+        let result = plan(&p, &initial, &PlannerConfig::default());
+        assert!(result.balanced);
+        assert_eq!(result.rounds.len(), 1);
+        let after = result.final_users().unwrap();
+        assert_eq!(after, &[15, 15, 15]);
+        conservation_holds(&initial, &result);
+    }
+
+    #[test]
+    fn fig2_scenario_takes_two_rounds() {
+        // 45 users on [25, 12, 8]: average 15; s_max can initiate only 5
+        // per round ⇒ round 1 moves 5 (to [20, 13, 12] or similar), round 2
+        // moves the remaining 5.
+        let p = fig2_params();
+        let initial = [25u32, 12, 8];
+        let result = plan(&p, &initial, &PlannerConfig::default());
+        assert!(result.balanced, "plan: {result:?}");
+        assert_eq!(result.rounds.len(), 2, "plan: {result:?}");
+        assert_eq!(result.rounds[0].total_moved(), 5);
+        assert_eq!(result.rounds[1].total_moved(), 5);
+        assert_eq!(result.final_users().unwrap(), &[15, 15, 15]);
+        conservation_holds(&initial, &result);
+    }
+
+    #[test]
+    fn every_round_migrates_from_the_most_loaded() {
+        let p = fig2_params();
+        let result = plan(&p, &[25, 12, 8], &PlannerConfig::default());
+        for round in &result.rounds {
+            let froms: Vec<_> = round.moves.iter().map(|m| m.from).collect();
+            assert!(froms.iter().all(|&f| f == froms[0]), "one source per round");
+        }
+    }
+
+    #[test]
+    fn source_never_drained_below_average() {
+        let p = fast_params();
+        let initial = [30u32, 14, 14, 14]; // avg = 18
+        let result = plan(&p, &initial, &PlannerConfig::default());
+        for round in &result.rounds {
+            let n: u32 = round.resulting_users.iter().sum();
+            let avg = n / round.resulting_users.len() as u32;
+            for m in &round.moves {
+                assert!(round.resulting_users[m.from] >= avg);
+            }
+        }
+        conservation_holds(&initial, &result);
+    }
+
+    #[test]
+    fn zero_initiate_budget_stalls_plan() {
+        // Overloaded server already past U: Eq. (5) gives a zero budget, so
+        // the plan cannot proceed (RTF-RMS would escalate to replication
+        // enactment instead).
+        let p = ModelParams {
+            t_ua: CostFn::Constant(1e-2), // 25 users ⇒ 250 ms ≫ U
+            t_mig_ini: CostFn::Constant(1e-3),
+            t_mig_rcv: CostFn::Constant(1e-3),
+            ..ModelParams::default()
+        };
+        let result = plan(&p, &[25, 5, 5], &PlannerConfig::default());
+        assert!(result.rounds.is_empty());
+        assert!(!result.balanced);
+    }
+
+    #[test]
+    fn receive_budget_caps_individual_targets() {
+        // Make receiving expensive so each target accepts at most 2/round.
+        let p = ModelParams {
+            t_ua_dser: CostFn::Constant(1e-6),
+            t_mig_ini: CostFn::Constant(1e-4),
+            t_mig_rcv: CostFn::Constant(1.5e-2), // 40 ms / 15 ms ⇒ 2 per round
+            ..ModelParams::default()
+        };
+        let result = plan(&p, &[20, 4, 6], &PlannerConfig::default());
+        for round in &result.rounds {
+            for m in &round.moves {
+                assert!(m.users <= 2, "receive cap violated: {m:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_rounds_bounds_work() {
+        let p = fig2_params();
+        let config = PlannerConfig { max_rounds: 1, ..PlannerConfig::default() };
+        let result = plan(&p, &[25, 12, 8], &config);
+        assert_eq!(result.rounds.len(), 1);
+        assert!(!result.balanced);
+    }
+
+    #[test]
+    fn near_balanced_distribution_accepted() {
+        // 46 users on 3 replicas can never be exactly equal; [16,15,15] is
+        // balanced within one user.
+        let p = fast_params();
+        let result = plan(&p, &[16, 15, 15], &PlannerConfig::default());
+        assert!(result.rounds.is_empty());
+        assert!(result.balanced);
+    }
+
+    #[test]
+    fn two_overloaded_servers_converge_over_rounds() {
+        let p = fast_params();
+        let initial = [40u32, 40, 4, 4];
+        let result = plan(&p, &initial, &PlannerConfig::default());
+        assert!(result.balanced, "plan: {result:?}");
+        conservation_holds(&initial, &result);
+        let after = result.final_users().unwrap();
+        let avg = 88 / 4;
+        for &u in after {
+            assert!(u >= avg - 1 && u <= avg + 1, "{after:?}");
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Tick-duration prediction — Eq. (1) and Eq. (4) of the paper.
+//!
+//! One iteration of the real-time loop (§II) receives user inputs, computes
+//! the new application state and sends state updates. With `n` users and `m`
+//! NPCs spread over `l` replicas of one zone, the model predicts the CPU
+//! time of that iteration on one server.
+
+use crate::params::ModelParams;
+
+/// Workload of a single zone: total users, NPCs and replica count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZoneLoad {
+    /// Number of replicas `l ≥ 1` processing the zone.
+    pub replicas: u32,
+    /// Total number of users `n` connected to the zone (across replicas).
+    pub users: u32,
+    /// Total number of NPCs `m` in the zone.
+    pub npcs: u32,
+}
+
+impl ZoneLoad {
+    /// Convenience constructor.
+    pub fn new(replicas: u32, users: u32, npcs: u32) -> Self {
+        assert!(replicas >= 1, "a zone is always processed by at least one server");
+        Self { replicas, users, npcs }
+    }
+}
+
+/// Eq. (1): predicted tick duration (seconds) of one server when users and
+/// NPCs are distributed *equally* on all `l` replicas:
+///
+/// ```text
+/// T(l,n,m) = n/l · (t_ua_dser + t_ua + t_aoi + t_su)(n)
+///          + (n − n/l) · (t_fa_dser + t_fa)(n)
+///          + m/l · t_npc(n)
+/// ```
+pub fn tick_duration_equal(params: &ModelParams, load: ZoneLoad) -> f64 {
+    let l = load.replicas as f64;
+    let n = load.users as f64;
+    let m = load.npcs as f64;
+    let active = n / l;
+    active * params.own_cost(n) + (n - active) * params.shadow_cost(n)
+        + (m / l) * params.npc_cost(n)
+}
+
+/// Eq. (4): predicted tick duration (seconds) of one server that owns
+/// `active` of the zone's `n` users (non-equal distribution):
+///
+/// ```text
+/// T(l,n,m,a) = a · (t_ua_dser + t_ua + t_aoi + t_su)(n)
+///            + (n − a) · (t_fa_dser + t_fa)(n)
+///            + m/l · t_npc(n)
+/// ```
+///
+/// `active` is clamped to `n`: a server can never own more active entities
+/// than the zone has users.
+pub fn tick_duration(params: &ModelParams, load: ZoneLoad, active: u32) -> f64 {
+    let a = active.min(load.users) as f64;
+    let n = load.users as f64;
+    let m = load.npcs as f64;
+    a * params.own_cost(n) + (n - a) * params.shadow_cost(n)
+        + (m / load.replicas as f64) * params.npc_cost(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::costfn::CostFn;
+
+    fn params() -> ModelParams {
+        ModelParams {
+            t_ua_dser: CostFn::Constant(1e-5),
+            t_ua: CostFn::Constant(2e-5),
+            t_fa_dser: CostFn::Constant(1e-6),
+            t_fa: CostFn::Constant(1e-6),
+            t_npc: CostFn::Constant(4e-6),
+            t_aoi: CostFn::Constant(3e-5),
+            t_su: CostFn::Constant(4e-5),
+            t_mig_ini: CostFn::ZERO,
+            t_mig_rcv: CostFn::ZERO,
+        }
+    }
+
+    #[test]
+    fn single_replica_has_no_shadow_term() {
+        // With l = 1 every user is active: T = n·own + m·npc.
+        let p = params();
+        let t = tick_duration_equal(&p, ZoneLoad::new(1, 100, 10));
+        let expected = 100.0 * 1e-4 + 10.0 * 4e-6;
+        assert!((t - expected).abs() < 1e-12, "{t} vs {expected}");
+    }
+
+    #[test]
+    fn two_replicas_split_active_entities() {
+        let p = params();
+        let t = tick_duration_equal(&p, ZoneLoad::new(2, 100, 10));
+        // 50 active · own + 50 shadow · fwd + 5 NPCs
+        let expected = 50.0 * 1e-4 + 50.0 * 2e-6 + 5.0 * 4e-6;
+        assert!((t - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eq1_is_special_case_of_eq4() {
+        // With a = n/l, Eq. (4) must reduce to Eq. (1).
+        let p = params();
+        let load = ZoneLoad::new(4, 200, 40);
+        let t1 = tick_duration_equal(&p, load);
+        let t4 = tick_duration(&p, load, 50);
+        assert!((t1 - t4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn more_replicas_reduce_tick_at_fixed_n() {
+        // The own-cost per server shrinks while shadow cost grows; with own
+        // cost dominating (as in any sane ROIA), more replicas means a
+        // shorter tick.
+        let p = params();
+        let t1 = tick_duration_equal(&p, ZoneLoad::new(1, 300, 0));
+        let t2 = tick_duration_equal(&p, ZoneLoad::new(2, 300, 0));
+        let t4 = tick_duration_equal(&p, ZoneLoad::new(4, 300, 0));
+        assert!(t1 > t2 && t2 > t4, "{t1} {t2} {t4}");
+    }
+
+    #[test]
+    fn overloaded_server_has_longer_tick_than_equal_share() {
+        let p = params();
+        let load = ZoneLoad::new(3, 45, 0);
+        let equal = tick_duration_equal(&p, load);
+        let heavy = tick_duration(&p, load, 25);
+        let light = tick_duration(&p, load, 8);
+        assert!(heavy > equal, "owning 25 of 45 is worse than owning 15");
+        assert!(light < equal, "owning 8 of 45 is better than owning 15");
+    }
+
+    #[test]
+    fn active_clamped_to_users() {
+        let p = params();
+        let load = ZoneLoad::new(2, 10, 0);
+        assert_eq!(tick_duration(&p, load, 99), tick_duration(&p, load, 10));
+    }
+
+    #[test]
+    fn zero_users_zero_tick() {
+        let p = params();
+        assert_eq!(tick_duration_equal(&p, ZoneLoad::new(1, 0, 0)), 0.0);
+    }
+
+    #[test]
+    fn npc_term_scales_with_replicas() {
+        let p = params();
+        let t1 = tick_duration_equal(&p, ZoneLoad::new(1, 0, 100));
+        let t2 = tick_duration_equal(&p, ZoneLoad::new(2, 0, 100));
+        assert!((t1 - 2.0 * t2).abs() < 1e-12, "NPCs split equally on replicas");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_replicas_rejected() {
+        ZoneLoad::new(0, 10, 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Euclidean-distance interest management with subscription lists.
+//!
+//! §V-A: "In order to compute the area of interest for a user, RTFDemo
+//! employs the Euclidean Distance Algorithm [...] For user U, it has to be
+//! checked for all users whether they are in the visibility area of user U,
+//! i.e., the application iterates through all users (except for U). Each
+//! user in the visibility area of user U is subscribed to the update list
+//! of user U; for each subscription, RTFDemo iterates through the update
+//! list in order to avoid duplicate entries."
+//!
+//! The double iteration (scan all + per-subscription dedup scan) is what
+//! makes `t_aoi` quadratic in the user count — this module reproduces it
+//! literally and reports the work units so the calibrated cost model can
+//! charge virtual time proportionally.
+
+use crate::world::World;
+use rtf_core::entity::{UserId, Vec2};
+
+/// The outcome of computing one user's area of interest.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct AoiResult {
+    /// The users subscribed to the observer's update list, in scan order.
+    pub visible: Vec<UserId>,
+    /// Distance checks performed (= all other users).
+    pub pairs_checked: usize,
+    /// Update-list entries visited by the duplicate-avoidance scans.
+    pub dedup_scans: usize,
+}
+
+/// Computes the update list of `observer` over `others` — every avatar in
+/// the zone except the observer, as `(user, position)` pairs.
+pub fn compute_aoi(
+    world: &World,
+    observer: UserId,
+    observer_pos: &Vec2,
+    others: impl Iterator<Item = (UserId, Vec2)>,
+) -> AoiResult {
+    let mut result = AoiResult::default();
+    for (user, pos) in others {
+        if user == observer {
+            continue;
+        }
+        result.pairs_checked += 1;
+        if world.in_aoi(observer_pos, &pos) {
+            // Duplicate-avoidance scan over the current update list, as in
+            // the paper (rather than a hash set — the cost is the point).
+            let mut duplicate = false;
+            for existing in &result.visible {
+                result.dedup_scans += 1;
+                if *existing == user {
+                    duplicate = true;
+                    break;
+                }
+            }
+            if !duplicate {
+                result.visible.push(user);
+            }
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world() -> World {
+        World { aoi_radius: 100.0, ..World::default() }
+    }
+
+    #[test]
+    fn only_nearby_users_visible() {
+        let w = world();
+        let me = UserId(0);
+        let pos = Vec2::new(500.0, 500.0);
+        let others = vec![
+            (UserId(1), Vec2::new(550.0, 500.0)), // 50 away: visible
+            (UserId(2), Vec2::new(700.0, 500.0)), // 200 away: not
+            (UserId(3), Vec2::new(500.0, 599.0)), // 99 away: visible
+        ];
+        let r = compute_aoi(&w, me, &pos, others.into_iter());
+        assert_eq!(r.visible, vec![UserId(1), UserId(3)]);
+        assert_eq!(r.pairs_checked, 3);
+    }
+
+    #[test]
+    fn observer_excluded_from_own_aoi() {
+        let w = world();
+        let pos = Vec2::new(0.0, 0.0);
+        let r = compute_aoi(&w, UserId(7), &pos, vec![(UserId(7), pos)].into_iter());
+        assert!(r.visible.is_empty());
+        assert_eq!(r.pairs_checked, 0, "self is skipped before the distance check");
+    }
+
+    #[test]
+    fn duplicates_are_removed_via_list_scan() {
+        let w = world();
+        let pos = Vec2::new(0.0, 0.0);
+        let near = Vec2::new(10.0, 0.0);
+        // The same user delivered twice (e.g. listed by two replica
+        // updates during a migration race).
+        let others = vec![(UserId(1), near), (UserId(1), near)];
+        let r = compute_aoi(&w, UserId(0), &pos, others.into_iter());
+        assert_eq!(r.visible, vec![UserId(1)]);
+        assert!(r.dedup_scans >= 1, "the duplicate triggered a list scan");
+    }
+
+    #[test]
+    fn work_units_grow_quadratically_with_density() {
+        // All users within AoI range of each other: dedup scans are
+        // Σ(k-1) ≈ v²/2, the quadratic term of t_aoi.
+        let w = world();
+        let pos = Vec2::new(500.0, 500.0);
+        let make = |count: u64| {
+            let others: Vec<(UserId, Vec2)> = (1..=count)
+                .map(|i| (UserId(i), Vec2::new(500.0 + (i % 7) as f32, 500.0)))
+                .collect();
+            compute_aoi(&w, UserId(0), &pos, others.into_iter())
+        };
+        let r10 = make(10);
+        let r40 = make(40);
+        assert_eq!(r10.dedup_scans, 9 * 10 / 2);
+        assert_eq!(r40.dedup_scans, 39 * 40 / 2);
+        // 4x the users, ~16x the dedup work.
+        assert!(r40.dedup_scans > 15 * r10.dedup_scans);
+    }
+
+    #[test]
+    fn empty_zone_is_empty_result() {
+        let w = world();
+        let r = compute_aoi(&w, UserId(0), &Vec2::new(0.0, 0.0), std::iter::empty());
+        assert_eq!(r, AoiResult::default());
+    }
+}

@@ -1,0 +1,613 @@
+//! RTFDemo's game logic as an `rtf-core` [`Application`].
+//!
+//! This is the first-person-shooter case study of §V: avatars move and
+//! shoot, interest management is Euclidean, the state is replicated across
+//! the servers of a zone. Every callback counts its work units and charges
+//! virtual time through the [`CostModel`], and the same code paths run
+//! under wall-clock accounting unchanged.
+
+use crate::aoi::compute_aoi;
+use crate::avatar::{Avatar, AvatarSnapshot};
+use crate::calibration::CostModel;
+use crate::commands::{Command, CommandBatch, Interaction};
+use crate::npc::NpcWorld;
+use crate::world::World;
+use bytes::Bytes;
+use rtf_core::entity::{Ownership, UserId, Vec2};
+use rtf_core::server::{Application, ForwardEvent, TickCtx};
+use rtf_core::wire::{Wire, WireReader, WireWriter};
+use rtf_net::NodeId;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Gameplay counters, for tests and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GameStats {
+    /// Move commands applied.
+    pub moves_applied: u64,
+    /// Attack commands applied locally.
+    pub attacks_applied: u64,
+    /// Hits landed on active avatars.
+    pub hits_on_active: u64,
+    /// Interactions forwarded to other replicas.
+    pub interactions_forwarded: u64,
+    /// Forwarded interactions received and applied.
+    pub interactions_received: u64,
+    /// Kills registered on this server.
+    pub kills: u64,
+}
+
+/// The RTFDemo application state on one server.
+pub struct RtfDemoApp {
+    world: World,
+    avatars: BTreeMap<UserId, Avatar>,
+    shadow_origin: BTreeMap<UserId, NodeId>,
+    npcs: NpcWorld,
+    costs: CostModel,
+    stats: GameStats,
+}
+
+impl RtfDemoApp {
+    /// Creates the application with `npc_count` NPCs and the given cost
+    /// model.
+    pub fn new(world: World, npc_count: u32, costs: CostModel) -> Self {
+        let mut npcs = NpcWorld::new();
+        npcs.populate(npc_count, &world);
+        Self {
+            world,
+            avatars: BTreeMap::new(),
+            shadow_origin: BTreeMap::new(),
+            npcs,
+            costs,
+            stats: GameStats::default(),
+        }
+    }
+
+    /// The arena description.
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Gameplay counters.
+    pub fn stats(&self) -> GameStats {
+        self.stats
+    }
+
+    /// All avatars known to this server (active + shadow).
+    pub fn avatar_count(&self) -> usize {
+        self.avatars.len()
+    }
+
+    /// Looks up an avatar.
+    pub fn avatar(&self, user: UserId) -> Option<&Avatar> {
+        self.avatars.get(&user)
+    }
+
+    /// Positions of this server's *active* users (for NPC interactions).
+    fn active_positions(&self) -> Vec<(UserId, Vec2)> {
+        self.avatars
+            .values()
+            .filter(|a| a.is_active())
+            .map(|a| (a.user, a.pos))
+            .collect()
+    }
+
+    /// Applies one attack: the paper-described hit check iterates through
+    /// every known avatar. Returns a forward event if the hit target is a
+    /// shadow entity.
+    fn apply_attack(
+        &mut self,
+        ctx: &mut TickCtx<'_>,
+        attacker: UserId,
+        target: UserId,
+        damage: u16,
+    ) -> Option<ForwardEvent> {
+        let scanned = self.avatars.len();
+        self.costs.charge_attack(ctx.timers, scanned);
+        self.stats.attacks_applied += 1;
+
+        let attacker_pos = self.avatars.get(&attacker)?.pos;
+        // Literal scan: find the target among all avatars and check range.
+        let mut found: Option<(Ownership, Vec2)> = None;
+        for avatar in self.avatars.values() {
+            if avatar.user == target {
+                found = Some((avatar.ownership, avatar.pos));
+                // No break: the scan cost above already covers the full
+                // iteration, matching the measured behaviour.
+            }
+        }
+        let (ownership, target_pos) = found?;
+        if !self.world.in_attack_range(&attacker_pos, &target_pos) {
+            return None;
+        }
+
+        match ownership {
+            Ownership::Active => {
+                let respawn = self.world.spawn_point(target);
+                let lethal = self
+                    .avatars
+                    .get_mut(&target)
+                    .map(|t| t.take_damage(damage, respawn))
+                    .unwrap_or(false);
+                self.stats.hits_on_active += 1;
+                if lethal {
+                    self.stats.kills += 1;
+                    if let Some(a) = self.avatars.get_mut(&attacker) {
+                        a.kills += 1;
+                    }
+                }
+                None
+            }
+            Ownership::Shadow => {
+                self.stats.interactions_forwarded += 1;
+                Some(ForwardEvent {
+                    target_user: target,
+                    payload: Interaction { attacker, target, damage }.to_bytes(),
+                })
+            }
+        }
+    }
+}
+
+impl Application for RtfDemoApp {
+    fn on_user_connected(&mut self, user: UserId) {
+        // A migrated user was already inserted by `import_user`; a fresh
+        // user spawns; a user reconnecting after its server crashed may
+        // still exist here as a shadow — promoting it to active recovers
+        // the last replicated state (a free benefit of replication).
+        let spawn = self.world.spawn_point(user);
+        let avatar = self
+            .avatars
+            .entry(user)
+            .or_insert_with(|| Avatar::spawn(user, spawn));
+        avatar.ownership = Ownership::Active;
+        self.shadow_origin.remove(&user);
+    }
+
+    fn on_user_disconnected(&mut self, user: UserId) {
+        // Remove only an *active* avatar: after a migration the entity
+        // lives on at the target and will reappear here as a shadow.
+        if self.avatars.get(&user).is_some_and(Avatar::is_active) {
+            self.avatars.remove(&user);
+        }
+    }
+
+    fn apply_user_input(
+        &mut self,
+        ctx: &mut TickCtx<'_>,
+        user: UserId,
+        payload: &[u8],
+    ) -> Vec<ForwardEvent> {
+        let decode_started = Instant::now();
+        let batch = CommandBatch::from_bytes(payload);
+        ctx.timers
+            .add_wall(rtf_core::timer::TaskKind::UaDser, decode_started.elapsed().as_secs_f64());
+        let Ok(batch) = batch else {
+            return Vec::new();
+        };
+        self.costs
+            .charge_ua_dser(ctx.timers, payload.len(), batch.commands.len());
+
+        let apply_started = Instant::now();
+        let mut forwards = Vec::new();
+        for cmd in batch.commands {
+            match cmd {
+                Command::Move { dx, dy } => {
+                    self.costs.charge_move(ctx.timers);
+                    let new_pos = match self.avatars.get(&user) {
+                        Some(a) if a.is_active() => self.world.apply_move(&a.pos, dx, dy),
+                        _ => continue,
+                    };
+                    if let Some(a) = self.avatars.get_mut(&user) {
+                        a.pos = new_pos;
+                        self.stats.moves_applied += 1;
+                    }
+                }
+                Command::Attack { target, damage } => {
+                    if let Some(fwd) = self.apply_attack(ctx, user, target, damage) {
+                        forwards.push(fwd);
+                    }
+                }
+            }
+        }
+        ctx.timers
+            .add_wall(rtf_core::timer::TaskKind::Ua, apply_started.elapsed().as_secs_f64());
+        forwards
+    }
+
+    fn apply_forwarded_input(&mut self, ctx: &mut TickCtx<'_>, _origin: NodeId, payload: &[u8]) {
+        self.costs.charge_fa_dser(ctx.timers, payload.len());
+        let decode_started = Instant::now();
+        let interaction = Interaction::from_bytes(payload);
+        ctx.timers
+            .add_wall(rtf_core::timer::TaskKind::FaDser, decode_started.elapsed().as_secs_f64());
+        let Ok(interaction) = interaction else { return };
+        self.costs.charge_fa_apply(ctx.timers);
+        self.stats.interactions_received += 1;
+
+        let apply_started = Instant::now();
+        let respawn = self.world.spawn_point(interaction.target);
+        if let Some(target) = self.avatars.get_mut(&interaction.target) {
+            if target.is_active() && target.take_damage(interaction.damage, respawn) {
+                self.stats.kills += 1;
+            }
+        }
+        ctx.timers
+            .add_wall(rtf_core::timer::TaskKind::Fa, apply_started.elapsed().as_secs_f64());
+    }
+
+    fn apply_replica_update(
+        &mut self,
+        ctx: &mut TickCtx<'_>,
+        origin: NodeId,
+        users: &[UserId],
+        payload: &[u8],
+    ) {
+        self.costs.charge_fa_dser(ctx.timers, payload.len());
+        let apply_started = Instant::now();
+        let mut r = WireReader::new(payload);
+        let Ok(count) = r.get_u16() else { return };
+        let mut applied = 0usize;
+        for _ in 0..count {
+            let Ok(snap) = AvatarSnapshot::decode(&mut r) else { break };
+            // Never demote a local active avatar (migration race).
+            if self.avatars.get(&snap.user).is_some_and(Avatar::is_active) {
+                continue;
+            }
+            let shadow = self
+                .avatars
+                .entry(snap.user)
+                .or_insert_with(|| Avatar::shadow(snap.user, snap.pos, snap.health));
+            shadow.pos = snap.pos;
+            shadow.health = snap.health;
+            shadow.ownership = Ownership::Shadow;
+            self.shadow_origin.insert(snap.user, origin);
+            applied += 1;
+        }
+        self.costs.charge_fa_shadow(ctx.timers, applied);
+
+        // Prune shadows this origin used to own but no longer lists (the
+        // user disconnected or migrated elsewhere).
+        let listed: std::collections::BTreeSet<UserId> = users.iter().copied().collect();
+        let stale: Vec<UserId> = self
+            .shadow_origin
+            .iter()
+            .filter(|(u, o)| **o == origin && !listed.contains(u))
+            .map(|(u, _)| *u)
+            .collect();
+        for user in stale {
+            if self.avatars.get(&user).is_some_and(|a| !a.is_active()) {
+                self.avatars.remove(&user);
+            }
+            self.shadow_origin.remove(&user);
+        }
+        ctx.timers
+            .add_wall(rtf_core::timer::TaskKind::Fa, apply_started.elapsed().as_secs_f64());
+    }
+
+    fn update_npcs(&mut self, ctx: &mut TickCtx<'_>) {
+        let started = Instant::now();
+        let users = self.active_positions();
+        let work = self.npcs.update(&self.world, &users);
+        ctx.timers
+            .add_wall(rtf_core::timer::TaskKind::Npc, started.elapsed().as_secs_f64());
+        self.costs.charge_npc(ctx.timers, work.npcs_updated, work.user_scans);
+    }
+
+    fn state_update_for(&mut self, ctx: &mut TickCtx<'_>, user: UserId) -> Bytes {
+        let Some(observer) = self.avatars.get(&user) else {
+            return Bytes::new();
+        };
+        let observer_pos = observer.pos;
+        let aoi_started = Instant::now();
+        let aoi = compute_aoi(
+            &self.world,
+            user,
+            &observer_pos,
+            self.avatars.values().map(|a| (a.user, a.pos)),
+        );
+        ctx.timers
+            .add_wall(rtf_core::timer::TaskKind::Aoi, aoi_started.elapsed().as_secs_f64());
+        self.costs.charge_aoi(ctx.timers, aoi.pairs_checked, aoi.dedup_scans);
+
+        // Serialize self + visible avatars.
+        let ser_started = Instant::now();
+        let mut w = WireWriter::with_capacity(4 + 20 * (aoi.visible.len() + 1));
+        w.put_u16((aoi.visible.len() + 1) as u16);
+        AvatarSnapshot::from(&self.avatars[&user]).encode(&mut w);
+        for target in &aoi.visible {
+            AvatarSnapshot::from(&self.avatars[target]).encode(&mut w);
+        }
+        let payload = w.finish();
+        ctx.timers
+            .add_wall(rtf_core::timer::TaskKind::Su, ser_started.elapsed().as_secs_f64());
+        self.costs
+            .charge_su(ctx.timers, aoi.visible.len() + 1, payload.len());
+        payload
+    }
+
+    fn replica_update(&mut self, _ctx: &mut TickCtx<'_>) -> Bytes {
+        let active: Vec<&Avatar> = self.avatars.values().filter(|a| a.is_active()).collect();
+        let mut w = WireWriter::with_capacity(2 + 20 * active.len());
+        w.put_u16(active.len() as u16);
+        for a in active {
+            AvatarSnapshot::from(a).encode(&mut w);
+        }
+        w.finish()
+    }
+
+    fn export_user(&mut self, ctx: &mut TickCtx<'_>, user: UserId) -> Bytes {
+        let known = self.avatars.len();
+        self.costs.charge_mig_ini(ctx.timers, known);
+        let started = Instant::now();
+        let out = match self.avatars.remove(&user) {
+            Some(avatar) => avatar.to_bytes(),
+            None => Bytes::new(),
+        };
+        ctx.timers
+            .add_wall(rtf_core::timer::TaskKind::MigIni, started.elapsed().as_secs_f64());
+        out
+    }
+
+    fn import_user(&mut self, ctx: &mut TickCtx<'_>, user: UserId, payload: &[u8]) {
+        let known = self.avatars.len();
+        self.costs.charge_mig_rcv(ctx.timers, known);
+        let started = Instant::now();
+        let mut avatar = match Avatar::from_bytes(payload) {
+            Ok(a) => a,
+            Err(_) => Avatar::spawn(user, self.world.spawn_point(user)),
+        };
+        avatar.ownership = Ownership::Active;
+        self.shadow_origin.remove(&user);
+        self.avatars.insert(user, avatar);
+        ctx.timers
+            .add_wall(rtf_core::timer::TaskKind::MigRcv, started.elapsed().as_secs_f64());
+    }
+
+    fn npc_count(&self) -> u32 {
+        self.npcs.len() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtf_core::timer::{TaskKind, TickTimers, TimeMode};
+
+    fn app() -> RtfDemoApp {
+        RtfDemoApp::new(World::default(), 0, CostModel::exact())
+    }
+
+    fn ctx_timers() -> TickTimers {
+        TickTimers::new(TimeMode::Virtual)
+    }
+
+    fn with_ctx<T>(timers: &mut TickTimers, f: impl FnOnce(&mut TickCtx<'_>) -> T) -> T {
+        let mut ctx = TickCtx { tick: 0, server: NodeId(0), timers };
+        f(&mut ctx)
+    }
+
+    #[test]
+    fn connect_spawns_avatar() {
+        let mut app = app();
+        app.on_user_connected(UserId(1));
+        assert_eq!(app.avatar_count(), 1);
+        assert!(app.avatar(UserId(1)).unwrap().is_active());
+    }
+
+    #[test]
+    fn move_command_moves_avatar_and_charges_ua() {
+        let mut app = app();
+        app.on_user_connected(UserId(1));
+        let before = app.avatar(UserId(1)).unwrap().pos;
+        let mut timers = ctx_timers();
+        let batch = CommandBatch::movement(1.0, 0.0).to_bytes();
+        with_ctx(&mut timers, |ctx| app.apply_user_input(ctx, UserId(1), &batch));
+        let after = app.avatar(UserId(1)).unwrap().pos;
+        assert!((after.x - before.x - app.world().move_speed).abs() < 1e-4);
+        assert!(timers.get(TaskKind::Ua) > 0.0);
+        assert!(timers.get(TaskKind::UaDser) > 0.0);
+        assert_eq!(app.stats().moves_applied, 1);
+    }
+
+    #[test]
+    fn attack_on_local_target_applies_damage() {
+        let mut app = app();
+        app.on_user_connected(UserId(1));
+        app.on_user_connected(UserId(2));
+        // Teleport them next to each other.
+        let p = Vec2::new(500.0, 500.0);
+        app.avatars.get_mut(&UserId(1)).unwrap().pos = p;
+        app.avatars.get_mut(&UserId(2)).unwrap().pos = Vec2::new(510.0, 500.0);
+
+        let mut timers = ctx_timers();
+        let batch = CommandBatch::default().with_attack(UserId(2), 25).to_bytes();
+        let forwards =
+            with_ctx(&mut timers, |ctx| app.apply_user_input(ctx, UserId(1), &batch));
+        assert!(forwards.is_empty(), "local target: nothing to forward");
+        assert_eq!(app.avatar(UserId(2)).unwrap().health, 75);
+        assert_eq!(app.stats().hits_on_active, 1);
+    }
+
+    #[test]
+    fn attack_out_of_range_misses() {
+        let mut app = app();
+        app.on_user_connected(UserId(1));
+        app.on_user_connected(UserId(2));
+        app.avatars.get_mut(&UserId(1)).unwrap().pos = Vec2::new(0.0, 0.0);
+        app.avatars.get_mut(&UserId(2)).unwrap().pos = Vec2::new(900.0, 900.0);
+        let mut timers = ctx_timers();
+        let batch = CommandBatch::default().with_attack(UserId(2), 25).to_bytes();
+        with_ctx(&mut timers, |ctx| app.apply_user_input(ctx, UserId(1), &batch));
+        assert_eq!(app.avatar(UserId(2)).unwrap().health, 100);
+    }
+
+    #[test]
+    fn attack_on_shadow_target_forwards_interaction() {
+        let mut app = app();
+        app.on_user_connected(UserId(1));
+        app.avatars.get_mut(&UserId(1)).unwrap().pos = Vec2::new(500.0, 500.0);
+        // Shadow next to the attacker, owned by server 9.
+        let mut timers = ctx_timers();
+        let mut w = WireWriter::new();
+        w.put_u16(1);
+        AvatarSnapshot { user: UserId(2), pos: Vec2::new(505.0, 500.0), health: 100 }
+            .encode(&mut w);
+        let payload = w.finish();
+        with_ctx(&mut timers, |ctx| {
+            app.apply_replica_update(ctx, NodeId(9), &[UserId(2)], &payload)
+        });
+        assert_eq!(app.avatar_count(), 2);
+
+        let batch = CommandBatch::default().with_attack(UserId(2), 30).to_bytes();
+        let forwards =
+            with_ctx(&mut timers, |ctx| app.apply_user_input(ctx, UserId(1), &batch));
+        assert_eq!(forwards.len(), 1);
+        assert_eq!(forwards[0].target_user, UserId(2));
+        let interaction = Interaction::from_bytes(&forwards[0].payload).unwrap();
+        assert_eq!(interaction.damage, 30);
+        assert_eq!(app.stats().interactions_forwarded, 1);
+        // The shadow's health is NOT touched locally; the owner decides.
+        assert_eq!(app.avatar(UserId(2)).unwrap().health, 100);
+    }
+
+    #[test]
+    fn forwarded_interaction_damages_active_target() {
+        let mut app = app();
+        app.on_user_connected(UserId(2));
+        let mut timers = ctx_timers();
+        let payload = Interaction { attacker: UserId(1), target: UserId(2), damage: 40 }.to_bytes();
+        with_ctx(&mut timers, |ctx| app.apply_forwarded_input(ctx, NodeId(9), &payload));
+        assert_eq!(app.avatar(UserId(2)).unwrap().health, 60);
+        assert_eq!(app.stats().interactions_received, 1);
+        assert!(timers.get(TaskKind::Fa) > 0.0);
+        assert!(timers.get(TaskKind::FaDser) > 0.0);
+    }
+
+    #[test]
+    fn replica_update_creates_and_prunes_shadows() {
+        let mut app = app();
+        let mut timers = ctx_timers();
+        let make_payload = |ids: &[u64]| {
+            let mut w = WireWriter::new();
+            w.put_u16(ids.len() as u16);
+            for &i in ids {
+                AvatarSnapshot { user: UserId(i), pos: Vec2::new(1.0, 1.0), health: 90 }
+                    .encode(&mut w);
+            }
+            w.finish()
+        };
+        let users1 = [UserId(10), UserId(11)];
+        with_ctx(&mut timers, |ctx| {
+            app.apply_replica_update(ctx, NodeId(9), &users1, &make_payload(&[10, 11]))
+        });
+        assert_eq!(app.avatar_count(), 2);
+        assert!(!app.avatar(UserId(10)).unwrap().is_active());
+
+        // Next update no longer lists user 11: it must be pruned.
+        let users2 = [UserId(10)];
+        with_ctx(&mut timers, |ctx| {
+            app.apply_replica_update(ctx, NodeId(9), &users2, &make_payload(&[10]))
+        });
+        assert_eq!(app.avatar_count(), 1);
+        assert!(app.avatar(UserId(11)).is_none());
+    }
+
+    #[test]
+    fn replica_update_never_demotes_active_avatar() {
+        let mut app = app();
+        app.on_user_connected(UserId(1));
+        let mut timers = ctx_timers();
+        let mut w = WireWriter::new();
+        w.put_u16(1);
+        AvatarSnapshot { user: UserId(1), pos: Vec2::new(0.0, 0.0), health: 1 }.encode(&mut w);
+        let payload = w.finish();
+        with_ctx(&mut timers, |ctx| {
+            app.apply_replica_update(ctx, NodeId(9), &[UserId(1)], &payload)
+        });
+        let a = app.avatar(UserId(1)).unwrap();
+        assert!(a.is_active());
+        assert_eq!(a.health, 100, "stale replica data ignored for active avatars");
+    }
+
+    #[test]
+    fn state_update_contains_self_and_visible() {
+        let mut app = app();
+        app.on_user_connected(UserId(1));
+        app.on_user_connected(UserId(2));
+        app.on_user_connected(UserId(3));
+        app.avatars.get_mut(&UserId(1)).unwrap().pos = Vec2::new(500.0, 500.0);
+        app.avatars.get_mut(&UserId(2)).unwrap().pos = Vec2::new(520.0, 500.0);
+        app.avatars.get_mut(&UserId(3)).unwrap().pos = Vec2::new(0.0, 0.0); // far away
+
+        let mut timers = ctx_timers();
+        let payload = with_ctx(&mut timers, |ctx| app.state_update_for(ctx, UserId(1)));
+        let mut r = WireReader::new(&payload);
+        let count = r.get_u16().unwrap();
+        assert_eq!(count, 2, "self + user 2; user 3 filtered by AoI");
+        assert!(timers.get(TaskKind::Aoi) > 0.0);
+        assert!(timers.get(TaskKind::Su) > 0.0);
+    }
+
+    #[test]
+    fn export_import_round_trip_preserves_state() {
+        let mut src = app();
+        src.on_user_connected(UserId(5));
+        src.avatars.get_mut(&UserId(5)).unwrap().health = 37;
+        src.avatars.get_mut(&UserId(5)).unwrap().kills = 4;
+
+        let mut timers = ctx_timers();
+        let blob = with_ctx(&mut timers, |ctx| src.export_user(ctx, UserId(5)));
+        assert!(src.avatar(UserId(5)).is_none(), "export removes the active copy");
+        assert!(timers.get(TaskKind::MigIni) > 0.0);
+
+        let mut dst = app();
+        with_ctx(&mut timers, |ctx| dst.import_user(ctx, UserId(5), &blob));
+        dst.on_user_connected(UserId(5));
+        let a = dst.avatar(UserId(5)).unwrap();
+        assert!(a.is_active());
+        assert_eq!(a.health, 37);
+        assert_eq!(a.kills, 4);
+        assert!(timers.get(TaskKind::MigRcv) > 0.0);
+    }
+
+    #[test]
+    fn lethal_attack_respawns_and_counts_kill() {
+        let mut app = app();
+        app.on_user_connected(UserId(1));
+        app.on_user_connected(UserId(2));
+        app.avatars.get_mut(&UserId(1)).unwrap().pos = Vec2::new(500.0, 500.0);
+        app.avatars.get_mut(&UserId(2)).unwrap().pos = Vec2::new(505.0, 500.0);
+        app.avatars.get_mut(&UserId(2)).unwrap().health = 10;
+
+        let mut timers = ctx_timers();
+        let batch = CommandBatch::default().with_attack(UserId(2), 25).to_bytes();
+        with_ctx(&mut timers, |ctx| app.apply_user_input(ctx, UserId(1), &batch));
+        let victim = app.avatar(UserId(2)).unwrap();
+        assert_eq!(victim.health, crate::avatar::MAX_HEALTH);
+        assert_eq!(victim.deaths, 1);
+        assert_eq!(app.avatar(UserId(1)).unwrap().kills, 1);
+        assert_eq!(app.stats().kills, 1);
+    }
+
+    #[test]
+    fn npc_updates_charge_npc_task() {
+        let mut app = RtfDemoApp::new(World::default(), 10, CostModel::exact());
+        app.on_user_connected(UserId(1));
+        let mut timers = ctx_timers();
+        with_ctx(&mut timers, |ctx| app.update_npcs(ctx));
+        assert!(timers.get(TaskKind::Npc) > 0.0);
+        assert_eq!(app.npc_count(), 10);
+    }
+
+    #[test]
+    fn garbage_input_is_ignored() {
+        let mut app = app();
+        app.on_user_connected(UserId(1));
+        let mut timers = ctx_timers();
+        let forwards =
+            with_ctx(&mut timers, |ctx| app.apply_user_input(ctx, UserId(1), &[0xFF, 0x01]));
+        assert!(forwards.is_empty());
+        assert_eq!(app.stats().moves_applied, 0);
+    }
+}

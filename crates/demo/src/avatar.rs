@@ -1,0 +1,175 @@
+//! Player avatars: position, health, combat bookkeeping.
+
+use rtf_core::entity::{Ownership, UserId, Vec2};
+use rtf_core::wire::{Wire, WireError, WireReader, WireWriter};
+
+/// Full health of a fresh avatar.
+pub const MAX_HEALTH: i32 = 100;
+
+/// A player's avatar in the arena.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Avatar {
+    /// The owning user.
+    pub user: UserId,
+    /// Current position.
+    pub pos: Vec2,
+    /// Current health; dropping to zero respawns the avatar.
+    pub health: i32,
+    /// Kills scored.
+    pub kills: u32,
+    /// Times this avatar died.
+    pub deaths: u32,
+    /// Active on this server, or a shadow mirrored from a peer replica.
+    pub ownership: Ownership,
+}
+
+impl Avatar {
+    /// Spawns a fresh, active avatar at `pos`.
+    pub fn spawn(user: UserId, pos: Vec2) -> Self {
+        Self { user, pos, health: MAX_HEALTH, kills: 0, deaths: 0, ownership: Ownership::Active }
+    }
+
+    /// Spawns a shadow copy (state arrives via replica updates).
+    pub fn shadow(user: UserId, pos: Vec2, health: i32) -> Self {
+        Self { user, pos, health, kills: 0, deaths: 0, ownership: Ownership::Shadow }
+    }
+
+    /// Whether this server owns the avatar.
+    pub fn is_active(&self) -> bool {
+        self.ownership == Ownership::Active
+    }
+
+    /// Applies damage; on death the avatar respawns at `respawn_pos` with
+    /// full health. Returns `true` if the hit was lethal.
+    pub fn take_damage(&mut self, damage: u16, respawn_pos: Vec2) -> bool {
+        self.health -= damage as i32;
+        if self.health <= 0 {
+            self.deaths += 1;
+            self.health = MAX_HEALTH;
+            self.pos = respawn_pos;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Wire for Avatar {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.user.0);
+        w.put_f32(self.pos.x);
+        w.put_f32(self.pos.y);
+        w.put_u32(self.health.max(0) as u32);
+        w.put_u32(self.kills);
+        w.put_u32(self.deaths);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            user: UserId(r.get_u64()?),
+            pos: Vec2::new(r.get_f32()?, r.get_f32()?),
+            health: r.get_u32()? as i32,
+            kills: r.get_u32()?,
+            deaths: r.get_u32()?,
+            ownership: Ownership::Active,
+        })
+    }
+}
+
+/// One entry of a state update or replica update: the publicly visible
+/// state of an avatar.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvatarSnapshot {
+    /// The avatar's user.
+    pub user: UserId,
+    /// Position.
+    pub pos: Vec2,
+    /// Health.
+    pub health: i32,
+}
+
+impl From<&Avatar> for AvatarSnapshot {
+    fn from(a: &Avatar) -> Self {
+        Self { user: a.user, pos: a.pos, health: a.health }
+    }
+}
+
+impl Wire for AvatarSnapshot {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.user.0);
+        w.put_f32(self.pos.x);
+        w.put_f32(self.pos.y);
+        w.put_u32(self.health.max(0) as u32);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Self {
+            user: UserId(r.get_u64()?),
+            pos: Vec2::new(r.get_f32()?, r.get_f32()?),
+            health: r.get_u32()? as i32,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_has_full_health() {
+        let a = Avatar::spawn(UserId(1), Vec2::new(10.0, 20.0));
+        assert_eq!(a.health, MAX_HEALTH);
+        assert!(a.is_active());
+    }
+
+    #[test]
+    fn damage_accumulates() {
+        let mut a = Avatar::spawn(UserId(1), Vec2::new(0.0, 0.0));
+        assert!(!a.take_damage(30, Vec2::new(5.0, 5.0)));
+        assert_eq!(a.health, 70);
+        assert_eq!(a.deaths, 0);
+    }
+
+    #[test]
+    fn lethal_damage_respawns() {
+        let mut a = Avatar::spawn(UserId(1), Vec2::new(0.0, 0.0));
+        let respawn = Vec2::new(99.0, 99.0);
+        assert!(a.take_damage(150, respawn));
+        assert_eq!(a.health, MAX_HEALTH);
+        assert_eq!(a.deaths, 1);
+        assert_eq!(a.pos, respawn);
+    }
+
+    #[test]
+    fn exact_kill_boundary() {
+        let mut a = Avatar::spawn(UserId(1), Vec2::new(0.0, 0.0));
+        assert!(a.take_damage(MAX_HEALTH as u16, Vec2::new(1.0, 1.0)), "0 health is dead");
+    }
+
+    #[test]
+    fn avatar_round_trips() {
+        let mut a = Avatar::spawn(UserId(42), Vec2::new(1.5, -2.5));
+        a.kills = 3;
+        a.deaths = 1;
+        a.health = 55;
+        let b = Avatar::from_bytes(&a.to_bytes()).unwrap();
+        assert_eq!(b.user, a.user);
+        assert_eq!(b.health, 55);
+        assert_eq!(b.kills, 3);
+        assert_eq!(b.deaths, 1);
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let a = Avatar::spawn(UserId(5), Vec2::new(3.0, 4.0));
+        let snap = AvatarSnapshot::from(&a);
+        assert_eq!(AvatarSnapshot::from_bytes(&snap.to_bytes()).unwrap(), snap);
+    }
+
+    #[test]
+    fn shadow_is_not_active() {
+        let s = Avatar::shadow(UserId(2), Vec2::new(0.0, 0.0), 80);
+        assert!(!s.is_active());
+        assert_eq!(s.health, 80);
+    }
+}

@@ -1,0 +1,188 @@
+//! Computer-controlled non-player characters.
+//!
+//! §III-A task 3: "Updating NPCs, which requires time t_npc(n,m) for
+//! calculating interactions between NPCs and users." RTFDemo's NPCs wander
+//! deterministically and scan for nearby users to menace; the scan over the
+//! user population is the interaction cost the model's `t_npc` captures.
+
+use crate::world::World;
+use rtf_core::entity::{NpcId, UserId, Vec2};
+
+/// One NPC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Npc {
+    /// Identity.
+    pub id: NpcId,
+    /// Position.
+    pub pos: Vec2,
+    /// Wander phase (radians) — advanced every update.
+    pub phase: f32,
+    /// The user this NPC currently menaces, if any.
+    pub target: Option<UserId>,
+}
+
+impl Npc {
+    /// Spawns an NPC at a deterministic position derived from its id.
+    pub fn spawn(id: NpcId, world: &World) -> Self {
+        const PHI: f64 = 0.380_110_787_563_046_7;
+        let f = ((id.0 as f64 + 1.0) * PHI).fract() as f32;
+        let pos = Vec2::new(
+            world.bounds.min.x + f * world.bounds.width(),
+            world.bounds.min.y + ((f * 7.0).fract()) * world.bounds.height(),
+        );
+        Self { id, pos, phase: f * std::f32::consts::TAU, target: None }
+    }
+}
+
+/// The NPC population of one server (each replica owns `m / l` NPCs).
+#[derive(Debug, Clone, Default)]
+pub struct NpcWorld {
+    npcs: Vec<Npc>,
+}
+
+/// Work units of one NPC update pass, for the cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NpcWork {
+    /// NPCs updated.
+    pub npcs_updated: usize,
+    /// NPC-to-user proximity checks performed.
+    pub user_scans: usize,
+}
+
+impl NpcWorld {
+    /// Creates an empty population.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Populates `count` NPCs.
+    pub fn populate(&mut self, count: u32, world: &World) {
+        self.npcs.clear();
+        self.npcs.extend((0..count as u64).map(|i| Npc::spawn(NpcId(i), world)));
+    }
+
+    /// Current NPC count.
+    pub fn len(&self) -> usize {
+        self.npcs.len()
+    }
+
+    /// Whether there are no NPCs.
+    pub fn is_empty(&self) -> bool {
+        self.npcs.is_empty()
+    }
+
+    /// Read access for state updates.
+    pub fn iter(&self) -> impl Iterator<Item = &Npc> {
+        self.npcs.iter()
+    }
+
+    /// Advances every NPC one tick: wander, then scan the users for the
+    /// nearest one in aggro range. Returns the work performed.
+    pub fn update(&mut self, world: &World, users: &[(UserId, Vec2)]) -> NpcWork {
+        let mut work = NpcWork::default();
+        let aggro_sq = world.aoi_radius * world.aoi_radius;
+        for npc in &mut self.npcs {
+            work.npcs_updated += 1;
+            // Deterministic wander on a slowly turning heading.
+            npc.phase += 0.13;
+            let step = Vec2::new(npc.phase.cos(), npc.phase.sin()).scale(world.move_speed * 0.5);
+            npc.pos = world.apply_move(&npc.pos, step.x, step.y);
+
+            // Interaction with users: nearest in range.
+            let mut best: Option<(UserId, f32)> = None;
+            for (user, pos) in users {
+                work.user_scans += 1;
+                let d = npc.pos.distance_squared(pos);
+                if d <= aggro_sq && best.is_none_or(|(_, bd)| d < bd) {
+                    best = Some((*user, d));
+                }
+            }
+            npc.target = best.map(|(u, _)| u);
+        }
+        work
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn populate_spawns_in_bounds() {
+        let world = World::default();
+        let mut npcs = NpcWorld::new();
+        npcs.populate(50, &world);
+        assert_eq!(npcs.len(), 50);
+        for npc in npcs.iter() {
+            assert!(world.bounds.contains(&npc.pos));
+        }
+    }
+
+    #[test]
+    fn update_moves_npcs_and_stays_in_bounds() {
+        let world = World::default();
+        let mut npcs = NpcWorld::new();
+        npcs.populate(5, &world);
+        let before: Vec<Vec2> = npcs.iter().map(|n| n.pos).collect();
+        npcs.update(&world, &[]);
+        let after: Vec<Vec2> = npcs.iter().map(|n| n.pos).collect();
+        assert!(before.iter().zip(&after).any(|(b, a)| b != a), "NPCs wander");
+        for npc in npcs.iter() {
+            assert!(world.bounds.contains(&npc.pos));
+        }
+    }
+
+    #[test]
+    fn work_scales_with_npcs_times_users() {
+        let world = World::default();
+        let mut npcs = NpcWorld::new();
+        npcs.populate(10, &world);
+        let users: Vec<(UserId, Vec2)> =
+            (0..20).map(|i| (UserId(i), Vec2::new(i as f32, 0.0))).collect();
+        let work = npcs.update(&world, &users);
+        assert_eq!(work.npcs_updated, 10);
+        assert_eq!(work.user_scans, 200, "m·n interaction checks");
+    }
+
+    #[test]
+    fn npc_targets_nearby_user() {
+        let world = World::default();
+        let mut npcs = NpcWorld::new();
+        npcs.populate(1, &world);
+        let npc_pos = npcs.iter().next().unwrap().pos;
+        let users = vec![(UserId(1), npc_pos)];
+        npcs.update(&world, &users);
+        assert_eq!(npcs.iter().next().unwrap().target, Some(UserId(1)));
+    }
+
+    #[test]
+    fn npc_ignores_distant_users() {
+        let world = World::default();
+        let mut npcs = NpcWorld::new();
+        npcs.populate(1, &world);
+        // Put the user as far away as possible from the NPC.
+        let npc_pos = npcs.iter().next().unwrap().pos;
+        let far = Vec2::new(
+            if npc_pos.x < 500.0 { 999.0 } else { 0.0 },
+            if npc_pos.y < 500.0 { 999.0 } else { 0.0 },
+        );
+        npcs.update(&world, &[(UserId(1), far)]);
+        assert_eq!(npcs.iter().next().unwrap().target, None);
+    }
+
+    #[test]
+    fn deterministic_updates() {
+        let world = World::default();
+        let mut a = NpcWorld::new();
+        let mut b = NpcWorld::new();
+        a.populate(8, &world);
+        b.populate(8, &world);
+        for _ in 0..10 {
+            a.update(&world, &[]);
+            b.update(&world, &[]);
+        }
+        let pa: Vec<Vec2> = a.iter().map(|n| n.pos).collect();
+        let pb: Vec<Vec2> = b.iter().map(|n| n.pos).collect();
+        assert_eq!(pa, pb);
+    }
+}

@@ -1,0 +1,157 @@
+//! The RTFDemo arena: map bounds, spawn points, movement rules.
+
+use rtf_core::entity::{Rect, UserId, Vec2};
+
+/// Static description of the virtual environment of one zone.
+#[derive(Debug, Clone, PartialEq)]
+pub struct World {
+    /// Playable area.
+    pub bounds: Rect,
+    /// Radius of every user's area of interest (Euclidean distance
+    /// algorithm, §V-A).
+    pub aoi_radius: f32,
+    /// Distance an avatar covers per move command.
+    pub move_speed: f32,
+    /// Maximum distance at which an attack can hit.
+    pub attack_range: f32,
+}
+
+impl Default for World {
+    fn default() -> Self {
+        Self {
+            bounds: Rect::square(1000.0),
+            aoi_radius: 150.0,
+            move_speed: 4.0,
+            attack_range: 120.0,
+        }
+    }
+}
+
+impl World {
+    /// Deterministic spawn point for a user: a low-discrepancy spread over
+    /// the map so user density is roughly uniform (the distribution the
+    /// replication approach suits best, §VI).
+    pub fn spawn_point(&self, user: UserId) -> Vec2 {
+        // Weyl sequence on both axes.
+        const PHI_X: f64 = 0.754877666246693;
+        const PHI_Y: f64 = 0.569840290998053;
+        let k = user.0 as f64 + 1.0;
+        let fx = (k * PHI_X).fract() as f32;
+        let fy = (k * PHI_Y).fract() as f32;
+        Vec2::new(
+            self.bounds.min.x + fx * self.bounds.width(),
+            self.bounds.min.y + fy * self.bounds.height(),
+        )
+    }
+
+    /// Applies a move command: normalizes the direction to the move speed
+    /// and clamps into bounds.
+    pub fn apply_move(&self, pos: &Vec2, dx: f32, dy: f32) -> Vec2 {
+        let len = (dx * dx + dy * dy).sqrt();
+        let step = if len > 1e-6 {
+            Vec2::new(dx / len * self.move_speed, dy / len * self.move_speed)
+        } else {
+            Vec2::new(0.0, 0.0)
+        };
+        let moved = pos.add(&step);
+        Vec2::new(
+            moved.x.clamp(self.bounds.min.x, self.bounds.max.x - 1e-3),
+            moved.y.clamp(self.bounds.min.y, self.bounds.max.y - 1e-3),
+        )
+    }
+
+    /// Whether an attacker at `from` can hit a target at `to`.
+    pub fn in_attack_range(&self, from: &Vec2, to: &Vec2) -> bool {
+        from.distance_squared(to) <= self.attack_range * self.attack_range
+    }
+
+    /// Whether `observer` sees `observed` (Euclidean-distance interest
+    /// management).
+    pub fn in_aoi(&self, observer: &Vec2, observed: &Vec2) -> bool {
+        observer.distance_squared(observed) <= self.aoi_radius * self.aoi_radius
+    }
+
+    /// Expected fraction of a uniformly spread population inside one AoI —
+    /// used by capacity planning heuristics and tests.
+    pub fn aoi_fraction(&self) -> f64 {
+        let area = (self.bounds.width() * self.bounds.height()) as f64;
+        (std::f64::consts::PI * (self.aoi_radius as f64).powi(2) / area).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_points_inside_bounds_and_distinct() {
+        let w = World::default();
+        let mut seen = Vec::new();
+        for u in 0..100 {
+            let p = w.spawn_point(UserId(u));
+            assert!(w.bounds.contains(&p), "spawn {p:?} outside bounds");
+            seen.push(p);
+        }
+        // No two of the first hundred users share a spawn.
+        for i in 0..seen.len() {
+            for j in (i + 1)..seen.len() {
+                assert!(seen[i].distance(&seen[j]) > 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn spawns_cover_the_map() {
+        // Low-discrepancy spread: all four quadrants get spawns quickly.
+        let w = World::default();
+        let c = w.bounds.center();
+        let mut quadrants = [false; 4];
+        for u in 0..16 {
+            let p = w.spawn_point(UserId(u));
+            let q = (p.x >= c.x) as usize * 2 + (p.y >= c.y) as usize;
+            quadrants[q] = true;
+        }
+        assert!(quadrants.iter().all(|&q| q), "{quadrants:?}");
+    }
+
+    #[test]
+    fn movement_is_speed_normalized() {
+        let w = World::default();
+        let start = Vec2::new(500.0, 500.0);
+        let moved = w.apply_move(&start, 10.0, 0.0);
+        assert!((moved.x - 504.0).abs() < 1e-4, "step normalized to move_speed");
+        assert_eq!(moved.y, 500.0);
+    }
+
+    #[test]
+    fn zero_direction_stays_put() {
+        let w = World::default();
+        let start = Vec2::new(500.0, 500.0);
+        assert_eq!(w.apply_move(&start, 0.0, 0.0), start);
+    }
+
+    #[test]
+    fn movement_clamped_to_bounds() {
+        let w = World::default();
+        let corner = Vec2::new(999.9, 0.0);
+        let moved = w.apply_move(&corner, 100.0, -100.0);
+        assert!(w.bounds.contains(&moved));
+    }
+
+    #[test]
+    fn attack_range_and_aoi() {
+        let w = World::default();
+        let a = Vec2::new(0.0, 0.0);
+        assert!(w.in_attack_range(&a, &Vec2::new(100.0, 0.0)));
+        assert!(!w.in_attack_range(&a, &Vec2::new(121.0, 0.0)));
+        assert!(w.in_aoi(&a, &Vec2::new(149.0, 0.0)));
+        assert!(!w.in_aoi(&a, &Vec2::new(151.0, 0.0)));
+    }
+
+    #[test]
+    fn aoi_fraction_matches_geometry() {
+        let w = World::default();
+        let expected = std::f64::consts::PI * 150.0 * 150.0 / 1_000_000.0;
+        assert!((w.aoi_fraction() - expected).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of the game logic: interest-management geometry,
+//! command/avatar serialization, combat arithmetic and work-unit counting.
+
+use proptest::prelude::*;
+use rtf_core::entity::{UserId, Vec2};
+use rtf_core::wire::Wire;
+use rtfdemo::{compute_aoi, Avatar, AvatarSnapshot, Command, CommandBatch, World, MAX_HEALTH};
+
+fn arb_pos() -> impl Strategy<Value = Vec2> {
+    (0.0f32..1000.0, 0.0f32..1000.0).prop_map(|(x, y)| Vec2::new(x, y))
+}
+
+fn arb_command() -> impl Strategy<Value = Command> {
+    prop_oneof![
+        (-1.0f32..1.0, -1.0f32..1.0).prop_map(|(dx, dy)| Command::Move { dx, dy }),
+        (any::<u64>(), any::<u16>())
+            .prop_map(|(t, d)| Command::Attack { target: UserId(t), damage: d }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn aoi_is_symmetric(a in arb_pos(), b in arb_pos()) {
+        let world = World::default();
+        prop_assert_eq!(world.in_aoi(&a, &b), world.in_aoi(&b, &a));
+    }
+
+    #[test]
+    fn aoi_visible_set_matches_distance_predicate(
+        observer in arb_pos(),
+        others in proptest::collection::vec(arb_pos(), 0..60),
+    ) {
+        let world = World::default();
+        let pairs: Vec<(UserId, Vec2)> = others
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (UserId(i as u64 + 1), p))
+            .collect();
+        let result = compute_aoi(&world, UserId(0), &observer, pairs.iter().copied());
+        for (user, pos) in &pairs {
+            let expected = world.in_aoi(&observer, pos);
+            let listed = result.visible.contains(user);
+            prop_assert_eq!(expected, listed, "user {} at {:?}", user, pos);
+        }
+        prop_assert_eq!(result.pairs_checked, pairs.len());
+    }
+
+    #[test]
+    fn aoi_has_no_duplicates(
+        observer in arb_pos(),
+        others in proptest::collection::vec((0u64..10, arb_pos()), 0..40),
+    ) {
+        // Duplicate user ids on purpose.
+        let world = World::default();
+        let pairs: Vec<(UserId, Vec2)> =
+            others.iter().map(|&(id, p)| (UserId(id), p)).collect();
+        let result = compute_aoi(&world, UserId(99), &observer, pairs.iter().copied());
+        let mut seen = std::collections::BTreeSet::new();
+        for u in &result.visible {
+            prop_assert!(seen.insert(*u), "duplicate {u} in update list");
+        }
+    }
+
+    #[test]
+    fn movement_stays_in_bounds(start in arb_pos(), dx in -1e3f32..1e3, dy in -1e3f32..1e3) {
+        let world = World::default();
+        let moved = world.apply_move(&start, dx, dy);
+        prop_assert!(world.bounds.contains(&moved), "{moved:?} escaped");
+    }
+
+    #[test]
+    fn movement_step_bounded_by_speed(start in arb_pos(), dx in -10.0f32..10.0, dy in -10.0f32..10.0) {
+        let world = World::default();
+        let moved = world.apply_move(&start, dx, dy);
+        prop_assert!(start.distance(&moved) <= world.move_speed + 1e-3);
+    }
+
+    #[test]
+    fn command_batch_round_trips(cmds in proptest::collection::vec(arb_command(), 0..8)) {
+        let batch = CommandBatch { commands: cmds };
+        let decoded = CommandBatch::from_bytes(&batch.to_bytes()).unwrap();
+        prop_assert_eq!(batch, decoded);
+    }
+
+    #[test]
+    fn avatar_round_trips(
+        user in any::<u64>(),
+        pos in arb_pos(),
+        health in 1i32..=MAX_HEALTH,
+        kills in 0u32..100,
+        deaths in 0u32..100,
+    ) {
+        let mut a = Avatar::spawn(UserId(user), pos);
+        a.health = health;
+        a.kills = kills;
+        a.deaths = deaths;
+        let b = Avatar::from_bytes(&a.to_bytes()).unwrap();
+        prop_assert_eq!(a.user, b.user);
+        prop_assert_eq!(a.health, b.health);
+        prop_assert_eq!(a.kills, b.kills);
+        prop_assert_eq!(a.deaths, b.deaths);
+        prop_assert!((a.pos.x - b.pos.x).abs() < 1e-6);
+    }
+
+    #[test]
+    fn snapshot_round_trips(user in any::<u64>(), pos in arb_pos(), health in 0i32..=MAX_HEALTH) {
+        let s = AvatarSnapshot { user: UserId(user), pos, health };
+        prop_assert_eq!(AvatarSnapshot::from_bytes(&s.to_bytes()).unwrap(), s);
+    }
+
+    #[test]
+    fn damage_sequence_preserves_health_invariants(damages in proptest::collection::vec(1u16..80, 0..50)) {
+        let world = World::default();
+        let mut a = Avatar::spawn(UserId(1), world.spawn_point(UserId(1)));
+        let mut kills_expected = 0u32;
+        for d in damages {
+            if a.take_damage(d, world.spawn_point(UserId(1))) {
+                kills_expected += 1;
+            }
+            prop_assert!(a.health > 0 && a.health <= MAX_HEALTH, "health {}", a.health);
+        }
+        prop_assert_eq!(a.deaths, kills_expected);
+    }
+
+    #[test]
+    fn spawn_points_always_inside(user in any::<u64>()) {
+        let world = World::default();
+        let p = world.spawn_point(UserId(user));
+        prop_assert!(world.bounds.contains(&p));
+    }
+}

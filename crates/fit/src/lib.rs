@@ -1,0 +1,40 @@
+//! # roia-fit — nonlinear least squares for ROIA model calibration
+//!
+//! The scalability model of Meiländer et al. (ICPP 2013) is instantiated for
+//! a particular application by *measuring* per-task CPU times at runtime and
+//! approximating each as a simple function of the user count. The paper did
+//! this with gnuplot's Levenberg–Marquardt fitter; this crate provides the
+//! same capability as a library:
+//!
+//! * [`matrix`] — small dense matrices with LU and Cholesky solvers,
+//! * [`model`] — the parametric model families (linear/quadratic
+//!   polynomials, power law, saturating exponential),
+//! * [`lm`] — the Levenberg–Marquardt optimizer itself,
+//! * [`stats`] — fit-quality statistics (R², RMSE) and sample summaries.
+//!
+//! ## Example
+//!
+//! ```
+//! use roia_fit::model::Polynomial;
+//! use roia_fit::lm::fit_default;
+//!
+//! // "Measured" cost samples that actually follow 2 + 0.5·x.
+//! let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| 2.0 + 0.5 * x).collect();
+//!
+//! let fit = fit_default(&Polynomial::linear(), &xs, &ys).unwrap();
+//! assert!((fit.beta[0] - 2.0).abs() < 1e-8);
+//! assert!((fit.beta[1] - 0.5).abs() < 1e-8);
+//! assert!(fit.r_squared > 0.999999);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod lm;
+pub mod matrix;
+pub mod model;
+pub mod stats;
+
+pub use lm::{fit, fit_default, FitError, FitResult, LmConfig, StopReason};
+pub use matrix::{Matrix, MatrixError};
+pub use model::{FitModel, Polynomial, PowerLaw, SaturatingExp};

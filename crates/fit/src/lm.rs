@@ -1,0 +1,441 @@
+//! Levenberg–Marquardt nonlinear least squares.
+//!
+//! The paper fits its measured per-task CPU times with "the nonlinear
+//! least-squares Levenberg-Marquardt algorithm [Marquardt 1963] implemented in
+//! the visualization tool gnuplot". This module is a from-scratch
+//! implementation of the same algorithm: minimize
+//! `S(β) = Σᵢ (f(β; xᵢ) − yᵢ)²` by iterating
+//!
+//! ```text
+//! (JᵀJ + λ·diag(JᵀJ)) · δ = Jᵀ·r,     β ← β − δ
+//! ```
+//!
+//! with the damping factor `λ` decreased after successful steps and increased
+//! after rejected ones (the classic Marquardt schedule, which interpolates
+//! between Gauss–Newton and gradient descent).
+
+use crate::matrix::{norm_inf, Matrix, MatrixError};
+use crate::model::FitModel;
+use crate::stats::{r_squared, rmse};
+use std::fmt;
+
+/// Configuration of the Levenberg–Marquardt optimizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LmConfig {
+    /// Maximum number of outer iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on the infinity norm of the gradient `Jᵀr`.
+    pub gradient_tolerance: f64,
+    /// Convergence threshold on the relative step size `‖δ‖ / (‖β‖ + ε)`.
+    pub step_tolerance: f64,
+    /// Convergence threshold on the relative cost reduction.
+    pub cost_tolerance: f64,
+    /// Initial damping factor λ.
+    pub lambda_init: f64,
+    /// Multiplier applied to λ after a rejected step.
+    pub lambda_up: f64,
+    /// Divisor applied to λ after an accepted step.
+    pub lambda_down: f64,
+    /// Upper bound on λ before declaring failure to progress.
+    pub lambda_max: f64,
+}
+
+impl Default for LmConfig {
+    fn default() -> Self {
+        Self {
+            max_iterations: 200,
+            gradient_tolerance: 1e-12,
+            step_tolerance: 1e-12,
+            cost_tolerance: 1e-14,
+            lambda_init: 1e-3,
+            lambda_up: 10.0,
+            lambda_down: 10.0,
+            lambda_max: 1e12,
+        }
+    }
+}
+
+/// Why the optimizer stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Gradient norm below tolerance — a (local) minimum was reached.
+    GradientSmall,
+    /// Step size below tolerance.
+    StepSmall,
+    /// Relative cost improvement below tolerance.
+    CostConverged,
+    /// Damping factor exceeded `lambda_max` without making progress.
+    StalledAtLambdaMax,
+    /// Iteration budget exhausted.
+    MaxIterations,
+}
+
+/// Result of a fit: coefficients plus diagnostics.
+#[derive(Debug, Clone)]
+pub struct FitResult {
+    /// Fitted coefficients β.
+    pub beta: Vec<f64>,
+    /// Final sum of squared residuals.
+    pub cost: f64,
+    /// Root-mean-square error of the fit.
+    pub rmse: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+    /// Number of outer iterations performed.
+    pub iterations: usize,
+    /// Why the optimizer terminated.
+    pub stop: StopReason,
+    /// Asymptotic standard error of each coefficient,
+    /// `sqrt(s² · diag((JᵀJ)⁻¹))` with `s² = SSR / (m − p)` — what gnuplot
+    /// prints as "asymptotic standard error" after a fit. Empty when the
+    /// system is degenerate (m = p or singular JᵀJ).
+    pub std_errors: Vec<f64>,
+}
+
+impl FitResult {
+    /// Whether the optimizer reached one of the convergence criteria
+    /// (as opposed to running out of iterations or stalling).
+    pub fn converged(&self) -> bool {
+        matches!(
+            self.stop,
+            StopReason::GradientSmall | StopReason::StepSmall | StopReason::CostConverged
+        )
+    }
+}
+
+/// Errors from [`fit`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum FitError {
+    /// `xs` and `ys` have different lengths or are empty.
+    BadData {
+        /// Number of x samples provided.
+        xs: usize,
+        /// Number of y samples provided.
+        ys: usize,
+    },
+    /// Fewer data points than model coefficients.
+    Underdetermined {
+        /// Number of data points.
+        points: usize,
+        /// Number of model coefficients.
+        params: usize,
+    },
+    /// The model produced a non-finite value during optimization.
+    NonFiniteModel,
+    /// The damped normal equations could not be solved.
+    LinearSolve(MatrixError),
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::BadData { xs, ys } => write!(f, "bad data: {xs} xs vs {ys} ys"),
+            FitError::Underdetermined { points, params } => {
+                write!(f, "underdetermined fit: {points} points for {params} params")
+            }
+            FitError::NonFiniteModel => write!(f, "model produced a non-finite value"),
+            FitError::LinearSolve(e) => write!(f, "linear solve failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+fn residuals_and_cost<M: FitModel>(
+    model: &M,
+    beta: &[f64],
+    xs: &[f64],
+    ys: &[f64],
+) -> Result<(Vec<f64>, f64), FitError> {
+    let mut r = Vec::with_capacity(xs.len());
+    let mut cost = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        let v = model.eval(beta, x) - y;
+        if !v.is_finite() {
+            return Err(FitError::NonFiniteModel);
+        }
+        r.push(v);
+        cost += v * v;
+    }
+    Ok((r, cost))
+}
+
+fn jacobian<M: FitModel>(model: &M, beta: &[f64], xs: &[f64]) -> Matrix {
+    let p = model.num_params();
+    let mut j = Matrix::zeros(xs.len(), p);
+    let mut grad = vec![0.0; p];
+    for (row, &x) in xs.iter().enumerate() {
+        model.gradient(beta, x, &mut grad);
+        for (col, &g) in grad.iter().enumerate() {
+            j[(row, col)] = g;
+        }
+    }
+    j
+}
+
+/// Fits `model` to the data `(xs, ys)` starting from `beta0` (or the model's
+/// built-in initial guess if `beta0` is `None`).
+pub fn fit<M: FitModel>(
+    model: &M,
+    xs: &[f64],
+    ys: &[f64],
+    beta0: Option<&[f64]>,
+    config: &LmConfig,
+) -> Result<FitResult, FitError> {
+    if xs.len() != ys.len() || xs.is_empty() {
+        return Err(FitError::BadData { xs: xs.len(), ys: ys.len() });
+    }
+    let p = model.num_params();
+    if xs.len() < p {
+        return Err(FitError::Underdetermined { points: xs.len(), params: p });
+    }
+
+    let mut beta: Vec<f64> = match beta0 {
+        Some(b) => {
+            assert_eq!(b.len(), p, "beta0 length must equal model.num_params()");
+            b.to_vec()
+        }
+        None => model.initial_guess(),
+    };
+
+    let (mut residuals, mut cost) = residuals_and_cost(model, &beta, xs, ys)?;
+    let mut lambda = config.lambda_init;
+    let mut stop = StopReason::MaxIterations;
+    let mut iterations = 0;
+
+    for iter in 0..config.max_iterations {
+        iterations = iter + 1;
+        let j = jacobian(model, &beta, xs);
+        let jtj = j.gram();
+        let jtr = j.t_matvec(&residuals).expect("jacobian rows match residuals");
+
+        if norm_inf(&jtr) < config.gradient_tolerance {
+            stop = StopReason::GradientSmall;
+            break;
+        }
+
+        // Inner loop: raise λ until a step reduces the cost.
+        let mut accepted = false;
+        while lambda <= config.lambda_max {
+            // A = JᵀJ + λ·diag(JᵀJ); guard zero diagonal entries so the
+            // system stays positive definite for unused coefficients.
+            let mut a = jtj.clone();
+            for i in 0..p {
+                let d = jtj[(i, i)];
+                a[(i, i)] = d + lambda * if d > 0.0 { d } else { 1.0 };
+            }
+            let delta = match a.solve_cholesky(&jtr) {
+                Ok(d) => d,
+                Err(_) => match a.solve_lu(&jtr) {
+                    Ok(d) => d,
+                    Err(e) => return Err(FitError::LinearSolve(e)),
+                },
+            };
+
+            let candidate: Vec<f64> = beta.iter().zip(&delta).map(|(b, d)| b - d).collect();
+            let (cand_res, cand_cost) = match residuals_and_cost(model, &candidate, xs, ys) {
+                Ok(rc) => rc,
+                Err(FitError::NonFiniteModel) => {
+                    // Treat like a rejected step: damp harder.
+                    lambda *= config.lambda_up;
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+
+            if cand_cost < cost {
+                let step_norm = crate::matrix::norm(&delta);
+                let beta_norm = crate::matrix::norm(&beta);
+                let cost_drop = (cost - cand_cost) / cost.max(f64::MIN_POSITIVE);
+
+                beta = candidate;
+                residuals = cand_res;
+                cost = cand_cost;
+                lambda = (lambda / config.lambda_down).max(1e-12);
+                accepted = true;
+
+                if step_norm <= config.step_tolerance * (beta_norm + 1e-12) {
+                    stop = StopReason::StepSmall;
+                }
+                if cost_drop <= config.cost_tolerance {
+                    stop = StopReason::CostConverged;
+                }
+                break;
+            }
+            lambda *= config.lambda_up;
+        }
+
+        if !accepted {
+            stop = StopReason::StalledAtLambdaMax;
+            break;
+        }
+        if matches!(stop, StopReason::StepSmall | StopReason::CostConverged) {
+            break;
+        }
+    }
+
+    let predictions: Vec<f64> = xs.iter().map(|&x| model.eval(&beta, x)).collect();
+
+    // Asymptotic standard errors from the final Jacobian.
+    let std_errors = if xs.len() > p {
+        let j = jacobian(model, &beta, xs);
+        let s2 = cost / (xs.len() - p) as f64;
+        match j.gram().inverse() {
+            Ok(cov) => (0..p).map(|i| (s2 * cov[(i, i)].max(0.0)).sqrt()).collect(),
+            Err(_) => Vec::new(),
+        }
+    } else {
+        Vec::new()
+    };
+
+    Ok(FitResult {
+        rmse: rmse(&predictions, ys),
+        r_squared: r_squared(&predictions, ys),
+        beta,
+        cost,
+        iterations,
+        stop,
+        std_errors,
+    })
+}
+
+/// Convenience wrapper: fit with the default configuration and the model's
+/// initial guess.
+pub fn fit_default<M: FitModel>(model: &M, xs: &[f64], ys: &[f64]) -> Result<FitResult, FitError> {
+    fit(model, xs, ys, None, &LmConfig::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Polynomial, PowerLaw, SaturatingExp};
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{x} vs {y} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn recovers_exact_linear_coefficients() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 0.5 * x).collect();
+        let r = fit_default(&Polynomial::linear(), &xs, &ys).unwrap();
+        assert!(r.converged(), "{:?}", r.stop);
+        assert_close(&r.beta, &[3.0, 0.5], 1e-8);
+        assert!(r.r_squared > 0.999999);
+    }
+
+    #[test]
+    fn recovers_exact_quadratic_coefficients() {
+        let xs: Vec<f64> = (1..40).map(|i| i as f64 * 10.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1e-4 + 2e-6 * x + 3e-9 * x * x).collect();
+        let r = fit_default(&Polynomial::quadratic(), &xs, &ys).unwrap();
+        assert!(r.converged());
+        assert!((r.beta[0] - 1e-4).abs() < 1e-8);
+        assert!((r.beta[1] - 2e-6).abs() < 1e-10);
+        assert!((r.beta[2] - 3e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn robust_to_noise() {
+        // Deterministic pseudo-noise so the test is reproducible.
+        let xs: Vec<f64> = (1..=300).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| {
+                let noise = ((i as f64 * 12.9898).sin() * 43758.5453).abs().fract() - 0.5;
+                2.0 + 0.1 * x + noise * 0.5
+            })
+            .collect();
+        let r = fit_default(&Polynomial::linear(), &xs, &ys).unwrap();
+        assert!((r.beta[0] - 2.0).abs() < 0.2, "intercept {}", r.beta[0]);
+        assert!((r.beta[1] - 0.1).abs() < 0.01, "slope {}", r.beta[1]);
+        assert!(r.r_squared > 0.99);
+    }
+
+    #[test]
+    fn fits_nonlinear_power_law() {
+        let xs: Vec<f64> = (1..60).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.5 * x.powf(1.7)).collect();
+        let r = fit(&PowerLaw, &xs, &ys, Some(&[1.0, 1.0]), &LmConfig::default()).unwrap();
+        assert!((r.beta[0] - 0.5).abs() < 1e-4, "beta {:?}", r.beta);
+        assert!((r.beta[1] - 1.7).abs() < 1e-4, "beta {:?}", r.beta);
+    }
+
+    #[test]
+    fn fits_saturating_exponential() {
+        let xs: Vec<f64> = (0..40).map(|i| i as f64 * 0.5).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 200.0 * (1.0 - (-x / 4.0).exp())).collect();
+        let r =
+            fit(&SaturatingExp, &xs, &ys, Some(&[100.0, 1.0]), &LmConfig::default()).unwrap();
+        assert!((r.beta[0] - 200.0).abs() < 1e-3, "beta {:?}", r.beta);
+        assert!((r.beta[1] - 4.0).abs() < 1e-4, "beta {:?}", r.beta);
+    }
+
+    #[test]
+    fn rejects_mismatched_data() {
+        let e = fit_default(&Polynomial::linear(), &[1.0, 2.0], &[1.0]).unwrap_err();
+        assert!(matches!(e, FitError::BadData { .. }));
+    }
+
+    #[test]
+    fn rejects_empty_data() {
+        let e = fit_default(&Polynomial::linear(), &[], &[]).unwrap_err();
+        assert!(matches!(e, FitError::BadData { .. }));
+    }
+
+    #[test]
+    fn rejects_underdetermined() {
+        let e = fit_default(&Polynomial::quadratic(), &[1.0, 2.0], &[1.0, 2.0]).unwrap_err();
+        assert!(matches!(e, FitError::Underdetermined { points: 2, params: 3 }));
+    }
+
+    #[test]
+    fn perfect_fit_has_near_zero_cost() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [5.0, 5.0, 5.0, 5.0];
+        let r = fit_default(&Polynomial::new(0), &xs, &ys).unwrap();
+        assert!(r.cost < 1e-20);
+        assert!((r.beta[0] - 5.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn std_errors_shrink_with_less_noise() {
+        let xs: Vec<f64> = (1..=200).map(|i| i as f64).collect();
+        let make = |amp: f64| -> Vec<f64> {
+            xs.iter()
+                .enumerate()
+                .map(|(i, x)| {
+                    let noise = ((i as f64 * 12.9898).sin() * 43758.5453).abs().fract() - 0.5;
+                    2.0 + 0.1 * x + amp * noise
+                })
+                .collect()
+        };
+        let noisy = fit_default(&Polynomial::linear(), &xs, &make(1.0)).unwrap();
+        let clean = fit_default(&Polynomial::linear(), &xs, &make(0.01)).unwrap();
+        assert_eq!(noisy.std_errors.len(), 2);
+        assert!(clean.std_errors[1] < noisy.std_errors[1]);
+        // The true slope lies within ~3 standard errors of the estimate.
+        assert!((noisy.beta[1] - 0.1).abs() < 3.0 * noisy.std_errors[1] + 1e-9);
+    }
+
+    #[test]
+    fn exact_fit_has_negligible_std_errors() {
+        let xs: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1.0 + 2.0 * x).collect();
+        let r = fit_default(&Polynomial::linear(), &xs, &ys).unwrap();
+        assert!(r.std_errors.iter().all(|e| *e < 1e-6), "{:?}", r.std_errors);
+    }
+
+    #[test]
+    fn iteration_budget_respected() {
+        let xs: Vec<f64> = (1..30).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.5 * x.powf(1.7)).collect();
+        let cfg = LmConfig { max_iterations: 2, ..LmConfig::default() };
+        let r = fit(&PowerLaw, &xs, &ys, Some(&[1.0, 1.0]), &cfg).unwrap();
+        assert!(r.iterations <= 2);
+    }
+}

@@ -1,0 +1,507 @@
+//! Small dense matrices and direct solvers.
+//!
+//! The Levenberg–Marquardt fitter in [`crate::lm`] only ever solves systems
+//! whose dimension equals the number of model coefficients (2–4 for the
+//! linear/quadratic approximation functions of the paper), so a simple
+//! row-major dense matrix with LU and Cholesky decompositions is all we need.
+//! Everything is `f64`; no SIMD or blocking is warranted at these sizes.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f64` values.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Errors produced by matrix construction and solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MatrixError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Shape of the left operand (rows, cols).
+        left: (usize, usize),
+        /// Shape of the right operand (rows, cols).
+        right: (usize, usize),
+    },
+    /// The matrix is singular (or numerically so) and cannot be factorized.
+    Singular,
+    /// Cholesky factorization requires a (symmetric) positive-definite matrix.
+    NotPositiveDefinite,
+    /// The operation requires a square matrix.
+    NotSquare,
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {}x{} vs {}x{}", left.0, left.1, right.0, right.1)
+            }
+            MatrixError::Singular => write!(f, "matrix is singular"),
+            MatrixError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
+            MatrixError::NotSquare => write!(f, "matrix is not square"),
+        }
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+impl Matrix {
+    /// Creates a matrix of the given shape filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n`-by-`n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length must equal rows*cols");
+        Self { rows, cols, data }
+    }
+
+    /// Creates a matrix from nested row slices (convenient in tests).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "all rows must have equal length");
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Borrow the underlying row-major data.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Returns the transpose of the matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, MatrixError> {
+        if self.cols != rhs.rows {
+            return Err(MatrixError::ShapeMismatch {
+                left: (self.rows, self.cols),
+                right: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += aik * rhs[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, MatrixError> {
+        if self.cols != v.len() {
+            return Err(MatrixError::ShapeMismatch {
+                left: (self.rows, self.cols),
+                right: (v.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.rows];
+        for (i, o) in out.iter_mut().enumerate() {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            *o = row.iter().zip(v).map(|(a, b)| a * b).sum();
+        }
+        Ok(out)
+    }
+
+    /// Computes `Aᵀ·A`, the normal-equations matrix, exploiting symmetry.
+    pub fn gram(&self) -> Matrix {
+        let n = self.cols;
+        let mut g = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let mut s = 0.0;
+                for r in 0..self.rows {
+                    s += self[(r, i)] * self[(r, j)];
+                }
+                g[(i, j)] = s;
+                g[(j, i)] = s;
+            }
+        }
+        g
+    }
+
+    /// Computes `Aᵀ·v`.
+    pub fn t_matvec(&self, v: &[f64]) -> Result<Vec<f64>, MatrixError> {
+        if self.rows != v.len() {
+            return Err(MatrixError::ShapeMismatch {
+                left: (self.rows, self.cols),
+                right: (v.len(), 1),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let vr = v[r];
+            for c in 0..self.cols {
+                out[c] += self[(r, c)] * vr;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Solves `self * x = b` by LU decomposition with partial pivoting.
+    pub fn solve_lu(&self, b: &[f64]) -> Result<Vec<f64>, MatrixError> {
+        if !self.is_square() {
+            return Err(MatrixError::NotSquare);
+        }
+        let n = self.rows;
+        if b.len() != n {
+            return Err(MatrixError::ShapeMismatch { left: (n, n), right: (b.len(), 1) });
+        }
+        let mut a = self.data.clone();
+        let mut x: Vec<f64> = b.to_vec();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for col in 0..n {
+            // Partial pivoting: find the largest magnitude entry in this column.
+            let mut pivot_row = col;
+            let mut pivot_val = a[perm[col] * n + col].abs();
+            for (row, &p_row) in perm.iter().enumerate().take(n).skip(col + 1) {
+                let v = a[p_row * n + col].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = row;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(MatrixError::Singular);
+            }
+            perm.swap(col, pivot_row);
+
+            let p = perm[col];
+            let pivot = a[p * n + col];
+            for &r in perm.iter().take(n).skip(col + 1) {
+                let factor = a[r * n + col] / pivot;
+                a[r * n + col] = 0.0;
+                for c in (col + 1)..n {
+                    a[r * n + c] -= factor * a[p * n + c];
+                }
+                x[r] -= factor * x[p];
+            }
+        }
+
+        // Back substitution in permuted order.
+        let mut out = vec![0.0; n];
+        for col in (0..n).rev() {
+            let p = perm[col];
+            let mut s = x[p];
+            for c in (col + 1)..n {
+                s -= a[p * n + c] * out[c];
+            }
+            out[col] = s / a[p * n + col];
+        }
+        Ok(out)
+    }
+
+    /// Solves `self * x = b` by Cholesky decomposition.
+    ///
+    /// Requires `self` to be symmetric positive definite (as `JᵀJ + λ·diag`
+    /// is in Levenberg–Marquardt whenever the Jacobian has full column rank).
+    pub fn solve_cholesky(&self, b: &[f64]) -> Result<Vec<f64>, MatrixError> {
+        if !self.is_square() {
+            return Err(MatrixError::NotSquare);
+        }
+        let n = self.rows;
+        if b.len() != n {
+            return Err(MatrixError::ShapeMismatch { left: (n, n), right: (b.len(), 1) });
+        }
+        // Lower-triangular factor L with self = L·Lᵀ.
+        let mut l = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = self[(i, j)];
+                for k in 0..j {
+                    s -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if s <= 0.0 || !s.is_finite() {
+                        return Err(MatrixError::NotPositiveDefinite);
+                    }
+                    l[i * n + i] = s.sqrt();
+                } else {
+                    l[i * n + j] = s / l[j * n + j];
+                }
+            }
+        }
+        // Forward solve L·y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= l[i * n + k] * y[k];
+            }
+            y[i] = s / l[i * n + i];
+        }
+        // Backward solve Lᵀ·x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= l[k * n + i] * x[k];
+            }
+            x[i] = s / l[i * n + i];
+        }
+        Ok(x)
+    }
+
+    /// Inverts a square matrix by solving against the identity columns
+    /// (LU with partial pivoting). Errors if singular.
+    pub fn inverse(&self) -> Result<Matrix, MatrixError> {
+        if !self.is_square() {
+            return Err(MatrixError::NotSquare);
+        }
+        let n = self.rows;
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0f64; n];
+        for col in 0..n {
+            e[col] = 1.0;
+            let x = self.solve_lu(&e)?;
+            for row in 0..n {
+                inv[(row, col)] = x[row];
+            }
+            e[col] = 0.0;
+        }
+        Ok(inv)
+    }
+
+    /// Maximum absolute difference to another matrix (used by tests).
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{:>12.5e} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Dot product of two equal-length vectors.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm of a vector.
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Infinity norm (maximum absolute component) of a vector.
+pub fn norm_inf(a: &[f64]) -> f64 {
+    a.iter().map(|x| x.abs()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{x} vs {y} (tol {tol})");
+        }
+    }
+
+    #[test]
+    fn identity_solves_to_rhs() {
+        let m = Matrix::identity(4);
+        let b = [1.0, -2.0, 3.5, 0.0];
+        assert_close(&m.solve_lu(&b).unwrap(), &b, 1e-12);
+        assert_close(&m.solve_cholesky(&b).unwrap(), &b, 1e-12);
+    }
+
+    #[test]
+    fn lu_solves_known_system() {
+        // 2x + y = 5; x + 3y = 10  =>  x = 1, y = 3
+        let m = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = m.solve_lu(&[5.0, 10.0]).unwrap();
+        assert_close(&x, &[1.0, 3.0], 1e-12);
+    }
+
+    #[test]
+    fn lu_requires_pivoting() {
+        // Leading zero pivot forces a row swap.
+        let m = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = m.solve_lu(&[2.0, 3.0]).unwrap();
+        assert_close(&x, &[3.0, 2.0], 1e-12);
+    }
+
+    #[test]
+    fn lu_detects_singular() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(m.solve_lu(&[1.0, 2.0]), Err(MatrixError::Singular));
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        let m = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+        let x = m.solve_cholesky(&[8.0, 7.0]).unwrap();
+        // Verify by substitution.
+        let b = m.matvec(&x).unwrap();
+        assert_close(&b, &[8.0, 7.0], 1e-12);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
+        assert_eq!(m.solve_cholesky(&[1.0, 1.0]), Err(MatrixError::NotPositiveDefinite));
+    }
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_is_error() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(a.matmul(&b), Err(MatrixError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn gram_equals_transpose_times_self() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let g = a.gram();
+        let expected = a.transpose().matmul(&a).unwrap();
+        assert!(g.max_abs_diff(&expected) < 1e-12);
+    }
+
+    #[test]
+    fn t_matvec_matches_transpose() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let v = [1.0, -1.0, 2.0];
+        let got = a.t_matvec(&v).unwrap();
+        let expected = a.transpose().matvec(&v).unwrap();
+        assert_close(&got, &expected, 1e-12);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn lu_and_cholesky_agree_on_spd() {
+        let m = Matrix::from_rows(&[
+            &[6.0, 2.0, 1.0],
+            &[2.0, 5.0, 2.0],
+            &[1.0, 2.0, 4.0],
+        ]);
+        let b = [1.0, 2.0, 3.0];
+        let x1 = m.solve_lu(&b).unwrap();
+        let x2 = m.solve_cholesky(&b).unwrap();
+        assert_close(&x1, &x2, 1e-10);
+    }
+
+    #[test]
+    fn inverse_times_self_is_identity() {
+        let m = Matrix::from_rows(&[
+            &[4.0, 2.0, 0.5],
+            &[2.0, 5.0, 1.0],
+            &[0.5, 1.0, 3.0],
+        ]);
+        let inv = m.inverse().unwrap();
+        let prod = m.matmul(&inv).unwrap();
+        assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-10);
+    }
+
+    #[test]
+    fn singular_matrix_has_no_inverse() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        assert_eq!(m.inverse(), Err(MatrixError::Singular));
+    }
+
+    #[test]
+    fn vector_helpers() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(norm_inf(&[-7.0, 2.0]), 7.0);
+    }
+}

@@ -1,0 +1,245 @@
+//! Parametric model functions for curve fitting.
+//!
+//! Section V-A of the paper approximates each measured cost parameter with a
+//! function `f(x) = Σ cᵢ·xⁱ` whose coefficients are found by the
+//! Levenberg–Marquardt algorithm — linear functions for the
+//! (de)serialization and migration costs, quadratic polynomials for `t_ua`
+//! and `t_aoi`. This module defines the [`FitModel`] trait those fits are
+//! expressed against, plus the concrete model families used in the
+//! reproduction.
+
+/// A parametric scalar model `y = f(beta; x)` with analytic gradient.
+pub trait FitModel {
+    /// Number of free coefficients `beta`.
+    fn num_params(&self) -> usize;
+
+    /// Evaluates the model at `x` with coefficients `beta`.
+    fn eval(&self, beta: &[f64], x: f64) -> f64;
+
+    /// Writes `∂f/∂betaᵢ` at `x` into `grad` (length `num_params()`).
+    ///
+    /// The default implementation uses central finite differences; models
+    /// with cheap analytic gradients should override it.
+    fn gradient(&self, beta: &[f64], x: f64, grad: &mut [f64]) {
+        debug_assert_eq!(grad.len(), self.num_params());
+        let mut b = beta.to_vec();
+        for i in 0..self.num_params() {
+            let h = 1e-6 * beta[i].abs().max(1e-6);
+            let orig = b[i];
+            b[i] = orig + h;
+            let up = self.eval(&b, x);
+            b[i] = orig - h;
+            let down = self.eval(&b, x);
+            b[i] = orig;
+            grad[i] = (up - down) / (2.0 * h);
+        }
+    }
+
+    /// A reasonable starting point for the optimizer.
+    fn initial_guess(&self) -> Vec<f64> {
+        vec![0.1; self.num_params()]
+    }
+}
+
+/// Polynomial model `f(x) = beta[0] + beta[1]·x + … + beta[d]·x^d`.
+///
+/// `degree = 1` is the linear approximation the paper uses for
+/// `t_ua_dser`, `t_fa`, `t_fa_dser`, `t_su`, `t_mig_ini` and `t_mig_rcv`;
+/// `degree = 2` is the quadratic used for `t_ua` and `t_aoi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Polynomial {
+    degree: usize,
+}
+
+impl Polynomial {
+    /// Creates a polynomial model of the given degree (`>= 0`).
+    pub fn new(degree: usize) -> Self {
+        Self { degree }
+    }
+
+    /// The linear model `c0 + c1·x`.
+    pub fn linear() -> Self {
+        Self::new(1)
+    }
+
+    /// The quadratic model `c0 + c1·x + c2·x²`.
+    pub fn quadratic() -> Self {
+        Self::new(2)
+    }
+
+    /// Degree of the polynomial.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+}
+
+impl FitModel for Polynomial {
+    fn num_params(&self) -> usize {
+        self.degree + 1
+    }
+
+    fn eval(&self, beta: &[f64], x: f64) -> f64 {
+        // Horner's rule, highest coefficient first.
+        beta.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    fn gradient(&self, beta: &[f64], x: f64, grad: &mut [f64]) {
+        debug_assert_eq!(beta.len(), self.num_params());
+        let mut p = 1.0;
+        for g in grad.iter_mut() {
+            *g = p;
+            p *= x;
+        }
+    }
+
+    fn initial_guess(&self) -> Vec<f64> {
+        vec![0.0; self.num_params()]
+    }
+}
+
+/// Power-law model `f(x) = beta[0] · x^beta[1]`.
+///
+/// Not used by the paper's fits but useful for diagnosing whether a measured
+/// cost grows super-linearly before committing to a polynomial degree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PowerLaw;
+
+impl FitModel for PowerLaw {
+    fn num_params(&self) -> usize {
+        2
+    }
+
+    fn eval(&self, beta: &[f64], x: f64) -> f64 {
+        beta[0] * x.powf(beta[1])
+    }
+
+    fn gradient(&self, beta: &[f64], x: f64, grad: &mut [f64]) {
+        let xp = x.powf(beta[1]);
+        grad[0] = xp;
+        // d/db1 (b0 * x^b1) = b0 * x^b1 * ln(x); guard ln(0).
+        grad[1] = if x > 0.0 { beta[0] * xp * x.ln() } else { 0.0 };
+    }
+
+    fn initial_guess(&self) -> Vec<f64> {
+        vec![1.0, 1.0]
+    }
+}
+
+/// Saturating-exponential model `f(x) = beta[0]·(1 - exp(-x / beta[1]))`.
+///
+/// Models quantities that approach a ceiling, such as the effective user
+/// capacity as replicas are added (§III-A's diminishing returns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaturatingExp;
+
+impl FitModel for SaturatingExp {
+    fn num_params(&self) -> usize {
+        2
+    }
+
+    fn eval(&self, beta: &[f64], x: f64) -> f64 {
+        beta[0] * (1.0 - (-x / beta[1]).exp())
+    }
+
+    fn gradient(&self, beta: &[f64], x: f64, grad: &mut [f64]) {
+        let e = (-x / beta[1]).exp();
+        grad[0] = 1.0 - e;
+        grad[1] = -beta[0] * e * x / (beta[1] * beta[1]);
+    }
+
+    fn initial_guess(&self) -> Vec<f64> {
+        vec![1.0, 1.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_gradient<M: FitModel>(model: &M, beta: &[f64], x: f64) {
+        let mut analytic = vec![0.0; model.num_params()];
+        model.gradient(beta, x, &mut analytic);
+
+        // Finite-difference reference.
+        let mut b = beta.to_vec();
+        for i in 0..model.num_params() {
+            let h = 1e-6 * beta[i].abs().max(1e-6);
+            let orig = b[i];
+            b[i] = orig + h;
+            let up = model.eval(&b, x);
+            b[i] = orig - h;
+            let down = model.eval(&b, x);
+            b[i] = orig;
+            let fd = (up - down) / (2.0 * h);
+            let scale = analytic[i].abs().max(fd.abs()).max(1.0);
+            assert!(
+                (analytic[i] - fd).abs() / scale < 1e-4,
+                "param {i}: analytic {} vs fd {}",
+                analytic[i],
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn polynomial_eval_horner() {
+        let p = Polynomial::quadratic();
+        // 1 + 2x + 3x² at x = 2 => 17
+        assert_eq!(p.eval(&[1.0, 2.0, 3.0], 2.0), 17.0);
+    }
+
+    #[test]
+    fn polynomial_degree_zero_is_constant() {
+        let p = Polynomial::new(0);
+        assert_eq!(p.num_params(), 1);
+        assert_eq!(p.eval(&[4.5], 123.0), 4.5);
+    }
+
+    #[test]
+    fn polynomial_gradient_is_powers_of_x() {
+        let p = Polynomial::new(3);
+        let mut g = vec![0.0; 4];
+        p.gradient(&[0.0; 4], 2.0, &mut g);
+        assert_eq!(g, vec![1.0, 2.0, 4.0, 8.0]);
+    }
+
+    #[test]
+    fn polynomial_gradient_matches_fd() {
+        check_gradient(&Polynomial::quadratic(), &[0.5, -1.0, 2.0], 3.0);
+    }
+
+    #[test]
+    fn power_law_gradient_matches_fd() {
+        check_gradient(&PowerLaw, &[2.0, 1.5], 3.0);
+    }
+
+    #[test]
+    fn saturating_exp_gradient_matches_fd() {
+        check_gradient(&SaturatingExp, &[10.0, 5.0], 2.0);
+    }
+
+    #[test]
+    fn saturating_exp_approaches_ceiling() {
+        let m = SaturatingExp;
+        let beta = [42.0, 1.0];
+        assert!(m.eval(&beta, 100.0) > 41.99);
+        assert!(m.eval(&beta, 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_fd_gradient_works() {
+        // A model that does not override `gradient`.
+        struct Cubic;
+        impl FitModel for Cubic {
+            fn num_params(&self) -> usize {
+                1
+            }
+            fn eval(&self, beta: &[f64], x: f64) -> f64 {
+                beta[0] * x * x * x
+            }
+        }
+        let mut g = [0.0];
+        Cubic.gradient(&[2.0], 3.0, &mut g);
+        assert!((g[0] - 27.0).abs() < 1e-3);
+    }
+}

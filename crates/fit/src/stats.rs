@@ -1,0 +1,178 @@
+//! Fit-quality statistics and small summary helpers.
+//!
+//! The paper judges its approximation functions visually (Fig. 4/6); we
+//! additionally report R² and RMSE so EXPERIMENTS.md can state fit quality
+//! numerically, and provide the mean/variance helpers the measurement
+//! campaigns use to aggregate noisy per-tick samples.
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; 0.0 for slices with fewer than two elements.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Median of the samples (averages the middle pair for even lengths);
+/// 0.0 for an empty slice.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) using linear interpolation between ranks.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in samples"));
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Residual vector `prediction − observation`.
+pub fn residuals(predictions: &[f64], observations: &[f64]) -> Vec<f64> {
+    debug_assert_eq!(predictions.len(), observations.len());
+    predictions.iter().zip(observations).map(|(p, o)| p - o).collect()
+}
+
+/// Root-mean-square error between predictions and observations.
+pub fn rmse(predictions: &[f64], observations: &[f64]) -> f64 {
+    debug_assert_eq!(predictions.len(), observations.len());
+    if predictions.is_empty() {
+        return 0.0;
+    }
+    let ss: f64 = predictions
+        .iter()
+        .zip(observations)
+        .map(|(p, o)| (p - o) * (p - o))
+        .sum();
+    (ss / predictions.len() as f64).sqrt()
+}
+
+/// Coefficient of determination R² = 1 − SS_res / SS_tot.
+///
+/// Returns 1.0 when the observations are constant and perfectly predicted,
+/// and can be negative for fits worse than predicting the mean.
+pub fn r_squared(predictions: &[f64], observations: &[f64]) -> f64 {
+    debug_assert_eq!(predictions.len(), observations.len());
+    if observations.is_empty() {
+        return 1.0;
+    }
+    let m = mean(observations);
+    let ss_tot: f64 = observations.iter().map(|o| (o - m) * (o - m)).sum();
+    let ss_res: f64 = predictions
+        .iter()
+        .zip(observations)
+        .map(|(p, o)| (p - o) * (p - o))
+        .sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_known_values() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn variance_of_known_values() {
+        // Population variance of [2, 4, 4, 4, 5, 5, 7, 9] is 4.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_degenerate_cases() {
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(quantile(&xs, 0.0), 0.0);
+        assert_eq!(quantile(&xs, 1.0), 10.0);
+        assert_eq!(quantile(&xs, 0.25), 2.5);
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range() {
+        let xs = [1.0, 2.0, 3.0];
+        assert_eq!(quantile(&xs, -1.0), 1.0);
+        assert_eq!(quantile(&xs, 2.0), 3.0);
+    }
+
+    #[test]
+    fn rmse_known_value() {
+        // Errors 1 and -1 => RMSE 1.
+        assert!((rmse(&[1.0, 3.0], &[0.0, 4.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(rmse(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn r_squared_perfect_and_mean_predictor() {
+        let obs = [1.0, 2.0, 3.0, 4.0];
+        assert!((r_squared(&obs, &obs) - 1.0).abs() < 1e-12);
+        let mean_pred = [2.5; 4];
+        assert!(r_squared(&mean_pred, &obs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_squared_constant_observations() {
+        let obs = [5.0; 3];
+        assert_eq!(r_squared(&[5.0; 3], &obs), 1.0);
+        assert_eq!(r_squared(&[4.0; 3], &obs), 0.0);
+    }
+
+    #[test]
+    fn residuals_signs() {
+        assert_eq!(residuals(&[2.0, 1.0], &[1.0, 2.0]), vec![1.0, -1.0]);
+    }
+}

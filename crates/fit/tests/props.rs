@@ -1,0 +1,147 @@
+//! Property-based tests for the linear algebra and the Levenberg–Marquardt
+//! fitter: solver correctness on random well-conditioned systems and exact
+//! coefficient recovery on noiseless data.
+
+use proptest::prelude::*;
+use roia_fit::lm::fit_default;
+use roia_fit::matrix::{norm_inf, Matrix};
+use roia_fit::model::{FitModel, Polynomial};
+use roia_fit::stats::{mean, quantile, r_squared, rmse};
+
+/// A strictly diagonally dominant matrix (guaranteed nonsingular, and SPD
+/// when symmetrized) of size `n`.
+fn dominant_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |vals| {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                m[(i, j)] = vals[i * n + j];
+            }
+            m[(i, i)] = n as f64 + 1.0 + vals[i * n + i].abs();
+        }
+        m
+    })
+}
+
+proptest! {
+    #[test]
+    fn lu_solves_dominant_systems(
+        m in (2usize..6).prop_flat_map(dominant_matrix),
+        scale in 0.1f64..10.0,
+    ) {
+        let n = m.rows();
+        let b: Vec<f64> = (0..n).map(|i| scale * (i as f64 + 1.0)).collect();
+        let x = m.solve_lu(&b).unwrap();
+        let back = m.matvec(&x).unwrap();
+        let err: Vec<f64> = back.iter().zip(&b).map(|(a, c)| a - c).collect();
+        prop_assert!(norm_inf(&err) < 1e-8, "residual {err:?}");
+    }
+
+    #[test]
+    fn cholesky_matches_lu_on_spd(m in (2usize..6).prop_flat_map(dominant_matrix)) {
+        // Symmetrize: (M + Mᵀ)/2 keeps diagonal dominance ⇒ SPD.
+        let n = m.rows();
+        let mt = m.transpose();
+        let mut spd = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                spd[(i, j)] = 0.5 * (m[(i, j)] + mt[(i, j)]);
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|i| i as f64 - 1.5).collect();
+        let x1 = spd.solve_lu(&b).unwrap();
+        let x2 = spd.solve_cholesky(&b).unwrap();
+        for (a, c) in x1.iter().zip(&x2) {
+            prop_assert!((a - c).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn gram_is_symmetric_and_psd_diagonal(
+        rows in 2usize..8,
+        cols in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let mut m = Matrix::zeros(rows, cols);
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        for i in 0..rows {
+            for j in 0..cols {
+                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                m[(i, j)] = ((state >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0;
+            }
+        }
+        let g = m.gram();
+        for i in 0..cols {
+            prop_assert!(g[(i, i)] >= 0.0, "diagonal of JᵀJ is nonnegative");
+            for j in 0..cols {
+                prop_assert!((g[(i, j)] - g[(j, i)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn lm_recovers_linear_coefficients(
+        c0 in -10.0f64..10.0,
+        c1 in -1.0f64..1.0,
+    ) {
+        let xs: Vec<f64> = (0..40).map(|i| i as f64 * 5.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| c0 + c1 * x).collect();
+        let fit = fit_default(&Polynomial::linear(), &xs, &ys).unwrap();
+        prop_assert!((fit.beta[0] - c0).abs() < 1e-6, "c0: {} vs {}", fit.beta[0], c0);
+        prop_assert!((fit.beta[1] - c1).abs() < 1e-7, "c1: {} vs {}", fit.beta[1], c1);
+    }
+
+    #[test]
+    fn lm_recovers_quadratic_coefficients(
+        c0 in 0.0f64..1e-3,
+        c1 in 0.0f64..1e-5,
+        c2 in 0.0f64..1e-8,
+    ) {
+        // Coefficient magnitudes matching the paper's cost fits.
+        let xs: Vec<f64> = (1..40).map(|i| i as f64 * 8.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| c0 + c1 * x + c2 * x * x).collect();
+        let fit = fit_default(&Polynomial::quadratic(), &xs, &ys).unwrap();
+        let model = Polynomial::quadratic();
+        for &x in &[50.0, 150.0, 300.0] {
+            let truth = c0 + c1 * x + c2 * x * x;
+            let got = model.eval(&fit.beta, x);
+            prop_assert!(
+                (got - truth).abs() <= 1e-9 + truth.abs() * 1e-6,
+                "at {x}: {got} vs {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn perfect_fit_has_r2_one_and_zero_rmse(
+        c0 in -5.0f64..5.0,
+        c1 in -0.5f64..0.5,
+    ) {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| c0 + c1 * x).collect();
+        prop_assert!((r_squared(&ys, &ys) - 1.0).abs() < 1e-12);
+        prop_assert!(rmse(&ys, &ys) < 1e-12);
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_bounded(
+        mut xs in proptest::collection::vec(-100.0f64..100.0, 1..50),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = (q1.min(q2), q1.max(q2));
+        let v_lo = quantile(&xs, lo);
+        let v_hi = quantile(&xs, hi);
+        prop_assert!(v_lo <= v_hi + 1e-12);
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert!(v_lo >= xs[0] - 1e-12 && v_hi <= xs[xs.len() - 1] + 1e-12);
+    }
+
+    #[test]
+    fn mean_within_min_max(xs in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let m = mean(&xs);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+}

@@ -1,0 +1,414 @@
+//! The in-process message bus connecting servers and clients.
+//!
+//! The [`Bus`] plays the role of the IP network between RTF processes. Every
+//! participant registers an [`Endpoint`]; messages travel over directed
+//! links whose latency/bandwidth behaviour comes from [`crate::LinkSpec`].
+//! Zero-latency links (the default) deliver synchronously on `send`, so a
+//! lock-step simulation needs no extra pumping; links with latency require
+//! the driver to call [`Bus::advance`] once per simulation tick.
+
+use crate::link::{LinkSpec, LinkState};
+use crate::NodeId;
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A delivered network message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sending node.
+    pub from: NodeId,
+    /// Receiving node.
+    pub to: NodeId,
+    /// Opaque payload (serialized by `rtf-core`'s wire format).
+    pub payload: Bytes,
+}
+
+/// Errors surfaced by the bus.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetError {
+    /// The destination node is not registered (or was shut down).
+    UnknownNode(NodeId),
+    /// The source node is not registered.
+    UnknownSender(NodeId),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode(n) => write!(f, "unknown destination {n}"),
+            NetError::UnknownSender(n) => write!(f, "unknown sender {n}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+struct NodeEntry {
+    label: String,
+    tx: Sender<Message>,
+}
+
+#[derive(Default)]
+struct BusInner {
+    next_id: u32,
+    now_tick: u64,
+    nodes: HashMap<NodeId, NodeEntry>,
+    links: HashMap<(NodeId, NodeId), LinkState>,
+    default_spec: LinkSpec,
+}
+
+impl BusInner {
+    /// Delivers every message due on a link into its destination inbox.
+    fn flush_link(&mut self, key: (NodeId, NodeId)) {
+        let now = self.now_tick;
+        let due = match self.links.get_mut(&key) {
+            Some(link) => link.drain_due(now),
+            None => return,
+        };
+        for msg in due {
+            if let Some(entry) = self.nodes.get(&msg.to) {
+                // A send can only fail if the endpoint was dropped; treat
+                // that as a disconnected node and drop the message, which is
+                // what a real socket close does.
+                let _ = entry.tx.send(msg);
+            }
+        }
+    }
+}
+
+/// The shared message bus. Cheap to clone; all clones refer to the same
+/// network.
+#[derive(Clone, Default)]
+pub struct Bus {
+    inner: Arc<Mutex<BusInner>>,
+}
+
+impl Bus {
+    /// Creates an empty bus whose links default to [`LinkSpec::IDEAL`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a bus whose unconfigured links use `default_spec`.
+    pub fn with_default_link(default_spec: LinkSpec) -> Self {
+        let bus = Self::new();
+        bus.inner.lock().default_spec = default_spec;
+        bus
+    }
+
+    /// Registers a new endpoint with a human-readable label.
+    pub fn register(&self, label: &str) -> Endpoint {
+        let (tx, rx) = unbounded();
+        let mut inner = self.inner.lock();
+        let id = NodeId(inner.next_id);
+        inner.next_id += 1;
+        inner.nodes.insert(id, NodeEntry { label: label.to_owned(), tx });
+        Endpoint { id, rx, bus: self.clone() }
+    }
+
+    /// Removes an endpoint; in-flight messages to it are dropped on arrival.
+    pub fn unregister(&self, id: NodeId) {
+        self.inner.lock().nodes.remove(&id);
+    }
+
+    /// The label an endpoint registered with.
+    pub fn label(&self, id: NodeId) -> Option<String> {
+        self.inner.lock().nodes.get(&id).map(|e| e.label.clone())
+    }
+
+    /// Number of registered endpoints.
+    pub fn node_count(&self) -> usize {
+        self.inner.lock().nodes.len()
+    }
+
+    /// Configures the directed link `from → to`.
+    pub fn set_link(&self, from: NodeId, to: NodeId, spec: LinkSpec) {
+        let mut inner = self.inner.lock();
+        inner.links.insert((from, to), LinkState::new(spec));
+    }
+
+    /// Sends `payload` from `from` to `to` over the configured link
+    /// (creating one with the default spec on first use).
+    pub fn send(&self, from: NodeId, to: NodeId, payload: Bytes) -> Result<(), NetError> {
+        let mut inner = self.inner.lock();
+        if !inner.nodes.contains_key(&from) {
+            return Err(NetError::UnknownSender(from));
+        }
+        if !inner.nodes.contains_key(&to) {
+            return Err(NetError::UnknownNode(to));
+        }
+        let key = (from, to);
+        let default_spec = inner.default_spec;
+        let now = inner.now_tick;
+        let link = inner.links.entry(key).or_insert_with(|| LinkState::new(default_spec));
+        link.enqueue(now, Message { from, to, payload });
+        // Zero-latency traffic is deliverable right away.
+        inner.flush_link(key);
+        Ok(())
+    }
+
+    /// Advances simulated time to `now_tick` and delivers everything due on
+    /// every link. Only needed when links have latency or bandwidth caps.
+    pub fn advance(&self, now_tick: u64) {
+        let mut inner = self.inner.lock();
+        inner.now_tick = now_tick;
+        let keys: Vec<(NodeId, NodeId)> = inner.links.keys().copied().collect();
+        for key in keys {
+            inner.flush_link(key);
+        }
+    }
+
+    /// Current simulated tick of the bus clock.
+    pub fn now(&self) -> u64 {
+        self.inner.lock().now_tick
+    }
+
+    /// A snapshot of the per-link traffic counters.
+    pub fn stats(&self) -> TrafficStats {
+        let inner = self.inner.lock();
+        let mut per_link = HashMap::new();
+        for (key, link) in &inner.links {
+            per_link.insert(
+                *key,
+                LinkTraffic {
+                    bytes_sent: link.bytes_sent,
+                    bytes_delivered: link.bytes_delivered,
+                    messages_sent: link.messages_sent,
+                    in_flight: link.in_flight() as u64,
+                },
+            );
+        }
+        TrafficStats { per_link }
+    }
+}
+
+/// Traffic counters of one directed link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LinkTraffic {
+    /// Payload bytes ever sent on the link.
+    pub bytes_sent: u64,
+    /// Payload bytes delivered to the destination inbox.
+    pub bytes_delivered: u64,
+    /// Messages ever sent on the link.
+    pub messages_sent: u64,
+    /// Messages currently in flight.
+    pub in_flight: u64,
+}
+
+/// Aggregated traffic statistics for the whole bus.
+#[derive(Debug, Clone, Default)]
+pub struct TrafficStats {
+    per_link: HashMap<(NodeId, NodeId), LinkTraffic>,
+}
+
+impl TrafficStats {
+    /// Counters for the directed link `from → to`.
+    pub fn link(&self, from: NodeId, to: NodeId) -> LinkTraffic {
+        self.per_link.get(&(from, to)).copied().unwrap_or_default()
+    }
+
+    /// Total payload bytes sent across all links.
+    pub fn total_bytes_sent(&self) -> u64 {
+        self.per_link.values().map(|l| l.bytes_sent).sum()
+    }
+
+    /// Total messages sent across all links.
+    pub fn total_messages(&self) -> u64 {
+        self.per_link.values().map(|l| l.messages_sent).sum()
+    }
+
+    /// Bytes sent from `node` to anyone (the paper's \[10\] observed this
+    /// outgoing direction dominating in MMORPGs).
+    pub fn bytes_out_of(&self, node: NodeId) -> u64 {
+        self.per_link
+            .iter()
+            .filter(|((from, _), _)| *from == node)
+            .map(|(_, l)| l.bytes_sent)
+            .sum()
+    }
+
+    /// Bytes sent to `node` from anyone.
+    pub fn bytes_into(&self, node: NodeId) -> u64 {
+        self.per_link
+            .iter()
+            .filter(|((_, to), _)| *to == node)
+            .map(|(_, l)| l.bytes_sent)
+            .sum()
+    }
+}
+
+/// One node's handle on the bus: its identity plus its inbox.
+pub struct Endpoint {
+    id: NodeId,
+    rx: Receiver<Message>,
+    bus: Bus,
+}
+
+impl Endpoint {
+    /// This endpoint's node id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Sends from this endpoint.
+    pub fn send(&self, to: NodeId, payload: Bytes) -> Result<(), NetError> {
+        self.bus.send(self.id, to, payload)
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Message> {
+        match self.rx.try_recv() {
+            Ok(m) => Some(m),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Blocking receive with a timeout (threaded mode; requires zero-latency
+    /// links or an external `advance` pump).
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Option<Message> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Drains every message currently in the inbox.
+    pub fn drain(&self) -> Vec<Message> {
+        let mut out = Vec::new();
+        while let Some(m) = self.try_recv() {
+            out.push(m);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Endpoint({})", self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_assigns_unique_ids() {
+        let bus = Bus::new();
+        let a = bus.register("a");
+        let b = bus.register("b");
+        assert_ne!(a.id(), b.id());
+        assert_eq!(bus.node_count(), 2);
+        assert_eq!(bus.label(a.id()).as_deref(), Some("a"));
+    }
+
+    #[test]
+    fn zero_latency_send_is_synchronous() {
+        let bus = Bus::new();
+        let a = bus.register("a");
+        let b = bus.register("b");
+        a.send(b.id(), Bytes::from_static(b"hi")).unwrap();
+        assert_eq!(b.try_recv().unwrap().payload, Bytes::from_static(b"hi"));
+    }
+
+    #[test]
+    fn latency_link_requires_advance() {
+        let bus = Bus::new();
+        let a = bus.register("a");
+        let b = bus.register("b");
+        bus.set_link(a.id(), b.id(), LinkSpec::with_latency(2));
+        a.send(b.id(), Bytes::from_static(b"later")).unwrap();
+        assert!(b.try_recv().is_none());
+        bus.advance(1);
+        assert!(b.try_recv().is_none());
+        bus.advance(2);
+        assert!(b.try_recv().is_some());
+    }
+
+    #[test]
+    fn unknown_destination_errors() {
+        let bus = Bus::new();
+        let a = bus.register("a");
+        let err = a.send(NodeId(999), Bytes::new()).unwrap_err();
+        assert_eq!(err, NetError::UnknownNode(NodeId(999)));
+    }
+
+    #[test]
+    fn unknown_sender_errors() {
+        let bus = Bus::new();
+        let a = bus.register("a");
+        let err = bus.send(NodeId(999), a.id(), Bytes::new()).unwrap_err();
+        assert_eq!(err, NetError::UnknownSender(NodeId(999)));
+    }
+
+    #[test]
+    fn unregister_stops_delivery() {
+        let bus = Bus::new();
+        let a = bus.register("a");
+        let b = bus.register("b");
+        bus.unregister(b.id());
+        let err = a.send(b.id(), Bytes::new()).unwrap_err();
+        assert_eq!(err, NetError::UnknownNode(b.id()));
+    }
+
+    #[test]
+    fn in_order_delivery() {
+        let bus = Bus::new();
+        let a = bus.register("a");
+        let b = bus.register("b");
+        for i in 0u8..10 {
+            a.send(b.id(), Bytes::from(vec![i])).unwrap();
+        }
+        let got: Vec<u8> = b.drain().iter().map(|m| m.payload[0]).collect();
+        assert_eq!(got, (0u8..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_count_bytes_and_messages() {
+        let bus = Bus::new();
+        let a = bus.register("a");
+        let b = bus.register("b");
+        a.send(b.id(), Bytes::from(vec![0u8; 100])).unwrap();
+        a.send(b.id(), Bytes::from(vec![0u8; 50])).unwrap();
+        b.send(a.id(), Bytes::from(vec![0u8; 7])).unwrap();
+        let stats = bus.stats();
+        assert_eq!(stats.link(a.id(), b.id()).bytes_sent, 150);
+        assert_eq!(stats.link(a.id(), b.id()).messages_sent, 2);
+        assert_eq!(stats.total_bytes_sent(), 157);
+        assert_eq!(stats.bytes_out_of(a.id()), 150);
+        assert_eq!(stats.bytes_into(a.id()), 7);
+    }
+
+    #[test]
+    fn threaded_send_and_blocking_recv() {
+        let bus = Bus::new();
+        let a = bus.register("a");
+        let b = bus.register("b");
+        let (a_id, b_id) = (a.id(), b.id());
+        let bus2 = bus.clone();
+        let handle = std::thread::spawn(move || {
+            bus2.send(a_id, b_id, Bytes::from_static(b"cross-thread")).unwrap();
+        });
+        let msg = b.recv_timeout(std::time::Duration::from_secs(1)).expect("delivered");
+        assert_eq!(&msg.payload[..], b"cross-thread");
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn bandwidth_cap_applies_across_advances() {
+        let bus = Bus::new();
+        let a = bus.register("a");
+        let b = bus.register("b");
+        bus.set_link(a.id(), b.id(), LinkSpec::with_bandwidth(10));
+        // Three 8-byte messages: one per tick under a 10-byte/tick cap.
+        for _ in 0..3 {
+            a.send(b.id(), Bytes::from(vec![0u8; 8])).unwrap();
+        }
+        assert_eq!(b.drain().len(), 1, "send flushes only the first");
+        bus.advance(1);
+        assert_eq!(b.drain().len(), 1);
+        bus.advance(2);
+        assert_eq!(b.drain().len(), 1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests of the transport: reliable in-order delivery under
+//! arbitrary latency/bandwidth link specs, and exact byte accounting.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use rtf_net::{Bus, LinkSpec};
+
+proptest! {
+    #[test]
+    fn all_messages_delivered_in_order(
+        sizes in proptest::collection::vec(0usize..200, 1..40),
+        latency in 0u32..5,
+        cap in prop_oneof![Just(None), (1u64..500).prop_map(Some)],
+    ) {
+        let bus = Bus::new();
+        let a = bus.register("a");
+        let b = bus.register("b");
+        bus.set_link(a.id(), b.id(), LinkSpec { latency_ticks: latency, bytes_per_tick: cap });
+
+        let total_bytes: usize = sizes.iter().sum();
+        for (i, &size) in sizes.iter().enumerate() {
+            let mut payload = vec![0u8; size.max(1)];
+            payload[0] = i as u8; // sequence marker
+            a.send(b.id(), Bytes::from(payload)).unwrap();
+        }
+
+        // Advance far enough for any latency + bandwidth schedule.
+        let mut received = Vec::new();
+        let horizon = latency as u64 + sizes.len() as u64 * 4 + total_bytes as u64 + 10;
+        for tick in 0..horizon {
+            bus.advance(tick);
+            received.extend(b.drain());
+        }
+        prop_assert_eq!(received.len(), sizes.len(), "nothing lost");
+        for (i, msg) in received.iter().enumerate() {
+            prop_assert_eq!(msg.payload[0], i as u8, "order preserved");
+        }
+    }
+
+    #[test]
+    fn byte_accounting_is_exact(sizes in proptest::collection::vec(1usize..300, 0..30)) {
+        let bus = Bus::new();
+        let a = bus.register("a");
+        let b = bus.register("b");
+        let mut total = 0u64;
+        for &size in &sizes {
+            a.send(b.id(), Bytes::from(vec![0u8; size])).unwrap();
+            total += size as u64;
+        }
+        let stats = bus.stats();
+        prop_assert_eq!(stats.link(a.id(), b.id()).bytes_sent, total);
+        prop_assert_eq!(stats.link(a.id(), b.id()).messages_sent, sizes.len() as u64);
+        prop_assert_eq!(stats.bytes_out_of(a.id()), total);
+        prop_assert_eq!(stats.bytes_into(b.id()), total);
+    }
+
+    #[test]
+    fn bandwidth_cap_limits_per_tick_delivery(
+        count in 1usize..20,
+        size in 10usize..100,
+        cap_factor in 1usize..4,
+    ) {
+        let bus = Bus::new();
+        let a = bus.register("a");
+        let b = bus.register("b");
+        // The cap admits exactly `cap_factor` messages per tick.
+        let cap = (size * cap_factor) as u64;
+        bus.set_link(a.id(), b.id(), LinkSpec::with_bandwidth(cap));
+        for _ in 0..count {
+            a.send(b.id(), Bytes::from(vec![0u8; size])).unwrap();
+        }
+        let mut per_tick = Vec::new();
+        for tick in 0..(count as u64 + 2) {
+            bus.advance(tick);
+            per_tick.push(b.drain().len());
+        }
+        prop_assert_eq!(per_tick.iter().sum::<usize>(), count, "all delivered");
+        for &delivered in &per_tick {
+            prop_assert!(delivered <= cap_factor, "cap exceeded: {delivered} > {cap_factor}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! The four load-balancing actions of RTF-RMS (§IV, Fig. 3).
+
+use rtf_core::zone::ZoneId;
+use rtf_core::net::NodeId;
+
+/// A load-balancing decision emitted by a policy. The session driver (the
+/// `roia-sim` cluster) executes it against the actual servers and resource
+/// pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Action {
+    /// Migrate `users` users from one replica to another (§IV "user
+    /// migration"). The count respects Eq. (5) when emitted by the
+    /// model-driven policy.
+    Migrate {
+        /// Source server.
+        from: NodeId,
+        /// Target server.
+        to: NodeId,
+        /// Number of users to move this round.
+        users: u32,
+    },
+    /// Add a server replicating `zone` (§IV "replication enactment").
+    AddReplica {
+        /// The zone to replicate.
+        zone: ZoneId,
+    },
+    /// Replace `old` with a more powerful machine (§IV "resource
+    /// substitution").
+    Substitute {
+        /// The zone whose replica is substituted.
+        zone: ZoneId,
+        /// The server being replaced.
+        old: NodeId,
+    },
+    /// Shut down an underutilized replica after draining it (§IV "resource
+    /// removal").
+    RemoveReplica {
+        /// The zone losing a replica.
+        zone: ZoneId,
+        /// The server to remove.
+        server: NodeId,
+    },
+}
+
+impl Action {
+    /// Short name for logs and reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Action::Migrate { .. } => "migrate",
+            Action::AddReplica { .. } => "add_replica",
+            Action::Substitute { .. } => "substitute",
+            Action::RemoveReplica { .. } => "remove_replica",
+        }
+    }
+}
+
+/// §IV: after replication enactment, RTF-RMS "migrates n/(l(l+1)) users
+/// from each replica to the new replica in order to distribute users
+/// equally on all (l+1) servers". This computes that per-replica count.
+pub fn rebalance_share(total_users: u32, old_replicas: u32) -> u32 {
+    assert!(old_replicas >= 1);
+    total_users / (old_replicas * (old_replicas + 1))
+}
+
+/// A timestamped record of an executed action.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoggedAction {
+    /// Tick at which the action was emitted.
+    pub tick: u64,
+    /// The action.
+    pub action: Action,
+}
+
+/// History of the actions a controller emitted.
+#[derive(Debug, Clone, Default)]
+pub struct ActionLog {
+    entries: Vec<LoggedAction>,
+}
+
+impl ActionLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an action.
+    pub fn push(&mut self, tick: u64, action: Action) {
+        self.entries.push(LoggedAction { tick, action });
+    }
+
+    /// All entries in emission order.
+    pub fn entries(&self) -> &[LoggedAction] {
+        &self.entries
+    }
+
+    /// Number of actions of a given kind.
+    pub fn count(&self, kind: &str) -> usize {
+        self.entries.iter().filter(|e| e.action.kind() == kind).count()
+    }
+
+    /// Total users moved by migrate actions.
+    pub fn users_migrated(&self) -> u64 {
+        self.entries
+            .iter()
+            .map(|e| match e.action {
+                Action::Migrate { users, .. } => users as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rebalance_share_matches_paper_formula() {
+        // n = 120, l = 2: each of the 2 replicas sends 120/(2·3) = 20 to
+        // the new third replica, ending at 40/40/40.
+        assert_eq!(rebalance_share(120, 2), 20);
+        // n = 235, l = 1: 235/2 = 117 (integer division).
+        assert_eq!(rebalance_share(235, 1), 117);
+    }
+
+    #[test]
+    fn rebalance_share_equalizes() {
+        let n = 300u32;
+        let l = 4u32;
+        let share = rebalance_share(n, l);
+        let per_old = n / l - share;
+        let new_server = share * l;
+        // All five servers end within one share of each other.
+        assert!(per_old.abs_diff(new_server) <= l + 1, "{per_old} vs {new_server}");
+    }
+
+    #[test]
+    fn action_kinds() {
+        assert_eq!(Action::AddReplica { zone: ZoneId(1) }.kind(), "add_replica");
+        assert_eq!(
+            Action::Migrate { from: NodeId(1), to: NodeId(2), users: 3 }.kind(),
+            "migrate"
+        );
+    }
+
+    #[test]
+    fn log_counts_and_sums() {
+        let mut log = ActionLog::new();
+        log.push(10, Action::AddReplica { zone: ZoneId(1) });
+        log.push(11, Action::Migrate { from: NodeId(1), to: NodeId(2), users: 5 });
+        log.push(12, Action::Migrate { from: NodeId(1), to: NodeId(3), users: 7 });
+        assert_eq!(log.count("add_replica"), 1);
+        assert_eq!(log.count("migrate"), 2);
+        assert_eq!(log.users_migrated(), 12);
+        assert_eq!(log.entries()[0].tick, 10);
+    }
+}

@@ -1,0 +1,128 @@
+//! The RTF-RMS control loop.
+//!
+//! The controller is deliberately thin: every control interval (one
+//! "second" of Eq. (5)'s per-second budgets) it feeds the current
+//! [`ZoneSnapshot`] to its [`Policy`] and logs the emitted actions. The
+//! session driver executes them against the servers and the resource pool.
+
+use crate::actions::{Action, ActionLog};
+use crate::monitor::ZoneSnapshot;
+use crate::policy::Policy;
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerConfig {
+    /// Ticks between control rounds (25 ticks at 25 Hz = the 1-second
+    /// granularity of the paper's migrations-per-second budgets).
+    pub control_interval_ticks: u64,
+}
+
+impl Default for ControllerConfig {
+    fn default() -> Self {
+        Self { control_interval_ticks: 25 }
+    }
+}
+
+/// The RTF-RMS controller for one zone.
+pub struct RmsController {
+    policy: Box<dyn Policy>,
+    config: ControllerConfig,
+    log: ActionLog,
+    last_round: Option<u64>,
+}
+
+impl RmsController {
+    /// Creates a controller around a policy.
+    pub fn new(policy: Box<dyn Policy>, config: ControllerConfig) -> Self {
+        Self { policy, config, log: ActionLog::new(), last_round: None }
+    }
+
+    /// The active policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// The action history.
+    pub fn log(&self) -> &ActionLog {
+        &self.log
+    }
+
+    /// Whether a control round is due at `now_tick`.
+    pub fn is_due(&self, now_tick: u64) -> bool {
+        match self.last_round {
+            None => true,
+            Some(last) => now_tick >= last + self.config.control_interval_ticks,
+        }
+    }
+
+    /// Runs one control round if due; returns the actions to execute
+    /// (empty when not due or the policy is satisfied).
+    pub fn control(&mut self, snapshot: &ZoneSnapshot, now_tick: u64) -> Vec<Action> {
+        if !self.is_due(now_tick) {
+            return Vec::new();
+        }
+        self.last_round = Some(now_tick);
+        let actions = self.policy.decide(snapshot, now_tick);
+        for action in &actions {
+            self.log.push(now_tick, *action);
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::ServerSnapshot;
+    use rtf_core::zone::ZoneId;
+    use rtf_core::net::NodeId;
+
+    /// A policy that always emits one AddReplica.
+    struct Always;
+    impl Policy for Always {
+        fn name(&self) -> &'static str {
+            "always"
+        }
+        fn decide(&mut self, snapshot: &ZoneSnapshot, _now: u64) -> Vec<Action> {
+            vec![Action::AddReplica { zone: snapshot.zone }]
+        }
+    }
+
+    fn snapshot() -> ZoneSnapshot {
+        ZoneSnapshot {
+            zone: ZoneId(1),
+            npcs: 0,
+            servers: vec![ServerSnapshot {
+                server: NodeId(0),
+                active_users: 10,
+                avg_tick: 0.01,
+                max_tick: 0.01,
+                speedup: 1.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn control_respects_interval() {
+        let mut c = RmsController::new(Box::new(Always), ControllerConfig::default());
+        assert_eq!(c.control(&snapshot(), 0).len(), 1);
+        assert!(c.control(&snapshot(), 10).is_empty(), "too early");
+        assert!(c.control(&snapshot(), 24).is_empty(), "still too early");
+        assert_eq!(c.control(&snapshot(), 25).len(), 1);
+    }
+
+    #[test]
+    fn actions_are_logged_with_ticks() {
+        let mut c = RmsController::new(Box::new(Always), ControllerConfig::default());
+        c.control(&snapshot(), 0);
+        c.control(&snapshot(), 30);
+        assert_eq!(c.log().count("add_replica"), 2);
+        assert_eq!(c.log().entries()[1].tick, 30);
+    }
+
+    #[test]
+    fn policy_name_passthrough() {
+        let c = RmsController::new(Box::new(Always), ControllerConfig::default());
+        assert_eq!(c.policy_name(), "always");
+    }
+}

@@ -1,0 +1,30 @@
+//! # rtf-rms — dynamic resource management for ROIA
+//!
+//! A reimplementation of *RTF-RMS* (Meiländer et al., Euro-Par 2011
+//! workshops), the resource management system the ICPP 2013 paper upgrades
+//! with its scalability model. The controller monitors the replicas of a
+//! zone ([`monitor`]), decides between the four load-balancing actions of
+//! §IV ([`actions`]) using a pluggable [`policy::Policy`], and leases
+//! machines from a simulated cloud ([`resources`]).
+//!
+//! The [`policy::ModelDriven`] policy is the paper's contribution; the
+//! three baselines ([`policy::StaticInterval`], [`policy::StaticThreshold`],
+//! [`policy::BandwidthProportional`]) reproduce the strategies the paper
+//! positions itself against.
+
+#![warn(missing_docs)]
+
+pub mod actions;
+pub mod controller;
+pub mod monitor;
+pub mod policy;
+pub mod resources;
+
+pub use actions::{rebalance_share, Action, ActionLog, LoggedAction};
+pub use controller::{ControllerConfig, RmsController};
+pub use monitor::{ServerSnapshot, ZoneSnapshot};
+pub use policy::{
+    BandwidthProportional, ModelDriven, ModelDrivenConfig, Policy, PredictiveModelDriven,
+    StaticInterval, StaticThreshold, TrendForecaster,
+};
+pub use resources::{LeaseId, MachineProfile, PoolError, ReadyMachine, ResourcePool};

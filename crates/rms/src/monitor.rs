@@ -1,0 +1,131 @@
+//! Monitoring snapshots — the input to every load-balancing decision.
+//!
+//! RTF-RMS observes each application server's monitored parameters (§IV):
+//! the tick duration averaged over a window, and the user distribution. A
+//! [`ZoneSnapshot`] is one control round's view of one replication group.
+
+use rtf_core::net::NodeId;
+use rtf_core::zone::ZoneId;
+
+/// One server's monitored state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerSnapshot {
+    /// The server.
+    pub server: NodeId,
+    /// Users connected to it (`a` in Eq. (4)).
+    pub active_users: u32,
+    /// Tick duration averaged over the monitoring window (seconds).
+    pub avg_tick: f64,
+    /// Worst tick in the monitoring window (seconds).
+    pub max_tick: f64,
+    /// Relative machine speed (1.0 = the standard profile; resource
+    /// substitution installs faster machines).
+    pub speedup: f64,
+}
+
+/// One replication group's monitored state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoneSnapshot {
+    /// The zone.
+    pub zone: ZoneId,
+    /// NPCs in the zone (`m`).
+    pub npcs: u32,
+    /// The replicas, in stable order.
+    pub servers: Vec<ServerSnapshot>,
+}
+
+impl ZoneSnapshot {
+    /// Number of replicas `l`.
+    pub fn replicas(&self) -> u32 {
+        self.servers.len() as u32
+    }
+
+    /// Total users `n` across the replicas.
+    pub fn total_users(&self) -> u32 {
+        self.servers.iter().map(|s| s.active_users).sum()
+    }
+
+    /// User counts in server order (the planner input).
+    pub fn user_counts(&self) -> Vec<u32> {
+        self.servers.iter().map(|s| s.active_users).collect()
+    }
+
+    /// The most loaded server (by user count), if any.
+    pub fn most_loaded(&self) -> Option<&ServerSnapshot> {
+        self.servers.iter().max_by_key(|s| s.active_users)
+    }
+
+    /// The least loaded server (by user count), if any.
+    pub fn least_loaded(&self) -> Option<&ServerSnapshot> {
+        self.servers.iter().min_by_key(|s| s.active_users)
+    }
+
+    /// Highest windowed-average tick duration across replicas.
+    pub fn worst_avg_tick(&self) -> f64 {
+        self.servers.iter().map(|s| s.avg_tick).fold(0.0, f64::max)
+    }
+
+    /// Difference between the heaviest and lightest server's user count.
+    pub fn imbalance(&self) -> u32 {
+        match (self.most_loaded(), self.least_loaded()) {
+            (Some(hi), Some(lo)) => hi.active_users - lo.active_users,
+            _ => 0,
+        }
+    }
+
+    /// Snapshot for one server, if present.
+    pub fn server(&self, id: NodeId) -> Option<&ServerSnapshot> {
+        self.servers.iter().find(|s| s.server == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(users: &[u32]) -> ZoneSnapshot {
+        ZoneSnapshot {
+            zone: ZoneId(1),
+            npcs: 0,
+            servers: users
+                .iter()
+                .enumerate()
+                .map(|(i, &u)| ServerSnapshot {
+                    server: NodeId(i as u32),
+                    active_users: u,
+                    avg_tick: u as f64 * 1e-4,
+                    max_tick: u as f64 * 1.2e-4,
+                    speedup: 1.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn aggregates() {
+        let z = snap(&[25, 12, 8]);
+        assert_eq!(z.replicas(), 3);
+        assert_eq!(z.total_users(), 45);
+        assert_eq!(z.user_counts(), vec![25, 12, 8]);
+        assert_eq!(z.most_loaded().unwrap().server, NodeId(0));
+        assert_eq!(z.least_loaded().unwrap().server, NodeId(2));
+        assert_eq!(z.imbalance(), 17);
+        assert!((z.worst_avg_tick() - 25.0 * 1e-4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_zone_is_harmless() {
+        let z = snap(&[]);
+        assert_eq!(z.total_users(), 0);
+        assert!(z.most_loaded().is_none());
+        assert_eq!(z.imbalance(), 0);
+        assert_eq!(z.worst_avg_tick(), 0.0);
+    }
+
+    #[test]
+    fn server_lookup() {
+        let z = snap(&[5, 6]);
+        assert_eq!(z.server(NodeId(1)).unwrap().active_users, 6);
+        assert!(z.server(NodeId(9)).is_none());
+    }
+}

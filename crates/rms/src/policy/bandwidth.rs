@@ -1,0 +1,166 @@
+//! The bandwidth-proportional baseline (Bezerra & Geyer \[4\]).
+//!
+//! "In \[4\], the authors allocate the load on heterogeneous server
+//! resources proportionally to each server's networking bandwidth." Each
+//! server gets a capacity weight; every control round the policy migrates
+//! users so the distribution matches the weights, without pacing. Like the
+//! static threshold, the allocation ignores the measured tick duration.
+
+use crate::actions::Action;
+use crate::monitor::ZoneSnapshot;
+use crate::policy::Policy;
+use rtf_core::net::NodeId;
+use std::collections::BTreeMap;
+
+/// The baseline policy.
+pub struct BandwidthProportional {
+    /// Capacity weight per server (e.g. its uplink bandwidth). Servers
+    /// absent from the map default to weight 1.0.
+    pub weights: BTreeMap<NodeId, f64>,
+    /// Deviations up to this many users are tolerated.
+    pub slack: u32,
+    /// Add a replica when total users exceed this per unit of weight.
+    pub users_per_weight_limit: u32,
+}
+
+impl BandwidthProportional {
+    /// Creates the policy with uniform weights.
+    pub fn new(slack: u32, users_per_weight_limit: u32) -> Self {
+        Self { weights: BTreeMap::new(), slack, users_per_weight_limit }
+    }
+
+    /// Sets one server's weight.
+    pub fn set_weight(&mut self, server: NodeId, weight: f64) {
+        assert!(weight > 0.0);
+        self.weights.insert(server, weight);
+    }
+
+    fn weight(&self, server: NodeId) -> f64 {
+        self.weights.get(&server).copied().unwrap_or(1.0)
+    }
+}
+
+impl Policy for BandwidthProportional {
+    fn name(&self) -> &'static str {
+        "bandwidth-proportional"
+    }
+
+    fn decide(&mut self, snapshot: &ZoneSnapshot, _now_tick: u64) -> Vec<Action> {
+        let mut out = Vec::new();
+        if snapshot.servers.is_empty() {
+            return out;
+        }
+        let n = snapshot.total_users();
+        let total_weight: f64 = snapshot.servers.iter().map(|s| self.weight(s.server)).sum();
+        if total_weight <= 0.0 {
+            return out;
+        }
+
+        // Scale out on aggregate pressure.
+        if (n as f64) > self.users_per_weight_limit as f64 * total_weight {
+            out.push(Action::AddReplica { zone: snapshot.zone });
+        }
+
+        // Targets proportional to weight.
+        let mut surpluses: Vec<(NodeId, u32)> = Vec::new();
+        let mut deficits: Vec<(NodeId, u32)> = Vec::new();
+        for s in &snapshot.servers {
+            let target = (n as f64 * self.weight(s.server) / total_weight).round() as u32;
+            if s.active_users > target + self.slack {
+                surpluses.push((s.server, s.active_users - target));
+            } else if s.active_users + self.slack < target {
+                deficits.push((s.server, target - s.active_users));
+            }
+        }
+
+        let mut d_iter = deficits.into_iter();
+        let mut current = d_iter.next();
+        for (src, mut surplus) in surpluses {
+            while surplus > 0 {
+                let Some((dst, need)) = current else { break };
+                let k = surplus.min(need);
+                out.push(Action::Migrate { from: src, to: dst, users: k });
+                surplus -= k;
+                if need > k {
+                    current = Some((dst, need - k));
+                } else {
+                    current = d_iter.next();
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::ServerSnapshot;
+    use rtf_core::zone::ZoneId;
+
+    fn snapshot(users: &[u32]) -> ZoneSnapshot {
+        ZoneSnapshot {
+            zone: ZoneId(1),
+            npcs: 0,
+            servers: users
+                .iter()
+                .enumerate()
+                .map(|(i, &u)| ServerSnapshot {
+                    server: NodeId(i as u32),
+                    active_users: u,
+                    avg_tick: 0.020,
+                    max_tick: 0.022,
+                    speedup: 1.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn uniform_weights_equalize() {
+        let mut p = BandwidthProportional::new(0, 10_000);
+        let actions = p.decide(&snapshot(&[60, 20, 10]), 0);
+        let moved: u32 = actions
+            .iter()
+            .map(|a| match a {
+                Action::Migrate { users, .. } => *users,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(moved, 30, "everything above the 30/30/30 split moves at once");
+    }
+
+    #[test]
+    fn weighted_server_takes_proportional_share() {
+        let mut p = BandwidthProportional::new(0, 10_000);
+        p.set_weight(NodeId(0), 3.0); // 3x the bandwidth of server 1
+        let actions = p.decide(&snapshot(&[40, 40]), 0);
+        // Targets: 60 / 20 ⇒ server 1 sheds 20 to server 0.
+        assert_eq!(
+            actions,
+            vec![Action::Migrate { from: NodeId(1), to: NodeId(0), users: 20 }]
+        );
+    }
+
+    #[test]
+    fn slack_suppresses_churn() {
+        let mut p = BandwidthProportional::new(5, 10_000);
+        assert!(p.decide(&snapshot(&[33, 30, 27]), 0).is_empty());
+    }
+
+    #[test]
+    fn scale_out_on_weight_limit() {
+        let mut p = BandwidthProportional::new(0, 50);
+        // 2 servers × weight 1 × 50 = 100 < 110.
+        let actions = p.decide(&snapshot(&[55, 55]), 0);
+        assert!(actions.iter().any(|a| matches!(a, Action::AddReplica { .. })));
+    }
+
+    #[test]
+    fn tick_duration_is_ignored_by_design() {
+        let mut p = BandwidthProportional::new(0, 10_000);
+        let mut s = snapshot(&[30, 30]);
+        s.servers[0].avg_tick = 0.080; // overloaded, but counts are equal
+        assert!(p.decide(&s, 0).is_empty());
+    }
+}

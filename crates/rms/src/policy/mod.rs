@@ -1,0 +1,36 @@
+//! Load-balancing policies.
+//!
+//! [`ModelDriven`] is the paper's contribution: every decision is gated by
+//! the scalability model's thresholds. The other three reproduce the
+//! strategies the paper compares against in §IV/§VI:
+//!
+//! * [`StaticInterval`] — the *initial* RTF-RMS behaviour: equalize user
+//!   counts at fixed intervals with no regard for migration overhead.
+//! * [`StaticThreshold`] — Duong & Zhou \[7\]: a fixed per-server maximum
+//!   user count triggers migration/scale-out.
+//! * [`BandwidthProportional`] — Bezerra & Geyer \[4\]: load allocated
+//!   proportionally to each server's capacity weight.
+
+mod bandwidth;
+mod model_driven;
+mod predictive;
+mod static_interval;
+mod static_threshold;
+
+pub use bandwidth::BandwidthProportional;
+pub use model_driven::{ModelDriven, ModelDrivenConfig};
+pub use predictive::{PredictiveModelDriven, TrendForecaster};
+pub use static_interval::StaticInterval;
+pub use static_threshold::StaticThreshold;
+
+use crate::actions::Action;
+use crate::monitor::ZoneSnapshot;
+
+/// A load-balancing strategy: maps a monitoring snapshot to actions.
+pub trait Policy: Send {
+    /// Human-readable policy name (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// Decides the actions for one control round.
+    fn decide(&mut self, snapshot: &ZoneSnapshot, now_tick: u64) -> Vec<Action>;
+}

@@ -1,0 +1,405 @@
+//! The scalability-model-driven policy — the paper's improved RTF-RMS.
+//!
+//! Every decision consults the calibrated [`ScalabilityModel`]:
+//!
+//! * **user migration** is paced by Eq. (5): the most loaded server
+//!   initiates at most `x_max_ini` migrations per control round and every
+//!   target receives at most its `x_max_rcv` (Listing 1);
+//! * **replication enactment** fires at 80 % of `n_max(l)` (Fig. 5's
+//!   dashed line) and never beyond `l_max` (Eq. (3));
+//! * **resource substitution** replaces a standard machine once `l_max` is
+//!   reached;
+//! * **resource removal** drains the least loaded replica (with paced
+//!   migrations) once the population fits comfortably on `l − 1` servers.
+
+use crate::actions::Action;
+use crate::monitor::ZoneSnapshot;
+use crate::policy::Policy;
+use roia_model::{MigrationSide, ScalabilityModel};
+use rtf_core::net::NodeId;
+
+/// Tunables of the model-driven policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelDrivenConfig {
+    /// Remove a replica when `n` drops below this fraction of
+    /// `n_max(l − 1)` (hysteresis below the 80 % add-trigger, so the
+    /// controller does not flap).
+    pub remove_fraction: f64,
+    /// Control rounds to wait after requesting a replica before requesting
+    /// another (covers the machine's boot delay).
+    pub replica_cooldown_rounds: u32,
+    /// Ignore imbalance smaller than this many users.
+    pub min_imbalance: u32,
+}
+
+impl Default for ModelDrivenConfig {
+    fn default() -> Self {
+        Self { remove_fraction: 0.6, replica_cooldown_rounds: 4, min_imbalance: 4 }
+    }
+}
+
+/// The model-driven policy (§IV).
+pub struct ModelDriven {
+    model: ScalabilityModel,
+    config: ModelDrivenConfig,
+    draining: Option<NodeId>,
+    cooldown_rounds_left: u32,
+    replicas_last_round: u32,
+}
+
+impl ModelDriven {
+    /// Creates the policy around a calibrated model.
+    pub fn new(model: ScalabilityModel, config: ModelDrivenConfig) -> Self {
+        Self { model, config, draining: None, cooldown_rounds_left: 0, replicas_last_round: 0 }
+    }
+
+    /// The model in use.
+    pub fn model(&self) -> &ScalabilityModel {
+        &self.model
+    }
+
+    /// The server currently being drained for removal, if any.
+    pub fn draining(&self) -> Option<NodeId> {
+        self.draining
+    }
+
+    /// Listing 1: one round of paced migrations from the most loaded server
+    /// toward the underloaded ones. `exclude` removes a server (e.g. a
+    /// draining one) from the target set.
+    fn balance_round(&self, snapshot: &ZoneSnapshot, out: &mut Vec<Action>) {
+        let n = snapshot.total_users();
+        let l = snapshot.replicas();
+        if l < 2 || n == 0 {
+            return;
+        }
+        if snapshot.imbalance() < self.config.min_imbalance.max(1) {
+            return;
+        }
+        let avg = n / l;
+        let Some(s_max) = snapshot.most_loaded() else { return };
+
+        // (ii) the initiate budget of s_max, from its observed tick.
+        let mut ini_left = roia_model::x_max_from_tick(
+            &self.model.params,
+            MigrationSide::Initiate,
+            s_max.avg_tick,
+            n,
+            self.model.u_threshold,
+        );
+        let mut surplus = s_max.active_users.saturating_sub(avg);
+
+        for target in &snapshot.servers {
+            if target.server == s_max.server || ini_left == 0 || surplus == 0 {
+                continue;
+            }
+            let deficit = avg.saturating_sub(target.active_users);
+            if deficit == 0 {
+                continue;
+            }
+            // (iii) the receive budget of the target.
+            let rcv = roia_model::x_max_from_tick(
+                &self.model.params,
+                MigrationSide::Receive,
+                target.avg_tick,
+                n,
+                self.model.u_threshold,
+            );
+            let k = deficit.min(rcv).min(ini_left).min(surplus);
+            if k == 0 {
+                continue;
+            }
+            out.push(Action::Migrate { from: s_max.server, to: target.server, users: k });
+            ini_left -= k;
+            surplus -= k;
+        }
+    }
+
+    /// Paced draining of a replica marked for removal.
+    fn drain_round(&self, snapshot: &ZoneSnapshot, victim: NodeId, out: &mut Vec<Action>) {
+        let Some(v) = snapshot.server(victim) else { return };
+        let n = snapshot.total_users();
+        let mut ini_left = roia_model::x_max_from_tick(
+            &self.model.params,
+            MigrationSide::Initiate,
+            v.avg_tick,
+            n,
+            self.model.u_threshold,
+        );
+        let mut remaining = v.active_users;
+        for target in &snapshot.servers {
+            if target.server == victim || ini_left == 0 || remaining == 0 {
+                continue;
+            }
+            let rcv = roia_model::x_max_from_tick(
+                &self.model.params,
+                MigrationSide::Receive,
+                target.avg_tick,
+                n,
+                self.model.u_threshold,
+            );
+            let k = remaining.min(rcv).min(ini_left);
+            if k == 0 {
+                continue;
+            }
+            out.push(Action::Migrate { from: victim, to: target.server, users: k });
+            ini_left -= k;
+            remaining -= k;
+        }
+    }
+}
+
+impl Policy for ModelDriven {
+    fn name(&self) -> &'static str {
+        "model-driven"
+    }
+
+    fn decide(&mut self, snapshot: &ZoneSnapshot, _now_tick: u64) -> Vec<Action> {
+        let mut out = Vec::new();
+        let l = snapshot.replicas();
+        if l == 0 {
+            return out;
+        }
+        let n = snapshot.total_users();
+        let m = snapshot.npcs;
+
+        // A new replica joined: reset the cooldown.
+        if l > self.replicas_last_round {
+            self.cooldown_rounds_left = 0;
+        }
+        self.replicas_last_round = l;
+        self.cooldown_rounds_left = self.cooldown_rounds_left.saturating_sub(1);
+
+        // Continue an in-progress removal first: drain, then shut down.
+        if let Some(victim) = self.draining {
+            match snapshot.server(victim) {
+                Some(v) if v.active_users == 0 => {
+                    out.push(Action::RemoveReplica { zone: snapshot.zone, server: victim });
+                    self.draining = None;
+                    // The snapshot still lists the victim; further decisions
+                    // wait until the next round sees the updated group.
+                    return out;
+                }
+                Some(_) => {
+                    self.drain_round(snapshot, victim, &mut out);
+                    return out;
+                }
+                None => self.draining = None,
+            }
+        }
+
+        let trigger = self.model.replication_trigger(l, m);
+        let limit = self.model.max_replicas(m);
+
+        if n >= trigger && self.cooldown_rounds_left == 0 {
+            if l < limit.l_max {
+                out.push(Action::AddReplica { zone: snapshot.zone });
+                self.cooldown_rounds_left = self.config.replica_cooldown_rounds;
+            } else {
+                // l_max reached: substitute the most loaded standard
+                // machine, if one is left (§IV).
+                let candidate = snapshot
+                    .servers
+                    .iter()
+                    .filter(|s| s.speedup <= 1.0)
+                    .max_by_key(|s| s.active_users);
+                if let Some(old) = candidate {
+                    out.push(Action::Substitute { zone: snapshot.zone, old: old.server });
+                    self.cooldown_rounds_left = self.config.replica_cooldown_rounds;
+                }
+            }
+        } else if l > 1 && self.draining.is_none() && self.cooldown_rounds_left == 0 {
+            // Scale down when the population fits easily on l − 1 servers.
+            let cap_smaller = self.model.max_users(l - 1, m);
+            if (n as f64) < self.config.remove_fraction * cap_smaller as f64 {
+                if let Some(least) = snapshot.least_loaded() {
+                    self.draining = Some(least.server);
+                    self.drain_round(snapshot, least.server, &mut out);
+                    return out;
+                }
+            }
+        }
+
+        self.balance_round(snapshot, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::ServerSnapshot;
+    use roia_model::{CostFn, ModelParams};
+    use rtf_core::zone::ZoneId;
+
+    /// A model with a known capacity: own cost 1e-4·u ⇒ n_max(1) = 399,
+    /// trigger(1) = 319; migrations cost 1 ms each way.
+    fn model() -> ScalabilityModel {
+        let params = ModelParams {
+            t_ua: CostFn::Constant(1e-4),
+            t_fa: CostFn::Constant(2e-6),
+            t_mig_ini: CostFn::Constant(1e-3),
+            t_mig_rcv: CostFn::Constant(0.5e-3),
+            ..ModelParams::default()
+        };
+        ScalabilityModel::new(params, 0.040)
+    }
+
+    fn snapshot(users: &[u32], ticks_ms: &[f64]) -> ZoneSnapshot {
+        ZoneSnapshot {
+            zone: ZoneId(1),
+            npcs: 0,
+            servers: users
+                .iter()
+                .zip(ticks_ms)
+                .enumerate()
+                .map(|(i, (&u, &t))| ServerSnapshot {
+                    server: NodeId(i as u32),
+                    active_users: u,
+                    avg_tick: t * 1e-3,
+                    max_tick: t * 1e-3,
+                    speedup: 1.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn no_action_in_comfort_zone() {
+        let mut p = ModelDriven::new(model(), ModelDrivenConfig::default());
+        // Balanced, far below the trigger.
+        let s = snapshot(&[50, 50], &[10.0, 10.0]);
+        // But n=100 < 0.6 · n_max(1)=399·0.6=239 ⇒ removal kicks in! That is
+        // correct behaviour; to test the comfort zone use a population in
+        // the middle band.
+        let s_mid = snapshot(&[150, 150], &[15.0, 15.0]);
+        let _ = s;
+        let actions = p.decide(&s_mid, 0);
+        assert!(actions.is_empty(), "{actions:?}");
+    }
+
+    #[test]
+    fn migration_budgets_respected() {
+        let mut p = ModelDriven::new(model(), ModelDrivenConfig::default());
+        // Heavy imbalance; s0 at 35 ms has budget (40−35)/1 ms = 4 (strict).
+        let s = snapshot(&[180, 80], &[35.0, 15.0]);
+        let actions = p.decide(&s, 0);
+        let migrated: u32 = actions
+            .iter()
+            .map(|a| match a {
+                Action::Migrate { from, users, .. } => {
+                    assert_eq!(*from, NodeId(0));
+                    *users
+                }
+                _ => 0,
+            })
+            .sum();
+        assert!(migrated >= 1, "{actions:?}");
+        assert!(migrated <= 4, "Eq. (5) caps the round at 4, got {migrated}");
+    }
+
+    #[test]
+    fn overloaded_server_with_no_budget_cannot_migrate() {
+        let mut p = ModelDriven::new(model(), ModelDrivenConfig::default());
+        // Tick already past U ⇒ x_max_ini = 0 ⇒ no migrations (RTF-RMS
+        // must escalate via replication instead — which it does, since
+        // 330 ≥ trigger(2)).
+        let s = snapshot(&[250, 80], &[41.0, 15.0]);
+        let actions = p.decide(&s, 0);
+        assert!(actions.iter().all(|a| !matches!(a, Action::Migrate { .. })), "{actions:?}");
+    }
+
+    #[test]
+    fn replication_fires_at_trigger() {
+        let mut p = ModelDriven::new(model(), ModelDrivenConfig::default());
+        let trigger = p.model().replication_trigger(1, 0);
+        let s = snapshot(&[trigger], &[32.0]);
+        let actions = p.decide(&s, 0);
+        assert!(
+            actions.iter().any(|a| matches!(a, Action::AddReplica { .. })),
+            "n = trigger must enact replication: {actions:?}"
+        );
+    }
+
+    #[test]
+    fn below_trigger_no_replication() {
+        let mut p = ModelDriven::new(model(), ModelDrivenConfig::default());
+        let trigger = p.model().replication_trigger(1, 0);
+        let s = snapshot(&[trigger - 1], &[30.0]);
+        let actions = p.decide(&s, 0);
+        assert!(actions.iter().all(|a| !matches!(a, Action::AddReplica { .. })));
+    }
+
+    #[test]
+    fn cooldown_prevents_replica_storm() {
+        let mut p = ModelDriven::new(model(), ModelDrivenConfig::default());
+        let s = snapshot(&[390], &[38.0]);
+        let first = p.decide(&s, 0);
+        assert_eq!(first.iter().filter(|a| matches!(a, Action::AddReplica { .. })).count(), 1);
+        // Immediately after, the cooldown suppresses another request.
+        let second = p.decide(&s, 25);
+        assert!(second.iter().all(|a| !matches!(a, Action::AddReplica { .. })));
+    }
+
+    #[test]
+    fn substitution_after_l_max() {
+        // Force l_max = 1 by making replication useless (c = 1 and heavy
+        // forwarded costs).
+        let params = ModelParams {
+            t_ua: CostFn::Constant(1e-4),
+            t_fa: CostFn::Constant(1e-4),
+            t_mig_ini: CostFn::Constant(1e-3),
+            t_mig_rcv: CostFn::Constant(1e-3),
+            ..ModelParams::default()
+        };
+        let model = ScalabilityModel::new(params, 0.040).with_improvement_factor(1.0);
+        assert_eq!(model.max_replicas(0).l_max, 1);
+        let mut p = ModelDriven::new(model, ModelDrivenConfig::default());
+        let s = snapshot(&[390], &[39.0]);
+        let actions = p.decide(&s, 0);
+        assert!(
+            actions.iter().any(|a| matches!(a, Action::Substitute { .. })),
+            "at l_max the policy substitutes: {actions:?}"
+        );
+    }
+
+    #[test]
+    fn removal_drains_then_removes() {
+        let mut p = ModelDriven::new(model(), ModelDrivenConfig::default());
+        // Two replicas, tiny population: removal territory.
+        let s = snapshot(&[30, 10], &[5.0, 3.0]);
+        let actions = p.decide(&s, 0);
+        assert!(p.draining().is_some(), "least loaded marked for draining");
+        assert!(actions.iter().any(|a| matches!(a, Action::Migrate { from, .. } if *from == NodeId(1))));
+
+        // Once drained, the replica is removed.
+        let drained = snapshot(&[40, 0], &[6.0, 0.5]);
+        let actions2 = p.decide(&drained, 25);
+        assert!(
+            actions2
+                .iter()
+                .any(|a| matches!(a, Action::RemoveReplica { server, .. } if *server == NodeId(1))),
+            "{actions2:?}"
+        );
+        assert!(p.draining().is_none());
+    }
+
+    #[test]
+    fn draining_server_disappearing_resets_state() {
+        let mut p = ModelDriven::new(model(), ModelDrivenConfig::default());
+        let s = snapshot(&[30, 10], &[5.0, 3.0]);
+        p.decide(&s, 0);
+        assert!(p.draining().is_some());
+        // Next snapshot no longer contains the victim (sim removed it).
+        let gone = snapshot(&[40], &[6.0]);
+        p.decide(&gone, 25);
+        assert!(p.draining().is_none());
+    }
+
+    #[test]
+    fn small_imbalance_ignored() {
+        let mut p = ModelDriven::new(model(), ModelDrivenConfig::default());
+        let s = snapshot(&[151, 149], &[15.0, 15.0]);
+        let actions = p.decide(&s, 0);
+        assert!(actions.is_empty(), "imbalance of 2 < min_imbalance: {actions:?}");
+    }
+}

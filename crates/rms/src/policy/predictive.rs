@@ -1,0 +1,275 @@
+//! A predictive extension of the model-driven policy.
+//!
+//! §VI discusses Nae, Iosup & Prodan \[16\], who *forecast* the user count
+//! (with neural networks) instead of reacting to it. The reactive
+//! model-driven policy has a blind spot the ablations expose: when users
+//! arrive faster than a machine boots, the 20 % trigger headroom is eaten
+//! before the new replica is ready. [`PredictiveModelDriven`] closes it
+//! with the simplest useful forecaster — a linear trend over a sliding
+//! window — and evaluates the Fig. 5 trigger against the population
+//! *expected at boot completion* rather than the current one. Everything
+//! else (migration pacing, drain-based removal, substitution at `l_max`)
+//! is inherited from the reactive policy.
+
+use crate::actions::Action;
+use crate::monitor::ZoneSnapshot;
+use crate::policy::{ModelDriven, ModelDrivenConfig, Policy};
+use roia_model::ScalabilityModel;
+use std::collections::VecDeque;
+
+/// Linear-trend forecaster over a sliding window of (tick, users) samples.
+#[derive(Debug, Clone)]
+pub struct TrendForecaster {
+    window: usize,
+    samples: VecDeque<(u64, u32)>,
+}
+
+impl TrendForecaster {
+    /// Creates a forecaster remembering the last `window` observations.
+    pub fn new(window: usize) -> Self {
+        assert!(window >= 2);
+        Self { window, samples: VecDeque::with_capacity(window) }
+    }
+
+    /// Records an observation.
+    pub fn observe(&mut self, tick: u64, users: u32) {
+        if self.samples.len() == self.window {
+            self.samples.pop_front();
+        }
+        self.samples.push_back((tick, users));
+    }
+
+    /// Least-squares slope in users per tick (0.0 with fewer than two
+    /// samples or a degenerate window).
+    pub fn slope(&self) -> f64 {
+        let n = self.samples.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean_t = self.samples.iter().map(|&(t, _)| t as f64).sum::<f64>() / n as f64;
+        let mean_u = self.samples.iter().map(|&(_, u)| u as f64).sum::<f64>() / n as f64;
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &(t, u) in &self.samples {
+            let dt = t as f64 - mean_t;
+            num += dt * (u as f64 - mean_u);
+            den += dt * dt;
+        }
+        if den <= 0.0 {
+            0.0
+        } else {
+            num / den
+        }
+    }
+
+    /// Forecast `horizon_ticks` ahead of the latest observation, clamped
+    /// at zero. Falls back to the last observation without enough data.
+    pub fn forecast(&self, horizon_ticks: u64) -> u32 {
+        let Some(&(_, last)) = self.samples.back() else { return 0 };
+        let predicted = last as f64 + self.slope() * horizon_ticks as f64;
+        predicted.max(0.0).round() as u32
+    }
+}
+
+/// The model-driven policy with a user-count forecaster in front of the
+/// replication trigger.
+pub struct PredictiveModelDriven {
+    inner: ModelDriven,
+    forecaster: TrendForecaster,
+    /// How far ahead to look, in ticks — set this to the cloud's machine
+    /// boot delay.
+    pub horizon_ticks: u64,
+}
+
+impl PredictiveModelDriven {
+    /// Creates the policy; `horizon_ticks` should cover the machine boot
+    /// delay plus one control interval.
+    pub fn new(model: ScalabilityModel, config: ModelDrivenConfig, horizon_ticks: u64) -> Self {
+        Self {
+            inner: ModelDriven::new(model, config),
+            forecaster: TrendForecaster::new(8),
+            horizon_ticks,
+        }
+    }
+
+    /// The current forecaster state (for diagnostics).
+    pub fn forecaster(&self) -> &TrendForecaster {
+        &self.forecaster
+    }
+}
+
+impl Policy for PredictiveModelDriven {
+    fn name(&self) -> &'static str {
+        "predictive-model-driven"
+    }
+
+    fn decide(&mut self, snapshot: &ZoneSnapshot, now_tick: u64) -> Vec<Action> {
+        let n_now = snapshot.total_users();
+        self.forecaster.observe(now_tick, n_now);
+        let n_future = self.forecaster.forecast(self.horizon_ticks).max(n_now);
+
+        // Let the reactive policy decide as if the forecast population had
+        // already arrived — but only for the *growth* direction: we scale
+        // the most loaded server's count so the trigger comparison sees the
+        // future population, while migrations still use the real counts.
+        let l = snapshot.replicas();
+        if l > 0 && n_future > n_now {
+            let m = snapshot.npcs;
+            let trigger = self.inner.model().replication_trigger(l, m);
+            if n_future >= trigger && n_now < trigger {
+                // The reactive policy would not fire yet — pre-provision.
+                let mut inflated = snapshot.clone();
+                let extra = n_future - n_now;
+                if let Some(most) = inflated
+                    .servers
+                    .iter_mut()
+                    .max_by_key(|s| s.active_users)
+                {
+                    most.active_users += extra;
+                }
+                let mut actions = self.inner.decide(&inflated, now_tick);
+                // Keep only scaling decisions from the inflated view;
+                // migration counts derived from phantom users are invalid.
+                actions.retain(|a| !matches!(a, Action::Migrate { .. }));
+                let mut rest = self.inner.decide(snapshot, now_tick);
+                rest.retain(|a| matches!(a, Action::Migrate { .. }));
+                actions.extend(rest);
+                return actions;
+            }
+        }
+        self.inner.decide(snapshot, now_tick)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::ServerSnapshot;
+    use roia_model::{CostFn, ModelParams};
+    use rtf_core::net::NodeId;
+    use rtf_core::zone::ZoneId;
+
+    fn model() -> ScalabilityModel {
+        let params = ModelParams {
+            t_ua: CostFn::Constant(1e-4),
+            t_fa: CostFn::Constant(2e-6),
+            t_mig_ini: CostFn::Constant(1e-3),
+            t_mig_rcv: CostFn::Constant(0.5e-3),
+            ..ModelParams::default()
+        };
+        ScalabilityModel::new(params, 0.040)
+    }
+
+    fn snapshot(users: u32) -> ZoneSnapshot {
+        ZoneSnapshot {
+            zone: ZoneId(1),
+            npcs: 0,
+            servers: vec![ServerSnapshot {
+                server: NodeId(0),
+                active_users: users,
+                avg_tick: users as f64 * 1e-4,
+                max_tick: users as f64 * 1e-4,
+                speedup: 1.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn forecaster_learns_linear_trend() {
+        let mut f = TrendForecaster::new(8);
+        for i in 0..8u64 {
+            f.observe(i * 25, (10 + i * 5) as u32); // +5 users per 25 ticks
+        }
+        assert!((f.slope() - 0.2).abs() < 1e-9, "slope {}", f.slope());
+        assert_eq!(f.forecast(50), 45 + 10);
+    }
+
+    #[test]
+    fn forecaster_handles_flat_and_empty() {
+        let mut f = TrendForecaster::new(4);
+        assert_eq!(f.forecast(100), 0);
+        f.observe(0, 50);
+        assert_eq!(f.forecast(100), 50, "single sample: no trend");
+        f.observe(25, 50);
+        assert_eq!(f.forecast(1000), 50);
+    }
+
+    #[test]
+    fn forecast_never_negative() {
+        let mut f = TrendForecaster::new(4);
+        f.observe(0, 100);
+        f.observe(25, 50);
+        f.observe(50, 10);
+        assert_eq!(f.forecast(1000), 0);
+    }
+
+    #[test]
+    fn predictive_fires_before_reactive() {
+        // trigger(1) = 319 for this model. Population climbing 10/round,
+        // currently 280: reactive waits, predictive (horizon 125 ticks = 5
+        // rounds ⇒ +50 forecast) fires now.
+        let reactive_fires = {
+            let mut p = ModelDriven::new(model(), ModelDrivenConfig::default());
+            let a = p.decide(&snapshot(280), 8 * 25);
+            a.iter().any(|x| matches!(x, Action::AddReplica { .. }))
+        };
+        assert!(!reactive_fires, "reactive policy must not fire at 280 < 319");
+
+        let mut p = PredictiveModelDriven::new(model(), ModelDrivenConfig::default(), 125);
+        let mut fired = false;
+        for round in 0..8u64 {
+            let users = 210 + round as u32 * 10; // 210 .. 280
+            let actions = p.decide(&snapshot(users), round * 25);
+            fired |= actions.iter().any(|a| matches!(a, Action::AddReplica { .. }));
+        }
+        assert!(fired, "predictive policy scales ahead of the trend");
+    }
+
+    #[test]
+    fn predictive_matches_reactive_on_flat_load() {
+        let mut p = PredictiveModelDriven::new(model(), ModelDrivenConfig::default(), 125);
+        for round in 0..6u64 {
+            let actions = p.decide(&snapshot(150), round * 25);
+            assert!(
+                actions.is_empty(),
+                "flat mid-range load needs nothing: {actions:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn phantom_users_never_leak_into_migrations() {
+        // Two servers, climbing load near the trigger: any Migrate emitted
+        // must be executable against the REAL snapshot.
+        let mut p = PredictiveModelDriven::new(model(), ModelDrivenConfig::default(), 250);
+        for round in 0..10u64 {
+            let users = 240 + round as u32 * 12;
+            let snap = ZoneSnapshot {
+                zone: ZoneId(1),
+                npcs: 0,
+                servers: vec![
+                    ServerSnapshot {
+                        server: NodeId(0),
+                        active_users: users,
+                        avg_tick: 0.030,
+                        max_tick: 0.032,
+                        speedup: 1.0,
+                    },
+                    ServerSnapshot {
+                        server: NodeId(1),
+                        active_users: users / 3,
+                        avg_tick: 0.012,
+                        max_tick: 0.013,
+                        speedup: 1.0,
+                    },
+                ],
+            };
+            for action in p.decide(&snap, round * 25) {
+                if let Action::Migrate { from, users: moved, .. } = action {
+                    let have = snap.server(from).unwrap().active_users;
+                    assert!(moved <= have, "phantom migration: {moved} > {have}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The static-interval baseline — the *initial* RTF-RMS strategy §IV
+//! improves upon.
+//!
+//! "In the initial implementation of RTF-RMS, user migration was used in
+//! each tick to distribute users equally on all application servers [...]
+//! However, continuous migration of users involves an overhead on all
+//! servers involved in the migration." This policy reproduces that
+//! behaviour: at every `interval_rounds`-th control round it equalizes the
+//! user distribution *completely*, ignoring the migration budgets of
+//! Eq. (5), and adds a replica whenever the per-server average exceeds a
+//! static user threshold.
+
+use crate::actions::Action;
+use crate::monitor::ZoneSnapshot;
+use crate::policy::Policy;
+
+/// The baseline policy.
+pub struct StaticInterval {
+    /// Fire every this many control rounds (1 = every round, the paper's
+    /// "in each tick").
+    pub interval_rounds: u64,
+    /// Add a replica when the average users per server exceed this static
+    /// value.
+    pub add_threshold_per_server: u32,
+    rounds_seen: u64,
+}
+
+impl StaticInterval {
+    /// Creates the policy.
+    pub fn new(interval_rounds: u64, add_threshold_per_server: u32) -> Self {
+        assert!(interval_rounds >= 1);
+        Self { interval_rounds, add_threshold_per_server, rounds_seen: 0 }
+    }
+}
+
+impl Policy for StaticInterval {
+    fn name(&self) -> &'static str {
+        "static-interval"
+    }
+
+    fn decide(&mut self, snapshot: &ZoneSnapshot, _now_tick: u64) -> Vec<Action> {
+        let round = self.rounds_seen;
+        self.rounds_seen += 1;
+        if !round.is_multiple_of(self.interval_rounds) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let l = snapshot.replicas();
+        if l == 0 {
+            return out;
+        }
+        let n = snapshot.total_users();
+
+        // Static scale-out rule.
+        if l > 0 && n / l > self.add_threshold_per_server {
+            out.push(Action::AddReplica { zone: snapshot.zone });
+        }
+
+        // Full equalization with NO budget caps: move every surplus user in
+        // one round. (This is exactly the overhead source the model-driven
+        // policy eliminates.)
+        if l >= 2 {
+            let avg = n / l;
+            let mut surpluses: Vec<(usize, u32)> = Vec::new();
+            let mut deficits: Vec<(usize, u32)> = Vec::new();
+            for (i, s) in snapshot.servers.iter().enumerate() {
+                if s.active_users > avg {
+                    surpluses.push((i, s.active_users - avg));
+                } else if s.active_users < avg {
+                    deficits.push((i, avg - s.active_users));
+                }
+            }
+            let mut d_iter = deficits.into_iter();
+            let mut current = d_iter.next();
+            for (src, mut surplus) in surpluses {
+                while surplus > 0 {
+                    let Some((dst, need)) = current else { break };
+                    let k = surplus.min(need);
+                    out.push(Action::Migrate {
+                        from: snapshot.servers[src].server,
+                        to: snapshot.servers[dst].server,
+                        users: k,
+                    });
+                    surplus -= k;
+                    if need > k {
+                        current = Some((dst, need - k));
+                    } else {
+                        current = d_iter.next();
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::ServerSnapshot;
+    use rtf_core::zone::ZoneId;
+    use rtf_core::net::NodeId;
+
+    fn snapshot(users: &[u32]) -> ZoneSnapshot {
+        ZoneSnapshot {
+            zone: ZoneId(1),
+            npcs: 0,
+            servers: users
+                .iter()
+                .enumerate()
+                .map(|(i, &u)| ServerSnapshot {
+                    server: NodeId(i as u32),
+                    active_users: u,
+                    avg_tick: 0.030,
+                    max_tick: 0.035,
+                    speedup: 1.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn equalizes_completely_in_one_round() {
+        let mut p = StaticInterval::new(1, 1000);
+        let actions = p.decide(&snapshot(&[45, 0, 0]), 0);
+        let moved: u32 = actions
+            .iter()
+            .map(|a| match a {
+                Action::Migrate { users, .. } => *users,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(moved, 30, "full equalization ignores Eq. (5) budgets");
+    }
+
+    #[test]
+    fn respects_interval() {
+        let mut p = StaticInterval::new(3, 1000);
+        assert!(!p.decide(&snapshot(&[45, 0, 0]), 0).is_empty(), "round 0 fires");
+        assert!(p.decide(&snapshot(&[45, 0, 0]), 25).is_empty(), "round 1 skips");
+        assert!(p.decide(&snapshot(&[45, 0, 0]), 50).is_empty(), "round 2 skips");
+        assert!(!p.decide(&snapshot(&[45, 0, 0]), 75).is_empty(), "round 3 fires");
+    }
+
+    #[test]
+    fn adds_replica_over_static_threshold() {
+        let mut p = StaticInterval::new(1, 100);
+        let actions = p.decide(&snapshot(&[150]), 0);
+        assert!(actions.iter().any(|a| matches!(a, Action::AddReplica { .. })));
+        let actions2 = p.decide(&snapshot(&[90]), 25);
+        assert!(actions2.iter().all(|a| !matches!(a, Action::AddReplica { .. })));
+    }
+
+    #[test]
+    fn multiple_sources_drain_to_multiple_targets() {
+        let mut p = StaticInterval::new(1, 1000);
+        let actions = p.decide(&snapshot(&[40, 40, 4, 4]), 0);
+        let moved: u32 = actions
+            .iter()
+            .map(|a| match a {
+                Action::Migrate { users, .. } => *users,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(moved, 36, "both surpluses fully drained");
+    }
+
+    #[test]
+    fn balanced_zone_no_migrations() {
+        let mut p = StaticInterval::new(1, 1000);
+        assert!(p.decide(&snapshot(&[15, 15, 15]), 0).is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! The static per-server-threshold baseline (Duong & Zhou \[7\]).
+//!
+//! "In \[7\], the authors define a static threshold denoting the maximum
+//! number of users that can be handled by each server." When a server
+//! exceeds the threshold, its surplus moves to the least loaded servers;
+//! when every server is at the threshold, a replica is added. The paper's
+//! criticism — which our experiments reproduce — is that a fixed user
+//! count ignores the actual workload: "the same number of users can
+//! interact with different frequencies causing different workloads".
+
+use crate::actions::Action;
+use crate::monitor::ZoneSnapshot;
+use crate::policy::Policy;
+
+/// The baseline policy.
+pub struct StaticThreshold {
+    /// Maximum users a server is assumed to handle.
+    pub max_users_per_server: u32,
+}
+
+impl StaticThreshold {
+    /// Creates the policy.
+    pub fn new(max_users_per_server: u32) -> Self {
+        assert!(max_users_per_server > 0);
+        Self { max_users_per_server }
+    }
+}
+
+impl Policy for StaticThreshold {
+    fn name(&self) -> &'static str {
+        "static-threshold"
+    }
+
+    fn decide(&mut self, snapshot: &ZoneSnapshot, _now_tick: u64) -> Vec<Action> {
+        let mut out = Vec::new();
+        if snapshot.servers.is_empty() {
+            return out;
+        }
+        let cap = self.max_users_per_server;
+
+        // Scale out when the group cannot absorb the surplus.
+        let total = snapshot.total_users();
+        let group_capacity = cap * snapshot.replicas();
+        if total > group_capacity {
+            out.push(Action::AddReplica { zone: snapshot.zone });
+        }
+
+        // Shed surplus from every over-threshold server to under-threshold
+        // ones, most loaded first, with no pacing.
+        let mut room: Vec<(usize, u32)> = snapshot
+            .servers
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.active_users < cap)
+            .map(|(i, s)| (i, cap - s.active_users))
+            .collect();
+        let mut over: Vec<(usize, u32)> = snapshot
+            .servers
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.active_users > cap)
+            .map(|(i, s)| (i, s.active_users - cap))
+            .collect();
+        over.sort_by_key(|&(_, surplus)| std::cmp::Reverse(surplus));
+
+        for (src, mut surplus) in over {
+            for (dst, space) in room.iter_mut() {
+                if surplus == 0 {
+                    break;
+                }
+                if *space == 0 {
+                    continue;
+                }
+                let k = surplus.min(*space);
+                out.push(Action::Migrate {
+                    from: snapshot.servers[src].server,
+                    to: snapshot.servers[*dst].server,
+                    users: k,
+                });
+                surplus -= k;
+                *space -= k;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::ServerSnapshot;
+    use rtf_core::zone::ZoneId;
+    use rtf_core::net::NodeId;
+
+    fn snapshot(users: &[u32]) -> ZoneSnapshot {
+        ZoneSnapshot {
+            zone: ZoneId(1),
+            npcs: 0,
+            servers: users
+                .iter()
+                .enumerate()
+                .map(|(i, &u)| ServerSnapshot {
+                    server: NodeId(i as u32),
+                    active_users: u,
+                    avg_tick: 0.020,
+                    max_tick: 0.022,
+                    speedup: 1.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn under_threshold_no_action() {
+        let mut p = StaticThreshold::new(100);
+        assert!(p.decide(&snapshot(&[90, 80]), 0).is_empty());
+    }
+
+    #[test]
+    fn surplus_shed_to_servers_with_room() {
+        let mut p = StaticThreshold::new(100);
+        let actions = p.decide(&snapshot(&[130, 60]), 0);
+        assert_eq!(
+            actions,
+            vec![Action::Migrate { from: NodeId(0), to: NodeId(1), users: 30 }]
+        );
+    }
+
+    #[test]
+    fn scale_out_when_group_full() {
+        let mut p = StaticThreshold::new(100);
+        let actions = p.decide(&snapshot(&[120, 100]), 0);
+        assert!(actions.iter().any(|a| matches!(a, Action::AddReplica { .. })));
+    }
+
+    #[test]
+    fn surplus_split_across_targets() {
+        let mut p = StaticThreshold::new(100);
+        let actions = p.decide(&snapshot(&[160, 80, 90]), 0);
+        let moved: u32 = actions
+            .iter()
+            .map(|a| match a {
+                Action::Migrate { users, .. } => *users,
+                _ => 0,
+            })
+            .sum();
+        assert_eq!(moved, 30, "room is 20 + 10");
+    }
+
+    #[test]
+    fn ignores_workload_by_design() {
+        // Even at a catastrophic 50 ms tick, 90 users < threshold ⇒ no
+        // action — the flaw the paper's model fixes.
+        let mut p = StaticThreshold::new(100);
+        let mut s = snapshot(&[90]);
+        s.servers[0].avg_tick = 0.050;
+        assert!(p.decide(&s, 0).is_empty());
+    }
+}

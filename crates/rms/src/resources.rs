@@ -1,0 +1,255 @@
+//! The simulated cloud: machine profiles, startup delay, leasing cost.
+//!
+//! The paper motivates RTF-RMS with "cost-efficient leasing \[of\] resources
+//! on demand" (Amazon EC2 et al.). This module models that substrate: a
+//! [`ResourcePool`] leases machines of different [`MachineProfile`]s, new
+//! machines take a startup delay before they can serve, and every leased
+//! tick accrues cost — the quantity overprovisioning wastes and RTF-RMS
+//! tries to minimize.
+
+use std::collections::BTreeMap;
+
+/// A machine class offered by the provider.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineProfile {
+    /// Relative CPU speed; per-task costs divide by this (1.0 = the
+    /// standard profile the model was calibrated on).
+    pub speedup: f64,
+    /// Leasing cost per simulated hour, in arbitrary currency units.
+    pub cost_per_hour: f64,
+}
+
+/// The two profiles the experiments use.
+impl MachineProfile {
+    /// The standard machine (the paper's Intel Core Duo class).
+    pub const STANDARD: MachineProfile = MachineProfile { speedup: 1.0, cost_per_hour: 1.0 };
+    /// A more powerful machine for resource substitution (§IV).
+    pub const POWERFUL: MachineProfile = MachineProfile { speedup: 2.0, cost_per_hour: 2.5 };
+}
+
+/// Identifier of a lease request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LeaseId(pub u64);
+
+/// A machine that finished booting and is ready to serve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReadyMachine {
+    /// The original request.
+    pub lease: LeaseId,
+    /// The machine's profile.
+    pub profile: MachineProfile,
+}
+
+/// Errors from the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PoolError {
+    /// No machine of the requested class is available — for the powerful
+    /// class this is the paper's "application has reached a critical user
+    /// density [...] the application requires redesign".
+    OutOfCapacity,
+    /// The lease id is unknown or already released.
+    UnknownLease,
+}
+
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::OutOfCapacity => write!(f, "no machine of the requested class available"),
+            PoolError::UnknownLease => write!(f, "unknown lease"),
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+#[derive(Debug, Clone)]
+struct Lease {
+    profile: MachineProfile,
+    ready_at: u64,
+    delivered: bool,
+    leased_at: u64,
+    released_at: Option<u64>,
+}
+
+/// The provider's pool of leasable machines.
+#[derive(Debug, Clone)]
+pub struct ResourcePool {
+    standard_limit: u32,
+    powerful_limit: u32,
+    startup_delay_ticks: u64,
+    ticks_per_hour: u64,
+    next_lease: u64,
+    leases: BTreeMap<LeaseId, Lease>,
+}
+
+impl ResourcePool {
+    /// Creates a pool with capacity limits and a boot delay.
+    ///
+    /// `ticks_per_hour` converts simulated ticks to billing hours (25 Hz ⇒
+    /// 90 000 ticks/hour).
+    pub fn new(
+        standard_limit: u32,
+        powerful_limit: u32,
+        startup_delay_ticks: u64,
+        ticks_per_hour: u64,
+    ) -> Self {
+        assert!(ticks_per_hour > 0);
+        Self {
+            standard_limit,
+            powerful_limit,
+            startup_delay_ticks,
+            ticks_per_hour,
+            next_lease: 0,
+            leases: BTreeMap::new(),
+        }
+    }
+
+    /// A pool resembling the paper's testbed: a handful of standard PCs,
+    /// one faster machine, and a short boot delay.
+    pub fn testbed() -> Self {
+        Self::new(16, 2, 50, 90_000)
+    }
+
+    fn active_count(&self, powerful: bool) -> u32 {
+        self.leases
+            .values()
+            .filter(|l| l.released_at.is_none() && (l.profile.speedup > 1.0) == powerful)
+            .count() as u32
+    }
+
+    /// Requests a machine; it becomes ready after the startup delay.
+    pub fn request(
+        &mut self,
+        profile: MachineProfile,
+        now_tick: u64,
+    ) -> Result<LeaseId, PoolError> {
+        let powerful = profile.speedup > 1.0;
+        let limit = if powerful { self.powerful_limit } else { self.standard_limit };
+        if self.active_count(powerful) >= limit {
+            return Err(PoolError::OutOfCapacity);
+        }
+        let id = LeaseId(self.next_lease);
+        self.next_lease += 1;
+        self.leases.insert(
+            id,
+            Lease {
+                profile,
+                ready_at: now_tick + self.startup_delay_ticks,
+                delivered: false,
+                leased_at: now_tick,
+                released_at: None,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Machines that finished booting by `now_tick` (each returned once).
+    pub fn poll_ready(&mut self, now_tick: u64) -> Vec<ReadyMachine> {
+        let mut ready = Vec::new();
+        for (id, lease) in self.leases.iter_mut() {
+            if !lease.delivered && lease.released_at.is_none() && lease.ready_at <= now_tick {
+                lease.delivered = true;
+                ready.push(ReadyMachine { lease: *id, profile: lease.profile });
+            }
+        }
+        ready
+    }
+
+    /// Releases a machine (resource removal / substitution shutdown).
+    pub fn release(&mut self, lease: LeaseId, now_tick: u64) -> Result<(), PoolError> {
+        match self.leases.get_mut(&lease) {
+            Some(l) if l.released_at.is_none() => {
+                l.released_at = Some(now_tick);
+                Ok(())
+            }
+            _ => Err(PoolError::UnknownLease),
+        }
+    }
+
+    /// Machines currently leased (booting or serving).
+    pub fn leased_count(&self) -> u32 {
+        self.leases.values().filter(|l| l.released_at.is_none()).count() as u32
+    }
+
+    /// Total cost accrued up to `now_tick`, including released leases.
+    pub fn total_cost(&self, now_tick: u64) -> f64 {
+        self.leases
+            .values()
+            .map(|l| {
+                let end = l.released_at.unwrap_or(now_tick).max(l.leased_at);
+                let hours = (end - l.leased_at) as f64 / self.ticks_per_hour as f64;
+                hours * l.profile.cost_per_hour
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_and_boot_delay() {
+        let mut pool = ResourcePool::new(2, 0, 10, 90_000);
+        let lease = pool.request(MachineProfile::STANDARD, 100).unwrap();
+        assert!(pool.poll_ready(105).is_empty(), "still booting");
+        let ready = pool.poll_ready(110);
+        assert_eq!(ready.len(), 1);
+        assert_eq!(ready[0].lease, lease);
+        assert!(pool.poll_ready(111).is_empty(), "delivered only once");
+    }
+
+    #[test]
+    fn capacity_limits_enforced_per_class() {
+        let mut pool = ResourcePool::new(1, 1, 0, 90_000);
+        pool.request(MachineProfile::STANDARD, 0).unwrap();
+        assert_eq!(
+            pool.request(MachineProfile::STANDARD, 0),
+            Err(PoolError::OutOfCapacity)
+        );
+        // The powerful class has its own limit.
+        pool.request(MachineProfile::POWERFUL, 0).unwrap();
+        assert_eq!(
+            pool.request(MachineProfile::POWERFUL, 0),
+            Err(PoolError::OutOfCapacity)
+        );
+    }
+
+    #[test]
+    fn release_frees_capacity() {
+        let mut pool = ResourcePool::new(1, 0, 0, 90_000);
+        let lease = pool.request(MachineProfile::STANDARD, 0).unwrap();
+        pool.release(lease, 10).unwrap();
+        assert_eq!(pool.leased_count(), 0);
+        assert!(pool.request(MachineProfile::STANDARD, 10).is_ok());
+    }
+
+    #[test]
+    fn double_release_fails() {
+        let mut pool = ResourcePool::new(1, 0, 0, 90_000);
+        let lease = pool.request(MachineProfile::STANDARD, 0).unwrap();
+        pool.release(lease, 5).unwrap();
+        assert_eq!(pool.release(lease, 6), Err(PoolError::UnknownLease));
+        assert_eq!(pool.release(LeaseId(99), 6), Err(PoolError::UnknownLease));
+    }
+
+    #[test]
+    fn cost_accrues_per_leased_hour() {
+        let mut pool = ResourcePool::new(4, 4, 0, 100);
+        let a = pool.request(MachineProfile::STANDARD, 0).unwrap(); // 1.0/hour
+        pool.request(MachineProfile::POWERFUL, 0).unwrap(); // 2.5/hour
+        // After 200 ticks = 2 hours: 2·1 + 2·2.5 = 7.
+        assert!((pool.total_cost(200) - 7.0).abs() < 1e-9);
+        // Releasing the standard machine stops its meter.
+        pool.release(a, 200).unwrap();
+        assert!((pool.total_cost(300) - (2.0 + 7.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn released_machine_never_reports_ready() {
+        let mut pool = ResourcePool::new(1, 0, 10, 90_000);
+        let lease = pool.request(MachineProfile::STANDARD, 0).unwrap();
+        pool.release(lease, 5).unwrap();
+        assert!(pool.poll_ready(20).is_empty());
+    }
+}

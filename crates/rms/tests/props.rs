@@ -1,0 +1,176 @@
+//! Property-based tests of the policies and the resource pool: every
+//! policy must emit *executable* actions (no self-migrations, no
+//! migrations exceeding the source population, only servers that exist),
+//! and the pool's accounting must stay consistent under arbitrary
+//! request/release sequences.
+
+use proptest::prelude::*;
+use roia_model::{CostFn, ModelParams, ScalabilityModel};
+use rtf_core::net::NodeId;
+use rtf_core::zone::ZoneId;
+use rtf_rms::{
+    Action, BandwidthProportional, MachineProfile, ModelDriven, ModelDrivenConfig, Policy,
+    ResourcePool, ServerSnapshot, StaticInterval, StaticThreshold, ZoneSnapshot,
+};
+
+fn model() -> ScalabilityModel {
+    let params = ModelParams {
+        t_ua: CostFn::Linear { c0: 1e-4, c1: 1e-7 },
+        t_fa: CostFn::Constant(1e-5),
+        t_mig_ini: CostFn::Linear { c0: 2e-4, c1: 7e-6 },
+        t_mig_rcv: CostFn::Linear { c0: 1.5e-4, c1: 4e-6 },
+        ..ModelParams::default()
+    };
+    ScalabilityModel::new(params, 0.040)
+}
+
+fn arb_snapshot() -> impl Strategy<Value = ZoneSnapshot> {
+    proptest::collection::vec((0u32..400, 0.0f64..0.06), 1..8).prop_map(|servers| {
+        ZoneSnapshot {
+            zone: ZoneId(1),
+            npcs: 0,
+            servers: servers
+                .into_iter()
+                .enumerate()
+                .map(|(i, (users, tick))| ServerSnapshot {
+                    server: NodeId(i as u32),
+                    active_users: users,
+                    avg_tick: tick,
+                    max_tick: tick * 1.2,
+                    speedup: 1.0,
+                })
+                .collect(),
+        }
+    })
+}
+
+/// Checks that every action a policy emits could actually be executed
+/// against the snapshot it was derived from.
+fn assert_actions_valid(snapshot: &ZoneSnapshot, actions: &[Action]) {
+    let ids: Vec<NodeId> = snapshot.servers.iter().map(|s| s.server).collect();
+    let mut outgoing = std::collections::BTreeMap::<NodeId, u32>::new();
+    for action in actions {
+        match *action {
+            Action::Migrate { from, to, users } => {
+                assert_ne!(from, to, "no self-migration");
+                assert!(users > 0, "empty migration is noise");
+                assert!(ids.contains(&from), "source exists");
+                assert!(ids.contains(&to), "target exists");
+                *outgoing.entry(from).or_insert(0) += users;
+            }
+            Action::AddReplica { zone } | Action::Substitute { zone, .. } => {
+                assert_eq!(zone, snapshot.zone);
+            }
+            Action::RemoveReplica { zone, server } => {
+                assert_eq!(zone, snapshot.zone);
+                assert!(ids.contains(&server));
+            }
+        }
+    }
+    for (from, moved) in outgoing {
+        let have = snapshot.server(from).unwrap().active_users;
+        assert!(
+            moved <= have,
+            "cannot migrate {moved} users out of a server holding {have}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn model_driven_actions_are_valid(snapshot in arb_snapshot(), rounds in 1usize..4) {
+        let mut policy = ModelDriven::new(model(), ModelDrivenConfig::default());
+        for round in 0..rounds {
+            let actions = policy.decide(&snapshot, round as u64 * 25);
+            assert_actions_valid(&snapshot, &actions);
+        }
+    }
+
+    #[test]
+    fn static_interval_actions_are_valid(snapshot in arb_snapshot()) {
+        let mut policy = StaticInterval::new(1, 200);
+        let actions = policy.decide(&snapshot, 0);
+        assert_actions_valid(&snapshot, &actions);
+    }
+
+    #[test]
+    fn static_threshold_actions_are_valid(snapshot in arb_snapshot(), cap in 1u32..400) {
+        let mut policy = StaticThreshold::new(cap);
+        let actions = policy.decide(&snapshot, 0);
+        assert_actions_valid(&snapshot, &actions);
+    }
+
+    #[test]
+    fn bandwidth_actions_are_valid(snapshot in arb_snapshot(), slack in 0u32..10) {
+        let mut policy = BandwidthProportional::new(slack, 300);
+        let actions = policy.decide(&snapshot, 0);
+        assert_actions_valid(&snapshot, &actions);
+    }
+
+    #[test]
+    fn static_interval_fully_equalizes(users in proptest::collection::vec(0u32..300, 2..6)) {
+        let snapshot = ZoneSnapshot {
+            zone: ZoneId(1),
+            npcs: 0,
+            servers: users
+                .iter()
+                .enumerate()
+                .map(|(i, &u)| ServerSnapshot {
+                    server: NodeId(i as u32),
+                    active_users: u,
+                    avg_tick: 0.02,
+                    max_tick: 0.02,
+                    speedup: 1.0,
+                })
+                .collect(),
+        };
+        let mut policy = StaticInterval::new(1, u32::MAX);
+        let actions = policy.decide(&snapshot, 0);
+        // Apply the migrations: the result must be within 1 of the average.
+        let mut state = users.clone();
+        for a in &actions {
+            if let Action::Migrate { from, to, users } = a {
+                state[from.0 as usize] -= users;
+                state[to.0 as usize] += users;
+            }
+        }
+        let n: u32 = state.iter().sum();
+        let avg = n / state.len() as u32;
+        for &u in &state {
+            prop_assert!(u + 1 >= avg && u <= avg + 1 + n % state.len() as u32,
+                "not equalized: {state:?} (avg {avg})");
+        }
+    }
+
+    #[test]
+    fn pool_accounting_consistent(
+        ops in proptest::collection::vec((any::<bool>(), 0u64..100), 1..40),
+    ) {
+        let mut pool = ResourcePool::new(16, 4, 5, 1000);
+        let mut live: Vec<rtf_rms::LeaseId> = Vec::new();
+        let mut tick = 0u64;
+        for (request, dt) in ops {
+            tick += dt;
+            if request {
+                if let Ok(lease) = pool.request(MachineProfile::STANDARD, tick) {
+                    live.push(lease);
+                }
+            } else if let Some(lease) = live.pop() {
+                pool.release(lease, tick).unwrap();
+            }
+            prop_assert_eq!(pool.leased_count() as usize, live.len());
+            // Cost is monotone in time and never negative.
+            let c_now = pool.total_cost(tick);
+            let c_later = pool.total_cost(tick + 10);
+            prop_assert!(c_now >= 0.0 && c_later >= c_now - 1e-12);
+        }
+        // Everyone released ⇒ cost stops growing.
+        for lease in live.drain(..) {
+            pool.release(lease, tick).unwrap();
+        }
+        let settled = pool.total_cost(tick);
+        prop_assert!((pool.total_cost(tick + 1_000_000) - settled).abs() < 1e-9);
+    }
+}

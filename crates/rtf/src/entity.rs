@@ -1,0 +1,176 @@
+//! Basic identity and geometry types shared by the framework and the
+//! applications built on it.
+//!
+//! RTF distinguishes *active* entities (owned and computed by this server)
+//! from *shadow* entities (owned by another replica of the same zone and
+//! kept up to date via replica updates) — the distinction at the heart of
+//! the replication overhead the scalability model quantifies.
+
+use std::fmt;
+
+/// Identifier of a connected user (and their avatar entity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UserId(pub u64);
+
+impl fmt::Display for UserId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "user#{}", self.0)
+    }
+}
+
+/// Identifier of a computer-controlled character.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NpcId(pub u64);
+
+impl fmt::Display for NpcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "npc#{}", self.0)
+    }
+}
+
+/// Whether a server computes an entity or merely mirrors it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Ownership {
+    /// This server processes the entity's inputs and state.
+    Active,
+    /// Another replica owns the entity; this server receives updates for it.
+    Shadow,
+}
+
+/// A 2-D position in the virtual environment.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// X coordinate.
+    pub x: f32,
+    /// Y coordinate.
+    pub y: f32,
+}
+
+impl Vec2 {
+    /// Constructs a position.
+    pub const fn new(x: f32, y: f32) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to another position (the metric RTFDemo's
+    /// interest management uses, §V-A).
+    pub fn distance(&self, other: &Vec2) -> f32 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Squared distance — cheaper when only comparisons are needed.
+    pub fn distance_squared(&self, other: &Vec2) -> f32 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Component-wise addition.
+    pub fn add(&self, other: &Vec2) -> Vec2 {
+        Vec2::new(self.x + other.x, self.y + other.y)
+    }
+
+    /// Scales the vector by a factor.
+    pub fn scale(&self, k: f32) -> Vec2 {
+        Vec2::new(self.x * k, self.y * k)
+    }
+
+    /// Clamps both components into `[min, max]`.
+    pub fn clamp(&self, min: f32, max: f32) -> Vec2 {
+        Vec2::new(self.x.clamp(min, max), self.y.clamp(min, max))
+    }
+}
+
+/// An axis-aligned rectangle (zone bounds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Minimum corner.
+    pub min: Vec2,
+    /// Maximum corner.
+    pub max: Vec2,
+}
+
+impl Rect {
+    /// Constructs a rectangle from its corners.
+    pub fn new(min: Vec2, max: Vec2) -> Self {
+        debug_assert!(min.x <= max.x && min.y <= max.y, "degenerate rect");
+        Self { min, max }
+    }
+
+    /// A square with the given side length anchored at the origin.
+    pub fn square(side: f32) -> Self {
+        Self::new(Vec2::new(0.0, 0.0), Vec2::new(side, side))
+    }
+
+    /// Whether the point lies inside (inclusive of the min edge, exclusive
+    /// of the max edge, so adjacent zones partition the plane).
+    pub fn contains(&self, p: &Vec2) -> bool {
+        p.x >= self.min.x && p.x < self.max.x && p.y >= self.min.y && p.y < self.max.y
+    }
+
+    /// The rectangle's center.
+    pub fn center(&self) -> Vec2 {
+        Vec2::new((self.min.x + self.max.x) * 0.5, (self.min.y + self.max.y) * 0.5)
+    }
+
+    /// Width of the rectangle.
+    pub fn width(&self) -> f32 {
+        self.max.x - self.min.x
+    }
+
+    /// Height of the rectangle.
+    pub fn height(&self) -> f32 {
+        self.max.y - self.min.y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Vec2::new(0.0, 0.0);
+        let b = Vec2::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_squared(&b), 25.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Vec2::new(1.5, -2.0);
+        let b = Vec2::new(-4.0, 7.25);
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn vector_ops() {
+        let v = Vec2::new(1.0, 2.0).add(&Vec2::new(3.0, -1.0)).scale(2.0);
+        assert_eq!(v, Vec2::new(8.0, 2.0));
+        assert_eq!(Vec2::new(-5.0, 11.0).clamp(0.0, 10.0), Vec2::new(0.0, 10.0));
+    }
+
+    #[test]
+    fn rect_contains_half_open() {
+        let r = Rect::square(10.0);
+        assert!(r.contains(&Vec2::new(0.0, 0.0)));
+        assert!(r.contains(&Vec2::new(9.999, 5.0)));
+        assert!(!r.contains(&Vec2::new(10.0, 5.0)), "max edge is exclusive");
+        assert!(!r.contains(&Vec2::new(-0.1, 5.0)));
+    }
+
+    #[test]
+    fn rect_geometry() {
+        let r = Rect::new(Vec2::new(2.0, 4.0), Vec2::new(6.0, 10.0));
+        assert_eq!(r.center(), Vec2::new(4.0, 7.0));
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.height(), 6.0);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(UserId(1) < UserId(2));
+        assert_eq!(format!("{}", UserId(7)), "user#7");
+        assert_eq!(format!("{}", NpcId(3)), "npc#3");
+    }
+}

@@ -1,0 +1,306 @@
+//! The packet envelope exchanged between clients and servers.
+//!
+//! These are the framework-level message types of §II's real-time loop:
+//! user inputs (step 1), forwarded inputs and replica updates between
+//! servers replicating the same zone (steps 1/3), state updates to clients
+//! (step 3), plus the connection and user-migration control traffic. The
+//! application payloads inside them are opaque to the framework.
+
+use crate::entity::UserId;
+use crate::wire::{Wire, WireError, WireReader, WireWriter};
+use bytes::Bytes;
+use rtf_net::NodeId;
+
+/// A framework-level message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Packet {
+    /// Client asks to join the server.
+    Connect {
+        /// The joining user.
+        user: UserId,
+        /// The client's network endpoint (where state updates go).
+        client: NodeId,
+    },
+    /// Server confirms the connection (also sent by the migration target
+    /// after absorbing a migrated user).
+    ConnectAck {
+        /// The connected user.
+        user: UserId,
+    },
+    /// Client leaves.
+    Disconnect {
+        /// The leaving user.
+        user: UserId,
+    },
+    /// One user input (step 1 of the real-time loop).
+    UserInput {
+        /// Issuing user.
+        user: UserId,
+        /// Client-side sequence number (for loss/ordering diagnostics).
+        seq: u32,
+        /// Application-defined command payload.
+        payload: Bytes,
+    },
+    /// An interaction between a shadow entity and one of the destination
+    /// server's active entities, forwarded by the origin replica (§III-A
+    /// task 2's example: a shadow entity's attack hitting an active one).
+    ForwardedInput {
+        /// The replica that owns the interacting entity.
+        origin: NodeId,
+        /// Application-defined interaction payload.
+        payload: Bytes,
+    },
+    /// Per-tick state broadcast from one replica to the others, carrying
+    /// the updates for the origin's active entities (which are shadow
+    /// entities on the receiving side).
+    ReplicaUpdate {
+        /// The replica that owns the entities in this update.
+        origin: NodeId,
+        /// The users whose entities the update covers (lets the receiving
+        /// framework maintain its shadow-ownership table).
+        users: Vec<UserId>,
+        /// Application-defined state payload.
+        payload: Bytes,
+    },
+    /// State update to a connected client (step 3 of the real-time loop).
+    StateUpdate {
+        /// Receiving user.
+        user: UserId,
+        /// Server tick that produced the update.
+        tick: u64,
+        /// Application-defined, area-of-interest-filtered payload.
+        payload: Bytes,
+    },
+    /// Migration data for a user moving between replicas (§III-B).
+    MigrationData {
+        /// The migrating user.
+        user: UserId,
+        /// The network endpoint of the user's client, so the target server
+        /// can take over the connection.
+        client: NodeId,
+        /// Application-serialized user state.
+        payload: Bytes,
+    },
+    /// Tells a client to reconnect to another server (completes a
+    /// migration).
+    Redirect {
+        /// The user being redirected.
+        user: UserId,
+        /// The new responsible server.
+        new_server: NodeId,
+    },
+}
+
+impl Packet {
+    const TAG_CONNECT: u8 = 1;
+    const TAG_CONNECT_ACK: u8 = 2;
+    const TAG_DISCONNECT: u8 = 3;
+    const TAG_USER_INPUT: u8 = 4;
+    const TAG_FORWARDED: u8 = 5;
+    const TAG_REPLICA_UPDATE: u8 = 6;
+    const TAG_STATE_UPDATE: u8 = 7;
+    const TAG_MIGRATION_DATA: u8 = 8;
+    const TAG_REDIRECT: u8 = 9;
+
+    /// Short name for logging and metrics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Packet::Connect { .. } => "connect",
+            Packet::ConnectAck { .. } => "connect_ack",
+            Packet::Disconnect { .. } => "disconnect",
+            Packet::UserInput { .. } => "user_input",
+            Packet::ForwardedInput { .. } => "forwarded_input",
+            Packet::ReplicaUpdate { .. } => "replica_update",
+            Packet::StateUpdate { .. } => "state_update",
+            Packet::MigrationData { .. } => "migration_data",
+            Packet::Redirect { .. } => "redirect",
+        }
+    }
+}
+
+impl Wire for Packet {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            Packet::Connect { user, client } => {
+                w.put_u8(Self::TAG_CONNECT);
+                w.put_u64(user.0);
+                w.put_u32(client.0);
+            }
+            Packet::ConnectAck { user } => {
+                w.put_u8(Self::TAG_CONNECT_ACK);
+                w.put_u64(user.0);
+            }
+            Packet::Disconnect { user } => {
+                w.put_u8(Self::TAG_DISCONNECT);
+                w.put_u64(user.0);
+            }
+            Packet::UserInput { user, seq, payload } => {
+                w.put_u8(Self::TAG_USER_INPUT);
+                w.put_u64(user.0);
+                w.put_u32(*seq);
+                w.put_bytes(payload);
+            }
+            Packet::ForwardedInput { origin, payload } => {
+                w.put_u8(Self::TAG_FORWARDED);
+                w.put_u32(origin.0);
+                w.put_bytes(payload);
+            }
+            Packet::ReplicaUpdate { origin, users, payload } => {
+                w.put_u8(Self::TAG_REPLICA_UPDATE);
+                w.put_u32(origin.0);
+                w.put_u32(users.len() as u32);
+                for u in users {
+                    w.put_u64(u.0);
+                }
+                w.put_bytes(payload);
+            }
+            Packet::StateUpdate { user, tick, payload } => {
+                w.put_u8(Self::TAG_STATE_UPDATE);
+                w.put_u64(user.0);
+                w.put_u64(*tick);
+                w.put_bytes(payload);
+            }
+            Packet::MigrationData { user, client, payload } => {
+                w.put_u8(Self::TAG_MIGRATION_DATA);
+                w.put_u64(user.0);
+                w.put_u32(client.0);
+                w.put_bytes(payload);
+            }
+            Packet::Redirect { user, new_server } => {
+                w.put_u8(Self::TAG_REDIRECT);
+                w.put_u64(user.0);
+                w.put_u32(new_server.0);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let tag = r.get_u8()?;
+        Ok(match tag {
+            Self::TAG_CONNECT => {
+                Packet::Connect { user: UserId(r.get_u64()?), client: NodeId(r.get_u32()?) }
+            }
+            Self::TAG_CONNECT_ACK => Packet::ConnectAck { user: UserId(r.get_u64()?) },
+            Self::TAG_DISCONNECT => Packet::Disconnect { user: UserId(r.get_u64()?) },
+            Self::TAG_USER_INPUT => Packet::UserInput {
+                user: UserId(r.get_u64()?),
+                seq: r.get_u32()?,
+                payload: Bytes::copy_from_slice(r.get_bytes()?),
+            },
+            Self::TAG_FORWARDED => Packet::ForwardedInput {
+                origin: NodeId(r.get_u32()?),
+                payload: Bytes::copy_from_slice(r.get_bytes()?),
+            },
+            Self::TAG_REPLICA_UPDATE => {
+                let origin = NodeId(r.get_u32()?);
+                let count = r.get_u32()? as usize;
+                let mut users = Vec::with_capacity(count.min(4096));
+                for _ in 0..count {
+                    users.push(UserId(r.get_u64()?));
+                }
+                Packet::ReplicaUpdate {
+                    origin,
+                    users,
+                    payload: Bytes::copy_from_slice(r.get_bytes()?),
+                }
+            }
+            Self::TAG_STATE_UPDATE => Packet::StateUpdate {
+                user: UserId(r.get_u64()?),
+                tick: r.get_u64()?,
+                payload: Bytes::copy_from_slice(r.get_bytes()?),
+            },
+            Self::TAG_MIGRATION_DATA => Packet::MigrationData {
+                user: UserId(r.get_u64()?),
+                client: NodeId(r.get_u32()?),
+                payload: Bytes::copy_from_slice(r.get_bytes()?),
+            },
+            Self::TAG_REDIRECT => Packet::Redirect {
+                user: UserId(r.get_u64()?),
+                new_server: NodeId(r.get_u32()?),
+            },
+            t => return Err(WireError::BadTag(t)),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(p: Packet) {
+        let buf = p.to_bytes();
+        let q = Packet::from_bytes(&buf).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        round_trip(Packet::Connect { user: UserId(1), client: NodeId(70) });
+        round_trip(Packet::ConnectAck { user: UserId(2) });
+        round_trip(Packet::Disconnect { user: UserId(3) });
+        round_trip(Packet::UserInput {
+            user: UserId(4),
+            seq: 99,
+            payload: Bytes::from_static(b"move"),
+        });
+        round_trip(Packet::ForwardedInput {
+            origin: NodeId(5),
+            payload: Bytes::from_static(b"attack"),
+        });
+        round_trip(Packet::ReplicaUpdate {
+            origin: NodeId(6),
+            users: vec![UserId(1), UserId(2), UserId(3)],
+            payload: Bytes::from_static(b"positions"),
+        });
+        round_trip(Packet::StateUpdate {
+            user: UserId(7),
+            tick: 123456,
+            payload: Bytes::from_static(b"world"),
+        });
+        round_trip(Packet::MigrationData {
+            user: UserId(8),
+            client: NodeId(77),
+            payload: Bytes::from_static(b"inventory"),
+        });
+        round_trip(Packet::Redirect { user: UserId(9), new_server: NodeId(2) });
+    }
+
+    #[test]
+    fn empty_payloads_round_trip() {
+        round_trip(Packet::UserInput { user: UserId(1), seq: 0, payload: Bytes::new() });
+        round_trip(Packet::ReplicaUpdate {
+            origin: NodeId(0),
+            users: vec![],
+            payload: Bytes::new(),
+        });
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        assert_eq!(Packet::from_bytes(&[0xFF]).unwrap_err(), WireError::BadTag(0xFF));
+    }
+
+    #[test]
+    fn truncated_packet_rejected() {
+        let buf = Packet::UserInput {
+            user: UserId(4),
+            seq: 99,
+            payload: Bytes::from_static(b"move"),
+        }
+        .to_bytes();
+        let err = Packet::from_bytes(&buf[..buf.len() - 2]).unwrap_err();
+        assert!(matches!(err, WireError::Truncated { .. } | WireError::BadLength(_)));
+    }
+
+    #[test]
+    fn kind_names_are_stable() {
+        assert_eq!(
+            Packet::Connect { user: UserId(0), client: NodeId(0) }.kind_name(),
+            "connect"
+        );
+        assert_eq!(
+            Packet::StateUpdate { user: UserId(0), tick: 0, payload: Bytes::new() }.kind_name(),
+            "state_update"
+        );
+    }
+}

@@ -1,0 +1,826 @@
+//! The application server and its real-time loop (§II).
+//!
+//! A [`Server`] executes one iteration of the real-time loop per call to
+//! [`Server::tick`]:
+//!
+//! 1. receive inputs from connected users (and forwarded traffic from the
+//!    other replicas of its zone),
+//! 2. compute the new application state via the [`Application`] callbacks,
+//! 3. send state updates to its users and replica updates to its peers.
+//!
+//! Each phase is attributed to the corresponding model task
+//! ([`crate::timer::TaskKind`]): the framework times its generic work
+//! (envelope (de)serialization, migration handling) and the application
+//! attributes its logic (input application, interest management, NPC
+//! updates) through the [`TickCtx`] it receives — exactly the division of
+//! measurement responsibility §III-C describes.
+
+use crate::entity::UserId;
+use crate::event::Packet;
+use crate::metrics::{MetricsLog, TickRecord};
+use crate::timer::{TaskKind, TickTimers, TimeMode};
+use crate::wire::Wire;
+use crate::zone::ZoneId;
+use bytes::Bytes;
+use rtf_net::{Bus, Endpoint, NodeId};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// An interaction produced by applying a local user's input that targets a
+/// user owned by another replica (e.g. an attack hitting a shadow entity).
+/// The framework forwards it to the responsible server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForwardEvent {
+    /// The targeted (shadow) user.
+    pub target_user: UserId,
+    /// Application-defined interaction payload.
+    pub payload: Bytes,
+}
+
+/// Context handed to every [`Application`] callback.
+pub struct TickCtx<'a> {
+    /// The server's current tick number.
+    pub tick: u64,
+    /// This server's network identity.
+    pub server: NodeId,
+    /// Per-task timers: `time` for wall measurement, `charge` for virtual
+    /// cost attribution.
+    pub timers: &'a mut TickTimers,
+}
+
+/// The application-logic hooks the framework drives.
+///
+/// Attribution contract: the framework times envelope decoding into
+/// `UaDser`/`FaDser`/`MigRcv`, envelope encoding into `Su`, and the
+/// migration sequence into `MigIni`/`MigRcv`. Application callbacks
+/// attribute their own work — `apply_user_input` to `Ua` (and any payload
+/// deserialization to `UaDser`), `apply_forwarded_input` /
+/// `apply_replica_update` to `Fa`/`FaDser`, `update_npcs` to `Npc`,
+/// `state_update_for` to `Aoi` and `Su`, `export_user`/`import_user` to
+/// `MigIni`/`MigRcv` — using `ctx.timers`.
+pub trait Application {
+    /// A user connected to this server (fresh or via migration).
+    fn on_user_connected(&mut self, user: UserId);
+
+    /// A user left this server.
+    fn on_user_disconnected(&mut self, user: UserId);
+
+    /// Deserialize, validate and apply one input of a locally connected
+    /// user. Interactions with users owned by other replicas are returned
+    /// and forwarded by the framework.
+    fn apply_user_input(
+        &mut self,
+        ctx: &mut TickCtx<'_>,
+        user: UserId,
+        payload: &[u8],
+    ) -> Vec<ForwardEvent>;
+
+    /// Apply an interaction forwarded by another replica that targets one
+    /// of this server's active users.
+    fn apply_forwarded_input(&mut self, ctx: &mut TickCtx<'_>, origin: NodeId, payload: &[u8]);
+
+    /// Apply a per-tick replica update: the state of `users` (shadow
+    /// entities here) owned by `origin`.
+    fn apply_replica_update(
+        &mut self,
+        ctx: &mut TickCtx<'_>,
+        origin: NodeId,
+        users: &[UserId],
+        payload: &[u8],
+    );
+
+    /// Advance the computer-controlled characters.
+    fn update_npcs(&mut self, ctx: &mut TickCtx<'_>);
+
+    /// Compute the area of interest of `user` and serialize their state
+    /// update.
+    fn state_update_for(&mut self, ctx: &mut TickCtx<'_>, user: UserId) -> Bytes;
+
+    /// Serialize the per-tick update of this server's active entities for
+    /// the other replicas. Called once per tick; the framework broadcasts
+    /// it.
+    fn replica_update(&mut self, ctx: &mut TickCtx<'_>) -> Bytes;
+
+    /// Serialize the full state of `user` for migration and drop the local
+    /// active copy (the entity returns as a shadow via replica updates).
+    fn export_user(&mut self, ctx: &mut TickCtx<'_>, user: UserId) -> Bytes;
+
+    /// Absorb a migrated user's state as a new active entity.
+    fn import_user(&mut self, ctx: &mut TickCtx<'_>, user: UserId, payload: &[u8]);
+
+    /// NPCs currently processed by this server.
+    fn npc_count(&self) -> u32;
+}
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerConfig {
+    /// Target real-time-loop interval in seconds (40 ms ⇒ 25 Hz, the
+    /// RTFDemo requirement of §V).
+    pub tick_interval: f64,
+    /// Wall-clock or virtual-cost accounting.
+    pub time_mode: TimeMode,
+    /// Retained metrics records.
+    pub metrics_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self { tick_interval: 0.040, time_mode: TimeMode::Virtual, metrics_capacity: 4096 }
+    }
+}
+
+/// Counters of the migration traffic a server handled (lifetime totals).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MigrationCounters {
+    /// Migrations this server initiated.
+    pub initiated: u64,
+    /// Migrations this server received.
+    pub received: u64,
+}
+
+/// An RTF application server: one replica of one zone.
+pub struct Server<A: Application> {
+    endpoint: Endpoint,
+    zone: ZoneId,
+    peers: Vec<NodeId>,
+    clients: BTreeMap<UserId, NodeId>,
+    shadows_by_origin: BTreeMap<NodeId, BTreeSet<UserId>>,
+    pending_migrations: VecDeque<(UserId, NodeId)>,
+    app: A,
+    timers: TickTimers,
+    metrics: MetricsLog,
+    tick: u64,
+    config: ServerConfig,
+    migration_counters: MigrationCounters,
+}
+
+impl<A: Application> Server<A> {
+    /// Registers a new server on the bus.
+    pub fn new(bus: &Bus, label: &str, zone: ZoneId, app: A, config: ServerConfig) -> Self {
+        let endpoint = bus.register(label);
+        Self {
+            endpoint,
+            zone,
+            peers: Vec::new(),
+            clients: BTreeMap::new(),
+            shadows_by_origin: BTreeMap::new(),
+            pending_migrations: VecDeque::new(),
+            app,
+            timers: TickTimers::new(config.time_mode),
+            metrics: MetricsLog::new(config.metrics_capacity),
+            tick: 0,
+            config,
+            migration_counters: MigrationCounters::default(),
+        }
+    }
+
+    /// This server's network identity.
+    pub fn id(&self) -> NodeId {
+        self.endpoint.id()
+    }
+
+    /// The zone this server processes.
+    pub fn zone(&self) -> ZoneId {
+        self.zone
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> ServerConfig {
+        self.config
+    }
+
+    /// Replaces the replica-peer set (the other servers of this zone).
+    pub fn set_peers(&mut self, peers: Vec<NodeId>) {
+        let me = self.id();
+        self.peers = peers;
+        self.peers.retain(|p| *p != me);
+        // Shadow state from departed peers is stale.
+        let keep: BTreeSet<NodeId> = self.peers.iter().copied().collect();
+        self.shadows_by_origin.retain(|origin, _| keep.contains(origin));
+    }
+
+    /// Current replica peers.
+    pub fn peers(&self) -> &[NodeId] {
+        &self.peers
+    }
+
+    /// Number of users connected to this server (`a` in Eq. (4)).
+    pub fn active_users(&self) -> u32 {
+        self.clients.len() as u32
+    }
+
+    /// The connected users, ascending.
+    pub fn users(&self) -> impl Iterator<Item = UserId> + '_ {
+        self.clients.keys().copied()
+    }
+
+    /// Number of shadow users mirrored from peers.
+    pub fn shadow_users(&self) -> u32 {
+        self.shadows_by_origin.values().map(|s| s.len() as u32).sum()
+    }
+
+    /// Local estimate of the zone's total user count `n`.
+    pub fn zone_users(&self) -> u32 {
+        self.active_users() + self.shadow_users()
+    }
+
+    /// Lifetime migration counters.
+    pub fn migration_counters(&self) -> MigrationCounters {
+        self.migration_counters
+    }
+
+    /// The metrics log RTF-RMS polls.
+    pub fn metrics(&self) -> &MetricsLog {
+        &self.metrics
+    }
+
+    /// Access to the application (e.g. for assertions in tests).
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Mutable access to the application.
+    pub fn app_mut(&mut self) -> &mut A {
+        &mut self.app
+    }
+
+    /// Schedules a user migration to `target`; it executes during the next
+    /// tick. Returns `false` if the user is not connected here (it may have
+    /// already migrated or disconnected).
+    pub fn schedule_migration(&mut self, user: UserId, target: NodeId) -> bool {
+        if !self.clients.contains_key(&user) {
+            return false;
+        }
+        self.pending_migrations.push_back((user, target));
+        true
+    }
+
+    /// Which peer owns `user` as an active entity, according to the latest
+    /// replica updates.
+    pub fn shadow_owner(&self, user: UserId) -> Option<NodeId> {
+        self.shadows_by_origin
+            .iter()
+            .find(|(_, users)| users.contains(&user))
+            .map(|(origin, _)| *origin)
+    }
+
+    /// Executes one iteration of the real-time loop and returns its record.
+    pub fn tick(&mut self) -> TickRecord {
+        self.timers.reset();
+        let mut bytes_in = 0u64;
+        let mut bytes_out = 0u64;
+        let mut bytes_in_clients = 0u64;
+        let mut bytes_in_peers = 0u64;
+        let mut bytes_out_clients = 0u64;
+        let mut bytes_out_peers = 0u64;
+        let mut inputs_processed = 0u32;
+        let mut forwarded_processed = 0u32;
+        let mut updates_sent = 0u32;
+        let mut migrations_received = 0u32;
+
+        // --- Step 1: receive. Classify by tag byte without decoding, so
+        // decode time can be attributed per task kind below.
+        let raw = self.endpoint.drain();
+        let mut user_inputs = Vec::new();
+        let mut forwarded = Vec::new();
+        let mut replica_updates = Vec::new();
+        let mut migration_data = Vec::new();
+        let mut control = Vec::new();
+        for msg in raw {
+            let len = msg.payload.len() as u64;
+            bytes_in += len;
+            match msg.payload.first() {
+                Some(4) => {
+                    bytes_in_clients += len;
+                    user_inputs.push(msg.payload);
+                }
+                Some(5) => {
+                    bytes_in_peers += len;
+                    forwarded.push(msg.payload);
+                }
+                Some(6) => {
+                    bytes_in_peers += len;
+                    replica_updates.push(msg.payload);
+                }
+                Some(8) => {
+                    bytes_in_peers += len;
+                    migration_data.push(msg.payload);
+                }
+                Some(_) => {
+                    bytes_in_clients += len;
+                    control.push(msg.payload);
+                }
+                None => {}
+            }
+        }
+
+        // Connection control (not part of the model's four tasks).
+        let decoded_control: Vec<Packet> = self.timers.time(TaskKind::Other, || {
+            control.iter().filter_map(|b| Packet::from_bytes(b).ok()).collect()
+        });
+        for pkt in decoded_control {
+            match pkt {
+                Packet::Connect { user, client }
+                    if self.connect_user(user, client) => {
+                        let sent = self.send(client, &Packet::ConnectAck { user });
+                        bytes_out += sent;
+                        bytes_out_clients += sent;
+                    }
+                Packet::Disconnect { user } => self.handle_disconnect(user),
+                _ => {}
+            }
+        }
+
+        // Replica updates: refresh shadow tables, then let the app apply
+        // the shadow-entity state (task 2 of §III-A).
+        for buf in &replica_updates {
+            let pkt = self.timers.time(TaskKind::FaDser, || Packet::from_bytes(buf));
+            if let Ok(Packet::ReplicaUpdate { origin, users, payload }) = pkt {
+                let set: BTreeSet<UserId> = users
+                    .iter()
+                    .copied()
+                    .filter(|u| !self.clients.contains_key(u))
+                    .collect();
+                forwarded_processed += set.len() as u32;
+                self.shadows_by_origin.insert(origin, set);
+                let mut ctx =
+                    TickCtx { tick: self.tick, server: self.endpoint.id(), timers: &mut self.timers };
+                self.app.apply_replica_update(&mut ctx, origin, &users, &payload);
+            }
+        }
+
+        // Forwarded interactions targeting our active entities.
+        for buf in &forwarded {
+            let pkt = self.timers.time(TaskKind::FaDser, || Packet::from_bytes(buf));
+            if let Ok(Packet::ForwardedInput { origin, payload }) = pkt {
+                forwarded_processed += 1;
+                let mut ctx =
+                    TickCtx { tick: self.tick, server: self.endpoint.id(), timers: &mut self.timers };
+                self.app.apply_forwarded_input(&mut ctx, origin, &payload);
+            }
+        }
+
+        // User inputs (task 1).
+        let mut outgoing_forwards: Vec<(NodeId, Packet)> = Vec::new();
+        for buf in &user_inputs {
+            let pkt = self.timers.time(TaskKind::UaDser, || Packet::from_bytes(buf));
+            if let Ok(Packet::UserInput { user, payload, .. }) = pkt {
+                if !self.clients.contains_key(&user) {
+                    continue; // raced with a migration or disconnect
+                }
+                inputs_processed += 1;
+                let mut ctx =
+                    TickCtx { tick: self.tick, server: self.endpoint.id(), timers: &mut self.timers };
+                let events = self.app.apply_user_input(&mut ctx, user, &payload);
+                for ev in events {
+                    if let Some(owner) = self.shadow_owner(ev.target_user) {
+                        outgoing_forwards.push((
+                            owner,
+                            Packet::ForwardedInput {
+                                origin: self.endpoint.id(),
+                                payload: ev.payload,
+                            },
+                        ));
+                    }
+                }
+            }
+        }
+        for (owner, pkt) in outgoing_forwards {
+            let sent = self.send(owner, &pkt);
+            bytes_out += sent;
+            bytes_out_peers += sent;
+        }
+
+        // Incoming migrations (receive side of §III-B).
+        for buf in &migration_data {
+            let pkt = self.timers.time(TaskKind::MigRcv, || Packet::from_bytes(buf));
+            if let Ok(Packet::MigrationData { user, client, payload }) = pkt {
+                migrations_received += 1;
+                self.migration_counters.received += 1;
+                self.clients.insert(user, client);
+                // The user stops being a shadow here (we own it now).
+                for set in self.shadows_by_origin.values_mut() {
+                    set.remove(&user);
+                }
+                let mut ctx =
+                    TickCtx { tick: self.tick, server: self.endpoint.id(), timers: &mut self.timers };
+                self.app.import_user(&mut ctx, user, &payload);
+                self.app.on_user_connected(user);
+                let sent = self.send(client, &Packet::ConnectAck { user });
+                bytes_out += sent;
+                bytes_out_clients += sent;
+            }
+        }
+
+        // --- Step 2: compute the new state (task 3: NPCs).
+        {
+            let mut ctx =
+                TickCtx { tick: self.tick, server: self.endpoint.id(), timers: &mut self.timers };
+            self.app.update_npcs(&mut ctx);
+        }
+
+        // Outgoing migrations scheduled by the resource manager
+        // (initiate side of §III-B) — before state updates, so departing
+        // users no longer receive one from us.
+        let mut migrations_initiated = 0u32;
+        while let Some((user, target)) = self.pending_migrations.pop_front() {
+            let Some(&client) = self.clients.get(&user) else { continue };
+            migrations_initiated += 1;
+            self.migration_counters.initiated += 1;
+            let payload = {
+                let mut ctx =
+                    TickCtx { tick: self.tick, server: self.endpoint.id(), timers: &mut self.timers };
+                self.app.export_user(&mut ctx, user)
+            };
+            let (data, redirect) = self.timers.time(TaskKind::MigIni, || {
+                (
+                    Packet::MigrationData { user, client, payload }.to_bytes(),
+                    Packet::Redirect { user, new_server: target }.to_bytes(),
+                )
+            });
+            bytes_out += data.len() as u64;
+            bytes_out_peers += data.len() as u64;
+            let _ = self.endpoint.send(target, data);
+            bytes_out += redirect.len() as u64;
+            bytes_out_clients += redirect.len() as u64;
+            let _ = self.endpoint.send(client, redirect);
+            self.clients.remove(&user);
+            self.app.on_user_disconnected(user);
+        }
+
+        // --- Step 3: send state updates (task 4) ...
+        let users: Vec<(UserId, NodeId)> = self.clients.iter().map(|(u, c)| (*u, *c)).collect();
+        for (user, client) in users {
+            let payload = {
+                let mut ctx =
+                    TickCtx { tick: self.tick, server: self.endpoint.id(), timers: &mut self.timers };
+                self.app.state_update_for(&mut ctx, user)
+            };
+            let pkt = Packet::StateUpdate { user, tick: self.tick, payload };
+            let buf = self.timers.time(TaskKind::Su, || pkt.to_bytes());
+            bytes_out += buf.len() as u64;
+            bytes_out_clients += buf.len() as u64;
+            let _ = self.endpoint.send(client, buf);
+            updates_sent += 1;
+        }
+
+        // ... and the replica update to the peers (the traffic that becomes
+        // the peers' forwarded-input work; its own cost is not one of the
+        // four modelled tasks, hence `Other`).
+        if !self.peers.is_empty() && !self.clients.is_empty() {
+            let payload = {
+                let mut ctx =
+                    TickCtx { tick: self.tick, server: self.endpoint.id(), timers: &mut self.timers };
+                self.app.replica_update(&mut ctx)
+            };
+            let users: Vec<UserId> = self.clients.keys().copied().collect();
+            let pkt = Packet::ReplicaUpdate {
+                origin: self.endpoint.id(),
+                users,
+                payload,
+            };
+            let buf = self.timers.time(TaskKind::Other, || pkt.to_bytes());
+            for peer in self.peers.clone() {
+                bytes_out += buf.len() as u64;
+                bytes_out_peers += buf.len() as u64;
+                let _ = self.endpoint.send(peer, buf.clone());
+            }
+        }
+
+        // Finalize the record.
+        let record = TickRecord {
+            tick: self.tick,
+            server: self.endpoint.id(),
+            active_users: self.active_users(),
+            shadow_users: self.shadow_users(),
+            npcs: self.app.npc_count(),
+            per_task: self.timers.snapshot(),
+            tick_duration: self.timers.total(),
+            inputs_processed,
+            forwarded_processed,
+            updates_sent,
+            migrations_initiated,
+            migrations_received,
+            bytes_in,
+            bytes_out,
+            bytes_in_clients,
+            bytes_in_peers,
+            bytes_out_clients,
+            bytes_out_peers,
+        };
+        self.metrics.push(record.clone());
+        self.tick += 1;
+        record
+    }
+
+    fn handle_disconnect(&mut self, user: UserId) {
+        if self.clients.remove(&user).is_some() {
+            self.app.on_user_disconnected(user);
+        }
+    }
+
+    /// Registers a client connection directly (the in-process equivalent of
+    /// accepting a TCP connection). Returns `false` if the user is already
+    /// connected.
+    pub fn connect_user(&mut self, user: UserId, client: NodeId) -> bool {
+        if self.clients.contains_key(&user) {
+            return false;
+        }
+        self.clients.insert(user, client);
+        // No longer a shadow if it was one.
+        for set in self.shadows_by_origin.values_mut() {
+            set.remove(&user);
+        }
+        self.app.on_user_connected(user);
+        true
+    }
+
+    /// Removes a client connection directly. Returns `false` if unknown.
+    pub fn disconnect_user(&mut self, user: UserId) -> bool {
+        if self.clients.remove(&user).is_some() {
+            self.app.on_user_disconnected(user);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn send(&self, to: NodeId, pkt: &Packet) -> u64 {
+        let buf = pkt.to_bytes();
+        let len = buf.len() as u64;
+        let _ = self.endpoint.send(to, buf);
+        len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::{WireReader, WireWriter};
+
+    /// A minimal test application: users accumulate a counter per input;
+    /// state updates echo the counter; forwarded inputs increment a hit
+    /// count; everything charges fixed virtual costs.
+    #[derive(Default)]
+    struct TestApp {
+        counters: BTreeMap<UserId, u64>,
+        shadow_ticks: u64,
+        hits: u64,
+        npc_updates: u64,
+    }
+
+    impl Application for TestApp {
+        fn on_user_connected(&mut self, user: UserId) {
+            self.counters.entry(user).or_insert(0);
+        }
+        fn on_user_disconnected(&mut self, user: UserId) {
+            self.counters.remove(&user);
+        }
+        fn apply_user_input(
+            &mut self,
+            ctx: &mut TickCtx<'_>,
+            user: UserId,
+            payload: &[u8],
+        ) -> Vec<ForwardEvent> {
+            ctx.timers.charge(TaskKind::Ua, 1e-4);
+            *self.counters.get_mut(&user).expect("connected") += 1;
+            // Payload optionally names a target user to "attack".
+            if payload.len() >= 8 {
+                let mut r = WireReader::new(payload);
+                let target = UserId(r.get_u64().expect("8 bytes"));
+                if !self.counters.contains_key(&target) {
+                    return vec![ForwardEvent {
+                        target_user: target,
+                        payload: Bytes::from_static(b"hit"),
+                    }];
+                }
+            }
+            vec![]
+        }
+        fn apply_forwarded_input(&mut self, ctx: &mut TickCtx<'_>, _origin: NodeId, _p: &[u8]) {
+            ctx.timers.charge(TaskKind::Fa, 1e-5);
+            self.hits += 1;
+        }
+        fn apply_replica_update(
+            &mut self,
+            ctx: &mut TickCtx<'_>,
+            _origin: NodeId,
+            users: &[UserId],
+            _payload: &[u8],
+        ) {
+            ctx.timers.charge(TaskKind::Fa, 1e-6 * users.len() as f64);
+            self.shadow_ticks += users.len() as u64;
+        }
+        fn update_npcs(&mut self, ctx: &mut TickCtx<'_>) {
+            ctx.timers.charge(TaskKind::Npc, 1e-6);
+            self.npc_updates += 1;
+        }
+        fn state_update_for(&mut self, ctx: &mut TickCtx<'_>, user: UserId) -> Bytes {
+            ctx.timers.charge(TaskKind::Aoi, 5e-5);
+            ctx.timers.charge(TaskKind::Su, 5e-5);
+            let mut w = WireWriter::new();
+            w.put_u64(self.counters[&user]);
+            w.finish()
+        }
+        fn replica_update(&mut self, _ctx: &mut TickCtx<'_>) -> Bytes {
+            Bytes::from_static(b"sync")
+        }
+        fn export_user(&mut self, ctx: &mut TickCtx<'_>, user: UserId) -> Bytes {
+            ctx.timers.charge(TaskKind::MigIni, 2e-4);
+            let counter = self.counters.remove(&user).unwrap_or(0);
+            let mut w = WireWriter::new();
+            w.put_u64(counter);
+            w.finish()
+        }
+        fn import_user(&mut self, ctx: &mut TickCtx<'_>, user: UserId, payload: &[u8]) {
+            ctx.timers.charge(TaskKind::MigRcv, 1e-4);
+            let mut r = WireReader::new(payload);
+            self.counters.insert(user, r.get_u64().unwrap_or(0));
+        }
+        fn npc_count(&self) -> u32 {
+            3
+        }
+    }
+
+    fn setup() -> (Bus, Server<TestApp>, Endpoint) {
+        let bus = Bus::new();
+        let server = Server::new(&bus, "s1", ZoneId(1), TestApp::default(), ServerConfig::default());
+        let client = bus.register("client");
+        (bus, server, client)
+    }
+
+    fn input_packet(user: UserId, seq: u32, payload: &[u8]) -> Bytes {
+        Packet::UserInput { user, seq, payload: Bytes::copy_from_slice(payload) }.to_bytes()
+    }
+
+    #[test]
+    fn connect_and_process_input() {
+        let (_bus, mut server, client) = setup();
+        let user = UserId(1);
+        assert!(server.connect_user(user, client.id()));
+        assert!(!server.connect_user(user, client.id()), "double connect rejected");
+
+        client.send(server.id(), input_packet(user, 0, &[])).unwrap();
+        let record = server.tick();
+        assert_eq!(record.inputs_processed, 1);
+        assert_eq!(record.active_users, 1);
+        assert_eq!(server.app().counters[&user], 1);
+        assert!(record.tick_duration > 0.0, "virtual charges accumulate");
+    }
+
+    #[test]
+    fn state_updates_sent_to_clients() {
+        let (_bus, mut server, client) = setup();
+        let user = UserId(1);
+        server.connect_user(user, client.id());
+        client.send(server.id(), input_packet(user, 0, &[])).unwrap();
+        let record = server.tick();
+        assert_eq!(record.updates_sent, 1);
+        let msgs = client.drain();
+        let update = msgs
+            .iter()
+            .filter_map(|m| Packet::from_bytes(&m.payload).ok())
+            .find_map(|p| match p {
+                Packet::StateUpdate { user: u, payload, .. } if u == user => Some(payload),
+                _ => None,
+            })
+            .expect("client got an update");
+        let mut r = WireReader::new(&update);
+        assert_eq!(r.get_u64().unwrap(), 1, "counter visible in update");
+    }
+
+    #[test]
+    fn replica_updates_create_shadows_and_forwarding_works() {
+        let bus = Bus::new();
+        let mut s1 =
+            Server::new(&bus, "s1", ZoneId(1), TestApp::default(), ServerConfig::default());
+        let mut s2 =
+            Server::new(&bus, "s2", ZoneId(1), TestApp::default(), ServerConfig::default());
+        s1.set_peers(vec![s2.id()]);
+        s2.set_peers(vec![s1.id()]);
+        let c1 = bus.register("c1");
+        let c2 = bus.register("c2");
+        let (u1, u2) = (UserId(1), UserId(2));
+        s1.connect_user(u1, c1.id());
+        s2.connect_user(u2, c2.id());
+
+        // Tick both so replica updates propagate.
+        s1.tick();
+        s2.tick();
+        let r1 = s1.tick();
+        let r2 = s2.tick();
+        assert_eq!(r1.shadow_users, 1, "u2 is a shadow on s1");
+        assert_eq!(r2.shadow_users, 1);
+        assert_eq!(s1.zone_users(), 2);
+        assert_eq!(s1.shadow_owner(u2), Some(s2.id()));
+
+        // u1 attacks u2 (owned by s2): the interaction must be forwarded.
+        let mut w = WireWriter::new();
+        w.put_u64(u2.0);
+        c1.send(s1.id(), input_packet(u1, 1, &w.finish())).unwrap();
+        s1.tick();
+        let r2 = s2.tick();
+        assert_eq!(s2.app().hits, 1, "forwarded interaction applied on s2");
+        assert!(r2.forwarded_processed >= 1);
+    }
+
+    #[test]
+    fn migration_moves_user_between_servers() {
+        let bus = Bus::new();
+        let mut s1 =
+            Server::new(&bus, "s1", ZoneId(1), TestApp::default(), ServerConfig::default());
+        let mut s2 =
+            Server::new(&bus, "s2", ZoneId(1), TestApp::default(), ServerConfig::default());
+        s1.set_peers(vec![s2.id()]);
+        s2.set_peers(vec![s1.id()]);
+        let c1 = bus.register("c1");
+        let user = UserId(42);
+        s1.connect_user(user, c1.id());
+
+        // Accumulate state before migrating.
+        c1.send(s1.id(), input_packet(user, 0, &[])).unwrap();
+        s1.tick();
+        assert_eq!(s1.app().counters[&user], 1);
+
+        assert!(s1.schedule_migration(user, s2.id()));
+        let r1 = s1.tick();
+        assert_eq!(r1.migrations_initiated, 1);
+        assert_eq!(s1.active_users(), 0);
+        assert!(r1.task(TaskKind::MigIni) > 0.0);
+
+        let r2 = s2.tick();
+        assert_eq!(r2.migrations_received, 1);
+        assert_eq!(s2.active_users(), 1);
+        assert_eq!(s2.app().counters[&user], 1, "state travelled with the user");
+        assert!(r2.task(TaskKind::MigRcv) > 0.0);
+        assert_eq!(s1.migration_counters().initiated, 1);
+        assert_eq!(s2.migration_counters().received, 1);
+
+        // The client got a Redirect to s2 and a ConnectAck from s2.
+        let pkts: Vec<Packet> = c1
+            .drain()
+            .iter()
+            .filter_map(|m| Packet::from_bytes(&m.payload).ok())
+            .collect();
+        assert!(pkts
+            .iter()
+            .any(|p| matches!(p, Packet::Redirect { new_server, .. } if *new_server == s2.id())));
+        assert!(pkts.iter().any(|p| matches!(p, Packet::ConnectAck { user: u } if *u == user)));
+    }
+
+    #[test]
+    fn migration_of_unknown_user_is_rejected() {
+        let (_bus, mut server, _client) = setup();
+        assert!(!server.schedule_migration(UserId(9), NodeId(99)));
+    }
+
+    #[test]
+    fn input_from_disconnected_user_is_dropped() {
+        let (_bus, mut server, client) = setup();
+        client.send(server.id(), input_packet(UserId(5), 0, &[])).unwrap();
+        let record = server.tick();
+        assert_eq!(record.inputs_processed, 0);
+    }
+
+    #[test]
+    fn disconnect_removes_user() {
+        let (_bus, mut server, client) = setup();
+        let user = UserId(1);
+        server.connect_user(user, client.id());
+        client.send(server.id(), Packet::Disconnect { user }.to_bytes()).unwrap();
+        server.tick();
+        assert_eq!(server.active_users(), 0);
+        assert!(server.app().counters.is_empty());
+    }
+
+    #[test]
+    fn metrics_accumulate_per_tick() {
+        let (_bus, mut server, client) = setup();
+        server.connect_user(UserId(1), client.id());
+        for _ in 0..5 {
+            server.tick();
+        }
+        assert_eq!(server.metrics().len(), 5);
+        assert!(server.metrics().avg_tick_duration(5) > 0.0);
+        assert_eq!(server.metrics().latest().unwrap().tick, 4);
+    }
+
+    #[test]
+    fn set_peers_excludes_self_and_prunes_shadows() {
+        let bus = Bus::new();
+        let mut s1 =
+            Server::new(&bus, "s1", ZoneId(1), TestApp::default(), ServerConfig::default());
+        let me = s1.id();
+        s1.set_peers(vec![me, NodeId(77)]);
+        assert_eq!(s1.peers(), &[NodeId(77)]);
+    }
+
+    #[test]
+    fn npc_update_runs_every_tick() {
+        let (_bus, mut server, _client) = setup();
+        server.tick();
+        server.tick();
+        assert_eq!(server.app().npc_updates, 2);
+        assert_eq!(server.metrics().latest().unwrap().npcs, 3);
+    }
+}

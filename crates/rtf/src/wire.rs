@@ -1,0 +1,309 @@
+//! Binary wire format with byte accounting.
+//!
+//! RTF provides "automatic (de-)serialization for objects to be transferred
+//! over network (user inputs, application state updates, etc.)" (§II). This
+//! module is that layer: a compact little-endian binary writer/reader used
+//! by the packet envelope ([`crate::event`]) and by applications for their
+//! payloads. Byte counts flow into the per-task cost accounting — the
+//! paper's `t_*_dser`/`t_su` parameters scale with serialized size.
+
+use bytes::{Bytes, BytesMut};
+use std::fmt;
+
+/// Errors raised while decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the requested field.
+    Truncated {
+        /// Bytes needed by the read.
+        needed: usize,
+        /// Bytes remaining in the buffer.
+        remaining: usize,
+    },
+    /// An enum tag had no known mapping.
+    BadTag(u8),
+    /// A length prefix exceeded the remaining buffer (corrupt frame).
+    BadLength(u64),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, remaining } => {
+                write!(f, "truncated: needed {needed} bytes, {remaining} remaining")
+            }
+            WireError::BadTag(t) => write!(f, "unknown tag {t}"),
+            WireError::BadLength(l) => write!(f, "bad length prefix {l}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Serializer that appends to a growable buffer.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: BytesMut,
+}
+
+impl WireWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { buf: BytesMut::with_capacity(cap) }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends a `u8`.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.extend_from_slice(&[v]);
+    }
+
+    /// Appends a `u16` (little endian).
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32` (little endian).
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64` (little endian).
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f32` (little endian).
+    pub fn put_f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` (little endian).
+    pub fn put_f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a length-prefixed byte string (u32 prefix).
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Finishes and returns the immutable buffer.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Deserializer over a byte slice.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Creates a reader over the whole slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether the reader consumed everything.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated { needed: n, remaining: self.remaining() });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    /// Reads a `u8`.
+    pub fn get_u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    /// Reads a `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Reads a `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Reads an `f32`.
+    pub fn get_f32(&mut self) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    /// Reads an `f64`.
+    pub fn get_f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], WireError> {
+        let len = self.get_u32()? as usize;
+        if len > self.remaining() {
+            return Err(WireError::BadLength(len as u64));
+        }
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed UTF-8 string (lossy for invalid UTF-8).
+    pub fn get_string(&mut self) -> Result<String, WireError> {
+        Ok(String::from_utf8_lossy(self.get_bytes()?).into_owned())
+    }
+}
+
+/// Types encodable on the wire.
+pub trait Wire: Sized {
+    /// Serializes `self` into the writer.
+    fn encode(&self, w: &mut WireWriter);
+
+    /// Deserializes a value from the reader.
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError>;
+
+    /// Convenience: serialize to a fresh buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut w = WireWriter::new();
+        self.encode(&mut w);
+        w.finish()
+    }
+
+    /// Convenience: deserialize from a slice, requiring full consumption.
+    fn from_bytes(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(buf);
+        let v = Self::decode(&mut r)?;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut w = WireWriter::new();
+        w.put_u8(7);
+        w.put_u16(1000);
+        w.put_u32(123456);
+        w.put_u64(u64::MAX - 1);
+        w.put_f32(1.5);
+        w.put_f64(-2.25);
+        let buf = w.finish();
+
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 1000);
+        assert_eq!(r.get_u32().unwrap(), 123456);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_f32().unwrap(), 1.5);
+        assert_eq!(r.get_f64().unwrap(), -2.25);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn bytes_and_strings_round_trip() {
+        let mut w = WireWriter::new();
+        w.put_bytes(b"payload");
+        w.put_str("zoné-1");
+        let buf = w.finish();
+
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.get_bytes().unwrap(), b"payload");
+        assert_eq!(r.get_string().unwrap(), "zoné-1");
+    }
+
+    #[test]
+    fn truncated_read_fails() {
+        let mut r = WireReader::new(&[1, 2]);
+        let err = r.get_u32().unwrap_err();
+        assert_eq!(err, WireError::Truncated { needed: 4, remaining: 2 });
+    }
+
+    #[test]
+    fn bad_length_prefix_fails() {
+        let mut w = WireWriter::new();
+        w.put_u32(1_000_000); // claims a megabyte that is not there
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.get_bytes().unwrap_err(), WireError::BadLength(1_000_000));
+    }
+
+    #[test]
+    fn empty_byte_string() {
+        let mut w = WireWriter::new();
+        w.put_bytes(b"");
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        assert_eq!(r.get_bytes().unwrap(), b"");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn writer_len_tracks_bytes() {
+        let mut w = WireWriter::with_capacity(16);
+        assert!(w.is_empty());
+        w.put_u32(1);
+        assert_eq!(w.len(), 4);
+        w.put_bytes(b"abc");
+        assert_eq!(w.len(), 4 + 4 + 3);
+    }
+
+    #[test]
+    fn wire_trait_round_trip() {
+        #[derive(Debug, PartialEq)]
+        struct Point {
+            x: f32,
+            y: f32,
+        }
+        impl Wire for Point {
+            fn encode(&self, w: &mut WireWriter) {
+                w.put_f32(self.x);
+                w.put_f32(self.y);
+            }
+            fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+                Ok(Point { x: r.get_f32()?, y: r.get_f32()? })
+            }
+        }
+        let p = Point { x: 3.0, y: -4.5 };
+        assert_eq!(Point::from_bytes(&p.to_bytes()).unwrap(), p);
+    }
+}

@@ -1,0 +1,277 @@
+//! Zones and application-state distribution — §II's zoning, instancing and
+//! replication.
+//!
+//! The virtual environment is partitioned into [`Zone`]s. A [`WorldLayout`]
+//! records which servers process which zone: one server per zone is plain
+//! *zoning*; several servers on the same zone form a *replication* group
+//! (the configuration the scalability model targets); independent copies of
+//! a zone are *instances*.
+
+use crate::entity::{Rect, Vec2};
+use rtf_net::NodeId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a zone of the virtual environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ZoneId(pub u32);
+
+impl fmt::Display for ZoneId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "zone#{}", self.0)
+    }
+}
+
+/// Identifier of a zone instance (0 = the primary instance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct InstanceId(pub u32);
+
+/// A zone: a named area of the virtual environment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Zone {
+    /// The zone's identifier.
+    pub id: ZoneId,
+    /// The area it covers.
+    pub bounds: Rect,
+    /// Human-readable name.
+    pub name: String,
+}
+
+/// How a set of servers shares the application state (§II, Fig. 1 right).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Distribution {
+    /// Disjoint zones on distinct servers.
+    Zoning,
+    /// Independent copies of one zone.
+    Instancing,
+    /// Multiple servers cooperating on one zone copy, each owning a subset
+    /// of entities and mirroring the rest as shadows.
+    Replication,
+}
+
+/// The assignment of servers to zone instances.
+#[derive(Debug, Clone, Default)]
+pub struct WorldLayout {
+    zones: BTreeMap<ZoneId, Zone>,
+    /// Servers per (zone, instance): >1 server ⇒ a replication group.
+    assignment: BTreeMap<(ZoneId, InstanceId), Vec<NodeId>>,
+}
+
+impl WorldLayout {
+    /// Creates an empty layout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a zone to the world.
+    pub fn add_zone(&mut self, zone: Zone) {
+        self.zones.insert(zone.id, zone);
+    }
+
+    /// The zone covering `pos`, if any.
+    pub fn zone_at(&self, pos: &Vec2) -> Option<&Zone> {
+        self.zones.values().find(|z| z.bounds.contains(pos))
+    }
+
+    /// Looks up a zone by id.
+    pub fn zone(&self, id: ZoneId) -> Option<&Zone> {
+        self.zones.get(&id)
+    }
+
+    /// All zones, ordered by id.
+    pub fn zones(&self) -> impl Iterator<Item = &Zone> {
+        self.zones.values()
+    }
+
+    /// Assigns a server to (zone, instance), growing the replication group.
+    pub fn assign(&mut self, zone: ZoneId, instance: InstanceId, server: NodeId) {
+        let group = self.assignment.entry((zone, instance)).or_default();
+        if !group.contains(&server) {
+            group.push(server);
+        }
+    }
+
+    /// Removes a server from a replication group; returns `false` if it was
+    /// not assigned. The last server of a group cannot be removed (each
+    /// zone must be processed by at least one server, §IV "resource
+    /// removal").
+    pub fn unassign(&mut self, zone: ZoneId, instance: InstanceId, server: NodeId) -> bool {
+        match self.assignment.get_mut(&(zone, instance)) {
+            Some(group) => {
+                if group.len() <= 1 {
+                    return false;
+                }
+                match group.iter().position(|s| *s == server) {
+                    Some(idx) => {
+                        group.remove(idx);
+                        true
+                    }
+                    None => false,
+                }
+            }
+            None => false,
+        }
+    }
+
+    /// Replaces `old` with `new` in a replication group (resource
+    /// substitution, §IV). Returns `false` if `old` was not assigned.
+    pub fn substitute(
+        &mut self,
+        zone: ZoneId,
+        instance: InstanceId,
+        old: NodeId,
+        new: NodeId,
+    ) -> bool {
+        match self.assignment.get_mut(&(zone, instance)) {
+            Some(group) => match group.iter().position(|s| *s == old) {
+                Some(idx) => {
+                    group[idx] = new;
+                    true
+                }
+                None => false,
+            },
+            None => false,
+        }
+    }
+
+    /// The replication group of (zone, instance).
+    pub fn replicas(&self, zone: ZoneId, instance: InstanceId) -> &[NodeId] {
+        self.assignment
+            .get(&(zone, instance))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of replicas of (zone, instance) — `l` in the model.
+    pub fn replica_count(&self, zone: ZoneId, instance: InstanceId) -> u32 {
+        self.replicas(zone, instance).len() as u32
+    }
+
+    /// The distribution scheme in effect for a zone.
+    pub fn distribution(&self, zone: ZoneId) -> Distribution {
+        let instances: Vec<_> = self
+            .assignment
+            .keys()
+            .filter(|(z, _)| *z == zone)
+            .collect();
+        if instances.len() > 1 {
+            Distribution::Instancing
+        } else if instances
+            .first()
+            .map(|key| self.assignment[*key].len() > 1)
+            .unwrap_or(false)
+        {
+            Distribution::Replication
+        } else {
+            Distribution::Zoning
+        }
+    }
+
+    /// Every (zone, instance) pair with at least one server.
+    pub fn groups(&self) -> impl Iterator<Item = (ZoneId, InstanceId, &[NodeId])> {
+        self.assignment
+            .iter()
+            .map(|((z, i), servers)| (*z, *i, servers.as_slice()))
+    }
+
+    /// Total number of assigned servers across all groups.
+    pub fn server_count(&self) -> usize {
+        self.assignment.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn zone(id: u32, x0: f32, side: f32) -> Zone {
+        Zone {
+            id: ZoneId(id),
+            bounds: Rect::new(Vec2::new(x0, 0.0), Vec2::new(x0 + side, side)),
+            name: format!("zone-{id}"),
+        }
+    }
+
+    #[test]
+    fn zone_lookup_by_position() {
+        let mut layout = WorldLayout::new();
+        layout.add_zone(zone(1, 0.0, 100.0));
+        layout.add_zone(zone(2, 100.0, 100.0));
+        assert_eq!(layout.zone_at(&Vec2::new(50.0, 50.0)).unwrap().id, ZoneId(1));
+        assert_eq!(layout.zone_at(&Vec2::new(150.0, 50.0)).unwrap().id, ZoneId(2));
+        assert!(layout.zone_at(&Vec2::new(500.0, 50.0)).is_none());
+    }
+
+    #[test]
+    fn assignment_builds_replication_group() {
+        let mut layout = WorldLayout::new();
+        layout.add_zone(zone(1, 0.0, 100.0));
+        let (a, b) = (NodeId(10), NodeId(11));
+        layout.assign(ZoneId(1), InstanceId(0), a);
+        layout.assign(ZoneId(1), InstanceId(0), b);
+        layout.assign(ZoneId(1), InstanceId(0), b); // idempotent
+        assert_eq!(layout.replicas(ZoneId(1), InstanceId(0)), &[a, b]);
+        assert_eq!(layout.replica_count(ZoneId(1), InstanceId(0)), 2);
+        assert_eq!(layout.distribution(ZoneId(1)), Distribution::Replication);
+    }
+
+    #[test]
+    fn single_server_is_zoning() {
+        let mut layout = WorldLayout::new();
+        layout.add_zone(zone(1, 0.0, 100.0));
+        layout.assign(ZoneId(1), InstanceId(0), NodeId(1));
+        assert_eq!(layout.distribution(ZoneId(1)), Distribution::Zoning);
+    }
+
+    #[test]
+    fn multiple_instances_detected() {
+        let mut layout = WorldLayout::new();
+        layout.add_zone(zone(1, 0.0, 100.0));
+        layout.assign(ZoneId(1), InstanceId(0), NodeId(1));
+        layout.assign(ZoneId(1), InstanceId(1), NodeId(2));
+        assert_eq!(layout.distribution(ZoneId(1)), Distribution::Instancing);
+    }
+
+    #[test]
+    fn unassign_preserves_last_server() {
+        let mut layout = WorldLayout::new();
+        layout.add_zone(zone(1, 0.0, 100.0));
+        layout.assign(ZoneId(1), InstanceId(0), NodeId(1));
+        layout.assign(ZoneId(1), InstanceId(0), NodeId(2));
+        assert!(layout.unassign(ZoneId(1), InstanceId(0), NodeId(2)));
+        assert!(
+            !layout.unassign(ZoneId(1), InstanceId(0), NodeId(1)),
+            "each zone must keep at least one server"
+        );
+        assert_eq!(layout.replica_count(ZoneId(1), InstanceId(0)), 1);
+    }
+
+    #[test]
+    fn unassign_unknown_server_is_false() {
+        let mut layout = WorldLayout::new();
+        layout.assign(ZoneId(1), InstanceId(0), NodeId(1));
+        layout.assign(ZoneId(1), InstanceId(0), NodeId(2));
+        assert!(!layout.unassign(ZoneId(1), InstanceId(0), NodeId(99)));
+        assert!(!layout.unassign(ZoneId(9), InstanceId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn substitution_swaps_in_place() {
+        let mut layout = WorldLayout::new();
+        layout.assign(ZoneId(1), InstanceId(0), NodeId(1));
+        layout.assign(ZoneId(1), InstanceId(0), NodeId(2));
+        assert!(layout.substitute(ZoneId(1), InstanceId(0), NodeId(1), NodeId(7)));
+        assert_eq!(layout.replicas(ZoneId(1), InstanceId(0)), &[NodeId(7), NodeId(2)]);
+        assert!(!layout.substitute(ZoneId(1), InstanceId(0), NodeId(1), NodeId(8)));
+    }
+
+    #[test]
+    fn groups_and_server_count() {
+        let mut layout = WorldLayout::new();
+        layout.assign(ZoneId(1), InstanceId(0), NodeId(1));
+        layout.assign(ZoneId(1), InstanceId(0), NodeId(2));
+        layout.assign(ZoneId(2), InstanceId(0), NodeId(3));
+        assert_eq!(layout.groups().count(), 2);
+        assert_eq!(layout.server_count(), 3);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests of the wire format and packet envelope: every
+//! randomly generated packet must round-trip bit-exactly, and corrupted
+//! frames must fail cleanly rather than panic.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use rtf_core::entity::UserId;
+use rtf_core::event::Packet;
+use rtf_core::net::NodeId;
+use rtf_core::wire::{Wire, WireReader, WireWriter};
+
+fn arb_payload() -> impl Strategy<Value = Bytes> {
+    proptest::collection::vec(any::<u8>(), 0..256).prop_map(Bytes::from)
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    prop_oneof![
+        (any::<u64>(), any::<u32>()).prop_map(|(u, c)| Packet::Connect {
+            user: UserId(u),
+            client: NodeId(c)
+        }),
+        any::<u64>().prop_map(|u| Packet::ConnectAck { user: UserId(u) }),
+        any::<u64>().prop_map(|u| Packet::Disconnect { user: UserId(u) }),
+        (any::<u64>(), any::<u32>(), arb_payload()).prop_map(|(u, seq, payload)| {
+            Packet::UserInput { user: UserId(u), seq, payload }
+        }),
+        (any::<u32>(), arb_payload())
+            .prop_map(|(o, payload)| Packet::ForwardedInput { origin: NodeId(o), payload }),
+        (
+            any::<u32>(),
+            proptest::collection::vec(any::<u64>(), 0..64),
+            arb_payload()
+        )
+            .prop_map(|(o, users, payload)| Packet::ReplicaUpdate {
+                origin: NodeId(o),
+                users: users.into_iter().map(UserId).collect(),
+                payload,
+            }),
+        (any::<u64>(), any::<u64>(), arb_payload()).prop_map(|(u, tick, payload)| {
+            Packet::StateUpdate { user: UserId(u), tick, payload }
+        }),
+        (any::<u64>(), any::<u32>(), arb_payload()).prop_map(|(u, c, payload)| {
+            Packet::MigrationData { user: UserId(u), client: NodeId(c), payload }
+        }),
+        (any::<u64>(), any::<u32>()).prop_map(|(u, s)| Packet::Redirect {
+            user: UserId(u),
+            new_server: NodeId(s)
+        }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn packet_round_trip(pkt in arb_packet()) {
+        let encoded = pkt.to_bytes();
+        let decoded = Packet::from_bytes(&encoded).unwrap();
+        prop_assert_eq!(pkt, decoded);
+    }
+
+    #[test]
+    fn truncation_never_panics(pkt in arb_packet(), cut in 0usize..64) {
+        let encoded = pkt.to_bytes();
+        let len = encoded.len().saturating_sub(cut.min(encoded.len()));
+        // Either decodes (cut == 0) or errors — must never panic.
+        let _ = Packet::from_bytes(&encoded[..len]);
+    }
+
+    #[test]
+    fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = Packet::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn scalars_round_trip(a in any::<u8>(), b in any::<u16>(), c in any::<u32>(), d in any::<u64>(), e in any::<f32>(), f in any::<f64>()) {
+        let mut w = WireWriter::new();
+        w.put_u8(a);
+        w.put_u16(b);
+        w.put_u32(c);
+        w.put_u64(d);
+        w.put_f32(e);
+        w.put_f64(f);
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        prop_assert_eq!(r.get_u8().unwrap(), a);
+        prop_assert_eq!(r.get_u16().unwrap(), b);
+        prop_assert_eq!(r.get_u32().unwrap(), c);
+        prop_assert_eq!(r.get_u64().unwrap(), d);
+        let e2 = r.get_f32().unwrap();
+        prop_assert!(e2 == e || (e.is_nan() && e2.is_nan()));
+        let f2 = r.get_f64().unwrap();
+        prop_assert!(f2 == f || (f.is_nan() && f2.is_nan()));
+        prop_assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn byte_strings_round_trip(chunks in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..8)) {
+        let mut w = WireWriter::new();
+        for c in &chunks {
+            w.put_bytes(c);
+        }
+        let buf = w.finish();
+        let mut r = WireReader::new(&buf);
+        for c in &chunks {
+            prop_assert_eq!(r.get_bytes().unwrap(), &c[..]);
+        }
+        prop_assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn encoding_is_deterministic(pkt in arb_packet()) {
+        prop_assert_eq!(pkt.to_bytes(), pkt.to_bytes());
+    }
+}

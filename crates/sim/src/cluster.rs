@@ -1,0 +1,737 @@
+//! The multi-server session driver.
+//!
+//! A [`Cluster`] wires the full stack together in one process: RTFDemo
+//! servers replicating a zone over the `rtf-net` bus, bot-driven clients,
+//! the resource pool, and (optionally) an RTF-RMS controller whose actions
+//! it executes — booting replicas, pacing migrations, substituting and
+//! removing machines. One [`Cluster::step`] is one 40 ms tick of the whole
+//! deployment.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rtf_core::client::Client;
+use rtf_core::entity::UserId;
+use rtf_core::metrics::TickRecord;
+use rtf_core::net::{Bus, NodeId};
+use rtf_core::server::{Server, ServerConfig};
+use rtf_core::timer::TimeMode;
+use rtf_core::zone::{InstanceId, WorldLayout, Zone, ZoneId};
+use rtf_rms::{
+    Action, ControllerConfig, MachineProfile, LeaseId, Policy, ResourcePool, RmsController,
+    ServerSnapshot, ZoneSnapshot,
+};
+use rtfdemo::{Bot, BotBehavior, CostModel, CostRates, RtfDemoApp, World};
+use std::collections::BTreeMap;
+
+/// Cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// RNG seed for bots and cost noise.
+    pub seed: u64,
+    /// The arena.
+    pub world: World,
+    /// NPCs in the zone (0 in the paper's experiments).
+    pub npcs: u32,
+    /// Relative measurement noise of the virtual cost model.
+    pub cost_noise: f64,
+    /// Cost rates of the standard machine.
+    pub rates: CostRates,
+    /// Bot behaviour.
+    pub bots: BotBehavior,
+    /// Server tick interval (seconds).
+    pub tick_interval: f64,
+    /// Monitoring window for controller snapshots, in ticks.
+    pub monitor_window: usize,
+    /// The resource pool.
+    pub pool: ResourcePool,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            world: World::default(),
+            npcs: 0,
+            cost_noise: 0.08,
+            rates: CostRates::default(),
+            bots: BotBehavior::default(),
+            tick_interval: 0.040,
+            monitor_window: 25,
+            pool: ResourcePool::testbed(),
+        }
+    }
+}
+
+struct ServerHandle {
+    server: Server<RtfDemoApp>,
+    lease: LeaseId,
+    speedup: f64,
+}
+
+/// A user's client + bot pair, opaque to callers; returned by
+/// [`Cluster::extract_client`] and accepted by [`Cluster::adopt_client`]
+/// for state-preserving hand-over between deployments sharing a bus.
+pub struct ClientHandle {
+    client: Client,
+    bot: Bot,
+}
+
+impl ClientHandle {
+    /// The user this handle belongs to.
+    pub fn user(&self) -> UserId {
+        self.client.user()
+    }
+}
+
+/// Per-tick aggregate statistics (the Fig. 8 series).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterTickStats {
+    /// Tick number.
+    pub tick: u64,
+    /// Connected users.
+    pub users: u32,
+    /// Serving replicas.
+    pub servers: u32,
+    /// Mean CPU load across replicas (tick duration / tick interval).
+    pub avg_cpu_load: f64,
+    /// Worst tick duration across replicas (seconds).
+    pub max_tick_duration: f64,
+    /// Whether any replica violated the threshold this tick.
+    pub violation: bool,
+}
+
+/// The running deployment.
+pub struct Cluster {
+    config: ClusterConfig,
+    bus: Bus,
+    zone: ZoneId,
+    layout: WorldLayout,
+    servers: Vec<ServerHandle>,
+    clients: BTreeMap<UserId, ClientHandle>,
+    controller: Option<RmsController>,
+    pool: ResourcePool,
+    pending_replicas: Vec<LeaseId>,
+    pending_substitutions: Vec<(LeaseId, NodeId)>,
+    substituting: Vec<(NodeId, NodeId)>,
+    tick: u64,
+    next_user: u64,
+    pending_connects: BTreeMap<NodeId, u32>,
+    orphans: Vec<UserId>,
+    rng: SmallRng,
+    history: Vec<ClusterTickStats>,
+    violations: u64,
+    u_threshold: f64,
+}
+
+impl Cluster {
+    /// Creates a cluster with `initial_servers` standard replicas of one
+    /// zone and no controller (attach one with
+    /// [`Cluster::set_controller`]).
+    pub fn new(config: ClusterConfig, initial_servers: u32) -> Self {
+        Self::new_on_bus(Bus::new(), ZoneId(1), config, initial_servers)
+    }
+
+    /// Creates a cluster whose servers and clients live on an externally
+    /// provided bus — deployments of *different zones* sharing one bus can
+    /// hand users over with full state (cross-zone migration).
+    pub fn new_on_bus(
+        bus: Bus,
+        zone: ZoneId,
+        config: ClusterConfig,
+        initial_servers: u32,
+    ) -> Self {
+        assert!(initial_servers >= 1);
+        let mut layout = WorldLayout::new();
+        layout.add_zone(Zone { id: zone, bounds: config.world.bounds, name: format!("zone-{}", zone.0) });
+
+        let mut cluster = Self {
+            pool: config.pool.clone(),
+            rng: SmallRng::seed_from_u64(config.seed),
+            config,
+            bus,
+            zone,
+            layout,
+            servers: Vec::new(),
+            clients: BTreeMap::new(),
+            controller: None,
+            pending_replicas: Vec::new(),
+            pending_substitutions: Vec::new(),
+            substituting: Vec::new(),
+            tick: 0,
+            next_user: 1,
+            pending_connects: BTreeMap::new(),
+            orphans: Vec::new(),
+            history: Vec::new(),
+            violations: 0,
+            u_threshold: 0.040,
+        };
+        for _ in 0..initial_servers {
+            let lease = cluster
+                .pool
+                .request(MachineProfile::STANDARD, 0)
+                .expect("initial capacity");
+            // Initial machines are ready immediately.
+            cluster.pool.poll_ready(u64::MAX >> 1);
+            cluster.boot_server(lease, MachineProfile::STANDARD);
+        }
+        cluster
+    }
+
+    /// Attaches an RTF-RMS controller.
+    pub fn set_controller(&mut self, policy: Box<dyn Policy>, config: ControllerConfig) {
+        self.controller = Some(RmsController::new(policy, config));
+    }
+
+    /// The tick-duration threshold used for violation accounting.
+    pub fn set_threshold(&mut self, u_threshold: f64) {
+        self.u_threshold = u_threshold;
+    }
+
+    /// Current tick.
+    pub fn now(&self) -> u64 {
+        self.tick
+    }
+
+    /// Connected user count.
+    pub fn user_count(&self) -> u32 {
+        self.clients.len() as u32
+    }
+
+    /// The users currently driven by this deployment.
+    pub fn users(&self) -> Vec<UserId> {
+        self.clients.keys().copied().collect()
+    }
+
+    /// Sets the id the next [`Cluster::add_user`] will use — deployments
+    /// sharing a bus must use disjoint id ranges.
+    pub fn set_next_user_id(&mut self, next: u64) {
+        self.next_user = self.next_user.max(next);
+    }
+
+    /// Serving replica count.
+    pub fn server_count(&self) -> u32 {
+        self.servers.len() as u32
+    }
+
+    /// Total threshold violations observed (server-ticks over U).
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// The per-tick history.
+    pub fn history(&self) -> &[ClusterTickStats] {
+        &self.history
+    }
+
+    /// The controller's action log, if a controller is attached.
+    pub fn action_log(&self) -> Option<&rtf_rms::ActionLog> {
+        self.controller.as_ref().map(|c| c.log())
+    }
+
+    /// Total cloud cost accrued so far.
+    pub fn total_cost(&self) -> f64 {
+        self.pool.total_cost(self.tick)
+    }
+
+    /// Lifetime migrations executed by all servers.
+    pub fn total_migrations(&self) -> u64 {
+        self.servers.iter().map(|s| s.server.migration_counters().initiated).sum()
+    }
+
+    /// Per-server (id, active users) pairs.
+    pub fn server_loads(&self) -> Vec<(NodeId, u32)> {
+        self.servers.iter().map(|s| (s.server.id(), s.server.active_users())).collect()
+    }
+
+    /// Access to one server's metrics (for measurement campaigns).
+    pub fn server_metrics(&self, idx: usize) -> &rtf_core::metrics::MetricsLog {
+        self.servers[idx].server.metrics()
+    }
+
+    /// Direct access to a server (measurement campaigns and tests).
+    pub fn server(&self, idx: usize) -> &Server<RtfDemoApp> {
+        &self.servers[idx].server
+    }
+
+    fn make_app(&mut self, speedup: f64) -> RtfDemoApp {
+        let mut rates = self.config.rates;
+        // A faster machine divides every per-unit cost.
+        let inv = 1.0 / speedup;
+        rates.ua_dser_per_byte *= inv;
+        rates.ua_dser_per_cmd *= inv;
+        rates.ua_move *= inv;
+        rates.ua_attack_base *= inv;
+        rates.ua_attack_scan *= inv;
+        rates.fa_dser_per_byte *= inv;
+        rates.fa_apply *= inv;
+        rates.fa_shadow_entity *= inv;
+        rates.npc_update *= inv;
+        rates.npc_user_scan *= inv;
+        rates.aoi_pair *= inv;
+        rates.aoi_dedup *= inv;
+        rates.su_entity *= inv;
+        rates.su_per_byte *= inv;
+        rates.mig_ini_base *= inv;
+        rates.mig_ini_per_user *= inv;
+        rates.mig_rcv_base *= inv;
+        rates.mig_rcv_per_user *= inv;
+        let seed = self.rng.gen();
+        RtfDemoApp::new(
+            self.config.world.clone(),
+            self.config.npcs,
+            CostModel::new(rates, self.config.cost_noise, seed),
+        )
+    }
+
+    fn boot_server(&mut self, lease: LeaseId, profile: MachineProfile) -> NodeId {
+        let app = self.make_app(profile.speedup);
+        let server_config = ServerConfig {
+            tick_interval: self.config.tick_interval,
+            time_mode: TimeMode::Virtual,
+            metrics_capacity: 4096,
+        };
+        let label = format!("server-{}", self.servers.len());
+        let server = Server::new(&self.bus, &label, self.zone, app, server_config);
+        let id = server.id();
+        self.layout.assign(self.zone, InstanceId(0), id);
+        self.servers.push(ServerHandle { server, lease, speedup: profile.speedup });
+        self.refresh_peers();
+        id
+    }
+
+    fn refresh_peers(&mut self) {
+        let ids: Vec<NodeId> = self.servers.iter().map(|s| s.server.id()).collect();
+        for handle in &mut self.servers {
+            handle.server.set_peers(ids.clone());
+        }
+    }
+
+    fn shutdown_server(&mut self, id: NodeId) -> bool {
+        let Some(idx) = self.servers.iter().position(|s| s.server.id() == id) else {
+            return false;
+        };
+        if self.servers.len() <= 1 {
+            return false; // each zone keeps at least one server
+        }
+        if self.servers[idx].server.active_users() > 0 {
+            return false; // must be drained first
+        }
+        let handle = self.servers.remove(idx);
+        let _ = self.pool.release(handle.lease, self.tick);
+        self.layout.unassign(self.zone, InstanceId(0), id);
+        self.bus.unregister(id);
+        self.refresh_peers();
+        true
+    }
+
+    /// Connects a new bot-driven user to the least loaded server; returns
+    /// its id.
+    pub fn add_user(&mut self) -> UserId {
+        let user = UserId(self.next_user);
+        self.next_user += 1;
+        // Account for connects still in flight, so a burst of joins in one
+        // tick still spreads across the replicas.
+        let target = self
+            .servers
+            .iter()
+            .map(|s| {
+                let id = s.server.id();
+                let pending = self.pending_connects.get(&id).copied().unwrap_or(0);
+                (s.server.active_users() + pending, id)
+            })
+            .min_by_key(|(load, _)| *load)
+            .expect("at least one server")
+            .1;
+        *self.pending_connects.entry(target).or_insert(0) += 1;
+        let client = Client::connect(&self.bus, user, target).expect("server registered");
+        let bot = Bot::new(user, self.config.seed, self.config.bots);
+        self.clients.insert(user, ClientHandle { client, bot });
+        user
+    }
+
+    /// Disconnects the most recently added user; returns it.
+    pub fn remove_user(&mut self) -> Option<UserId> {
+        let user = *self.clients.keys().next_back()?;
+        if let Some(mut handle) = self.clients.remove(&user) {
+            handle.client.disconnect();
+        }
+        Some(user)
+    }
+
+    fn zone_snapshot(&self) -> ZoneSnapshot {
+        let window = self.config.monitor_window;
+        ZoneSnapshot {
+            zone: self.zone,
+            npcs: self.config.npcs,
+            servers: self
+                .servers
+                .iter()
+                .map(|s| ServerSnapshot {
+                    server: s.server.id(),
+                    active_users: s.server.active_users(),
+                    avg_tick: s.server.metrics().avg_tick_duration(window),
+                    max_tick: s.server.metrics().max_tick_duration(window),
+                    speedup: s.speedup,
+                })
+                .collect(),
+        }
+    }
+
+    fn schedule_migrations(&mut self, from: NodeId, to: NodeId, count: u32) {
+        let Some(src) = self.servers.iter_mut().find(|s| s.server.id() == from) else {
+            return;
+        };
+        let users: Vec<UserId> = src.server.users().take(count as usize).collect();
+        for user in users {
+            src.server.schedule_migration(user, to);
+        }
+    }
+
+    /// Directly schedules `count` migrations from one server to another,
+    /// bypassing the controller (measurement campaigns and tests).
+    pub fn execute_migration(&mut self, from: NodeId, to: NodeId, count: u32) {
+        self.schedule_migrations(from, to, count);
+    }
+
+    /// Removes a user's client from this deployment WITHOUT disconnecting
+    /// it — the first half of a cross-zone handover. The server-side state
+    /// must be moved separately via [`Cluster::handover_user`].
+    pub fn extract_client(&mut self, user: UserId) -> Option<ClientHandle> {
+        self.clients.remove(&user)
+    }
+
+    /// Adopts a client extracted from another deployment (second half of a
+    /// cross-zone handover).
+    pub fn adopt_client(&mut self, handle: ClientHandle) {
+        self.clients.insert(handle.user(), handle);
+    }
+
+    /// The least loaded server of this deployment.
+    pub fn least_loaded_server(&self) -> NodeId {
+        self.servers
+            .iter()
+            .min_by_key(|s| s.server.active_users())
+            .expect("at least one server")
+            .server
+            .id()
+    }
+
+    /// Simulates a machine failure: the server vanishes without draining.
+    /// Its users are orphaned; the next steps reconnect their clients to
+    /// the surviving replicas (fresh avatars — crashed state is lost, as
+    /// on real hardware without checkpointing). Returns `false` for the
+    /// last remaining server.
+    pub fn crash_server(&mut self, id: NodeId) -> bool {
+        let Some(idx) = self.servers.iter().position(|s| s.server.id() == id) else {
+            return false;
+        };
+        if self.servers.len() <= 1 {
+            return false;
+        }
+        let handle = self.servers.remove(idx);
+        self.orphans.extend(handle.server.users());
+        let _ = self.pool.release(handle.lease, self.tick);
+        self.layout.unassign(self.zone, InstanceId(0), id);
+        self.bus.unregister(id);
+        self.refresh_peers();
+        true
+    }
+
+    /// Initiates a state-preserving handover of `user` to a server of
+    /// another deployment on the SAME bus: the owning server exports the
+    /// avatar and redirects the client, exactly like an intra-zone
+    /// migration (§III-B) — RTF's migration machinery is zone-agnostic.
+    /// Returns `false` if the user is not active here.
+    pub fn handover_user(&mut self, user: UserId, target: NodeId) -> bool {
+        self.servers
+            .iter_mut()
+            .find(|s| s.server.users().any(|u| u == user))
+            .map(|s| s.server.schedule_migration(user, target))
+            .unwrap_or(false)
+    }
+
+    /// Executes one load-balancing action as the controller would.
+    pub fn execute_action(&mut self, action: Action) {
+        match action {
+            Action::Migrate { from, to, users } => self.schedule_migrations(from, to, users),
+            Action::AddReplica { .. } => {
+                if let Ok(lease) = self.pool.request(MachineProfile::STANDARD, self.tick) {
+                    self.pending_replicas.push(lease);
+                }
+            }
+            Action::Substitute { old, .. } => {
+                if let Ok(lease) = self.pool.request(MachineProfile::POWERFUL, self.tick) {
+                    self.pending_substitutions.push((lease, old));
+                }
+                // OutOfCapacity = the paper's "critical user density":
+                // nothing more the generic strategies can do.
+            }
+            Action::RemoveReplica { server, .. } => {
+                self.shutdown_server(server);
+            }
+        }
+    }
+
+    /// Runs one tick of the whole deployment.
+    pub fn step(&mut self) -> ClusterTickStats {
+        // 1. Boot machines that finished their startup delay.
+        let ready = self.pool.poll_ready(self.tick);
+        for machine in ready {
+            if let Some(pos) =
+                self.pending_replicas.iter().position(|l| *l == machine.lease)
+            {
+                self.pending_replicas.remove(pos);
+                self.boot_server(machine.lease, machine.profile);
+            } else if let Some(pos) = self
+                .pending_substitutions
+                .iter()
+                .position(|(l, _)| *l == machine.lease)
+            {
+                let (_, old) = self.pending_substitutions.remove(pos);
+                let new_id = self.boot_server(machine.lease, machine.profile);
+                // §IV: replicate the zone on the new resource and migrate
+                // ALL users of the substituted server to it.
+                self.substituting.push((old, new_id));
+            }
+        }
+
+        // Progress substitutions: move everyone off the old machine, then
+        // shut it down.
+        let subs = std::mem::take(&mut self.substituting);
+        for (old, new) in subs {
+            let users = self
+                .servers
+                .iter()
+                .find(|s| s.server.id() == old)
+                .map(|s| s.server.active_users())
+                .unwrap_or(0);
+            if users > 0 {
+                self.schedule_migrations(old, new, users);
+                self.substituting.push((old, new));
+            } else if !self.shutdown_server(old) {
+                // Retry next tick (e.g. in-flight migration data).
+                self.substituting.push((old, new));
+            }
+        }
+
+        // 1b. Reconnect clients orphaned by a crash: the lobby redirects
+        // them to the least loaded surviving replica.
+        if !self.orphans.is_empty() {
+            let orphans = std::mem::take(&mut self.orphans);
+            for user in orphans {
+                let target = self.least_loaded_server();
+                if let Some(handle) = self.clients.get_mut(&user) {
+                    handle.client.reconnect(target);
+                    *self.pending_connects.entry(target).or_insert(0) += 1;
+                }
+            }
+        }
+
+        // 2. Control round.
+        if let Some(mut controller) = self.controller.take() {
+            let snapshot = self.zone_snapshot();
+            let actions = controller.control(&snapshot, self.tick);
+            for action in actions {
+                self.execute_action(action);
+            }
+            self.controller = Some(controller);
+        }
+
+        // 3. Server ticks (these absorb any in-flight connects).
+        let mut records: Vec<TickRecord> = Vec::with_capacity(self.servers.len());
+        for handle in &mut self.servers {
+            records.push(handle.server.tick());
+        }
+        self.pending_connects.clear();
+
+        // 4. Client ticks.
+        for handle in self.clients.values_mut() {
+            handle.client.tick(self.tick, &mut handle.bot);
+        }
+
+        // 5. Aggregate stats.
+        let mut max_tick = 0.0f64;
+        let mut load_sum = 0.0;
+        let mut violation = false;
+        for r in &records {
+            max_tick = max_tick.max(r.tick_duration);
+            load_sum += r.tick_duration / self.config.tick_interval;
+            if r.tick_duration >= self.u_threshold {
+                violation = true;
+                self.violations += 1;
+            }
+        }
+        let stats = ClusterTickStats {
+            tick: self.tick,
+            users: self.user_count(),
+            servers: self.server_count(),
+            avg_cpu_load: if records.is_empty() { 0.0 } else { load_sum / records.len() as f64 },
+            max_tick_duration: max_tick,
+            violation,
+        };
+        self.history.push(stats);
+        self.tick += 1;
+        stats
+    }
+
+    /// Runs `ticks` steps.
+    pub fn run(&mut self, ticks: u64) {
+        for _ in 0..ticks {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> ClusterConfig {
+        ClusterConfig { cost_noise: 0.0, ..ClusterConfig::default() }
+    }
+
+    #[test]
+    fn users_connect_and_play() {
+        let mut cluster = Cluster::new(small_config(), 1);
+        for _ in 0..10 {
+            cluster.add_user();
+        }
+        cluster.run(10);
+        assert_eq!(cluster.user_count(), 10);
+        assert_eq!(cluster.server(0).active_users(), 10);
+        let last = cluster.history().last().unwrap();
+        assert!(last.avg_cpu_load > 0.0);
+        assert!(last.max_tick_duration > 0.0);
+    }
+
+    #[test]
+    fn users_split_across_two_servers() {
+        let mut cluster = Cluster::new(small_config(), 2);
+        for _ in 0..20 {
+            cluster.add_user();
+        }
+        cluster.run(5);
+        let loads = cluster.server_loads();
+        assert_eq!(loads.len(), 2);
+        assert_eq!(loads[0].1 + loads[1].1, 20);
+        assert!(loads[0].1.abs_diff(loads[1].1) <= 1, "least-loaded placement: {loads:?}");
+        // Replication wires shadows: each server mirrors the other's users.
+        assert_eq!(cluster.server(0).zone_users(), 20);
+    }
+
+    #[test]
+    fn remove_user_disconnects() {
+        let mut cluster = Cluster::new(small_config(), 1);
+        cluster.add_user();
+        cluster.add_user();
+        cluster.run(3);
+        cluster.remove_user();
+        cluster.run(3);
+        assert_eq!(cluster.user_count(), 1);
+        assert_eq!(cluster.server(0).active_users(), 1);
+    }
+
+    #[test]
+    fn manual_migration_action_moves_users() {
+        let mut cluster = Cluster::new(small_config(), 2);
+        for _ in 0..10 {
+            cluster.add_user();
+        }
+        cluster.run(5);
+        let loads = cluster.server_loads();
+        cluster.execute_action(Action::Migrate { from: loads[0].0, to: loads[1].0, users: 3 });
+        cluster.run(3);
+        let after = cluster.server_loads();
+        assert_eq!(after[0].1, loads[0].1 - 3);
+        assert_eq!(after[1].1, loads[1].1 + 3);
+        assert!(cluster.total_migrations() >= 3);
+    }
+
+    #[test]
+    fn add_replica_boots_after_delay() {
+        let mut config = small_config();
+        config.pool = ResourcePool::new(8, 1, 10, 90_000);
+        let mut cluster = Cluster::new(config, 1);
+        cluster.execute_action(Action::AddReplica { zone: ZoneId(1) });
+        cluster.run(5);
+        assert_eq!(cluster.server_count(), 1, "still booting");
+        cluster.run(10);
+        assert_eq!(cluster.server_count(), 2, "replica joined after the delay");
+    }
+
+    #[test]
+    fn remove_replica_requires_drained_server() {
+        let mut cluster = Cluster::new(small_config(), 2);
+        for _ in 0..6 {
+            cluster.add_user();
+        }
+        cluster.run(5);
+        let (loaded, _) = cluster.server_loads()[0];
+        cluster.execute_action(Action::RemoveReplica { zone: ZoneId(1), server: loaded });
+        assert_eq!(cluster.server_count(), 2, "refuses to drop a loaded server");
+    }
+
+    #[test]
+    fn substitution_replaces_server_with_faster_machine() {
+        let mut config = small_config();
+        config.pool = ResourcePool::new(8, 1, 5, 90_000);
+        let mut cluster = Cluster::new(config, 2);
+        for _ in 0..12 {
+            cluster.add_user();
+        }
+        cluster.run(5);
+        let victim = cluster.server_loads()[0].0;
+        cluster.execute_action(Action::Substitute { zone: ZoneId(1), old: victim });
+        cluster.run(30);
+        assert_eq!(cluster.server_count(), 2, "old out, new in");
+        assert!(
+            cluster.servers.iter().any(|s| s.speedup > 1.0),
+            "a powerful machine now serves"
+        );
+        assert!(
+            cluster.servers.iter().all(|s| s.server.id() != victim),
+            "the substituted server is gone"
+        );
+        assert_eq!(cluster.user_count(), 12, "no user lost in the hand-over");
+        let total: u32 = cluster.server_loads().iter().map(|(_, u)| u).sum();
+        assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn cost_accrues_over_time() {
+        let mut cluster = Cluster::new(small_config(), 2);
+        cluster.run(100);
+        assert!(cluster.total_cost() > 0.0);
+    }
+
+    #[test]
+    fn violation_accounting() {
+        let mut cluster = Cluster::new(small_config(), 1);
+        cluster.set_threshold(1e-9); // everything violates
+        cluster.add_user();
+        cluster.run(5);
+        assert!(cluster.violations() > 0);
+        assert!(cluster.history().iter().skip(2).all(|h| h.violation));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut config = small_config();
+            config.seed = seed;
+            config.cost_noise = 0.05;
+            let mut cluster = Cluster::new(config, 2);
+            for _ in 0..30 {
+                cluster.add_user();
+            }
+            cluster.run(50);
+            cluster
+                .history()
+                .iter()
+                .map(|h| (h.users, h.max_tick_duration))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+}

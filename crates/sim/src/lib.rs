@@ -1,0 +1,29 @@
+//! # roia-sim — deterministic multi-server ROIA sessions
+//!
+//! The experiment substrate of the reproduction: [`cluster::Cluster`] wires
+//! RTFDemo servers, bot clients, the resource pool and an RTF-RMS
+//! controller into one lock-step simulation; [`workload`] generates the
+//! changing user populations of §V-B; [`measure`] reruns the §V-A
+//! parameter-determination campaigns; [`session`] packages managed runs;
+//! [`report`] renders paper-comparable series.
+
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod measure;
+pub mod multizone;
+pub mod report;
+pub mod session;
+pub mod threaded;
+pub mod workload;
+
+pub use cluster::{Cluster, ClusterConfig, ClusterTickStats};
+pub use measure::{
+    calibrate_demo, default_demo_model, measure_bandwidth_params, measure_migration_params,
+    measure_replication_params, MeasureConfig,
+};
+pub use multizone::{MultiZoneConfig, MultiZoneWorld, WorldTickStats};
+pub use report::{ascii_chart, csv, table, Series};
+pub use session::{run_session, SessionConfig, SessionReport};
+pub use threaded::{run_threaded_session, ThreadedConfig, ThreadedReport};
+pub use workload::{drive, FlashCrowd, PaperSession, Ramp, SineWave, Trace, Workload};

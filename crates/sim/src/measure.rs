@@ -1,0 +1,371 @@
+//! Parameter-determination campaigns — the methodology of §V-A.
+//!
+//! "In order to compute particular values for the parameters of our model,
+//! we connect up to 300 bots to two application servers replicating the
+//! same zone. We distribute bots equally on both servers, in order to
+//! simulate a high amount of inter-server communication." For each
+//! population level the campaign lets the session settle, then divides the
+//! measured per-task seconds by the number of processed items to obtain
+//! the per-entity cost sample at that user count. A separate campaign
+//! issues migrations between two servers at varying populations for
+//! `t_mig_ini`/`t_mig_rcv` (Fig. 6).
+
+use crate::cluster::{Cluster, ClusterConfig};
+use roia_model::calibrate::{calibrate, Calibration, CalibrationError, Measurements};
+use roia_model::{ParamKind, ScalabilityModel};
+use rtf_core::metrics::TickRecord;
+use rtf_core::timer::TaskKind;
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct MeasureConfig {
+    /// Highest bot count (the paper: 300).
+    pub max_users: u32,
+    /// Bot-count increment between levels.
+    pub step: u32,
+    /// Ticks to run after changing the population before sampling.
+    pub settle_ticks: u64,
+    /// Ticks sampled per level.
+    pub sample_ticks: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Relative measurement noise of the virtual cost model.
+    pub noise: f64,
+    /// NPCs in the zone.
+    pub npcs: u32,
+}
+
+impl Default for MeasureConfig {
+    fn default() -> Self {
+        Self {
+            max_users: 300,
+            step: 10,
+            settle_ticks: 15,
+            sample_ticks: 25,
+            seed: 42,
+            noise: 0.10,
+            npcs: 0,
+        }
+    }
+}
+
+/// Maps a framework task to its model parameter.
+pub fn task_param(task: TaskKind) -> Option<ParamKind> {
+    match task {
+        TaskKind::UaDser => Some(ParamKind::UaDser),
+        TaskKind::Ua => Some(ParamKind::Ua),
+        TaskKind::FaDser => Some(ParamKind::FaDser),
+        TaskKind::Fa => Some(ParamKind::Fa),
+        TaskKind::Npc => Some(ParamKind::Npc),
+        TaskKind::Aoi => Some(ParamKind::Aoi),
+        TaskKind::Su => Some(ParamKind::Su),
+        TaskKind::MigIni => Some(ParamKind::MigIni),
+        TaskKind::MigRcv => Some(ParamKind::MigRcv),
+        TaskKind::Other => None,
+    }
+}
+
+/// The per-record item count a task's cost is divided by (the "per entity"
+/// denominators of §III-A).
+fn item_count(task: TaskKind, r: &TickRecord) -> u32 {
+    match task {
+        TaskKind::UaDser | TaskKind::Ua => r.inputs_processed,
+        TaskKind::FaDser | TaskKind::Fa => r.forwarded_processed,
+        TaskKind::Npc => r.npcs,
+        TaskKind::Aoi | TaskKind::Su => r.updates_sent,
+        TaskKind::MigIni => r.migrations_initiated,
+        TaskKind::MigRcv => r.migrations_received,
+        TaskKind::Other => 0,
+    }
+}
+
+fn cluster_for(config: &MeasureConfig) -> Cluster {
+    let cluster_config = ClusterConfig {
+        seed: config.seed,
+        cost_noise: config.noise,
+        npcs: config.npcs,
+        ..ClusterConfig::default()
+    };
+    Cluster::new(cluster_config, 2)
+}
+
+/// Samples one population level: divides the window's per-task seconds by
+/// the window's item counts, recording one observation per server per task.
+fn sample_level(
+    cluster: &Cluster,
+    window: usize,
+    tasks: &[TaskKind],
+    out: &mut Measurements,
+) {
+    for idx in 0..cluster.server_count() as usize {
+        let metrics = cluster.server_metrics(idx);
+        let n = metrics.latest().map(|r| r.zone_users()).unwrap_or(0);
+        if n == 0 {
+            continue;
+        }
+        for &task in tasks {
+            let Some(param) = task_param(task) else { continue };
+            if let Some(per_item) =
+                metrics.avg_task_per_item(task, window, |r| item_count(task, r))
+            {
+                out.record(param, n as f64, per_item);
+            }
+        }
+    }
+}
+
+/// The replication campaign of §V-A: measures `t_ua_dser`, `t_ua`,
+/// `t_fa_dser`, `t_fa`, `t_npc`, `t_aoi` and `t_su` across population
+/// levels on two replicas.
+pub fn measure_replication_params(config: &MeasureConfig) -> Measurements {
+    let mut cluster = cluster_for(config);
+    let mut measurements = Measurements::new();
+    let tasks = [
+        TaskKind::UaDser,
+        TaskKind::Ua,
+        TaskKind::FaDser,
+        TaskKind::Fa,
+        TaskKind::Npc,
+        TaskKind::Aoi,
+        TaskKind::Su,
+    ];
+
+    let mut level = config.step.max(1);
+    while level <= config.max_users {
+        while cluster.user_count() < level {
+            cluster.add_user();
+        }
+        cluster.run(config.settle_ticks + config.sample_ticks);
+        sample_level(&cluster, config.sample_ticks as usize, &tasks, &mut measurements);
+        level += config.step.max(1);
+    }
+    measurements
+}
+
+/// The migration campaign (Fig. 6): at each population level, migrates
+/// users back and forth between the two servers and measures the
+/// per-migration initiate/receive costs.
+pub fn measure_migration_params(config: &MeasureConfig) -> Measurements {
+    let mut cluster = cluster_for(config);
+    let mut measurements = Measurements::new();
+    let tasks = [TaskKind::MigIni, TaskKind::MigRcv];
+
+    let mut level = config.step.max(1);
+    while level <= config.max_users {
+        while cluster.user_count() < level {
+            cluster.add_user();
+        }
+        cluster.run(config.settle_ticks);
+        // Issue a few migrations per sampled tick, alternating directions
+        // so both servers exercise both roles.
+        for i in 0..config.sample_ticks {
+            let loads = cluster.server_loads();
+            if loads.len() == 2 {
+                let (from, to) = if i % 2 == 0 {
+                    (loads[0].0, loads[1].0)
+                } else {
+                    (loads[1].0, loads[0].0)
+                };
+                let batch = (level / 20).clamp(1, 5);
+                cluster.execute_migration(from, to, batch);
+            }
+            cluster.step();
+        }
+        sample_level(&cluster, config.sample_ticks as usize, &tasks, &mut measurements);
+        level += config.step.max(1);
+    }
+    measurements
+}
+
+/// Runs both campaigns and fits the model parameters (§III-C).
+pub fn calibrate_demo(config: &MeasureConfig) -> Result<Calibration, CalibrationError> {
+    let mut measurements = measure_replication_params(config);
+    measurements.merge(&measure_migration_params(config));
+    calibrate(&measurements)
+}
+
+/// Convenience: a ready-to-use [`ScalabilityModel`] for RTFDemo with the
+/// paper's thresholds (U = 40 ms, c = 0.15, 80 % trigger), calibrated with
+/// the default campaign.
+pub fn default_demo_model() -> ScalabilityModel {
+    let calibration = calibrate_demo(&MeasureConfig::default())
+        .expect("default campaign produces samples for every parameter");
+    ScalabilityModel::new(calibration.params, 0.040)
+        .with_improvement_factor(0.15)
+        .with_trigger_fraction(0.8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roia_model::CostFn;
+
+    fn quick_config() -> MeasureConfig {
+        MeasureConfig {
+            max_users: 60,
+            step: 20,
+            settle_ticks: 6,
+            sample_ticks: 10,
+            noise: 0.0,
+            ..MeasureConfig::default()
+        }
+    }
+
+    #[test]
+    fn replication_campaign_covers_seven_params() {
+        let m = measure_replication_params(&quick_config());
+        for kind in [
+            ParamKind::UaDser,
+            ParamKind::Ua,
+            ParamKind::FaDser,
+            ParamKind::Fa,
+            ParamKind::Aoi,
+            ParamKind::Su,
+        ] {
+            assert!(
+                m.samples(kind).is_some_and(|s| s.len() >= 3),
+                "missing samples for {}",
+                kind.symbol()
+            );
+        }
+    }
+
+    #[test]
+    fn migration_campaign_covers_both_params() {
+        let m = measure_migration_params(&quick_config());
+        for kind in [ParamKind::MigIni, ParamKind::MigRcv] {
+            assert!(
+                m.samples(kind).is_some_and(|s| !s.is_empty()),
+                "missing samples for {}",
+                kind.symbol()
+            );
+        }
+    }
+
+    #[test]
+    fn calibration_recovers_linear_migration_costs() {
+        let config = quick_config();
+        let cal = calibrate_demo(&config).expect("calibration succeeds");
+        // The ground truth is mig_ini = base + per_user·n; with zero noise
+        // the fit must land close.
+        let rates = rtfdemo::CostRates::default();
+        let fitted = cal.params.t_mig_ini.clone();
+        let truth = CostFn::Linear { c0: rates.mig_ini_base, c1: rates.mig_ini_per_user };
+        for n in [30.0, 60.0] {
+            let rel = (fitted.eval(n) - truth.eval(n)).abs() / truth.eval(n);
+            assert!(rel < 0.15, "t_mig_ini({n}): fitted {} truth {}", fitted.eval(n), truth.eval(n));
+        }
+    }
+
+    #[test]
+    fn measured_ua_grows_with_population() {
+        let m = measure_replication_params(&quick_config());
+        let s = m.samples(ParamKind::Ua).unwrap();
+        // Average the low-n and high-n halves: per-user input cost rises.
+        let pairs: Vec<(f64, f64)> =
+            s.user_counts.iter().copied().zip(s.seconds.iter().copied()).collect();
+        let lo: Vec<f64> =
+            pairs.iter().filter(|(n, _)| *n <= 30.0).map(|(_, v)| *v).collect();
+        let hi: Vec<f64> =
+            pairs.iter().filter(|(n, _)| *n >= 50.0).map(|(_, v)| *v).collect();
+        assert!(!lo.is_empty() && !hi.is_empty());
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(
+            avg(&hi) > avg(&lo),
+            "t_ua must grow with n: lo {} hi {}",
+            avg(&lo),
+            avg(&hi)
+        );
+    }
+}
+
+/// Measures the per-tick traffic rates of §VI's future-work bandwidth
+/// analysis: bytes from/to clients per user and replica-sync bytes per
+/// active entity, fitted as linear functions of the zone population.
+pub fn measure_bandwidth_params(
+    config: &MeasureConfig,
+) -> Result<roia_model::BandwidthParams, roia_fit::FitError> {
+    use roia_fit::lm::fit_default;
+    use roia_fit::model::Polynomial;
+
+    let mut cluster = cluster_for(config);
+    // (n, bytes-per-item) sample vectors.
+    let mut xs_in = Vec::new();
+    let mut ys_in = Vec::new();
+    let mut xs_out = Vec::new();
+    let mut ys_out = Vec::new();
+    let mut xs_peer = Vec::new();
+    let mut ys_peer = Vec::new();
+
+    let mut level = config.step.max(1);
+    while level <= config.max_users {
+        while cluster.user_count() < level {
+            cluster.add_user();
+        }
+        cluster.run(config.settle_ticks);
+        for _ in 0..config.sample_ticks {
+            cluster.step();
+            for idx in 0..cluster.server_count() as usize {
+                let Some(r) = cluster.server_metrics(idx).latest() else { continue };
+                let n = r.zone_users() as f64;
+                if r.inputs_processed > 0 {
+                    xs_in.push(n);
+                    ys_in.push(r.bytes_in_clients as f64 / r.inputs_processed as f64);
+                }
+                if r.updates_sent > 0 {
+                    xs_out.push(n);
+                    ys_out.push(r.bytes_out_clients as f64 / r.updates_sent as f64);
+                }
+                let peers = cluster.server_count().saturating_sub(1);
+                if r.active_users > 0 && peers > 0 {
+                    xs_peer.push(n);
+                    ys_peer.push(
+                        r.bytes_out_peers as f64 / (r.active_users as f64 * peers as f64),
+                    );
+                }
+            }
+        }
+        level += config.step.max(1);
+    }
+
+    let linear = Polynomial::linear();
+    let fit_in = fit_default(&linear, &xs_in, &ys_in)?;
+    let fit_out = fit_default(&linear, &xs_out, &ys_out)?;
+    let fit_peer = fit_default(&linear, &xs_peer, &ys_peer)?;
+    Ok(roia_model::BandwidthParams {
+        client_in_per_user: roia_model::CostFn::from_coefficients(&fit_in.beta),
+        client_out_per_user: roia_model::CostFn::from_coefficients(&fit_out.beta),
+        peer_out_per_active: roia_model::CostFn::from_coefficients(&fit_peer.beta),
+    })
+}
+
+#[cfg(test)]
+mod bandwidth_tests {
+    use super::*;
+    use roia_model::ZoneLoad;
+
+    #[test]
+    fn bandwidth_campaign_produces_sane_rates() {
+        let config = MeasureConfig {
+            max_users: 60,
+            step: 20,
+            settle_ticks: 6,
+            sample_ticks: 10,
+            noise: 0.0,
+            ..MeasureConfig::default()
+        };
+        let bw = measure_bandwidth_params(&config).expect("fit succeeds");
+        // Inputs are small (~30 B command batches), updates grow with the
+        // population.
+        let inb = bw.client_in_per_user.eval(60.0);
+        let out = bw.client_out_per_user.eval(60.0);
+        assert!(inb > 10.0 && inb < 100.0, "per-input bytes: {inb}");
+        assert!(out > inb, "updates larger than inputs: {out} vs {inb}");
+        assert!(
+            bw.client_out_per_user.eval(60.0) > bw.client_out_per_user.eval(20.0),
+            "update size grows with population"
+        );
+        // The Kim et al. asymmetry holds at any load.
+        assert!(bw.asymmetry(ZoneLoad::new(2, 60, 0)) > 1.0);
+    }
+}

@@ -1,0 +1,549 @@
+//! Multi-zone deployments — §II's zoning and instancing, combined with the
+//! per-zone replication the scalability model manages.
+//!
+//! The paper's evaluation replicates a single zone; real ROIA partition the
+//! virtual environment into many zones ("zoning assigns the processing of
+//! the entities in disjoint areas to distinct servers") and may run
+//! independent copies of crowded ones ("instancing creates separate
+//! independent copies of a particular zone"). A [`MultiZoneWorld`] runs one
+//! managed deployment per zone instance, each with its own RTF-RMS
+//! controller and model-driven autoscaling; users can travel between zones
+//! (a handover between replication groups), and a zone whose population
+//! exceeds what even `l_max` replicas can carry spawns a new *instance*.
+
+use crate::cluster::{Cluster, ClusterConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use roia_model::ScalabilityModel;
+use rtf_core::entity::UserId;
+use rtf_core::net::Bus;
+use rtf_core::zone::{InstanceId, ZoneId};
+use rtf_rms::{ControllerConfig, ModelDriven, ModelDrivenConfig};
+
+/// Configuration of a multi-zone world.
+#[derive(Debug, Clone)]
+pub struct MultiZoneConfig {
+    /// Number of zones in the world.
+    pub zones: u32,
+    /// Base configuration for each zone's deployment.
+    pub cluster: ClusterConfig,
+    /// Probability per user per second of travelling to another zone.
+    pub travel_prob_per_sec: f64,
+    /// Controller cadence per zone.
+    pub controller: ControllerConfig,
+    /// Spawn a new instance of a zone once its population exceeds this
+    /// fraction of the capacity at `l_max` (1.0 disables headroom).
+    pub instance_fraction: f64,
+    /// Merge two instances of a zone when their combined population fits
+    /// in this fraction of one instance's threshold (hysteresis below the
+    /// spawn point so instances do not flap).
+    pub merge_fraction: f64,
+    /// Allow instancing at all (otherwise the zone just saturates, the
+    /// paper's "critical user density").
+    pub allow_instancing: bool,
+}
+
+impl Default for MultiZoneConfig {
+    fn default() -> Self {
+        Self {
+            zones: 4,
+            cluster: ClusterConfig::default(),
+            travel_prob_per_sec: 0.01,
+            controller: ControllerConfig::default(),
+            instance_fraction: 0.8,
+            merge_fraction: 0.5,
+            allow_instancing: true,
+        }
+    }
+}
+
+/// One zone instance: an independently managed deployment.
+struct ZoneInstance {
+    zone_idx: u32,
+    instance: InstanceId,
+    cluster: Cluster,
+}
+
+/// Per-tick aggregate over the whole world.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorldTickStats {
+    /// Tick number.
+    pub tick: u64,
+    /// Users across all zones and instances.
+    pub users: u32,
+    /// Servers across all zones and instances.
+    pub servers: u32,
+    /// Zone instances currently running.
+    pub instances: u32,
+    /// Whether any server violated the threshold.
+    pub violation: bool,
+}
+
+/// A world of multiple zones, each with autoscaled replication and optional
+/// instancing.
+pub struct MultiZoneWorld {
+    config: MultiZoneConfig,
+    model: ScalabilityModel,
+    instances: Vec<ZoneInstance>,
+    bus: Bus,
+    rng: SmallRng,
+    tick: u64,
+    history: Vec<WorldTickStats>,
+    /// Users handed over between zones so far.
+    pub handovers: u64,
+    /// Instances spawned beyond the initial one-per-zone.
+    pub instances_spawned: u64,
+    /// Surplus instances merged back.
+    pub instances_merged: u64,
+    capacity_at_lmax: u32,
+}
+
+impl MultiZoneWorld {
+    /// Creates a world with one instance per zone, each managed by a
+    /// model-driven controller built from `model`.
+    pub fn new(config: MultiZoneConfig, model: ScalabilityModel) -> Self {
+        let limit = model.max_replicas(config.cluster.npcs);
+        let capacity_at_lmax = *limit.capacity_per_replica.last().unwrap_or(&u32::MAX);
+        let mut world = Self {
+            rng: SmallRng::seed_from_u64(config.cluster.seed ^ 0x0020_47E5),
+            model,
+            instances: Vec::new(),
+            bus: Bus::new(),
+            tick: 0,
+            history: Vec::new(),
+            handovers: 0,
+            instances_spawned: 0,
+            instances_merged: 0,
+            capacity_at_lmax,
+            config,
+        };
+        for zone_idx in 0..world.config.zones {
+            world.spawn_instance(zone_idx);
+        }
+        world
+    }
+
+    fn spawn_instance(&mut self, zone_idx: u32) -> usize {
+        let instance_no = self
+            .instances
+            .iter()
+            .filter(|i| i.zone_idx == zone_idx)
+            .count() as u32;
+        let mut cluster_config = self.config.cluster.clone();
+        cluster_config.seed = self
+            .config
+            .cluster
+            .seed
+            .wrapping_add(zone_idx as u64 * 1009 + instance_no as u64 * 31);
+        // All instances share one bus so cross-zone handovers carry the
+        // full avatar state through the ordinary migration machinery.
+        let mut cluster = Cluster::new_on_bus(
+            self.bus.clone(),
+            ZoneId(zone_idx),
+            cluster_config,
+            1,
+        );
+        // Disjoint user-id ranges per instance.
+        cluster.set_next_user_id(
+            1 + zone_idx as u64 * 1_000_000 + instance_no as u64 * 100_000,
+        );
+        cluster.set_threshold(self.model.u_threshold);
+        cluster.set_controller(
+            Box::new(ModelDriven::new(self.model.clone(), ModelDrivenConfig::default())),
+            self.config.controller,
+        );
+        self.instances.push(ZoneInstance {
+            zone_idx,
+            instance: InstanceId(instance_no),
+            cluster,
+        });
+        self.instances.len() - 1
+    }
+
+    /// Number of zone instances.
+    pub fn instance_count(&self) -> u32 {
+        self.instances.len() as u32
+    }
+
+    /// Total users in the world.
+    pub fn user_count(&self) -> u32 {
+        self.instances.iter().map(|i| i.cluster.user_count()).sum()
+    }
+
+    /// Total servers in the world.
+    pub fn server_count(&self) -> u32 {
+        self.instances.iter().map(|i| i.cluster.server_count()).sum()
+    }
+
+    /// Users per (zone, instance).
+    pub fn population(&self) -> Vec<(u32, InstanceId, u32)> {
+        self.instances
+            .iter()
+            .map(|i| (i.zone_idx, i.instance, i.cluster.user_count()))
+            .collect()
+    }
+
+    /// Total threshold violations across all instances.
+    pub fn violations(&self) -> u64 {
+        self.instances.iter().map(|i| i.cluster.violations()).sum()
+    }
+
+    /// Per-tick history.
+    pub fn history(&self) -> &[WorldTickStats] {
+        &self.history
+    }
+
+    /// The instance index where a new user for `zone_idx` should land: the
+    /// least loaded instance of the zone, or a fresh instance if all are
+    /// beyond the instancing threshold.
+    fn target_instance(&mut self, zone_idx: u32) -> usize {
+        let threshold =
+            (self.capacity_at_lmax as f64 * self.config.instance_fraction) as u32;
+        let best = self
+            .instances
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.zone_idx == zone_idx)
+            .min_by_key(|(_, i)| i.cluster.user_count())
+            .map(|(idx, i)| (idx, i.cluster.user_count()));
+        match best {
+            Some((idx, users)) => {
+                if self.config.allow_instancing
+                    && users >= threshold
+                    && self.capacity_at_lmax != u32::MAX
+                {
+                    self.instances_spawned += 1;
+                    self.spawn_instance(zone_idx)
+                } else {
+                    idx
+                }
+            }
+            None => self.spawn_instance(zone_idx),
+        }
+    }
+
+    /// Adds a user to a zone (the lobby routes players to the area they
+    /// picked); returns the user id.
+    pub fn add_user_to_zone(&mut self, zone_idx: u32) -> UserId {
+        assert!(zone_idx < self.config.zones);
+        let idx = self.target_instance(zone_idx);
+        self.instances[idx].cluster.add_user()
+    }
+
+    /// Removes one user from the given zone (any instance), if present.
+    pub fn remove_user_from_zone(&mut self, zone_idx: u32) -> Option<UserId> {
+        let idx = self
+            .instances
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.zone_idx == zone_idx && i.cluster.user_count() > 0)
+            .max_by_key(|(_, i)| i.cluster.user_count())
+            .map(|(idx, _)| idx)?;
+        self.instances[idx].cluster.remove_user()
+    }
+
+    /// Merges surplus instances of a zone back together: when the zone's
+    /// total population fits comfortably in one fewer instance, the
+    /// smallest instance hands every user to its siblings and retires.
+    /// Called once per second from [`MultiZoneWorld::step`].
+    fn merge_instances(&mut self, zone_idx: u32) {
+        let members: Vec<usize> = self
+            .instances
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.zone_idx == zone_idx)
+            .map(|(idx, _)| idx)
+            .collect();
+        if members.len() < 2 {
+            return;
+        }
+        let total: u32 = members
+            .iter()
+            .map(|&i| self.instances[i].cluster.user_count())
+            .sum();
+        let spawn_threshold =
+            (self.capacity_at_lmax as f64 * self.config.instance_fraction) as u32;
+        let fits_in_fewer = (members.len() as u32 - 1) as f64
+            * spawn_threshold as f64
+            * self.config.merge_fraction;
+        if (total as f64) >= fits_in_fewer {
+            return;
+        }
+        // Retire the smallest instance.
+        let &victim_idx = members
+            .iter()
+            .min_by_key(|&&i| self.instances[i].cluster.user_count())
+            .expect("two members");
+        let users = self.instances[victim_idx].cluster.users();
+        for user in users {
+            let Some(&target_idx) = members
+                .iter()
+                .filter(|&&i| i != victim_idx)
+                .min_by_key(|&&i| self.instances[i].cluster.user_count())
+            else {
+                break;
+            };
+            let target_server = self.instances[target_idx].cluster.least_loaded_server();
+            if self.instances[victim_idx].cluster.handover_user(user, target_server) {
+                if let Some(handle) = self.instances[victim_idx].cluster.extract_client(user) {
+                    self.instances[target_idx].cluster.adopt_client(handle);
+                    self.handovers += 1;
+                }
+            }
+        }
+        // Let the in-flight migration data drain before dropping the
+        // instance: run its servers a few ticks, then remove it.
+        for _ in 0..3 {
+            self.instances[victim_idx].cluster.step();
+            for &i in &members {
+                if i != victim_idx {
+                    self.instances[i].cluster.step();
+                }
+            }
+        }
+        if self.instances[victim_idx].cluster.user_count() == 0 {
+            self.instances.remove(victim_idx);
+            self.instances_merged += 1;
+        }
+    }
+
+    /// One tick of the whole world: optional zone travel, then every
+    /// instance steps.
+    pub fn step(&mut self) -> WorldTickStats {
+        // Zone travel: sampled once per second (every 25 ticks) to keep the
+        // handover rate interpretable as per-second probability. The
+        // handover is state-preserving: the source server exports the
+        // avatar to a server of the destination zone (ordinary §III-B
+        // migration across replication groups) and the client follows the
+        // redirect.
+        if self.config.zones > 1 && self.tick.is_multiple_of(25) && self.config.travel_prob_per_sec > 0.0
+        {
+            let mut moves: Vec<(usize, UserId, u32)> = Vec::new();
+            for (idx, inst) in self.instances.iter().enumerate() {
+                for user in inst.cluster.users() {
+                    if self.rng.gen_bool(self.config.travel_prob_per_sec) {
+                        let mut to = self.rng.gen_range(0..self.config.zones);
+                        if to == inst.zone_idx {
+                            to = (to + 1) % self.config.zones;
+                        }
+                        moves.push((idx, user, to));
+                    }
+                }
+            }
+            for (from_idx, user, to_zone) in moves {
+                let to_idx = self.target_instance(to_zone);
+                if to_idx == from_idx {
+                    continue;
+                }
+                let target_server = self.instances[to_idx].cluster.least_loaded_server();
+                if self.instances[from_idx].cluster.handover_user(user, target_server) {
+                    if let Some(handle) = self.instances[from_idx].cluster.extract_client(user)
+                    {
+                        self.instances[to_idx].cluster.adopt_client(handle);
+                        self.handovers += 1;
+                    }
+                }
+            }
+        }
+
+        // Instance merging: checked once per second, after travel.
+        if self.config.allow_instancing && self.tick % 25 == 13 {
+            for zone_idx in 0..self.config.zones {
+                self.merge_instances(zone_idx);
+            }
+        }
+
+        let mut violation = false;
+        for inst in &mut self.instances {
+            let stats = inst.cluster.step();
+            violation |= stats.violation;
+        }
+        let stats = WorldTickStats {
+            tick: self.tick,
+            users: self.user_count(),
+            servers: self.server_count(),
+            instances: self.instance_count(),
+            violation,
+        };
+        self.history.push(stats);
+        self.tick += 1;
+        stats
+    }
+
+    /// Runs `ticks` steps.
+    pub fn run(&mut self, ticks: u64) {
+        for _ in 0..ticks {
+            self.step();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roia_model::{CostFn, ModelParams};
+
+    fn model() -> ScalabilityModel {
+        let params = ModelParams {
+            t_ua: CostFn::Quadratic { c0: 1.2e-4, c1: 3.6e-8, c2: 1.4e-10 },
+            t_aoi: CostFn::Quadratic { c0: 1.0e-7, c1: 1.4e-9, c2: 2.0e-10 },
+            t_su: CostFn::Linear { c0: 8.0e-8, c1: 6.2e-8 },
+            t_ua_dser: CostFn::Linear { c0: 2.7e-6, c1: 3.8e-9 },
+            t_fa_dser: CostFn::Linear { c0: 2.0e-6, c1: 1e-10 },
+            t_fa: CostFn::Linear { c0: 1.2e-5, c1: 1e-10 },
+            t_mig_ini: CostFn::Linear { c0: 2.0e-4, c1: 7.0e-6 },
+            t_mig_rcv: CostFn::Linear { c0: 1.5e-4, c1: 4.0e-6 },
+            ..Default::default()
+        };
+        ScalabilityModel::new(params, 0.040)
+    }
+
+    fn config() -> MultiZoneConfig {
+        MultiZoneConfig {
+            zones: 3,
+            cluster: ClusterConfig { cost_noise: 0.0, ..ClusterConfig::default() },
+            travel_prob_per_sec: 0.0,
+            ..MultiZoneConfig::default()
+        }
+    }
+
+    #[test]
+    fn zones_are_independent_deployments() {
+        let mut world = MultiZoneWorld::new(config(), model());
+        assert_eq!(world.instance_count(), 3);
+        for _ in 0..20 {
+            world.add_user_to_zone(0);
+        }
+        for _ in 0..5 {
+            world.add_user_to_zone(2);
+        }
+        world.run(5);
+        let pop = world.population();
+        assert_eq!(pop[0].2, 20);
+        assert_eq!(pop[1].2, 0, "zone 1 untouched (zoning isolates areas)");
+        assert_eq!(pop[2].2, 5);
+        assert_eq!(world.user_count(), 25);
+        assert_eq!(world.server_count(), 3, "one server per zone");
+    }
+
+    #[test]
+    fn hotspot_zone_scales_alone() {
+        let mut world = MultiZoneWorld::new(config(), model());
+        let trigger = world.model.replication_trigger(1, 0);
+        // Crowd zone 1 past the trigger; leave the others idle.
+        for _ in 0..trigger + 20 {
+            world.add_user_to_zone(1);
+        }
+        world.run(150); // enough for control rounds + boot delay
+        let mut servers_per_zone = [0u32; 3];
+        for inst in &world.instances {
+            servers_per_zone[inst.zone_idx as usize] += inst.cluster.server_count();
+        }
+        assert!(servers_per_zone[1] >= 2, "hotspot replicated: {servers_per_zone:?}");
+        assert_eq!(servers_per_zone[0], 1, "idle zones stay single-server");
+        assert_eq!(servers_per_zone[2], 1);
+    }
+
+    #[test]
+    fn handover_preserves_avatar_state() {
+        // Cross-zone travel uses the migration machinery, so the avatar's
+        // health/kills must survive the move.
+        let mut world = MultiZoneWorld::new(config(), model());
+        let user = world.add_user_to_zone(0);
+        world.run(10);
+        // Wound the avatar on its current server.
+        let health_before = {
+            let inst = &mut world.instances[0];
+            // Find the avatar wherever it is active.
+            let server_idx = (0..inst.cluster.server_count() as usize)
+                .find(|&i| inst.cluster.server(i).app().avatar(user).is_some())
+                .expect("avatar exists");
+            // (No direct mutation API: damage via a forwarded interaction
+            // would need a peer, so assert on the default state instead.)
+            inst.cluster.server(server_idx).app().avatar(user).unwrap().health
+        };
+
+        // Hand the user to zone 1 and settle.
+        let target = world.instances[1].cluster.least_loaded_server();
+        assert!(world.instances[0].cluster.handover_user(user, target));
+        let handle = world.instances[0].cluster.extract_client(user).unwrap();
+        world.instances[1].cluster.adopt_client(handle);
+        world.run(10);
+
+        assert_eq!(world.instances[0].cluster.user_count(), 0);
+        assert_eq!(world.instances[1].cluster.user_count(), 1);
+        let arrived = world.instances[1]
+            .cluster
+            .server(0)
+            .app()
+            .avatar(user)
+            .expect("avatar travelled with full state");
+        assert!(arrived.is_active());
+        assert_eq!(arrived.health, health_before);
+    }
+
+    #[test]
+    fn zone_travel_conserves_users() {
+        let mut cfg = config();
+        cfg.travel_prob_per_sec = 0.2;
+        let mut world = MultiZoneWorld::new(cfg, model());
+        for z in 0..3 {
+            for _ in 0..10 {
+                world.add_user_to_zone(z);
+            }
+        }
+        world.run(100); // 4 travel opportunities
+        assert_eq!(world.user_count(), 30, "handover never loses users");
+        assert!(world.handovers > 0, "some users travelled");
+    }
+
+    #[test]
+    fn instancing_kicks_in_when_zone_is_full() {
+        let mut cfg = config();
+        cfg.zones = 1;
+        cfg.allow_instancing = true;
+        cfg.instance_fraction = 0.01; // force instancing almost immediately
+        let mut world = MultiZoneWorld::new(cfg, model());
+        for _ in 0..30 {
+            world.add_user_to_zone(0);
+        }
+        assert!(world.instances_spawned > 0, "a second instance was created");
+        assert!(world.instance_count() > 1);
+        assert_eq!(world.user_count(), 30);
+    }
+
+    #[test]
+    fn surplus_instances_merge_back() {
+        let mut cfg = config();
+        cfg.zones = 1;
+        cfg.allow_instancing = true;
+        cfg.instance_fraction = 0.05; // spawn a second instance quickly
+        cfg.merge_fraction = 0.9;
+        let mut world = MultiZoneWorld::new(cfg, model());
+        for _ in 0..80 {
+            world.add_user_to_zone(0);
+        }
+        assert!(world.instance_count() > 1, "instancing happened");
+        // The crowd leaves: population fits one instance again.
+        for _ in 0..70 {
+            world.remove_user_from_zone(0);
+        }
+        world.run(120);
+        assert_eq!(world.instance_count(), 1, "surplus instance merged away");
+        assert!(world.instances_merged >= 1);
+        assert_eq!(world.user_count(), 10, "merge lost nobody");
+    }
+
+    #[test]
+    fn instancing_disabled_keeps_one_instance() {
+        let mut cfg = config();
+        cfg.zones = 1;
+        cfg.allow_instancing = false;
+        cfg.instance_fraction = 0.01;
+        let mut world = MultiZoneWorld::new(cfg, model());
+        for _ in 0..30 {
+            world.add_user_to_zone(0);
+        }
+        assert_eq!(world.instance_count(), 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Plain-text reporting: the tables and ASCII charts the figure binaries
+//! print, plus CSV export for external plotting.
+
+use std::fmt::Write as _;
+
+/// A named data series (one curve of a paper figure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Curve label.
+    pub name: String,
+    /// `(x, y)` points in x order.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), points: Vec::new() }
+    }
+
+    /// Appends a point.
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.points.push((x, y));
+    }
+
+    /// Minimum and maximum y values (0.0 defaults when empty).
+    pub fn y_range(&self) -> (f64, f64) {
+        self.points.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, y)| {
+            (lo.min(y), hi.max(y))
+        })
+    }
+}
+
+/// Renders several series sharing an x column as an aligned text table.
+pub fn table(x_label: &str, series: &[&Series]) -> String {
+    let mut out = String::new();
+    write!(out, "{:>12}", x_label).unwrap();
+    for s in series {
+        write!(out, " {:>16}", s.name).unwrap();
+    }
+    out.push('\n');
+    let rows = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        let x = series
+            .iter()
+            .find_map(|s| s.points.get(i).map(|p| p.0))
+            .unwrap_or(0.0);
+        write!(out, "{:>12.2}", x).unwrap();
+        for s in series {
+            match s.points.get(i) {
+                Some(&(_, y)) => write!(out, " {:>16.6}", y).unwrap(),
+                None => write!(out, " {:>16}", "-").unwrap(),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one series as a crude ASCII chart (rows = samples, bar length ∝
+/// y) — enough to eyeball the shape of a figure in a terminal.
+pub fn ascii_chart(series: &Series, width: usize) -> String {
+    let mut out = String::new();
+    let (_, y_hi) = series.y_range();
+    let scale = if y_hi > 0.0 { width as f64 / y_hi } else { 0.0 };
+    writeln!(out, "{} (max {:.4})", series.name, y_hi).unwrap();
+    for &(x, y) in &series.points {
+        let bar = "#".repeat(((y * scale).round() as usize).min(width));
+        writeln!(out, "{:>10.2} | {:<width$} {:.4}", x, bar, y, width = width).unwrap();
+    }
+    out
+}
+
+/// Renders series sharing an x column as CSV (header = labels).
+pub fn csv(x_label: &str, series: &[&Series]) -> String {
+    let mut out = String::new();
+    write!(out, "{}", x_label).unwrap();
+    for s in series {
+        write!(out, ",{}", s.name).unwrap();
+    }
+    out.push('\n');
+    let rows = series.iter().map(|s| s.points.len()).max().unwrap_or(0);
+    for i in 0..rows {
+        let x = series
+            .iter()
+            .find_map(|s| s.points.get(i).map(|p| p.0))
+            .unwrap_or(0.0);
+        write!(out, "{}", x).unwrap();
+        for s in series {
+            match s.points.get(i) {
+                Some(&(_, y)) => write!(out, ",{}", y).unwrap(),
+                None => out.push(','),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> Series {
+        let mut s = Series::new("t_ua");
+        s.push(10.0, 0.5);
+        s.push(20.0, 1.0);
+        s.push(30.0, 2.0);
+        s
+    }
+
+    #[test]
+    fn series_accumulates_and_ranges() {
+        let s = series();
+        assert_eq!(s.points.len(), 3);
+        assert_eq!(s.y_range(), (0.5, 2.0));
+    }
+
+    #[test]
+    fn table_contains_all_rows() {
+        let s1 = series();
+        let mut s2 = Series::new("t_su");
+        s2.push(10.0, 0.1);
+        let text = table("users", &[&s1, &s2]);
+        assert!(text.contains("users"));
+        assert!(text.contains("t_ua"));
+        assert!(text.contains("t_su"));
+        assert_eq!(text.lines().count(), 4, "header + 3 rows");
+        // Short series pad with '-'.
+        assert!(text.lines().nth(2).unwrap().contains('-'));
+    }
+
+    #[test]
+    fn chart_bars_scale_with_values() {
+        let text = ascii_chart(&series(), 20);
+        let bars: Vec<usize> = text
+            .lines()
+            .skip(1)
+            .map(|l| l.chars().filter(|c| *c == '#').count())
+            .collect();
+        assert_eq!(bars.len(), 3);
+        assert!(bars[0] < bars[1] && bars[1] < bars[2]);
+        assert_eq!(bars[2], 20, "largest value fills the width");
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let s = series();
+        let text = csv("users", &[&s]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines[0], "users,t_ua");
+        assert_eq!(lines[1], "10,0.5");
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn empty_series_is_harmless() {
+        let s = Series::new("empty");
+        assert!(table("x", &[&s]).lines().count() == 1);
+        assert!(ascii_chart(&s, 10).lines().count() == 1);
+    }
+}

@@ -1,0 +1,231 @@
+//! End-to-end managed sessions — the §V-B experiment harness.
+//!
+//! [`run_session`] drives a [`Cluster`] under a [`Workload`] with an
+//! RTF-RMS controller attached, and summarizes what Fig. 8 plots: user
+//! count, active servers and average CPU load over time, plus the
+//! violation/overhead accounting the policy comparison needs.
+
+use crate::cluster::{Cluster, ClusterConfig, ClusterTickStats};
+use crate::workload::{drive, Workload};
+use rtf_rms::{ControllerConfig, Policy};
+
+/// Session configuration.
+pub struct SessionConfig {
+    /// Cluster configuration.
+    pub cluster: ClusterConfig,
+    /// Session length in ticks (25 ticks = 1 s).
+    pub ticks: u64,
+    /// Maximum user joins/leaves per tick.
+    pub max_churn_per_tick: u32,
+    /// Tick-duration threshold `U` for violation accounting (seconds).
+    pub u_threshold: f64,
+    /// Controller cadence.
+    pub controller: ControllerConfig,
+    /// Initial replica count.
+    pub initial_servers: u32,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            cluster: ClusterConfig::default(),
+            ticks: 7500, // 5 minutes at 25 Hz
+            max_churn_per_tick: 2,
+            u_threshold: 0.040,
+            controller: ControllerConfig::default(),
+            initial_servers: 1,
+        }
+    }
+}
+
+/// Summary of a managed session.
+#[derive(Debug, Clone)]
+pub struct SessionReport {
+    /// The policy that managed the session.
+    pub policy: &'static str,
+    /// Per-tick statistics (the Fig. 8 series).
+    pub history: Vec<ClusterTickStats>,
+    /// Server-ticks whose duration reached the threshold.
+    pub violations: u64,
+    /// Total users migrated.
+    pub migrations: u64,
+    /// Replication enactments executed.
+    pub replicas_added: usize,
+    /// Resource removals executed.
+    pub replicas_removed: usize,
+    /// Resource substitutions executed.
+    pub substitutions: usize,
+    /// Cloud cost accrued.
+    pub total_cost: f64,
+    /// Peak replica count.
+    pub peak_servers: u32,
+}
+
+impl SessionReport {
+    /// Fraction of ticks with at least one violating server.
+    pub fn violation_rate(&self) -> f64 {
+        if self.history.is_empty() {
+            return 0.0;
+        }
+        self.history.iter().filter(|h| h.violation).count() as f64 / self.history.len() as f64
+    }
+
+    /// Mean CPU load over the session (servers that existed each tick).
+    pub fn mean_cpu_load(&self) -> f64 {
+        if self.history.is_empty() {
+            return 0.0;
+        }
+        self.history.iter().map(|h| h.avg_cpu_load).sum::<f64>() / self.history.len() as f64
+    }
+
+    /// Downsampled history: one entry per `stride` ticks (for plotting).
+    pub fn sampled(&self, stride: usize) -> Vec<ClusterTickStats> {
+        self.history
+            .iter()
+            .step_by(stride.max(1))
+            .copied()
+            .collect()
+    }
+
+    /// The full per-tick history as CSV (for external plotting tools).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("tick,t_secs,users,servers,avg_cpu_load,max_tick_ms,violation\n");
+        for h in &self.history {
+            out.push_str(&format!(
+                "{},{:.3},{},{},{:.4},{:.3},{}\n",
+                h.tick,
+                h.tick as f64 * 0.040,
+                h.users,
+                h.servers,
+                h.avg_cpu_load,
+                h.max_tick_duration * 1e3,
+                h.violation as u8
+            ));
+        }
+        out
+    }
+}
+
+/// Runs a managed session and reports the outcome.
+pub fn run_session(
+    config: SessionConfig,
+    policy: Box<dyn Policy>,
+    workload: &dyn Workload,
+) -> SessionReport {
+    let tick_interval = config.cluster.tick_interval;
+    let policy_name = policy.name();
+    let mut cluster = Cluster::new(config.cluster, config.initial_servers);
+    cluster.set_threshold(config.u_threshold);
+    cluster.set_controller(policy, config.controller);
+
+    let mut peak_servers = cluster.server_count();
+    for _ in 0..config.ticks {
+        drive(&mut cluster, workload, tick_interval, config.max_churn_per_tick);
+        cluster.step();
+        peak_servers = peak_servers.max(cluster.server_count());
+    }
+
+    let log = cluster.action_log().expect("controller attached");
+    SessionReport {
+        policy: policy_name,
+        violations: cluster.violations(),
+        migrations: cluster.total_migrations(),
+        replicas_added: log.count("add_replica"),
+        replicas_removed: log.count("remove_replica"),
+        substitutions: log.count("substitute"),
+        total_cost: cluster.total_cost(),
+        peak_servers,
+        history: cluster.history().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Ramp;
+    use rtf_rms::{ModelDriven, ModelDrivenConfig, StaticInterval};
+    use roia_model::{CostFn, ModelParams, ScalabilityModel};
+
+    /// A hand-built model roughly matching the default cost rates at small
+    /// populations (tests avoid the full calibration campaign for speed).
+    fn rough_model() -> ScalabilityModel {
+        let params = ModelParams {
+            t_ua_dser: CostFn::Linear { c0: 4e-6, c1: 5e-9 },
+            t_ua: CostFn::Quadratic { c0: 45e-6, c1: 2.5e-7, c2: 0.0 },
+            t_aoi: CostFn::Quadratic { c0: 5e-6, c1: 2.2e-7, c2: 1e-10 },
+            t_su: CostFn::Linear { c0: 3e-6, c1: 1.5e-7 },
+            t_fa_dser: CostFn::Linear { c0: 2e-6, c1: 1e-9 },
+            t_fa: CostFn::Linear { c0: 20e-6, c1: 1e-9 },
+            t_npc: CostFn::ZERO,
+            t_mig_ini: CostFn::Linear { c0: 0.2e-3, c1: 7e-6 },
+            t_mig_rcv: CostFn::Linear { c0: 0.15e-3, c1: 4e-6 },
+        };
+        ScalabilityModel::new(params, 0.040)
+    }
+
+    #[test]
+    fn short_model_driven_session_runs() {
+        let config = SessionConfig {
+            ticks: 300,
+            max_churn_per_tick: 3,
+            cluster: ClusterConfig { cost_noise: 0.0, ..ClusterConfig::default() },
+            ..SessionConfig::default()
+        };
+        let policy =
+            Box::new(ModelDriven::new(rough_model(), ModelDrivenConfig::default()));
+        let workload = Ramp { from: 0, to: 60, duration_secs: 6.0 };
+        let report = run_session(config, policy, &workload);
+        assert_eq!(report.policy, "model-driven");
+        assert_eq!(report.history.len(), 300);
+        assert_eq!(report.history.last().unwrap().users, 60);
+        assert!(report.mean_cpu_load() > 0.0);
+        assert!(report.total_cost > 0.0);
+    }
+
+    #[test]
+    fn static_interval_session_migrates_more() {
+        // The static baseline equalizes exhaustively; with any imbalance it
+        // fires unpaced migrations.
+        let make_config = || SessionConfig {
+            ticks: 250,
+            max_churn_per_tick: 5,
+            cluster: ClusterConfig { cost_noise: 0.0, ..ClusterConfig::default() },
+            initial_servers: 2,
+            ..SessionConfig::default()
+        };
+        let workload = Ramp { from: 0, to: 80, duration_secs: 5.0 };
+
+        let baseline = run_session(
+            make_config(),
+            Box::new(StaticInterval::new(1, 10_000)),
+            &workload,
+        );
+        let model = run_session(
+            make_config(),
+            Box::new(ModelDriven::new(rough_model(), ModelDrivenConfig::default())),
+            &workload,
+        );
+        assert_eq!(baseline.policy, "static-interval");
+        // Both keep all users; the model-driven one paces its migrations.
+        assert_eq!(baseline.history.last().unwrap().users, 80);
+        assert_eq!(model.history.last().unwrap().users, 80);
+    }
+
+    #[test]
+    fn report_helpers() {
+        let config = SessionConfig {
+            ticks: 100,
+            cluster: ClusterConfig { cost_noise: 0.0, ..ClusterConfig::default() },
+            ..SessionConfig::default()
+        };
+        let policy =
+            Box::new(ModelDriven::new(rough_model(), ModelDrivenConfig::default()));
+        let workload = Ramp { from: 0, to: 10, duration_secs: 1.0 };
+        let report = run_session(config, policy, &workload);
+        assert!(report.violation_rate() >= 0.0 && report.violation_rate() <= 1.0);
+        assert_eq!(report.sampled(10).len(), 10);
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), 101, "header + one row per tick");
+        assert!(csv.starts_with("tick,t_secs,users"));
+    }
+}

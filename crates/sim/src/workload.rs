@@ -1,0 +1,332 @@
+//! User-arrival workloads.
+//!
+//! §V-B evaluates RTF-RMS on "an RTFDemo session with a continuously
+//! changing number of users (up to 300)". A [`Workload`] is a target user
+//! count as a function of time; [`drive`] reconciles a cluster toward it
+//! at a bounded join/leave rate.
+
+use crate::cluster::Cluster;
+
+/// A target user count over time (seconds since session start).
+pub trait Workload {
+    /// Desired concurrent users at time `t_secs`.
+    fn target_users(&self, t_secs: f64) -> u32;
+}
+
+/// Linear ramp from `from` to `to` over `duration_secs`, then hold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ramp {
+    /// Starting population.
+    pub from: u32,
+    /// Final population.
+    pub to: u32,
+    /// Ramp duration in seconds.
+    pub duration_secs: f64,
+}
+
+impl Workload for Ramp {
+    fn target_users(&self, t_secs: f64) -> u32 {
+        if self.duration_secs <= 0.0 {
+            return self.to;
+        }
+        let f = (t_secs / self.duration_secs).clamp(0.0, 1.0);
+        (self.from as f64 + f * (self.to as f64 - self.from as f64)).round() as u32
+    }
+}
+
+/// The §V-B session shape: ramp up to a peak, hold, ramp back down.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperSession {
+    /// Peak population (300 in the paper).
+    pub peak: u32,
+    /// Seconds spent ramping up.
+    pub ramp_up_secs: f64,
+    /// Seconds held at the peak.
+    pub hold_secs: f64,
+    /// Seconds spent ramping down.
+    pub ramp_down_secs: f64,
+}
+
+impl Default for PaperSession {
+    fn default() -> Self {
+        Self { peak: 300, ramp_up_secs: 120.0, hold_secs: 60.0, ramp_down_secs: 120.0 }
+    }
+}
+
+impl PaperSession {
+    /// Total session length in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.ramp_up_secs + self.hold_secs + self.ramp_down_secs
+    }
+}
+
+impl Workload for PaperSession {
+    fn target_users(&self, t_secs: f64) -> u32 {
+        if t_secs < self.ramp_up_secs {
+            (self.peak as f64 * t_secs / self.ramp_up_secs).round() as u32
+        } else if t_secs < self.ramp_up_secs + self.hold_secs {
+            self.peak
+        } else {
+            let t_down = t_secs - self.ramp_up_secs - self.hold_secs;
+            let f = (t_down / self.ramp_down_secs).min(1.0);
+            (self.peak as f64 * (1.0 - f)).round() as u32
+        }
+    }
+}
+
+/// A sinusoidal day/night population cycle around a mean.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SineWave {
+    /// Mean population.
+    pub mean: u32,
+    /// Amplitude of the oscillation.
+    pub amplitude: u32,
+    /// Period in seconds.
+    pub period_secs: f64,
+}
+
+impl Workload for SineWave {
+    fn target_users(&self, t_secs: f64) -> u32 {
+        let phase = std::f64::consts::TAU * t_secs / self.period_secs;
+        let v = self.mean as f64 + self.amplitude as f64 * phase.sin();
+        v.max(0.0).round() as u32
+    }
+}
+
+/// A sudden flash crowd: `base` users, jumping to `base + crowd` during
+/// `[start_secs, end_secs)` — the hardest case for reactive provisioning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FlashCrowd {
+    /// Baseline population.
+    pub base: u32,
+    /// Additional users during the event.
+    pub crowd: u32,
+    /// Event start (seconds).
+    pub start_secs: f64,
+    /// Event end (seconds).
+    pub end_secs: f64,
+}
+
+impl Workload for FlashCrowd {
+    fn target_users(&self, t_secs: f64) -> u32 {
+        if t_secs >= self.start_secs && t_secs < self.end_secs {
+            self.base + self.crowd
+        } else {
+            self.base
+        }
+    }
+}
+
+/// Drives the cluster toward the workload's target each tick, joining or
+/// disconnecting at most `max_churn_per_tick` users per tick (players do
+/// not all arrive in the same 40 ms in reality either).
+pub fn drive(
+    cluster: &mut Cluster,
+    workload: &dyn Workload,
+    tick_interval: f64,
+    max_churn_per_tick: u32,
+) {
+    let t_secs = cluster.now() as f64 * tick_interval;
+    let target = workload.target_users(t_secs);
+    let current = cluster.user_count();
+    if target > current {
+        for _ in 0..(target - current).min(max_churn_per_tick) {
+            cluster.add_user();
+        }
+    } else if target < current {
+        for _ in 0..(current - target).min(max_churn_per_tick) {
+            cluster.remove_user();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ramp_interpolates_and_holds() {
+        let r = Ramp { from: 0, to: 100, duration_secs: 10.0 };
+        assert_eq!(r.target_users(0.0), 0);
+        assert_eq!(r.target_users(5.0), 50);
+        assert_eq!(r.target_users(10.0), 100);
+        assert_eq!(r.target_users(1000.0), 100);
+    }
+
+    #[test]
+    fn ramp_degenerate_duration() {
+        let r = Ramp { from: 5, to: 50, duration_secs: 0.0 };
+        assert_eq!(r.target_users(0.0), 50);
+    }
+
+    #[test]
+    fn paper_session_phases() {
+        let s = PaperSession::default();
+        assert_eq!(s.target_users(0.0), 0);
+        assert_eq!(s.target_users(60.0), 150, "halfway up");
+        assert_eq!(s.target_users(150.0), 300, "holding at peak");
+        assert_eq!(s.target_users(240.0), 150, "halfway down");
+        assert_eq!(s.target_users(1000.0), 0);
+        assert_eq!(s.duration_secs(), 300.0);
+    }
+
+    #[test]
+    fn sine_wave_oscillates() {
+        let s = SineWave { mean: 100, amplitude: 50, period_secs: 100.0 };
+        assert_eq!(s.target_users(0.0), 100);
+        assert_eq!(s.target_users(25.0), 150);
+        assert_eq!(s.target_users(75.0), 50);
+    }
+
+    #[test]
+    fn sine_wave_never_negative() {
+        let s = SineWave { mean: 10, amplitude: 50, period_secs: 100.0 };
+        assert_eq!(s.target_users(75.0), 0);
+    }
+
+    #[test]
+    fn flash_crowd_window() {
+        let f = FlashCrowd { base: 50, crowd: 200, start_secs: 10.0, end_secs: 20.0 };
+        assert_eq!(f.target_users(9.9), 50);
+        assert_eq!(f.target_users(10.0), 250);
+        assert_eq!(f.target_users(19.9), 250);
+        assert_eq!(f.target_users(20.0), 50);
+    }
+
+    #[test]
+    fn drive_moves_population_toward_target() {
+        use crate::cluster::{Cluster, ClusterConfig};
+        let mut cluster = Cluster::new(
+            ClusterConfig { cost_noise: 0.0, ..ClusterConfig::default() },
+            1,
+        );
+        let ramp = Ramp { from: 0, to: 20, duration_secs: 0.0 };
+        for _ in 0..10 {
+            drive(&mut cluster, &ramp, 0.040, 5);
+            cluster.step();
+        }
+        assert_eq!(cluster.user_count(), 20, "5 joins/tick reach 20 in 4 ticks");
+
+        let down = Ramp { from: 20, to: 0, duration_secs: 0.0 };
+        for _ in 0..10 {
+            drive(&mut cluster, &down, 0.040, 50);
+            cluster.step();
+        }
+        assert_eq!(cluster.user_count(), 0);
+    }
+}
+
+/// A recorded population trace: piecewise-linear interpolation between
+/// `(t_secs, users)` samples — replay real sessions (or the traces of
+/// Kim et al. \[10\] / Svoboda et al. \[20\] style measurements) against the
+/// managed cluster.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    points: Vec<(f64, u32)>,
+}
+
+impl Trace {
+    /// Builds a trace from `(t_secs, users)` samples; they are sorted by
+    /// time. Panics on an empty input.
+    pub fn new(mut points: Vec<(f64, u32)>) -> Self {
+        assert!(!points.is_empty(), "a trace needs at least one sample");
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        Self { points }
+    }
+
+    /// Parses a two-column CSV (`t_secs,users`, `#`-comments and a header
+    /// line allowed). Returns `None` if no valid rows are found.
+    pub fn from_csv(text: &str) -> Option<Self> {
+        let mut points = Vec::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut cols = line.split(',');
+            let (Some(t), Some(u)) = (cols.next(), cols.next()) else { continue };
+            if let (Ok(t), Ok(u)) = (t.trim().parse::<f64>(), u.trim().parse::<u32>()) {
+                points.push((t, u));
+            }
+        }
+        if points.is_empty() {
+            None
+        } else {
+            Some(Self::new(points))
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the trace is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Duration covered by the trace, in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        self.points.last().map(|p| p.0).unwrap_or(0.0)
+    }
+}
+
+impl Workload for Trace {
+    fn target_users(&self, t_secs: f64) -> u32 {
+        let first = self.points[0];
+        if t_secs <= first.0 {
+            return first.1;
+        }
+        for window in self.points.windows(2) {
+            let (t0, u0) = window[0];
+            let (t1, u1) = window[1];
+            if t_secs <= t1 {
+                if t1 <= t0 {
+                    return u1;
+                }
+                let f = (t_secs - t0) / (t1 - t0);
+                return (u0 as f64 + f * (u1 as f64 - u0 as f64)).round() as u32;
+            }
+        }
+        self.points.last().expect("non-empty").1
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+
+    #[test]
+    fn trace_interpolates_between_samples() {
+        let t = Trace::new(vec![(0.0, 0), (10.0, 100), (20.0, 50)]);
+        assert_eq!(t.target_users(0.0), 0);
+        assert_eq!(t.target_users(5.0), 50);
+        assert_eq!(t.target_users(10.0), 100);
+        assert_eq!(t.target_users(15.0), 75);
+        assert_eq!(t.target_users(100.0), 50, "holds the last sample");
+        assert_eq!(t.target_users(-5.0), 0, "clamps before the first");
+        assert_eq!(t.duration_secs(), 20.0);
+    }
+
+    #[test]
+    fn trace_sorts_unordered_input() {
+        let t = Trace::new(vec![(10.0, 100), (0.0, 0)]);
+        assert_eq!(t.target_users(5.0), 50);
+    }
+
+    #[test]
+    fn trace_parses_csv() {
+        let csv = "# a recorded session\nt,users\n0,10\n30,40\n60, 20\nbroken,row\n";
+        let t = Trace::from_csv(csv).expect("parsed");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.target_users(15.0), 25);
+        assert!(Trace::from_csv("# nothing\n").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_trace_rejected() {
+        Trace::new(vec![]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the session driver: user conservation under
+//! arbitrary interleavings of joins, leaves, migrations and scaling
+//! actions, and determinism of the virtual clock.
+
+use proptest::prelude::*;
+use roia_sim::{Cluster, ClusterConfig};
+use rtf_core::zone::ZoneId;
+use rtf_rms::Action;
+
+/// The operations a fuzzer can throw at a running cluster.
+#[derive(Debug, Clone)]
+enum Op {
+    AddUser,
+    RemoveUser,
+    Migrate { from_idx: u8, to_idx: u8, count: u8 },
+    AddReplica,
+    Step(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::AddUser),
+        1 => Just(Op::RemoveUser),
+        2 => (any::<u8>(), any::<u8>(), 1u8..5).prop_map(|(f, t, c)| Op::Migrate {
+            from_idx: f,
+            to_idx: t,
+            count: c
+        }),
+        1 => Just(Op::AddReplica),
+        3 => (1u8..6).prop_map(Op::Step),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn users_conserved_under_arbitrary_operations(ops in proptest::collection::vec(arb_op(), 1..40)) {
+        let config = ClusterConfig { cost_noise: 0.0, ..ClusterConfig::default() };
+        let mut cluster = Cluster::new(config, 2);
+        let mut expected: i64 = 0;
+        for op in ops {
+            match op {
+                Op::AddUser => {
+                    cluster.add_user();
+                    expected += 1;
+                }
+                Op::RemoveUser => {
+                    if cluster.remove_user().is_some() {
+                        expected -= 1;
+                    }
+                }
+                Op::Migrate { from_idx, to_idx, count } => {
+                    let loads = cluster.server_loads();
+                    let from = loads[from_idx as usize % loads.len()].0;
+                    let to = loads[to_idx as usize % loads.len()].0;
+                    if from != to {
+                        cluster.execute_migration(from, to, count as u32);
+                    }
+                }
+                Op::AddReplica => {
+                    cluster.execute_action(Action::AddReplica { zone: ZoneId(1) });
+                }
+                Op::Step(n) => cluster.run(n as u64),
+            }
+            prop_assert_eq!(cluster.user_count() as i64, expected);
+        }
+        // Settle all in-flight traffic; the server-side count must agree.
+        cluster.run(60);
+        let on_servers: u32 = cluster.server_loads().iter().map(|(_, u)| u).sum();
+        prop_assert_eq!(on_servers as i64, expected, "client and server views agree");
+    }
+
+    #[test]
+    fn virtual_clock_is_deterministic(seed in 0u64..500, users in 1u32..40) {
+        let run = |seed: u64| {
+            let config = ClusterConfig { seed, cost_noise: 0.1, ..ClusterConfig::default() };
+            let mut cluster = Cluster::new(config, 2);
+            for _ in 0..users {
+                cluster.add_user();
+            }
+            cluster.run(20);
+            cluster
+                .history()
+                .iter()
+                .map(|h| h.max_tick_duration)
+                .collect::<Vec<f64>>()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn violations_monotone_nondecreasing(steps in 1u64..30, users in 0u32..60) {
+        let config = ClusterConfig { cost_noise: 0.0, ..ClusterConfig::default() };
+        let mut cluster = Cluster::new(config, 1);
+        cluster.set_threshold(1e-5); // tiny threshold: violations accumulate
+        for _ in 0..users {
+            cluster.add_user();
+        }
+        let mut prev = 0;
+        for _ in 0..steps {
+            cluster.step();
+            let now = cluster.violations();
+            prop_assert!(now >= prev);
+            prev = now;
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Stress scenario beyond the paper's evaluation: a flash crowd hits the
+//! deployment, and we compare how the model-driven policy and the
+//! static-threshold baseline (Duong & Zhou) cope — the quantified version
+//! of the paper's §VI argument that static user-count thresholds ignore
+//! the actual workload.
+//!
+//! Run with: `cargo run --release --example flash_crowd`
+
+use roia::model::{CostFn, ModelParams, ScalabilityModel};
+use roia::rms::{ModelDriven, ModelDrivenConfig, Policy, StaticThreshold};
+use roia::sim::{run_session, FlashCrowd, SessionConfig, SessionReport};
+
+fn model() -> ScalabilityModel {
+    let params = ModelParams {
+        t_ua_dser: CostFn::Linear { c0: 2.7e-6, c1: 3.8e-9 },
+        t_ua: CostFn::Quadratic { c0: 1.2e-4, c1: 3.6e-8, c2: 1.4e-10 },
+        t_aoi: CostFn::Quadratic { c0: 1.0e-7, c1: 1.4e-9, c2: 2.0e-10 },
+        t_su: CostFn::Linear { c0: 8.0e-8, c1: 6.2e-8 },
+        t_fa_dser: CostFn::Linear { c0: 2.0e-6, c1: 1e-10 },
+        t_fa: CostFn::Linear { c0: 1.2e-5, c1: 1e-10 },
+        t_npc: CostFn::ZERO,
+        t_mig_ini: CostFn::Linear { c0: 2.0e-4, c1: 7.0e-6 },
+        t_mig_rcv: CostFn::Linear { c0: 1.5e-4, c1: 4.0e-6 },
+    };
+    ScalabilityModel::new(params, 0.040)
+}
+
+fn run(policy: Box<dyn Policy>) -> SessionReport {
+    // 80 regulars; 160 extra users storm in at t = 20 s and stay 30 s.
+    let workload = FlashCrowd { base: 80, crowd: 160, start_secs: 20.0, end_secs: 50.0 };
+    let config = SessionConfig {
+        ticks: 70 * 25,
+        max_churn_per_tick: 8, // a flash crowd joins fast
+        ..SessionConfig::default()
+    };
+    run_session(config, policy, &workload)
+}
+
+fn main() {
+    let m = model();
+    println!(
+        "capacity: n_max(1) = {}, trigger = {}\n",
+        m.max_users(1, 0),
+        m.replication_trigger(1, 0)
+    );
+
+    let reports = [
+        run(Box::new(ModelDriven::new(m.clone(), ModelDrivenConfig::default()))),
+        run(Box::new(StaticThreshold::new(m.max_users(1, 0)))),
+    ];
+
+    println!(
+        "{:<18} {:>11} {:>11} {:>11} {:>9} {:>9}",
+        "policy", "violations", "viol_rate%", "migrations", "peak_srv", "cost"
+    );
+    for r in &reports {
+        println!(
+            "{:<18} {:>11} {:>11.2} {:>11} {:>9} {:>9.3}",
+            r.policy,
+            r.violations,
+            r.violation_rate() * 100.0,
+            r.migrations,
+            r.peak_servers,
+            r.total_cost
+        );
+    }
+
+    println!();
+    println!("The static threshold scales only when user *counts* exceed the fixed");
+    println!("per-server limit, so the surge saturates the server long before the");
+    println!("baseline reacts; the model-driven policy replicates at 80 % of the");
+    println!("model-predicted capacity and keeps the tick duration bounded.");
+}

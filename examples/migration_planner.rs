@@ -1,0 +1,42 @@
+//! The Fig. 2 scenario as a library walk-through: equalize 45 users spread
+//! [25, 12, 8] over three replicas, while Eq. (5) caps how many migrations
+//! each server may initiate and receive per second.
+//!
+//! Run with: `cargo run --example migration_planner`
+
+use roia::model::{plan, CostFn, ModelParams, PlannerConfig};
+
+fn main() {
+    // Costs chosen so the most loaded replica may only initiate 5
+    // migrations per second — the exact budget of the paper's figure.
+    let params = ModelParams {
+        t_ua_dser: CostFn::Constant(0.33e-3),
+        t_ua: CostFn::Constant(0.33e-3),
+        t_aoi: CostFn::Constant(0.33e-3),
+        t_su: CostFn::Constant(0.33e-3),
+        t_mig_ini: CostFn::Constant(1.2e-3),
+        t_mig_rcv: CostFn::Constant(0.1e-3),
+        ..ModelParams::default()
+    };
+    let config = PlannerConfig { u_threshold: 0.040, npcs: 0, max_rounds: 16 };
+
+    let initial = [25u32, 12, 8];
+    println!("initial distribution: {initial:?} (45 users, 3 replicas, average 15)\n");
+
+    let result = plan(&params, &initial, &config);
+    for (i, round) in result.rounds.iter().enumerate() {
+        println!("step {} (one second of migrations):", i + 1);
+        for mv in &round.moves {
+            println!("   replica {} → replica {}: {} users", mv.from, mv.to, mv.users);
+        }
+        println!("   distribution: {:?}", round.resulting_users);
+    }
+    println!();
+    println!(
+        "balanced in {} steps, {} users moved (paper's Fig. 2: two steps, 10 users)",
+        result.rounds.len(),
+        result.total_moved()
+    );
+    assert!(result.balanced, "the plan must converge");
+    assert_eq!(result.final_users(), Some(&[15u32, 15, 15][..]));
+}

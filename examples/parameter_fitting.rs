@@ -1,0 +1,65 @@
+//! Instantiating the model for a particular application (§III-C / §V-A):
+//! run the bot-driven measurement campaign against a live two-replica
+//! RTFDemo deployment, fit every per-task cost with Levenberg–Marquardt,
+//! and print the resulting approximation functions with their fit quality.
+//!
+//! Run with: `cargo run --release --example parameter_fitting`
+//! (a reduced campaign; the full 300-bot version is `cargo run -p
+//! roia-bench --bin fig4`).
+
+use roia::model::{calibrate, ParamKind, ScalabilityModel};
+use roia::sim::{measure_migration_params, measure_replication_params, MeasureConfig};
+
+fn main() {
+    let campaign = MeasureConfig {
+        max_users: 120,
+        step: 10,
+        settle_ticks: 10,
+        sample_ticks: 20,
+        noise: 0.10,
+        ..MeasureConfig::default()
+    };
+
+    println!("measuring replication parameters (up to {} bots on 2 replicas)...", campaign.max_users);
+    let mut measurements = measure_replication_params(&campaign);
+    println!("measuring migration parameters...");
+    measurements.merge(&measure_migration_params(&campaign));
+    println!("collected {} samples\n", measurements.total_samples());
+
+    let calibration = calibrate(&measurements).expect("all parameters sampled");
+    println!(
+        "{:>11} {:>10} {:>40} {:>22}",
+        "parameter", "R²", "fitted function (seconds)", "stderr(slope)"
+    );
+    for kind in ParamKind::ALL {
+        if let Some(fit) = calibration.fit_for(kind) {
+            let c = fit.cost_fn.coefficients();
+            let func = match c.len() {
+                2 => format!("{:.3e} + {:.3e}·n", c[0], c[1]),
+                3 => format!("{:.3e} + {:.3e}·n + {:.3e}·n²", c[0], c[1], c[2]),
+                _ => format!("{c:?}"),
+            };
+            let stderr = fit
+                .fit
+                .std_errors
+                .get(1)
+                .map(|e| format!("±{e:.2e}"))
+                .unwrap_or_default();
+            println!(
+                "{:>11} {:>10.4} {:>40} {:>22}",
+                kind.symbol(),
+                fit.fit.r_squared,
+                func,
+                stderr
+            );
+        }
+    }
+
+    let model = ScalabilityModel::new(calibration.params, 0.040);
+    println!("\nmodel thresholds from this calibration:");
+    println!("  n_max(1) = {}", model.max_users(1, 0));
+    println!("  trigger  = {}", model.replication_trigger(1, 0));
+    println!("  l_max    = {}", model.max_replicas(0).l_max);
+    println!("\nnote: a reduced campaign (n ≤ 120) extrapolates less reliably than");
+    println!("the paper's 300-bot run — compare with `roia-bench --bin fig5`.");
+}

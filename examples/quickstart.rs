@@ -1,0 +1,73 @@
+//! Quickstart: build a scalability model from fitted parameters and ask it
+//! the three questions RTF-RMS needs answered (§III-C):
+//!
+//! 1. how many users fit on `l` replicas? (Eq. (2))
+//! 2. how many replicas are worth enacting? (Eq. (3))
+//! 3. how many migrations per second may a server initiate/receive? (Eq. (5))
+//!
+//! Run with: `cargo run --example quickstart`
+
+use roia::model::{CostFn, ModelParams, ScalabilityModel};
+
+fn main() {
+    // Per-task CPU costs, as functions of the zone's user count. In a real
+    // deployment these come from the measurement campaign (see the
+    // `parameter_fitting` example); here we write them down directly.
+    let params = ModelParams {
+        // task 1: user input processing (§III-A)
+        t_ua_dser: CostFn::Linear { c0: 2.7e-6, c1: 3.8e-9 },
+        t_ua: CostFn::Quadratic { c0: 1.2e-4, c1: 3.6e-8, c2: 1.4e-10 },
+        // task 2: forwarded inputs from shadow entities
+        t_fa_dser: CostFn::Linear { c0: 2.0e-6, c1: 1e-10 },
+        t_fa: CostFn::Linear { c0: 1.2e-5, c1: 1e-10 },
+        // task 3: NPCs (none in this example)
+        t_npc: CostFn::ZERO,
+        // task 4: area of interest + state updates
+        t_aoi: CostFn::Quadratic { c0: 1.0e-7, c1: 1.4e-9, c2: 2.0e-10 },
+        t_su: CostFn::Linear { c0: 8.0e-8, c1: 6.2e-8 },
+        // §III-B: user migration
+        t_mig_ini: CostFn::Linear { c0: 2.0e-4, c1: 7.0e-6 },
+        t_mig_rcv: CostFn::Linear { c0: 1.5e-4, c1: 4.0e-6 },
+    };
+
+    // A 25 Hz first-person shooter: the tick must stay under 40 ms. Each
+    // additional replica must buy at least 15 % of the single-server
+    // capacity; replication is enacted at 80 % of capacity.
+    let model = ScalabilityModel::new(params, 0.040)
+        .with_improvement_factor(0.15)
+        .with_trigger_fraction(0.8);
+
+    // Eq. (2): capacity.
+    println!("single server handles   {} users", model.max_users(1, 0));
+    println!("two replicas handle     {} users", model.max_users(2, 0));
+    println!("replication trigger at  {} users (80 %)", model.replication_trigger(1, 0));
+
+    // Eq. (3): the replica limit.
+    let limit = model.max_replicas(0);
+    println!("worth scaling up to     {} replicas", limit.l_max);
+    println!("capacity ladder         {:?}", limit.capacity_per_replica);
+
+    // Eq. (1)/(4): tick prediction.
+    println!(
+        "predicted tick at 200 users on 2 replicas: {:.2} ms",
+        model.tick_equal(2, 200, 0) * 1e3
+    );
+
+    // Eq. (5): migration budgets for an imbalanced pair of replicas.
+    let (n, heavy, light) = (200, 140, 60);
+    println!(
+        "server with {heavy}/{n} users may initiate {} migrations/s",
+        model.migrations_initiate(2, n, 0, heavy)
+    );
+    println!(
+        "server with {light}/{n} users may receive  {} migrations/s",
+        model.migrations_receive(2, n, 0, light)
+    );
+
+    // Listing 1: the paced rebalancing plan.
+    let plan = model.plan_migrations(&[heavy, light], 0);
+    println!("rebalancing plan ({} rounds):", plan.rounds.len());
+    for (i, round) in plan.rounds.iter().enumerate() {
+        println!("  round {}: {:?} -> {:?}", i + 1, round.moves, round.resulting_users);
+    }
+}

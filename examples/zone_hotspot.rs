@@ -1,0 +1,87 @@
+//! Zoning + instancing + replication in one world (§II's three
+//! distribution schemes combined): four zones with independent model-driven
+//! autoscaling, a hotspot event crowding one of them, and users travelling
+//! between zones.
+//!
+//! Run with: `cargo run --release --example zone_hotspot`
+
+use roia::model::{CostFn, ModelParams, ScalabilityModel};
+use roia::sim::{ClusterConfig, MultiZoneConfig, MultiZoneWorld};
+
+fn model() -> ScalabilityModel {
+    let params = ModelParams {
+        t_ua_dser: CostFn::Linear { c0: 2.7e-6, c1: 3.8e-9 },
+        t_ua: CostFn::Quadratic { c0: 1.2e-4, c1: 3.6e-8, c2: 1.4e-10 },
+        t_aoi: CostFn::Quadratic { c0: 1.0e-7, c1: 1.4e-9, c2: 2.0e-10 },
+        t_su: CostFn::Linear { c0: 8.0e-8, c1: 6.2e-8 },
+        t_fa_dser: CostFn::Linear { c0: 2.0e-6, c1: 1e-10 },
+        t_fa: CostFn::Linear { c0: 1.2e-5, c1: 1e-10 },
+        t_npc: CostFn::ZERO,
+        t_mig_ini: CostFn::Linear { c0: 2.0e-4, c1: 7.0e-6 },
+        t_mig_rcv: CostFn::Linear { c0: 1.5e-4, c1: 4.0e-6 },
+    };
+    ScalabilityModel::new(params, 0.040)
+}
+
+fn main() {
+    let config = MultiZoneConfig {
+        zones: 4,
+        cluster: ClusterConfig { cost_noise: 0.05, ..ClusterConfig::default() },
+        travel_prob_per_sec: 0.004,
+        ..MultiZoneConfig::default()
+    };
+    let model = model();
+    println!(
+        "world: 4 zones, per-zone autoscaling (trigger {}, l_max {})\n",
+        model.replication_trigger(1, 0),
+        model.max_replicas(0).l_max
+    );
+    let mut world = MultiZoneWorld::new(config, model);
+
+    // Baseline population: 40 users per zone.
+    for z in 0..4 {
+        for _ in 0..40 {
+            world.add_user_to_zone(z);
+        }
+    }
+    world.run(10 * 25);
+    println!("t = 10 s (steady):        {:?}", world.population());
+
+    // A hotspot event in zone 2: 260 more users pile in over ~29 s.
+    for i in 0..260 {
+        world.add_user_to_zone(2);
+        if i % 9 == 8 {
+            world.run(25);
+        }
+    }
+    world.run(20 * 25);
+    println!("t = 50 s (hotspot):       {:?}", world.population());
+    let servers: Vec<u32> = (0..4)
+        .map(|z| {
+            world
+                .population()
+                .iter()
+                .filter(|(zone, _, _)| *zone == z)
+                .count() as u32
+        })
+        .collect();
+    let _ = servers;
+    println!("servers total:            {}", world.server_count());
+
+    // The event ends; the crowd disperses.
+    for _ in 0..260 {
+        world.remove_user_from_zone(2);
+    }
+    world.run(40 * 25);
+    println!("t = 90 s (after):         {:?}", world.population());
+    println!("servers total:            {}", world.server_count());
+
+    println!();
+    println!("zone handovers (travel):  {}", world.handovers);
+    println!("instances spawned:        {}", world.instances_spawned);
+    println!(
+        "threshold violations:     {} across {} instance-ticks",
+        world.violations(),
+        world.history().len() as u32 * world.instance_count()
+    );
+}

@@ -1,0 +1,216 @@
+//! `roia` — command-line front end to the reproduction.
+//!
+//! ```text
+//! roia calibrate [--max-users N] [--noise X] [--out model.roia]
+//! roia thresholds --model model.roia [--c 0.15] [--npcs 0]
+//! roia plan --model model.roia --users 25,12,8
+//! roia session --model model.roia [--peak 300] [--minutes 5] [--policy model|static|threshold|bandwidth|predictive]
+//! ```
+//!
+//! A provider calibrates once per application build (`calibrate` runs the
+//! §V-A bot campaign and saves the fitted model), then consults the model
+//! (`thresholds`), previews rebalancing (`plan`), or simulates a managed
+//! session (`session`).
+
+use roia::model::{parse_model, format_model, ScalabilityModel};
+use roia::rms::{
+    BandwidthProportional, ModelDriven, ModelDrivenConfig, Policy, PredictiveModelDriven,
+    StaticInterval, StaticThreshold,
+};
+use roia::sim::{calibrate_demo, run_session, MeasureConfig, PaperSession, SessionConfig};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "calibrate" => cmd_calibrate(&flags),
+        "thresholds" => cmd_thresholds(&flags),
+        "plan" => cmd_plan(&flags),
+        "session" => cmd_session(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+roia — the ICPP 2013 ROIA scalability model, end to end
+
+USAGE:
+  roia calibrate  [--max-users N] [--noise X] [--out FILE]
+  roia thresholds --model FILE [--c FRACTION] [--npcs M]
+  roia plan       --model FILE --users A,B,C[,...]
+  roia session    --model FILE [--peak N] [--minutes M] [--policy P]
+
+POLICIES: model (default) | predictive | static | threshold | bandwidth";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let Some(key) = arg.strip_prefix("--") else {
+            return Err(format!("unexpected argument '{arg}'"));
+        };
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_owned(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get_num<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match flags.get(key) {
+        Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        None => Ok(default),
+    }
+}
+
+fn load_model(flags: &HashMap<String, String>) -> Result<ScalabilityModel, String> {
+    let path = flags.get("model").ok_or("--model FILE is required")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_model(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_calibrate(flags: &HashMap<String, String>) -> Result<(), String> {
+    let config = MeasureConfig {
+        max_users: get_num(flags, "max-users", 300u32)?,
+        noise: get_num(flags, "noise", 0.10f64)?,
+        ..MeasureConfig::default()
+    };
+    eprintln!(
+        "running the measurement campaign (up to {} bots, noise {:.0} %)...",
+        config.max_users,
+        config.noise * 100.0
+    );
+    let calibration = calibrate_demo(&config).map_err(|e| e.to_string())?;
+    eprintln!("worst fit R² = {:.4}", calibration.worst_r_squared());
+    let model = ScalabilityModel::new(calibration.params, 0.040)
+        .with_improvement_factor(0.15)
+        .with_trigger_fraction(0.8);
+    let text = format_model(&model);
+    match flags.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("model written to {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+fn cmd_thresholds(flags: &HashMap<String, String>) -> Result<(), String> {
+    let mut model = load_model(flags)?;
+    if let Some(c) = flags.get("c") {
+        let c: f64 = c.parse().map_err(|_| "--c: bad number".to_owned())?;
+        model = model.with_improvement_factor(c);
+    }
+    let npcs = get_num(flags, "npcs", 0u32)?;
+    let limit = model.max_replicas(npcs);
+    println!("U = {} ms, c = {}, trigger fraction = {}", model.u_threshold * 1e3, model.improvement_factor, model.trigger_fraction);
+    println!("l_max = {}", limit.l_max);
+    println!("{:>9} {:>10} {:>10}", "replicas", "max_users", "trigger");
+    for (i, &cap) in limit.capacity_per_replica.iter().enumerate() {
+        println!(
+            "{:>9} {:>10} {:>10}",
+            i + 1,
+            cap,
+            (cap as f64 * model.trigger_fraction).floor() as u32
+        );
+    }
+    Ok(())
+}
+
+fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
+    let model = load_model(flags)?;
+    let users_arg = flags.get("users").ok_or("--users A,B,C is required")?;
+    let users: Result<Vec<u32>, _> = users_arg.split(',').map(str::parse).collect();
+    let users = users.map_err(|_| format!("--users: cannot parse '{users_arg}'"))?;
+    if users.len() < 2 {
+        return Err("--users needs at least two replicas".into());
+    }
+    let plan = model.plan_migrations(&users, 0);
+    println!("initial: {users:?}");
+    for (i, round) in plan.rounds.iter().enumerate() {
+        println!("round {}:", i + 1);
+        for mv in &round.moves {
+            println!("  {} users: replica {} -> replica {}", mv.users, mv.from, mv.to);
+        }
+        println!("  -> {:?}", round.resulting_users);
+    }
+    println!(
+        "{} ({} users moved in {} rounds)",
+        if plan.balanced { "balanced" } else { "NOT balanced (budgets exhausted)" },
+        plan.total_moved(),
+        plan.rounds.len()
+    );
+    Ok(())
+}
+
+fn cmd_session(flags: &HashMap<String, String>) -> Result<(), String> {
+    let model = load_model(flags)?;
+    let peak = get_num(flags, "peak", 300u32)?;
+    let minutes = get_num(flags, "minutes", 5.0f64)?;
+    let policy_name = flags.get("policy").map(String::as_str).unwrap_or("model");
+    let n1 = model.max_users(1, 0);
+    let policy: Box<dyn Policy> = match policy_name {
+        "model" => Box::new(ModelDriven::new(model.clone(), ModelDrivenConfig::default())),
+        "predictive" => Box::new(PredictiveModelDriven::new(
+            model.clone(),
+            ModelDrivenConfig::default(),
+            100,
+        )),
+        "static" => Box::new(StaticInterval::new(1, n1)),
+        "threshold" => Box::new(StaticThreshold::new(n1)),
+        "bandwidth" => Box::new(BandwidthProportional::new(2, n1)),
+        other => return Err(format!("unknown policy '{other}'")),
+    };
+
+    let total_secs = minutes * 60.0;
+    let workload = PaperSession {
+        peak,
+        ramp_up_secs: total_secs * 0.4,
+        hold_secs: total_secs * 0.2,
+        ramp_down_secs: total_secs * 0.4,
+    };
+    let ticks = (total_secs / 0.040).ceil() as u64;
+    let config = SessionConfig { ticks, max_churn_per_tick: 2, ..SessionConfig::default() };
+    eprintln!("running a {minutes}-minute session, peak {peak} users, policy '{policy_name}'...");
+    let report = run_session(config, policy, &workload);
+
+    println!("policy:              {}", report.policy);
+    println!("violations:          {} ({:.2} % of ticks)", report.violations, report.violation_rate() * 100.0);
+    println!("users migrated:      {}", report.migrations);
+    println!("replicas added:      {}", report.replicas_added);
+    println!("replicas removed:    {}", report.replicas_removed);
+    println!("substitutions:       {}", report.substitutions);
+    println!("peak servers:        {}", report.peak_servers);
+    println!("mean CPU load:       {:.1} %", report.mean_cpu_load() * 100.0);
+    println!("cloud cost:          {:.3}", report.total_cost);
+    Ok(())
+}

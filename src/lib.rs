@@ -1,0 +1,28 @@
+//! # roia — umbrella crate for the ICPP 2013 ROIA scalability-model
+//! reproduction
+//!
+//! Re-exports every workspace crate under one roof so the examples and
+//! integration tests (and downstream users who want the whole stack) need a
+//! single dependency:
+//!
+//! * [`model`] (`roia-model`) — the paper's contribution: Eq. (1)–(5),
+//!   capacity/migration thresholds and the Listing-1 planner.
+//! * [`fit`] (`roia-fit`) — Levenberg–Marquardt calibration.
+//! * [`rtf`] (`rtf-core`) — the Real-Time Framework substrate: entities,
+//!   zones, replication, the measured real-time loop.
+//! * [`net`] (`rtf-net`) — the in-process network transport.
+//! * [`demo`] (`rtfdemo`) — the RTFDemo first-person-shooter case study.
+//! * [`rms`] (`rtf-rms`) — the RTF-RMS resource manager and its
+//!   load-balancing policies.
+//! * [`sim`] (`roia-sim`) — the multi-server session simulator, workload
+//!   generators and measurement campaigns.
+
+#![warn(missing_docs)]
+
+pub use roia_fit as fit;
+pub use roia_model as model;
+pub use roia_sim as sim;
+pub use rtf_core as rtf;
+pub use rtf_net as net;
+pub use rtf_rms as rms;
+pub use rtfdemo as demo;

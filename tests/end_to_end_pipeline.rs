@@ -1,0 +1,131 @@
+//! The full paper pipeline, end to end: measure → fit → model → manage.
+//! This is §V compressed into a test: the measurement campaign instantiates
+//! the model, the model drives RTF-RMS, and the managed session keeps its
+//! performance requirement.
+
+use roia::model::{calibrate, ParamKind, ScalabilityModel};
+use roia::rms::{ModelDriven, ModelDrivenConfig};
+use roia::sim::{
+    measure_migration_params, measure_replication_params, run_session, MeasureConfig,
+    PaperSession, SessionConfig,
+};
+
+fn campaign() -> MeasureConfig {
+    MeasureConfig {
+        max_users: 120,
+        step: 15,
+        settle_ticks: 8,
+        sample_ticks: 15,
+        noise: 0.08,
+        ..MeasureConfig::default()
+    }
+}
+
+#[test]
+fn measure_fit_manage() {
+    // 1. Measure (§V-A).
+    let mut measurements = measure_replication_params(&campaign());
+    measurements.merge(&measure_migration_params(&campaign()));
+    assert!(measurements.total_samples() > 50, "campaign produced data");
+
+    // 2. Fit (§V-A): the shapes the paper prescribes, with decent quality.
+    let calibration = calibrate(&measurements).expect("all parameters fitted");
+    for kind in [ParamKind::Ua, ParamKind::Aoi, ParamKind::Su, ParamKind::MigIni] {
+        let fit = calibration.fit_for(kind).expect("fitted");
+        assert!(
+            fit.fit.r_squared > 0.5,
+            "{} fit too poor: R² = {}",
+            kind.symbol(),
+            fit.fit.r_squared
+        );
+    }
+
+    // 3. Model: thresholds must be sane and ordered.
+    let model = ScalabilityModel::new(calibration.params, 0.040);
+    let n1 = model.max_users(1, 0);
+    let n2 = model.max_users(2, 0);
+    assert!(n1 > 50, "single server handles a real population: {n1}");
+    assert!(n2 > n1, "a second replica adds capacity");
+    let limit = model.max_replicas(0);
+    assert!(limit.l_max >= 2, "replication is worthwhile for RTFDemo");
+    let trigger = model.replication_trigger(1, 0);
+    assert!(trigger < n1 && trigger > n1 / 2);
+
+    // 4. Manage (§V-B): a session ramping past the single-server capacity.
+    let peak = (n1 as f64 * 1.2) as u32;
+    let workload = PaperSession {
+        peak,
+        ramp_up_secs: 28.0,
+        hold_secs: 6.0,
+        ramp_down_secs: 20.0,
+    };
+    let config = SessionConfig {
+        ticks: 54 * 25,
+        max_churn_per_tick: 2,
+        ..SessionConfig::default()
+    };
+    let policy = Box::new(ModelDriven::new(model, ModelDrivenConfig::default()));
+    let report = run_session(config, policy, &workload);
+
+    // The paper's acceptance criteria for Fig. 8:
+    assert!(report.replicas_added >= 1, "replication enactment happened");
+    // The reduced campaign (n ≤ 120) extrapolates capacity less precisely
+    // than the paper's 300-bot run (which yields zero violations — see
+    // `roia-bench --bin fig8`), so allow a small violation budget here.
+    assert!(
+        report.violation_rate() < 0.05,
+        "performance requirement held: {} violations ({:.2} %)",
+        report.violations,
+        report.violation_rate() * 100.0
+    );
+    let peak_users = report.history.iter().map(|h| h.users).max().unwrap();
+    assert_eq!(peak_users, peak, "the workload actually reached its peak");
+    assert!(
+        report.history.iter().all(|h| h.avg_cpu_load < 1.05),
+        "servers were never saturated for long (Fig. 8: load below 100 %)"
+    );
+    // Ramp-down shrinks the deployment again.
+    assert!(
+        report.replicas_removed >= 1 || report.history.last().unwrap().servers == 1,
+        "resources released after the crowd left"
+    );
+}
+
+#[test]
+fn managed_session_beats_unmanaged_overload() {
+    // Without RTF-RMS, a single server must absorb the whole peak and
+    // violates; with the model-driven controller it does not.
+    let mut measurements = measure_replication_params(&campaign());
+    measurements.merge(&measure_migration_params(&campaign()));
+    let calibration = calibrate(&measurements).unwrap();
+    let model = ScalabilityModel::new(calibration.params, 0.040);
+    let n1 = model.max_users(1, 0);
+    let peak = (n1 as f64 * 1.2) as u32;
+    let workload =
+        PaperSession { peak, ramp_up_secs: 15.0, hold_secs: 5.0, ramp_down_secs: 5.0 };
+
+    // Unmanaged: no controller — just run the cluster with one server.
+    let mut unmanaged = roia::sim::Cluster::new(
+        roia::sim::ClusterConfig::default(),
+        1,
+    );
+    for _ in 0..(25 * 25) {
+        roia::sim::drive(&mut unmanaged, &workload, 0.040, 2);
+        unmanaged.step();
+    }
+    assert!(
+        unmanaged.violations() > 0,
+        "the unmanaged server must be overloaded at 120 % capacity"
+    );
+
+    // Managed: same workload, controller attached.
+    let config = SessionConfig { ticks: 25 * 25, max_churn_per_tick: 2, ..SessionConfig::default() };
+    let policy = Box::new(ModelDriven::new(model, ModelDrivenConfig::default()));
+    let managed = run_session(config, policy, &workload);
+    assert!(
+        managed.violations < unmanaged.violations(),
+        "RTF-RMS reduced violations: {} vs {}",
+        managed.violations,
+        unmanaged.violations()
+    );
+}

@@ -1,0 +1,91 @@
+//! Failure injection: a machine dies without draining. The paper's RTF-RMS
+//! does not handle crashes (the testbed did not fail), but a resource
+//! manager that leases cloud machines must survive them — these tests
+//! exercise the recovery path: orphaned clients reconnect to surviving
+//! replicas, the population is conserved, and the session keeps serving.
+
+use roia::sim::{Cluster, ClusterConfig};
+
+fn cluster(servers: u32, users: u32) -> Cluster {
+    let config = ClusterConfig { cost_noise: 0.0, seed: 21, ..ClusterConfig::default() };
+    let mut c = Cluster::new(config, servers);
+    for _ in 0..users {
+        c.add_user();
+    }
+    c.run(6);
+    c
+}
+
+#[test]
+fn crash_orphans_recover_on_survivor() {
+    let mut c = cluster(2, 20);
+    let loads = c.server_loads();
+    assert_eq!(loads[0].1 + loads[1].1, 20);
+
+    // Kill the first server mid-session.
+    assert!(c.crash_server(loads[0].0));
+    assert_eq!(c.server_count(), 1);
+
+    // Within a few ticks every orphan has reconnected to the survivor.
+    c.run(6);
+    let after = c.server_loads();
+    assert_eq!(after.len(), 1);
+    assert_eq!(after[0].1, 20, "all users recovered: {after:?}");
+    assert_eq!(c.user_count(), 20);
+}
+
+#[test]
+fn last_server_cannot_crash() {
+    let mut c = cluster(1, 5);
+    let id = c.server_loads()[0].0;
+    assert!(!c.crash_server(id), "the simulator refuses to kill the whole zone");
+    assert_eq!(c.server_count(), 1);
+}
+
+#[test]
+fn session_keeps_serving_after_crash() {
+    let mut c = cluster(3, 30);
+    let victim = c.server_loads()[1].0;
+    c.crash_server(victim);
+    c.run(15);
+
+    // Users still get updates: the latest tick shows traffic on the
+    // survivors and everyone reconnected.
+    let total: u32 = c.server_loads().iter().map(|(_, u)| u).sum();
+    assert_eq!(total, 30);
+    let last = *c.history().last().unwrap();
+    assert!(last.avg_cpu_load > 0.0, "the survivors are doing work");
+    assert_eq!(last.servers, 2);
+}
+
+#[test]
+fn repeated_crashes_down_to_one_server() {
+    let mut c = cluster(4, 24);
+    for _ in 0..3 {
+        let victim = c.server_loads()[0].0;
+        assert!(c.crash_server(victim));
+        c.run(8);
+    }
+    assert_eq!(c.server_count(), 1);
+    assert_eq!(c.user_count(), 24);
+    let on_server: u32 = c.server_loads().iter().map(|(_, u)| u).sum();
+    assert_eq!(on_server, 24, "every crash's orphans were re-homed");
+}
+
+#[test]
+fn crashed_server_users_recover_via_replicated_state() {
+    // Replication pays off on failure: the survivor still holds shadow
+    // copies of the dead server's avatars, and reconnecting users are
+    // promoted to active with their last replicated state.
+    let mut c = cluster(2, 10);
+    let loads = c.server_loads();
+    c.crash_server(loads[0].0);
+    c.run(8);
+    // The survivor now owns everyone, each with a live avatar.
+    let survivor = 0usize;
+    for user in c.server(survivor).users().collect::<Vec<_>>() {
+        let avatar = c.server(survivor).app().avatar(user).expect("respawned");
+        assert!(avatar.is_active());
+        assert!(avatar.health > 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Measured-vs-predicted validation: the central claim of the paper is that
+//! Eq. (1)/(4), instantiated with fitted parameters, predicts the tick
+//! duration of a *live* deployment well enough to drive load balancing.
+//! These tests calibrate a model from one measurement campaign and check
+//! its predictions against independent cluster runs.
+
+use roia::model::{calibrate, ScalabilityModel};
+use roia::sim::{
+    measure_migration_params, measure_replication_params, Cluster, ClusterConfig, MeasureConfig,
+};
+
+fn campaign() -> MeasureConfig {
+    MeasureConfig {
+        max_users: 120,
+        step: 15,
+        settle_ticks: 8,
+        sample_ticks: 15,
+        noise: 0.05,
+        ..MeasureConfig::default()
+    }
+}
+
+fn calibrated() -> ScalabilityModel {
+    let mut m = measure_replication_params(&campaign());
+    m.merge(&measure_migration_params(&campaign()));
+    let cal = calibrate(&m).expect("calibration succeeds");
+    ScalabilityModel::new(cal.params, 0.040)
+}
+
+/// Runs `users` bots on `servers` replicas and returns the average measured
+/// tick duration across servers after settling.
+fn measured_tick(servers: u32, users: u32, seed: u64) -> f64 {
+    let config = ClusterConfig { seed, cost_noise: 0.05, ..ClusterConfig::default() };
+    let mut cluster = Cluster::new(config, servers);
+    for _ in 0..users {
+        cluster.add_user();
+    }
+    cluster.run(40);
+    let window = 20;
+    let mut sum = 0.0;
+    for i in 0..servers as usize {
+        sum += cluster.server_metrics(i).avg_tick_duration(window);
+    }
+    sum / servers as f64
+}
+
+#[test]
+fn prediction_matches_single_server_measurement() {
+    let model = calibrated();
+    for users in [40u32, 80, 120] {
+        let predicted = model.tick_equal(1, users, 0);
+        let measured = measured_tick(1, users, 7);
+        let rel = (predicted - measured).abs() / measured;
+        assert!(
+            rel < 0.20,
+            "{users} users: predicted {:.2} ms vs measured {:.2} ms ({:.0} % off)",
+            predicted * 1e3,
+            measured * 1e3,
+            rel * 100.0
+        );
+    }
+}
+
+#[test]
+fn prediction_matches_two_replica_measurement() {
+    // Interpolation inside the calibrated range, now with replication
+    // overhead (shadow entities) in play.
+    let model = calibrated();
+    let users = 100u32;
+    let predicted = model.tick_equal(2, users, 0);
+    let measured = measured_tick(2, users, 11);
+    let rel = (predicted - measured).abs() / measured;
+    assert!(
+        rel < 0.25,
+        "2 replicas, {users} users: predicted {:.2} ms vs measured {:.2} ms",
+        predicted * 1e3,
+        measured * 1e3
+    );
+}
+
+#[test]
+fn replication_reduces_measured_tick() {
+    // The mechanism behind Fig. 5: the same population on more replicas
+    // ticks faster per server.
+    let one = measured_tick(1, 100, 3);
+    let two = measured_tick(2, 100, 3);
+    let three = measured_tick(3, 99, 3);
+    assert!(two < one, "2 replicas: {two} vs 1 replica: {one}");
+    assert!(three < two, "3 replicas: {three} vs 2: {two}");
+}
+
+#[test]
+fn replication_overhead_is_visible() {
+    // ... but not for free: total CPU across replicas exceeds the
+    // single-server cost (shadow-entity processing), which is why l_max is
+    // finite (Eq. (3)).
+    let one = measured_tick(1, 100, 5);
+    let two = measured_tick(2, 100, 5);
+    assert!(
+        2.0 * two > one,
+        "total work grew: 2 x {two} vs {one} — replication overhead exists"
+    );
+}
+
+#[test]
+fn capacity_prediction_brackets_saturation() {
+    // The model's n_max(1) must separate an under-threshold population from
+    // an over-threshold one in live measurement.
+    let model = calibrated();
+    let cap = model.max_users(1, 0);
+    // Extrapolated capacity is in the low hundreds; verify the bracket with
+    // live runs at 75 % and 125 % of it (kept modest for test runtime).
+    let below = measured_tick(1, (cap as f64 * 0.75) as u32, 13);
+    let above = measured_tick(1, (cap as f64 * 1.25) as u32, 13);
+    assert!(below < 0.040, "75 % of capacity must be under U: {below}");
+    assert!(above >= 0.038, "125 % of capacity must be near/over U: {above}");
+}

@@ -1,0 +1,138 @@
+//! Quality-of-experience continuity: the whole point of the model is that
+//! users keep receiving their 25 updates per second while the provider
+//! reshuffles them between machines. These tests watch the session from
+//! the client side.
+
+use roia::rtf::{Client, ClientState, InputSource};
+use roia::sim::{Cluster, ClusterConfig};
+use roia::net::Bus;
+use roia::rtf::entity::UserId;
+use roia::rtf::server::{Server, ServerConfig};
+use roia::rtf::zone::ZoneId;
+use roia::demo::{Bot, BotBehavior, CostModel, RtfDemoApp, World};
+
+#[test]
+fn clients_receive_updates_every_tick() {
+    let bus = Bus::new();
+    let app = RtfDemoApp::new(World::default(), 0, CostModel::exact());
+    let mut server = Server::new(&bus, "s", ZoneId(1), app, ServerConfig::default());
+    let mut client = Client::connect(&bus, UserId(1), server.id()).unwrap();
+    let mut bot = Bot::new(UserId(1), 1, BotBehavior::default());
+
+    let mut updates = 0u32;
+    for tick in 0..50 {
+        server.tick();
+        updates += client.tick(tick, &mut bot);
+    }
+    assert_eq!(client.state(), ClientState::Connected);
+    // Connect handled on tick 0, updates flow from tick 1 on.
+    assert!(updates >= 48, "25 Hz stream of state updates: got {updates}/50");
+    assert!(bot.updates_seen >= 48);
+}
+
+#[test]
+fn updates_continue_across_migration() {
+    let bus = Bus::new();
+    let mk = |label: &str| {
+        Server::new(
+            &bus,
+            label,
+            ZoneId(1),
+            RtfDemoApp::new(World::default(), 0, CostModel::exact()),
+            ServerConfig::default(),
+        )
+    };
+    let mut s1 = mk("s1");
+    let mut s2 = mk("s2");
+    s1.set_peers(vec![s2.id()]);
+    s2.set_peers(vec![s1.id()]);
+
+    let mut client = Client::connect(&bus, UserId(1), s1.id()).unwrap();
+    let mut bot = Bot::new(UserId(1), 1, BotBehavior::default());
+
+    let mut updates_before = 0;
+    for tick in 0..10 {
+        s1.tick();
+        s2.tick();
+        updates_before += client.tick(tick, &mut bot);
+    }
+    assert!(updates_before >= 8);
+
+    // Migrate mid-session.
+    assert!(s1.schedule_migration(UserId(1), s2.id()));
+    let mut updates_after = 0;
+    for tick in 10..30 {
+        s1.tick();
+        s2.tick();
+        updates_after += client.tick(tick, &mut bot);
+    }
+    assert_eq!(client.server(), s2.id(), "client followed the redirect");
+    assert_eq!(client.stats().redirects, 1);
+    assert!(
+        updates_after >= 18,
+        "at most a tick or two without an update during hand-over: {updates_after}/20"
+    );
+    assert_eq!(s2.active_users(), 1);
+    assert_eq!(s1.active_users(), 0);
+}
+
+#[test]
+fn bots_fight_across_server_boundaries() {
+    // Two bots on different replicas must still be able to hit each other
+    // (forwarded interactions, §III-A task 2).
+    let config = ClusterConfig {
+        cost_noise: 0.0,
+        seed: 5,
+        world: World { aoi_radius: 2000.0, attack_range: 2000.0, ..World::default() },
+        bots: BotBehavior { attack_base: 0.9, attack_per_target: 0.0, attack_cap: 0.9, damage: 10 },
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(config, 2);
+    for _ in 0..6 {
+        cluster.add_user();
+    }
+    cluster.run(60);
+    let forwarded: u64 = (0..2)
+        .map(|i| cluster.server(i).app().stats().interactions_received)
+        .sum();
+    assert!(
+        forwarded > 0,
+        "attacks across replicas must arrive as forwarded interactions"
+    );
+    let hits: u64 = (0..2)
+        .map(|i| cluster.server(i).app().stats().hits_on_active)
+        .sum();
+    assert!(hits > 0, "someone actually got hit");
+}
+
+/// An input source that records gaps in the update stream.
+struct GapWatcher {
+    last_server_tick: Option<u64>,
+    worst_gap: u64,
+}
+
+impl InputSource for GapWatcher {
+    fn next_input(&mut self, _tick: u64) -> Option<roia::net::Bytes> {
+        None
+    }
+    fn on_state_update(&mut self, server_tick: u64, _payload: &[u8]) {
+        if let Some(last) = self.last_server_tick {
+            self.worst_gap = self.worst_gap.max(server_tick.saturating_sub(last));
+        }
+        self.last_server_tick = Some(server_tick);
+    }
+}
+
+#[test]
+fn update_stream_has_no_gaps_in_steady_state() {
+    let bus = Bus::new();
+    let app = RtfDemoApp::new(World::default(), 0, CostModel::exact());
+    let mut server = Server::new(&bus, "s", ZoneId(1), app, ServerConfig::default());
+    let mut client = Client::connect(&bus, UserId(1), server.id()).unwrap();
+    let mut watcher = GapWatcher { last_server_tick: None, worst_gap: 0 };
+    for tick in 0..100 {
+        server.tick();
+        client.tick(tick, &mut watcher);
+    }
+    assert!(watcher.worst_gap <= 1, "no missed server tick: worst gap {}", watcher.worst_gap);
+}
