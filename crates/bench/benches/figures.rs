@@ -6,8 +6,8 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use roia_model::calibrate;
 use roia_sim::{
-    measure_migration_params, measure_replication_params, run_session, MeasureConfig,
-    PaperSession, Ramp, SessionConfig,
+    measure_migration_params, measure_replication_params, run_session, MeasureConfig, PaperSession,
+    Ramp, SessionConfig,
 };
 use rtf_rms::{ModelDriven, ModelDrivenConfig, StaticInterval};
 
@@ -71,14 +71,20 @@ fn bench_fig8_session(c: &mut Criterion) {
                 max_churn_per_tick: 3,
                 ..SessionConfig::default()
             };
-            let policy =
-                Box::new(ModelDriven::new(model.clone(), ModelDrivenConfig::default()));
-            run_session(config, policy, &PaperSession {
-                peak: 60,
-                ramp_up_secs: 4.0,
-                hold_secs: 2.0,
-                ramp_down_secs: 4.0,
-            })
+            let policy = Box::new(ModelDriven::new(
+                model.clone(),
+                ModelDrivenConfig::default(),
+            ));
+            run_session(
+                config,
+                policy,
+                &PaperSession {
+                    peak: 60,
+                    ramp_up_secs: 4.0,
+                    hold_secs: 2.0,
+                    ramp_down_secs: 4.0,
+                },
+            )
         })
     });
     group.bench_function("policy_compare_session_short_static", |b| {
@@ -91,7 +97,11 @@ fn bench_fig8_session(c: &mut Criterion) {
             run_session(
                 config,
                 Box::new(StaticInterval::new(1, 10_000)),
-                &Ramp { from: 0, to: 60, duration_secs: 4.0 },
+                &Ramp {
+                    from: 0,
+                    to: 60,
+                    duration_secs: 4.0,
+                },
             )
         })
     });

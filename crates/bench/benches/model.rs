@@ -11,15 +11,38 @@ use roia_model::{
 
 fn demo_params() -> ModelParams {
     ModelParams {
-        t_ua_dser: CostFn::Linear { c0: 2.7e-6, c1: 3.8e-9 },
-        t_ua: CostFn::Quadratic { c0: 1.2e-4, c1: 3.6e-8, c2: 1.4e-10 },
-        t_aoi: CostFn::Quadratic { c0: 1e-7, c1: 1.4e-9, c2: 2e-10 },
-        t_su: CostFn::Linear { c0: 8e-8, c1: 6.2e-8 },
-        t_fa_dser: CostFn::Linear { c0: 2e-6, c1: 1e-10 },
-        t_fa: CostFn::Linear { c0: 1.2e-5, c1: 1e-10 },
+        t_ua_dser: CostFn::Linear {
+            c0: 2.7e-6,
+            c1: 3.8e-9,
+        },
+        t_ua: CostFn::Quadratic {
+            c0: 1.2e-4,
+            c1: 3.6e-8,
+            c2: 1.4e-10,
+        },
+        t_aoi: CostFn::Quadratic {
+            c0: 1e-7,
+            c1: 1.4e-9,
+            c2: 2e-10,
+        },
+        t_su: CostFn::Linear {
+            c0: 8e-8,
+            c1: 6.2e-8,
+        },
+        t_fa_dser: CostFn::Linear {
+            c0: 2e-6,
+            c1: 1e-10,
+        },
+        t_fa: CostFn::Linear {
+            c0: 1.2e-5,
+            c1: 1e-10,
+        },
         t_npc: CostFn::ZERO,
         t_mig_ini: CostFn::Linear { c0: 2e-4, c1: 7e-6 },
-        t_mig_rcv: CostFn::Linear { c0: 1.5e-4, c1: 4e-6 },
+        t_mig_rcv: CostFn::Linear {
+            c0: 1.5e-4,
+            c1: 4e-6,
+        },
     }
 }
 

@@ -16,11 +16,15 @@ fn bench_wire(c: &mut Criterion) {
     let pkt = Packet::UserInput {
         user: UserId(7),
         seq: 42,
-        payload: CommandBatch::movement(1.0, 0.5).with_attack(UserId(9), 10).to_bytes(),
+        payload: CommandBatch::movement(1.0, 0.5)
+            .with_attack(UserId(9), 10)
+            .to_bytes(),
     };
     let encoded = pkt.to_bytes();
     let mut group = c.benchmark_group("wire");
-    group.bench_function("encode_user_input", |b| b.iter(|| black_box(&pkt).to_bytes()));
+    group.bench_function("encode_user_input", |b| {
+        b.iter(|| black_box(&pkt).to_bytes())
+    });
     group.bench_function("decode_user_input", |b| {
         b.iter(|| Packet::from_bytes(black_box(&encoded)).unwrap())
     });
@@ -78,8 +82,7 @@ fn bench_server_tick(c: &mut Criterion) {
     for n in [50u64, 150] {
         let bus = Bus::new();
         let app = RtfDemoApp::new(World::default(), 0, CostModel::exact());
-        let mut server =
-            Server::new(&bus, "bench", ZoneId(1), app, ServerConfig::default());
+        let mut server = Server::new(&bus, "bench", ZoneId(1), app, ServerConfig::default());
         let clients: Vec<_> = (0..n)
             .map(|i| {
                 let ep = bus.register(&format!("c{i}"));

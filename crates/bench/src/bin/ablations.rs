@@ -76,7 +76,10 @@ fn main() {
     println!();
 
     println!("=== Ablation 3: machine boot delay (ticks of 40 ms) ===");
-    println!("{:>7} {:>11} {:>8} {:>10}", "delay", "violations", "adds", "peak_srv");
+    println!(
+        "{:>7} {:>11} {:>8} {:>10}",
+        "delay", "violations", "adds", "peak_srv"
+    );
     for delay in [0u64, 25, 50, 100, 200] {
         let r = session(model.clone(), 0.8, delay);
         println!(
@@ -89,10 +92,18 @@ fn main() {
     println!("=== Ablation 4: measurement noise vs calibrated capacity ===");
     println!("{:>7} {:>10} {:>9}", "noise", "n_max(1)", "l_max");
     for noise in [0.0, 0.05, 0.10, 0.20, 0.30] {
-        let campaign = MeasureConfig { noise, ..default_campaign() };
+        let campaign = MeasureConfig {
+            noise,
+            ..default_campaign()
+        };
         let cal = calibrate_demo(&campaign).expect("campaign succeeds");
         let m = ScalabilityModel::new(cal.params, 0.040);
-        println!("{:>7.2} {:>10} {:>9}", noise, m.max_users(1, 0), m.max_replicas(0).l_max);
+        println!(
+            "{:>7.2} {:>10} {:>9}",
+            noise,
+            m.max_users(1, 0),
+            m.max_replicas(0).l_max
+        );
     }
     println!("(the LM fit absorbs realistic noise; capacities drift only slightly)");
 }

@@ -6,7 +6,10 @@ use roia_bench::{calibrated_model, default_campaign};
 
 fn main() {
     let (calibration, model) = calibrated_model(&default_campaign());
-    println!("fit quality (worst R^2): {:.5}", calibration.worst_r_squared());
+    println!(
+        "fit quality (worst R^2): {:.5}",
+        calibration.worst_r_squared()
+    );
     for fit in &calibration.fits {
         println!(
             "  {:>10}: coeffs {:?} r2={:.4} rmse={:.3e}",
@@ -18,7 +21,10 @@ fn main() {
     }
     let n1 = model.max_users(1, 0);
     println!("n_max(1) = {n1}   (paper: 235)");
-    println!("trigger  = {}  (paper: 188)", model.replication_trigger(1, 0));
+    println!(
+        "trigger  = {}  (paper: 188)",
+        model.replication_trigger(1, 0)
+    );
     for l in 2..=10 {
         println!("n_max({l}) = {}", model.max_users(l, 0));
     }

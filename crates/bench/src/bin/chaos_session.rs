@@ -1,0 +1,169 @@
+//! Chaos evaluation — the Fig. 8 session on a cloud that misbehaves.
+//!
+//! Runs the §V-B managed session (population ramping to 300 users and
+//! back) under three escalating fault plans — mild, rough, hostile — each
+//! with at least two server crashes, a boot-failure window and ambient
+//! link loss. For every plan it prints the recovery episodes (how long
+//! users stayed unhomed after each fault), the U-violation series, and the
+//! controller's action-ledger outcome histogram: every failed action must
+//! end retried-to-success, escalated, or explicitly abandoned — never
+//! silently lost. The per-tick invariant checker runs throughout, so a
+//! panic here means user conservation or migration-safety broke.
+
+use roia_bench::{calibrated_model, default_campaign, U_THRESHOLD};
+use roia_sim::chaos::{Fault, FaultPlan};
+use roia_sim::{run_session, table, PaperSession, Series, SessionConfig, SessionReport};
+use rtf_rms::{ModelDriven, ModelDrivenConfig};
+
+/// A contiguous stretch of ticks with unhomed users.
+struct Episode {
+    start_tick: u64,
+    ticks: u64,
+    peak_unhomed: u32,
+}
+
+fn recovery_episodes(report: &SessionReport) -> Vec<Episode> {
+    let mut episodes: Vec<Episode> = Vec::new();
+    let mut open: Option<Episode> = None;
+    for h in &report.history {
+        if h.unhomed > 0 {
+            let ep = open.get_or_insert(Episode {
+                start_tick: h.tick,
+                ticks: 0,
+                peak_unhomed: 0,
+            });
+            ep.ticks += 1;
+            ep.peak_unhomed = ep.peak_unhomed.max(h.unhomed);
+        } else if let Some(ep) = open.take() {
+            episodes.push(ep);
+        }
+    }
+    episodes.extend(open);
+    episodes
+}
+
+fn plan(seed: u64, level: u32, ticks: u64) -> FaultPlan {
+    // Every level crashes two servers mid-session and has a window where
+    // every machine request fails to boot; harsher levels add more.
+    let base = FaultPlan::quiet(seed)
+        .at(ticks * 3 / 10, Fault::CrashMostLoaded)
+        .at(ticks * 6 / 10, Fault::CrashMostLoaded)
+        .at(ticks * 3 / 10, Fault::SetBootFailureRate(1.0))
+        .at(ticks * 3 / 10 + 500, Fault::SetBootFailureRate(0.0));
+    match level {
+        0 => base.with_link_faults(0.01, 0),
+        1 => base.with_link_faults(0.01, 1).with_boot_failures(0.2).at(
+            ticks / 2,
+            Fault::Straggle {
+                nth: 1,
+                factor: 2.0,
+                for_ticks: 750,
+            },
+        ),
+        _ => base
+            .with_link_faults(0.02, 2)
+            .with_boot_failures(0.3)
+            .at(
+                ticks / 2,
+                Fault::Straggle {
+                    nth: 1,
+                    factor: 3.0,
+                    for_ticks: 750,
+                },
+            )
+            .at(
+                ticks * 4 / 10,
+                Fault::Isolate {
+                    nth: 0,
+                    for_ticks: 500,
+                },
+            )
+            .at(ticks * 8 / 10, Fault::CrashNth(0)),
+    }
+}
+
+fn main() {
+    let (_cal, model) = calibrated_model(&default_campaign());
+    let workload = PaperSession::default();
+    let ticks = (workload.duration_secs() / 0.040).ceil() as u64;
+
+    for (level, label) in [(0, "mild"), (1, "rough"), (2, "hostile")] {
+        let config = SessionConfig {
+            ticks,
+            max_churn_per_tick: 2,
+            initial_servers: 2,
+            chaos: Some(plan(0xC405 + level as u64, level, ticks)),
+            debug_checks: true,
+            ..SessionConfig::default()
+        };
+        let policy = Box::new(ModelDriven::new(
+            model.clone(),
+            ModelDrivenConfig::default(),
+        ));
+        let report = run_session(config, policy, &workload);
+
+        println!("=== chaos level {level} ({label}) ===\n");
+
+        let mut users = Series::new("users");
+        let mut servers = Series::new("servers");
+        let mut unhomed = Series::new("unhomed");
+        let mut viol = Series::new("violations_%");
+        let window = 250usize;
+        for (i, chunk) in report.history.chunks(window).enumerate() {
+            let t = (i * window) as f64 * 0.040;
+            let last = chunk.last().unwrap();
+            users.push(t, last.users as f64);
+            servers.push(t, last.servers as f64);
+            unhomed.push(
+                t,
+                chunk.iter().map(|h| h.unhomed as f64).fold(0.0, f64::max),
+            );
+            let v = chunk.iter().filter(|h| h.violation).count() as f64 / chunk.len() as f64;
+            viol.push(t, v * 100.0);
+        }
+        println!("{}", table("t_secs", &[&users, &servers, &unhomed, &viol]));
+
+        let episodes = recovery_episodes(&report);
+        println!("recovery episodes (users unhomed -> re-homed):");
+        if episodes.is_empty() {
+            println!("  none — no fault unhomed anyone");
+        }
+        for ep in &episodes {
+            println!(
+                "  t={:>6.1}s  {:>4} ticks ({:>5.1}s) to recover, peak {} users unhomed",
+                ep.start_tick as f64 * 0.040,
+                ep.ticks,
+                ep.ticks as f64 * 0.040,
+                ep.peak_unhomed
+            );
+        }
+        let final_unhomed = report.history.last().map_or(0, |h| h.unhomed);
+        println!(
+            "end of session: {} users connected, {} unhomed — {}",
+            report.history.last().map_or(0, |h| h.users),
+            final_unhomed,
+            if final_unhomed == 0 {
+                "every orphan recovered"
+            } else {
+                "RECOVERY INCOMPLETE"
+            }
+        );
+
+        println!("\naction ledger outcomes:");
+        for (name, count) in &report.outcomes {
+            if *count > 0 {
+                println!("  {name:<10} {count}");
+            }
+        }
+        println!(
+            "violations: {} ({:.2} % of ticks, threshold {:.0} ms)",
+            report.violations,
+            report.violation_rate() * 100.0,
+            U_THRESHOLD * 1e3
+        );
+        println!(
+            "cost: {:.3} units, peak servers: {}, migrations: {}\n",
+            report.total_cost, report.peak_servers, report.migrations
+        );
+    }
+}

@@ -16,10 +16,21 @@ fn main() {
     let (calibration, _model) = calibrated_model(&campaign);
 
     println!("=== Fig. 4: fitted approximation functions (CPU time per entity, µs) ===\n");
-    for kind in [ParamKind::UaDser, ParamKind::Ua, ParamKind::Aoi, ParamKind::Su] {
-        let fit = calibration.fit_for(kind).expect("campaign covers the figure's params");
+    for kind in [
+        ParamKind::UaDser,
+        ParamKind::Ua,
+        ParamKind::Aoi,
+        ParamKind::Su,
+    ] {
+        let fit = calibration
+            .fit_for(kind)
+            .expect("campaign covers the figure's params");
         let coeffs = fit.cost_fn.coefficients();
-        let shape = if coeffs.len() == 3 { "quadratic" } else { "linear" };
+        let shape = if coeffs.len() == 3 {
+            "quadratic"
+        } else {
+            "linear"
+        };
         println!(
             "{:>10} ({shape}): coeffs = {:?}   R² = {:.4}  RMSE = {:.3e}",
             kind.symbol(),
@@ -32,7 +43,12 @@ fn main() {
     // The fitted curves evaluated on the figure's x-axis (user count).
     println!("\n--- fitted curves (µs per entity) ---");
     let mut columns = Vec::new();
-    for kind in [ParamKind::UaDser, ParamKind::Ua, ParamKind::Aoi, ParamKind::Su] {
+    for kind in [
+        ParamKind::UaDser,
+        ParamKind::Ua,
+        ParamKind::Aoi,
+        ParamKind::Su,
+    ] {
         let fit = calibration.fit_for(kind).unwrap();
         let mut s = Series::new(kind.symbol());
         let mut n = 20u32;
@@ -50,8 +66,10 @@ fn main() {
     let su = calibration.fit_for(ParamKind::Su).unwrap();
     println!("paper: 't_ua grows faster than any linear function' -> fitted quadratic coefficient = {:.3e}",
         ua.cost_fn.coefficients().get(2).copied().unwrap_or(0.0));
-    println!("paper: 't_su increases linearly' -> fitted slope = {:.3e}",
-        su.cost_fn.coefficients().get(1).copied().unwrap_or(0.0));
+    println!(
+        "paper: 't_su increases linearly' -> fitted slope = {:.3e}",
+        su.cost_fn.coefficients().get(1).copied().unwrap_or(0.0)
+    );
     println!("paper: 't_fa, t_fa_dser very short compared to other parameters':");
     let fa = calibration.fit_for(ParamKind::Fa).unwrap();
     println!(

@@ -24,14 +24,23 @@ fn main() {
     println!("=== Fig. 5: users vs replicas (U = 40 ms, c = 0.15, trigger = 80 %) ===\n");
     println!("{}", table("replicas", &[&cap, &trigger]));
 
-    println!("single-server capacity n_max(1) = {}   (paper: 235)", limit.single_server_capacity);
+    println!(
+        "single-server capacity n_max(1) = {}   (paper: 235)",
+        limit.single_server_capacity
+    );
     println!(
         "replication trigger at 80 %      = {}   (paper: 188)",
         model.replication_trigger(1, 0)
     );
-    println!("l_max(c = 0.15)                  = {}   (paper: 8)", limit.l_max);
+    println!(
+        "l_max(c = 0.15)                  = {}   (paper: 8)",
+        limit.l_max
+    );
     let loose = model.clone().with_improvement_factor(0.05);
-    println!("l_max(c = 0.05)                  = {}  (paper: 48)", loose.max_replicas(0).l_max);
+    println!(
+        "l_max(c = 0.05)                  = {}  (paper: 48)",
+        loose.max_replicas(0).l_max
+    );
     let strict = model.clone().with_improvement_factor(1.0);
     println!(
         "l_max(c = 1.0)                   = {}   (paper: 1, 'values close or equal to 1 lead to l_max = 1')",

@@ -26,8 +26,7 @@ fn main() {
     let mut a = 5u32;
     loop {
         let n = 2 * a;
-        let tick =
-            roia_model::tick_duration(&model.params, ZoneLoad::new(2, n, 0), a);
+        let tick = roia_model::tick_duration(&model.params, ZoneLoad::new(2, n, 0), a);
         if tick >= model.u_threshold {
             break;
         }
@@ -52,7 +51,10 @@ fn main() {
     println!("worked example (server A: 180 users @ 35 ms, server B: 80 users @ 15 ms):");
     println!("  x_max_ini(A) = {ini_a}   (paper: 3)");
     println!("  x_max_rcv(B) = {rcv_b}  (paper: 34)");
-    println!("  RTF-RMS performs min{{{ini_a}, {rcv_b}}} = {} migrations/s (paper: 3)", ini_a.min(rcv_b));
+    println!(
+        "  RTF-RMS performs min{{{ini_a}, {rcv_b}}} = {} migrations/s (paper: 3)",
+        ini_a.min(rcv_b)
+    );
     let ini_a2 = x_max_from_tick(&model.params, MigrationSide::Initiate, 0.030, 160, 0.040);
     let rcv_b2 = x_max_from_tick(&model.params, MigrationSide::Receive, 0.020, 100, 0.040);
     println!(

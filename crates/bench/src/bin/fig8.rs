@@ -23,7 +23,11 @@ fn main() {
 
     let workload = PaperSession::default();
     let ticks = (workload.duration_secs() / 0.040).ceil() as u64;
-    let config = SessionConfig { ticks, max_churn_per_tick: 2, ..SessionConfig::default() };
+    let config = SessionConfig {
+        ticks,
+        max_churn_per_tick: 2,
+        ..SessionConfig::default()
+    };
     let policy = Box::new(ModelDriven::new(model, ModelDrivenConfig::default()));
     let report = run_session(config, policy, &workload);
 
@@ -50,7 +54,10 @@ fn main() {
     println!("resource removals:      {}", report.replicas_removed);
     println!("users migrated:         {}", report.migrations);
     println!("peak servers:           {}", report.peak_servers);
-    println!("mean CPU load:          {:.1} % (paper: stays below 100 % by design)", report.mean_cpu_load() * 100.0);
+    println!(
+        "mean CPU load:          {:.1} % (paper: stays below 100 % by design)",
+        report.mean_cpu_load() * 100.0
+    );
     println!("cloud cost:             {:.3} units", report.total_cost);
     println!(
         "worst tick duration:    {:.2} ms (threshold {:.0} ms) — violations: {} ({:.3} % of ticks)",
@@ -61,6 +68,10 @@ fn main() {
     );
     println!(
         "paper's claim 'the tick duration on all application servers did not exceed 40 ms': {}",
-        if report.violations == 0 { "REPRODUCED" } else { "violated (see EXPERIMENTS.md)" }
+        if report.violations == 0 {
+            "REPRODUCED"
+        } else {
+            "violated (see EXPERIMENTS.md)"
+        }
     );
 }

@@ -45,7 +45,11 @@ fn main() {
     }
 
     // Managed run.
-    let config = SessionConfig { ticks, max_churn_per_tick: 2, ..SessionConfig::default() };
+    let config = SessionConfig {
+        ticks,
+        max_churn_per_tick: 2,
+        ..SessionConfig::default()
+    };
     let policy = Box::new(ModelDriven::new(model, ModelDrivenConfig::default()));
     let managed = run_session(config, policy, &workload);
 

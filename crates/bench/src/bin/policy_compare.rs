@@ -14,14 +14,17 @@
 use roia_bench::{calibrated_model, default_campaign};
 use roia_sim::{run_session, PaperSession, SessionConfig, SessionReport};
 use rtf_rms::{
-    BandwidthProportional, ModelDriven, ModelDrivenConfig, Policy, StaticInterval,
-    StaticThreshold,
+    BandwidthProportional, ModelDriven, ModelDrivenConfig, Policy, StaticInterval, StaticThreshold,
 };
 
 fn session(policy: Box<dyn Policy>) -> SessionReport {
     let workload = PaperSession::default();
     let ticks = (workload.duration_secs() / 0.040).ceil() as u64;
-    let config = SessionConfig { ticks, max_churn_per_tick: 2, ..SessionConfig::default() };
+    let config = SessionConfig {
+        ticks,
+        max_churn_per_tick: 2,
+        ..SessionConfig::default()
+    };
     run_session(config, policy, &workload)
 }
 
@@ -30,7 +33,10 @@ fn main() {
     let n1 = model.max_users(1, 0);
 
     let reports: Vec<SessionReport> = vec![
-        session(Box::new(ModelDriven::new(model.clone(), ModelDrivenConfig::default()))),
+        session(Box::new(ModelDriven::new(
+            model.clone(),
+            ModelDrivenConfig::default(),
+        ))),
         session(Box::new(StaticInterval::new(1, n1))),
         session(Box::new(StaticThreshold::new(n1))),
         session(Box::new(BandwidthProportional::new(2, n1))),
@@ -39,7 +45,15 @@ fn main() {
     println!("=== Policy comparison on the §V-B session (peak 300 users, 5 min) ===\n");
     println!(
         "{:<24} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>10} {:>10}",
-        "policy", "violations", "viol_rate%", "migrations", "adds", "removes", "subst", "peak_srv", "cost"
+        "policy",
+        "violations",
+        "viol_rate%",
+        "migrations",
+        "adds",
+        "removes",
+        "subst",
+        "peak_srv",
+        "cost"
     );
     for r in &reports {
         println!(

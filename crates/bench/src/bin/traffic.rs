@@ -14,13 +14,25 @@ use roia_sim::{measure_bandwidth_params, table, Series};
 
 fn main() {
     let campaign = default_campaign();
-    println!("measuring traffic rates ({}-bot campaign)...\n", campaign.max_users);
+    println!(
+        "measuring traffic rates ({}-bot campaign)...\n",
+        campaign.max_users
+    );
     let bw = measure_bandwidth_params(&campaign).expect("traffic fit succeeds");
 
     println!("fitted per-tick traffic rates (bytes):");
-    println!("  client in  per user:     {:?}", bw.client_in_per_user.coefficients());
-    println!("  client out per user:     {:?}", bw.client_out_per_user.coefficients());
-    println!("  peer out per active:     {:?}", bw.peer_out_per_active.coefficients());
+    println!(
+        "  client in  per user:     {:?}",
+        bw.client_in_per_user.coefficients()
+    );
+    println!(
+        "  client out per user:     {:?}",
+        bw.client_out_per_user.coefficients()
+    );
+    println!(
+        "  peer out per active:     {:?}",
+        bw.peer_out_per_active.coefficients()
+    );
     println!();
 
     // The strong user-count/bandwidth relationship of [10], per replica

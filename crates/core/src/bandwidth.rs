@@ -52,8 +52,7 @@ impl BandwidthParams {
         let l = load.replicas as f64;
         let n = load.users as f64;
         let active = n / l;
-        active * self.client_in_per_user.eval(n)
-            + (n - active) * self.peer_out_per_active.eval(n)
+        active * self.client_in_per_user.eval(n) + (n - active) * self.peer_out_per_active.eval(n)
     }
 
     /// The out/in traffic asymmetry of a server — the MMORPG measurement
@@ -76,8 +75,11 @@ impl BandwidthParams {
         assert!(l >= 1);
         assert!(cap_bytes_per_tick > 0.0);
         let over = |n: u32| {
-            self.bytes_out_per_tick(ZoneLoad { replicas: l, users: n, npcs: 0 })
-                >= cap_bytes_per_tick
+            self.bytes_out_per_tick(ZoneLoad {
+                replicas: l,
+                users: n,
+                npcs: 0,
+            }) >= cap_bytes_per_tick
         };
         if over(1) {
             return 0;

@@ -139,7 +139,10 @@ impl Calibration {
 
     /// The worst R² across all fitted parameters (1.0 if none).
     pub fn worst_r_squared(&self) -> f64 {
-        self.fits.iter().map(|f| f.fit.r_squared).fold(1.0, f64::min)
+        self.fits
+            .iter()
+            .map(|f| f.fit.r_squared)
+            .fold(1.0, f64::min)
     }
 }
 
@@ -152,7 +155,9 @@ pub fn calibrate(measurements: &Measurements) -> Result<Calibration, Calibration
     let mut params = ModelParams::default();
     let mut fits = Vec::new();
     for kind in ParamKind::ALL {
-        let Some(samples) = measurements.samples(kind) else { continue };
+        let Some(samples) = measurements.samples(kind) else {
+            continue;
+        };
         if samples.is_empty() {
             continue;
         }
@@ -167,7 +172,11 @@ pub fn calibrate(measurements: &Measurements) -> Result<Calibration, Calibration
         .map_err(|e| CalibrationError::Fit(kind, e))?;
         let cost_fn = CostFn::from_coefficients(&result.beta);
         params.set(kind, cost_fn.clone());
-        fits.push(ParamFit { kind, cost_fn, fit: result });
+        fits.push(ParamFit {
+            kind,
+            cost_fn,
+            fit: result,
+        });
     }
     Ok(Calibration { params, fits })
 }
@@ -176,7 +185,10 @@ pub fn calibrate(measurements: &Measurements) -> Result<Calibration, Calibration
 /// samples.
 pub fn calibrate_strict(measurements: &Measurements) -> Result<Calibration, CalibrationError> {
     for kind in ParamKind::ALL {
-        if measurements.samples(kind).is_none_or(ParamSamples::is_empty) {
+        if measurements
+            .samples(kind)
+            .is_none_or(ParamSamples::is_empty)
+        {
             return Err(CalibrationError::MissingSamples(kind));
         }
     }
@@ -205,7 +217,11 @@ mod tests {
 
         let cal = calibrate(&meas).unwrap();
         assert_eq!(cal.fits.len(), 4);
-        assert!(cal.worst_r_squared() > 0.999999, "r² = {}", cal.worst_r_squared());
+        assert!(
+            cal.worst_r_squared() > 0.999999,
+            "r² = {}",
+            cal.worst_r_squared()
+        );
 
         // Quadratic shape chosen for t_ua per §V-A.
         assert!(matches!(cal.params.t_ua, CostFn::Quadratic { .. }));

@@ -30,8 +30,16 @@ pub fn n_max(params: &ModelParams, l: u32, m: u32, u_threshold: f64) -> u32 {
     assert!(l >= 1, "a zone needs at least one replica");
     assert!(u_threshold > 0.0, "threshold must be positive");
 
-    let over = |n: u32| tick_duration_equal(params, ZoneLoad { replicas: l, users: n, npcs: m })
-        >= u_threshold;
+    let over = |n: u32| {
+        tick_duration_equal(
+            params,
+            ZoneLoad {
+                replicas: l,
+                users: n,
+                npcs: m,
+            },
+        ) >= u_threshold
+    };
 
     if over(1) {
         return 0;
@@ -45,7 +53,7 @@ pub fn n_max(params: &ModelParams, l: u32, m: u32, u_threshold: f64) -> u32 {
         return N_SEARCH_CAP;
     }
     let mut lo = hi / 2; // known good
-    // Invariant: !over(lo) && over(hi).
+                         // Invariant: !over(lo) && over(hi).
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
         if over(mid) {
@@ -88,7 +96,10 @@ impl ReplicaLimit {
 /// the minimum improvement expected from each additional resource (the
 /// paper picks `c = 0.15` for RTFDemo, yielding `l_max = 8`).
 pub fn l_max(params: &ModelParams, m: u32, u_threshold: f64, c: f64) -> ReplicaLimit {
-    assert!(c > 0.0 && c <= 1.0, "improvement factor must satisfy 0 < c <= 1");
+    assert!(
+        c > 0.0 && c <= 1.0,
+        "improvement factor must satisfy 0 < c <= 1"
+    );
 
     let n1 = n_max(params, 1, m, u_threshold);
     let mut capacities = vec![n1];
@@ -99,7 +110,11 @@ pub fn l_max(params: &ModelParams, m: u32, u_threshold: f64, c: f64) -> ReplicaL
         let target = n_prev as f64 + c * n1 as f64;
         let t = tick_duration_equal(
             params,
-            ZoneLoad { replicas: next, users: target.ceil() as u32, npcs: m },
+            ZoneLoad {
+                replicas: next,
+                users: target.ceil() as u32,
+                npcs: m,
+            },
         );
         if t >= u_threshold {
             break;
@@ -107,14 +122,21 @@ pub fn l_max(params: &ModelParams, m: u32, u_threshold: f64, c: f64) -> ReplicaL
         capacities.push(n_max(params, next, m, u_threshold));
         l = next;
     }
-    ReplicaLimit { l_max: l, capacity_per_replica: capacities, single_server_capacity: n1 }
+    ReplicaLimit {
+        l_max: l,
+        capacity_per_replica: capacities,
+        single_server_capacity: n1,
+    }
 }
 
 /// §V-A's replication trigger: enact replication once the user count reaches
 /// `fraction` (the paper: 0.8) of the current capacity, leaving headroom for
 /// migration overhead and users that connect during load balancing.
 pub fn replication_trigger(capacity: u32, fraction: f64) -> u32 {
-    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1]"
+    );
     (capacity as f64 * fraction).floor() as u32
 }
 
@@ -172,8 +194,14 @@ mod tests {
     fn saturating_params() -> ModelParams {
         ModelParams {
             t_ua_dser: CostFn::Linear { c0: 1e-5, c1: 0.0 },
-            t_ua: CostFn::Linear { c0: 4e-5, c1: 1.5e-7 },
-            t_aoi: CostFn::Linear { c0: 3e-5, c1: 1.5e-7 },
+            t_ua: CostFn::Linear {
+                c0: 4e-5,
+                c1: 1.5e-7,
+            },
+            t_aoi: CostFn::Linear {
+                c0: 3e-5,
+                c1: 1.5e-7,
+            },
             t_su: CostFn::Linear { c0: 2e-5, c1: 0.0 },
             t_fa_dser: CostFn::Linear { c0: 2e-6, c1: 1e-8 },
             t_fa: CostFn::Linear { c0: 2e-6, c1: 3e-8 },
@@ -189,7 +217,10 @@ mod tests {
 
     #[test]
     fn n_max_zero_when_even_one_user_violates() {
-        let p = ModelParams { t_ua: CostFn::Constant(1.0), ..ModelParams::default() };
+        let p = ModelParams {
+            t_ua: CostFn::Constant(1.0),
+            ..ModelParams::default()
+        };
         assert_eq!(n_max(&p, 1, 0, 0.04), 0);
     }
 
@@ -207,7 +238,10 @@ mod tests {
         let p = saturating_params();
         let caps: Vec<u32> = (1..=6).map(|l| n_max(&p, l, 0, 0.040)).collect();
         for w in caps.windows(2) {
-            assert!(w[1] >= w[0], "capacity must not shrink with replicas: {caps:?}");
+            assert!(
+                w[1] >= w[0],
+                "capacity must not shrink with replicas: {caps:?}"
+            );
         }
     }
 

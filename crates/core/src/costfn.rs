@@ -55,7 +55,11 @@ impl CostFn {
             [] => CostFn::Constant(0.0),
             [c0] => CostFn::Constant(*c0),
             [c0, c1] => CostFn::Linear { c0: *c0, c1: *c1 },
-            [c0, c1, c2] => CostFn::Quadratic { c0: *c0, c1: *c1, c2: *c2 },
+            [c0, c1, c2] => CostFn::Quadratic {
+                c0: *c0,
+                c1: *c1,
+                c2: *c2,
+            },
             _ => CostFn::Poly(coeffs.to_vec()),
         }
     }
@@ -141,13 +145,21 @@ mod tests {
 
     #[test]
     fn quadratic_evaluates() {
-        let f = CostFn::Quadratic { c0: 1.0, c1: 0.0, c2: 2.0 };
+        let f = CostFn::Quadratic {
+            c0: 1.0,
+            c1: 0.0,
+            c2: 2.0,
+        };
         assert_eq!(f.eval(3.0), 19.0);
     }
 
     #[test]
     fn poly_matches_quadratic() {
-        let q = CostFn::Quadratic { c0: 1.0, c1: -2.0, c2: 0.5 };
+        let q = CostFn::Quadratic {
+            c0: 1.0,
+            c1: -2.0,
+            c2: 0.5,
+        };
         let p = CostFn::Poly(vec![1.0, -2.0, 0.5]);
         for i in 0..10 {
             let x = i as f64 * 7.3;
@@ -167,7 +179,10 @@ mod tests {
     fn from_coefficients_picks_variants() {
         assert_eq!(CostFn::from_coefficients(&[]), CostFn::Constant(0.0));
         assert_eq!(CostFn::from_coefficients(&[3.0]), CostFn::Constant(3.0));
-        assert!(matches!(CostFn::from_coefficients(&[1.0, 2.0]), CostFn::Linear { .. }));
+        assert!(matches!(
+            CostFn::from_coefficients(&[1.0, 2.0]),
+            CostFn::Linear { .. }
+        ));
         assert!(matches!(
             CostFn::from_coefficients(&[1.0, 2.0, 3.0]),
             CostFn::Quadratic { .. }
@@ -180,7 +195,12 @@ mod tests {
 
     #[test]
     fn coefficients_round_trip() {
-        for coeffs in [vec![5.0], vec![1.0, 2.0], vec![1.0, 2.0, 3.0], vec![1.0, 0.0, 0.0, 4.0]] {
+        for coeffs in [
+            vec![5.0],
+            vec![1.0, 2.0],
+            vec![1.0, 2.0, 3.0],
+            vec![1.0, 0.0, 0.0, 4.0],
+        ] {
             let f = CostFn::from_coefficients(&coeffs);
             assert_eq!(f.coefficients(), coeffs);
         }
@@ -191,7 +211,12 @@ mod tests {
         assert!(CostFn::Linear { c0: 1.0, c1: 0.5 }.is_non_decreasing_on(1000.0));
         assert!(CostFn::Constant(1.0).is_non_decreasing_on(1000.0));
         // Downward parabola over the range is caught.
-        assert!(!CostFn::Quadratic { c0: 0.0, c1: 1.0, c2: -0.01 }.is_non_decreasing_on(1000.0));
+        assert!(!CostFn::Quadratic {
+            c0: 0.0,
+            c1: 1.0,
+            c2: -0.01
+        }
+        .is_non_decreasing_on(1000.0));
         // Clamping makes a negative-slope line "flat at zero", which is
         // non-decreasing only if it never rises first.
         assert!(!CostFn::Linear { c0: 1.0, c1: -0.1 }.is_non_decreasing_on(100.0));
@@ -199,14 +224,22 @@ mod tests {
 
     #[test]
     fn scaled_multiplies_all_coefficients() {
-        let f = CostFn::Quadratic { c0: 1.0, c1: 2.0, c2: 3.0 };
+        let f = CostFn::Quadratic {
+            c0: 1.0,
+            c1: 2.0,
+            c2: 3.0,
+        };
         let g = f.scaled(0.5);
         assert!((g.eval(10.0) - 0.5 * f.eval(10.0)).abs() < 1e-12);
     }
 
     #[test]
     fn clone_preserves_value() {
-        let f = CostFn::Quadratic { c0: 1e-4, c1: 2e-6, c2: 3e-9 };
+        let f = CostFn::Quadratic {
+            c0: 1e-4,
+            c1: 2e-6,
+            c2: 3e-9,
+        };
         let g = f.clone();
         assert_eq!(f, g);
     }

@@ -29,13 +29,12 @@ use crate::params::ModelParams;
 
 /// The equalized-tick allocation for `n` users over servers with the given
 /// speedups. Returns `(shares, tick_seconds)`; shares sum to `n`.
-pub fn equalized_allocation(
-    params: &ModelParams,
-    n: u32,
-    speedups: &[f64],
-) -> (Vec<u32>, f64) {
+pub fn equalized_allocation(params: &ModelParams, n: u32, speedups: &[f64]) -> (Vec<u32>, f64) {
     assert!(!speedups.is_empty(), "a group has at least one server");
-    assert!(speedups.iter().all(|s| *s > 0.0), "speedups must be positive");
+    assert!(
+        speedups.iter().all(|s| *s > 0.0),
+        "speedups must be positive"
+    );
     let nf = n as f64;
     let own = params.own_cost(nf);
     let fwd = params.shadow_cost(nf);
@@ -115,12 +114,7 @@ pub fn worst_tick_hetero(params: &ModelParams, n: u32, m: u32, speedups: &[f64])
 
 /// The heterogeneous analogue of Eq. (2): the largest `n` whose equalized
 /// allocation keeps every server's tick below `u_threshold`.
-pub fn n_max_hetero(
-    params: &ModelParams,
-    speedups: &[f64],
-    m: u32,
-    u_threshold: f64,
-) -> u32 {
+pub fn n_max_hetero(params: &ModelParams, speedups: &[f64], m: u32, u_threshold: f64) -> u32 {
     assert!(u_threshold > 0.0);
     let over = |n: u32| worst_tick_hetero(params, n, m, speedups) >= u_threshold;
     if over(1) {
@@ -200,9 +194,7 @@ mod tests {
             .iter()
             .zip(&speedups)
             .map(|(&a, &s)| {
-                (a as f64 * p.own_cost(n as f64)
-                    + (n - a) as f64 * p.shadow_cost(n as f64))
-                    / s
+                (a as f64 * p.own_cost(n as f64) + (n - a) as f64 * p.shadow_cost(n as f64)) / s
             })
             .collect();
         let hi = ticks.iter().cloned().fold(0.0, f64::max);

@@ -63,7 +63,9 @@ pub mod tick;
 
 pub use bandwidth::{n_max_joint, BandwidthParams};
 pub use calibrate::{calibrate, calibrate_strict, Calibration, Measurements, ParamSamples};
-pub use capacity::{capacity_curve, l_max, n_max, replication_trigger, CapacityPoint, ReplicaLimit};
+pub use capacity::{
+    capacity_curve, l_max, n_max, replication_trigger, CapacityPoint, ReplicaLimit,
+};
 pub use costfn::CostFn;
 pub use hetero::{equalized_allocation, n_max_hetero, worst_tick_hetero};
 pub use migration::{migration_curve, x_max_from_tick, x_max_ini, x_max_rcv, MigrationSide};
@@ -97,20 +99,34 @@ impl ScalabilityModel {
     /// Creates a model with the paper's defaults for `c` (0.15) and the
     /// trigger fraction (0.8).
     pub fn new(params: ModelParams, u_threshold: f64) -> Self {
-        assert!(u_threshold > 0.0, "tick-duration threshold must be positive");
-        Self { params, u_threshold, improvement_factor: 0.15, trigger_fraction: 0.8 }
+        assert!(
+            u_threshold > 0.0,
+            "tick-duration threshold must be positive"
+        );
+        Self {
+            params,
+            u_threshold,
+            improvement_factor: 0.15,
+            trigger_fraction: 0.8,
+        }
     }
 
     /// Sets the minimum-improvement factor `c` of Eq. (3).
     pub fn with_improvement_factor(mut self, c: f64) -> Self {
-        assert!(c > 0.0 && c <= 1.0, "improvement factor must satisfy 0 < c <= 1");
+        assert!(
+            c > 0.0 && c <= 1.0,
+            "improvement factor must satisfy 0 < c <= 1"
+        );
         self.improvement_factor = c;
         self
     }
 
     /// Sets the replication-trigger fraction (§V-A uses 0.8).
     pub fn with_trigger_fraction(mut self, fraction: f64) -> Self {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
         self.trigger_fraction = fraction;
         self
     }
@@ -146,19 +162,33 @@ impl ScalabilityModel {
     /// Eq. (5): migrations per second a server owning `active` users may
     /// initiate.
     pub fn migrations_initiate(&self, l: u32, n: u32, m: u32, active: u32) -> u32 {
-        x_max_ini(&self.params, ZoneLoad::new(l, n, m), active, self.u_threshold)
+        x_max_ini(
+            &self.params,
+            ZoneLoad::new(l, n, m),
+            active,
+            self.u_threshold,
+        )
     }
 
     /// Eq. (5): migrations per second a server owning `active` users may
     /// receive.
     pub fn migrations_receive(&self, l: u32, n: u32, m: u32, active: u32) -> u32 {
-        x_max_rcv(&self.params, ZoneLoad::new(l, n, m), active, self.u_threshold)
+        x_max_rcv(
+            &self.params,
+            ZoneLoad::new(l, n, m),
+            active,
+            self.u_threshold,
+        )
     }
 
     /// Plans the migrations that equalize `users` across the replicas of a
     /// zone with `m` NPCs (Listing 1, iterated as in Fig. 2).
     pub fn plan_migrations(&self, users: &[u32], m: u32) -> MigrationPlan {
-        let config = PlannerConfig { u_threshold: self.u_threshold, npcs: m, max_rounds: 64 };
+        let config = PlannerConfig {
+            u_threshold: self.u_threshold,
+            npcs: m,
+            max_rounds: 64,
+        };
         plan(&self.params, users, &config)
     }
 
@@ -176,14 +206,28 @@ mod tests {
     fn demo_params() -> ModelParams {
         ModelParams {
             t_ua_dser: CostFn::Linear { c0: 8e-6, c1: 4e-9 },
-            t_ua: CostFn::Quadratic { c0: 3e-5, c1: 2.4e-7, c2: 1.5e-10 },
-            t_aoi: CostFn::Quadratic { c0: 2e-5, c1: 1.6e-7, c2: 1.1e-10 },
+            t_ua: CostFn::Quadratic {
+                c0: 3e-5,
+                c1: 2.4e-7,
+                c2: 1.5e-10,
+            },
+            t_aoi: CostFn::Quadratic {
+                c0: 2e-5,
+                c1: 1.6e-7,
+                c2: 1.1e-10,
+            },
             t_su: CostFn::Linear { c0: 3e-5, c1: 6e-8 },
             t_fa_dser: CostFn::Linear { c0: 1e-6, c1: 4e-9 },
-            t_fa: CostFn::Linear { c0: 1.5e-6, c1: 9e-9 },
+            t_fa: CostFn::Linear {
+                c0: 1.5e-6,
+                c1: 9e-9,
+            },
             t_npc: CostFn::ZERO,
             t_mig_ini: CostFn::Linear { c0: 2e-4, c1: 6e-6 },
-            t_mig_rcv: CostFn::Linear { c0: 1e-4, c1: 2.5e-6 },
+            t_mig_rcv: CostFn::Linear {
+                c0: 1e-4,
+                c1: 2.5e-6,
+            },
         }
     }
 

@@ -57,23 +57,13 @@ fn max_additional(base: f64, cost: f64, threshold: f64) -> u32 {
 /// Eq. (5), initiate side, from a *predicted* tick duration: how many
 /// migrations may a server with `active` of the zone's `users` initiate per
 /// second without exceeding `u_threshold`.
-pub fn x_max_ini(
-    params: &ModelParams,
-    load: ZoneLoad,
-    active: u32,
-    u_threshold: f64,
-) -> u32 {
+pub fn x_max_ini(params: &ModelParams, load: ZoneLoad, active: u32, u_threshold: f64) -> u32 {
     let t = tick_duration(params, load, active);
     max_additional(t, params.t_mig_ini.eval(load.users as f64), u_threshold)
 }
 
 /// Eq. (5), receive side. See [`x_max_ini`].
-pub fn x_max_rcv(
-    params: &ModelParams,
-    load: ZoneLoad,
-    active: u32,
-    u_threshold: f64,
-) -> u32 {
+pub fn x_max_rcv(params: &ModelParams, load: ZoneLoad, active: u32, u_threshold: f64) -> u32 {
     let t = tick_duration(params, load, active);
     max_additional(t, params.t_mig_rcv.eval(load.users as f64), u_threshold)
 }
@@ -198,8 +188,7 @@ mod tests {
         let load = ZoneLoad::new(2, 100, 0);
         let t = crate::tick::tick_duration(&p, load, 70);
         let from_model = x_max_ini(&p, load, 70, 0.040);
-        let from_tick =
-            x_max_from_tick(&p, MigrationSide::Initiate, t, load.users, 0.040);
+        let from_tick = x_max_from_tick(&p, MigrationSide::Initiate, t, load.users, 0.040);
         assert_eq!(from_model, from_tick);
     }
 
@@ -211,9 +200,15 @@ mod tests {
         // min{3, 34} = 3.
         let p = ModelParams {
             // t_mig_ini(180) ≈ 1.45 ms ⇒ (40−35)/1.45 ⇒ 3 migrations.
-            t_mig_ini: CostFn::Linear { c0: 1e-4, c1: 7.5e-6 },
+            t_mig_ini: CostFn::Linear {
+                c0: 1e-4,
+                c1: 7.5e-6,
+            },
             // t_mig_rcv(80) ≈ 0.72 ms ⇒ (40−15)/0.72 ⇒ 34 migrations.
-            t_mig_rcv: CostFn::Linear { c0: 1e-4, c1: 7.75e-6 },
+            t_mig_rcv: CostFn::Linear {
+                c0: 1e-4,
+                c1: 7.75e-6,
+            },
             ..params()
         };
         let ini = x_max_from_tick(&p, MigrationSide::Initiate, 0.035, 180, 0.040);

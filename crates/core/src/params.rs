@@ -182,11 +182,19 @@ mod tests {
     fn sample_params() -> ModelParams {
         ModelParams {
             t_ua_dser: CostFn::Linear { c0: 1e-5, c1: 1e-8 },
-            t_ua: CostFn::Quadratic { c0: 2e-5, c1: 1e-7, c2: 1e-10 },
+            t_ua: CostFn::Quadratic {
+                c0: 2e-5,
+                c1: 1e-7,
+                c2: 1e-10,
+            },
             t_fa_dser: CostFn::Linear { c0: 1e-6, c1: 1e-9 },
             t_fa: CostFn::Linear { c0: 1e-6, c1: 2e-9 },
             t_npc: CostFn::Linear { c0: 5e-6, c1: 1e-9 },
-            t_aoi: CostFn::Quadratic { c0: 1e-5, c1: 2e-7, c2: 5e-11 },
+            t_aoi: CostFn::Quadratic {
+                c0: 1e-5,
+                c1: 2e-7,
+                c2: 5e-11,
+            },
             t_su: CostFn::Linear { c0: 3e-5, c1: 5e-8 },
             t_mig_ini: CostFn::Linear { c0: 1e-3, c1: 1e-5 },
             t_mig_rcv: CostFn::Linear { c0: 5e-4, c1: 5e-6 },
@@ -207,8 +215,7 @@ mod tests {
     fn own_cost_is_sum_of_four_tasks() {
         let p = sample_params();
         let n = 100.0;
-        let expected =
-            p.t_ua_dser.eval(n) + p.t_ua.eval(n) + p.t_aoi.eval(n) + p.t_su.eval(n);
+        let expected = p.t_ua_dser.eval(n) + p.t_ua.eval(n) + p.t_aoi.eval(n) + p.t_su.eval(n);
         assert!((p.own_cost(n) - expected).abs() < 1e-18);
     }
 

@@ -57,7 +57,10 @@ pub fn format_model(model: &ScalabilityModel) -> String {
     out.push_str(HEADER);
     out.push('\n');
     out.push_str(&format!("u_threshold = {}\n", model.u_threshold));
-    out.push_str(&format!("improvement_factor = {}\n", model.improvement_factor));
+    out.push_str(&format!(
+        "improvement_factor = {}\n",
+        model.improvement_factor
+    ));
     out.push_str(&format!("trigger_fraction = {}\n", model.trigger_fraction));
     for kind in ParamKind::ALL {
         let coeffs = model.params.get(kind).coefficients();
@@ -68,12 +71,18 @@ pub fn format_model(model: &ScalabilityModel) -> String {
 }
 
 fn kind_for(symbol: &str) -> Option<ParamKind> {
-    ParamKind::ALL.iter().copied().find(|k| k.symbol() == symbol)
+    ParamKind::ALL
+        .iter()
+        .copied()
+        .find(|k| k.symbol() == symbol)
 }
 
 /// Parses a model from the text format.
 pub fn parse_model(text: &str) -> Result<ScalabilityModel, PersistError> {
-    let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
     if lines.next() != Some(HEADER) {
         return Err(PersistError::BadHeader);
     }
@@ -96,15 +105,16 @@ pub fn parse_model(text: &str) -> Result<ScalabilityModel, PersistError> {
         seen.push(key.to_owned());
 
         let parse_one = |v: &str| -> Result<f64, PersistError> {
-            v.parse::<f64>().map_err(|_| PersistError::BadNumber(v.to_owned()))
+            v.parse::<f64>()
+                .map_err(|_| PersistError::BadNumber(v.to_owned()))
         };
         match key {
             "u_threshold" => u_threshold = Some(parse_one(value)?),
             "improvement_factor" => improvement = Some(parse_one(value)?),
             "trigger_fraction" => trigger = Some(parse_one(value)?),
             symbol => {
-                let kind = kind_for(symbol)
-                    .ok_or_else(|| PersistError::BadLine(line.to_owned()))?;
+                let kind =
+                    kind_for(symbol).ok_or_else(|| PersistError::BadLine(line.to_owned()))?;
                 let coeffs: Result<Vec<f64>, PersistError> =
                     value.split_whitespace().map(parse_one).collect();
                 params.set(kind, CostFn::from_coefficients(&coeffs?));
@@ -127,8 +137,15 @@ mod tests {
 
     fn model() -> ScalabilityModel {
         let params = ModelParams {
-            t_ua: CostFn::Quadratic { c0: 1.2e-4, c1: 3.6e-8, c2: 1.4e-10 },
-            t_su: CostFn::Linear { c0: 8e-8, c1: 6.2e-8 },
+            t_ua: CostFn::Quadratic {
+                c0: 1.2e-4,
+                c1: 3.6e-8,
+                c2: 1.4e-10,
+            },
+            t_su: CostFn::Linear {
+                c0: 8e-8,
+                c1: 6.2e-8,
+            },
             t_mig_ini: CostFn::Linear { c0: 2e-4, c1: 7e-6 },
             ..ModelParams::default()
         };
@@ -191,13 +208,18 @@ mod tests {
     #[test]
     fn missing_threshold_rejected() {
         let text = "roia-model v1\nimprovement_factor = 0.15\ntrigger_fraction = 0.8\n";
-        assert_eq!(parse_model(text), Err(PersistError::MissingKey("u_threshold")));
+        assert_eq!(
+            parse_model(text),
+            Err(PersistError::MissingKey("u_threshold"))
+        );
     }
 
     #[test]
     fn duplicate_key_rejected() {
-        let text =
-            "roia-model v1\nu_threshold = 0.04\nu_threshold = 0.05\n";
-        assert!(matches!(parse_model(text), Err(PersistError::DuplicateKey(_))));
+        let text = "roia-model v1\nu_threshold = 0.04\nu_threshold = 0.05\n";
+        assert!(matches!(
+            parse_model(text),
+            Err(PersistError::DuplicateKey(_))
+        ));
     }
 }

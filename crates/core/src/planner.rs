@@ -79,7 +79,11 @@ pub struct PlannerConfig {
 
 impl Default for PlannerConfig {
     fn default() -> Self {
-        Self { u_threshold: 0.040, npcs: 0, max_rounds: 64 }
+        Self {
+            u_threshold: 0.040,
+            npcs: 0,
+            max_rounds: 64,
+        }
     }
 }
 
@@ -89,7 +93,9 @@ impl Default for PlannerConfig {
 fn is_balanced(users: &[u32]) -> bool {
     let n: u32 = users.iter().sum();
     let avg = n / users.len() as u32;
-    users.iter().all(|&u| u >= avg.saturating_sub(1) && u <= avg + 1)
+    users
+        .iter()
+        .all(|&u| u >= avg.saturating_sub(1) && u <= avg + 1)
 }
 
 /// One execution of Listing 1: select `s_max`, compute the Eq. (5) budgets
@@ -97,11 +103,7 @@ fn is_balanced(users: &[u32]) -> bool {
 ///
 /// Returns `None` when the distribution is already balanced or no migration
 /// is possible this round (zero budgets).
-pub fn plan_round(
-    params: &ModelParams,
-    users: &[u32],
-    config: &PlannerConfig,
-) -> Option<Round> {
+pub fn plan_round(params: &ModelParams, users: &[u32], config: &PlannerConfig) -> Option<Round> {
     assert!(!users.is_empty(), "a zone has at least one replica");
     if users.len() == 1 || is_balanced(users) {
         return None;
@@ -109,7 +111,11 @@ pub fn plan_round(
 
     let n: u32 = users.iter().sum();
     let l = users.len() as u32;
-    let load = ZoneLoad { replicas: l, users: n, npcs: config.npcs };
+    let load = ZoneLoad {
+        replicas: l,
+        users: n,
+        npcs: config.npcs,
+    };
     let avg = n / l; // integer division, as in Listing 1
 
     // s_max: replica with the highest user count.
@@ -143,7 +149,11 @@ pub fn plan_round(
         if k == 0 {
             continue;
         }
-        moves.push(Move { from: s_max, to: i, users: k });
+        moves.push(Move {
+            from: s_max,
+            to: i,
+            users: k,
+        });
         resulting[s_max] -= k;
         resulting[i] += k;
         ini_budget -= k;
@@ -153,7 +163,10 @@ pub fn plan_round(
     if moves.is_empty() {
         None
     } else {
-        Some(Round { moves, resulting_users: resulting })
+        Some(Round {
+            moves,
+            resulting_users: resulting,
+        })
     }
 }
 
@@ -320,7 +333,10 @@ mod tests {
     #[test]
     fn max_rounds_bounds_work() {
         let p = fig2_params();
-        let config = PlannerConfig { max_rounds: 1, ..PlannerConfig::default() };
+        let config = PlannerConfig {
+            max_rounds: 1,
+            ..PlannerConfig::default()
+        };
         let result = plan(&p, &[25, 12, 8], &config);
         assert_eq!(result.rounds.len(), 1);
         assert!(!result.balanced);

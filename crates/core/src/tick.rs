@@ -21,8 +21,15 @@ pub struct ZoneLoad {
 impl ZoneLoad {
     /// Convenience constructor.
     pub fn new(replicas: u32, users: u32, npcs: u32) -> Self {
-        assert!(replicas >= 1, "a zone is always processed by at least one server");
-        Self { replicas, users, npcs }
+        assert!(
+            replicas >= 1,
+            "a zone is always processed by at least one server"
+        );
+        Self {
+            replicas,
+            users,
+            npcs,
+        }
     }
 }
 
@@ -39,7 +46,8 @@ pub fn tick_duration_equal(params: &ModelParams, load: ZoneLoad) -> f64 {
     let n = load.users as f64;
     let m = load.npcs as f64;
     let active = n / l;
-    active * params.own_cost(n) + (n - active) * params.shadow_cost(n)
+    active * params.own_cost(n)
+        + (n - active) * params.shadow_cost(n)
         + (m / l) * params.npc_cost(n)
 }
 
@@ -58,7 +66,8 @@ pub fn tick_duration(params: &ModelParams, load: ZoneLoad, active: u32) -> f64 {
     let a = active.min(load.users) as f64;
     let n = load.users as f64;
     let m = load.npcs as f64;
-    a * params.own_cost(n) + (n - a) * params.shadow_cost(n)
+    a * params.own_cost(n)
+        + (n - a) * params.shadow_cost(n)
         + (m / load.replicas as f64) * params.npc_cost(n)
 }
 
@@ -150,7 +159,10 @@ mod tests {
         let p = params();
         let t1 = tick_duration_equal(&p, ZoneLoad::new(1, 0, 100));
         let t2 = tick_duration_equal(&p, ZoneLoad::new(2, 0, 100));
-        assert!((t1 - 2.0 * t2).abs() < 1e-12, "NPCs split equally on replicas");
+        assert!(
+            (t1 - 2.0 * t2).abs() < 1e-12,
+            "NPCs split equally on replicas"
+        );
     }
 
     #[test]

@@ -13,12 +13,12 @@ use roia_model::{
 /// real ROIA.
 fn arb_params() -> impl Strategy<Value = ModelParams> {
     (
-        1e-6f64..2e-4,  // own base
-        0.0f64..5e-7,   // own slope
-        1e-7f64..2e-5,  // shadow base
-        0.0f64..5e-8,   // shadow slope
-        1e-5f64..3e-3,  // mig ini base
-        1e-6f64..2e-3,  // mig rcv base
+        1e-6f64..2e-4, // own base
+        0.0f64..5e-7,  // own slope
+        1e-7f64..2e-5, // shadow base
+        0.0f64..5e-8,  // shadow slope
+        1e-5f64..3e-3, // mig ini base
+        1e-6f64..2e-3, // mig rcv base
     )
         .prop_map(|(ob, os, sb, ss, mi, mr)| ModelParams {
             t_ua: CostFn::Linear { c0: ob, c1: os },

@@ -65,7 +65,10 @@ mod tests {
     use super::*;
 
     fn world() -> World {
-        World { aoi_radius: 100.0, ..World::default() }
+        World {
+            aoi_radius: 100.0,
+            ..World::default()
+        }
     }
 
     #[test]
@@ -89,7 +92,10 @@ mod tests {
         let pos = Vec2::new(0.0, 0.0);
         let r = compute_aoi(&w, UserId(7), &pos, vec![(UserId(7), pos)].into_iter());
         assert!(r.visible.is_empty());
-        assert_eq!(r.pairs_checked, 0, "self is skipped before the distance check");
+        assert_eq!(
+            r.pairs_checked, 0,
+            "self is skipped before the distance check"
+        );
     }
 
     #[test]

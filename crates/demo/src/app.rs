@@ -73,6 +73,12 @@ impl RtfDemoApp {
         self.stats
     }
 
+    /// Sets the cost model's straggler factor (≥ 1, `1.0` = healthy). Used
+    /// by fault injection to turn this server into a straggler.
+    pub fn set_slowdown(&mut self, factor: f64) {
+        self.costs.set_slowdown(factor);
+    }
+
     /// All avatars known to this server (active + shadow).
     pub fn avatar_count(&self) -> usize {
         self.avatars.len()
@@ -142,7 +148,12 @@ impl RtfDemoApp {
                 self.stats.interactions_forwarded += 1;
                 Some(ForwardEvent {
                     target_user: target,
-                    payload: Interaction { attacker, target, damage }.to_bytes(),
+                    payload: Interaction {
+                        attacker,
+                        target,
+                        damage,
+                    }
+                    .to_bytes(),
                 })
             }
         }
@@ -180,8 +191,10 @@ impl Application for RtfDemoApp {
     ) -> Vec<ForwardEvent> {
         let decode_started = Instant::now();
         let batch = CommandBatch::from_bytes(payload);
-        ctx.timers
-            .add_wall(rtf_core::timer::TaskKind::UaDser, decode_started.elapsed().as_secs_f64());
+        ctx.timers.add_wall(
+            rtf_core::timer::TaskKind::UaDser,
+            decode_started.elapsed().as_secs_f64(),
+        );
         let Ok(batch) = batch else {
             return Vec::new();
         };
@@ -210,8 +223,10 @@ impl Application for RtfDemoApp {
                 }
             }
         }
-        ctx.timers
-            .add_wall(rtf_core::timer::TaskKind::Ua, apply_started.elapsed().as_secs_f64());
+        ctx.timers.add_wall(
+            rtf_core::timer::TaskKind::Ua,
+            apply_started.elapsed().as_secs_f64(),
+        );
         forwards
     }
 
@@ -219,8 +234,10 @@ impl Application for RtfDemoApp {
         self.costs.charge_fa_dser(ctx.timers, payload.len());
         let decode_started = Instant::now();
         let interaction = Interaction::from_bytes(payload);
-        ctx.timers
-            .add_wall(rtf_core::timer::TaskKind::FaDser, decode_started.elapsed().as_secs_f64());
+        ctx.timers.add_wall(
+            rtf_core::timer::TaskKind::FaDser,
+            decode_started.elapsed().as_secs_f64(),
+        );
         let Ok(interaction) = interaction else { return };
         self.costs.charge_fa_apply(ctx.timers);
         self.stats.interactions_received += 1;
@@ -232,8 +249,10 @@ impl Application for RtfDemoApp {
                 self.stats.kills += 1;
             }
         }
-        ctx.timers
-            .add_wall(rtf_core::timer::TaskKind::Fa, apply_started.elapsed().as_secs_f64());
+        ctx.timers.add_wall(
+            rtf_core::timer::TaskKind::Fa,
+            apply_started.elapsed().as_secs_f64(),
+        );
     }
 
     fn apply_replica_update(
@@ -249,7 +268,9 @@ impl Application for RtfDemoApp {
         let Ok(count) = r.get_u16() else { return };
         let mut applied = 0usize;
         for _ in 0..count {
-            let Ok(snap) = AvatarSnapshot::decode(&mut r) else { break };
+            let Ok(snap) = AvatarSnapshot::decode(&mut r) else {
+                break;
+            };
             // Never demote a local active avatar (migration race).
             if self.avatars.get(&snap.user).is_some_and(Avatar::is_active) {
                 continue;
@@ -281,17 +302,22 @@ impl Application for RtfDemoApp {
             }
             self.shadow_origin.remove(&user);
         }
-        ctx.timers
-            .add_wall(rtf_core::timer::TaskKind::Fa, apply_started.elapsed().as_secs_f64());
+        ctx.timers.add_wall(
+            rtf_core::timer::TaskKind::Fa,
+            apply_started.elapsed().as_secs_f64(),
+        );
     }
 
     fn update_npcs(&mut self, ctx: &mut TickCtx<'_>) {
         let started = Instant::now();
         let users = self.active_positions();
         let work = self.npcs.update(&self.world, &users);
-        ctx.timers
-            .add_wall(rtf_core::timer::TaskKind::Npc, started.elapsed().as_secs_f64());
-        self.costs.charge_npc(ctx.timers, work.npcs_updated, work.user_scans);
+        ctx.timers.add_wall(
+            rtf_core::timer::TaskKind::Npc,
+            started.elapsed().as_secs_f64(),
+        );
+        self.costs
+            .charge_npc(ctx.timers, work.npcs_updated, work.user_scans);
     }
 
     fn state_update_for(&mut self, ctx: &mut TickCtx<'_>, user: UserId) -> Bytes {
@@ -306,9 +332,12 @@ impl Application for RtfDemoApp {
             &observer_pos,
             self.avatars.values().map(|a| (a.user, a.pos)),
         );
-        ctx.timers
-            .add_wall(rtf_core::timer::TaskKind::Aoi, aoi_started.elapsed().as_secs_f64());
-        self.costs.charge_aoi(ctx.timers, aoi.pairs_checked, aoi.dedup_scans);
+        ctx.timers.add_wall(
+            rtf_core::timer::TaskKind::Aoi,
+            aoi_started.elapsed().as_secs_f64(),
+        );
+        self.costs
+            .charge_aoi(ctx.timers, aoi.pairs_checked, aoi.dedup_scans);
 
         // Serialize self + visible avatars.
         let ser_started = Instant::now();
@@ -319,8 +348,10 @@ impl Application for RtfDemoApp {
             AvatarSnapshot::from(&self.avatars[target]).encode(&mut w);
         }
         let payload = w.finish();
-        ctx.timers
-            .add_wall(rtf_core::timer::TaskKind::Su, ser_started.elapsed().as_secs_f64());
+        ctx.timers.add_wall(
+            rtf_core::timer::TaskKind::Su,
+            ser_started.elapsed().as_secs_f64(),
+        );
         self.costs
             .charge_su(ctx.timers, aoi.visible.len() + 1, payload.len());
         payload
@@ -344,8 +375,10 @@ impl Application for RtfDemoApp {
             Some(avatar) => avatar.to_bytes(),
             None => Bytes::new(),
         };
-        ctx.timers
-            .add_wall(rtf_core::timer::TaskKind::MigIni, started.elapsed().as_secs_f64());
+        ctx.timers.add_wall(
+            rtf_core::timer::TaskKind::MigIni,
+            started.elapsed().as_secs_f64(),
+        );
         out
     }
 
@@ -360,8 +393,10 @@ impl Application for RtfDemoApp {
         avatar.ownership = Ownership::Active;
         self.shadow_origin.remove(&user);
         self.avatars.insert(user, avatar);
-        ctx.timers
-            .add_wall(rtf_core::timer::TaskKind::MigRcv, started.elapsed().as_secs_f64());
+        ctx.timers.add_wall(
+            rtf_core::timer::TaskKind::MigRcv,
+            started.elapsed().as_secs_f64(),
+        );
     }
 
     fn npc_count(&self) -> u32 {
@@ -383,7 +418,11 @@ mod tests {
     }
 
     fn with_ctx<T>(timers: &mut TickTimers, f: impl FnOnce(&mut TickCtx<'_>) -> T) -> T {
-        let mut ctx = TickCtx { tick: 0, server: NodeId(0), timers };
+        let mut ctx = TickCtx {
+            tick: 0,
+            server: NodeId(0),
+            timers,
+        };
         f(&mut ctx)
     }
 
@@ -402,7 +441,9 @@ mod tests {
         let before = app.avatar(UserId(1)).unwrap().pos;
         let mut timers = ctx_timers();
         let batch = CommandBatch::movement(1.0, 0.0).to_bytes();
-        with_ctx(&mut timers, |ctx| app.apply_user_input(ctx, UserId(1), &batch));
+        with_ctx(&mut timers, |ctx| {
+            app.apply_user_input(ctx, UserId(1), &batch)
+        });
         let after = app.avatar(UserId(1)).unwrap().pos;
         assert!((after.x - before.x - app.world().move_speed).abs() < 1e-4);
         assert!(timers.get(TaskKind::Ua) > 0.0);
@@ -421,9 +462,12 @@ mod tests {
         app.avatars.get_mut(&UserId(2)).unwrap().pos = Vec2::new(510.0, 500.0);
 
         let mut timers = ctx_timers();
-        let batch = CommandBatch::default().with_attack(UserId(2), 25).to_bytes();
-        let forwards =
-            with_ctx(&mut timers, |ctx| app.apply_user_input(ctx, UserId(1), &batch));
+        let batch = CommandBatch::default()
+            .with_attack(UserId(2), 25)
+            .to_bytes();
+        let forwards = with_ctx(&mut timers, |ctx| {
+            app.apply_user_input(ctx, UserId(1), &batch)
+        });
         assert!(forwards.is_empty(), "local target: nothing to forward");
         assert_eq!(app.avatar(UserId(2)).unwrap().health, 75);
         assert_eq!(app.stats().hits_on_active, 1);
@@ -437,8 +481,12 @@ mod tests {
         app.avatars.get_mut(&UserId(1)).unwrap().pos = Vec2::new(0.0, 0.0);
         app.avatars.get_mut(&UserId(2)).unwrap().pos = Vec2::new(900.0, 900.0);
         let mut timers = ctx_timers();
-        let batch = CommandBatch::default().with_attack(UserId(2), 25).to_bytes();
-        with_ctx(&mut timers, |ctx| app.apply_user_input(ctx, UserId(1), &batch));
+        let batch = CommandBatch::default()
+            .with_attack(UserId(2), 25)
+            .to_bytes();
+        with_ctx(&mut timers, |ctx| {
+            app.apply_user_input(ctx, UserId(1), &batch)
+        });
         assert_eq!(app.avatar(UserId(2)).unwrap().health, 100);
     }
 
@@ -451,17 +499,24 @@ mod tests {
         let mut timers = ctx_timers();
         let mut w = WireWriter::new();
         w.put_u16(1);
-        AvatarSnapshot { user: UserId(2), pos: Vec2::new(505.0, 500.0), health: 100 }
-            .encode(&mut w);
+        AvatarSnapshot {
+            user: UserId(2),
+            pos: Vec2::new(505.0, 500.0),
+            health: 100,
+        }
+        .encode(&mut w);
         let payload = w.finish();
         with_ctx(&mut timers, |ctx| {
             app.apply_replica_update(ctx, NodeId(9), &[UserId(2)], &payload)
         });
         assert_eq!(app.avatar_count(), 2);
 
-        let batch = CommandBatch::default().with_attack(UserId(2), 30).to_bytes();
-        let forwards =
-            with_ctx(&mut timers, |ctx| app.apply_user_input(ctx, UserId(1), &batch));
+        let batch = CommandBatch::default()
+            .with_attack(UserId(2), 30)
+            .to_bytes();
+        let forwards = with_ctx(&mut timers, |ctx| {
+            app.apply_user_input(ctx, UserId(1), &batch)
+        });
         assert_eq!(forwards.len(), 1);
         assert_eq!(forwards[0].target_user, UserId(2));
         let interaction = Interaction::from_bytes(&forwards[0].payload).unwrap();
@@ -476,8 +531,15 @@ mod tests {
         let mut app = app();
         app.on_user_connected(UserId(2));
         let mut timers = ctx_timers();
-        let payload = Interaction { attacker: UserId(1), target: UserId(2), damage: 40 }.to_bytes();
-        with_ctx(&mut timers, |ctx| app.apply_forwarded_input(ctx, NodeId(9), &payload));
+        let payload = Interaction {
+            attacker: UserId(1),
+            target: UserId(2),
+            damage: 40,
+        }
+        .to_bytes();
+        with_ctx(&mut timers, |ctx| {
+            app.apply_forwarded_input(ctx, NodeId(9), &payload)
+        });
         assert_eq!(app.avatar(UserId(2)).unwrap().health, 60);
         assert_eq!(app.stats().interactions_received, 1);
         assert!(timers.get(TaskKind::Fa) > 0.0);
@@ -492,8 +554,12 @@ mod tests {
             let mut w = WireWriter::new();
             w.put_u16(ids.len() as u16);
             for &i in ids {
-                AvatarSnapshot { user: UserId(i), pos: Vec2::new(1.0, 1.0), health: 90 }
-                    .encode(&mut w);
+                AvatarSnapshot {
+                    user: UserId(i),
+                    pos: Vec2::new(1.0, 1.0),
+                    health: 90,
+                }
+                .encode(&mut w);
             }
             w.finish()
         };
@@ -520,14 +586,22 @@ mod tests {
         let mut timers = ctx_timers();
         let mut w = WireWriter::new();
         w.put_u16(1);
-        AvatarSnapshot { user: UserId(1), pos: Vec2::new(0.0, 0.0), health: 1 }.encode(&mut w);
+        AvatarSnapshot {
+            user: UserId(1),
+            pos: Vec2::new(0.0, 0.0),
+            health: 1,
+        }
+        .encode(&mut w);
         let payload = w.finish();
         with_ctx(&mut timers, |ctx| {
             app.apply_replica_update(ctx, NodeId(9), &[UserId(1)], &payload)
         });
         let a = app.avatar(UserId(1)).unwrap();
         assert!(a.is_active());
-        assert_eq!(a.health, 100, "stale replica data ignored for active avatars");
+        assert_eq!(
+            a.health, 100,
+            "stale replica data ignored for active avatars"
+        );
     }
 
     #[test]
@@ -558,7 +632,10 @@ mod tests {
 
         let mut timers = ctx_timers();
         let blob = with_ctx(&mut timers, |ctx| src.export_user(ctx, UserId(5)));
-        assert!(src.avatar(UserId(5)).is_none(), "export removes the active copy");
+        assert!(
+            src.avatar(UserId(5)).is_none(),
+            "export removes the active copy"
+        );
         assert!(timers.get(TaskKind::MigIni) > 0.0);
 
         let mut dst = app();
@@ -581,8 +658,12 @@ mod tests {
         app.avatars.get_mut(&UserId(2)).unwrap().health = 10;
 
         let mut timers = ctx_timers();
-        let batch = CommandBatch::default().with_attack(UserId(2), 25).to_bytes();
-        with_ctx(&mut timers, |ctx| app.apply_user_input(ctx, UserId(1), &batch));
+        let batch = CommandBatch::default()
+            .with_attack(UserId(2), 25)
+            .to_bytes();
+        with_ctx(&mut timers, |ctx| {
+            app.apply_user_input(ctx, UserId(1), &batch)
+        });
         let victim = app.avatar(UserId(2)).unwrap();
         assert_eq!(victim.health, crate::avatar::MAX_HEALTH);
         assert_eq!(victim.deaths, 1);
@@ -605,8 +686,9 @@ mod tests {
         let mut app = app();
         app.on_user_connected(UserId(1));
         let mut timers = ctx_timers();
-        let forwards =
-            with_ctx(&mut timers, |ctx| app.apply_user_input(ctx, UserId(1), &[0xFF, 0x01]));
+        let forwards = with_ctx(&mut timers, |ctx| {
+            app.apply_user_input(ctx, UserId(1), &[0xFF, 0x01])
+        });
         assert!(forwards.is_empty());
         assert_eq!(app.stats().moves_applied, 0);
     }

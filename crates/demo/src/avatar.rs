@@ -26,12 +26,26 @@ pub struct Avatar {
 impl Avatar {
     /// Spawns a fresh, active avatar at `pos`.
     pub fn spawn(user: UserId, pos: Vec2) -> Self {
-        Self { user, pos, health: MAX_HEALTH, kills: 0, deaths: 0, ownership: Ownership::Active }
+        Self {
+            user,
+            pos,
+            health: MAX_HEALTH,
+            kills: 0,
+            deaths: 0,
+            ownership: Ownership::Active,
+        }
     }
 
     /// Spawns a shadow copy (state arrives via replica updates).
     pub fn shadow(user: UserId, pos: Vec2, health: i32) -> Self {
-        Self { user, pos, health, kills: 0, deaths: 0, ownership: Ownership::Shadow }
+        Self {
+            user,
+            pos,
+            health,
+            kills: 0,
+            deaths: 0,
+            ownership: Ownership::Shadow,
+        }
     }
 
     /// Whether this server owns the avatar.
@@ -90,7 +104,11 @@ pub struct AvatarSnapshot {
 
 impl From<&Avatar> for AvatarSnapshot {
     fn from(a: &Avatar) -> Self {
-        Self { user: a.user, pos: a.pos, health: a.health }
+        Self {
+            user: a.user,
+            pos: a.pos,
+            health: a.health,
+        }
     }
 }
 
@@ -143,7 +161,10 @@ mod tests {
     #[test]
     fn exact_kill_boundary() {
         let mut a = Avatar::spawn(UserId(1), Vec2::new(0.0, 0.0));
-        assert!(a.take_damage(MAX_HEALTH as u16, Vec2::new(1.0, 1.0)), "0 health is dead");
+        assert!(
+            a.take_damage(MAX_HEALTH as u16, Vec2::new(1.0, 1.0)),
+            "0 health is dead"
+        );
     }
 
     #[test]

@@ -31,7 +31,12 @@ pub struct BotBehavior {
 
 impl Default for BotBehavior {
     fn default() -> Self {
-        Self { attack_base: 0.15, attack_per_target: 0.02, attack_cap: 0.75, damage: 10 }
+        Self {
+            attack_base: 0.15,
+            attack_per_target: 0.02,
+            attack_cap: 0.75,
+            damage: 10,
+        }
     }
 }
 
@@ -108,7 +113,9 @@ impl InputSource for Bot {
         let Ok(count) = r.get_u16() else { return };
         self.visible.clear();
         for _ in 0..count {
-            let Ok(snap) = crate::avatar::AvatarSnapshot::decode(&mut r) else { break };
+            let Ok(snap) = crate::avatar::AvatarSnapshot::decode(&mut r) else {
+                break;
+            };
             if snap.user != self.user {
                 self.visible.push(snap.user);
             }
@@ -127,7 +134,12 @@ mod tests {
         let mut w = WireWriter::new();
         w.put_u16(users.len() as u16);
         for &u in users {
-            AvatarSnapshot { user: UserId(u), pos: Vec2::new(0.0, 0.0), health: 100 }.encode(&mut w);
+            AvatarSnapshot {
+                user: UserId(u),
+                pos: Vec2::new(0.0, 0.0),
+                health: 100,
+            }
+            .encode(&mut w);
         }
         w.finish()
     }
@@ -188,7 +200,10 @@ mod tests {
                 }
             }
         }
-        assert!(attacks > 10, "with p≈0.19, 200 ticks should see attacks: {attacks}");
+        assert!(
+            attacks > 10,
+            "with p≈0.19, 200 ticks should see attacks: {attacks}"
+        );
         assert_eq!(bot.attacks_sent, attacks);
     }
 

@@ -98,6 +98,10 @@ pub struct CostModel {
     pub rates: CostRates,
     /// Relative noise amplitude (0 = deterministic costs).
     pub noise: f64,
+    /// Straggler factor: every charge is multiplied by this (1 = healthy;
+    /// above 1 models a degraded machine — thermal throttling, noisy
+    /// neighbours — for fault-injection experiments).
+    slowdown: f64,
     rng: SmallRng,
 }
 
@@ -115,8 +119,28 @@ impl CostModel {
 
     /// Fully custom model.
     pub fn new(rates: CostRates, noise: f64, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&noise), "relative noise must be in [0, 1)");
-        Self { rates, noise, rng: SmallRng::seed_from_u64(seed ^ 0xC057_AB1E_u64) }
+        assert!(
+            (0.0..1.0).contains(&noise),
+            "relative noise must be in [0, 1)"
+        );
+        Self {
+            rates,
+            noise,
+            slowdown: 1.0,
+            rng: SmallRng::seed_from_u64(seed ^ 0xC057_AB1E_u64),
+        }
+    }
+
+    /// Sets the straggler factor (≥ 1). All subsequent charges are scaled
+    /// by it; `1.0` restores a healthy machine.
+    pub fn set_slowdown(&mut self, factor: f64) {
+        assert!(factor >= 1.0, "slowdown factor must be >= 1");
+        self.slowdown = factor;
+    }
+
+    /// The current straggler factor.
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
     }
 
     /// Applies the noise factor to a cost.
@@ -130,9 +154,9 @@ impl CostModel {
         secs * (1.0 + self.noise * z).clamp(0.25, 4.0)
     }
 
-    /// Charges `secs` (perturbed) to `task`.
+    /// Charges `secs` (perturbed and slowdown-scaled) to `task`.
     pub fn charge(&mut self, timers: &mut TickTimers, task: TaskKind, secs: f64) {
-        let v = self.perturb(secs);
+        let v = self.perturb(secs) * self.slowdown;
         timers.charge(task, v);
     }
 
@@ -151,8 +175,7 @@ impl CostModel {
 
     /// Charge for one attack command that scanned `avatars_scanned` users.
     pub fn charge_attack(&mut self, timers: &mut TickTimers, avatars_scanned: usize) {
-        let secs =
-            self.rates.ua_attack_base + self.rates.ua_attack_scan * avatars_scanned as f64;
+        let secs = self.rates.ua_attack_base + self.rates.ua_attack_scan * avatars_scanned as f64;
         self.charge(timers, TaskKind::Ua, secs);
     }
 
@@ -183,29 +206,25 @@ impl CostModel {
 
     /// Charge for one user's AoI computation.
     pub fn charge_aoi(&mut self, timers: &mut TickTimers, pairs: usize, dedup_scans: usize) {
-        let secs =
-            self.rates.aoi_pair * pairs as f64 + self.rates.aoi_dedup * dedup_scans as f64;
+        let secs = self.rates.aoi_pair * pairs as f64 + self.rates.aoi_dedup * dedup_scans as f64;
         self.charge(timers, TaskKind::Aoi, secs);
     }
 
     /// Charge for serializing one user's state update.
     pub fn charge_su(&mut self, timers: &mut TickTimers, entities: usize, bytes: usize) {
-        let secs =
-            self.rates.su_entity * entities as f64 + self.rates.su_per_byte * bytes as f64;
+        let secs = self.rates.su_entity * entities as f64 + self.rates.su_per_byte * bytes as f64;
         self.charge(timers, TaskKind::Su, secs);
     }
 
     /// Charge for initiating one migration with `known_avatars` in the zone.
     pub fn charge_mig_ini(&mut self, timers: &mut TickTimers, known_avatars: usize) {
-        let secs =
-            self.rates.mig_ini_base + self.rates.mig_ini_per_user * known_avatars as f64;
+        let secs = self.rates.mig_ini_base + self.rates.mig_ini_per_user * known_avatars as f64;
         self.charge(timers, TaskKind::MigIni, secs);
     }
 
     /// Charge for receiving one migration with `known_avatars` in the zone.
     pub fn charge_mig_rcv(&mut self, timers: &mut TickTimers, known_avatars: usize) {
-        let secs =
-            self.rates.mig_rcv_base + self.rates.mig_rcv_per_user * known_avatars as f64;
+        let secs = self.rates.mig_rcv_base + self.rates.mig_rcv_per_user * known_avatars as f64;
         self.charge(timers, TaskKind::MigRcv, secs);
     }
 }
@@ -231,7 +250,9 @@ mod tests {
         model.charge_attack(&mut t1, 100);
         model.charge_attack(&mut t2, 200);
         let r = CostRates::default();
-        assert!((t2.get(TaskKind::Ua) - t1.get(TaskKind::Ua) - 100.0 * r.ua_attack_scan).abs() < 1e-15);
+        assert!(
+            (t2.get(TaskKind::Ua) - t1.get(TaskKind::Ua) - 100.0 * r.ua_attack_scan).abs() < 1e-15
+        );
     }
 
     #[test]
@@ -247,7 +268,10 @@ mod tests {
             let ini = ti.get(TaskKind::MigIni);
             let rcv = tr.get(TaskKind::MigRcv);
             assert!((ini - (r.mig_ini_base + r.mig_ini_per_user * n as f64)).abs() < 1e-15);
-            assert!(ini > rcv, "t_mig_ini({n}) = {ini} must exceed t_mig_rcv({n}) = {rcv}");
+            assert!(
+                ini > rcv,
+                "t_mig_ini({n}) = {ini} must exceed t_mig_rcv({n}) = {rcv}"
+            );
         }
     }
 
@@ -278,12 +302,34 @@ mod tests {
         }
         let mean = total / n as f64;
         let expected = CostRates::default().ua_move;
-        assert!((mean / expected - 1.0).abs() < 0.05, "mean {mean} vs {expected}");
+        assert!(
+            (mean / expected - 1.0).abs() < 0.05,
+            "mean {mean} vs {expected}"
+        );
     }
 
     #[test]
     #[should_panic(expected = "relative noise")]
     fn bad_noise_rejected() {
         CostModel::new(CostRates::default(), 1.5, 0);
+    }
+
+    #[test]
+    fn slowdown_scales_all_charges() {
+        let mut model = CostModel::exact();
+        model.set_slowdown(3.0);
+        let mut t = TickTimers::new(TimeMode::Virtual);
+        model.charge_move(&mut t);
+        assert_eq!(t.get(TaskKind::Ua), 3.0 * CostRates::default().ua_move);
+        model.set_slowdown(1.0);
+        let mut t2 = TickTimers::new(TimeMode::Virtual);
+        model.charge_move(&mut t2);
+        assert_eq!(t2.get(TaskKind::Ua), CostRates::default().ua_move);
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown factor")]
+    fn speedup_masquerading_as_slowdown_rejected() {
+        CostModel::exact().set_slowdown(0.5);
     }
 }

@@ -51,10 +51,14 @@ impl Wire for Command {
 
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         match r.get_u8()? {
-            Self::TAG_MOVE => Ok(Command::Move { dx: r.get_f32()?, dy: r.get_f32()? }),
-            Self::TAG_ATTACK => {
-                Ok(Command::Attack { target: UserId(r.get_u64()?), damage: r.get_u16()? })
-            }
+            Self::TAG_MOVE => Ok(Command::Move {
+                dx: r.get_f32()?,
+                dy: r.get_f32()?,
+            }),
+            Self::TAG_ATTACK => Ok(Command::Attack {
+                target: UserId(r.get_u64()?),
+                damage: r.get_u16()?,
+            }),
             t => Err(WireError::BadTag(t)),
         }
     }
@@ -70,7 +74,9 @@ pub struct CommandBatch {
 impl CommandBatch {
     /// A batch with a single move.
     pub fn movement(dx: f32, dy: f32) -> Self {
-        Self { commands: vec![Command::Move { dx, dy }] }
+        Self {
+            commands: vec![Command::Move { dx, dy }],
+        }
     }
 
     /// Adds an attack to the batch.
@@ -81,7 +87,9 @@ impl CommandBatch {
 
     /// Whether the batch contains an attack.
     pub fn has_attack(&self) -> bool {
-        self.commands.iter().any(|c| matches!(c, Command::Attack { .. }))
+        self.commands
+            .iter()
+            .any(|c| matches!(c, Command::Attack { .. }))
     }
 }
 
@@ -139,7 +147,10 @@ mod tests {
     fn command_round_trips() {
         for cmd in [
             Command::Move { dx: 1.0, dy: -0.5 },
-            Command::Attack { target: UserId(7), damage: 25 },
+            Command::Attack {
+                target: UserId(7),
+                damage: 25,
+            },
         ] {
             assert_eq!(Command::from_bytes(&cmd.to_bytes()).unwrap(), cmd);
         }
@@ -161,7 +172,11 @@ mod tests {
 
     #[test]
     fn interaction_round_trips() {
-        let i = Interaction { attacker: UserId(1), target: UserId(2), damage: 30 };
+        let i = Interaction {
+            attacker: UserId(1),
+            target: UserId(2),
+            damage: 30,
+        };
         assert_eq!(Interaction::from_bytes(&i.to_bytes()).unwrap(), i);
     }
 
@@ -176,7 +191,9 @@ mod tests {
         // attacks (larger commands) become more frequent — the size ordering
         // this test pins down.
         let move_only = CommandBatch::movement(1.0, 0.0).to_bytes();
-        let with_attack = CommandBatch::movement(1.0, 0.0).with_attack(UserId(1), 10).to_bytes();
+        let with_attack = CommandBatch::movement(1.0, 0.0)
+            .with_attack(UserId(1), 10)
+            .to_bytes();
         assert!(with_attack.len() > move_only.len());
     }
 }

@@ -30,7 +30,12 @@ impl Npc {
             world.bounds.min.x + f * world.bounds.width(),
             world.bounds.min.y + ((f * 7.0).fract()) * world.bounds.height(),
         );
-        Self { id, pos, phase: f * std::f32::consts::TAU, target: None }
+        Self {
+            id,
+            pos,
+            phase: f * std::f32::consts::TAU,
+            target: None,
+        }
     }
 }
 
@@ -58,7 +63,8 @@ impl NpcWorld {
     /// Populates `count` NPCs.
     pub fn populate(&mut self, count: u32, world: &World) {
         self.npcs.clear();
-        self.npcs.extend((0..count as u64).map(|i| Npc::spawn(NpcId(i), world)));
+        self.npcs
+            .extend((0..count as u64).map(|i| Npc::spawn(NpcId(i), world)));
     }
 
     /// Current NPC count.
@@ -126,7 +132,10 @@ mod tests {
         let before: Vec<Vec2> = npcs.iter().map(|n| n.pos).collect();
         npcs.update(&world, &[]);
         let after: Vec<Vec2> = npcs.iter().map(|n| n.pos).collect();
-        assert!(before.iter().zip(&after).any(|(b, a)| b != a), "NPCs wander");
+        assert!(
+            before.iter().zip(&after).any(|(b, a)| b != a),
+            "NPCs wander"
+        );
         for npc in npcs.iter() {
             assert!(world.bounds.contains(&npc.pos));
         }
@@ -137,8 +146,9 @@ mod tests {
         let world = World::default();
         let mut npcs = NpcWorld::new();
         npcs.populate(10, &world);
-        let users: Vec<(UserId, Vec2)> =
-            (0..20).map(|i| (UserId(i), Vec2::new(i as f32, 0.0))).collect();
+        let users: Vec<(UserId, Vec2)> = (0..20)
+            .map(|i| (UserId(i), Vec2::new(i as f32, 0.0)))
+            .collect();
         let work = npcs.update(&world, &users);
         assert_eq!(work.npcs_updated, 10);
         assert_eq!(work.user_scans, 200, "m·n interaction checks");

@@ -119,7 +119,10 @@ mod tests {
         let w = World::default();
         let start = Vec2::new(500.0, 500.0);
         let moved = w.apply_move(&start, 10.0, 0.0);
-        assert!((moved.x - 504.0).abs() < 1e-4, "step normalized to move_speed");
+        assert!(
+            (moved.x - 504.0).abs() < 1e-4,
+            "step normalized to move_speed"
+        );
         assert_eq!(moved.y, 500.0);
     }
 

@@ -13,8 +13,10 @@ fn arb_pos() -> impl Strategy<Value = Vec2> {
 fn arb_command() -> impl Strategy<Value = Command> {
     prop_oneof![
         (-1.0f32..1.0, -1.0f32..1.0).prop_map(|(dx, dy)| Command::Move { dx, dy }),
-        (any::<u64>(), any::<u16>())
-            .prop_map(|(t, d)| Command::Attack { target: UserId(t), damage: d }),
+        (any::<u64>(), any::<u16>()).prop_map(|(t, d)| Command::Attack {
+            target: UserId(t),
+            damage: d
+        }),
     ]
 }
 

@@ -131,7 +131,10 @@ impl fmt::Display for FitError {
         match self {
             FitError::BadData { xs, ys } => write!(f, "bad data: {xs} xs vs {ys} ys"),
             FitError::Underdetermined { points, params } => {
-                write!(f, "underdetermined fit: {points} points for {params} params")
+                write!(
+                    f,
+                    "underdetermined fit: {points} points for {params} params"
+                )
             }
             FitError::NonFiniteModel => write!(f, "model produced a non-finite value"),
             FitError::LinearSolve(e) => write!(f, "linear solve failed: {e}"),
@@ -183,11 +186,17 @@ pub fn fit<M: FitModel>(
     config: &LmConfig,
 ) -> Result<FitResult, FitError> {
     if xs.len() != ys.len() || xs.is_empty() {
-        return Err(FitError::BadData { xs: xs.len(), ys: ys.len() });
+        return Err(FitError::BadData {
+            xs: xs.len(),
+            ys: ys.len(),
+        });
     }
     let p = model.num_params();
     if xs.len() < p {
-        return Err(FitError::Underdetermined { points: xs.len(), params: p });
+        return Err(FitError::Underdetermined {
+            points: xs.len(),
+            params: p,
+        });
     }
 
     let mut beta: Vec<f64> = match beta0 {
@@ -207,7 +216,9 @@ pub fn fit<M: FitModel>(
         iterations = iter + 1;
         let j = jacobian(model, &beta, xs);
         let jtj = j.gram();
-        let jtr = j.t_matvec(&residuals).expect("jacobian rows match residuals");
+        let jtr = j
+            .t_matvec(&residuals)
+            .expect("jacobian rows match residuals");
 
         if norm_inf(&jtr) < config.gradient_tolerance {
             stop = StopReason::GradientSmall;
@@ -368,9 +379,18 @@ mod tests {
     #[test]
     fn fits_saturating_exponential() {
         let xs: Vec<f64> = (0..40).map(|i| i as f64 * 0.5).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| 200.0 * (1.0 - (-x / 4.0).exp())).collect();
-        let r =
-            fit(&SaturatingExp, &xs, &ys, Some(&[100.0, 1.0]), &LmConfig::default()).unwrap();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 200.0 * (1.0 - (-x / 4.0).exp()))
+            .collect();
+        let r = fit(
+            &SaturatingExp,
+            &xs,
+            &ys,
+            Some(&[100.0, 1.0]),
+            &LmConfig::default(),
+        )
+        .unwrap();
         assert!((r.beta[0] - 200.0).abs() < 1e-3, "beta {:?}", r.beta);
         assert!((r.beta[1] - 4.0).abs() < 1e-4, "beta {:?}", r.beta);
     }
@@ -390,7 +410,13 @@ mod tests {
     #[test]
     fn rejects_underdetermined() {
         let e = fit_default(&Polynomial::quadratic(), &[1.0, 2.0], &[1.0, 2.0]).unwrap_err();
-        assert!(matches!(e, FitError::Underdetermined { points: 2, params: 3 }));
+        assert!(matches!(
+            e,
+            FitError::Underdetermined {
+                points: 2,
+                params: 3
+            }
+        ));
     }
 
     #[test]
@@ -434,7 +460,10 @@ mod tests {
     fn iteration_budget_respected() {
         let xs: Vec<f64> = (1..30).map(|i| i as f64).collect();
         let ys: Vec<f64> = xs.iter().map(|x| 0.5 * x.powf(1.7)).collect();
-        let cfg = LmConfig { max_iterations: 2, ..LmConfig::default() };
+        let cfg = LmConfig {
+            max_iterations: 2,
+            ..LmConfig::default()
+        };
         let r = fit(&PowerLaw, &xs, &ys, Some(&[1.0, 1.0]), &cfg).unwrap();
         assert!(r.iterations <= 2);
     }

@@ -39,7 +39,11 @@ impl fmt::Display for MatrixError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MatrixError::ShapeMismatch { left, right } => {
-                write!(f, "shape mismatch: {}x{} vs {}x{}", left.0, left.1, right.0, right.1)
+                write!(
+                    f,
+                    "shape mismatch: {}x{} vs {}x{}",
+                    left.0, left.1, right.0, right.1
+                )
             }
             MatrixError::Singular => write!(f, "matrix is singular"),
             MatrixError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
@@ -53,7 +57,11 @@ impl std::error::Error for MatrixError {}
 impl Matrix {
     /// Creates a matrix of the given shape filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n`-by-`n` identity matrix.
@@ -83,7 +91,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "all rows must have equal length");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -198,7 +210,10 @@ impl Matrix {
         }
         let n = self.rows;
         if b.len() != n {
-            return Err(MatrixError::ShapeMismatch { left: (n, n), right: (b.len(), 1) });
+            return Err(MatrixError::ShapeMismatch {
+                left: (n, n),
+                right: (b.len(), 1),
+            });
         }
         let mut a = self.data.clone();
         let mut x: Vec<f64> = b.to_vec();
@@ -255,7 +270,10 @@ impl Matrix {
         }
         let n = self.rows;
         if b.len() != n {
-            return Err(MatrixError::ShapeMismatch { left: (n, n), right: (b.len(), 1) });
+            return Err(MatrixError::ShapeMismatch {
+                left: (n, n),
+                right: (b.len(), 1),
+            });
         }
         // Lower-triangular factor L with self = L·Lᵀ.
         let mut l = vec![0.0f64; n * n];
@@ -426,7 +444,10 @@ mod tests {
     #[test]
     fn cholesky_rejects_indefinite() {
         let m = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]);
-        assert_eq!(m.solve_cholesky(&[1.0, 1.0]), Err(MatrixError::NotPositiveDefinite));
+        assert_eq!(
+            m.solve_cholesky(&[1.0, 1.0]),
+            Err(MatrixError::NotPositiveDefinite)
+        );
     }
 
     #[test]
@@ -441,7 +462,10 @@ mod tests {
     fn matmul_shape_mismatch_is_error() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
-        assert!(matches!(a.matmul(&b), Err(MatrixError::ShapeMismatch { .. })));
+        assert!(matches!(
+            a.matmul(&b),
+            Err(MatrixError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -469,11 +493,7 @@ mod tests {
 
     #[test]
     fn lu_and_cholesky_agree_on_spd() {
-        let m = Matrix::from_rows(&[
-            &[6.0, 2.0, 1.0],
-            &[2.0, 5.0, 2.0],
-            &[1.0, 2.0, 4.0],
-        ]);
+        let m = Matrix::from_rows(&[&[6.0, 2.0, 1.0], &[2.0, 5.0, 2.0], &[1.0, 2.0, 4.0]]);
         let b = [1.0, 2.0, 3.0];
         let x1 = m.solve_lu(&b).unwrap();
         let x2 = m.solve_cholesky(&b).unwrap();
@@ -482,11 +502,7 @@ mod tests {
 
     #[test]
     fn inverse_times_self_is_identity() {
-        let m = Matrix::from_rows(&[
-            &[4.0, 2.0, 0.5],
-            &[2.0, 5.0, 1.0],
-            &[0.5, 1.0, 3.0],
-        ]);
+        let m = Matrix::from_rows(&[&[4.0, 2.0, 0.5], &[2.0, 5.0, 1.0], &[0.5, 1.0, 3.0]]);
         let inv = m.inverse().unwrap();
         let prod = m.matmul(&inv).unwrap();
         assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-10);

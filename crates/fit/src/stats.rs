@@ -64,7 +64,11 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
 /// Residual vector `prediction − observation`.
 pub fn residuals(predictions: &[f64], observations: &[f64]) -> Vec<f64> {
     debug_assert_eq!(predictions.len(), observations.len());
-    predictions.iter().zip(observations).map(|(p, o)| p - o).collect()
+    predictions
+        .iter()
+        .zip(observations)
+        .map(|(p, o)| p - o)
+        .collect()
 }
 
 /// Root-mean-square error between predictions and observations.

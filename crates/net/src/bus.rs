@@ -12,7 +12,7 @@ use crate::NodeId;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -57,11 +57,44 @@ struct BusInner {
     next_id: u32,
     now_tick: u64,
     nodes: HashMap<NodeId, NodeEntry>,
-    links: HashMap<(NodeId, NodeId), LinkState>,
+    /// Ordered so [`Bus::advance`] flushes links in a stable order — with
+    /// jittered links, cross-link delivery order is observable downstream.
+    links: BTreeMap<(NodeId, NodeId), LinkState>,
     default_spec: LinkSpec,
+    /// Seed mixed into every link's fault generator.
+    fault_seed: u64,
+    /// Unordered node pairs that cannot reach each other (stored with the
+    /// smaller id first).
+    partitions: HashSet<(NodeId, NodeId)>,
+    /// Nodes cut off from everyone (a network-isolated machine).
+    isolated: HashSet<NodeId>,
+}
+
+/// Normalizes an unordered node pair for the partition set.
+fn pair_key(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a.0 <= b.0 {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Derives a per-link fault seed from the bus seed and the link's ends
+/// (SplitMix64 finalizer over the mixed ids).
+fn link_seed(fault_seed: u64, from: NodeId, to: NodeId) -> u64 {
+    let mut z = fault_seed ^ ((from.0 as u64) << 32) ^ (to.0 as u64) ^ 0x5851_F42D_4C95_7F2D;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl BusInner {
+    /// Whether traffic `from → to` is currently blackholed.
+    fn blocked(&self, from: NodeId, to: NodeId) -> bool {
+        self.isolated.contains(&from)
+            || self.isolated.contains(&to)
+            || self.partitions.contains(&pair_key(from, to))
+    }
     /// Delivers every message due on a link into its destination inbox.
     fn flush_link(&mut self, key: (NodeId, NodeId)) {
         let now = self.now_tick;
@@ -106,8 +139,18 @@ impl Bus {
         let mut inner = self.inner.lock();
         let id = NodeId(inner.next_id);
         inner.next_id += 1;
-        inner.nodes.insert(id, NodeEntry { label: label.to_owned(), tx });
-        Endpoint { id, rx, bus: self.clone() }
+        inner.nodes.insert(
+            id,
+            NodeEntry {
+                label: label.to_owned(),
+                tx,
+            },
+        );
+        Endpoint {
+            id,
+            rx,
+            bus: self.clone(),
+        }
     }
 
     /// Removes an endpoint; in-flight messages to it are dropped on arrival.
@@ -128,7 +171,72 @@ impl Bus {
     /// Configures the directed link `from → to`.
     pub fn set_link(&self, from: NodeId, to: NodeId, spec: LinkSpec) {
         let mut inner = self.inner.lock();
-        inner.links.insert((from, to), LinkState::new(spec));
+        let seed = link_seed(inner.fault_seed, from, to);
+        inner
+            .links
+            .insert((from, to), LinkState::new_seeded(spec, seed));
+    }
+
+    /// Sets the spec new (unconfigured) links will be created with.
+    pub fn set_default_link(&self, spec: LinkSpec) {
+        self.inner.lock().default_spec = spec;
+    }
+
+    /// Sets the seed from which per-link fault generators derive. Existing
+    /// links are re-seeded; call before injecting faults for reproducible
+    /// loss/jitter patterns.
+    pub fn set_fault_seed(&self, seed: u64) {
+        let mut inner = self.inner.lock();
+        inner.fault_seed = seed;
+        let keys: Vec<(NodeId, NodeId)> = inner.links.keys().copied().collect();
+        for key in keys {
+            let s = link_seed(seed, key.0, key.1);
+            if let Some(link) = inner.links.get_mut(&key) {
+                link.reseed(s);
+            }
+        }
+    }
+
+    /// Applies a drop probability and jitter window to EVERY link — the
+    /// ones already carved out (keeping their latency/bandwidth) and, via
+    /// the default spec, all links created later.
+    pub fn set_link_faults(&self, drop_probability: f64, jitter_ticks: u32) {
+        let mut inner = self.inner.lock();
+        inner.default_spec = inner
+            .default_spec
+            .with_faults(drop_probability, jitter_ticks);
+        for link in inner.links.values_mut() {
+            let spec = link.spec().with_faults(drop_probability, jitter_ticks);
+            link.set_spec(spec);
+        }
+    }
+
+    /// Installs or heals a bidirectional partition between `a` and `b`.
+    /// Partitioned traffic is blackholed: `send` succeeds (the sender
+    /// cannot tell) but nothing arrives.
+    pub fn set_partition(&self, a: NodeId, b: NodeId, active: bool) {
+        let mut inner = self.inner.lock();
+        if active {
+            inner.partitions.insert(pair_key(a, b));
+        } else {
+            inner.partitions.remove(&pair_key(a, b));
+        }
+    }
+
+    /// Cuts a node off from (or reconnects it to) everyone — the
+    /// whole-machine variant of [`Bus::set_partition`].
+    pub fn set_isolated(&self, node: NodeId, active: bool) {
+        let mut inner = self.inner.lock();
+        if active {
+            inner.isolated.insert(node);
+        } else {
+            inner.isolated.remove(&node);
+        }
+    }
+
+    /// Whether a node is currently isolated.
+    pub fn is_isolated(&self, node: NodeId) -> bool {
+        self.inner.lock().isolated.contains(&node)
     }
 
     /// Sends `payload` from `from` to `to` over the configured link
@@ -143,8 +251,17 @@ impl Bus {
         }
         let key = (from, to);
         let default_spec = inner.default_spec;
+        let seed = link_seed(inner.fault_seed, from, to);
         let now = inner.now_tick;
-        let link = inner.links.entry(key).or_insert_with(|| LinkState::new(default_spec));
+        let blocked = inner.blocked(from, to);
+        let link = inner
+            .links
+            .entry(key)
+            .or_insert_with(|| LinkState::new_seeded(default_spec, seed));
+        if blocked {
+            link.drop_at_send(payload.len() as u64);
+            return Ok(());
+        }
         link.enqueue(now, Message { from, to, payload });
         // Zero-latency traffic is deliverable right away.
         inner.flush_link(key);
@@ -178,6 +295,7 @@ impl Bus {
                     bytes_sent: link.bytes_sent,
                     bytes_delivered: link.bytes_delivered,
                     messages_sent: link.messages_sent,
+                    messages_dropped: link.messages_dropped,
                     in_flight: link.in_flight() as u64,
                 },
             );
@@ -195,6 +313,8 @@ pub struct LinkTraffic {
     pub bytes_delivered: u64,
     /// Messages ever sent on the link.
     pub messages_sent: u64,
+    /// Messages lost to drop probability, partitions or isolation.
+    pub messages_dropped: u64,
     /// Messages currently in flight.
     pub in_flight: u64,
 }
@@ -219,6 +339,11 @@ impl TrafficStats {
     /// Total messages sent across all links.
     pub fn total_messages(&self) -> u64 {
         self.per_link.values().map(|l| l.messages_sent).sum()
+    }
+
+    /// Total messages lost across all links (faults, partitions, isolation).
+    pub fn total_dropped(&self) -> u64 {
+        self.per_link.values().map(|l| l.messages_dropped).sum()
     }
 
     /// Bytes sent from `node` to anyone (the paper's \[10\] observed this
@@ -381,6 +506,64 @@ mod tests {
     }
 
     #[test]
+    fn partition_blackholes_both_directions() {
+        let bus = Bus::new();
+        let a = bus.register("a");
+        let b = bus.register("b");
+        bus.set_partition(a.id(), b.id(), true);
+        a.send(b.id(), Bytes::from_static(b"x")).unwrap();
+        b.send(a.id(), Bytes::from_static(b"y")).unwrap();
+        assert!(
+            b.try_recv().is_none(),
+            "partitioned traffic must not arrive"
+        );
+        assert!(a.try_recv().is_none());
+        assert_eq!(bus.stats().total_dropped(), 2);
+        // Healing the partition restores delivery.
+        bus.set_partition(a.id(), b.id(), false);
+        a.send(b.id(), Bytes::from_static(b"z")).unwrap();
+        assert_eq!(&b.try_recv().unwrap().payload[..], b"z");
+    }
+
+    #[test]
+    fn isolated_node_reaches_no_one() {
+        let bus = Bus::new();
+        let a = bus.register("a");
+        let b = bus.register("b");
+        let c = bus.register("c");
+        bus.set_isolated(b.id(), true);
+        assert!(bus.is_isolated(b.id()));
+        a.send(b.id(), Bytes::from_static(b"in")).unwrap();
+        b.send(c.id(), Bytes::from_static(b"out")).unwrap();
+        a.send(c.id(), Bytes::from_static(b"ok")).unwrap();
+        assert!(b.try_recv().is_none());
+        assert_eq!(c.drain().len(), 1, "unrelated traffic still flows");
+        bus.set_isolated(b.id(), false);
+        a.send(b.id(), Bytes::from_static(b"back")).unwrap();
+        assert!(b.try_recv().is_some());
+    }
+
+    #[test]
+    fn link_faults_apply_to_existing_links() {
+        let bus = Bus::new();
+        let a = bus.register("a");
+        let b = bus.register("b");
+        // Carve out the link fault-free first.
+        a.send(b.id(), Bytes::from_static(b"pre")).unwrap();
+        assert!(b.try_recv().is_some());
+        bus.set_fault_seed(0xBEEF);
+        bus.set_link_faults(1.0, 0);
+        for _ in 0..10 {
+            a.send(b.id(), Bytes::from_static(b"lost")).unwrap();
+        }
+        assert!(b.try_recv().is_none(), "p=1 loses everything");
+        assert_eq!(bus.stats().link(a.id(), b.id()).messages_dropped, 10);
+        bus.set_link_faults(0.0, 0);
+        a.send(b.id(), Bytes::from_static(b"post")).unwrap();
+        assert!(b.try_recv().is_some());
+    }
+
+    #[test]
     fn threaded_send_and_blocking_recv() {
         let bus = Bus::new();
         let a = bus.register("a");
@@ -388,9 +571,12 @@ mod tests {
         let (a_id, b_id) = (a.id(), b.id());
         let bus2 = bus.clone();
         let handle = std::thread::spawn(move || {
-            bus2.send(a_id, b_id, Bytes::from_static(b"cross-thread")).unwrap();
+            bus2.send(a_id, b_id, Bytes::from_static(b"cross-thread"))
+                .unwrap();
         });
-        let msg = b.recv_timeout(std::time::Duration::from_secs(1)).expect("delivered");
+        let msg = b
+            .recv_timeout(std::time::Duration::from_secs(1))
+            .expect("delivered");
         assert_eq!(&msg.payload[..], b"cross-thread");
         handle.join().unwrap();
     }

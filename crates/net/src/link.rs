@@ -1,38 +1,76 @@
-//! Per-link latency and bandwidth modelling.
+//! Per-link latency, bandwidth and fault modelling.
 //!
 //! A link connects an ordered pair of nodes. Its [`LinkSpec`] describes
-//! latency (in simulation ticks) and an optional bandwidth cap (bytes per
-//! tick). [`LinkState`] is the runtime queue that enforces the cap: traffic
+//! latency (in simulation ticks), an optional bandwidth cap (bytes per
+//! tick), and the link's fault behaviour: a drop probability and a jitter
+//! window. [`LinkState`] is the runtime queue that enforces the cap: traffic
 //! beyond the per-tick budget stays queued and drains on subsequent ticks,
 //! which is how a saturated server uplink behaves in the real deployments
-//! the paper targets.
+//! the paper targets. Faults are sampled from a per-link deterministic
+//! generator seeded by the bus, so a given seed always loses and delays the
+//! same messages.
 
 use crate::bus::Message;
 use std::collections::VecDeque;
 
 /// Static description of a link's quality.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct LinkSpec {
     /// Delivery delay in whole simulation ticks (0 = same tick).
     pub latency_ticks: u32,
     /// Maximum payload bytes leaving the link per tick; `None` = unlimited.
     pub bytes_per_tick: Option<u64>,
+    /// Probability in `[0, 1]` that a message staged on this link is
+    /// silently dropped (0 = reliable).
+    pub drop_probability: f64,
+    /// Maximum extra delivery delay in ticks, sampled uniformly per
+    /// message (0 = no jitter). Delivery stays in-order: a delayed head
+    /// of line also delays everything behind it (TCP-like semantics).
+    pub jitter_ticks: u32,
 }
 
-
 impl LinkSpec {
-    /// An ideal link: no latency, no bandwidth cap.
-    pub const IDEAL: LinkSpec = LinkSpec { latency_ticks: 0, bytes_per_tick: None };
+    /// An ideal link: no latency, no bandwidth cap, no faults.
+    pub const IDEAL: LinkSpec = LinkSpec {
+        latency_ticks: 0,
+        bytes_per_tick: None,
+        drop_probability: 0.0,
+        jitter_ticks: 0,
+    };
 
     /// A link with fixed latency and unlimited bandwidth.
     pub fn with_latency(latency_ticks: u32) -> Self {
-        Self { latency_ticks, bytes_per_tick: None }
+        Self {
+            latency_ticks,
+            ..Self::IDEAL
+        }
     }
 
     /// A link with a bandwidth cap and no added latency.
     pub fn with_bandwidth(bytes_per_tick: u64) -> Self {
-        Self { latency_ticks: 0, bytes_per_tick: Some(bytes_per_tick) }
+        Self {
+            bytes_per_tick: Some(bytes_per_tick),
+            ..Self::IDEAL
+        }
+    }
+
+    /// A lossy link: drops each message with probability `drop_probability`.
+    pub fn lossy(drop_probability: f64) -> Self {
+        Self {
+            drop_probability,
+            ..Self::IDEAL
+        }
+    }
+
+    /// Returns this spec with the fault parameters replaced.
+    pub fn with_faults(mut self, drop_probability: f64, jitter_ticks: u32) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&drop_probability),
+            "drop probability must be in [0, 1]"
+        );
+        self.drop_probability = drop_probability;
+        self.jitter_ticks = jitter_ticks;
+        self
     }
 }
 
@@ -55,18 +93,36 @@ pub struct LinkState {
     budget_left: u64,
     /// Messages delivered in `budget_tick` (for the oversize-passes-alone rule).
     delivered_this_tick: u64,
+    /// Fault-sampling generator state (SplitMix64).
+    rng: u64,
     /// Total payload bytes ever enqueued on this link.
     pub bytes_sent: u64,
     /// Total payload bytes ever delivered from this link.
     pub bytes_delivered: u64,
     /// Total messages ever enqueued.
     pub messages_sent: u64,
+    /// Messages lost to drop probability or partitions.
+    pub messages_dropped: u64,
 }
 
 impl LinkState {
     /// Creates the runtime state for a link with the given spec.
     pub fn new(spec: LinkSpec) -> Self {
-        Self { spec, ..Self::default() }
+        Self {
+            spec,
+            ..Self::default()
+        }
+    }
+
+    /// Creates the runtime state with an explicit fault seed (links carved
+    /// out of the same bus get distinct per-pair seeds, so fault patterns
+    /// are independent but reproducible).
+    pub fn new_seeded(spec: LinkSpec, seed: u64) -> Self {
+        Self {
+            spec,
+            rng: seed,
+            ..Self::default()
+        }
     }
 
     /// The link's spec.
@@ -74,24 +130,67 @@ impl LinkState {
         self.spec
     }
 
+    /// Replaces the spec; queued traffic keeps its original schedule.
+    pub fn set_spec(&mut self, spec: LinkSpec) {
+        self.spec = spec;
+    }
+
+    /// Re-seeds the fault generator.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = seed;
+    }
+
     /// Number of messages currently in flight.
     pub fn in_flight(&self) -> usize {
         self.queue.len()
     }
 
-    /// Stages a message sent at `now_tick`.
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64 — dependency-free, passes through zero states fine.
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Counts a message that was eaten before entering the queue (a
+    /// partitioned or isolated destination behaves like an IP blackhole:
+    /// the sender pays for the send, nothing arrives).
+    pub fn drop_at_send(&mut self, payload_bytes: u64) {
+        self.bytes_sent += payload_bytes;
+        self.messages_sent += 1;
+        self.messages_dropped += 1;
+    }
+
+    /// Stages a message sent at `now_tick`; it may be lost or delayed
+    /// according to the spec's fault parameters.
     pub fn enqueue(&mut self, now_tick: u64, message: Message) {
         self.bytes_sent += message.payload.len() as u64;
         self.messages_sent += 1;
-        let due_tick = now_tick + self.spec.latency_ticks as u64;
+        if self.spec.drop_probability > 0.0 && self.next_f64() < self.spec.drop_probability {
+            self.messages_dropped += 1;
+            return;
+        }
+        let jitter = if self.spec.jitter_ticks > 0 {
+            self.next_u64() % (self.spec.jitter_ticks as u64 + 1)
+        } else {
+            0
+        };
+        let due_tick = now_tick + self.spec.latency_ticks as u64 + jitter;
         self.queue.push_back(Staged { due_tick, message });
     }
 
     /// Pops every message deliverable at `now_tick`, honouring the
     /// bandwidth cap. Delivery is strictly in-order: a message blocked by
-    /// the cap also blocks everything behind it (TCP-like semantics). The
-    /// per-tick byte budget persists across calls within the same tick, so
-    /// eager flushing after each send cannot exceed the cap.
+    /// the cap (or still jitter-delayed) also blocks everything behind it
+    /// (TCP-like semantics). The per-tick byte budget persists across calls
+    /// within the same tick, so eager flushing after each send cannot
+    /// exceed the cap.
     pub fn drain_due(&mut self, now_tick: u64) -> Vec<Message> {
         if now_tick != self.budget_tick || (self.budget_left == 0 && self.delivered_this_tick == 0)
         {
@@ -127,7 +226,11 @@ mod tests {
     use bytes::Bytes;
 
     fn msg(bytes: usize) -> Message {
-        Message { from: NodeId(0), to: NodeId(1), payload: Bytes::from(vec![0u8; bytes]) }
+        Message {
+            from: NodeId(0),
+            to: NodeId(1),
+            payload: Bytes::from(vec![0u8; bytes]),
+        }
     }
 
     #[test]
@@ -202,5 +305,81 @@ mod tests {
     fn drain_before_send_is_empty() {
         let mut link = LinkState::new(LinkSpec::IDEAL);
         assert!(link.drain_due(100).is_empty());
+    }
+
+    #[test]
+    fn lossy_link_drops_a_fraction() {
+        let mut link = LinkState::new_seeded(LinkSpec::lossy(0.5), 0xF00D);
+        for _ in 0..1000 {
+            link.enqueue(0, msg(1));
+        }
+        assert_eq!(link.messages_sent, 1000);
+        let dropped = link.messages_dropped;
+        assert!(
+            (300..=700).contains(&dropped),
+            "p=0.5 should lose roughly half, lost {dropped}"
+        );
+        assert_eq!(link.drain_due(0).len() as u64, 1000 - dropped);
+    }
+
+    #[test]
+    fn loss_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut link = LinkState::new_seeded(LinkSpec::lossy(0.3), seed);
+            for _ in 0..200 {
+                link.enqueue(0, msg(1));
+            }
+            link.messages_dropped
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds lose different messages");
+    }
+
+    #[test]
+    fn reliable_link_never_drops() {
+        let mut link = LinkState::new_seeded(LinkSpec::IDEAL, 42);
+        for _ in 0..500 {
+            link.enqueue(0, msg(3));
+        }
+        assert_eq!(link.messages_dropped, 0);
+        assert_eq!(link.drain_due(0).len(), 500);
+    }
+
+    #[test]
+    fn jitter_delays_but_delivers_everything_in_order() {
+        let spec = LinkSpec::IDEAL.with_faults(0.0, 4);
+        let mut link = LinkState::new_seeded(spec, 99);
+        for i in 0..50u8 {
+            let mut m = msg(1);
+            m.payload = Bytes::from(vec![i]);
+            link.enqueue(0, m);
+        }
+        let mut got = Vec::new();
+        for tick in 0..10 {
+            got.extend(link.drain_due(tick));
+        }
+        assert_eq!(got.len(), 50, "jitter must not lose messages");
+        let order: Vec<u8> = got.iter().map(|m| m.payload[0]).collect();
+        assert_eq!(
+            order,
+            (0u8..50).collect::<Vec<_>>(),
+            "in-order despite jitter"
+        );
+        // With jitter up to 4 ticks, not everything arrives at tick 0.
+        let mut link2 = LinkState::new_seeded(spec, 99);
+        for _ in 0..50 {
+            link2.enqueue(0, msg(1));
+        }
+        assert!(link2.drain_due(0).len() < 50, "some messages were delayed");
+    }
+
+    #[test]
+    fn drop_at_send_counts_like_a_blackhole() {
+        let mut link = LinkState::new(LinkSpec::IDEAL);
+        link.drop_at_send(64);
+        assert_eq!(link.messages_sent, 1);
+        assert_eq!(link.messages_dropped, 1);
+        assert_eq!(link.bytes_sent, 64);
+        assert!(link.drain_due(0).is_empty());
     }
 }

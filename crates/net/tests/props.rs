@@ -15,7 +15,11 @@ proptest! {
         let bus = Bus::new();
         let a = bus.register("a");
         let b = bus.register("b");
-        bus.set_link(a.id(), b.id(), LinkSpec { latency_ticks: latency, bytes_per_tick: cap });
+        bus.set_link(
+            a.id(),
+            b.id(),
+            LinkSpec { latency_ticks: latency, bytes_per_tick: cap, ..LinkSpec::IDEAL },
+        );
 
         let total_bytes: usize = sizes.iter().sum();
         for (i, &size) in sizes.iter().enumerate() {
@@ -78,5 +82,36 @@ proptest! {
         for &delivered in &per_tick {
             prop_assert!(delivered <= cap_factor, "cap exceeded: {delivered} > {cap_factor}");
         }
+    }
+
+    #[test]
+    fn lossy_jittery_link_conserves_messages(
+        count in 1usize..60,
+        loss in 0.0f64..0.9,
+        jitter in 0u32..6,
+        seed in any::<u64>(),
+    ) {
+        // delivered + dropped = sent, delivery stays in-order, and the
+        // fault pattern is a pure function of the seed.
+        let bus = Bus::new();
+        let a = bus.register("a");
+        let b = bus.register("b");
+        bus.set_fault_seed(seed);
+        bus.set_link(a.id(), b.id(), LinkSpec::IDEAL.with_faults(loss, jitter));
+        for i in 0..count {
+            a.send(b.id(), Bytes::from(vec![i as u8])).unwrap();
+        }
+        let mut received = Vec::new();
+        for tick in 0..(jitter as u64 + 2) {
+            bus.advance(tick);
+            received.extend(b.drain());
+        }
+        let stats = bus.stats().link(a.id(), b.id());
+        prop_assert_eq!(stats.messages_sent, count as u64);
+        prop_assert_eq!(stats.messages_dropped + received.len() as u64, count as u64);
+        let seq: Vec<u8> = received.iter().map(|m| m.payload[0]).collect();
+        let mut sorted = seq.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(seq, sorted, "survivors arrive in send order");
     }
 }

@@ -1,7 +1,7 @@
 //! The four load-balancing actions of RTF-RMS (§IV, Fig. 3).
 
-use rtf_core::zone::ZoneId;
 use rtf_core::net::NodeId;
+use rtf_core::zone::ZoneId;
 
 /// A load-balancing decision emitted by a policy. The session driver (the
 /// `roia-sim` cluster) executes it against the actual servers and resource
@@ -62,19 +62,86 @@ pub fn rebalance_share(total_users: u32, old_replicas: u32) -> u32 {
     total_users / (old_replicas * (old_replicas + 1))
 }
 
-/// A timestamped record of an executed action.
+/// Identifier of one logged action (unique within its [`ActionLog`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActionId(pub u64);
+
+/// What became of an issued action. The session driver executes actions
+/// against real servers and a fallible cloud, so "the policy decided it"
+/// and "it happened" are different events — this type records the second.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionOutcome {
+    /// Issued; no outcome reported yet.
+    Pending,
+    /// Executed successfully (machine booted, migrations scheduled, ...).
+    Succeeded,
+    /// Refused synchronously: no capacity, unknown or dead server.
+    Rejected,
+    /// Accepted but failed later (e.g. the leased machine never booted).
+    Failed,
+    /// No outcome arrived within the controller's per-action timeout.
+    TimedOut,
+    /// Given up after exhausting retries; a stronger action was issued in
+    /// its place (replica boot → substitution).
+    Escalated,
+    /// Given up entirely; the controller degrades gracefully instead.
+    Abandoned,
+}
+
+impl ActionOutcome {
+    /// Whether the outcome is final (everything except `Pending`).
+    pub fn is_terminal(self) -> bool {
+        self != ActionOutcome::Pending
+    }
+
+    /// Short name for logs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ActionOutcome::Pending => "pending",
+            ActionOutcome::Succeeded => "succeeded",
+            ActionOutcome::Rejected => "rejected",
+            ActionOutcome::Failed => "failed",
+            ActionOutcome::TimedOut => "timed_out",
+            ActionOutcome::Escalated => "escalated",
+            ActionOutcome::Abandoned => "abandoned",
+        }
+    }
+
+    /// Every outcome, in display order (for report tables).
+    pub const ALL: [ActionOutcome; 7] = [
+        ActionOutcome::Pending,
+        ActionOutcome::Succeeded,
+        ActionOutcome::Rejected,
+        ActionOutcome::Failed,
+        ActionOutcome::TimedOut,
+        ActionOutcome::Escalated,
+        ActionOutcome::Abandoned,
+    ];
+}
+
+/// A timestamped record of an issued action and its fate.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LoggedAction {
+    /// The action's ledger id.
+    pub id: ActionId,
     /// Tick at which the action was emitted.
     pub tick: u64,
     /// The action.
     pub action: Action,
+    /// Retry attempt (0 = first issue).
+    pub attempt: u32,
+    /// The action's latest known outcome.
+    pub outcome: ActionOutcome,
+    /// Tick of the last outcome update, if any arrived.
+    pub resolved_at: Option<u64>,
 }
 
-/// History of the actions a controller emitted.
+/// History of the actions a controller emitted, with their outcomes — the
+/// controller's pending-action ledger persists here.
 #[derive(Debug, Clone, Default)]
 pub struct ActionLog {
     entries: Vec<LoggedAction>,
+    next_id: u64,
 }
 
 impl ActionLog {
@@ -83,9 +150,43 @@ impl ActionLog {
         Self::default()
     }
 
-    /// Appends an action.
-    pub fn push(&mut self, tick: u64, action: Action) {
-        self.entries.push(LoggedAction { tick, action });
+    /// Appends an action (attempt 0, outcome pending) and returns its id.
+    pub fn push(&mut self, tick: u64, action: Action) -> ActionId {
+        self.push_attempt(tick, action, 0)
+    }
+
+    /// Appends a retry of an action and returns its id.
+    pub fn push_attempt(&mut self, tick: u64, action: Action, attempt: u32) -> ActionId {
+        let id = ActionId(self.next_id);
+        self.next_id += 1;
+        self.entries.push(LoggedAction {
+            id,
+            tick,
+            action,
+            attempt,
+            outcome: ActionOutcome::Pending,
+            resolved_at: None,
+        });
+        id
+    }
+
+    /// Records an action's outcome (the latest report wins — a timeout may
+    /// later be upgraded to `Escalated`/`Abandoned` by the retry machinery).
+    /// Returns `false` for an unknown id.
+    pub fn resolve(&mut self, id: ActionId, outcome: ActionOutcome, tick: u64) -> bool {
+        match self.entries.iter_mut().find(|e| e.id == id) {
+            Some(entry) => {
+                entry.outcome = outcome;
+                entry.resolved_at = Some(tick);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Looks up one entry by id.
+    pub fn get(&self, id: ActionId) -> Option<&LoggedAction> {
+        self.entries.iter().find(|e| e.id == id)
     }
 
     /// All entries in emission order.
@@ -95,7 +196,22 @@ impl ActionLog {
 
     /// Number of actions of a given kind.
     pub fn count(&self, kind: &str) -> usize {
-        self.entries.iter().filter(|e| e.action.kind() == kind).count()
+        self.entries
+            .iter()
+            .filter(|e| e.action.kind() == kind)
+            .count()
+    }
+
+    /// Number of entries with a given outcome.
+    pub fn count_outcome(&self, outcome: ActionOutcome) -> usize {
+        self.entries.iter().filter(|e| e.outcome == outcome).count()
+    }
+
+    /// Entries still awaiting an outcome.
+    pub fn unresolved(&self) -> impl Iterator<Item = &LoggedAction> {
+        self.entries
+            .iter()
+            .filter(|e| e.outcome == ActionOutcome::Pending)
     }
 
     /// Total users moved by migrate actions.
@@ -131,14 +247,22 @@ mod tests {
         let per_old = n / l - share;
         let new_server = share * l;
         // All five servers end within one share of each other.
-        assert!(per_old.abs_diff(new_server) <= l + 1, "{per_old} vs {new_server}");
+        assert!(
+            per_old.abs_diff(new_server) <= l + 1,
+            "{per_old} vs {new_server}"
+        );
     }
 
     #[test]
     fn action_kinds() {
         assert_eq!(Action::AddReplica { zone: ZoneId(1) }.kind(), "add_replica");
         assert_eq!(
-            Action::Migrate { from: NodeId(1), to: NodeId(2), users: 3 }.kind(),
+            Action::Migrate {
+                from: NodeId(1),
+                to: NodeId(2),
+                users: 3
+            }
+            .kind(),
             "migrate"
         );
     }
@@ -147,11 +271,44 @@ mod tests {
     fn log_counts_and_sums() {
         let mut log = ActionLog::new();
         log.push(10, Action::AddReplica { zone: ZoneId(1) });
-        log.push(11, Action::Migrate { from: NodeId(1), to: NodeId(2), users: 5 });
-        log.push(12, Action::Migrate { from: NodeId(1), to: NodeId(3), users: 7 });
+        log.push(
+            11,
+            Action::Migrate {
+                from: NodeId(1),
+                to: NodeId(2),
+                users: 5,
+            },
+        );
+        log.push(
+            12,
+            Action::Migrate {
+                from: NodeId(1),
+                to: NodeId(3),
+                users: 7,
+            },
+        );
         assert_eq!(log.count("add_replica"), 1);
         assert_eq!(log.count("migrate"), 2);
         assert_eq!(log.users_migrated(), 12);
         assert_eq!(log.entries()[0].tick, 10);
+    }
+
+    #[test]
+    fn outcomes_resolve_by_id() {
+        let mut log = ActionLog::new();
+        let a = log.push(0, Action::AddReplica { zone: ZoneId(1) });
+        let b = log.push(5, Action::AddReplica { zone: ZoneId(1) });
+        assert_ne!(a, b);
+        assert_eq!(log.count_outcome(ActionOutcome::Pending), 2);
+        assert!(log.resolve(a, ActionOutcome::Succeeded, 60));
+        assert!(log.resolve(b, ActionOutcome::Rejected, 6));
+        assert_eq!(log.count_outcome(ActionOutcome::Pending), 0);
+        assert_eq!(log.get(a).unwrap().resolved_at, Some(60));
+        assert_eq!(log.get(b).unwrap().outcome, ActionOutcome::Rejected);
+        assert!(!log.resolve(ActionId(99), ActionOutcome::Failed, 0));
+        // The latest report wins: a timeout later turns into an abandon.
+        assert!(log.resolve(b, ActionOutcome::Abandoned, 10));
+        assert_eq!(log.get(b).unwrap().outcome, ActionOutcome::Abandoned);
+        assert_eq!(log.unresolved().count(), 0);
     }
 }

@@ -1,13 +1,55 @@
-//! The RTF-RMS control loop.
+//! The RTF-RMS control loop, hardened for a fallible substrate.
 //!
-//! The controller is deliberately thin: every control interval (one
-//! "second" of Eq. (5)'s per-second budgets) it feeds the current
-//! [`ZoneSnapshot`] to its [`Policy`] and logs the emitted actions. The
-//! session driver executes them against the servers and the resource pool.
+//! Every control interval (one "second" of Eq. (5)'s per-second budgets)
+//! the controller feeds the current [`ZoneSnapshot`] to its [`Policy`] and
+//! issues the emitted actions. Unlike the paper's benign testbed, the
+//! simulated cloud can refuse or fail an action — so each issued action
+//! carries an [`ActionId`] and sits in a pending ledger until the session
+//! driver reports its outcome via [`RmsController::report`]:
+//!
+//! * outcomes missing past a per-action timeout are marked
+//!   [`ActionOutcome::TimedOut`];
+//! * failed/rejected/timed-out scale-ups are retried with exponential
+//!   backoff, at most [`RetryConfig::max_retries`] times;
+//! * a replica boot that exhausts its retries escalates to a resource
+//!   substitution ([`ActionOutcome::Escalated`]);
+//! * a substitution that exhausts its retries is abandoned and the
+//!   controller degrades gracefully: for a cooldown window it stops asking
+//!   the broken cloud for machines and balances with migrations only.
+//!
+//! Migrations and removals are not retried — the next policy round
+//! re-plans them from fresh load data, which beats replaying a stale plan.
 
-use crate::actions::{Action, ActionLog};
+use crate::actions::{Action, ActionId, ActionLog, ActionOutcome};
 use crate::monitor::ZoneSnapshot;
 use crate::policy::Policy;
+
+/// Retry/timeout behaviour of the pending-action ledger.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryConfig {
+    /// Ticks an issued action may stay pending before it counts as timed
+    /// out (must exceed the pool's startup delay, or every boot "times
+    /// out" and is double-provisioned).
+    pub action_timeout_ticks: u64,
+    /// How many times a failed scale-up is retried before escalating.
+    pub max_retries: u32,
+    /// Backoff before retry `n` is `backoff_base_ticks << (n - 1)`.
+    pub backoff_base_ticks: u64,
+    /// How long the controller stays in migration-only mode after
+    /// abandoning a substitution.
+    pub degraded_cooldown_ticks: u64,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        Self {
+            action_timeout_ticks: 150,
+            max_retries: 2,
+            backoff_base_ticks: 50,
+            degraded_cooldown_ticks: 750,
+        }
+    }
+}
 
 /// Controller configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -15,12 +57,52 @@ pub struct ControllerConfig {
     /// Ticks between control rounds (25 ticks at 25 Hz = the 1-second
     /// granularity of the paper's migrations-per-second budgets).
     pub control_interval_ticks: u64,
+    /// Retry/timeout behaviour.
+    pub retry: RetryConfig,
 }
 
 impl Default for ControllerConfig {
     fn default() -> Self {
-        Self { control_interval_ticks: 25 }
+        Self {
+            control_interval_ticks: 25,
+            retry: RetryConfig::default(),
+        }
     }
+}
+
+/// An action handed to the session driver, tagged with its ledger id so
+/// the driver can report what became of it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IssuedAction {
+    /// Ledger id to pass back to [`RmsController::report`].
+    pub id: ActionId,
+    /// The action to execute.
+    pub action: Action,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingAction {
+    id: ActionId,
+    action: Action,
+    deadline: u64,
+    attempt: u32,
+}
+
+/// What a queued follow-up will issue once its backoff elapses.
+#[derive(Debug, Clone, Copy)]
+enum Planned {
+    /// Re-issue the same action.
+    Retry(Action),
+    /// Escalation: substitute the most loaded standard server, picked from
+    /// the snapshot at issue time (the original target data is stale).
+    SubstituteHottest,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct QueuedFollowUp {
+    plan: Planned,
+    not_before: u64,
+    attempt: u32,
 }
 
 /// The RTF-RMS controller for one zone.
@@ -29,12 +111,23 @@ pub struct RmsController {
     config: ControllerConfig,
     log: ActionLog,
     last_round: Option<u64>,
+    pending: Vec<PendingAction>,
+    follow_ups: Vec<QueuedFollowUp>,
+    degraded_until: Option<u64>,
 }
 
 impl RmsController {
     /// Creates a controller around a policy.
     pub fn new(policy: Box<dyn Policy>, config: ControllerConfig) -> Self {
-        Self { policy, config, log: ActionLog::new(), last_round: None }
+        Self {
+            policy,
+            config,
+            log: ActionLog::new(),
+            last_round: None,
+            pending: Vec::new(),
+            follow_ups: Vec::new(),
+            degraded_until: None,
+        }
     }
 
     /// The active policy's name.
@@ -42,9 +135,19 @@ impl RmsController {
         self.policy.name()
     }
 
-    /// The action history.
+    /// The action history (the ledger).
     pub fn log(&self) -> &ActionLog {
         &self.log
+    }
+
+    /// Actions issued but not yet resolved.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether the controller is in migration-only degraded mode.
+    pub fn is_degraded(&self, now_tick: u64) -> bool {
+        self.degraded_until.is_some_and(|until| now_tick < until)
     }
 
     /// Whether a control round is due at `now_tick`.
@@ -55,18 +158,146 @@ impl RmsController {
         }
     }
 
-    /// Runs one control round if due; returns the actions to execute
-    /// (empty when not due or the policy is satisfied).
-    pub fn control(&mut self, snapshot: &ZoneSnapshot, now_tick: u64) -> Vec<Action> {
+    /// Reports the outcome of an issued action. `Rejected` and `Failed`
+    /// scale-ups are queued for retry/escalation; late reports for actions
+    /// the ledger already timed out are ignored.
+    pub fn report(&mut self, id: ActionId, outcome: ActionOutcome, now_tick: u64) {
+        let Some(pos) = self.pending.iter().position(|p| p.id == id) else {
+            return;
+        };
+        let entry = self.pending.swap_remove(pos);
+        self.log.resolve(id, outcome, now_tick);
+        if matches!(outcome, ActionOutcome::Rejected | ActionOutcome::Failed) {
+            self.schedule_follow_up(entry.id, entry.action, entry.attempt, now_tick);
+        }
+    }
+
+    /// Runs one control round if due; returns the actions to execute.
+    /// Besides the policy's decisions this emits due retries, sweeps the
+    /// pending ledger for timeouts, and — while degraded — filters out
+    /// scale-up actions the cloud keeps failing.
+    pub fn control(&mut self, snapshot: &ZoneSnapshot, now_tick: u64) -> Vec<IssuedAction> {
         if !self.is_due(now_tick) {
             return Vec::new();
         }
         self.last_round = Some(now_tick);
-        let actions = self.policy.decide(snapshot, now_tick);
-        for action in &actions {
-            self.log.push(now_tick, *action);
+        let mut issued = Vec::new();
+
+        // 1. Sweep the ledger: pending actions past their deadline timed
+        //    out; treat like a failure (retry or escalate).
+        let mut overdue = Vec::new();
+        self.pending.retain(|p| {
+            if p.deadline <= now_tick {
+                overdue.push(*p);
+                false
+            } else {
+                true
+            }
+        });
+        for p in overdue {
+            self.log.resolve(p.id, ActionOutcome::TimedOut, now_tick);
+            self.schedule_follow_up(p.id, p.action, p.attempt, now_tick);
         }
-        actions
+
+        // 2. Emit follow-ups whose backoff elapsed.
+        let mut due = Vec::new();
+        self.follow_ups.retain(|f| {
+            if f.not_before <= now_tick {
+                due.push(*f);
+                false
+            } else {
+                true
+            }
+        });
+        for f in due {
+            let action = match f.plan {
+                Planned::Retry(action) => Some(action),
+                Planned::SubstituteHottest => snapshot
+                    .servers
+                    .iter()
+                    .filter(|s| s.speedup <= 1.0)
+                    .max_by_key(|s| s.active_users)
+                    .map(|s| Action::Substitute {
+                        zone: snapshot.zone,
+                        old: s.server,
+                    }),
+            };
+            if let Some(action) = action {
+                issued.push(self.issue(action, f.attempt, now_tick));
+            }
+        }
+
+        // 3. The policy's round. While a scale-up is already in flight
+        //    (pending boot or queued retry) further scale-ups are
+        //    suppressed, so a slow cloud is not asked twice for the same
+        //    machine; while degraded they are dropped entirely.
+        let decisions = self.policy.decide(snapshot, now_tick);
+        for action in decisions {
+            let scale_up = matches!(
+                action,
+                Action::AddReplica { .. } | Action::Substitute { .. }
+            );
+            if scale_up && (self.is_degraded(now_tick) || self.scale_up_in_flight()) {
+                continue;
+            }
+            issued.push(self.issue(action, 0, now_tick));
+        }
+        issued
+    }
+
+    fn issue(&mut self, action: Action, attempt: u32, now_tick: u64) -> IssuedAction {
+        let id = self.log.push_attempt(now_tick, action, attempt);
+        self.pending.push(PendingAction {
+            id,
+            action,
+            deadline: now_tick + self.config.retry.action_timeout_ticks,
+            attempt,
+        });
+        IssuedAction { id, action }
+    }
+
+    fn scale_up_in_flight(&self) -> bool {
+        self.pending.iter().any(|p| {
+            matches!(
+                p.action,
+                Action::AddReplica { .. } | Action::Substitute { .. }
+            )
+        }) || !self.follow_ups.is_empty()
+    }
+
+    /// Decides what happens after a failed attempt: bounded retry with
+    /// exponential backoff, then escalation (AddReplica → Substitute),
+    /// then graceful degradation.
+    fn schedule_follow_up(&mut self, id: ActionId, action: Action, attempt: u32, now_tick: u64) {
+        let retry = &self.config.retry;
+        match action {
+            // Re-planned from fresh data at the next policy round instead.
+            Action::Migrate { .. } | Action::RemoveReplica { .. } => {}
+            Action::AddReplica { .. } | Action::Substitute { .. } => {
+                if attempt < retry.max_retries {
+                    let backoff = retry.backoff_base_ticks << attempt;
+                    self.follow_ups.push(QueuedFollowUp {
+                        plan: Planned::Retry(action),
+                        not_before: now_tick + backoff,
+                        attempt: attempt + 1,
+                    });
+                } else if matches!(action, Action::AddReplica { .. }) {
+                    // Replication keeps failing — ask for the bigger
+                    // machine class instead.
+                    self.log.resolve(id, ActionOutcome::Escalated, now_tick);
+                    self.follow_ups.push(QueuedFollowUp {
+                        plan: Planned::SubstituteHottest,
+                        not_before: now_tick + retry.backoff_base_ticks,
+                        attempt: 0,
+                    });
+                } else {
+                    // Substitution failed too: stop asking the cloud and
+                    // balance with migrations only for a while.
+                    self.log.resolve(id, ActionOutcome::Abandoned, now_tick);
+                    self.degraded_until = Some(now_tick + retry.degraded_cooldown_ticks);
+                }
+            }
+        }
     }
 }
 
@@ -74,8 +305,8 @@ impl RmsController {
 mod tests {
     use super::*;
     use crate::monitor::ServerSnapshot;
-    use rtf_core::zone::ZoneId;
     use rtf_core::net::NodeId;
+    use rtf_core::zone::ZoneId;
 
     /// A policy that always emits one AddReplica.
     struct Always;
@@ -84,7 +315,9 @@ mod tests {
             "always"
         }
         fn decide(&mut self, snapshot: &ZoneSnapshot, _now: u64) -> Vec<Action> {
-            vec![Action::AddReplica { zone: snapshot.zone }]
+            vec![Action::AddReplica {
+                zone: snapshot.zone,
+            }]
         }
     }
 
@@ -105,7 +338,10 @@ mod tests {
     #[test]
     fn control_respects_interval() {
         let mut c = RmsController::new(Box::new(Always), ControllerConfig::default());
-        assert_eq!(c.control(&snapshot(), 0).len(), 1);
+        let first = c.control(&snapshot(), 0);
+        assert_eq!(first.len(), 1);
+        // Resolve it so the in-flight guard does not mask the cadence.
+        c.report(first[0].id, ActionOutcome::Succeeded, 1);
         assert!(c.control(&snapshot(), 10).is_empty(), "too early");
         assert!(c.control(&snapshot(), 24).is_empty(), "still too early");
         assert_eq!(c.control(&snapshot(), 25).len(), 1);
@@ -114,7 +350,8 @@ mod tests {
     #[test]
     fn actions_are_logged_with_ticks() {
         let mut c = RmsController::new(Box::new(Always), ControllerConfig::default());
-        c.control(&snapshot(), 0);
+        let a = c.control(&snapshot(), 0);
+        c.report(a[0].id, ActionOutcome::Succeeded, 5);
         c.control(&snapshot(), 30);
         assert_eq!(c.log().count("add_replica"), 2);
         assert_eq!(c.log().entries()[1].tick, 30);
@@ -124,5 +361,95 @@ mod tests {
     fn policy_name_passthrough() {
         let c = RmsController::new(Box::new(Always), ControllerConfig::default());
         assert_eq!(c.policy_name(), "always");
+    }
+
+    #[test]
+    fn duplicate_scale_ups_suppressed_while_pending() {
+        let mut c = RmsController::new(Box::new(Always), ControllerConfig::default());
+        let first = c.control(&snapshot(), 0);
+        assert_eq!(first.len(), 1);
+        // The boot is still pending at the next round: no second request.
+        assert!(c.control(&snapshot(), 25).is_empty());
+        c.report(first[0].id, ActionOutcome::Succeeded, 40);
+        assert_eq!(c.control(&snapshot(), 50).len(), 1, "resumes once resolved");
+    }
+
+    #[test]
+    fn rejected_action_retries_with_backoff_then_escalates() {
+        let config = ControllerConfig {
+            retry: RetryConfig {
+                action_timeout_ticks: 150,
+                max_retries: 2,
+                backoff_base_ticks: 50,
+                degraded_cooldown_ticks: 750,
+            },
+            ..ControllerConfig::default()
+        };
+        let mut c = RmsController::new(Box::new(Always), config);
+        let mut issue_ticks = Vec::new();
+        let mut now = 0u64;
+        // Reject every add_replica; watch the ledger escalate.
+        while c.log().count("substitute") == 0 && now < 2_000 {
+            for issued in c.control(&snapshot(), now) {
+                if matches!(issued.action, Action::AddReplica { .. }) {
+                    issue_ticks.push(now);
+                }
+                c.report(issued.id, ActionOutcome::Rejected, now);
+            }
+            now += 25;
+        }
+        assert_eq!(issue_ticks.len(), 3, "initial + max_retries attempts");
+        // Backoff is monotone: gaps between consecutive attempts grow.
+        let gaps: Vec<u64> = issue_ticks.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(gaps[1] > gaps[0], "exponential backoff: {gaps:?}");
+        assert_eq!(c.log().count_outcome(ActionOutcome::Escalated), 1);
+        assert_eq!(c.log().count("substitute"), 1, "escalated to substitution");
+    }
+
+    #[test]
+    fn failed_substitution_degrades_to_migration_only() {
+        let mut c = RmsController::new(Box::new(Always), ControllerConfig::default());
+        let mut now = 0u64;
+        while !c.is_degraded(now) && now < 5_000 {
+            for issued in c.control(&snapshot(), now) {
+                c.report(issued.id, ActionOutcome::Rejected, now);
+            }
+            now += 25;
+        }
+        assert!(c.is_degraded(now), "rejecting everything must degrade");
+        assert_eq!(c.log().count_outcome(ActionOutcome::Abandoned), 1);
+        // While degraded, the Always policy's scale-ups are filtered.
+        let during = c.control(&snapshot(), now);
+        assert!(
+            during.is_empty(),
+            "degraded mode drops scale-ups: {during:?}"
+        );
+        // After the cooldown the controller recovers.
+        let after = now + c.config.retry.degraded_cooldown_ticks + 25;
+        assert!(!c.is_degraded(after));
+        assert!(!c.control(&snapshot(), after).is_empty());
+    }
+
+    #[test]
+    fn unreported_action_times_out() {
+        let mut c = RmsController::new(Box::new(Always), ControllerConfig::default());
+        let issued = c.control(&snapshot(), 0);
+        assert_eq!(c.pending_count(), 1);
+        // Never report; after the timeout the sweep marks it TimedOut.
+        let mut now = 25;
+        while c.log().count_outcome(ActionOutcome::TimedOut) == 0 && now < 1_000 {
+            c.control(&snapshot(), now);
+            now += 25;
+        }
+        assert_eq!(
+            c.log().get(issued[0].id).unwrap().outcome,
+            ActionOutcome::TimedOut
+        );
+        // A late report for the swept action is ignored, not double-counted.
+        c.report(issued[0].id, ActionOutcome::Succeeded, now);
+        assert_eq!(
+            c.log().get(issued[0].id).unwrap().outcome,
+            ActionOutcome::TimedOut
+        );
     }
 }

@@ -20,11 +20,11 @@ pub mod monitor;
 pub mod policy;
 pub mod resources;
 
-pub use actions::{rebalance_share, Action, ActionLog, LoggedAction};
-pub use controller::{ControllerConfig, RmsController};
+pub use actions::{rebalance_share, Action, ActionId, ActionLog, ActionOutcome, LoggedAction};
+pub use controller::{ControllerConfig, IssuedAction, RetryConfig, RmsController};
 pub use monitor::{ServerSnapshot, ZoneSnapshot};
 pub use policy::{
     BandwidthProportional, ModelDriven, ModelDrivenConfig, Policy, PredictiveModelDriven,
     StaticInterval, StaticThreshold, TrendForecaster,
 };
-pub use resources::{LeaseId, MachineProfile, PoolError, ReadyMachine, ResourcePool};
+pub use resources::{BootEvent, LeaseId, MachineProfile, PoolError, ReadyMachine, ResourcePool};

@@ -26,7 +26,11 @@ pub struct BandwidthProportional {
 impl BandwidthProportional {
     /// Creates the policy with uniform weights.
     pub fn new(slack: u32, users_per_weight_limit: u32) -> Self {
-        Self { weights: BTreeMap::new(), slack, users_per_weight_limit }
+        Self {
+            weights: BTreeMap::new(),
+            slack,
+            users_per_weight_limit,
+        }
     }
 
     /// Sets one server's weight.
@@ -58,7 +62,9 @@ impl Policy for BandwidthProportional {
 
         // Scale out on aggregate pressure.
         if (n as f64) > self.users_per_weight_limit as f64 * total_weight {
-            out.push(Action::AddReplica { zone: snapshot.zone });
+            out.push(Action::AddReplica {
+                zone: snapshot.zone,
+            });
         }
 
         // Targets proportional to weight.
@@ -79,7 +85,11 @@ impl Policy for BandwidthProportional {
             while surplus > 0 {
                 let Some((dst, need)) = current else { break };
                 let k = surplus.min(need);
-                out.push(Action::Migrate { from: src, to: dst, users: k });
+                out.push(Action::Migrate {
+                    from: src,
+                    to: dst,
+                    users: k,
+                });
                 surplus -= k;
                 if need > k {
                     current = Some((dst, need - k));
@@ -127,7 +137,10 @@ mod tests {
                 _ => 0,
             })
             .sum();
-        assert_eq!(moved, 30, "everything above the 30/30/30 split moves at once");
+        assert_eq!(
+            moved, 30,
+            "everything above the 30/30/30 split moves at once"
+        );
     }
 
     #[test]
@@ -138,7 +151,11 @@ mod tests {
         // Targets: 60 / 20 ⇒ server 1 sheds 20 to server 0.
         assert_eq!(
             actions,
-            vec![Action::Migrate { from: NodeId(1), to: NodeId(0), users: 20 }]
+            vec![Action::Migrate {
+                from: NodeId(1),
+                to: NodeId(0),
+                users: 20
+            }]
         );
     }
 
@@ -153,7 +170,9 @@ mod tests {
         let mut p = BandwidthProportional::new(0, 50);
         // 2 servers × weight 1 × 50 = 100 < 110.
         let actions = p.decide(&snapshot(&[55, 55]), 0);
-        assert!(actions.iter().any(|a| matches!(a, Action::AddReplica { .. })));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::AddReplica { .. })));
     }
 
     #[test]

@@ -34,7 +34,11 @@ pub struct ModelDrivenConfig {
 
 impl Default for ModelDrivenConfig {
     fn default() -> Self {
-        Self { remove_fraction: 0.6, replica_cooldown_rounds: 4, min_imbalance: 4 }
+        Self {
+            remove_fraction: 0.6,
+            replica_cooldown_rounds: 4,
+            min_imbalance: 4,
+        }
     }
 }
 
@@ -50,7 +54,13 @@ pub struct ModelDriven {
 impl ModelDriven {
     /// Creates the policy around a calibrated model.
     pub fn new(model: ScalabilityModel, config: ModelDrivenConfig) -> Self {
-        Self { model, config, draining: None, cooldown_rounds_left: 0, replicas_last_round: 0 }
+        Self {
+            model,
+            config,
+            draining: None,
+            cooldown_rounds_left: 0,
+            replicas_last_round: 0,
+        }
     }
 
     /// The model in use.
@@ -76,7 +86,9 @@ impl ModelDriven {
             return;
         }
         let avg = n / l;
-        let Some(s_max) = snapshot.most_loaded() else { return };
+        let Some(s_max) = snapshot.most_loaded() else {
+            return;
+        };
 
         // (ii) the initiate budget of s_max, from its observed tick.
         let mut ini_left = roia_model::x_max_from_tick(
@@ -108,7 +120,11 @@ impl ModelDriven {
             if k == 0 {
                 continue;
             }
-            out.push(Action::Migrate { from: s_max.server, to: target.server, users: k });
+            out.push(Action::Migrate {
+                from: s_max.server,
+                to: target.server,
+                users: k,
+            });
             ini_left -= k;
             surplus -= k;
         }
@@ -116,7 +132,9 @@ impl ModelDriven {
 
     /// Paced draining of a replica marked for removal.
     fn drain_round(&self, snapshot: &ZoneSnapshot, victim: NodeId, out: &mut Vec<Action>) {
-        let Some(v) = snapshot.server(victim) else { return };
+        let Some(v) = snapshot.server(victim) else {
+            return;
+        };
         let n = snapshot.total_users();
         let mut ini_left = roia_model::x_max_from_tick(
             &self.model.params,
@@ -141,7 +159,11 @@ impl ModelDriven {
             if k == 0 {
                 continue;
             }
-            out.push(Action::Migrate { from: victim, to: target.server, users: k });
+            out.push(Action::Migrate {
+                from: victim,
+                to: target.server,
+                users: k,
+            });
             ini_left -= k;
             remaining -= k;
         }
@@ -173,7 +195,10 @@ impl Policy for ModelDriven {
         if let Some(victim) = self.draining {
             match snapshot.server(victim) {
                 Some(v) if v.active_users == 0 => {
-                    out.push(Action::RemoveReplica { zone: snapshot.zone, server: victim });
+                    out.push(Action::RemoveReplica {
+                        zone: snapshot.zone,
+                        server: victim,
+                    });
                     self.draining = None;
                     // The snapshot still lists the victim; further decisions
                     // wait until the next round sees the updated group.
@@ -192,7 +217,9 @@ impl Policy for ModelDriven {
 
         if n >= trigger && self.cooldown_rounds_left == 0 {
             if l < limit.l_max {
-                out.push(Action::AddReplica { zone: snapshot.zone });
+                out.push(Action::AddReplica {
+                    zone: snapshot.zone,
+                });
                 self.cooldown_rounds_left = self.config.replica_cooldown_rounds;
             } else {
                 // l_max reached: substitute the most loaded standard
@@ -203,7 +230,10 @@ impl Policy for ModelDriven {
                     .filter(|s| s.speedup <= 1.0)
                     .max_by_key(|s| s.active_users);
                 if let Some(old) = candidate {
-                    out.push(Action::Substitute { zone: snapshot.zone, old: old.server });
+                    out.push(Action::Substitute {
+                        zone: snapshot.zone,
+                        old: old.server,
+                    });
                     self.cooldown_rounds_left = self.config.replica_cooldown_rounds;
                 }
             }
@@ -305,7 +335,10 @@ mod tests {
         // 330 ≥ trigger(2)).
         let s = snapshot(&[250, 80], &[41.0, 15.0]);
         let actions = p.decide(&s, 0);
-        assert!(actions.iter().all(|a| !matches!(a, Action::Migrate { .. })), "{actions:?}");
+        assert!(
+            actions.iter().all(|a| !matches!(a, Action::Migrate { .. })),
+            "{actions:?}"
+        );
     }
 
     #[test]
@@ -315,7 +348,9 @@ mod tests {
         let s = snapshot(&[trigger], &[32.0]);
         let actions = p.decide(&s, 0);
         assert!(
-            actions.iter().any(|a| matches!(a, Action::AddReplica { .. })),
+            actions
+                .iter()
+                .any(|a| matches!(a, Action::AddReplica { .. })),
             "n = trigger must enact replication: {actions:?}"
         );
     }
@@ -326,7 +361,9 @@ mod tests {
         let trigger = p.model().replication_trigger(1, 0);
         let s = snapshot(&[trigger - 1], &[30.0]);
         let actions = p.decide(&s, 0);
-        assert!(actions.iter().all(|a| !matches!(a, Action::AddReplica { .. })));
+        assert!(actions
+            .iter()
+            .all(|a| !matches!(a, Action::AddReplica { .. })));
     }
 
     #[test]
@@ -334,10 +371,18 @@ mod tests {
         let mut p = ModelDriven::new(model(), ModelDrivenConfig::default());
         let s = snapshot(&[390], &[38.0]);
         let first = p.decide(&s, 0);
-        assert_eq!(first.iter().filter(|a| matches!(a, Action::AddReplica { .. })).count(), 1);
+        assert_eq!(
+            first
+                .iter()
+                .filter(|a| matches!(a, Action::AddReplica { .. }))
+                .count(),
+            1
+        );
         // Immediately after, the cooldown suppresses another request.
         let second = p.decide(&s, 25);
-        assert!(second.iter().all(|a| !matches!(a, Action::AddReplica { .. })));
+        assert!(second
+            .iter()
+            .all(|a| !matches!(a, Action::AddReplica { .. })));
     }
 
     #[test]
@@ -357,7 +402,9 @@ mod tests {
         let s = snapshot(&[390], &[39.0]);
         let actions = p.decide(&s, 0);
         assert!(
-            actions.iter().any(|a| matches!(a, Action::Substitute { .. })),
+            actions
+                .iter()
+                .any(|a| matches!(a, Action::Substitute { .. })),
             "at l_max the policy substitutes: {actions:?}"
         );
     }
@@ -369,7 +416,9 @@ mod tests {
         let s = snapshot(&[30, 10], &[5.0, 3.0]);
         let actions = p.decide(&s, 0);
         assert!(p.draining().is_some(), "least loaded marked for draining");
-        assert!(actions.iter().any(|a| matches!(a, Action::Migrate { from, .. } if *from == NodeId(1))));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::Migrate { from, .. } if *from == NodeId(1))));
 
         // Once drained, the replica is removed.
         let drained = snapshot(&[40, 0], &[6.0, 0.5]);
@@ -400,6 +449,9 @@ mod tests {
         let mut p = ModelDriven::new(model(), ModelDrivenConfig::default());
         let s = snapshot(&[151, 149], &[15.0, 15.0]);
         let actions = p.decide(&s, 0);
-        assert!(actions.is_empty(), "imbalance of 2 < min_imbalance: {actions:?}");
+        assert!(
+            actions.is_empty(),
+            "imbalance of 2 < min_imbalance: {actions:?}"
+        );
     }
 }

@@ -28,7 +28,10 @@ impl TrendForecaster {
     /// Creates a forecaster remembering the last `window` observations.
     pub fn new(window: usize) -> Self {
         assert!(window >= 2);
-        Self { window, samples: VecDeque::with_capacity(window) }
+        Self {
+            window,
+            samples: VecDeque::with_capacity(window),
+        }
     }
 
     /// Records an observation.
@@ -65,7 +68,9 @@ impl TrendForecaster {
     /// Forecast `horizon_ticks` ahead of the latest observation, clamped
     /// at zero. Falls back to the last observation without enough data.
     pub fn forecast(&self, horizon_ticks: u64) -> u32 {
-        let Some(&(_, last)) = self.samples.back() else { return 0 };
+        let Some(&(_, last)) = self.samples.back() else {
+            return 0;
+        };
         let predicted = last as f64 + self.slope() * horizon_ticks as f64;
         predicted.max(0.0).round() as u32
     }
@@ -120,11 +125,7 @@ impl Policy for PredictiveModelDriven {
                 // The reactive policy would not fire yet — pre-provision.
                 let mut inflated = snapshot.clone();
                 let extra = n_future - n_now;
-                if let Some(most) = inflated
-                    .servers
-                    .iter_mut()
-                    .max_by_key(|s| s.active_users)
-                {
+                if let Some(most) = inflated.servers.iter_mut().max_by_key(|s| s.active_users) {
                     most.active_users += extra;
                 }
                 let mut actions = self.inner.decide(&inflated, now_tick);
@@ -213,14 +214,19 @@ mod tests {
             let a = p.decide(&snapshot(280), 8 * 25);
             a.iter().any(|x| matches!(x, Action::AddReplica { .. }))
         };
-        assert!(!reactive_fires, "reactive policy must not fire at 280 < 319");
+        assert!(
+            !reactive_fires,
+            "reactive policy must not fire at 280 < 319"
+        );
 
         let mut p = PredictiveModelDriven::new(model(), ModelDrivenConfig::default(), 125);
         let mut fired = false;
         for round in 0..8u64 {
             let users = 210 + round as u32 * 10; // 210 .. 280
             let actions = p.decide(&snapshot(users), round * 25);
-            fired |= actions.iter().any(|a| matches!(a, Action::AddReplica { .. }));
+            fired |= actions
+                .iter()
+                .any(|a| matches!(a, Action::AddReplica { .. }));
         }
         assert!(fired, "predictive policy scales ahead of the trend");
     }
@@ -265,7 +271,10 @@ mod tests {
                 ],
             };
             for action in p.decide(&snap, round * 25) {
-                if let Action::Migrate { from, users: moved, .. } = action {
+                if let Action::Migrate {
+                    from, users: moved, ..
+                } = action
+                {
                     let have = snap.server(from).unwrap().active_users;
                     assert!(moved <= have, "phantom migration: {moved} > {have}");
                 }

@@ -29,7 +29,11 @@ impl StaticInterval {
     /// Creates the policy.
     pub fn new(interval_rounds: u64, add_threshold_per_server: u32) -> Self {
         assert!(interval_rounds >= 1);
-        Self { interval_rounds, add_threshold_per_server, rounds_seen: 0 }
+        Self {
+            interval_rounds,
+            add_threshold_per_server,
+            rounds_seen: 0,
+        }
     }
 }
 
@@ -53,7 +57,9 @@ impl Policy for StaticInterval {
 
         // Static scale-out rule.
         if l > 0 && n / l > self.add_threshold_per_server {
-            out.push(Action::AddReplica { zone: snapshot.zone });
+            out.push(Action::AddReplica {
+                zone: snapshot.zone,
+            });
         }
 
         // Full equalization with NO budget caps: move every surplus user in
@@ -98,8 +104,8 @@ impl Policy for StaticInterval {
 mod tests {
     use super::*;
     use crate::monitor::ServerSnapshot;
-    use rtf_core::zone::ZoneId;
     use rtf_core::net::NodeId;
+    use rtf_core::zone::ZoneId;
 
     fn snapshot(users: &[u32]) -> ZoneSnapshot {
         ZoneSnapshot {
@@ -136,19 +142,35 @@ mod tests {
     #[test]
     fn respects_interval() {
         let mut p = StaticInterval::new(3, 1000);
-        assert!(!p.decide(&snapshot(&[45, 0, 0]), 0).is_empty(), "round 0 fires");
-        assert!(p.decide(&snapshot(&[45, 0, 0]), 25).is_empty(), "round 1 skips");
-        assert!(p.decide(&snapshot(&[45, 0, 0]), 50).is_empty(), "round 2 skips");
-        assert!(!p.decide(&snapshot(&[45, 0, 0]), 75).is_empty(), "round 3 fires");
+        assert!(
+            !p.decide(&snapshot(&[45, 0, 0]), 0).is_empty(),
+            "round 0 fires"
+        );
+        assert!(
+            p.decide(&snapshot(&[45, 0, 0]), 25).is_empty(),
+            "round 1 skips"
+        );
+        assert!(
+            p.decide(&snapshot(&[45, 0, 0]), 50).is_empty(),
+            "round 2 skips"
+        );
+        assert!(
+            !p.decide(&snapshot(&[45, 0, 0]), 75).is_empty(),
+            "round 3 fires"
+        );
     }
 
     #[test]
     fn adds_replica_over_static_threshold() {
         let mut p = StaticInterval::new(1, 100);
         let actions = p.decide(&snapshot(&[150]), 0);
-        assert!(actions.iter().any(|a| matches!(a, Action::AddReplica { .. })));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::AddReplica { .. })));
         let actions2 = p.decide(&snapshot(&[90]), 25);
-        assert!(actions2.iter().all(|a| !matches!(a, Action::AddReplica { .. })));
+        assert!(actions2
+            .iter()
+            .all(|a| !matches!(a, Action::AddReplica { .. })));
     }
 
     #[test]

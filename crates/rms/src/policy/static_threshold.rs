@@ -22,7 +22,9 @@ impl StaticThreshold {
     /// Creates the policy.
     pub fn new(max_users_per_server: u32) -> Self {
         assert!(max_users_per_server > 0);
-        Self { max_users_per_server }
+        Self {
+            max_users_per_server,
+        }
     }
 }
 
@@ -42,7 +44,9 @@ impl Policy for StaticThreshold {
         let total = snapshot.total_users();
         let group_capacity = cap * snapshot.replicas();
         if total > group_capacity {
-            out.push(Action::AddReplica { zone: snapshot.zone });
+            out.push(Action::AddReplica {
+                zone: snapshot.zone,
+            });
         }
 
         // Shed surplus from every over-threshold server to under-threshold
@@ -89,8 +93,8 @@ impl Policy for StaticThreshold {
 mod tests {
     use super::*;
     use crate::monitor::ServerSnapshot;
-    use rtf_core::zone::ZoneId;
     use rtf_core::net::NodeId;
+    use rtf_core::zone::ZoneId;
 
     fn snapshot(users: &[u32]) -> ZoneSnapshot {
         ZoneSnapshot {
@@ -122,7 +126,11 @@ mod tests {
         let actions = p.decide(&snapshot(&[130, 60]), 0);
         assert_eq!(
             actions,
-            vec![Action::Migrate { from: NodeId(0), to: NodeId(1), users: 30 }]
+            vec![Action::Migrate {
+                from: NodeId(0),
+                to: NodeId(1),
+                users: 30
+            }]
         );
     }
 
@@ -130,7 +138,9 @@ mod tests {
     fn scale_out_when_group_full() {
         let mut p = StaticThreshold::new(100);
         let actions = p.decide(&snapshot(&[120, 100]), 0);
-        assert!(actions.iter().any(|a| matches!(a, Action::AddReplica { .. })));
+        assert!(actions
+            .iter()
+            .any(|a| matches!(a, Action::AddReplica { .. })));
     }
 
     #[test]

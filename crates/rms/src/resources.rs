@@ -22,9 +22,15 @@ pub struct MachineProfile {
 /// The two profiles the experiments use.
 impl MachineProfile {
     /// The standard machine (the paper's Intel Core Duo class).
-    pub const STANDARD: MachineProfile = MachineProfile { speedup: 1.0, cost_per_hour: 1.0 };
+    pub const STANDARD: MachineProfile = MachineProfile {
+        speedup: 1.0,
+        cost_per_hour: 1.0,
+    };
     /// A more powerful machine for resource substitution (§IV).
-    pub const POWERFUL: MachineProfile = MachineProfile { speedup: 2.0, cost_per_hour: 2.5 };
+    pub const POWERFUL: MachineProfile = MachineProfile {
+        speedup: 2.0,
+        cost_per_hour: 2.5,
+    };
 }
 
 /// Identifier of a lease request.
@@ -38,6 +44,22 @@ pub struct ReadyMachine {
     pub lease: LeaseId,
     /// The machine's profile.
     pub profile: MachineProfile,
+}
+
+/// The outcome of one lease's boot, reported by [`ResourcePool::poll_boot`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BootEvent {
+    /// The machine booted and is ready to serve.
+    Ready(ReadyMachine),
+    /// The machine failed to boot (dead-on-arrival instance). The lease is
+    /// released automatically; the boot period was still billed, as real
+    /// providers do.
+    Failed {
+        /// The failed request.
+        lease: LeaseId,
+        /// The profile that was requested.
+        profile: MachineProfile,
+    },
 }
 
 /// Errors from the pool.
@@ -69,6 +91,9 @@ struct Lease {
     delivered: bool,
     leased_at: u64,
     released_at: Option<u64>,
+    /// Decided at request time from the pool's fault generator: this
+    /// instance will be dead on arrival.
+    fails_boot: bool,
 }
 
 /// The provider's pool of leasable machines.
@@ -80,6 +105,12 @@ pub struct ResourcePool {
     ticks_per_hour: u64,
     next_lease: u64,
     leases: BTreeMap<LeaseId, Lease>,
+    /// Probability that a requested machine fails to boot.
+    boot_failure_rate: f64,
+    /// Fault-sampling generator state (SplitMix64; untouched while the
+    /// failure rate is zero, so fault-free runs are bit-identical to the
+    /// pre-chaos behaviour).
+    fault_rng: u64,
 }
 
 impl ResourcePool {
@@ -101,6 +132,8 @@ impl ResourcePool {
             ticks_per_hour,
             next_lease: 0,
             leases: BTreeMap::new(),
+            boot_failure_rate: 0.0,
+            fault_rng: 0,
         }
     }
 
@@ -108,6 +141,37 @@ impl ResourcePool {
     /// one faster machine, and a short boot delay.
     pub fn testbed() -> Self {
         Self::new(16, 2, 50, 90_000)
+    }
+
+    /// Makes each future request fail its boot with probability `rate`,
+    /// sampled deterministically from `seed`. Leases already placed keep
+    /// the fate they were assigned at request time.
+    pub fn set_boot_failures(&mut self, rate: f64, seed: u64) {
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "boot failure rate must be in [0, 1]"
+        );
+        self.boot_failure_rate = rate;
+        self.fault_rng = seed ^ 0xB007_FA11_D00D_CAFE;
+    }
+
+    /// Builder form of [`ResourcePool::set_boot_failures`].
+    pub fn with_boot_failures(mut self, rate: f64, seed: u64) -> Self {
+        self.set_boot_failures(rate, seed);
+        self
+    }
+
+    /// The configured boot failure probability.
+    pub fn boot_failure_rate(&self) -> f64 {
+        self.boot_failure_rate
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        self.fault_rng = self.fault_rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.fault_rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
     }
 
     fn active_count(&self, powerful: bool) -> u32 {
@@ -124,12 +188,17 @@ impl ResourcePool {
         now_tick: u64,
     ) -> Result<LeaseId, PoolError> {
         let powerful = profile.speedup > 1.0;
-        let limit = if powerful { self.powerful_limit } else { self.standard_limit };
+        let limit = if powerful {
+            self.powerful_limit
+        } else {
+            self.standard_limit
+        };
         if self.active_count(powerful) >= limit {
             return Err(PoolError::OutOfCapacity);
         }
         let id = LeaseId(self.next_lease);
         self.next_lease += 1;
+        let fails_boot = self.boot_failure_rate > 0.0 && self.next_f64() < self.boot_failure_rate;
         self.leases.insert(
             id,
             Lease {
@@ -138,21 +207,48 @@ impl ResourcePool {
                 delivered: false,
                 leased_at: now_tick,
                 released_at: None,
+                fails_boot,
             },
         );
         Ok(id)
     }
 
-    /// Machines that finished booting by `now_tick` (each returned once).
-    pub fn poll_ready(&mut self, now_tick: u64) -> Vec<ReadyMachine> {
-        let mut ready = Vec::new();
+    /// Boot outcomes of leases whose startup delay elapsed by `now_tick`
+    /// (each lease reported once). Failed boots release their lease on the
+    /// spot — the caller only has to react to the event.
+    pub fn poll_boot(&mut self, now_tick: u64) -> Vec<BootEvent> {
+        let mut events = Vec::new();
         for (id, lease) in self.leases.iter_mut() {
             if !lease.delivered && lease.released_at.is_none() && lease.ready_at <= now_tick {
                 lease.delivered = true;
-                ready.push(ReadyMachine { lease: *id, profile: lease.profile });
+                if lease.fails_boot {
+                    lease.released_at = Some(lease.ready_at.max(lease.leased_at));
+                    events.push(BootEvent::Failed {
+                        lease: *id,
+                        profile: lease.profile,
+                    });
+                } else {
+                    events.push(BootEvent::Ready(ReadyMachine {
+                        lease: *id,
+                        profile: lease.profile,
+                    }));
+                }
             }
         }
-        ready
+        events
+    }
+
+    /// Machines that finished booting by `now_tick` (each returned once).
+    /// Boot failures are processed (lease released) but not reported; use
+    /// [`ResourcePool::poll_boot`] to observe them.
+    pub fn poll_ready(&mut self, now_tick: u64) -> Vec<ReadyMachine> {
+        self.poll_boot(now_tick)
+            .into_iter()
+            .filter_map(|ev| match ev {
+                BootEvent::Ready(machine) => Some(machine),
+                BootEvent::Failed { .. } => None,
+            })
+            .collect()
     }
 
     /// Releases a machine (resource removal / substitution shutdown).
@@ -168,7 +264,10 @@ impl ResourcePool {
 
     /// Machines currently leased (booting or serving).
     pub fn leased_count(&self) -> u32 {
-        self.leases.values().filter(|l| l.released_at.is_none()).count() as u32
+        self.leases
+            .values()
+            .filter(|l| l.released_at.is_none())
+            .count() as u32
     }
 
     /// Total cost accrued up to `now_tick`, including released leases.
@@ -238,11 +337,52 @@ mod tests {
         let mut pool = ResourcePool::new(4, 4, 0, 100);
         let a = pool.request(MachineProfile::STANDARD, 0).unwrap(); // 1.0/hour
         pool.request(MachineProfile::POWERFUL, 0).unwrap(); // 2.5/hour
-        // After 200 ticks = 2 hours: 2·1 + 2·2.5 = 7.
+                                                            // After 200 ticks = 2 hours: 2·1 + 2·2.5 = 7.
         assert!((pool.total_cost(200) - 7.0).abs() < 1e-9);
         // Releasing the standard machine stops its meter.
         pool.release(a, 200).unwrap();
         assert!((pool.total_cost(300) - (2.0 + 7.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn certain_boot_failure_reports_and_releases() {
+        let mut pool = ResourcePool::new(4, 0, 10, 100).with_boot_failures(1.0, 7);
+        let lease = pool.request(MachineProfile::STANDARD, 0).unwrap();
+        let events = pool.poll_boot(10);
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], BootEvent::Failed { lease: l, .. } if l == lease));
+        assert_eq!(pool.leased_count(), 0, "failed lease auto-released");
+        assert!(pool.poll_boot(20).is_empty(), "reported once");
+        // Billing stops at the failure, not at the horizon.
+        let at_failure = pool.total_cost(10);
+        assert!((pool.total_cost(10_000) - at_failure).abs() < 1e-12);
+        assert!(at_failure > 0.0, "the boot period was billed");
+    }
+
+    #[test]
+    fn boot_failures_are_deterministic_per_seed() {
+        let fates = |seed: u64| -> Vec<bool> {
+            let mut pool = ResourcePool::new(64, 0, 0, 100).with_boot_failures(0.5, seed);
+            (0..32)
+                .map(|i| {
+                    pool.request(MachineProfile::STANDARD, i).unwrap();
+                    pool.poll_boot(i)
+                        .iter()
+                        .any(|ev| matches!(ev, BootEvent::Failed { .. }))
+                })
+                .collect()
+        };
+        assert_eq!(fates(3), fates(3));
+        assert_ne!(fates(3), fates(4), "different seeds fail different leases");
+    }
+
+    #[test]
+    fn zero_rate_never_fails_and_poll_ready_filters() {
+        let mut pool = ResourcePool::new(8, 0, 0, 100).with_boot_failures(0.0, 9);
+        for i in 0..8 {
+            pool.request(MachineProfile::STANDARD, i).unwrap();
+        }
+        assert_eq!(pool.poll_ready(100).len(), 8);
     }
 
     #[test]

@@ -9,8 +9,9 @@ use roia_model::{CostFn, ModelParams, ScalabilityModel};
 use rtf_core::net::NodeId;
 use rtf_core::zone::ZoneId;
 use rtf_rms::{
-    Action, BandwidthProportional, MachineProfile, ModelDriven, ModelDrivenConfig, Policy,
-    ResourcePool, ServerSnapshot, StaticInterval, StaticThreshold, ZoneSnapshot,
+    Action, ActionOutcome, BandwidthProportional, ControllerConfig, MachineProfile, ModelDriven,
+    ModelDrivenConfig, Policy, ResourcePool, RetryConfig, RmsController, ServerSnapshot,
+    StaticInterval, StaticThreshold, ZoneSnapshot,
 };
 
 fn model() -> ScalabilityModel {
@@ -18,29 +19,30 @@ fn model() -> ScalabilityModel {
         t_ua: CostFn::Linear { c0: 1e-4, c1: 1e-7 },
         t_fa: CostFn::Constant(1e-5),
         t_mig_ini: CostFn::Linear { c0: 2e-4, c1: 7e-6 },
-        t_mig_rcv: CostFn::Linear { c0: 1.5e-4, c1: 4e-6 },
+        t_mig_rcv: CostFn::Linear {
+            c0: 1.5e-4,
+            c1: 4e-6,
+        },
         ..ModelParams::default()
     };
     ScalabilityModel::new(params, 0.040)
 }
 
 fn arb_snapshot() -> impl Strategy<Value = ZoneSnapshot> {
-    proptest::collection::vec((0u32..400, 0.0f64..0.06), 1..8).prop_map(|servers| {
-        ZoneSnapshot {
-            zone: ZoneId(1),
-            npcs: 0,
-            servers: servers
-                .into_iter()
-                .enumerate()
-                .map(|(i, (users, tick))| ServerSnapshot {
-                    server: NodeId(i as u32),
-                    active_users: users,
-                    avg_tick: tick,
-                    max_tick: tick * 1.2,
-                    speedup: 1.0,
-                })
-                .collect(),
-        }
+    proptest::collection::vec((0u32..400, 0.0f64..0.06), 1..8).prop_map(|servers| ZoneSnapshot {
+        zone: ZoneId(1),
+        npcs: 0,
+        servers: servers
+            .into_iter()
+            .enumerate()
+            .map(|(i, (users, tick))| ServerSnapshot {
+                server: NodeId(i as u32),
+                active_users: users,
+                avg_tick: tick,
+                max_tick: tick * 1.2,
+                speedup: 1.0,
+            })
+            .collect(),
     })
 }
 
@@ -73,6 +75,37 @@ fn assert_actions_valid(snapshot: &ZoneSnapshot, actions: &[Action]) {
             moved <= have,
             "cannot migrate {moved} users out of a server holding {have}"
         );
+    }
+}
+
+/// Always wants one more replica — scale-up pressure for the retry tests.
+struct AlwaysGrow;
+
+impl Policy for AlwaysGrow {
+    fn name(&self) -> &'static str {
+        "always-grow"
+    }
+
+    fn decide(&mut self, snapshot: &ZoneSnapshot, _now_tick: u64) -> Vec<Action> {
+        vec![Action::AddReplica {
+            zone: snapshot.zone,
+        }]
+    }
+}
+
+/// One loaded standard server — enough for escalation to find a
+/// substitution target.
+fn grow_snapshot() -> ZoneSnapshot {
+    ZoneSnapshot {
+        zone: ZoneId(1),
+        npcs: 0,
+        servers: vec![ServerSnapshot {
+            server: NodeId(0),
+            active_users: 50,
+            avg_tick: 0.03,
+            max_tick: 0.035,
+            speedup: 1.0,
+        }],
     }
 }
 
@@ -172,5 +205,101 @@ proptest! {
         }
         let settled = pool.total_cost(tick);
         prop_assert!((pool.total_cost(tick + 1_000_000) - settled).abs() < 1e-9);
+    }
+
+    #[test]
+    fn double_release_fails_cleanly_and_bills_once(
+        hold in 1u64..5_000,
+        later in 0u64..5_000,
+    ) {
+        let mut pool = ResourcePool::new(4, 0, 5, 1_000);
+        let lease = pool.request(MachineProfile::STANDARD, 0).unwrap();
+        pool.release(lease, hold).unwrap();
+        let billed = pool.total_cost(hold + later);
+        // A second release is rejected, and re-attempting it (at any later
+        // tick) never extends the billing window.
+        prop_assert!(pool.release(lease, hold + later).is_err());
+        prop_assert!((pool.total_cost(hold + later) - billed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn failed_boot_bills_exactly_the_boot_period(
+        delay in 1u64..200,
+        later in 0u64..10_000,
+        seed in any::<u64>(),
+    ) {
+        // A dead-on-arrival machine is auto-released at its ready tick: the
+        // boot period is billed (as real clouds do) but nothing after it.
+        let mut pool = ResourcePool::new(4, 0, delay, 1_000).with_boot_failures(1.0, seed);
+        pool.request(MachineProfile::STANDARD, 0).unwrap();
+        let events = pool.poll_boot(delay);
+        prop_assert_eq!(events.len(), 1);
+        prop_assert_eq!(pool.leased_count(), 0, "failed boot released its lease");
+        let boot_bill = delay as f64 / 1_000.0 * MachineProfile::STANDARD.cost_per_hour;
+        prop_assert!((pool.total_cost(delay) - boot_bill).abs() < 1e-12);
+        prop_assert!((pool.total_cost(delay + later) - boot_bill).abs() < 1e-12,
+            "a crashed-at-boot lease stops accruing");
+    }
+
+    #[test]
+    fn lease_cost_is_monotone_in_duration(d1 in 0u64..50_000, d2 in 0u64..50_000) {
+        let (early, late) = (d1.min(d2), d1.max(d2));
+        let mut pool = ResourcePool::new(1, 1, 0, 777);
+        pool.request(MachineProfile::STANDARD, 0).unwrap();
+        pool.request(MachineProfile::POWERFUL, 0).unwrap();
+        prop_assert!(pool.total_cost(early) <= pool.total_cost(late) + 1e-12);
+    }
+
+    #[test]
+    fn retry_ledger_bounds_attempts_and_backoff_is_monotone(
+        max_retries in 0u32..4,
+        backoff in 1u64..100,
+    ) {
+        let config = ControllerConfig {
+            retry: RetryConfig {
+                action_timeout_ticks: 10_000,
+                max_retries,
+                backoff_base_ticks: backoff,
+                degraded_cooldown_ticks: 100_000, // one escalation chain only
+            },
+            ..ControllerConfig::default()
+        };
+        let mut c = RmsController::new(Box::new(AlwaysGrow), config);
+        let snapshot = grow_snapshot();
+        // Fail everything the controller issues until it gives up.
+        let mut now = 0u64;
+        for _ in 0..400 {
+            for issued in c.control(&snapshot, now) {
+                c.report(issued.id, ActionOutcome::Failed, now);
+            }
+            now += 5;
+        }
+
+        let entries = c.log().entries();
+        prop_assert!(!entries.is_empty());
+        // No action is ever retried past the configured budget.
+        for e in entries {
+            prop_assert!(e.attempt <= max_retries,
+                "attempt {} exceeds max_retries {max_retries}", e.attempt);
+        }
+        // Within each retry chain the issue-to-issue gap (exponential
+        // backoff, rounded up to the control cadence) never shrinks.
+        for kind in ["add_replica", "substitute"] {
+            let ticks: Vec<u64> = entries
+                .iter()
+                .filter(|e| e.action.kind() == kind)
+                .map(|e| e.tick)
+                .collect();
+            let gaps: Vec<u64> = ticks.windows(2).map(|w| w[1] - w[0]).collect();
+            for pair in gaps.windows(2) {
+                prop_assert!(pair[1] >= pair[0],
+                    "{kind} backoff not monotone: issue ticks {ticks:?}");
+            }
+        }
+        // The chain ran to its explicit end: escalation, then abandonment.
+        prop_assert_eq!(c.log().count_outcome(ActionOutcome::Escalated), 1);
+        prop_assert_eq!(c.log().count_outcome(ActionOutcome::Abandoned), 1);
+        prop_assert!(c.is_degraded(now), "scale-ups disabled after abandonment");
+        prop_assert_eq!(c.log().unresolved().count(), 0);
     }
 }

@@ -71,9 +71,19 @@ impl Client {
     /// Registers the client on the bus and sends `Connect` to `server`.
     pub fn connect(bus: &Bus, user: UserId, server: NodeId) -> Result<Self, NetError> {
         let endpoint = bus.register(&format!("client-{}", user.0));
-        let pkt = Packet::Connect { user, client: endpoint.id() };
+        let pkt = Packet::Connect {
+            user,
+            client: endpoint.id(),
+        };
         endpoint.send(server, pkt.to_bytes())?;
-        Ok(Self { user, endpoint, server, state: ClientState::Connecting, seq: 0, stats: ClientStats::default() })
+        Ok(Self {
+            user,
+            endpoint,
+            server,
+            state: ClientState::Connecting,
+            seq: 0,
+            stats: ClientStats::default(),
+        })
     }
 
     /// The user this client represents.
@@ -107,12 +117,18 @@ impl Client {
         let mut updates = 0u32;
         for msg in self.endpoint.drain() {
             self.stats.bytes_in += msg.payload.len() as u64;
-            let Ok(pkt) = Packet::from_bytes(&msg.payload) else { continue };
+            let Ok(pkt) = Packet::from_bytes(&msg.payload) else {
+                continue;
+            };
             match pkt {
                 Packet::ConnectAck { user } if user == self.user => {
                     self.state = ClientState::Connected;
                 }
-                Packet::StateUpdate { user, tick: server_tick, payload } if user == self.user => {
+                Packet::StateUpdate {
+                    user,
+                    tick: server_tick,
+                    payload,
+                } if user == self.user => {
                     updates += 1;
                     self.stats.updates_received += 1;
                     source.on_state_update(server_tick, &payload);
@@ -129,7 +145,11 @@ impl Client {
 
         if self.state != ClientState::Disconnected {
             if let Some(payload) = source.next_input(tick) {
-                let pkt = Packet::UserInput { user: self.user, seq: self.seq, payload };
+                let pkt = Packet::UserInput {
+                    user: self.user,
+                    seq: self.seq,
+                    payload,
+                };
                 self.seq = self.seq.wrapping_add(1);
                 if self.endpoint.send(self.server, pkt.to_bytes()).is_ok() {
                     self.stats.inputs_sent += 1;
@@ -146,7 +166,10 @@ impl Client {
     pub fn reconnect(&mut self, server: NodeId) {
         self.server = server;
         self.state = ClientState::Connecting;
-        let pkt = Packet::Connect { user: self.user, client: self.endpoint.id() };
+        let pkt = Packet::Connect {
+            user: self.user,
+            client: self.endpoint.id(),
+        };
         let _ = self.endpoint.send(server, pkt.to_bytes());
     }
 
@@ -182,7 +205,13 @@ mod tests {
         let msgs = server.drain();
         assert_eq!(msgs.len(), 1);
         let pkt = Packet::from_bytes(&msgs[0].payload).unwrap();
-        assert_eq!(pkt, Packet::Connect { user: UserId(1), client: client.id() });
+        assert_eq!(
+            pkt,
+            Packet::Connect {
+                user: UserId(1),
+                client: client.id()
+            }
+        );
     }
 
     #[test]
@@ -191,7 +220,10 @@ mod tests {
         let server = bus.register("server");
         let mut client = Client::connect(&bus, UserId(1), server.id()).unwrap();
         server
-            .send(client.id(), Packet::ConnectAck { user: UserId(1) }.to_bytes())
+            .send(
+                client.id(),
+                Packet::ConnectAck { user: UserId(1) }.to_bytes(),
+            )
             .unwrap();
         client.tick(0, &mut Idle);
         assert_eq!(client.state(), ClientState::Connected);
@@ -234,7 +266,12 @@ mod tests {
         server
             .send(
                 client.id(),
-                Packet::StateUpdate { user: UserId(1), tick: 7, payload: Bytes::new() }.to_bytes(),
+                Packet::StateUpdate {
+                    user: UserId(1),
+                    tick: 7,
+                    payload: Bytes::new(),
+                }
+                .to_bytes(),
             )
             .unwrap();
         let mut src = Counting(0);
@@ -251,8 +288,15 @@ mod tests {
         let s2 = bus.register("s2");
         let mut client = Client::connect(&bus, UserId(1), s1.id()).unwrap();
         s1.drain();
-        s1.send(client.id(), Packet::Redirect { user: UserId(1), new_server: s2.id() }.to_bytes())
-            .unwrap();
+        s1.send(
+            client.id(),
+            Packet::Redirect {
+                user: UserId(1),
+                new_server: s2.id(),
+            }
+            .to_bytes(),
+        )
+        .unwrap();
         client.tick(0, &mut EveryTick);
         assert_eq!(client.server(), s2.id());
         assert_eq!(client.stats().redirects, 1);
@@ -269,7 +313,12 @@ mod tests {
         server
             .send(
                 client.id(),
-                Packet::StateUpdate { user: UserId(99), tick: 0, payload: Bytes::new() }.to_bytes(),
+                Packet::StateUpdate {
+                    user: UserId(99),
+                    tick: 0,
+                    payload: Bytes::new(),
+                }
+                .to_bytes(),
             )
             .unwrap();
         assert_eq!(client.tick(0, &mut Idle), 0);

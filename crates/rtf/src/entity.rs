@@ -110,7 +110,10 @@ impl Rect {
 
     /// The rectangle's center.
     pub fn center(&self) -> Vec2 {
-        Vec2::new((self.min.x + self.max.x) * 0.5, (self.min.y + self.max.y) * 0.5)
+        Vec2::new(
+            (self.min.x + self.max.x) * 0.5,
+            (self.min.y + self.max.y) * 0.5,
+        )
     }
 
     /// Width of the rectangle.

@@ -145,7 +145,11 @@ impl Wire for Packet {
                 w.put_u32(origin.0);
                 w.put_bytes(payload);
             }
-            Packet::ReplicaUpdate { origin, users, payload } => {
+            Packet::ReplicaUpdate {
+                origin,
+                users,
+                payload,
+            } => {
                 w.put_u8(Self::TAG_REPLICA_UPDATE);
                 w.put_u32(origin.0);
                 w.put_u32(users.len() as u32);
@@ -154,13 +158,21 @@ impl Wire for Packet {
                 }
                 w.put_bytes(payload);
             }
-            Packet::StateUpdate { user, tick, payload } => {
+            Packet::StateUpdate {
+                user,
+                tick,
+                payload,
+            } => {
                 w.put_u8(Self::TAG_STATE_UPDATE);
                 w.put_u64(user.0);
                 w.put_u64(*tick);
                 w.put_bytes(payload);
             }
-            Packet::MigrationData { user, client, payload } => {
+            Packet::MigrationData {
+                user,
+                client,
+                payload,
+            } => {
                 w.put_u8(Self::TAG_MIGRATION_DATA);
                 w.put_u64(user.0);
                 w.put_u32(client.0);
@@ -177,11 +189,16 @@ impl Wire for Packet {
     fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
         let tag = r.get_u8()?;
         Ok(match tag {
-            Self::TAG_CONNECT => {
-                Packet::Connect { user: UserId(r.get_u64()?), client: NodeId(r.get_u32()?) }
-            }
-            Self::TAG_CONNECT_ACK => Packet::ConnectAck { user: UserId(r.get_u64()?) },
-            Self::TAG_DISCONNECT => Packet::Disconnect { user: UserId(r.get_u64()?) },
+            Self::TAG_CONNECT => Packet::Connect {
+                user: UserId(r.get_u64()?),
+                client: NodeId(r.get_u32()?),
+            },
+            Self::TAG_CONNECT_ACK => Packet::ConnectAck {
+                user: UserId(r.get_u64()?),
+            },
+            Self::TAG_DISCONNECT => Packet::Disconnect {
+                user: UserId(r.get_u64()?),
+            },
             Self::TAG_USER_INPUT => Packet::UserInput {
                 user: UserId(r.get_u64()?),
                 seq: r.get_u32()?,
@@ -235,7 +252,10 @@ mod tests {
 
     #[test]
     fn all_variants_round_trip() {
-        round_trip(Packet::Connect { user: UserId(1), client: NodeId(70) });
+        round_trip(Packet::Connect {
+            user: UserId(1),
+            client: NodeId(70),
+        });
         round_trip(Packet::ConnectAck { user: UserId(2) });
         round_trip(Packet::Disconnect { user: UserId(3) });
         round_trip(Packet::UserInput {
@@ -262,12 +282,19 @@ mod tests {
             client: NodeId(77),
             payload: Bytes::from_static(b"inventory"),
         });
-        round_trip(Packet::Redirect { user: UserId(9), new_server: NodeId(2) });
+        round_trip(Packet::Redirect {
+            user: UserId(9),
+            new_server: NodeId(2),
+        });
     }
 
     #[test]
     fn empty_payloads_round_trip() {
-        round_trip(Packet::UserInput { user: UserId(1), seq: 0, payload: Bytes::new() });
+        round_trip(Packet::UserInput {
+            user: UserId(1),
+            seq: 0,
+            payload: Bytes::new(),
+        });
         round_trip(Packet::ReplicaUpdate {
             origin: NodeId(0),
             users: vec![],
@@ -277,7 +304,10 @@ mod tests {
 
     #[test]
     fn bad_tag_rejected() {
-        assert_eq!(Packet::from_bytes(&[0xFF]).unwrap_err(), WireError::BadTag(0xFF));
+        assert_eq!(
+            Packet::from_bytes(&[0xFF]).unwrap_err(),
+            WireError::BadTag(0xFF)
+        );
     }
 
     #[test]
@@ -289,17 +319,29 @@ mod tests {
         }
         .to_bytes();
         let err = Packet::from_bytes(&buf[..buf.len() - 2]).unwrap_err();
-        assert!(matches!(err, WireError::Truncated { .. } | WireError::BadLength(_)));
+        assert!(matches!(
+            err,
+            WireError::Truncated { .. } | WireError::BadLength(_)
+        ));
     }
 
     #[test]
     fn kind_names_are_stable() {
         assert_eq!(
-            Packet::Connect { user: UserId(0), client: NodeId(0) }.kind_name(),
+            Packet::Connect {
+                user: UserId(0),
+                client: NodeId(0)
+            }
+            .kind_name(),
             "connect"
         );
         assert_eq!(
-            Packet::StateUpdate { user: UserId(0), tick: 0, payload: Bytes::new() }.kind_name(),
+            Packet::StateUpdate {
+                user: UserId(0),
+                tick: 0,
+                payload: Bytes::new()
+            }
+            .kind_name(),
             "state_update"
         );
     }

@@ -84,7 +84,10 @@ impl MetricsLog {
     /// Creates a log that retains the most recent `capacity` records.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "log capacity must be positive");
-        Self { records: VecDeque::with_capacity(capacity.min(4096)), capacity }
+        Self {
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+        }
     }
 
     /// Appends a record, evicting the oldest if full.
@@ -138,7 +141,9 @@ impl MetricsLog {
 
     /// Maximum tick duration over the last `window` records.
     pub fn max_tick_duration(&self, window: usize) -> f64 {
-        self.window(window).map(|r| r.tick_duration).fold(0.0, f64::max)
+        self.window(window)
+            .map(|r| r.tick_duration)
+            .fold(0.0, f64::max)
     }
 
     /// Mean seconds spent on `task` *per processed item* over the last
@@ -259,7 +264,9 @@ mod tests {
     fn per_item_average_none_without_items() {
         let mut log = MetricsLog::new(10);
         log.push(record(1, 0.0, 0));
-        assert!(log.avg_task_per_item(TaskKind::Fa, 10, |r| r.forwarded_processed).is_none());
+        assert!(log
+            .avg_task_per_item(TaskKind::Fa, 10, |r| r.forwarded_processed)
+            .is_none());
     }
 
     #[test]

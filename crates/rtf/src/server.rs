@@ -125,7 +125,11 @@ pub struct ServerConfig {
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        Self { tick_interval: 0.040, time_mode: TimeMode::Virtual, metrics_capacity: 4096 }
+        Self {
+            tick_interval: 0.040,
+            time_mode: TimeMode::Virtual,
+            metrics_capacity: 4096,
+        }
     }
 }
 
@@ -196,7 +200,8 @@ impl<A: Application> Server<A> {
         self.peers.retain(|p| *p != me);
         // Shadow state from departed peers is stale.
         let keep: BTreeSet<NodeId> = self.peers.iter().copied().collect();
-        self.shadows_by_origin.retain(|origin, _| keep.contains(origin));
+        self.shadows_by_origin
+            .retain(|origin, _| keep.contains(origin));
     }
 
     /// Current replica peers.
@@ -216,7 +221,10 @@ impl<A: Application> Server<A> {
 
     /// Number of shadow users mirrored from peers.
     pub fn shadow_users(&self) -> u32 {
-        self.shadows_by_origin.values().map(|s| s.len() as u32).sum()
+        self.shadows_by_origin
+            .values()
+            .map(|s| s.len() as u32)
+            .sum()
     }
 
     /// Local estimate of the zone's total user count `n`.
@@ -316,16 +324,25 @@ impl<A: Application> Server<A> {
 
         // Connection control (not part of the model's four tasks).
         let decoded_control: Vec<Packet> = self.timers.time(TaskKind::Other, || {
-            control.iter().filter_map(|b| Packet::from_bytes(b).ok()).collect()
+            control
+                .iter()
+                .filter_map(|b| Packet::from_bytes(b).ok())
+                .collect()
         });
         for pkt in decoded_control {
             match pkt {
-                Packet::Connect { user, client }
-                    if self.connect_user(user, client) => {
+                Packet::Connect { user, client } => {
+                    // Re-ack a duplicate Connect from the same client: the
+                    // first ConnectAck may have been lost on a faulty link,
+                    // and the client retries until it hears back.
+                    let accepted =
+                        self.connect_user(user, client) || self.clients.get(&user) == Some(&client);
+                    if accepted {
                         let sent = self.send(client, &Packet::ConnectAck { user });
                         bytes_out += sent;
                         bytes_out_clients += sent;
                     }
+                }
                 Packet::Disconnect { user } => self.handle_disconnect(user),
                 _ => {}
             }
@@ -334,8 +351,15 @@ impl<A: Application> Server<A> {
         // Replica updates: refresh shadow tables, then let the app apply
         // the shadow-entity state (task 2 of §III-A).
         for buf in &replica_updates {
-            let pkt = self.timers.time(TaskKind::FaDser, || Packet::from_bytes(buf));
-            if let Ok(Packet::ReplicaUpdate { origin, users, payload }) = pkt {
+            let pkt = self
+                .timers
+                .time(TaskKind::FaDser, || Packet::from_bytes(buf));
+            if let Ok(Packet::ReplicaUpdate {
+                origin,
+                users,
+                payload,
+            }) = pkt
+            {
                 let set: BTreeSet<UserId> = users
                     .iter()
                     .copied()
@@ -343,19 +367,28 @@ impl<A: Application> Server<A> {
                     .collect();
                 forwarded_processed += set.len() as u32;
                 self.shadows_by_origin.insert(origin, set);
-                let mut ctx =
-                    TickCtx { tick: self.tick, server: self.endpoint.id(), timers: &mut self.timers };
-                self.app.apply_replica_update(&mut ctx, origin, &users, &payload);
+                let mut ctx = TickCtx {
+                    tick: self.tick,
+                    server: self.endpoint.id(),
+                    timers: &mut self.timers,
+                };
+                self.app
+                    .apply_replica_update(&mut ctx, origin, &users, &payload);
             }
         }
 
         // Forwarded interactions targeting our active entities.
         for buf in &forwarded {
-            let pkt = self.timers.time(TaskKind::FaDser, || Packet::from_bytes(buf));
+            let pkt = self
+                .timers
+                .time(TaskKind::FaDser, || Packet::from_bytes(buf));
             if let Ok(Packet::ForwardedInput { origin, payload }) = pkt {
                 forwarded_processed += 1;
-                let mut ctx =
-                    TickCtx { tick: self.tick, server: self.endpoint.id(), timers: &mut self.timers };
+                let mut ctx = TickCtx {
+                    tick: self.tick,
+                    server: self.endpoint.id(),
+                    timers: &mut self.timers,
+                };
                 self.app.apply_forwarded_input(&mut ctx, origin, &payload);
             }
         }
@@ -363,14 +396,19 @@ impl<A: Application> Server<A> {
         // User inputs (task 1).
         let mut outgoing_forwards: Vec<(NodeId, Packet)> = Vec::new();
         for buf in &user_inputs {
-            let pkt = self.timers.time(TaskKind::UaDser, || Packet::from_bytes(buf));
+            let pkt = self
+                .timers
+                .time(TaskKind::UaDser, || Packet::from_bytes(buf));
             if let Ok(Packet::UserInput { user, payload, .. }) = pkt {
                 if !self.clients.contains_key(&user) {
                     continue; // raced with a migration or disconnect
                 }
                 inputs_processed += 1;
-                let mut ctx =
-                    TickCtx { tick: self.tick, server: self.endpoint.id(), timers: &mut self.timers };
+                let mut ctx = TickCtx {
+                    tick: self.tick,
+                    server: self.endpoint.id(),
+                    timers: &mut self.timers,
+                };
                 let events = self.app.apply_user_input(&mut ctx, user, &payload);
                 for ev in events {
                     if let Some(owner) = self.shadow_owner(ev.target_user) {
@@ -393,8 +431,15 @@ impl<A: Application> Server<A> {
 
         // Incoming migrations (receive side of §III-B).
         for buf in &migration_data {
-            let pkt = self.timers.time(TaskKind::MigRcv, || Packet::from_bytes(buf));
-            if let Ok(Packet::MigrationData { user, client, payload }) = pkt {
+            let pkt = self
+                .timers
+                .time(TaskKind::MigRcv, || Packet::from_bytes(buf));
+            if let Ok(Packet::MigrationData {
+                user,
+                client,
+                payload,
+            }) = pkt
+            {
                 migrations_received += 1;
                 self.migration_counters.received += 1;
                 self.clients.insert(user, client);
@@ -402,8 +447,11 @@ impl<A: Application> Server<A> {
                 for set in self.shadows_by_origin.values_mut() {
                     set.remove(&user);
                 }
-                let mut ctx =
-                    TickCtx { tick: self.tick, server: self.endpoint.id(), timers: &mut self.timers };
+                let mut ctx = TickCtx {
+                    tick: self.tick,
+                    server: self.endpoint.id(),
+                    timers: &mut self.timers,
+                };
                 self.app.import_user(&mut ctx, user, &payload);
                 self.app.on_user_connected(user);
                 let sent = self.send(client, &Packet::ConnectAck { user });
@@ -414,8 +462,11 @@ impl<A: Application> Server<A> {
 
         // --- Step 2: compute the new state (task 3: NPCs).
         {
-            let mut ctx =
-                TickCtx { tick: self.tick, server: self.endpoint.id(), timers: &mut self.timers };
+            let mut ctx = TickCtx {
+                tick: self.tick,
+                server: self.endpoint.id(),
+                timers: &mut self.timers,
+            };
             self.app.update_npcs(&mut ctx);
         }
 
@@ -424,18 +475,32 @@ impl<A: Application> Server<A> {
         // users no longer receive one from us.
         let mut migrations_initiated = 0u32;
         while let Some((user, target)) = self.pending_migrations.pop_front() {
-            let Some(&client) = self.clients.get(&user) else { continue };
+            let Some(&client) = self.clients.get(&user) else {
+                continue;
+            };
             migrations_initiated += 1;
             self.migration_counters.initiated += 1;
             let payload = {
-                let mut ctx =
-                    TickCtx { tick: self.tick, server: self.endpoint.id(), timers: &mut self.timers };
+                let mut ctx = TickCtx {
+                    tick: self.tick,
+                    server: self.endpoint.id(),
+                    timers: &mut self.timers,
+                };
                 self.app.export_user(&mut ctx, user)
             };
             let (data, redirect) = self.timers.time(TaskKind::MigIni, || {
                 (
-                    Packet::MigrationData { user, client, payload }.to_bytes(),
-                    Packet::Redirect { user, new_server: target }.to_bytes(),
+                    Packet::MigrationData {
+                        user,
+                        client,
+                        payload,
+                    }
+                    .to_bytes(),
+                    Packet::Redirect {
+                        user,
+                        new_server: target,
+                    }
+                    .to_bytes(),
                 )
             });
             bytes_out += data.len() as u64;
@@ -452,11 +517,18 @@ impl<A: Application> Server<A> {
         let users: Vec<(UserId, NodeId)> = self.clients.iter().map(|(u, c)| (*u, *c)).collect();
         for (user, client) in users {
             let payload = {
-                let mut ctx =
-                    TickCtx { tick: self.tick, server: self.endpoint.id(), timers: &mut self.timers };
+                let mut ctx = TickCtx {
+                    tick: self.tick,
+                    server: self.endpoint.id(),
+                    timers: &mut self.timers,
+                };
                 self.app.state_update_for(&mut ctx, user)
             };
-            let pkt = Packet::StateUpdate { user, tick: self.tick, payload };
+            let pkt = Packet::StateUpdate {
+                user,
+                tick: self.tick,
+                payload,
+            };
             let buf = self.timers.time(TaskKind::Su, || pkt.to_bytes());
             bytes_out += buf.len() as u64;
             bytes_out_clients += buf.len() as u64;
@@ -469,8 +541,11 @@ impl<A: Application> Server<A> {
         // four modelled tasks, hence `Other`).
         if !self.peers.is_empty() && !self.clients.is_empty() {
             let payload = {
-                let mut ctx =
-                    TickCtx { tick: self.tick, server: self.endpoint.id(), timers: &mut self.timers };
+                let mut ctx = TickCtx {
+                    tick: self.tick,
+                    server: self.endpoint.id(),
+                    timers: &mut self.timers,
+                };
                 self.app.replica_update(&mut ctx)
             };
             let users: Vec<UserId> = self.clients.keys().copied().collect();
@@ -644,13 +719,24 @@ mod tests {
 
     fn setup() -> (Bus, Server<TestApp>, Endpoint) {
         let bus = Bus::new();
-        let server = Server::new(&bus, "s1", ZoneId(1), TestApp::default(), ServerConfig::default());
+        let server = Server::new(
+            &bus,
+            "s1",
+            ZoneId(1),
+            TestApp::default(),
+            ServerConfig::default(),
+        );
         let client = bus.register("client");
         (bus, server, client)
     }
 
     fn input_packet(user: UserId, seq: u32, payload: &[u8]) -> Bytes {
-        Packet::UserInput { user, seq, payload: Bytes::copy_from_slice(payload) }.to_bytes()
+        Packet::UserInput {
+            user,
+            seq,
+            payload: Bytes::copy_from_slice(payload),
+        }
+        .to_bytes()
     }
 
     #[test]
@@ -658,9 +744,14 @@ mod tests {
         let (_bus, mut server, client) = setup();
         let user = UserId(1);
         assert!(server.connect_user(user, client.id()));
-        assert!(!server.connect_user(user, client.id()), "double connect rejected");
+        assert!(
+            !server.connect_user(user, client.id()),
+            "double connect rejected"
+        );
 
-        client.send(server.id(), input_packet(user, 0, &[])).unwrap();
+        client
+            .send(server.id(), input_packet(user, 0, &[]))
+            .unwrap();
         let record = server.tick();
         assert_eq!(record.inputs_processed, 1);
         assert_eq!(record.active_users, 1);
@@ -673,7 +764,9 @@ mod tests {
         let (_bus, mut server, client) = setup();
         let user = UserId(1);
         server.connect_user(user, client.id());
-        client.send(server.id(), input_packet(user, 0, &[])).unwrap();
+        client
+            .send(server.id(), input_packet(user, 0, &[]))
+            .unwrap();
         let record = server.tick();
         assert_eq!(record.updates_sent, 1);
         let msgs = client.drain();
@@ -681,7 +774,9 @@ mod tests {
             .iter()
             .filter_map(|m| Packet::from_bytes(&m.payload).ok())
             .find_map(|p| match p {
-                Packet::StateUpdate { user: u, payload, .. } if u == user => Some(payload),
+                Packet::StateUpdate {
+                    user: u, payload, ..
+                } if u == user => Some(payload),
                 _ => None,
             })
             .expect("client got an update");
@@ -692,10 +787,20 @@ mod tests {
     #[test]
     fn replica_updates_create_shadows_and_forwarding_works() {
         let bus = Bus::new();
-        let mut s1 =
-            Server::new(&bus, "s1", ZoneId(1), TestApp::default(), ServerConfig::default());
-        let mut s2 =
-            Server::new(&bus, "s2", ZoneId(1), TestApp::default(), ServerConfig::default());
+        let mut s1 = Server::new(
+            &bus,
+            "s1",
+            ZoneId(1),
+            TestApp::default(),
+            ServerConfig::default(),
+        );
+        let mut s2 = Server::new(
+            &bus,
+            "s2",
+            ZoneId(1),
+            TestApp::default(),
+            ServerConfig::default(),
+        );
         s1.set_peers(vec![s2.id()]);
         s2.set_peers(vec![s1.id()]);
         let c1 = bus.register("c1");
@@ -727,10 +832,20 @@ mod tests {
     #[test]
     fn migration_moves_user_between_servers() {
         let bus = Bus::new();
-        let mut s1 =
-            Server::new(&bus, "s1", ZoneId(1), TestApp::default(), ServerConfig::default());
-        let mut s2 =
-            Server::new(&bus, "s2", ZoneId(1), TestApp::default(), ServerConfig::default());
+        let mut s1 = Server::new(
+            &bus,
+            "s1",
+            ZoneId(1),
+            TestApp::default(),
+            ServerConfig::default(),
+        );
+        let mut s2 = Server::new(
+            &bus,
+            "s2",
+            ZoneId(1),
+            TestApp::default(),
+            ServerConfig::default(),
+        );
         s1.set_peers(vec![s2.id()]);
         s2.set_peers(vec![s1.id()]);
         let c1 = bus.register("c1");
@@ -765,7 +880,9 @@ mod tests {
         assert!(pkts
             .iter()
             .any(|p| matches!(p, Packet::Redirect { new_server, .. } if *new_server == s2.id())));
-        assert!(pkts.iter().any(|p| matches!(p, Packet::ConnectAck { user: u } if *u == user)));
+        assert!(pkts
+            .iter()
+            .any(|p| matches!(p, Packet::ConnectAck { user: u } if *u == user)));
     }
 
     #[test]
@@ -777,7 +894,9 @@ mod tests {
     #[test]
     fn input_from_disconnected_user_is_dropped() {
         let (_bus, mut server, client) = setup();
-        client.send(server.id(), input_packet(UserId(5), 0, &[])).unwrap();
+        client
+            .send(server.id(), input_packet(UserId(5), 0, &[]))
+            .unwrap();
         let record = server.tick();
         assert_eq!(record.inputs_processed, 0);
     }
@@ -787,7 +906,9 @@ mod tests {
         let (_bus, mut server, client) = setup();
         let user = UserId(1);
         server.connect_user(user, client.id());
-        client.send(server.id(), Packet::Disconnect { user }.to_bytes()).unwrap();
+        client
+            .send(server.id(), Packet::Disconnect { user }.to_bytes())
+            .unwrap();
         server.tick();
         assert_eq!(server.active_users(), 0);
         assert!(server.app().counters.is_empty());
@@ -808,8 +929,13 @@ mod tests {
     #[test]
     fn set_peers_excludes_self_and_prunes_shadows() {
         let bus = Bus::new();
-        let mut s1 =
-            Server::new(&bus, "s1", ZoneId(1), TestApp::default(), ServerConfig::default());
+        let mut s1 = Server::new(
+            &bus,
+            "s1",
+            ZoneId(1),
+            TestApp::default(),
+            ServerConfig::default(),
+        );
         let me = s1.id();
         s1.set_peers(vec![me, NodeId(77)]);
         assert_eq!(s1.peers(), &[NodeId(77)]);

@@ -105,7 +105,10 @@ pub struct TickTimers {
 impl TickTimers {
     /// Creates timers reporting according to `mode`.
     pub fn new(mode: TimeMode) -> Self {
-        Self { mode, ..Self::default() }
+        Self {
+            mode,
+            ..Self::default()
+        }
     }
 
     /// The reporting mode.
@@ -215,7 +218,10 @@ mod tests {
         t.time(TaskKind::Ua, || std::hint::black_box(1 + 1));
         t.charge(TaskKind::Ua, 0.5);
         assert_eq!(t.get(TaskKind::Ua), 0.5, "virtual mode ignores wall time");
-        assert!(t.wall(TaskKind::Ua) < 0.5, "wall accumulator still accessible");
+        assert!(
+            t.wall(TaskKind::Ua) < 0.5,
+            "wall accumulator still accessible"
+        );
     }
 
     #[test]

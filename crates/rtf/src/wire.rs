@@ -54,7 +54,9 @@ impl WireWriter {
 
     /// Creates a writer with reserved capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { buf: BytesMut::with_capacity(cap) }
+        Self {
+            buf: BytesMut::with_capacity(cap),
+        }
     }
 
     /// Bytes written so far.
@@ -139,7 +141,10 @@ impl<'a> WireReader<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
         if self.remaining() < n {
-            return Err(WireError::Truncated { needed: n, remaining: self.remaining() });
+            return Err(WireError::Truncated {
+                needed: n,
+                remaining: self.remaining(),
+            });
         }
         let slice = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -255,7 +260,13 @@ mod tests {
     fn truncated_read_fails() {
         let mut r = WireReader::new(&[1, 2]);
         let err = r.get_u32().unwrap_err();
-        assert_eq!(err, WireError::Truncated { needed: 4, remaining: 2 });
+        assert_eq!(
+            err,
+            WireError::Truncated {
+                needed: 4,
+                remaining: 2
+            }
+        );
     }
 
     #[test]
@@ -300,7 +311,10 @@ mod tests {
                 w.put_f32(self.y);
             }
             fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-                Ok(Point { x: r.get_f32()?, y: r.get_f32()? })
+                Ok(Point {
+                    x: r.get_f32()?,
+                    y: r.get_f32()?,
+                })
             }
         }
         let p = Point { x: 3.0, y: -4.5 };

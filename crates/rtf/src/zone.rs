@@ -149,11 +149,7 @@ impl WorldLayout {
 
     /// The distribution scheme in effect for a zone.
     pub fn distribution(&self, zone: ZoneId) -> Distribution {
-        let instances: Vec<_> = self
-            .assignment
-            .keys()
-            .filter(|(z, _)| *z == zone)
-            .collect();
+        let instances: Vec<_> = self.assignment.keys().filter(|(z, _)| *z == zone).collect();
         if instances.len() > 1 {
             Distribution::Instancing
         } else if instances
@@ -197,8 +193,14 @@ mod tests {
         let mut layout = WorldLayout::new();
         layout.add_zone(zone(1, 0.0, 100.0));
         layout.add_zone(zone(2, 100.0, 100.0));
-        assert_eq!(layout.zone_at(&Vec2::new(50.0, 50.0)).unwrap().id, ZoneId(1));
-        assert_eq!(layout.zone_at(&Vec2::new(150.0, 50.0)).unwrap().id, ZoneId(2));
+        assert_eq!(
+            layout.zone_at(&Vec2::new(50.0, 50.0)).unwrap().id,
+            ZoneId(1)
+        );
+        assert_eq!(
+            layout.zone_at(&Vec2::new(150.0, 50.0)).unwrap().id,
+            ZoneId(2)
+        );
         assert!(layout.zone_at(&Vec2::new(500.0, 50.0)).is_none());
     }
 
@@ -261,7 +263,10 @@ mod tests {
         layout.assign(ZoneId(1), InstanceId(0), NodeId(1));
         layout.assign(ZoneId(1), InstanceId(0), NodeId(2));
         assert!(layout.substitute(ZoneId(1), InstanceId(0), NodeId(1), NodeId(7)));
-        assert_eq!(layout.replicas(ZoneId(1), InstanceId(0)), &[NodeId(7), NodeId(2)]);
+        assert_eq!(
+            layout.replicas(ZoneId(1), InstanceId(0)),
+            &[NodeId(7), NodeId(2)]
+        );
         assert!(!layout.substitute(ZoneId(1), InstanceId(0), NodeId(1), NodeId(8)));
     }
 

@@ -22,10 +22,16 @@ fn arb_packet() -> impl Strategy<Value = Packet> {
         any::<u64>().prop_map(|u| Packet::ConnectAck { user: UserId(u) }),
         any::<u64>().prop_map(|u| Packet::Disconnect { user: UserId(u) }),
         (any::<u64>(), any::<u32>(), arb_payload()).prop_map(|(u, seq, payload)| {
-            Packet::UserInput { user: UserId(u), seq, payload }
+            Packet::UserInput {
+                user: UserId(u),
+                seq,
+                payload,
+            }
         }),
-        (any::<u32>(), arb_payload())
-            .prop_map(|(o, payload)| Packet::ForwardedInput { origin: NodeId(o), payload }),
+        (any::<u32>(), arb_payload()).prop_map(|(o, payload)| Packet::ForwardedInput {
+            origin: NodeId(o),
+            payload
+        }),
         (
             any::<u32>(),
             proptest::collection::vec(any::<u64>(), 0..64),
@@ -37,10 +43,18 @@ fn arb_packet() -> impl Strategy<Value = Packet> {
                 payload,
             }),
         (any::<u64>(), any::<u64>(), arb_payload()).prop_map(|(u, tick, payload)| {
-            Packet::StateUpdate { user: UserId(u), tick, payload }
+            Packet::StateUpdate {
+                user: UserId(u),
+                tick,
+                payload,
+            }
         }),
         (any::<u64>(), any::<u32>(), arb_payload()).prop_map(|(u, c, payload)| {
-            Packet::MigrationData { user: UserId(u), client: NodeId(c), payload }
+            Packet::MigrationData {
+                user: UserId(u),
+                client: NodeId(c),
+                payload,
+            }
         }),
         (any::<u64>(), any::<u32>()).prop_map(|(u, s)| Packet::Redirect {
             user: UserId(u),

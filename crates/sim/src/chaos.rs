@@ -1,0 +1,312 @@
+//! Deterministic, seeded fault injection for cluster sessions.
+//!
+//! A [`FaultPlan`] describes *what can go wrong* in a run: scheduled
+//! one-shot faults (crash the most loaded replica at tick 3000, isolate
+//! server 2 for 500 ticks, ...) plus ambient probabilistic hazards (every
+//! message on every link dropped with 1% probability, every machine lease
+//! failing to boot with 10% probability, a small per-tick crash hazard).
+//! The [`Cluster`](crate::cluster::Cluster) applies a plan via
+//! `set_chaos`; everything is driven by the plan's seed, so a chaotic run
+//! is exactly as reproducible as a calm one.
+//!
+//! The plan vocabulary deliberately mirrors the failure modes the
+//! scalability paper's testbed could not exhibit: real clouds lose
+//! machines mid-session, refuse or botch boot requests, and degrade links
+//! — a resource-management loop that only works when every action
+//! succeeds is not one you can operate.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rtf_core::net::NodeId;
+
+/// One injectable fault. Server-targeting faults select by *index into
+/// the current server list* (modulo its length), not by `NodeId` — a plan
+/// written before the run cannot know which node ids exist at tick t.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Crash the replica currently serving the most users.
+    CrashMostLoaded,
+    /// Crash the `n`-th replica (mod server count).
+    CrashNth(usize),
+    /// Blackhole all traffic of the `n`-th replica for a while — the
+    /// machine is alive but unreachable (switch failure, netsplit).
+    Isolate {
+        /// Replica index (mod server count).
+        nth: usize,
+        /// Ticks until connectivity returns.
+        for_ticks: u64,
+    },
+    /// Multiply the `n`-th replica's CPU costs by `factor` for a while —
+    /// a straggler (thermal throttling, noisy neighbour).
+    Straggle {
+        /// Replica index (mod server count).
+        nth: usize,
+        /// Cost multiplier (≥ 1).
+        factor: f64,
+        /// Ticks until the machine recovers.
+        for_ticks: u64,
+    },
+    /// Change the cloud's boot-failure probability from this tick on.
+    SetBootFailureRate(f64),
+    /// Change the ambient message-loss probability from this tick on.
+    SetLinkLoss(f64),
+}
+
+/// A fault scheduled at an absolute tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledFault {
+    /// When to inject.
+    pub tick: u64,
+    /// What to inject.
+    pub fault: Fault,
+}
+
+/// A reproducible description of everything that goes wrong in a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every probabilistic hazard (link loss, boot failures,
+    /// ambient crashes). Same seed + same plan = same run.
+    pub seed: u64,
+    /// Probability that a requested machine fails to boot.
+    pub boot_failure_rate: f64,
+    /// Ambient per-message drop probability on every link.
+    pub link_loss: f64,
+    /// Ambient per-message extra delay, uniform in `0..=jitter` ticks.
+    pub link_jitter_ticks: u32,
+    /// Per-tick probability of crashing one random replica.
+    pub crash_rate_per_tick: f64,
+    /// One-shot faults, applied when their tick arrives.
+    pub events: Vec<ScheduledFault>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a base for builders).
+    pub fn quiet(seed: u64) -> Self {
+        Self {
+            seed,
+            boot_failure_rate: 0.0,
+            link_loss: 0.0,
+            link_jitter_ticks: 0,
+            crash_rate_per_tick: 0.0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Sets the ambient boot-failure probability.
+    pub fn with_boot_failures(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        self.boot_failure_rate = rate;
+        self
+    }
+
+    /// Sets the ambient link loss and jitter.
+    pub fn with_link_faults(mut self, loss: f64, jitter_ticks: u32) -> Self {
+        assert!((0.0..=1.0).contains(&loss));
+        self.link_loss = loss;
+        self.link_jitter_ticks = jitter_ticks;
+        self
+    }
+
+    /// Sets the ambient per-tick crash probability.
+    pub fn with_crash_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate));
+        self.crash_rate_per_tick = rate;
+        self
+    }
+
+    /// Schedules a one-shot fault.
+    pub fn at(mut self, tick: u64, fault: Fault) -> Self {
+        self.events.push(ScheduledFault { tick, fault });
+        self
+    }
+
+    /// A randomized plan over `horizon` ticks whose harshness scales with
+    /// `intensity` in `[0, 1]`: crashes, isolation windows, stragglers and
+    /// a boot-failure burst, all placed by the seed.
+    pub fn random(seed: u64, intensity: f64, horizon: u64) -> Self {
+        assert!((0.0..=1.0).contains(&intensity));
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xCA05_0000_0000_0000);
+        let mut plan = Self::quiet(seed)
+            .with_boot_failures(0.3 * intensity)
+            .with_link_faults(0.02 * intensity, if intensity > 0.5 { 2 } else { 0 });
+        let crashes = 1 + (intensity * 4.0) as usize;
+        for _ in 0..crashes {
+            let tick = rng.gen_range(horizon / 10..horizon * 9 / 10);
+            plan = plan.at(tick, Fault::CrashMostLoaded);
+        }
+        if intensity > 0.3 {
+            let tick = rng.gen_range(horizon / 10..horizon / 2);
+            let nth = rng.gen_range(0..8);
+            plan = plan.at(
+                tick,
+                Fault::Isolate {
+                    nth,
+                    for_ticks: 200 + (600.0 * intensity) as u64,
+                },
+            );
+        }
+        if intensity > 0.2 {
+            let tick = rng.gen_range(horizon / 4..horizon * 3 / 4);
+            let nth = rng.gen_range(0..8);
+            plan = plan.at(
+                tick,
+                Fault::Straggle {
+                    nth,
+                    factor: 1.5 + 2.0 * intensity,
+                    for_ticks: 500,
+                },
+            );
+        }
+        plan
+    }
+}
+
+/// A side effect that undoes a timed fault once its window elapses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Revert {
+    /// Restore connectivity of an isolated node.
+    Unisolate(NodeId),
+    /// Restore a straggler's normal speed.
+    Unstraggle(NodeId),
+}
+
+/// Runtime state of a plan being applied to a cluster. The cluster owns
+/// the engine and asks it each tick which faults fire and which timed
+/// faults revert.
+#[derive(Debug, Clone)]
+pub struct ChaosEngine {
+    plan: FaultPlan,
+    next_event: usize,
+    rng: SmallRng,
+    reverts: Vec<(u64, Revert)>,
+}
+
+impl ChaosEngine {
+    /// Prepares a plan for execution (events are sorted by tick).
+    pub fn new(mut plan: FaultPlan) -> Self {
+        plan.events.sort_by_key(|e| e.tick);
+        let rng = SmallRng::seed_from_u64(plan.seed ^ 0xC4A5_11FE_ED00_0001);
+        Self {
+            plan,
+            next_event: 0,
+            rng,
+            reverts: Vec::new(),
+        }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Scheduled faults due at `tick` (each fires exactly once).
+    pub fn due_faults(&mut self, tick: u64) -> Vec<Fault> {
+        let mut due = Vec::new();
+        while self.next_event < self.plan.events.len()
+            && self.plan.events[self.next_event].tick <= tick
+        {
+            due.push(self.plan.events[self.next_event].fault);
+            self.next_event += 1;
+        }
+        due
+    }
+
+    /// Registers the undo of a timed fault.
+    pub fn schedule_revert(&mut self, at_tick: u64, revert: Revert) {
+        self.reverts.push((at_tick, revert));
+    }
+
+    /// Timed-fault windows that close at `tick`.
+    pub fn due_reverts(&mut self, tick: u64) -> Vec<Revert> {
+        let mut due = Vec::new();
+        self.reverts.retain(|(at, revert)| {
+            if *at <= tick {
+                due.push(*revert);
+                false
+            } else {
+                true
+            }
+        });
+        due
+    }
+
+    /// Reverts still outstanding (drained when chaos is cleared early).
+    pub fn drain_reverts(&mut self) -> Vec<Revert> {
+        self.reverts.drain(..).map(|(_, r)| r).collect()
+    }
+
+    /// Samples the ambient crash hazard for one tick.
+    pub fn sample_crash(&mut self) -> bool {
+        self.plan.crash_rate_per_tick > 0.0 && self.rng.gen::<f64>() < self.plan.crash_rate_per_tick
+    }
+
+    /// A seeded index draw (used to pick the ambient-crash victim).
+    pub fn pick(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        self.rng.gen_range(0..n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_once_in_tick_order() {
+        let plan = FaultPlan::quiet(1)
+            .at(50, Fault::CrashNth(0))
+            .at(10, Fault::CrashMostLoaded)
+            .at(50, Fault::SetLinkLoss(0.1));
+        let mut engine = ChaosEngine::new(plan);
+        assert!(engine.due_faults(5).is_empty());
+        assert_eq!(engine.due_faults(10), vec![Fault::CrashMostLoaded]);
+        assert!(engine.due_faults(10).is_empty(), "one-shot");
+        assert_eq!(
+            engine.due_faults(60),
+            vec![Fault::CrashNth(0), Fault::SetLinkLoss(0.1)],
+            "late pump catches up in order"
+        );
+    }
+
+    #[test]
+    fn reverts_fire_when_window_closes() {
+        let mut engine = ChaosEngine::new(FaultPlan::quiet(2));
+        engine.schedule_revert(100, Revert::Unisolate(NodeId(7)));
+        engine.schedule_revert(50, Revert::Unstraggle(NodeId(3)));
+        assert!(engine.due_reverts(49).is_empty());
+        assert_eq!(engine.due_reverts(50), vec![Revert::Unstraggle(NodeId(3))]);
+        assert_eq!(engine.due_reverts(500), vec![Revert::Unisolate(NodeId(7))]);
+        assert!(engine.due_reverts(501).is_empty());
+    }
+
+    #[test]
+    fn ambient_crash_hazard_is_seeded() {
+        let sample = |seed: u64| {
+            let mut engine = ChaosEngine::new(FaultPlan::quiet(seed).with_crash_rate(0.5));
+            (0..64).map(|_| engine.sample_crash()).collect::<Vec<_>>()
+        };
+        assert_eq!(sample(9), sample(9));
+        assert_ne!(sample(9), sample(10));
+        let hits = sample(9).iter().filter(|h| **h).count();
+        assert!((16..=48).contains(&hits), "rate roughly respected: {hits}");
+    }
+
+    #[test]
+    fn zero_rate_never_crashes() {
+        let mut engine = ChaosEngine::new(FaultPlan::quiet(3));
+        assert!((0..1000).all(|_| !engine.sample_crash()));
+    }
+
+    #[test]
+    fn random_plans_are_reproducible_and_scale_with_intensity() {
+        assert_eq!(
+            FaultPlan::random(5, 0.8, 7500),
+            FaultPlan::random(5, 0.8, 7500)
+        );
+        let mild = FaultPlan::random(5, 0.1, 7500);
+        let harsh = FaultPlan::random(5, 1.0, 7500);
+        assert!(harsh.events.len() >= mild.events.len());
+        assert!(harsh.boot_failure_rate > mild.boot_failure_rate);
+        assert!(harsh.link_loss > mild.link_loss);
+    }
+}

@@ -6,10 +6,20 @@
 //! it executes — booting replicas, pacing migrations, substituting and
 //! removing machines. One [`Cluster::step`] is one 40 ms tick of the whole
 //! deployment.
+//!
+//! The driver is hardened against the faults a [`FaultPlan`] injects:
+//! every controller action is executed fallibly and its
+//! [`ActionOutcome`] reported back; users orphaned by a crash (or starved
+//! by an isolated/lossy path) are re-homed by a supervisor with
+//! exponential backoff rather than instantly; a repair sweep removes
+//! duplicate and ghost avatars that fault races leave behind; and an
+//! optional invariant checker ([`Cluster::set_debug_checks`]) asserts
+//! population conservation and no-migration-into-dead-nodes every tick.
 
+use crate::chaos::{ChaosEngine, Fault, FaultPlan, Revert};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use rtf_core::client::Client;
+use rtf_core::client::{Client, ClientState};
 use rtf_core::entity::UserId;
 use rtf_core::metrics::TickRecord;
 use rtf_core::net::{Bus, NodeId};
@@ -17,11 +27,19 @@ use rtf_core::server::{Server, ServerConfig};
 use rtf_core::timer::TimeMode;
 use rtf_core::zone::{InstanceId, WorldLayout, Zone, ZoneId};
 use rtf_rms::{
-    Action, ControllerConfig, MachineProfile, LeaseId, Policy, ResourcePool, RmsController,
-    ServerSnapshot, ZoneSnapshot,
+    Action, ActionId, ActionOutcome, BootEvent, ControllerConfig, LeaseId, MachineProfile, Policy,
+    ResourcePool, RmsController, ServerSnapshot, ZoneSnapshot,
 };
 use rtfdemo::{Bot, BotBehavior, CostModel, CostRates, RtfDemoApp, World};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Ticks without a single state update before the stall watchdog hands a
+/// client to the re-home supervisor (4 s at 25 Hz).
+const STALL_TICKS: u64 = 100;
+/// Base backoff between re-home attempts; doubles per attempt.
+const REHOME_BACKOFF_TICKS: u64 = 25;
+/// Backoff stops growing after this many doublings (25 << 4 = 400 ticks).
+const MAX_BACKOFF_SHIFT: u32 = 4;
 
 /// Cluster configuration.
 #[derive(Debug, Clone)]
@@ -74,6 +92,10 @@ struct ServerHandle {
 pub struct ClientHandle {
     client: Client,
     bot: Bot,
+    /// Updates seen at the last watchdog check, and when progress was last
+    /// observed — the stall watchdog's state.
+    last_updates: u64,
+    last_progress_tick: u64,
 }
 
 impl ClientHandle {
@@ -81,6 +103,25 @@ impl ClientHandle {
     pub fn user(&self) -> UserId {
         self.client.user()
     }
+}
+
+/// Re-home supervision state of one user.
+#[derive(Debug, Clone, Copy)]
+struct Rehome {
+    attempts: u32,
+    next_attempt: u64,
+}
+
+/// How the cluster executed one controller action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActionExec {
+    /// Took effect synchronously.
+    Done,
+    /// A machine was leased; the outcome arrives when it boots (or fails
+    /// to).
+    Booting(LeaseId),
+    /// Refused: out of capacity, dead/suspect target, or invalid plan.
+    Rejected,
 }
 
 /// Per-tick aggregate statistics (the Fig. 8 series).
@@ -98,6 +139,8 @@ pub struct ClusterTickStats {
     pub max_tick_duration: f64,
     /// Whether any replica violated the threshold this tick.
     pub violation: bool,
+    /// Users not active on any replica (orphaned or mid-re-home).
+    pub unhomed: u32,
 }
 
 /// The running deployment.
@@ -113,10 +156,23 @@ pub struct Cluster {
     pending_replicas: Vec<LeaseId>,
     pending_substitutions: Vec<(LeaseId, NodeId)>,
     substituting: Vec<(NodeId, NodeId)>,
+    /// Ledger ids awaiting a boot outcome, by lease.
+    lease_actions: BTreeMap<LeaseId, ActionId>,
+    /// Outcomes observed between control rounds, delivered at the next one.
+    pending_reports: Vec<(ActionId, ActionOutcome)>,
     tick: u64,
     next_user: u64,
     pending_connects: BTreeMap<NodeId, u32>,
     orphans: Vec<UserId>,
+    rehoming: BTreeMap<UserId, Rehome>,
+    /// Replicas considered unreliable (currently: isolated by chaos) —
+    /// excluded from placement, migration targets and snapshots.
+    suspects: BTreeSet<NodeId>,
+    chaos: Option<ChaosEngine>,
+    debug_checks: bool,
+    /// Users this deployment should be serving (add/remove/adopt/extract
+    /// accounting) — the conservation baseline for the invariant checker.
+    expected_users: u64,
     rng: SmallRng,
     history: Vec<ClusterTickStats>,
     violations: u64,
@@ -134,15 +190,14 @@ impl Cluster {
     /// Creates a cluster whose servers and clients live on an externally
     /// provided bus — deployments of *different zones* sharing one bus can
     /// hand users over with full state (cross-zone migration).
-    pub fn new_on_bus(
-        bus: Bus,
-        zone: ZoneId,
-        config: ClusterConfig,
-        initial_servers: u32,
-    ) -> Self {
+    pub fn new_on_bus(bus: Bus, zone: ZoneId, config: ClusterConfig, initial_servers: u32) -> Self {
         assert!(initial_servers >= 1);
         let mut layout = WorldLayout::new();
-        layout.add_zone(Zone { id: zone, bounds: config.world.bounds, name: format!("zone-{}", zone.0) });
+        layout.add_zone(Zone {
+            id: zone,
+            bounds: config.world.bounds,
+            name: format!("zone-{}", zone.0),
+        });
 
         let mut cluster = Self {
             pool: config.pool.clone(),
@@ -157,10 +212,17 @@ impl Cluster {
             pending_replicas: Vec::new(),
             pending_substitutions: Vec::new(),
             substituting: Vec::new(),
+            lease_actions: BTreeMap::new(),
+            pending_reports: Vec::new(),
             tick: 0,
             next_user: 1,
             pending_connects: BTreeMap::new(),
             orphans: Vec::new(),
+            rehoming: BTreeMap::new(),
+            suspects: BTreeSet::new(),
+            chaos: None,
+            debug_checks: false,
+            expected_users: 0,
             history: Vec::new(),
             violations: 0,
             u_threshold: 0.040,
@@ -185,6 +247,40 @@ impl Cluster {
     /// The tick-duration threshold used for violation accounting.
     pub fn set_threshold(&mut self, u_threshold: f64) {
         self.u_threshold = u_threshold;
+    }
+
+    /// Arms a fault plan: ambient link loss/jitter and boot failures apply
+    /// immediately, scheduled faults fire as their ticks arrive.
+    pub fn set_chaos(&mut self, plan: FaultPlan) {
+        self.bus.set_fault_seed(plan.seed);
+        self.bus
+            .set_link_faults(plan.link_loss, plan.link_jitter_ticks);
+        self.pool
+            .set_boot_failures(plan.boot_failure_rate, plan.seed);
+        self.chaos = Some(ChaosEngine::new(plan));
+    }
+
+    /// Disarms fault injection and heals every ambient and timed fault
+    /// (isolations lift, stragglers recover, links become reliable).
+    pub fn clear_chaos(&mut self) {
+        if let Some(mut engine) = self.chaos.take() {
+            for revert in engine.drain_reverts() {
+                self.apply_revert(revert);
+            }
+        }
+        self.bus.set_link_faults(0.0, 0);
+        self.pool.set_boot_failures(0.0, 0);
+        for id in std::mem::take(&mut self.suspects) {
+            self.bus.set_isolated(id, false);
+        }
+    }
+
+    /// Enables the per-tick invariant checker (panics on violation). Meant
+    /// for tests: it asserts population conservation, no duplicate or
+    /// ghost avatars after the repair sweep, valid substitution targets,
+    /// and that every unhomed user is under supervision.
+    pub fn set_debug_checks(&mut self, on: bool) {
+        self.debug_checks = on;
     }
 
     /// Current tick.
@@ -228,6 +324,16 @@ impl Cluster {
         self.controller.as_ref().map(|c| c.log())
     }
 
+    /// Users currently under re-home supervision.
+    pub fn supervised_count(&self) -> usize {
+        self.rehoming.len()
+    }
+
+    /// Replicas currently marked unreliable.
+    pub fn suspect_count(&self) -> usize {
+        self.suspects.len()
+    }
+
     /// Total cloud cost accrued so far.
     pub fn total_cost(&self) -> f64 {
         self.pool.total_cost(self.tick)
@@ -235,12 +341,18 @@ impl Cluster {
 
     /// Lifetime migrations executed by all servers.
     pub fn total_migrations(&self) -> u64 {
-        self.servers.iter().map(|s| s.server.migration_counters().initiated).sum()
+        self.servers
+            .iter()
+            .map(|s| s.server.migration_counters().initiated)
+            .sum()
     }
 
     /// Per-server (id, active users) pairs.
     pub fn server_loads(&self) -> Vec<(NodeId, u32)> {
-        self.servers.iter().map(|s| (s.server.id(), s.server.active_users())).collect()
+        self.servers
+            .iter()
+            .map(|s| (s.server.id(), s.server.active_users()))
+            .collect()
     }
 
     /// Access to one server's metrics (for measurement campaigns).
@@ -294,7 +406,11 @@ impl Cluster {
         let server = Server::new(&self.bus, &label, self.zone, app, server_config);
         let id = server.id();
         self.layout.assign(self.zone, InstanceId(0), id);
-        self.servers.push(ServerHandle { server, lease, speedup: profile.speedup });
+        self.servers.push(ServerHandle {
+            server,
+            lease,
+            speedup: profile.speedup,
+        });
         self.refresh_peers();
         id
     }
@@ -324,29 +440,46 @@ impl Cluster {
         true
     }
 
-    /// Connects a new bot-driven user to the least loaded server; returns
-    /// its id.
+    fn server_alive(&self, id: NodeId) -> bool {
+        self.servers.iter().any(|s| s.server.id() == id)
+    }
+
+    /// Connects a new bot-driven user to the least loaded healthy server;
+    /// returns its id.
     pub fn add_user(&mut self) -> UserId {
         let user = UserId(self.next_user);
         self.next_user += 1;
-        // Account for connects still in flight, so a burst of joins in one
-        // tick still spreads across the replicas.
-        let target = self
-            .servers
-            .iter()
-            .map(|s| {
-                let id = s.server.id();
-                let pending = self.pending_connects.get(&id).copied().unwrap_or(0);
-                (s.server.active_users() + pending, id)
-            })
-            .min_by_key(|(load, _)| *load)
-            .expect("at least one server")
-            .1;
+        let target = self.placement_target().expect("at least one server");
         *self.pending_connects.entry(target).or_insert(0) += 1;
         let client = Client::connect(&self.bus, user, target).expect("server registered");
         let bot = Bot::new(user, self.config.seed, self.config.bots);
-        self.clients.insert(user, ClientHandle { client, bot });
+        self.clients.insert(
+            user,
+            ClientHandle {
+                client,
+                bot,
+                last_updates: 0,
+                last_progress_tick: self.tick,
+            },
+        );
+        self.expected_users += 1;
         user
+    }
+
+    /// Least loaded non-suspect server, counting connects still in flight
+    /// (so a burst of joins in one tick still spreads). Falls back to the
+    /// suspects if nothing healthy serves.
+    fn placement_target(&self) -> Option<NodeId> {
+        let load_of = |s: &ServerHandle| {
+            let id = s.server.id();
+            s.server.active_users() + self.pending_connects.get(&id).copied().unwrap_or(0)
+        };
+        self.servers
+            .iter()
+            .filter(|s| !self.suspects.contains(&s.server.id()))
+            .min_by_key(|s| load_of(s))
+            .or_else(|| self.servers.iter().min_by_key(|s| load_of(s)))
+            .map(|s| s.server.id())
     }
 
     /// Disconnects the most recently added user; returns it.
@@ -354,7 +487,9 @@ impl Cluster {
         let user = *self.clients.keys().next_back()?;
         if let Some(mut handle) = self.clients.remove(&user) {
             handle.client.disconnect();
+            self.expected_users = self.expected_users.saturating_sub(1);
         }
+        self.rehoming.remove(&user);
         Some(user)
     }
 
@@ -366,6 +501,9 @@ impl Cluster {
             servers: self
                 .servers
                 .iter()
+                // Suspects are invisible to the policy: their metrics are
+                // stale and placing users on them would strand traffic.
+                .filter(|s| !self.suspects.contains(&s.server.id()))
                 .map(|s| ServerSnapshot {
                     server: s.server.id(),
                     active_users: s.server.active_users(),
@@ -377,50 +515,65 @@ impl Cluster {
         }
     }
 
-    fn schedule_migrations(&mut self, from: NodeId, to: NodeId, count: u32) {
+    /// Schedules migrations, validating the plan first. Returns `false`
+    /// (and schedules nothing) when the source is gone or the target is
+    /// dead, suspect, or the source itself — a crashed controller plan
+    /// must never strand users on a dead node.
+    fn schedule_migrations(&mut self, from: NodeId, to: NodeId, count: u32) -> bool {
+        if from == to || !self.server_alive(to) || self.suspects.contains(&to) {
+            return false;
+        }
         let Some(src) = self.servers.iter_mut().find(|s| s.server.id() == from) else {
-            return;
+            return false;
         };
         let users: Vec<UserId> = src.server.users().take(count as usize).collect();
         for user in users {
             src.server.schedule_migration(user, to);
         }
+        true
     }
 
     /// Directly schedules `count` migrations from one server to another,
     /// bypassing the controller (measurement campaigns and tests).
     pub fn execute_migration(&mut self, from: NodeId, to: NodeId, count: u32) {
-        self.schedule_migrations(from, to, count);
+        let _ = self.schedule_migrations(from, to, count);
     }
 
     /// Removes a user's client from this deployment WITHOUT disconnecting
     /// it — the first half of a cross-zone handover. The server-side state
     /// must be moved separately via [`Cluster::handover_user`].
     pub fn extract_client(&mut self, user: UserId) -> Option<ClientHandle> {
-        self.clients.remove(&user)
+        let handle = self.clients.remove(&user);
+        if handle.is_some() {
+            self.expected_users = self.expected_users.saturating_sub(1);
+            self.rehoming.remove(&user);
+        }
+        handle
     }
 
     /// Adopts a client extracted from another deployment (second half of a
     /// cross-zone handover).
-    pub fn adopt_client(&mut self, handle: ClientHandle) {
+    pub fn adopt_client(&mut self, mut handle: ClientHandle) {
+        handle.last_progress_tick = self.tick;
+        self.expected_users += 1;
         self.clients.insert(handle.user(), handle);
     }
 
-    /// The least loaded server of this deployment.
-    pub fn least_loaded_server(&self) -> NodeId {
+    /// The least loaded healthy server, or `None` when every replica is
+    /// suspect (nowhere sensible to place a user right now).
+    pub fn least_loaded_server(&self) -> Option<NodeId> {
         self.servers
             .iter()
+            .filter(|s| !self.suspects.contains(&s.server.id()))
             .min_by_key(|s| s.server.active_users())
-            .expect("at least one server")
-            .server
-            .id()
+            .map(|s| s.server.id())
     }
 
     /// Simulates a machine failure: the server vanishes without draining.
-    /// Its users are orphaned; the next steps reconnect their clients to
-    /// the surviving replicas (fresh avatars — crashed state is lost, as
-    /// on real hardware without checkpointing). Returns `false` for the
-    /// last remaining server.
+    /// Its users are orphaned; the re-home supervisor reconnects their
+    /// clients to surviving replicas (fresh avatars — crashed state is
+    /// lost, as on real hardware without checkpointing). Returns `false`
+    /// for the last remaining server.
     pub fn crash_server(&mut self, id: NodeId) -> bool {
         let Some(idx) = self.servers.iter().position(|s| s.server.id() == id) else {
             return false;
@@ -433,6 +586,7 @@ impl Cluster {
         let _ = self.pool.release(handle.lease, self.tick);
         self.layout.unassign(self.zone, InstanceId(0), id);
         self.bus.unregister(id);
+        self.suspects.remove(&id);
         self.refresh_peers();
         true
     }
@@ -450,55 +604,200 @@ impl Cluster {
             .unwrap_or(false)
     }
 
-    /// Executes one load-balancing action as the controller would.
-    pub fn execute_action(&mut self, action: Action) {
+    /// Executes one load-balancing action as the controller would, and
+    /// says how it went — the controller's ledger needs to know.
+    pub fn execute_action(&mut self, action: Action) -> ActionExec {
         match action {
-            Action::Migrate { from, to, users } => self.schedule_migrations(from, to, users),
+            Action::Migrate { from, to, users } => {
+                if self.schedule_migrations(from, to, users) {
+                    ActionExec::Done
+                } else {
+                    ActionExec::Rejected
+                }
+            }
             Action::AddReplica { .. } => {
-                if let Ok(lease) = self.pool.request(MachineProfile::STANDARD, self.tick) {
-                    self.pending_replicas.push(lease);
+                match self.pool.request(MachineProfile::STANDARD, self.tick) {
+                    Ok(lease) => {
+                        self.pending_replicas.push(lease);
+                        ActionExec::Booting(lease)
+                    }
+                    Err(_) => ActionExec::Rejected,
                 }
             }
             Action::Substitute { old, .. } => {
-                if let Ok(lease) = self.pool.request(MachineProfile::POWERFUL, self.tick) {
-                    self.pending_substitutions.push((lease, old));
+                if !self.server_alive(old) {
+                    return ActionExec::Rejected; // stale plan: target gone
                 }
-                // OutOfCapacity = the paper's "critical user density":
-                // nothing more the generic strategies can do.
+                match self.pool.request(MachineProfile::POWERFUL, self.tick) {
+                    Ok(lease) => {
+                        self.pending_substitutions.push((lease, old));
+                        ActionExec::Booting(lease)
+                    }
+                    // OutOfCapacity = the paper's "critical user density":
+                    // nothing more the generic strategies can do.
+                    Err(_) => ActionExec::Rejected,
+                }
             }
             Action::RemoveReplica { server, .. } => {
-                self.shutdown_server(server);
+                if self.shutdown_server(server) {
+                    ActionExec::Done
+                } else {
+                    ActionExec::Rejected
+                }
             }
         }
     }
 
-    /// Runs one tick of the whole deployment.
-    pub fn step(&mut self) -> ClusterTickStats {
-        // 1. Boot machines that finished their startup delay.
-        let ready = self.pool.poll_ready(self.tick);
-        for machine in ready {
-            if let Some(pos) =
-                self.pending_replicas.iter().position(|l| *l == machine.lease)
-            {
-                self.pending_replicas.remove(pos);
-                self.boot_server(machine.lease, machine.profile);
-            } else if let Some(pos) = self
-                .pending_substitutions
-                .iter()
-                .position(|(l, _)| *l == machine.lease)
-            {
-                let (_, old) = self.pending_substitutions.remove(pos);
-                let new_id = self.boot_server(machine.lease, machine.profile);
-                // §IV: replicate the zone on the new resource and migrate
-                // ALL users of the substituted server to it.
-                self.substituting.push((old, new_id));
+    fn report_lease(&mut self, lease: LeaseId, outcome: ActionOutcome) {
+        if let Some(id) = self.lease_actions.remove(&lease) {
+            self.pending_reports.push((id, outcome));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection
+    // ------------------------------------------------------------------
+
+    fn apply_chaos(&mut self) {
+        let Some(mut engine) = self.chaos.take() else {
+            return;
+        };
+        for revert in engine.due_reverts(self.tick) {
+            self.apply_revert(revert);
+        }
+        for fault in engine.due_faults(self.tick) {
+            self.apply_fault(fault, &mut engine);
+        }
+        if engine.sample_crash() && self.servers.len() > 1 {
+            let idx = engine.pick(self.servers.len());
+            let id = self.servers[idx].server.id();
+            self.crash_server(id);
+        }
+        self.chaos = Some(engine);
+    }
+
+    fn apply_fault(&mut self, fault: Fault, engine: &mut ChaosEngine) {
+        match fault {
+            Fault::CrashMostLoaded => {
+                if let Some(id) = self
+                    .servers
+                    .iter()
+                    .max_by_key(|s| s.server.active_users())
+                    .map(|s| s.server.id())
+                {
+                    self.crash_server(id);
+                }
+            }
+            Fault::CrashNth(nth) => {
+                if !self.servers.is_empty() {
+                    let id = self.servers[nth % self.servers.len()].server.id();
+                    self.crash_server(id);
+                }
+            }
+            Fault::Isolate { nth, for_ticks } => {
+                if !self.servers.is_empty() {
+                    let id = self.servers[nth % self.servers.len()].server.id();
+                    self.bus.set_isolated(id, true);
+                    self.suspects.insert(id);
+                    engine.schedule_revert(self.tick + for_ticks, Revert::Unisolate(id));
+                }
+            }
+            Fault::Straggle {
+                nth,
+                factor,
+                for_ticks,
+            } => {
+                if !self.servers.is_empty() {
+                    let idx = nth % self.servers.len();
+                    let id = self.servers[idx].server.id();
+                    self.servers[idx]
+                        .server
+                        .app_mut()
+                        .set_slowdown(factor.max(1.0));
+                    engine.schedule_revert(self.tick + for_ticks, Revert::Unstraggle(id));
+                }
+            }
+            Fault::SetBootFailureRate(rate) => {
+                self.pool.set_boot_failures(rate, engine.plan().seed);
+            }
+            Fault::SetLinkLoss(loss) => {
+                let jitter = engine.plan().link_jitter_ticks;
+                self.bus.set_link_faults(loss, jitter);
             }
         }
+    }
 
-        // Progress substitutions: move everyone off the old machine, then
-        // shut it down.
+    fn apply_revert(&mut self, revert: Revert) {
+        match revert {
+            Revert::Unisolate(id) => {
+                self.bus.set_isolated(id, false);
+                self.suspects.remove(&id);
+            }
+            Revert::Unstraggle(id) => {
+                if let Some(handle) = self.servers.iter_mut().find(|s| s.server.id() == id) {
+                    handle.server.app_mut().set_slowdown(1.0);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery machinery
+    // ------------------------------------------------------------------
+
+    /// Delivers boot events from the pool: successful machines join the
+    /// deployment, failed boots are cleaned up and reported to the
+    /// controller as [`ActionOutcome::Failed`].
+    fn pump_boot_events(&mut self) {
+        for event in self.pool.poll_boot(self.tick) {
+            match event {
+                BootEvent::Ready(machine) => {
+                    if let Some(pos) = self
+                        .pending_replicas
+                        .iter()
+                        .position(|l| *l == machine.lease)
+                    {
+                        self.pending_replicas.remove(pos);
+                        self.boot_server(machine.lease, machine.profile);
+                        self.report_lease(machine.lease, ActionOutcome::Succeeded);
+                    } else if let Some(pos) = self
+                        .pending_substitutions
+                        .iter()
+                        .position(|(l, _)| *l == machine.lease)
+                    {
+                        let (_, old) = self.pending_substitutions.remove(pos);
+                        let new_id = self.boot_server(machine.lease, machine.profile);
+                        // §IV: replicate the zone on the new resource and
+                        // migrate ALL users of the substituted server to
+                        // it. If `old` crashed while the machine booted,
+                        // the new replica simply serves as extra capacity.
+                        if self.server_alive(old) && old != new_id {
+                            self.substituting.push((old, new_id));
+                        }
+                        self.report_lease(machine.lease, ActionOutcome::Succeeded);
+                    } else {
+                        // Nobody is waiting for this machine; hand it back.
+                        let _ = self.pool.release(machine.lease, self.tick);
+                    }
+                }
+                BootEvent::Failed { lease, .. } => {
+                    self.pending_replicas.retain(|l| *l != lease);
+                    self.pending_substitutions.retain(|(l, _)| *l != lease);
+                    self.report_lease(lease, ActionOutcome::Failed);
+                }
+            }
+        }
+    }
+
+    /// Progresses in-flight substitutions: drain the old machine, then
+    /// shut it down. Pairs whose servers crashed mid-flight are dropped —
+    /// the controller re-plans from live data instead of retrying ghosts.
+    fn progress_substitutions(&mut self) {
         let subs = std::mem::take(&mut self.substituting);
         for (old, new) in subs {
+            if !self.server_alive(new) || !self.server_alive(old) {
+                continue;
+            }
             let users = self
                 .servers
                 .iter()
@@ -506,36 +805,250 @@ impl Cluster {
                 .map(|s| s.server.active_users())
                 .unwrap_or(0);
             if users > 0 {
-                self.schedule_migrations(old, new, users);
+                let _ = self.schedule_migrations(old, new, users);
                 self.substituting.push((old, new));
             } else if !self.shutdown_server(old) {
                 // Retry next tick (e.g. in-flight migration data).
                 self.substituting.push((old, new));
             }
         }
+    }
 
-        // 1b. Reconnect clients orphaned by a crash: the lobby redirects
-        // them to the least loaded surviving replica.
-        if !self.orphans.is_empty() {
-            let orphans = std::mem::take(&mut self.orphans);
-            for user in orphans {
-                let target = self.least_loaded_server();
-                if let Some(handle) = self.clients.get_mut(&user) {
-                    handle.client.reconnect(target);
-                    *self.pending_connects.entry(target).or_insert(0) += 1;
+    /// Whether `user`'s service looks healthy: active on exactly the
+    /// (live, non-suspect) server its client points at.
+    fn is_settled(&self, user: UserId) -> bool {
+        let Some(handle) = self.clients.get(&user) else {
+            return true;
+        };
+        match self
+            .servers
+            .iter()
+            .find(|s| s.server.users().any(|u| u == user))
+            .map(|s| s.server.id())
+        {
+            Some(on) => !self.suspects.contains(&on) && handle.client.server() == on,
+            None => false,
+        }
+    }
+
+    /// The re-home supervisor: crash orphans and stalled clients are
+    /// reconnected to a healthy replica — first attempt immediately, then
+    /// with exponential backoff while the problem persists, instead of
+    /// hammering a struggling cluster every tick.
+    fn supervise_users(&mut self) {
+        // Discharge: settled users leave supervision immediately, so a
+        // later fault re-enrolls them with a fresh retry schedule instead
+        // of inheriting a stale backoff deadline.
+        let settled: Vec<UserId> = self
+            .rehoming
+            .keys()
+            .copied()
+            .filter(|user| self.is_settled(*user))
+            .collect();
+        for user in settled {
+            self.rehoming.remove(&user);
+        }
+
+        // Intake 1: users orphaned by a crash. A crash is a fresh incident:
+        // it restarts the schedule even for an already-supervised user.
+        for user in std::mem::take(&mut self.orphans) {
+            if self.clients.contains_key(&user) {
+                self.rehoming.insert(
+                    user,
+                    Rehome {
+                        attempts: 0,
+                        next_attempt: self.tick,
+                    },
+                );
+            }
+        }
+
+        // Intake 2: stall watchdog. A client that has not seen a single
+        // state update for STALL_TICKS is starving (isolated server, lost
+        // redirect, dropped migration data) even if nothing crashed.
+        let mut stalled = Vec::new();
+        for (user, handle) in &mut self.clients {
+            let updates = handle.client.stats().updates_received;
+            if updates > handle.last_updates {
+                handle.last_updates = updates;
+                handle.last_progress_tick = self.tick;
+            } else if self.tick.saturating_sub(handle.last_progress_tick) >= STALL_TICKS {
+                stalled.push(*user);
+            }
+        }
+        for user in stalled {
+            self.rehoming.entry(user).or_insert(Rehome {
+                attempts: 0,
+                next_attempt: self.tick,
+            });
+        }
+
+        // Pump: act on supervised users whose next attempt is due.
+        let due: Vec<UserId> = self
+            .rehoming
+            .iter()
+            .filter(|(_, r)| r.next_attempt <= self.tick)
+            .map(|(u, _)| *u)
+            .collect();
+        for user in due {
+            if !self.clients.contains_key(&user) {
+                self.rehoming.remove(&user);
+                continue;
+            }
+            if self.is_settled(user) {
+                self.rehoming.remove(&user);
+                continue;
+            }
+            let Some(target) = self.placement_target() else {
+                // Nowhere healthy to go; check back soon.
+                if let Some(r) = self.rehoming.get_mut(&user) {
+                    r.next_attempt = self.tick + REHOME_BACKOFF_TICKS;
+                }
+                continue;
+            };
+            let handle = self.clients.get_mut(&user).expect("checked above");
+            handle.client.reconnect(target);
+            handle.last_progress_tick = self.tick;
+            *self.pending_connects.entry(target).or_insert(0) += 1;
+            let r = self.rehoming.get_mut(&user).expect("checked above");
+            r.attempts += 1;
+            r.next_attempt =
+                self.tick + (REHOME_BACKOFF_TICKS << (r.attempts - 1).min(MAX_BACKOFF_SHIFT));
+        }
+    }
+
+    /// Runs a control round: deliver buffered outcomes, let the controller
+    /// decide, execute its actions and report synchronous results.
+    fn control_round(&mut self) {
+        let Some(mut controller) = self.controller.take() else {
+            return;
+        };
+        for (id, outcome) in std::mem::take(&mut self.pending_reports) {
+            controller.report(id, outcome, self.tick);
+        }
+        let snapshot = self.zone_snapshot();
+        for issued in controller.control(&snapshot, self.tick) {
+            match self.execute_action(issued.action) {
+                ActionExec::Done => {
+                    controller.report(issued.id, ActionOutcome::Succeeded, self.tick)
+                }
+                ActionExec::Rejected => {
+                    controller.report(issued.id, ActionOutcome::Rejected, self.tick)
+                }
+                ActionExec::Booting(lease) => {
+                    self.lease_actions.insert(lease, issued.id);
                 }
             }
         }
+        self.controller = Some(controller);
+    }
+
+    /// Removes avatar-table damage that fault races leave behind: a user
+    /// active on two replicas (reconnect raced a migration) keeps the copy
+    /// its client points at; an avatar whose user left the deployment is
+    /// disconnected. Only runs in chaos/debug runs — cross-zone handovers
+    /// legitimately leave "ghosts" mid-flight.
+    fn repair_sweep(&mut self) {
+        let mut locations: BTreeMap<UserId, Vec<usize>> = BTreeMap::new();
+        for (idx, handle) in self.servers.iter().enumerate() {
+            for user in handle.server.users() {
+                locations.entry(user).or_default().push(idx);
+            }
+        }
+        for (user, idxs) in locations {
+            match self.clients.get(&user) {
+                None => {
+                    for idx in idxs {
+                        self.servers[idx].server.disconnect_user(user);
+                    }
+                }
+                Some(handle) => {
+                    if idxs.len() > 1 {
+                        let preferred = handle.client.server();
+                        let keep = idxs
+                            .iter()
+                            .copied()
+                            .find(|i| self.servers[*i].server.id() == preferred)
+                            .unwrap_or(idxs[0]);
+                        for idx in idxs {
+                            if idx != keep {
+                                self.servers[idx].server.disconnect_user(user);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Debug-mode invariant checker (see [`Cluster::set_debug_checks`]).
+    fn check_invariants(&self) {
+        assert_eq!(
+            self.clients.len() as u64,
+            self.expected_users,
+            "tick {}: client population diverged from add/remove accounting",
+            self.tick
+        );
+        let mut active: BTreeSet<UserId> = BTreeSet::new();
+        for handle in &self.servers {
+            for user in handle.server.users() {
+                assert!(
+                    active.insert(user),
+                    "tick {}: {user:?} active on two replicas after repair sweep",
+                    self.tick
+                );
+                assert!(
+                    self.clients.contains_key(&user),
+                    "tick {}: ghost avatar {user:?} after repair sweep",
+                    self.tick
+                );
+            }
+        }
+        for (old, new) in &self.substituting {
+            assert!(
+                self.server_alive(*new),
+                "tick {}: substitution targets dead node {new:?}",
+                self.tick
+            );
+            assert!(
+                !self.suspects.contains(new),
+                "tick {}: substitution targets suspect node {new:?}",
+                self.tick
+            );
+            assert!(
+                self.server_alive(*old),
+                "tick {}: substitution drains dead node {old:?}",
+                self.tick
+            );
+        }
+        for (user, handle) in &self.clients {
+            if active.contains(user) {
+                continue;
+            }
+            let supervised = self.rehoming.contains_key(user) || self.orphans.contains(user);
+            let connecting = handle.client.state() == ClientState::Connecting;
+            let stalled_for = self.tick.saturating_sub(handle.last_progress_tick);
+            assert!(
+                supervised || connecting || stalled_for < STALL_TICKS,
+                "tick {}: {user:?} unhomed, unsupervised, stalled {stalled_for} ticks",
+                self.tick
+            );
+        }
+    }
+
+    /// Runs one tick of the whole deployment.
+    pub fn step(&mut self) -> ClusterTickStats {
+        // 0. Deliver network traffic due now; then let chaos strike.
+        self.bus.advance(self.tick);
+        self.apply_chaos();
+
+        // 1. Cloud events and in-flight recovery work.
+        self.pump_boot_events();
+        self.progress_substitutions();
+        self.supervise_users();
 
         // 2. Control round.
-        if let Some(mut controller) = self.controller.take() {
-            let snapshot = self.zone_snapshot();
-            let actions = controller.control(&snapshot, self.tick);
-            for action in actions {
-                self.execute_action(action);
-            }
-            self.controller = Some(controller);
-        }
+        self.control_round();
 
         // 3. Server ticks (these absorb any in-flight connects).
         let mut records: Vec<TickRecord> = Vec::with_capacity(self.servers.len());
@@ -543,6 +1056,14 @@ impl Cluster {
             records.push(handle.server.tick());
         }
         self.pending_connects.clear();
+
+        // 3b. Repair avatar-table damage; assert invariants if asked to.
+        if self.chaos.is_some() || self.debug_checks {
+            self.repair_sweep();
+        }
+        if self.debug_checks {
+            self.check_invariants();
+        }
 
         // 4. Client ticks.
         for handle in self.clients.values_mut() {
@@ -561,13 +1082,23 @@ impl Cluster {
                 self.violations += 1;
             }
         }
+        let mut active: BTreeSet<UserId> = BTreeSet::new();
+        for handle in &self.servers {
+            active.extend(handle.server.users());
+        }
+        let unhomed = self.clients.keys().filter(|u| !active.contains(*u)).count() as u32;
         let stats = ClusterTickStats {
             tick: self.tick,
             users: self.user_count(),
             servers: self.server_count(),
-            avg_cpu_load: if records.is_empty() { 0.0 } else { load_sum / records.len() as f64 },
+            avg_cpu_load: if records.is_empty() {
+                0.0
+            } else {
+                load_sum / records.len() as f64
+            },
             max_tick_duration: max_tick,
             violation,
+            unhomed,
         };
         self.history.push(stats);
         self.tick += 1;
@@ -587,7 +1118,10 @@ mod tests {
     use super::*;
 
     fn small_config() -> ClusterConfig {
-        ClusterConfig { cost_noise: 0.0, ..ClusterConfig::default() }
+        ClusterConfig {
+            cost_noise: 0.0,
+            ..ClusterConfig::default()
+        }
     }
 
     #[test]
@@ -602,6 +1136,7 @@ mod tests {
         let last = cluster.history().last().unwrap();
         assert!(last.avg_cpu_load > 0.0);
         assert!(last.max_tick_duration > 0.0);
+        assert_eq!(last.unhomed, 0);
     }
 
     #[test]
@@ -614,7 +1149,10 @@ mod tests {
         let loads = cluster.server_loads();
         assert_eq!(loads.len(), 2);
         assert_eq!(loads[0].1 + loads[1].1, 20);
-        assert!(loads[0].1.abs_diff(loads[1].1) <= 1, "least-loaded placement: {loads:?}");
+        assert!(
+            loads[0].1.abs_diff(loads[1].1) <= 1,
+            "least-loaded placement: {loads:?}"
+        );
         // Replication wires shadows: each server mirrors the other's users.
         assert_eq!(cluster.server(0).zone_users(), 20);
     }
@@ -639,7 +1177,12 @@ mod tests {
         }
         cluster.run(5);
         let loads = cluster.server_loads();
-        cluster.execute_action(Action::Migrate { from: loads[0].0, to: loads[1].0, users: 3 });
+        let exec = cluster.execute_action(Action::Migrate {
+            from: loads[0].0,
+            to: loads[1].0,
+            users: 3,
+        });
+        assert_eq!(exec, ActionExec::Done);
         cluster.run(3);
         let after = cluster.server_loads();
         assert_eq!(after[0].1, loads[0].1 - 3);
@@ -648,11 +1191,34 @@ mod tests {
     }
 
     #[test]
+    fn migration_into_dead_node_is_rejected() {
+        let mut cluster = Cluster::new(small_config(), 2);
+        for _ in 0..10 {
+            cluster.add_user();
+        }
+        cluster.run(5);
+        let loads = cluster.server_loads();
+        let dead = NodeId(9_999);
+        let exec = cluster.execute_action(Action::Migrate {
+            from: loads[0].0,
+            to: dead,
+            users: 3,
+        });
+        assert_eq!(exec, ActionExec::Rejected);
+        cluster.run(3);
+        let after = cluster.server_loads();
+        assert_eq!(after[0].1 + after[1].1, 10, "nobody was stranded");
+    }
+
+    #[test]
     fn add_replica_boots_after_delay() {
         let mut config = small_config();
         config.pool = ResourcePool::new(8, 1, 10, 90_000);
         let mut cluster = Cluster::new(config, 1);
-        cluster.execute_action(Action::AddReplica { zone: ZoneId(1) });
+        assert!(matches!(
+            cluster.execute_action(Action::AddReplica { zone: ZoneId(1) }),
+            ActionExec::Booting(_)
+        ));
         cluster.run(5);
         assert_eq!(cluster.server_count(), 1, "still booting");
         cluster.run(10);
@@ -667,7 +1233,11 @@ mod tests {
         }
         cluster.run(5);
         let (loaded, _) = cluster.server_loads()[0];
-        cluster.execute_action(Action::RemoveReplica { zone: ZoneId(1), server: loaded });
+        let exec = cluster.execute_action(Action::RemoveReplica {
+            zone: ZoneId(1),
+            server: loaded,
+        });
+        assert_eq!(exec, ActionExec::Rejected);
         assert_eq!(cluster.server_count(), 2, "refuses to drop a loaded server");
     }
 
@@ -681,7 +1251,10 @@ mod tests {
         }
         cluster.run(5);
         let victim = cluster.server_loads()[0].0;
-        cluster.execute_action(Action::Substitute { zone: ZoneId(1), old: victim });
+        cluster.execute_action(Action::Substitute {
+            zone: ZoneId(1),
+            old: victim,
+        });
         cluster.run(30);
         assert_eq!(cluster.server_count(), 2, "old out, new in");
         assert!(
@@ -695,6 +1268,17 @@ mod tests {
         assert_eq!(cluster.user_count(), 12, "no user lost in the hand-over");
         let total: u32 = cluster.server_loads().iter().map(|(_, u)| u).sum();
         assert_eq!(total, 12);
+    }
+
+    #[test]
+    fn substitution_of_dead_server_is_rejected() {
+        let mut cluster = Cluster::new(small_config(), 2);
+        cluster.run(2);
+        let exec = cluster.execute_action(Action::Substitute {
+            zone: ZoneId(1),
+            old: NodeId(9_999),
+        });
+        assert_eq!(exec, ActionExec::Rejected);
     }
 
     #[test]
@@ -733,5 +1317,114 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn chaotic_runs_are_deterministic_too() {
+        let run = |seed: u64| {
+            let mut config = small_config();
+            config.cost_noise = 0.05;
+            let mut cluster = Cluster::new(config, 3);
+            cluster.set_debug_checks(true);
+            cluster.set_chaos(
+                FaultPlan::quiet(seed)
+                    .with_link_faults(0.02, 1)
+                    .at(20, Fault::CrashMostLoaded),
+            );
+            for _ in 0..24 {
+                cluster.add_user();
+            }
+            cluster.run(120);
+            cluster
+                .history()
+                .iter()
+                .map(|h| (h.users, h.servers, h.unhomed, h.max_tick_duration))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    fn isolated_server_users_rehome_and_ghosts_are_swept() {
+        let mut cluster = Cluster::new(small_config(), 2);
+        cluster.set_debug_checks(true);
+        for _ in 0..12 {
+            cluster.add_user();
+        }
+        cluster.run(5);
+        cluster.set_chaos(FaultPlan::quiet(3).at(
+            6,
+            Fault::Isolate {
+                nth: 0,
+                for_ticks: 10_000,
+            },
+        ));
+        // The watchdog needs STALL_TICKS to notice, then re-homes; the
+        // sweep clears the stale avatars on the isolated machine.
+        cluster.run(STALL_TICKS + 60);
+        assert_eq!(cluster.suspect_count(), 1);
+        assert_eq!(cluster.user_count(), 12, "population conserved");
+        let healthy = cluster.least_loaded_server().unwrap();
+        let loads = cluster.server_loads();
+        let on_healthy = loads.iter().find(|(id, _)| *id == healthy).unwrap().1;
+        assert_eq!(
+            on_healthy, 12,
+            "everyone re-homed to the healthy replica: {loads:?}"
+        );
+    }
+
+    #[test]
+    fn crash_under_link_loss_conserves_users() {
+        let mut config = small_config();
+        config.cost_noise = 0.05;
+        let mut cluster = Cluster::new(config, 3);
+        cluster.set_debug_checks(true);
+        cluster.set_chaos(
+            FaultPlan::quiet(17)
+                .with_link_faults(0.05, 1)
+                .at(30, Fault::CrashMostLoaded)
+                .at(90, Fault::CrashNth(1)),
+        );
+        for _ in 0..30 {
+            cluster.add_user();
+        }
+        // Long enough for the watchdog + backoff to recover every loss
+        // race (dropped redirects, dropped connect-acks).
+        cluster.run(600);
+        cluster.clear_chaos();
+        cluster.run(STALL_TICKS + 300);
+        assert_eq!(cluster.user_count(), 30);
+        assert_eq!(cluster.server_count(), 1, "two of three replicas crashed");
+        let total: u32 = cluster.server_loads().iter().map(|(_, u)| u).sum();
+        assert_eq!(total, 30, "every orphan found a home");
+        assert_eq!(cluster.history().last().unwrap().unhomed, 0);
+    }
+
+    #[test]
+    fn straggler_slows_down_then_recovers() {
+        let mut cluster = Cluster::new(small_config(), 1);
+        for _ in 0..20 {
+            cluster.add_user();
+        }
+        cluster.run(10);
+        let healthy = cluster.history().last().unwrap().max_tick_duration;
+        cluster.set_chaos(FaultPlan::quiet(5).at(
+            11,
+            Fault::Straggle {
+                nth: 0,
+                factor: 4.0,
+                for_ticks: 20,
+            },
+        ));
+        cluster.run(15);
+        let straggling = cluster.history().last().unwrap().max_tick_duration;
+        assert!(
+            straggling > healthy * 3.0,
+            "4x straggler visible in tick durations: {healthy} -> {straggling}"
+        );
+        cluster.run(30); // past the revert
+        let recovered = cluster.history().last().unwrap().max_tick_duration;
+        assert!(recovered < healthy * 2.0, "straggler healed: {recovered}");
     }
 }

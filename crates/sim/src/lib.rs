@@ -9,6 +9,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod cluster;
 pub mod measure;
 pub mod multizone;
@@ -17,7 +18,8 @@ pub mod session;
 pub mod threaded;
 pub mod workload;
 
-pub use cluster::{Cluster, ClusterConfig, ClusterTickStats};
+pub use chaos::{ChaosEngine, Fault, FaultPlan, ScheduledFault};
+pub use cluster::{ActionExec, Cluster, ClusterConfig, ClusterTickStats};
 pub use measure::{
     calibrate_demo, default_demo_model, measure_bandwidth_params, measure_migration_params,
     measure_replication_params, MeasureConfig,

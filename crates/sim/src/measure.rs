@@ -91,12 +91,7 @@ fn cluster_for(config: &MeasureConfig) -> Cluster {
 
 /// Samples one population level: divides the window's per-task seconds by
 /// the window's item counts, recording one observation per server per task.
-fn sample_level(
-    cluster: &Cluster,
-    window: usize,
-    tasks: &[TaskKind],
-    out: &mut Measurements,
-) {
+fn sample_level(cluster: &Cluster, window: usize, tasks: &[TaskKind], out: &mut Measurements) {
     for idx in 0..cluster.server_count() as usize {
         let metrics = cluster.server_metrics(idx);
         let n = metrics.latest().map(|r| r.zone_users()).unwrap_or(0);
@@ -104,9 +99,10 @@ fn sample_level(
             continue;
         }
         for &task in tasks {
-            let Some(param) = task_param(task) else { continue };
-            if let Some(per_item) =
-                metrics.avg_task_per_item(task, window, |r| item_count(task, r))
+            let Some(param) = task_param(task) else {
+                continue;
+            };
+            if let Some(per_item) = metrics.avg_task_per_item(task, window, |r| item_count(task, r))
             {
                 out.record(param, n as f64, per_item);
             }
@@ -136,7 +132,12 @@ pub fn measure_replication_params(config: &MeasureConfig) -> Measurements {
             cluster.add_user();
         }
         cluster.run(config.settle_ticks + config.sample_ticks);
-        sample_level(&cluster, config.sample_ticks as usize, &tasks, &mut measurements);
+        sample_level(
+            &cluster,
+            config.sample_ticks as usize,
+            &tasks,
+            &mut measurements,
+        );
         level += config.step.max(1);
     }
     measurements
@@ -171,7 +172,12 @@ pub fn measure_migration_params(config: &MeasureConfig) -> Measurements {
             }
             cluster.step();
         }
-        sample_level(&cluster, config.sample_ticks as usize, &tasks, &mut measurements);
+        sample_level(
+            &cluster,
+            config.sample_ticks as usize,
+            &tasks,
+            &mut measurements,
+        );
         level += config.step.max(1);
     }
     measurements
@@ -250,10 +256,18 @@ mod tests {
         // the fit must land close.
         let rates = rtfdemo::CostRates::default();
         let fitted = cal.params.t_mig_ini.clone();
-        let truth = CostFn::Linear { c0: rates.mig_ini_base, c1: rates.mig_ini_per_user };
+        let truth = CostFn::Linear {
+            c0: rates.mig_ini_base,
+            c1: rates.mig_ini_per_user,
+        };
         for n in [30.0, 60.0] {
             let rel = (fitted.eval(n) - truth.eval(n)).abs() / truth.eval(n);
-            assert!(rel < 0.15, "t_mig_ini({n}): fitted {} truth {}", fitted.eval(n), truth.eval(n));
+            assert!(
+                rel < 0.15,
+                "t_mig_ini({n}): fitted {} truth {}",
+                fitted.eval(n),
+                truth.eval(n)
+            );
         }
     }
 
@@ -262,12 +276,22 @@ mod tests {
         let m = measure_replication_params(&quick_config());
         let s = m.samples(ParamKind::Ua).unwrap();
         // Average the low-n and high-n halves: per-user input cost rises.
-        let pairs: Vec<(f64, f64)> =
-            s.user_counts.iter().copied().zip(s.seconds.iter().copied()).collect();
-        let lo: Vec<f64> =
-            pairs.iter().filter(|(n, _)| *n <= 30.0).map(|(_, v)| *v).collect();
-        let hi: Vec<f64> =
-            pairs.iter().filter(|(n, _)| *n >= 50.0).map(|(_, v)| *v).collect();
+        let pairs: Vec<(f64, f64)> = s
+            .user_counts
+            .iter()
+            .copied()
+            .zip(s.seconds.iter().copied())
+            .collect();
+        let lo: Vec<f64> = pairs
+            .iter()
+            .filter(|(n, _)| *n <= 30.0)
+            .map(|(_, v)| *v)
+            .collect();
+        let hi: Vec<f64> = pairs
+            .iter()
+            .filter(|(n, _)| *n >= 50.0)
+            .map(|(_, v)| *v)
+            .collect();
         assert!(!lo.is_empty() && !hi.is_empty());
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!(
@@ -306,7 +330,9 @@ pub fn measure_bandwidth_params(
         for _ in 0..config.sample_ticks {
             cluster.step();
             for idx in 0..cluster.server_count() as usize {
-                let Some(r) = cluster.server_metrics(idx).latest() else { continue };
+                let Some(r) = cluster.server_metrics(idx).latest() else {
+                    continue;
+                };
                 let n = r.zone_users() as f64;
                 if r.inputs_processed > 0 {
                     xs_in.push(n);
@@ -319,9 +345,7 @@ pub fn measure_bandwidth_params(
                 let peers = cluster.server_count().saturating_sub(1);
                 if r.active_users > 0 && peers > 0 {
                     xs_peer.push(n);
-                    ys_peer.push(
-                        r.bytes_out_peers as f64 / (r.active_users as f64 * peers as f64),
-                    );
+                    ys_peer.push(r.bytes_out_peers as f64 / (r.active_users as f64 * peers as f64));
                 }
             }
         }

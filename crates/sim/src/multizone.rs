@@ -137,19 +137,16 @@ impl MultiZoneWorld {
             .wrapping_add(zone_idx as u64 * 1009 + instance_no as u64 * 31);
         // All instances share one bus so cross-zone handovers carry the
         // full avatar state through the ordinary migration machinery.
-        let mut cluster = Cluster::new_on_bus(
-            self.bus.clone(),
-            ZoneId(zone_idx),
-            cluster_config,
-            1,
-        );
+        let mut cluster =
+            Cluster::new_on_bus(self.bus.clone(), ZoneId(zone_idx), cluster_config, 1);
         // Disjoint user-id ranges per instance.
-        cluster.set_next_user_id(
-            1 + zone_idx as u64 * 1_000_000 + instance_no as u64 * 100_000,
-        );
+        cluster.set_next_user_id(1 + zone_idx as u64 * 1_000_000 + instance_no as u64 * 100_000);
         cluster.set_threshold(self.model.u_threshold);
         cluster.set_controller(
-            Box::new(ModelDriven::new(self.model.clone(), ModelDrivenConfig::default())),
+            Box::new(ModelDriven::new(
+                self.model.clone(),
+                ModelDrivenConfig::default(),
+            )),
             self.config.controller,
         );
         self.instances.push(ZoneInstance {
@@ -172,7 +169,10 @@ impl MultiZoneWorld {
 
     /// Total servers in the world.
     pub fn server_count(&self) -> u32 {
-        self.instances.iter().map(|i| i.cluster.server_count()).sum()
+        self.instances
+            .iter()
+            .map(|i| i.cluster.server_count())
+            .sum()
     }
 
     /// Users per (zone, instance).
@@ -197,8 +197,7 @@ impl MultiZoneWorld {
     /// least loaded instance of the zone, or a fresh instance if all are
     /// beyond the instancing threshold.
     fn target_instance(&mut self, zone_idx: u32) -> usize {
-        let threshold =
-            (self.capacity_at_lmax as f64 * self.config.instance_fraction) as u32;
+        let threshold = (self.capacity_at_lmax as f64 * self.config.instance_fraction) as u32;
         let best = self
             .instances
             .iter()
@@ -261,11 +260,9 @@ impl MultiZoneWorld {
             .iter()
             .map(|&i| self.instances[i].cluster.user_count())
             .sum();
-        let spawn_threshold =
-            (self.capacity_at_lmax as f64 * self.config.instance_fraction) as u32;
-        let fits_in_fewer = (members.len() as u32 - 1) as f64
-            * spawn_threshold as f64
-            * self.config.merge_fraction;
+        let spawn_threshold = (self.capacity_at_lmax as f64 * self.config.instance_fraction) as u32;
+        let fits_in_fewer =
+            (members.len() as u32 - 1) as f64 * spawn_threshold as f64 * self.config.merge_fraction;
         if (total as f64) >= fits_in_fewer {
             return;
         }
@@ -283,8 +280,14 @@ impl MultiZoneWorld {
             else {
                 break;
             };
-            let target_server = self.instances[target_idx].cluster.least_loaded_server();
-            if self.instances[victim_idx].cluster.handover_user(user, target_server) {
+            let Some(target_server) = self.instances[target_idx].cluster.least_loaded_server()
+            else {
+                break;
+            };
+            if self.instances[victim_idx]
+                .cluster
+                .handover_user(user, target_server)
+            {
                 if let Some(handle) = self.instances[victim_idx].cluster.extract_client(user) {
                     self.instances[target_idx].cluster.adopt_client(handle);
                     self.handovers += 1;
@@ -316,7 +319,9 @@ impl MultiZoneWorld {
         // avatar to a server of the destination zone (ordinary §III-B
         // migration across replication groups) and the client follows the
         // redirect.
-        if self.config.zones > 1 && self.tick.is_multiple_of(25) && self.config.travel_prob_per_sec > 0.0
+        if self.config.zones > 1
+            && self.tick.is_multiple_of(25)
+            && self.config.travel_prob_per_sec > 0.0
         {
             let mut moves: Vec<(usize, UserId, u32)> = Vec::new();
             for (idx, inst) in self.instances.iter().enumerate() {
@@ -335,10 +340,15 @@ impl MultiZoneWorld {
                 if to_idx == from_idx {
                     continue;
                 }
-                let target_server = self.instances[to_idx].cluster.least_loaded_server();
-                if self.instances[from_idx].cluster.handover_user(user, target_server) {
-                    if let Some(handle) = self.instances[from_idx].cluster.extract_client(user)
-                    {
+                let Some(target_server) = self.instances[to_idx].cluster.least_loaded_server()
+                else {
+                    continue;
+                };
+                if self.instances[from_idx]
+                    .cluster
+                    .handover_user(user, target_server)
+                {
+                    if let Some(handle) = self.instances[from_idx].cluster.extract_client(user) {
                         self.instances[to_idx].cluster.adopt_client(handle);
                         self.handovers += 1;
                     }
@@ -385,14 +395,40 @@ mod tests {
 
     fn model() -> ScalabilityModel {
         let params = ModelParams {
-            t_ua: CostFn::Quadratic { c0: 1.2e-4, c1: 3.6e-8, c2: 1.4e-10 },
-            t_aoi: CostFn::Quadratic { c0: 1.0e-7, c1: 1.4e-9, c2: 2.0e-10 },
-            t_su: CostFn::Linear { c0: 8.0e-8, c1: 6.2e-8 },
-            t_ua_dser: CostFn::Linear { c0: 2.7e-6, c1: 3.8e-9 },
-            t_fa_dser: CostFn::Linear { c0: 2.0e-6, c1: 1e-10 },
-            t_fa: CostFn::Linear { c0: 1.2e-5, c1: 1e-10 },
-            t_mig_ini: CostFn::Linear { c0: 2.0e-4, c1: 7.0e-6 },
-            t_mig_rcv: CostFn::Linear { c0: 1.5e-4, c1: 4.0e-6 },
+            t_ua: CostFn::Quadratic {
+                c0: 1.2e-4,
+                c1: 3.6e-8,
+                c2: 1.4e-10,
+            },
+            t_aoi: CostFn::Quadratic {
+                c0: 1.0e-7,
+                c1: 1.4e-9,
+                c2: 2.0e-10,
+            },
+            t_su: CostFn::Linear {
+                c0: 8.0e-8,
+                c1: 6.2e-8,
+            },
+            t_ua_dser: CostFn::Linear {
+                c0: 2.7e-6,
+                c1: 3.8e-9,
+            },
+            t_fa_dser: CostFn::Linear {
+                c0: 2.0e-6,
+                c1: 1e-10,
+            },
+            t_fa: CostFn::Linear {
+                c0: 1.2e-5,
+                c1: 1e-10,
+            },
+            t_mig_ini: CostFn::Linear {
+                c0: 2.0e-4,
+                c1: 7.0e-6,
+            },
+            t_mig_rcv: CostFn::Linear {
+                c0: 1.5e-4,
+                c1: 4.0e-6,
+            },
             ..Default::default()
         };
         ScalabilityModel::new(params, 0.040)
@@ -401,7 +437,10 @@ mod tests {
     fn config() -> MultiZoneConfig {
         MultiZoneConfig {
             zones: 3,
-            cluster: ClusterConfig { cost_noise: 0.0, ..ClusterConfig::default() },
+            cluster: ClusterConfig {
+                cost_noise: 0.0,
+                ..ClusterConfig::default()
+            },
             travel_prob_per_sec: 0.0,
             ..MultiZoneConfig::default()
         }
@@ -439,7 +478,10 @@ mod tests {
         for inst in &world.instances {
             servers_per_zone[inst.zone_idx as usize] += inst.cluster.server_count();
         }
-        assert!(servers_per_zone[1] >= 2, "hotspot replicated: {servers_per_zone:?}");
+        assert!(
+            servers_per_zone[1] >= 2,
+            "hotspot replicated: {servers_per_zone:?}"
+        );
         assert_eq!(servers_per_zone[0], 1, "idle zones stay single-server");
         assert_eq!(servers_per_zone[2], 1);
     }
@@ -460,11 +502,16 @@ mod tests {
                 .expect("avatar exists");
             // (No direct mutation API: damage via a forwarded interaction
             // would need a peer, so assert on the default state instead.)
-            inst.cluster.server(server_idx).app().avatar(user).unwrap().health
+            inst.cluster
+                .server(server_idx)
+                .app()
+                .avatar(user)
+                .unwrap()
+                .health
         };
 
         // Hand the user to zone 1 and settle.
-        let target = world.instances[1].cluster.least_loaded_server();
+        let target = world.instances[1].cluster.least_loaded_server().unwrap();
         assert!(world.instances[0].cluster.handover_user(user, target));
         let handle = world.instances[0].cluster.extract_client(user).unwrap();
         world.instances[1].cluster.adopt_client(handle);

@@ -15,7 +15,10 @@ pub struct Series {
 impl Series {
     /// Creates a series.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), points: Vec::new() }
+        Self {
+            name: name.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Appends a point.
@@ -25,9 +28,11 @@ impl Series {
 
     /// Minimum and maximum y values (0.0 defaults when empty).
     pub fn y_range(&self) -> (f64, f64) {
-        self.points.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, y)| {
-            (lo.min(y), hi.max(y))
-        })
+        self.points
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, y)| {
+                (lo.min(y), hi.max(y))
+            })
     }
 }
 

@@ -5,9 +5,10 @@
 //! count, active servers and average CPU load over time, plus the
 //! violation/overhead accounting the policy comparison needs.
 
+use crate::chaos::FaultPlan;
 use crate::cluster::{Cluster, ClusterConfig, ClusterTickStats};
 use crate::workload::{drive, Workload};
-use rtf_rms::{ControllerConfig, Policy};
+use rtf_rms::{ActionOutcome, ControllerConfig, Policy};
 
 /// Session configuration.
 pub struct SessionConfig {
@@ -23,6 +24,10 @@ pub struct SessionConfig {
     pub controller: ControllerConfig,
     /// Initial replica count.
     pub initial_servers: u32,
+    /// Fault plan to arm before the first tick, if any.
+    pub chaos: Option<FaultPlan>,
+    /// Run the per-tick invariant checker (panics on violation).
+    pub debug_checks: bool,
 }
 
 impl Default for SessionConfig {
@@ -34,6 +39,8 @@ impl Default for SessionConfig {
             u_threshold: 0.040,
             controller: ControllerConfig::default(),
             initial_servers: 1,
+            chaos: None,
+            debug_checks: false,
         }
     }
 }
@@ -59,6 +66,9 @@ pub struct SessionReport {
     pub total_cost: f64,
     /// Peak replica count.
     pub peak_servers: u32,
+    /// Action-ledger outcome histogram: (outcome name, count), in
+    /// [`ActionOutcome::ALL`] order, zero-count outcomes included.
+    pub outcomes: Vec<(&'static str, usize)>,
 }
 
 impl SessionReport {
@@ -89,7 +99,8 @@ impl SessionReport {
 
     /// The full per-tick history as CSV (for external plotting tools).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("tick,t_secs,users,servers,avg_cpu_load,max_tick_ms,violation\n");
+        let mut out =
+            String::from("tick,t_secs,users,servers,avg_cpu_load,max_tick_ms,violation\n");
         for h in &self.history {
             out.push_str(&format!(
                 "{},{:.3},{},{},{:.4},{:.3},{}\n",
@@ -117,15 +128,28 @@ pub fn run_session(
     let mut cluster = Cluster::new(config.cluster, config.initial_servers);
     cluster.set_threshold(config.u_threshold);
     cluster.set_controller(policy, config.controller);
+    cluster.set_debug_checks(config.debug_checks);
+    if let Some(plan) = config.chaos {
+        cluster.set_chaos(plan);
+    }
 
     let mut peak_servers = cluster.server_count();
     for _ in 0..config.ticks {
-        drive(&mut cluster, workload, tick_interval, config.max_churn_per_tick);
+        drive(
+            &mut cluster,
+            workload,
+            tick_interval,
+            config.max_churn_per_tick,
+        );
         cluster.step();
         peak_servers = peak_servers.max(cluster.server_count());
     }
 
     let log = cluster.action_log().expect("controller attached");
+    let outcomes = ActionOutcome::ALL
+        .iter()
+        .map(|o| (o.name(), log.count_outcome(*o)))
+        .collect();
     SessionReport {
         policy: policy_name,
         violations: cluster.violations(),
@@ -135,6 +159,7 @@ pub fn run_session(
         substitutions: log.count("substitute"),
         total_cost: cluster.total_cost(),
         peak_servers,
+        outcomes,
         history: cluster.history().to_vec(),
     }
 }
@@ -143,22 +168,42 @@ pub fn run_session(
 mod tests {
     use super::*;
     use crate::workload::Ramp;
-    use rtf_rms::{ModelDriven, ModelDrivenConfig, StaticInterval};
     use roia_model::{CostFn, ModelParams, ScalabilityModel};
+    use rtf_rms::{ModelDriven, ModelDrivenConfig, StaticInterval};
 
     /// A hand-built model roughly matching the default cost rates at small
     /// populations (tests avoid the full calibration campaign for speed).
     fn rough_model() -> ScalabilityModel {
         let params = ModelParams {
             t_ua_dser: CostFn::Linear { c0: 4e-6, c1: 5e-9 },
-            t_ua: CostFn::Quadratic { c0: 45e-6, c1: 2.5e-7, c2: 0.0 },
-            t_aoi: CostFn::Quadratic { c0: 5e-6, c1: 2.2e-7, c2: 1e-10 },
-            t_su: CostFn::Linear { c0: 3e-6, c1: 1.5e-7 },
+            t_ua: CostFn::Quadratic {
+                c0: 45e-6,
+                c1: 2.5e-7,
+                c2: 0.0,
+            },
+            t_aoi: CostFn::Quadratic {
+                c0: 5e-6,
+                c1: 2.2e-7,
+                c2: 1e-10,
+            },
+            t_su: CostFn::Linear {
+                c0: 3e-6,
+                c1: 1.5e-7,
+            },
             t_fa_dser: CostFn::Linear { c0: 2e-6, c1: 1e-9 },
-            t_fa: CostFn::Linear { c0: 20e-6, c1: 1e-9 },
+            t_fa: CostFn::Linear {
+                c0: 20e-6,
+                c1: 1e-9,
+            },
             t_npc: CostFn::ZERO,
-            t_mig_ini: CostFn::Linear { c0: 0.2e-3, c1: 7e-6 },
-            t_mig_rcv: CostFn::Linear { c0: 0.15e-3, c1: 4e-6 },
+            t_mig_ini: CostFn::Linear {
+                c0: 0.2e-3,
+                c1: 7e-6,
+            },
+            t_mig_rcv: CostFn::Linear {
+                c0: 0.15e-3,
+                c1: 4e-6,
+            },
         };
         ScalabilityModel::new(params, 0.040)
     }
@@ -168,12 +213,21 @@ mod tests {
         let config = SessionConfig {
             ticks: 300,
             max_churn_per_tick: 3,
-            cluster: ClusterConfig { cost_noise: 0.0, ..ClusterConfig::default() },
+            cluster: ClusterConfig {
+                cost_noise: 0.0,
+                ..ClusterConfig::default()
+            },
             ..SessionConfig::default()
         };
-        let policy =
-            Box::new(ModelDriven::new(rough_model(), ModelDrivenConfig::default()));
-        let workload = Ramp { from: 0, to: 60, duration_secs: 6.0 };
+        let policy = Box::new(ModelDriven::new(
+            rough_model(),
+            ModelDrivenConfig::default(),
+        ));
+        let workload = Ramp {
+            from: 0,
+            to: 60,
+            duration_secs: 6.0,
+        };
         let report = run_session(config, policy, &workload);
         assert_eq!(report.policy, "model-driven");
         assert_eq!(report.history.len(), 300);
@@ -189,11 +243,18 @@ mod tests {
         let make_config = || SessionConfig {
             ticks: 250,
             max_churn_per_tick: 5,
-            cluster: ClusterConfig { cost_noise: 0.0, ..ClusterConfig::default() },
+            cluster: ClusterConfig {
+                cost_noise: 0.0,
+                ..ClusterConfig::default()
+            },
             initial_servers: 2,
             ..SessionConfig::default()
         };
-        let workload = Ramp { from: 0, to: 80, duration_secs: 5.0 };
+        let workload = Ramp {
+            from: 0,
+            to: 80,
+            duration_secs: 5.0,
+        };
 
         let baseline = run_session(
             make_config(),
@@ -202,7 +263,10 @@ mod tests {
         );
         let model = run_session(
             make_config(),
-            Box::new(ModelDriven::new(rough_model(), ModelDrivenConfig::default())),
+            Box::new(ModelDriven::new(
+                rough_model(),
+                ModelDrivenConfig::default(),
+            )),
             &workload,
         );
         assert_eq!(baseline.policy, "static-interval");
@@ -212,15 +276,71 @@ mod tests {
     }
 
     #[test]
+    fn chaotic_session_conserves_users_and_reports_outcomes() {
+        let config = SessionConfig {
+            ticks: 500,
+            max_churn_per_tick: 3,
+            cluster: ClusterConfig {
+                cost_noise: 0.0,
+                ..ClusterConfig::default()
+            },
+            initial_servers: 3,
+            chaos: Some(
+                FaultPlan::quiet(13)
+                    .with_link_faults(0.01, 1)
+                    .at(60, crate::chaos::Fault::CrashMostLoaded),
+            ),
+            debug_checks: true,
+            ..SessionConfig::default()
+        };
+        let policy = Box::new(ModelDriven::new(
+            rough_model(),
+            ModelDrivenConfig::default(),
+        ));
+        let workload = Ramp {
+            from: 0,
+            to: 45,
+            duration_secs: 4.0,
+        };
+        let report = run_session(config, policy, &workload);
+        assert_eq!(
+            report.history.last().unwrap().users,
+            45,
+            "nobody lost to the crash"
+        );
+        assert_eq!(report.outcomes.len(), ActionOutcome::ALL.len());
+        let succeeded = report
+            .outcomes
+            .iter()
+            .find(|(name, _)| *name == "succeeded")
+            .map(|(_, n)| *n)
+            .unwrap();
+        assert!(
+            succeeded > 0,
+            "the controller got work done: {:?}",
+            report.outcomes
+        );
+    }
+
+    #[test]
     fn report_helpers() {
         let config = SessionConfig {
             ticks: 100,
-            cluster: ClusterConfig { cost_noise: 0.0, ..ClusterConfig::default() },
+            cluster: ClusterConfig {
+                cost_noise: 0.0,
+                ..ClusterConfig::default()
+            },
             ..SessionConfig::default()
         };
-        let policy =
-            Box::new(ModelDriven::new(rough_model(), ModelDrivenConfig::default()));
-        let workload = Ramp { from: 0, to: 10, duration_secs: 1.0 };
+        let policy = Box::new(ModelDriven::new(
+            rough_model(),
+            ModelDrivenConfig::default(),
+        ));
+        let workload = Ramp {
+            from: 0,
+            to: 10,
+            duration_secs: 1.0,
+        };
         let report = run_session(config, policy, &workload);
         assert!(report.violation_rate() >= 0.0 && report.violation_rate() <= 1.0);
         assert_eq!(report.sampled(10).len(), 10);

@@ -101,7 +101,13 @@ pub fn run_threaded_session(config: ThreadedConfig) -> ThreadedReport {
                 time_mode: TimeMode::Wall,
                 metrics_capacity: config.ticks as usize + 8,
             };
-            Server::new(&bus, &format!("rt-server-{i}"), ZoneId(1), app, server_config)
+            Server::new(
+                &bus,
+                &format!("rt-server-{i}"),
+                ZoneId(1),
+                app,
+                server_config,
+            )
         })
         .collect();
     let ids: Vec<_> = servers.iter().map(|s| s.id()).collect();
@@ -168,11 +174,17 @@ pub fn run_threaded_session(config: ThreadedConfig) -> ThreadedReport {
             .collect::<Vec<u64>>()
     });
 
-    let server_records: Vec<Vec<TickRecord>> =
-        handles.into_iter().map(|h| h.join().expect("server thread")).collect();
+    let server_records: Vec<Vec<TickRecord>> = handles
+        .into_iter()
+        .map(|h| h.join().expect("server thread"))
+        .collect();
     let updates_received = client_handle.join().expect("client thread");
 
-    ThreadedReport { server_records, updates_received, elapsed: started.elapsed() }
+    ThreadedReport {
+        server_records,
+        updates_received,
+        elapsed: started.elapsed(),
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +242,9 @@ mod tests {
             .map(|r| r.task(TaskKind::Su))
             .sum();
         assert!(total_ua_dser > 0.0, "wall time recorded for input decoding");
-        assert!(total_su > 0.0, "wall time recorded for update serialization");
+        assert!(
+            total_su > 0.0,
+            "wall time recorded for update serialization"
+        );
     }
 }

@@ -49,7 +49,12 @@ pub struct PaperSession {
 
 impl Default for PaperSession {
     fn default() -> Self {
-        Self { peak: 300, ramp_up_secs: 120.0, hold_secs: 60.0, ramp_down_secs: 120.0 }
+        Self {
+            peak: 300,
+            ramp_up_secs: 120.0,
+            hold_secs: 60.0,
+            ramp_down_secs: 120.0,
+        }
     }
 }
 
@@ -146,7 +151,11 @@ mod tests {
 
     #[test]
     fn ramp_interpolates_and_holds() {
-        let r = Ramp { from: 0, to: 100, duration_secs: 10.0 };
+        let r = Ramp {
+            from: 0,
+            to: 100,
+            duration_secs: 10.0,
+        };
         assert_eq!(r.target_users(0.0), 0);
         assert_eq!(r.target_users(5.0), 50);
         assert_eq!(r.target_users(10.0), 100);
@@ -155,7 +164,11 @@ mod tests {
 
     #[test]
     fn ramp_degenerate_duration() {
-        let r = Ramp { from: 5, to: 50, duration_secs: 0.0 };
+        let r = Ramp {
+            from: 5,
+            to: 50,
+            duration_secs: 0.0,
+        };
         assert_eq!(r.target_users(0.0), 50);
     }
 
@@ -172,7 +185,11 @@ mod tests {
 
     #[test]
     fn sine_wave_oscillates() {
-        let s = SineWave { mean: 100, amplitude: 50, period_secs: 100.0 };
+        let s = SineWave {
+            mean: 100,
+            amplitude: 50,
+            period_secs: 100.0,
+        };
         assert_eq!(s.target_users(0.0), 100);
         assert_eq!(s.target_users(25.0), 150);
         assert_eq!(s.target_users(75.0), 50);
@@ -180,13 +197,22 @@ mod tests {
 
     #[test]
     fn sine_wave_never_negative() {
-        let s = SineWave { mean: 10, amplitude: 50, period_secs: 100.0 };
+        let s = SineWave {
+            mean: 10,
+            amplitude: 50,
+            period_secs: 100.0,
+        };
         assert_eq!(s.target_users(75.0), 0);
     }
 
     #[test]
     fn flash_crowd_window() {
-        let f = FlashCrowd { base: 50, crowd: 200, start_secs: 10.0, end_secs: 20.0 };
+        let f = FlashCrowd {
+            base: 50,
+            crowd: 200,
+            start_secs: 10.0,
+            end_secs: 20.0,
+        };
         assert_eq!(f.target_users(9.9), 50);
         assert_eq!(f.target_users(10.0), 250);
         assert_eq!(f.target_users(19.9), 250);
@@ -197,17 +223,28 @@ mod tests {
     fn drive_moves_population_toward_target() {
         use crate::cluster::{Cluster, ClusterConfig};
         let mut cluster = Cluster::new(
-            ClusterConfig { cost_noise: 0.0, ..ClusterConfig::default() },
+            ClusterConfig {
+                cost_noise: 0.0,
+                ..ClusterConfig::default()
+            },
             1,
         );
-        let ramp = Ramp { from: 0, to: 20, duration_secs: 0.0 };
+        let ramp = Ramp {
+            from: 0,
+            to: 20,
+            duration_secs: 0.0,
+        };
         for _ in 0..10 {
             drive(&mut cluster, &ramp, 0.040, 5);
             cluster.step();
         }
         assert_eq!(cluster.user_count(), 20, "5 joins/tick reach 20 in 4 ticks");
 
-        let down = Ramp { from: 20, to: 0, duration_secs: 0.0 };
+        let down = Ramp {
+            from: 20,
+            to: 0,
+            duration_secs: 0.0,
+        };
         for _ in 0..10 {
             drive(&mut cluster, &down, 0.040, 50);
             cluster.step();
@@ -244,7 +281,9 @@ impl Trace {
                 continue;
             }
             let mut cols = line.split(',');
-            let (Some(t), Some(u)) = (cols.next(), cols.next()) else { continue };
+            let (Some(t), Some(u)) = (cols.next(), cols.next()) else {
+                continue;
+            };
             if let (Ok(t), Ok(u)) = (t.trim().parse::<f64>(), u.trim().parse::<u32>()) {
                 points.push((t, u));
             }

@@ -12,22 +12,53 @@ use roia::sim::{run_session, FlashCrowd, SessionConfig, SessionReport};
 
 fn model() -> ScalabilityModel {
     let params = ModelParams {
-        t_ua_dser: CostFn::Linear { c0: 2.7e-6, c1: 3.8e-9 },
-        t_ua: CostFn::Quadratic { c0: 1.2e-4, c1: 3.6e-8, c2: 1.4e-10 },
-        t_aoi: CostFn::Quadratic { c0: 1.0e-7, c1: 1.4e-9, c2: 2.0e-10 },
-        t_su: CostFn::Linear { c0: 8.0e-8, c1: 6.2e-8 },
-        t_fa_dser: CostFn::Linear { c0: 2.0e-6, c1: 1e-10 },
-        t_fa: CostFn::Linear { c0: 1.2e-5, c1: 1e-10 },
+        t_ua_dser: CostFn::Linear {
+            c0: 2.7e-6,
+            c1: 3.8e-9,
+        },
+        t_ua: CostFn::Quadratic {
+            c0: 1.2e-4,
+            c1: 3.6e-8,
+            c2: 1.4e-10,
+        },
+        t_aoi: CostFn::Quadratic {
+            c0: 1.0e-7,
+            c1: 1.4e-9,
+            c2: 2.0e-10,
+        },
+        t_su: CostFn::Linear {
+            c0: 8.0e-8,
+            c1: 6.2e-8,
+        },
+        t_fa_dser: CostFn::Linear {
+            c0: 2.0e-6,
+            c1: 1e-10,
+        },
+        t_fa: CostFn::Linear {
+            c0: 1.2e-5,
+            c1: 1e-10,
+        },
         t_npc: CostFn::ZERO,
-        t_mig_ini: CostFn::Linear { c0: 2.0e-4, c1: 7.0e-6 },
-        t_mig_rcv: CostFn::Linear { c0: 1.5e-4, c1: 4.0e-6 },
+        t_mig_ini: CostFn::Linear {
+            c0: 2.0e-4,
+            c1: 7.0e-6,
+        },
+        t_mig_rcv: CostFn::Linear {
+            c0: 1.5e-4,
+            c1: 4.0e-6,
+        },
     };
     ScalabilityModel::new(params, 0.040)
 }
 
 fn run(policy: Box<dyn Policy>) -> SessionReport {
     // 80 regulars; 160 extra users storm in at t = 20 s and stay 30 s.
-    let workload = FlashCrowd { base: 80, crowd: 160, start_secs: 20.0, end_secs: 50.0 };
+    let workload = FlashCrowd {
+        base: 80,
+        crowd: 160,
+        start_secs: 20.0,
+        end_secs: 50.0,
+    };
     let config = SessionConfig {
         ticks: 70 * 25,
         max_churn_per_tick: 8, // a flash crowd joins fast
@@ -45,7 +76,10 @@ fn main() {
     );
 
     let reports = [
-        run(Box::new(ModelDriven::new(m.clone(), ModelDrivenConfig::default()))),
+        run(Box::new(ModelDriven::new(
+            m.clone(),
+            ModelDrivenConfig::default(),
+        ))),
         run(Box::new(StaticThreshold::new(m.max_users(1, 0)))),
     ];
 

@@ -13,15 +13,41 @@ fn main() {
     // A calibrated model (coefficients from the Fig. 4/6 campaign; rerun
     // `cargo run -p roia-bench --bin calibration_check` to regenerate).
     let params = ModelParams {
-        t_ua_dser: CostFn::Linear { c0: 2.7e-6, c1: 3.8e-9 },
-        t_ua: CostFn::Quadratic { c0: 1.2e-4, c1: 3.6e-8, c2: 1.4e-10 },
-        t_aoi: CostFn::Quadratic { c0: 1.0e-7, c1: 1.4e-9, c2: 2.0e-10 },
-        t_su: CostFn::Linear { c0: 8.0e-8, c1: 6.2e-8 },
-        t_fa_dser: CostFn::Linear { c0: 2.0e-6, c1: 1e-10 },
-        t_fa: CostFn::Linear { c0: 1.2e-5, c1: 1e-10 },
+        t_ua_dser: CostFn::Linear {
+            c0: 2.7e-6,
+            c1: 3.8e-9,
+        },
+        t_ua: CostFn::Quadratic {
+            c0: 1.2e-4,
+            c1: 3.6e-8,
+            c2: 1.4e-10,
+        },
+        t_aoi: CostFn::Quadratic {
+            c0: 1.0e-7,
+            c1: 1.4e-9,
+            c2: 2.0e-10,
+        },
+        t_su: CostFn::Linear {
+            c0: 8.0e-8,
+            c1: 6.2e-8,
+        },
+        t_fa_dser: CostFn::Linear {
+            c0: 2.0e-6,
+            c1: 1e-10,
+        },
+        t_fa: CostFn::Linear {
+            c0: 1.2e-5,
+            c1: 1e-10,
+        },
         t_npc: CostFn::ZERO,
-        t_mig_ini: CostFn::Linear { c0: 2.0e-4, c1: 7.0e-6 },
-        t_mig_rcv: CostFn::Linear { c0: 1.5e-4, c1: 4.0e-6 },
+        t_mig_ini: CostFn::Linear {
+            c0: 2.0e-4,
+            c1: 7.0e-6,
+        },
+        t_mig_rcv: CostFn::Linear {
+            c0: 1.5e-4,
+            c1: 4.0e-6,
+        },
     };
     let model = ScalabilityModel::new(params, 0.040);
     println!(
@@ -32,16 +58,31 @@ fn main() {
     );
 
     // One minute of play: crowd up to 250, then everyone leaves.
-    let workload =
-        PaperSession { peak: 250, ramp_up_secs: 25.0, hold_secs: 10.0, ramp_down_secs: 25.0 };
+    let workload = PaperSession {
+        peak: 250,
+        ramp_up_secs: 25.0,
+        hold_secs: 10.0,
+        ramp_down_secs: 25.0,
+    };
     let ticks = (workload.ramp_up_secs + workload.hold_secs + workload.ramp_down_secs) as u64 * 25;
-    let config = SessionConfig { ticks, max_churn_per_tick: 2, ..SessionConfig::default() };
+    let config = SessionConfig {
+        ticks,
+        max_churn_per_tick: 2,
+        ..SessionConfig::default()
+    };
     let policy = Box::new(ModelDriven::new(model, ModelDrivenConfig::default()));
 
-    println!("running {} ticks ({} simulated seconds)...\n", ticks, ticks / 25);
+    println!(
+        "running {} ticks ({} simulated seconds)...\n",
+        ticks,
+        ticks / 25
+    );
     let report = run_session(config, policy, &workload);
 
-    println!("{:>8} {:>7} {:>8} {:>10} {:>10}", "t_secs", "users", "servers", "cpu_load%", "tick_ms");
+    println!(
+        "{:>8} {:>7} {:>8} {:>10} {:>10}",
+        "t_secs", "users", "servers", "cpu_load%", "tick_ms"
+    );
     for h in report.sampled(125) {
         println!(
             "{:>8.1} {:>7} {:>8} {:>10.1} {:>10.2}",
@@ -57,6 +98,10 @@ fn main() {
     println!("  replication enactments: {}", report.replicas_added);
     println!("  resource removals:      {}", report.replicas_removed);
     println!("  users migrated:         {}", report.migrations);
-    println!("  threshold violations:   {} ({:.2} % of ticks)", report.violations, report.violation_rate() * 100.0);
+    println!(
+        "  threshold violations:   {} ({:.2} % of ticks)",
+        report.violations,
+        report.violation_rate() * 100.0
+    );
     println!("  cloud cost:             {:.3} units", report.total_cost);
 }

@@ -18,7 +18,11 @@ fn main() {
         t_mig_rcv: CostFn::Constant(0.1e-3),
         ..ModelParams::default()
     };
-    let config = PlannerConfig { u_threshold: 0.040, npcs: 0, max_rounds: 16 };
+    let config = PlannerConfig {
+        u_threshold: 0.040,
+        npcs: 0,
+        max_rounds: 16,
+    };
 
     let initial = [25u32, 12, 8];
     println!("initial distribution: {initial:?} (45 users, 3 replicas, average 15)\n");
@@ -27,7 +31,10 @@ fn main() {
     for (i, round) in result.rounds.iter().enumerate() {
         println!("step {} (one second of migrations):", i + 1);
         for mv in &round.moves {
-            println!("   replica {} → replica {}: {} users", mv.from, mv.to, mv.users);
+            println!(
+                "   replica {} → replica {}: {} users",
+                mv.from, mv.to, mv.users
+            );
         }
         println!("   distribution: {:?}", round.resulting_users);
     }

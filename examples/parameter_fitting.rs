@@ -20,7 +20,10 @@ fn main() {
         ..MeasureConfig::default()
     };
 
-    println!("measuring replication parameters (up to {} bots on 2 replicas)...", campaign.max_users);
+    println!(
+        "measuring replication parameters (up to {} bots on 2 replicas)...",
+        campaign.max_users
+    );
     let mut measurements = measure_replication_params(&campaign);
     println!("measuring migration parameters...");
     measurements.merge(&measure_migration_params(&campaign));

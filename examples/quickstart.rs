@@ -15,19 +15,45 @@ fn main() {
     // `parameter_fitting` example); here we write them down directly.
     let params = ModelParams {
         // task 1: user input processing (§III-A)
-        t_ua_dser: CostFn::Linear { c0: 2.7e-6, c1: 3.8e-9 },
-        t_ua: CostFn::Quadratic { c0: 1.2e-4, c1: 3.6e-8, c2: 1.4e-10 },
+        t_ua_dser: CostFn::Linear {
+            c0: 2.7e-6,
+            c1: 3.8e-9,
+        },
+        t_ua: CostFn::Quadratic {
+            c0: 1.2e-4,
+            c1: 3.6e-8,
+            c2: 1.4e-10,
+        },
         // task 2: forwarded inputs from shadow entities
-        t_fa_dser: CostFn::Linear { c0: 2.0e-6, c1: 1e-10 },
-        t_fa: CostFn::Linear { c0: 1.2e-5, c1: 1e-10 },
+        t_fa_dser: CostFn::Linear {
+            c0: 2.0e-6,
+            c1: 1e-10,
+        },
+        t_fa: CostFn::Linear {
+            c0: 1.2e-5,
+            c1: 1e-10,
+        },
         // task 3: NPCs (none in this example)
         t_npc: CostFn::ZERO,
         // task 4: area of interest + state updates
-        t_aoi: CostFn::Quadratic { c0: 1.0e-7, c1: 1.4e-9, c2: 2.0e-10 },
-        t_su: CostFn::Linear { c0: 8.0e-8, c1: 6.2e-8 },
+        t_aoi: CostFn::Quadratic {
+            c0: 1.0e-7,
+            c1: 1.4e-9,
+            c2: 2.0e-10,
+        },
+        t_su: CostFn::Linear {
+            c0: 8.0e-8,
+            c1: 6.2e-8,
+        },
         // §III-B: user migration
-        t_mig_ini: CostFn::Linear { c0: 2.0e-4, c1: 7.0e-6 },
-        t_mig_rcv: CostFn::Linear { c0: 1.5e-4, c1: 4.0e-6 },
+        t_mig_ini: CostFn::Linear {
+            c0: 2.0e-4,
+            c1: 7.0e-6,
+        },
+        t_mig_rcv: CostFn::Linear {
+            c0: 1.5e-4,
+            c1: 4.0e-6,
+        },
     };
 
     // A 25 Hz first-person shooter: the tick must stay under 40 ms. Each
@@ -40,7 +66,10 @@ fn main() {
     // Eq. (2): capacity.
     println!("single server handles   {} users", model.max_users(1, 0));
     println!("two replicas handle     {} users", model.max_users(2, 0));
-    println!("replication trigger at  {} users (80 %)", model.replication_trigger(1, 0));
+    println!(
+        "replication trigger at  {} users (80 %)",
+        model.replication_trigger(1, 0)
+    );
 
     // Eq. (3): the replica limit.
     let limit = model.max_replicas(0);
@@ -68,6 +97,11 @@ fn main() {
     let plan = model.plan_migrations(&[heavy, light], 0);
     println!("rebalancing plan ({} rounds):", plan.rounds.len());
     for (i, round) in plan.rounds.iter().enumerate() {
-        println!("  round {}: {:?} -> {:?}", i + 1, round.moves, round.resulting_users);
+        println!(
+            "  round {}: {:?} -> {:?}",
+            i + 1,
+            round.moves,
+            round.resulting_users
+        );
     }
 }

@@ -25,8 +25,14 @@ fn main() {
     let report = run_threaded_session(config);
 
     println!("elapsed real time: {:?}", report.elapsed);
-    println!("mean wall tick:    {:.3} ms", report.mean_tick_duration() * 1e3);
-    println!("updates received:  {} across all users", report.total_updates());
+    println!(
+        "mean wall tick:    {:.3} ms",
+        report.mean_tick_duration() * 1e3
+    );
+    println!(
+        "updates received:  {} across all users",
+        report.total_updates()
+    );
 
     // Where did the wall-clock time go? The same task taxonomy the model
     // uses (§III-A), now with real measured times.
@@ -48,9 +54,7 @@ fn main() {
             .sum();
         println!("  {:>10}: {:>9.3} ms", task.symbol(), total * 1e3);
     }
-    println!(
-        "\n(modern hardware runs this workload orders of magnitude faster than the"
-    );
+    println!("\n(modern hardware runs this workload orders of magnitude faster than the");
     println!("paper's 2008 testbed — which is why the experiments use calibrated");
     println!("virtual time; see DESIGN.md)");
 }

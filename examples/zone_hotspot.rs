@@ -10,15 +10,41 @@ use roia::sim::{ClusterConfig, MultiZoneConfig, MultiZoneWorld};
 
 fn model() -> ScalabilityModel {
     let params = ModelParams {
-        t_ua_dser: CostFn::Linear { c0: 2.7e-6, c1: 3.8e-9 },
-        t_ua: CostFn::Quadratic { c0: 1.2e-4, c1: 3.6e-8, c2: 1.4e-10 },
-        t_aoi: CostFn::Quadratic { c0: 1.0e-7, c1: 1.4e-9, c2: 2.0e-10 },
-        t_su: CostFn::Linear { c0: 8.0e-8, c1: 6.2e-8 },
-        t_fa_dser: CostFn::Linear { c0: 2.0e-6, c1: 1e-10 },
-        t_fa: CostFn::Linear { c0: 1.2e-5, c1: 1e-10 },
+        t_ua_dser: CostFn::Linear {
+            c0: 2.7e-6,
+            c1: 3.8e-9,
+        },
+        t_ua: CostFn::Quadratic {
+            c0: 1.2e-4,
+            c1: 3.6e-8,
+            c2: 1.4e-10,
+        },
+        t_aoi: CostFn::Quadratic {
+            c0: 1.0e-7,
+            c1: 1.4e-9,
+            c2: 2.0e-10,
+        },
+        t_su: CostFn::Linear {
+            c0: 8.0e-8,
+            c1: 6.2e-8,
+        },
+        t_fa_dser: CostFn::Linear {
+            c0: 2.0e-6,
+            c1: 1e-10,
+        },
+        t_fa: CostFn::Linear {
+            c0: 1.2e-5,
+            c1: 1e-10,
+        },
         t_npc: CostFn::ZERO,
-        t_mig_ini: CostFn::Linear { c0: 2.0e-4, c1: 7.0e-6 },
-        t_mig_rcv: CostFn::Linear { c0: 1.5e-4, c1: 4.0e-6 },
+        t_mig_ini: CostFn::Linear {
+            c0: 2.0e-4,
+            c1: 7.0e-6,
+        },
+        t_mig_rcv: CostFn::Linear {
+            c0: 1.5e-4,
+            c1: 4.0e-6,
+        },
     };
     ScalabilityModel::new(params, 0.040)
 }
@@ -26,7 +52,10 @@ fn model() -> ScalabilityModel {
 fn main() {
     let config = MultiZoneConfig {
         zones: 4,
-        cluster: ClusterConfig { cost_noise: 0.05, ..ClusterConfig::default() },
+        cluster: ClusterConfig {
+            cost_noise: 0.05,
+            ..ClusterConfig::default()
+        },
         travel_prob_per_sec: 0.004,
         ..MultiZoneConfig::default()
     };

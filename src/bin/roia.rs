@@ -12,7 +12,7 @@
 //! (`thresholds`), previews rebalancing (`plan`), or simulates a managed
 //! session (`session`).
 
-use roia::model::{parse_model, format_model, ScalabilityModel};
+use roia::model::{format_model, parse_model, ScalabilityModel};
 use roia::rms::{
     BandwidthProportional, ModelDriven, ModelDrivenConfig, Policy, PredictiveModelDriven,
     StaticInterval, StaticThreshold,
@@ -86,7 +86,9 @@ fn get_num<T: std::str::FromStr>(
     default: T,
 ) -> Result<T, String> {
     match flags.get(key) {
-        Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key}: cannot parse '{v}'")),
         None => Ok(default),
     }
 }
@@ -132,7 +134,12 @@ fn cmd_thresholds(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     let npcs = get_num(flags, "npcs", 0u32)?;
     let limit = model.max_replicas(npcs);
-    println!("U = {} ms, c = {}, trigger fraction = {}", model.u_threshold * 1e3, model.improvement_factor, model.trigger_fraction);
+    println!(
+        "U = {} ms, c = {}, trigger fraction = {}",
+        model.u_threshold * 1e3,
+        model.improvement_factor,
+        model.trigger_fraction
+    );
     println!("l_max = {}", limit.l_max);
     println!("{:>9} {:>10} {:>10}", "replicas", "max_users", "trigger");
     for (i, &cap) in limit.capacity_per_replica.iter().enumerate() {
@@ -159,13 +166,20 @@ fn cmd_plan(flags: &HashMap<String, String>) -> Result<(), String> {
     for (i, round) in plan.rounds.iter().enumerate() {
         println!("round {}:", i + 1);
         for mv in &round.moves {
-            println!("  {} users: replica {} -> replica {}", mv.users, mv.from, mv.to);
+            println!(
+                "  {} users: replica {} -> replica {}",
+                mv.users, mv.from, mv.to
+            );
         }
         println!("  -> {:?}", round.resulting_users);
     }
     println!(
         "{} ({} users moved in {} rounds)",
-        if plan.balanced { "balanced" } else { "NOT balanced (budgets exhausted)" },
+        if plan.balanced {
+            "balanced"
+        } else {
+            "NOT balanced (budgets exhausted)"
+        },
         plan.total_moved(),
         plan.rounds.len()
     );
@@ -179,7 +193,10 @@ fn cmd_session(flags: &HashMap<String, String>) -> Result<(), String> {
     let policy_name = flags.get("policy").map(String::as_str).unwrap_or("model");
     let n1 = model.max_users(1, 0);
     let policy: Box<dyn Policy> = match policy_name {
-        "model" => Box::new(ModelDriven::new(model.clone(), ModelDrivenConfig::default())),
+        "model" => Box::new(ModelDriven::new(
+            model.clone(),
+            ModelDrivenConfig::default(),
+        )),
         "predictive" => Box::new(PredictiveModelDriven::new(
             model.clone(),
             ModelDrivenConfig::default(),
@@ -199,18 +216,29 @@ fn cmd_session(flags: &HashMap<String, String>) -> Result<(), String> {
         ramp_down_secs: total_secs * 0.4,
     };
     let ticks = (total_secs / 0.040).ceil() as u64;
-    let config = SessionConfig { ticks, max_churn_per_tick: 2, ..SessionConfig::default() };
+    let config = SessionConfig {
+        ticks,
+        max_churn_per_tick: 2,
+        ..SessionConfig::default()
+    };
     eprintln!("running a {minutes}-minute session, peak {peak} users, policy '{policy_name}'...");
     let report = run_session(config, policy, &workload);
 
     println!("policy:              {}", report.policy);
-    println!("violations:          {} ({:.2} % of ticks)", report.violations, report.violation_rate() * 100.0);
+    println!(
+        "violations:          {} ({:.2} % of ticks)",
+        report.violations,
+        report.violation_rate() * 100.0
+    );
     println!("users migrated:      {}", report.migrations);
     println!("replicas added:      {}", report.replicas_added);
     println!("replicas removed:    {}", report.replicas_removed);
     println!("substitutions:       {}", report.substitutions);
     println!("peak servers:        {}", report.peak_servers);
-    println!("mean CPU load:       {:.1} %", report.mean_cpu_load() * 100.0);
+    println!(
+        "mean CPU load:       {:.1} %",
+        report.mean_cpu_load() * 100.0
+    );
     println!("cloud cost:          {:.3}", report.total_cost);
     Ok(())
 }

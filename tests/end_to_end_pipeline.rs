@@ -6,8 +6,8 @@
 use roia::model::{calibrate, ParamKind, ScalabilityModel};
 use roia::rms::{ModelDriven, ModelDrivenConfig};
 use roia::sim::{
-    measure_migration_params, measure_replication_params, run_session, MeasureConfig,
-    PaperSession, SessionConfig,
+    measure_migration_params, measure_replication_params, run_session, MeasureConfig, PaperSession,
+    SessionConfig,
 };
 
 fn campaign() -> MeasureConfig {
@@ -30,7 +30,12 @@ fn measure_fit_manage() {
 
     // 2. Fit (§V-A): the shapes the paper prescribes, with decent quality.
     let calibration = calibrate(&measurements).expect("all parameters fitted");
-    for kind in [ParamKind::Ua, ParamKind::Aoi, ParamKind::Su, ParamKind::MigIni] {
+    for kind in [
+        ParamKind::Ua,
+        ParamKind::Aoi,
+        ParamKind::Su,
+        ParamKind::MigIni,
+    ] {
         let fit = calibration.fit_for(kind).expect("fitted");
         assert!(
             fit.fit.r_squared > 0.5,
@@ -101,14 +106,15 @@ fn managed_session_beats_unmanaged_overload() {
     let model = ScalabilityModel::new(calibration.params, 0.040);
     let n1 = model.max_users(1, 0);
     let peak = (n1 as f64 * 1.2) as u32;
-    let workload =
-        PaperSession { peak, ramp_up_secs: 15.0, hold_secs: 5.0, ramp_down_secs: 5.0 };
+    let workload = PaperSession {
+        peak,
+        ramp_up_secs: 15.0,
+        hold_secs: 5.0,
+        ramp_down_secs: 5.0,
+    };
 
     // Unmanaged: no controller — just run the cluster with one server.
-    let mut unmanaged = roia::sim::Cluster::new(
-        roia::sim::ClusterConfig::default(),
-        1,
-    );
+    let mut unmanaged = roia::sim::Cluster::new(roia::sim::ClusterConfig::default(), 1);
     for _ in 0..(25 * 25) {
         roia::sim::drive(&mut unmanaged, &workload, 0.040, 2);
         unmanaged.step();
@@ -119,7 +125,11 @@ fn managed_session_beats_unmanaged_overload() {
     );
 
     // Managed: same workload, controller attached.
-    let config = SessionConfig { ticks: 25 * 25, max_churn_per_tick: 2, ..SessionConfig::default() };
+    let config = SessionConfig {
+        ticks: 25 * 25,
+        max_churn_per_tick: 2,
+        ..SessionConfig::default()
+    };
     let policy = Box::new(ModelDriven::new(model, ModelDrivenConfig::default()));
     let managed = run_session(config, policy, &workload);
     assert!(

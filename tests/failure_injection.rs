@@ -3,11 +3,18 @@
 //! manager that leases cloud machines must survive them — these tests
 //! exercise the recovery path: orphaned clients reconnect to surviving
 //! replicas, the population is conserved, and the session keeps serving.
+//! The seeded soak tests at the bottom replay full random fault plans
+//! (crashes + boot failures + lossy links) with the invariant checker on.
 
-use roia::sim::{Cluster, ClusterConfig};
+use roia::rms::{Action, ActionOutcome, ControllerConfig, Policy, ZoneSnapshot};
+use roia::sim::{Cluster, ClusterConfig, FaultPlan};
 
 fn cluster(servers: u32, users: u32) -> Cluster {
-    let config = ClusterConfig { cost_noise: 0.0, seed: 21, ..ClusterConfig::default() };
+    let config = ClusterConfig {
+        cost_noise: 0.0,
+        seed: 21,
+        ..ClusterConfig::default()
+    };
     let mut c = Cluster::new(config, servers);
     for _ in 0..users {
         c.add_user();
@@ -38,7 +45,10 @@ fn crash_orphans_recover_on_survivor() {
 fn last_server_cannot_crash() {
     let mut c = cluster(1, 5);
     let id = c.server_loads()[0].0;
-    assert!(!c.crash_server(id), "the simulator refuses to kill the whole zone");
+    assert!(
+        !c.crash_server(id),
+        "the simulator refuses to kill the whole zone"
+    );
     assert_eq!(c.server_count(), 1);
 }
 
@@ -88,4 +98,144 @@ fn crashed_server_users_recover_via_replicated_state() {
         assert!(avatar.is_active());
         assert!(avatar.health > 0);
     }
+}
+
+/// Runs a seeded random fault plan (crashes, an isolation window, a
+/// straggler, boot failures, lossy links) against a plain cluster with the
+/// per-tick invariant checker armed, then clears the faults and lets the
+/// recovery machinery settle.
+fn soak(seed: u64, servers: u32, users: u32) {
+    const SOAK_TICKS: u64 = 2500;
+    const CALM_TICKS: u64 = 400; // > the stall watchdog + a few rehome retries
+
+    let config = ClusterConfig {
+        cost_noise: 0.0,
+        seed,
+        ..ClusterConfig::default()
+    };
+    let mut c = Cluster::new(config, servers);
+    c.set_debug_checks(true);
+    c.set_chaos(FaultPlan::random(seed, 0.6, SOAK_TICKS));
+    for _ in 0..users {
+        c.add_user();
+    }
+
+    // The invariant checker panics inside step() on any conservation or
+    // migration-safety breach, so simply surviving the soak is the meat of
+    // this test.
+    c.run(SOAK_TICKS);
+    assert_eq!(
+        c.user_count(),
+        users,
+        "population conserved through the chaos"
+    );
+
+    c.clear_chaos();
+    c.run(CALM_TICKS);
+
+    // Once the weather clears, every orphan must be re-homed: each user
+    // active on exactly one live server, nobody left dangling.
+    assert_eq!(c.user_count(), users);
+    let homed: u32 = c.server_loads().iter().map(|(_, n)| n).sum();
+    assert_eq!(
+        homed,
+        users,
+        "every orphan re-homed: {:?}",
+        c.server_loads()
+    );
+    let last = *c.history().last().unwrap();
+    assert_eq!(last.unhomed, 0, "no user stuck in recovery");
+    assert_eq!(c.supervised_count(), 0, "the re-home supervisor drained");
+    assert_eq!(c.suspect_count(), 0, "no server still marked suspect");
+
+    // The session stayed mostly responsive: a small cluster at this
+    // population has headroom, so even a 2-3x straggler window must not
+    // push a majority of ticks over the U threshold.
+    let total = SOAK_TICKS + CALM_TICKS;
+    assert!(
+        c.violations() < total / 4,
+        "U violations bounded: {} of {} ticks",
+        c.violations(),
+        total
+    );
+}
+
+#[test]
+fn random_fault_plan_soak_conserves_and_recovers() {
+    soak(2024, 4, 40);
+}
+
+#[test]
+fn random_fault_plan_soak_other_seed() {
+    soak(7, 3, 30);
+}
+
+/// Wants one more replica than it has, forever — the simplest scale-up
+/// pressure, used to exercise the controller's retry/escalation ladder.
+struct GreedyScaleUp;
+
+impl Policy for GreedyScaleUp {
+    fn name(&self) -> &'static str {
+        "greedy-scale-up"
+    }
+
+    fn decide(&mut self, snapshot: &ZoneSnapshot, _now_tick: u64) -> Vec<Action> {
+        if snapshot.servers.len() < 4 {
+            vec![Action::AddReplica {
+                zone: snapshot.zone,
+            }]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[test]
+fn boot_failures_walk_the_escalation_ladder() {
+    // Every machine the pool delivers is dead on arrival. The controller
+    // must retry the AddReplica with backoff, escalate to a substitution,
+    // retry that too, and finally abandon scale-ups (degraded mode) — each
+    // step visible in the action ledger, nothing silently lost.
+    let config = ClusterConfig {
+        cost_noise: 0.0,
+        seed: 42,
+        ..ClusterConfig::default()
+    };
+    let mut c = Cluster::new(config, 2);
+    c.set_debug_checks(true);
+    c.set_controller(Box::new(GreedyScaleUp), ControllerConfig::default());
+    c.set_chaos(FaultPlan::quiet(42).with_boot_failures(1.0));
+    for _ in 0..20 {
+        c.add_user();
+    }
+    c.run(2000);
+
+    let log = c.action_log().expect("controller attached");
+    let failed = log.count_outcome(ActionOutcome::Failed);
+    let escalated = log.count_outcome(ActionOutcome::Escalated);
+    assert!(
+        failed >= 3,
+        "each boot attempt failed and was recorded: {failed}"
+    );
+    assert!(
+        escalated >= 1,
+        "a twice-failed AddReplica escalated to substitution"
+    );
+    assert!(
+        log.count_outcome(ActionOutcome::Abandoned) >= 1,
+        "the failed substitution was explicitly abandoned"
+    );
+    // Nothing ever booted, so the zone never grew — and nobody got lost
+    // while the controller thrashed.
+    assert_eq!(c.server_count(), 2);
+    assert_eq!(c.user_count(), 20);
+    let homed: u32 = c.server_loads().iter().map(|(_, n)| n).sum();
+    assert_eq!(homed, 20);
+    // At most the single currently-in-flight attempt may still be pending;
+    // everything older reached a terminal outcome.
+    let still_pending = log.unresolved().count();
+    assert!(
+        still_pending <= 1,
+        "no action silently lost: {still_pending} still pending"
+    );
 }

@@ -6,7 +6,11 @@
 use roia::sim::{Cluster, ClusterConfig};
 
 fn cluster(servers: u32, users: u32) -> Cluster {
-    let config = ClusterConfig { cost_noise: 0.0, seed: 99, ..ClusterConfig::default() };
+    let config = ClusterConfig {
+        cost_noise: 0.0,
+        seed: 99,
+        ..ClusterConfig::default()
+    };
     let mut c = Cluster::new(config, servers);
     for _ in 0..users {
         c.add_user();
@@ -55,7 +59,8 @@ fn migration_counters_match_on_both_ends() {
     let loads = c.server_loads();
     c.execute_migration(loads[0].0, loads[1].0, 5);
     c.run(5);
-    let ini = c.server(0).migration_counters().initiated + c.server(1).migration_counters().initiated;
+    let ini =
+        c.server(0).migration_counters().initiated + c.server(1).migration_counters().initiated;
     let rcv = c.server(0).migration_counters().received + c.server(1).migration_counters().received;
     assert_eq!(ini, 5);
     assert_eq!(rcv, 5, "every initiated migration was received");

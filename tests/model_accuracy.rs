@@ -30,7 +30,11 @@ fn calibrated() -> ScalabilityModel {
 /// Runs `users` bots on `servers` replicas and returns the average measured
 /// tick duration across servers after settling.
 fn measured_tick(servers: u32, users: u32, seed: u64) -> f64 {
-    let config = ClusterConfig { seed, cost_noise: 0.05, ..ClusterConfig::default() };
+    let config = ClusterConfig {
+        seed,
+        cost_noise: 0.05,
+        ..ClusterConfig::default()
+    };
     let mut cluster = Cluster::new(config, servers);
     for _ in 0..users {
         cluster.add_user();
@@ -113,5 +117,8 @@ fn capacity_prediction_brackets_saturation() {
     let below = measured_tick(1, (cap as f64 * 0.75) as u32, 13);
     let above = measured_tick(1, (cap as f64 * 1.25) as u32, 13);
     assert!(below < 0.040, "75 % of capacity must be under U: {below}");
-    assert!(above >= 0.038, "125 % of capacity must be near/over U: {above}");
+    assert!(
+        above >= 0.038,
+        "125 % of capacity must be near/over U: {above}"
+    );
 }

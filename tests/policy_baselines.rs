@@ -8,15 +8,41 @@ use roia::sim::{run_session, ClusterConfig, Ramp, SessionConfig, SessionReport};
 /// the measurement campaign.
 fn model() -> ScalabilityModel {
     let params = ModelParams {
-        t_ua_dser: CostFn::Linear { c0: 2.7e-6, c1: 3.8e-9 },
-        t_ua: CostFn::Quadratic { c0: 1.2e-4, c1: 3.6e-8, c2: 1.4e-10 },
-        t_aoi: CostFn::Quadratic { c0: 1.0e-7, c1: 1.4e-9, c2: 2.0e-10 },
-        t_su: CostFn::Linear { c0: 8.0e-8, c1: 6.2e-8 },
-        t_fa_dser: CostFn::Linear { c0: 2.0e-6, c1: 1e-10 },
-        t_fa: CostFn::Linear { c0: 1.2e-5, c1: 1e-10 },
+        t_ua_dser: CostFn::Linear {
+            c0: 2.7e-6,
+            c1: 3.8e-9,
+        },
+        t_ua: CostFn::Quadratic {
+            c0: 1.2e-4,
+            c1: 3.6e-8,
+            c2: 1.4e-10,
+        },
+        t_aoi: CostFn::Quadratic {
+            c0: 1.0e-7,
+            c1: 1.4e-9,
+            c2: 2.0e-10,
+        },
+        t_su: CostFn::Linear {
+            c0: 8.0e-8,
+            c1: 6.2e-8,
+        },
+        t_fa_dser: CostFn::Linear {
+            c0: 2.0e-6,
+            c1: 1e-10,
+        },
+        t_fa: CostFn::Linear {
+            c0: 1.2e-5,
+            c1: 1e-10,
+        },
         t_npc: CostFn::ZERO,
-        t_mig_ini: CostFn::Linear { c0: 2.0e-4, c1: 7.0e-6 },
-        t_mig_rcv: CostFn::Linear { c0: 1.5e-4, c1: 4.0e-6 },
+        t_mig_ini: CostFn::Linear {
+            c0: 2.0e-4,
+            c1: 7.0e-6,
+        },
+        t_mig_rcv: CostFn::Linear {
+            c0: 1.5e-4,
+            c1: 4.0e-6,
+        },
     };
     ScalabilityModel::new(params, 0.040)
 }
@@ -25,12 +51,19 @@ fn run(policy: Box<dyn Policy>, peak: u32, initial_servers: u32) -> SessionRepor
     // A gentle ramp (the paper's sessions grow by a few users per second):
     // fast enough to need scaling, slow enough that the 2 s machine boot
     // delay is coverable by the 80 % trigger's headroom.
-    let workload = Ramp { from: 0, to: peak, duration_secs: 25.0 };
+    let workload = Ramp {
+        from: 0,
+        to: peak,
+        duration_secs: 25.0,
+    };
     let config = SessionConfig {
         ticks: 35 * 25,
         max_churn_per_tick: 3,
         initial_servers,
-        cluster: ClusterConfig { cost_noise: 0.0, ..ClusterConfig::default() },
+        cluster: ClusterConfig {
+            cost_noise: 0.0,
+            ..ClusterConfig::default()
+        },
         ..SessionConfig::default()
     };
     run_session(config, policy, &workload)
@@ -41,7 +74,11 @@ fn model_driven_paces_migrations() {
     // Two servers, imbalanced arrivals are rebalanced continuously by the
     // static baseline but paced by the model-driven policy.
     let m = model();
-    let md = run(Box::new(ModelDriven::new(m, ModelDrivenConfig::default())), 120, 2);
+    let md = run(
+        Box::new(ModelDriven::new(m, ModelDrivenConfig::default())),
+        120,
+        2,
+    );
     let si = run(Box::new(StaticInterval::new(1, 10_000)), 120, 2);
     assert!(
         md.migrations <= si.migrations,
@@ -60,7 +97,10 @@ fn model_driven_scales_before_saturation() {
         trigger + 30,
         1,
     );
-    assert!(report.replicas_added >= 1, "trigger crossed ⇒ replica added");
+    assert!(
+        report.replicas_added >= 1,
+        "trigger crossed ⇒ replica added"
+    );
     assert!(
         report.violation_rate() < 0.05,
         "scaling prevented violations: {:.2} %",
@@ -95,12 +135,19 @@ fn removal_shrinks_the_deployment() {
     // Start with three replicas and a small population: the model-driven
     // policy drains and removes the surplus machines.
     let m = model();
-    let workload = Ramp { from: 30, to: 30, duration_secs: 1.0 };
+    let workload = Ramp {
+        from: 30,
+        to: 30,
+        duration_secs: 1.0,
+    };
     let config = SessionConfig {
         ticks: 15 * 25,
         max_churn_per_tick: 10,
         initial_servers: 3,
-        cluster: ClusterConfig { cost_noise: 0.0, ..ClusterConfig::default() },
+        cluster: ClusterConfig {
+            cost_noise: 0.0,
+            ..ClusterConfig::default()
+        },
         ..SessionConfig::default()
     };
     let report = run_session(
@@ -108,7 +155,10 @@ fn removal_shrinks_the_deployment() {
         Box::new(ModelDriven::new(m, ModelDrivenConfig::default())),
         &workload,
     );
-    assert!(report.replicas_removed >= 1, "underutilized replicas removed");
+    assert!(
+        report.replicas_removed >= 1,
+        "underutilized replicas removed"
+    );
     assert_eq!(
         report.history.last().unwrap().users,
         30,
@@ -128,18 +178,29 @@ fn predictive_policy_handles_fast_ramps_better() {
     use roia::rms::PredictiveModelDriven;
     use roia::sim::PaperSession;
 
-    let fast = PaperSession { peak: 280, ramp_up_secs: 10.0, hold_secs: 10.0, ramp_down_secs: 5.0 };
+    let fast = PaperSession {
+        peak: 280,
+        ramp_up_secs: 10.0,
+        hold_secs: 10.0,
+        ramp_down_secs: 5.0,
+    };
     let run_fast = |policy: Box<dyn Policy>| {
         let config = SessionConfig {
             ticks: 25 * 25,
             max_churn_per_tick: 3,
-            cluster: ClusterConfig { cost_noise: 0.0, ..ClusterConfig::default() },
+            cluster: ClusterConfig {
+                cost_noise: 0.0,
+                ..ClusterConfig::default()
+            },
             ..SessionConfig::default()
         };
         run_session(config, policy, &fast)
     };
 
-    let reactive = run_fast(Box::new(ModelDriven::new(model(), ModelDrivenConfig::default())));
+    let reactive = run_fast(Box::new(ModelDriven::new(
+        model(),
+        ModelDrivenConfig::default(),
+    )));
     // Horizon: boot delay (50 ticks) + two control rounds.
     let predictive = run_fast(Box::new(PredictiveModelDriven::new(
         model(),

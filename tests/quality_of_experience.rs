@@ -3,13 +3,13 @@
 //! reshuffles them between machines. These tests watch the session from
 //! the client side.
 
-use roia::rtf::{Client, ClientState, InputSource};
-use roia::sim::{Cluster, ClusterConfig};
+use roia::demo::{Bot, BotBehavior, CostModel, RtfDemoApp, World};
 use roia::net::Bus;
 use roia::rtf::entity::UserId;
 use roia::rtf::server::{Server, ServerConfig};
 use roia::rtf::zone::ZoneId;
-use roia::demo::{Bot, BotBehavior, CostModel, RtfDemoApp, World};
+use roia::rtf::{Client, ClientState, InputSource};
+use roia::sim::{Cluster, ClusterConfig};
 
 #[test]
 fn clients_receive_updates_every_tick() {
@@ -26,7 +26,10 @@ fn clients_receive_updates_every_tick() {
     }
     assert_eq!(client.state(), ClientState::Connected);
     // Connect handled on tick 0, updates flow from tick 1 on.
-    assert!(updates >= 48, "25 Hz stream of state updates: got {updates}/50");
+    assert!(
+        updates >= 48,
+        "25 Hz stream of state updates: got {updates}/50"
+    );
     assert!(bot.updates_seen >= 48);
 }
 
@@ -83,8 +86,17 @@ fn bots_fight_across_server_boundaries() {
     let config = ClusterConfig {
         cost_noise: 0.0,
         seed: 5,
-        world: World { aoi_radius: 2000.0, attack_range: 2000.0, ..World::default() },
-        bots: BotBehavior { attack_base: 0.9, attack_per_target: 0.0, attack_cap: 0.9, damage: 10 },
+        world: World {
+            aoi_radius: 2000.0,
+            attack_range: 2000.0,
+            ..World::default()
+        },
+        bots: BotBehavior {
+            attack_base: 0.9,
+            attack_per_target: 0.0,
+            attack_cap: 0.9,
+            damage: 10,
+        },
         ..ClusterConfig::default()
     };
     let mut cluster = Cluster::new(config, 2);
@@ -129,10 +141,17 @@ fn update_stream_has_no_gaps_in_steady_state() {
     let app = RtfDemoApp::new(World::default(), 0, CostModel::exact());
     let mut server = Server::new(&bus, "s", ZoneId(1), app, ServerConfig::default());
     let mut client = Client::connect(&bus, UserId(1), server.id()).unwrap();
-    let mut watcher = GapWatcher { last_server_tick: None, worst_gap: 0 };
+    let mut watcher = GapWatcher {
+        last_server_tick: None,
+        worst_gap: 0,
+    };
     for tick in 0..100 {
         server.tick();
         client.tick(tick, &mut watcher);
     }
-    assert!(watcher.worst_gap <= 1, "no missed server tick: worst gap {}", watcher.worst_gap);
+    assert!(
+        watcher.worst_gap <= 1,
+        "no missed server tick: worst gap {}",
+        watcher.worst_gap
+    );
 }
