@@ -1,0 +1,180 @@
+//! CUSUM drift detection on the tick-duration prediction residual.
+//!
+//! The controller's model predicts `T(l, n, m, a)` every tick; the servers
+//! report what the tick actually cost. When the workload's character
+//! changes (bots attack twice as often, an NPC event doubles the zone's
+//! entity count), the *residual* `observed − predicted` acquires a
+//! persistent bias long before any single tick looks anomalous. A
+//! two-sided CUSUM accumulates that bias above a per-sample slack `k` and
+//! raises an alarm once either side exceeds the decision threshold `h` —
+//! the classic Page test, robust to the per-tick noise the virtual cost
+//! model injects. An alarm asks the calibrator for an out-of-cadence
+//! refit; it never touches the registry directly.
+
+/// CUSUM tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CusumConfig {
+    /// Per-sample slack `k` (seconds): residual magnitude tolerated
+    /// without accumulating. Set above the noise floor of a healthy model
+    /// (≈ the cost model's relative noise × a typical tick duration).
+    pub slack: f64,
+    /// Decision threshold `h` (seconds of accumulated excess) before an
+    /// alarm fires.
+    pub threshold: f64,
+    /// Residuals ignored after (re)arming — lets a fresh model's
+    /// transient settle instead of instantly re-alarming.
+    pub warmup: u64,
+}
+
+impl Default for CusumConfig {
+    fn default() -> Self {
+        Self {
+            slack: 2e-3,
+            threshold: 40e-3,
+            warmup: 25,
+        }
+    }
+}
+
+/// A two-sided CUSUM detector over a residual stream.
+#[derive(Debug, Clone)]
+pub struct CusumDetector {
+    config: CusumConfig,
+    g_pos: f64,
+    g_neg: f64,
+    /// Samples seen since the last (re)arm.
+    since_arm: u64,
+    observed: u64,
+    alarms: u64,
+}
+
+impl CusumDetector {
+    /// Creates an armed detector.
+    pub fn new(config: CusumConfig) -> Self {
+        Self {
+            config,
+            g_pos: 0.0,
+            g_neg: 0.0,
+            since_arm: 0,
+            observed: 0,
+            alarms: 0,
+        }
+    }
+
+    /// The tuning in effect.
+    pub fn config(&self) -> &CusumConfig {
+        &self.config
+    }
+
+    /// Feeds one residual; returns `true` when drift is declared (the
+    /// detector re-arms itself afterwards).
+    pub fn observe(&mut self, residual: f64) -> bool {
+        self.observed += 1;
+        if !residual.is_finite() {
+            return false;
+        }
+        self.since_arm += 1;
+        if self.since_arm <= self.config.warmup {
+            return false;
+        }
+        self.g_pos = (self.g_pos + residual - self.config.slack).max(0.0);
+        self.g_neg = (self.g_neg - residual - self.config.slack).max(0.0);
+        if self.g_pos > self.config.threshold || self.g_neg > self.config.threshold {
+            self.alarms += 1;
+            self.rearm();
+            return true;
+        }
+        false
+    }
+
+    /// The larger of the two accumulated sums (how close to an alarm the
+    /// detector currently is).
+    pub fn excess(&self) -> f64 {
+        self.g_pos.max(self.g_neg)
+    }
+
+    /// Total residuals observed.
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Alarms raised so far.
+    pub fn alarms(&self) -> u64 {
+        self.alarms
+    }
+
+    /// Clears the accumulated sums and restarts the warmup — called
+    /// automatically after an alarm, and by the calibrator after a new
+    /// model version ships (the residual baseline just changed).
+    pub fn rearm(&mut self) {
+        self.g_pos = 0.0;
+        self.g_neg = 0.0;
+        self.since_arm = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> CusumConfig {
+        CusumConfig {
+            slack: 1e-3,
+            threshold: 10e-3,
+            warmup: 5,
+        }
+    }
+
+    #[test]
+    fn stationary_noise_never_alarms() {
+        let mut d = CusumDetector::new(config());
+        // Deterministic zero-mean residuals below the slack.
+        for i in 0..10_000 {
+            let r = if i % 2 == 0 { 0.8e-3 } else { -0.8e-3 };
+            assert!(!d.observe(r), "alarm on stationary noise at {i}");
+        }
+        assert_eq!(d.alarms(), 0);
+    }
+
+    #[test]
+    fn persistent_bias_alarms() {
+        let mut d = CusumDetector::new(config());
+        let mut fired = false;
+        for _ in 0..100 {
+            if d.observe(3e-3) {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "a 3 ms persistent bias must trip a 10 ms threshold");
+        assert_eq!(d.alarms(), 1);
+    }
+
+    #[test]
+    fn negative_bias_alarms_too() {
+        let mut d = CusumDetector::new(config());
+        let fired = (0..100).any(|_| d.observe(-3e-3));
+        assert!(fired, "the detector is two-sided");
+    }
+
+    #[test]
+    fn warmup_suppresses_the_transient() {
+        let mut d = CusumDetector::new(CusumConfig {
+            warmup: 50,
+            ..config()
+        });
+        for _ in 0..50 {
+            assert!(!d.observe(100e-3), "warmup must swallow the transient");
+        }
+        assert!(d.excess() == 0.0);
+    }
+
+    #[test]
+    fn rearms_after_alarm() {
+        let mut d = CusumDetector::new(config());
+        while !d.observe(5e-3) {}
+        assert_eq!(d.excess(), 0.0, "sums cleared");
+        // Immediately after the alarm the warmup swallows new residuals.
+        assert!(!d.observe(5e-3));
+    }
+}

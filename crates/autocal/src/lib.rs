@@ -1,0 +1,43 @@
+//! `roia-autocal` — online calibration for the ROIA scalability model.
+//!
+//! The paper's parameter-determination methodology (§V-A) is an offline
+//! campaign: measure per-task costs at increasing populations, fit the
+//! nine `t_*` cost functions once, hand the frozen model to RTF-RMS. Real
+//! deployments drift — player behaviour changes, content updates add
+//! NPCs, hardware ages — and a controller steering by a stale model
+//! mis-sizes the cluster. This crate closes the loop, forming a new layer
+//! between measurement (`rtf-core` metrics) and control (`rtf-rms`
+//! policies):
+//!
+//! * [`window`] — bounded per-parameter sliding windows of
+//!   `(population, seconds-per-item)` samples streamed from tick records.
+//! * [`rls`] — a recursive-least-squares fast path that keeps the linear
+//!   parameters' coefficients current in O(p²) per sample.
+//! * [`calibrator`] — the [`OnlineCalibrator`]: ingests records, refits
+//!   on a cadence (RLS for linear parameters, warm-started
+//!   Levenberg–Marquardt via `roia-fit` for the quadratic ones) and
+//!   offers candidates to the registry.
+//! * [`drift`] — a two-sided CUSUM on the residual between predicted
+//!   `T(l, n, m, a)` and the observed tick duration; an alarm triggers an
+//!   out-of-cadence refit.
+//! * [`registry`] — the versioned [`ModelRegistry`]: atomic swap behind
+//!   quality gates (R²/RMSE floors, minimum sample counts), a cooldown
+//!   and hysteresis, so a bad fit never ships and a good one is one
+//!   pointer store away from every policy.
+
+#![warn(missing_docs)]
+
+pub mod calibrator;
+pub mod drift;
+pub mod registry;
+pub mod rls;
+pub mod window;
+
+pub use calibrator::{CalibratorConfig, CalibratorStats, OnlineCalibrator, RefitReport};
+pub use drift::{CusumConfig, CusumDetector};
+pub use registry::{
+    CandidateFit, FitPath, GateFailure, ModelRegistry, ModelVersion, ParamRefit, PublishOutcome,
+    QualityGates, RefitReason, RegistryConfig, RegistryStats,
+};
+pub use rls::Rls;
+pub use window::{SampleWindow, WindowStore};

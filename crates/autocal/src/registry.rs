@@ -1,0 +1,614 @@
+//! The versioned model registry — the swap point between calibration and
+//! control.
+//!
+//! Policies read the *current* [`ModelVersion`] through an atomic
+//! `RwLock<Arc<…>>` swap: a reader never observes a half-updated
+//! parameter set, and a publish is one pointer store. Three defenses keep
+//! a bad fit from ever steering the controller:
+//!
+//! * **Quality gates** — every refitted parameter must carry enough
+//!   samples and either a decent R² or a small RMSE relative to the data's
+//!   mean (near-constant parameters legitimately have R² ≈ 0, so the gate
+//!   is "explains the variance *or* there is hardly any"). Gates apply
+//!   per parameter: a failing refit keeps that parameter's published
+//!   value while the passing ones still ship, so one chronically noisy
+//!   parameter cannot wedge the registry on a stale model.
+//! * **Cooldown** — cadence refits cannot swap more often than
+//!   `cooldown_ticks`; a flapping fit cannot make the controller flap.
+//! * **Hysteresis** — a cadence refit whose parameters barely moved is
+//!   dropped; version churn would only invalidate downstream caches.
+//!
+//! Drift-triggered refits bypass cooldown and hysteresis — the detector
+//! has evidence the world changed — but **never** the quality gates.
+
+use parking_lot::{Mutex, RwLock};
+use roia_model::{CostFn, ModelParams, ParamKind, ScalabilityModel};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Why a refit ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefitReason {
+    /// The initial model the registry was seeded with.
+    Seed,
+    /// The periodic refit cadence came due.
+    Cadence,
+    /// The CUSUM drift detector demanded an out-of-cadence refit.
+    Drift,
+}
+
+impl RefitReason {
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RefitReason::Seed => "seed",
+            RefitReason::Cadence => "cadence",
+            RefitReason::Drift => "drift",
+        }
+    }
+}
+
+/// Which estimator produced a parameter refit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FitPath {
+    /// The recursive-least-squares fast path (linear parameters).
+    Rls,
+    /// Warm-started Levenberg–Marquardt (quadratic parameters).
+    WarmLm,
+    /// A single multiplicative rescale of the published curve — the
+    /// fallback when the window's x-spread is too narrow to identify
+    /// per-coefficient fits (see `CalibratorConfig::min_x_spread`).
+    Scale,
+}
+
+/// One refitted parameter with its fit diagnostics.
+#[derive(Debug, Clone)]
+pub struct ParamRefit {
+    /// The parameter.
+    pub kind: ParamKind,
+    /// The refitted cost function.
+    pub cost_fn: CostFn,
+    /// Window samples the fit was judged on.
+    pub samples: usize,
+    /// Coefficient of determination over the window.
+    pub r_squared: f64,
+    /// Root-mean-square error over the window (seconds).
+    pub rmse: f64,
+    /// Mean observed value over the window (seconds) — the RMSE scale.
+    pub mean_y: f64,
+    /// Which estimator produced it.
+    pub path: FitPath,
+}
+
+/// A candidate parameter set offered to the registry.
+#[derive(Debug, Clone)]
+pub struct CandidateFit {
+    /// The full parameter set (refitted values merged over the previous
+    /// version's).
+    pub params: ModelParams,
+    /// Diagnostics for the parameters that were actually refitted.
+    pub refits: Vec<ParamRefit>,
+    /// What prompted the refit.
+    pub reason: RefitReason,
+}
+
+/// Fit-quality floors a candidate must clear. A parameter passes when it
+/// has at least `min_samples` observations AND (`r_squared ≥
+/// min_r_squared` OR `rmse ≤ max_rmse_frac · |mean|`). The disjunction is
+/// deliberate: a near-constant cost series has no variance to explain
+/// (R² ≈ 0) yet fits to within a few percent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityGates {
+    /// Minimum window samples behind a refit.
+    pub min_samples: usize,
+    /// R² floor.
+    pub min_r_squared: f64,
+    /// RMSE ceiling as a fraction of the window's mean observation.
+    pub max_rmse_frac: f64,
+}
+
+impl Default for QualityGates {
+    fn default() -> Self {
+        Self {
+            min_samples: 32,
+            min_r_squared: 0.85,
+            max_rmse_frac: 0.35,
+        }
+    }
+}
+
+/// Why a parameter refit failed the gates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GateFailure {
+    /// Fewer window samples than `min_samples`.
+    TooFewSamples {
+        /// Samples behind the fit.
+        have: usize,
+        /// The floor.
+        need: usize,
+    },
+    /// Neither the R² floor nor the relative-RMSE ceiling was met.
+    PoorFit {
+        /// Fit R².
+        r_squared: f64,
+        /// Fit RMSE relative to the window mean.
+        rmse_frac: f64,
+    },
+    /// A coefficient or diagnostic is NaN/∞.
+    NonFinite,
+}
+
+impl QualityGates {
+    /// Checks one parameter refit against the gates.
+    pub fn check(&self, refit: &ParamRefit) -> Result<(), GateFailure> {
+        let finite = refit.r_squared.is_finite()
+            && refit.rmse.is_finite()
+            && refit.mean_y.is_finite()
+            && refit.cost_fn.coefficients().iter().all(|c| c.is_finite());
+        if !finite {
+            return Err(GateFailure::NonFinite);
+        }
+        if refit.samples < self.min_samples {
+            return Err(GateFailure::TooFewSamples {
+                have: refit.samples,
+                need: self.min_samples,
+            });
+        }
+        let scale = refit.mean_y.abs().max(f64::MIN_POSITIVE);
+        let rmse_frac = refit.rmse / scale;
+        if refit.r_squared >= self.min_r_squared || rmse_frac <= self.max_rmse_frac {
+            Ok(())
+        } else {
+            Err(GateFailure::PoorFit {
+                r_squared: refit.r_squared,
+                rmse_frac,
+            })
+        }
+    }
+}
+
+/// Registry tuning.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegistryConfig {
+    /// Fit-quality floors (see [`QualityGates`]).
+    pub gates: QualityGates,
+    /// Minimum ticks between cadence-driven swaps.
+    pub cooldown_ticks: u64,
+    /// Hysteresis: a cadence candidate whose per-parameter predictions
+    /// moved less than this relative fraction is not published.
+    pub min_relative_change: f64,
+    /// Version-history entries retained.
+    pub history_capacity: usize,
+}
+
+impl Default for RegistryConfig {
+    fn default() -> Self {
+        Self {
+            gates: QualityGates::default(),
+            cooldown_ticks: 250,
+            min_relative_change: 0.05,
+            history_capacity: 64,
+        }
+    }
+}
+
+/// One published model version.
+#[derive(Debug, Clone)]
+pub struct ModelVersion {
+    /// Monotonically increasing version number (the seed is 1).
+    pub version: u64,
+    /// The model itself.
+    pub model: ScalabilityModel,
+    /// Tick at which it was published.
+    pub published_at: u64,
+    /// What prompted it.
+    pub reason: RefitReason,
+    /// Worst R² among the refitted parameters (1.0 for the seed).
+    pub worst_r_squared: f64,
+    /// Parameters refitted relative to the previous version.
+    pub refitted: Vec<ParamKind>,
+}
+
+/// What `try_publish` did with a candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PublishOutcome {
+    /// Swapped in as this version.
+    Published {
+        /// The new version number.
+        version: u64,
+    },
+    /// Every refitted parameter failed the quality gates; nothing
+    /// swapped. (Carries the first failure for diagnostics.)
+    RejectedQuality(ParamKind, GateFailure),
+    /// A cadence candidate arrived inside the cooldown window.
+    Cooldown {
+        /// First tick at which a cadence publish is allowed again.
+        until: u64,
+    },
+    /// A cadence candidate changed too little to be worth a version.
+    Unchanged {
+        /// The observed relative change.
+        relative_change: f64,
+    },
+}
+
+/// Publish/reject counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Versions published (excluding the seed).
+    pub published: u64,
+    /// Candidates rejected by the quality gates.
+    pub rejected_quality: u64,
+    /// Candidates deferred by the cooldown.
+    pub rejected_cooldown: u64,
+    /// Candidates dropped by hysteresis.
+    pub unchanged: u64,
+}
+
+/// Zone populations at which hysteresis compares per-parameter
+/// predictions (small and near-capacity loads).
+const PROBE_USERS: [f64; 2] = [50.0, 200.0];
+
+/// The versioned model registry.
+pub struct ModelRegistry {
+    config: RegistryConfig,
+    current: RwLock<Arc<ModelVersion>>,
+    history: Mutex<VecDeque<ModelVersion>>,
+    stats: Mutex<RegistryStats>,
+}
+
+impl ModelRegistry {
+    /// Seeds the registry with an initial model as version 1.
+    pub fn new(initial: ScalabilityModel, config: RegistryConfig) -> Self {
+        let seed = ModelVersion {
+            version: 1,
+            model: initial,
+            published_at: 0,
+            reason: RefitReason::Seed,
+            worst_r_squared: 1.0,
+            refitted: Vec::new(),
+        };
+        let mut history = VecDeque::with_capacity(config.history_capacity.max(1));
+        history.push_back(seed.clone());
+        Self {
+            config,
+            current: RwLock::new(Arc::new(seed)),
+            history: Mutex::new(history),
+            stats: Mutex::new(RegistryStats::default()),
+        }
+    }
+
+    /// The registry's tuning.
+    pub fn config(&self) -> &RegistryConfig {
+        &self.config
+    }
+
+    /// The current version — one atomic pointer load; the `Arc` keeps the
+    /// snapshot alive however long the reader holds it.
+    pub fn current(&self) -> Arc<ModelVersion> {
+        self.current.read().clone()
+    }
+
+    /// Convenience: a clone of the current model.
+    pub fn model(&self) -> ScalabilityModel {
+        self.current.read().model.clone()
+    }
+
+    /// The current version number.
+    pub fn version(&self) -> u64 {
+        self.current.read().version
+    }
+
+    /// Publish/reject counters so far.
+    pub fn stats(&self) -> RegistryStats {
+        *self.stats.lock()
+    }
+
+    /// The retained version history, oldest first.
+    pub fn history(&self) -> Vec<ModelVersion> {
+        self.history.lock().iter().cloned().collect()
+    }
+
+    /// Offers a candidate. Gates always apply; cooldown and hysteresis
+    /// apply to cadence refits only (see the module docs).
+    ///
+    /// Gating is **per parameter**: a refit that fails its gates is
+    /// dropped — the currently published value of that parameter stays —
+    /// while the passing refits still publish. One chronically noisy
+    /// parameter (e.g. a cost with no explainable relationship to the
+    /// zone population under the current distribution) therefore cannot
+    /// veto every other parameter's refit and wedge the registry on a
+    /// stale model. Only a candidate whose refits *all* fail is rejected
+    /// outright.
+    pub fn try_publish(&self, candidate: CandidateFit, now_tick: u64) -> PublishOutcome {
+        let CandidateFit {
+            mut params,
+            refits,
+            reason,
+        } = candidate;
+        let cur = self.current();
+        let mut first_failure: Option<(ParamKind, GateFailure)> = None;
+        let mut passing: Vec<ParamRefit> = Vec::with_capacity(refits.len());
+        for refit in refits {
+            match self.config.gates.check(&refit) {
+                Ok(()) => passing.push(refit),
+                Err(failure) => {
+                    params.set(refit.kind, cur.model.params.get(refit.kind).clone());
+                    first_failure.get_or_insert((refit.kind, failure));
+                }
+            }
+        }
+        if passing.is_empty() {
+            if let Some((kind, failure)) = first_failure {
+                self.stats.lock().rejected_quality += 1;
+                return PublishOutcome::RejectedQuality(kind, failure);
+            }
+        }
+        let candidate = CandidateFit {
+            params,
+            refits: passing,
+            reason,
+        };
+        if candidate.reason == RefitReason::Cadence {
+            let until = cur.published_at.saturating_add(self.config.cooldown_ticks);
+            if cur.reason != RefitReason::Seed && now_tick < until {
+                self.stats.lock().rejected_cooldown += 1;
+                return PublishOutcome::Cooldown { until };
+            }
+            let change = relative_change(&cur.model.params, &candidate.params);
+            if change < self.config.min_relative_change {
+                self.stats.lock().unchanged += 1;
+                return PublishOutcome::Unchanged {
+                    relative_change: change,
+                };
+            }
+        }
+
+        let worst_r_squared = candidate
+            .refits
+            .iter()
+            .map(|r| r.r_squared)
+            .fold(1.0, f64::min);
+        let refitted = candidate.refits.iter().map(|r| r.kind).collect();
+        let mut model = cur.model.clone();
+        model.params = candidate.params;
+        let next = ModelVersion {
+            version: cur.version + 1,
+            model,
+            published_at: now_tick,
+            reason: candidate.reason,
+            worst_r_squared,
+            refitted,
+        };
+        {
+            let mut history = self.history.lock();
+            if history.len() == self.config.history_capacity.max(1) {
+                history.pop_front();
+            }
+            history.push_back(next.clone());
+        }
+        let version = next.version;
+        *self.current.write() = Arc::new(next);
+        self.stats.lock().published += 1;
+        PublishOutcome::Published { version }
+    }
+}
+
+/// Largest relative change of any parameter's prediction across the probe
+/// populations — the hysteresis distance between two parameter sets.
+fn relative_change(old: &ModelParams, new: &ModelParams) -> f64 {
+    let mut worst = 0.0f64;
+    for kind in ParamKind::ALL {
+        for n in PROBE_USERS {
+            let a = old.get(kind).eval(n);
+            let b = new.get(kind).eval(n);
+            let scale = a.abs().max(1e-12);
+            worst = worst.max((b - a).abs() / scale);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ScalabilityModel {
+        let params = ModelParams {
+            t_ua_dser: CostFn::Linear { c0: 4e-6, c1: 5e-9 },
+            t_ua: CostFn::Quadratic {
+                c0: 45e-6,
+                c1: 2.5e-7,
+                c2: 0.0,
+            },
+            t_aoi: CostFn::Quadratic {
+                c0: 5e-6,
+                c1: 2.2e-7,
+                c2: 1e-10,
+            },
+            t_su: CostFn::Linear {
+                c0: 3e-6,
+                c1: 1.5e-7,
+            },
+            t_fa_dser: CostFn::Linear { c0: 2e-6, c1: 1e-9 },
+            t_fa: CostFn::Linear {
+                c0: 20e-6,
+                c1: 1e-9,
+            },
+            t_npc: CostFn::ZERO,
+            t_mig_ini: CostFn::Linear {
+                c0: 0.2e-3,
+                c1: 7e-6,
+            },
+            t_mig_rcv: CostFn::Linear {
+                c0: 0.15e-3,
+                c1: 4e-6,
+            },
+        };
+        ScalabilityModel::new(params, 0.040)
+    }
+
+    fn good_refit(kind: ParamKind, cost_fn: CostFn) -> ParamRefit {
+        ParamRefit {
+            kind,
+            cost_fn,
+            samples: 100,
+            r_squared: 0.97,
+            rmse: 1e-7,
+            mean_y: 1e-4,
+            path: FitPath::Rls,
+        }
+    }
+
+    fn candidate(reason: RefitReason, refits: Vec<ParamRefit>) -> CandidateFit {
+        let mut params = model().params;
+        for r in &refits {
+            params.set(r.kind, r.cost_fn.clone());
+        }
+        CandidateFit {
+            params,
+            refits,
+            reason,
+        }
+    }
+
+    #[test]
+    fn seed_is_version_one() {
+        let reg = ModelRegistry::new(model(), RegistryConfig::default());
+        assert_eq!(reg.version(), 1);
+        assert_eq!(reg.current().reason, RefitReason::Seed);
+        assert_eq!(reg.history().len(), 1);
+    }
+
+    #[test]
+    fn good_candidate_publishes_and_swaps_atomically() {
+        let reg = ModelRegistry::new(model(), RegistryConfig::default());
+        let snapshot_before = reg.current();
+        let new_fn = CostFn::Linear { c0: 6e-6, c1: 3e-7 };
+        let out = reg.try_publish(
+            candidate(
+                RefitReason::Cadence,
+                vec![good_refit(ParamKind::Su, new_fn.clone())],
+            ),
+            500,
+        );
+        assert_eq!(out, PublishOutcome::Published { version: 2 });
+        assert_eq!(reg.version(), 2);
+        assert_eq!(reg.current().model.params.t_su, new_fn);
+        assert_eq!(reg.current().refitted, vec![ParamKind::Su]);
+        // The old snapshot is still intact for readers that held it.
+        assert_eq!(snapshot_before.version, 1);
+        assert_eq!(snapshot_before.model.params.t_su, model().params.t_su);
+    }
+
+    #[test]
+    fn gate_failure_never_swaps() {
+        let reg = ModelRegistry::new(model(), RegistryConfig::default());
+        let mut bad = good_refit(ParamKind::Ua, CostFn::Linear { c0: 1.0, c1: 1.0 });
+        bad.r_squared = 0.10;
+        bad.rmse = 1e-3; // 10× the mean: fails both arms of the gate
+        let out = reg.try_publish(candidate(RefitReason::Drift, vec![bad]), 500);
+        assert!(matches!(
+            out,
+            PublishOutcome::RejectedQuality(ParamKind::Ua, GateFailure::PoorFit { .. })
+        ));
+        assert_eq!(
+            reg.version(),
+            1,
+            "a drift refit still cannot dodge the gates"
+        );
+        assert_eq!(reg.stats().rejected_quality, 1);
+    }
+
+    #[test]
+    fn too_few_samples_rejected() {
+        let reg = ModelRegistry::new(model(), RegistryConfig::default());
+        let mut thin = good_refit(ParamKind::Su, CostFn::Linear { c0: 1e-5, c1: 1e-6 });
+        thin.samples = 3;
+        let out = reg.try_publish(candidate(RefitReason::Cadence, vec![thin]), 500);
+        assert!(matches!(
+            out,
+            PublishOutcome::RejectedQuality(ParamKind::Su, GateFailure::TooFewSamples { .. })
+        ));
+    }
+
+    #[test]
+    fn near_constant_data_passes_via_rmse_arm() {
+        let gates = QualityGates::default();
+        let flat = ParamRefit {
+            kind: ParamKind::Fa,
+            cost_fn: CostFn::Linear { c0: 20e-6, c1: 0.0 },
+            samples: 100,
+            r_squared: 0.01, // no variance to explain
+            rmse: 1e-6,      // 5 % of the mean
+            mean_y: 20e-6,
+            path: FitPath::Rls,
+        };
+        assert!(gates.check(&flat).is_ok());
+    }
+
+    #[test]
+    fn cadence_cooldown_applies_but_drift_bypasses_it() {
+        let config = RegistryConfig {
+            cooldown_ticks: 1000,
+            min_relative_change: 0.0,
+            ..RegistryConfig::default()
+        };
+        let reg = ModelRegistry::new(model(), config);
+        let bump = |c0: f64| vec![good_refit(ParamKind::Su, CostFn::Linear { c0, c1: 2e-7 })];
+        assert!(matches!(
+            reg.try_publish(candidate(RefitReason::Cadence, bump(5e-6)), 100),
+            PublishOutcome::Published { version: 2 }
+        ));
+        assert!(matches!(
+            reg.try_publish(candidate(RefitReason::Cadence, bump(8e-6)), 300),
+            PublishOutcome::Cooldown { until: 1100 }
+        ));
+        assert!(matches!(
+            reg.try_publish(candidate(RefitReason::Drift, bump(8e-6)), 300),
+            PublishOutcome::Published { version: 3 }
+        ));
+        assert_eq!(reg.stats().rejected_cooldown, 1);
+    }
+
+    #[test]
+    fn hysteresis_drops_a_noop_refit() {
+        let config = RegistryConfig {
+            cooldown_ticks: 0,
+            min_relative_change: 0.05,
+            ..RegistryConfig::default()
+        };
+        let reg = ModelRegistry::new(model(), config);
+        // Identical parameters: zero relative change.
+        let same = good_refit(ParamKind::Su, model().params.t_su.clone());
+        let out = reg.try_publish(candidate(RefitReason::Cadence, vec![same]), 100);
+        assert!(matches!(out, PublishOutcome::Unchanged { .. }));
+        assert_eq!(reg.version(), 1);
+        assert_eq!(reg.stats().unchanged, 1);
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let config = RegistryConfig {
+            cooldown_ticks: 0,
+            min_relative_change: 0.0,
+            history_capacity: 3,
+            ..RegistryConfig::default()
+        };
+        let reg = ModelRegistry::new(model(), config);
+        for i in 0..10u64 {
+            let refit = good_refit(
+                ParamKind::Su,
+                CostFn::Linear {
+                    c0: (i + 1) as f64 * 1e-6,
+                    c1: 2e-7,
+                },
+            );
+            reg.try_publish(candidate(RefitReason::Cadence, vec![refit]), i * 10);
+        }
+        let history = reg.history();
+        assert_eq!(history.len(), 3);
+        assert_eq!(history.last().unwrap().version, reg.version());
+        assert_eq!(reg.version(), 11);
+    }
+}

@@ -1,0 +1,195 @@
+//! Recursive least squares — the fast path for linear parameters.
+//!
+//! Seven of the nine cost parameters are linear in the zone population, so
+//! a refit does not need an iterative solver at all: an exponentially
+//! forgetting RLS estimator absorbs each sample in O(p²) and always holds
+//! the current coefficient estimate. The forgetting factor `λ < 1` is what
+//! makes the estimator *track* — after a regime shift the old samples'
+//! influence decays geometrically instead of anchoring the fit forever.
+//! The quadratic parameters (`t_ua`, `t_aoi`) keep using warm-started
+//! Levenberg–Marquardt over the sample window (see the calibrator).
+
+/// Exponentially weighted recursive least squares for a polynomial model
+/// `y = θ₀ + θ₁·x + … + θ_d·x^d`.
+#[derive(Debug, Clone)]
+pub struct Rls {
+    degree: usize,
+    forgetting: f64,
+    theta: Vec<f64>,
+    /// Covariance matrix, row-major `(d+1)×(d+1)`.
+    p: Vec<f64>,
+    samples: u64,
+}
+
+/// Initial covariance scale: large enough that the first few samples
+/// dominate the zero prior.
+const P_INIT: f64 = 1e6;
+
+impl Rls {
+    /// Creates an estimator for a degree-`degree` polynomial with
+    /// forgetting factor `forgetting` (`0 < λ ≤ 1`; 1 = ordinary least
+    /// squares, smaller = faster tracking).
+    pub fn new(degree: usize, forgetting: f64) -> Self {
+        assert!(
+            forgetting > 0.0 && forgetting <= 1.0,
+            "forgetting factor must be in (0, 1]"
+        );
+        let p_dim = degree + 1;
+        let mut p = vec![0.0; p_dim * p_dim];
+        for i in 0..p_dim {
+            p[i * p_dim + i] = P_INIT;
+        }
+        Self {
+            degree,
+            forgetting,
+            theta: vec![0.0; p_dim],
+            p,
+            samples: 0,
+        }
+    }
+
+    /// Polynomial degree being estimated.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Samples absorbed so far.
+    pub fn len(&self) -> u64 {
+        self.samples
+    }
+
+    /// Whether no sample has been absorbed yet.
+    pub fn is_empty(&self) -> bool {
+        self.samples == 0
+    }
+
+    /// Current coefficient estimates `[θ₀, θ₁, …]`.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.theta
+    }
+
+    /// The model's prediction at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        let mut acc = 0.0;
+        for &c in self.theta.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc
+    }
+
+    /// Absorbs one `(x, y)` observation.
+    pub fn observe(&mut self, x: f64, y: f64) {
+        if !x.is_finite() || !y.is_finite() {
+            return;
+        }
+        let d = self.degree + 1;
+        // Design vector φ = [1, x, x², …].
+        let mut phi = vec![0.0; d];
+        let mut pow = 1.0;
+        for p in phi.iter_mut() {
+            *p = pow;
+            pow *= x;
+        }
+        // Pφ and the gain denominator λ + φᵀPφ.
+        let mut p_phi = vec![0.0; d];
+        for (row, out) in self.p.chunks(d).zip(p_phi.iter_mut()) {
+            *out = row.iter().zip(&phi).map(|(a, b)| a * b).sum();
+        }
+        let denom = self.forgetting + phi.iter().zip(&p_phi).map(|(a, b)| a * b).sum::<f64>();
+        if !denom.is_finite() || denom <= 0.0 {
+            return;
+        }
+        let gain: Vec<f64> = p_phi.iter().map(|v| v / denom).collect();
+        let err = y - self.predict(x);
+        for (theta, k) in self.theta.iter_mut().zip(&gain) {
+            *theta += k * err;
+        }
+        // P ← (P − k·(Pφ)ᵀ) / λ, symmetrized against round-off drift.
+        for (row, &k) in self.p.chunks_mut(d).zip(&gain) {
+            for (v, &pp) in row.iter_mut().zip(&p_phi) {
+                *v = (*v - k * pp) / self.forgetting;
+            }
+        }
+        for i in 0..d {
+            for j in (i + 1)..d {
+                let avg = 0.5 * (self.p[i * d + j] + self.p[j * d + i]);
+                self.p[i * d + j] = avg;
+                self.p[j * d + i] = avg;
+            }
+        }
+        self.samples += 1;
+    }
+
+    /// Forgets everything (coefficients and covariance).
+    pub fn reset(&mut self) {
+        let d = self.degree + 1;
+        self.theta.iter_mut().for_each(|t| *t = 0.0);
+        self.p.iter_mut().for_each(|v| *v = 0.0);
+        for i in 0..d {
+            self.p[i * d + i] = P_INIT;
+        }
+        self.samples = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_exact_line() {
+        let mut rls = Rls::new(1, 1.0);
+        for i in 0..50 {
+            let x = i as f64;
+            rls.observe(x, 3.0 + 0.5 * x);
+        }
+        let c = rls.coefficients();
+        assert!((c[0] - 3.0).abs() < 1e-6, "intercept: {c:?}");
+        assert!((c[1] - 0.5).abs() < 1e-8, "slope: {c:?}");
+        assert_eq!(rls.len(), 50);
+    }
+
+    #[test]
+    fn forgetting_tracks_a_shifted_slope() {
+        let mut rls = Rls::new(1, 0.9);
+        for i in 0..200 {
+            rls.observe((i % 40) as f64, 1.0 + 2.0 * (i % 40) as f64);
+        }
+        // The slope doubles; a forgetting estimator follows it.
+        for i in 0..200 {
+            rls.observe((i % 40) as f64, 1.0 + 4.0 * (i % 40) as f64);
+        }
+        let c = rls.coefficients();
+        assert!((c[1] - 4.0).abs() < 0.05, "tracked slope: {c:?}");
+    }
+
+    #[test]
+    fn quadratic_recovery() {
+        let mut rls = Rls::new(2, 1.0);
+        for i in 0..100 {
+            let x = i as f64 * 0.5;
+            rls.observe(x, 2.0 + 0.1 * x + 0.01 * x * x);
+        }
+        let c = rls.coefficients();
+        assert!((c[2] - 0.01).abs() < 1e-6, "curvature: {c:?}");
+    }
+
+    #[test]
+    fn non_finite_samples_ignored() {
+        let mut rls = Rls::new(1, 1.0);
+        rls.observe(f64::NAN, 1.0);
+        rls.observe(1.0, f64::INFINITY);
+        assert!(rls.is_empty());
+    }
+
+    #[test]
+    fn reset_forgets() {
+        let mut rls = Rls::new(1, 1.0);
+        for i in 0..10 {
+            rls.observe(i as f64, 7.0);
+        }
+        rls.reset();
+        assert!(rls.is_empty());
+        assert_eq!(rls.coefficients(), &[0.0, 0.0]);
+    }
+}

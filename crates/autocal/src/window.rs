@@ -1,0 +1,157 @@
+//! Bounded sliding-window sample store.
+//!
+//! Online calibration must run for hours without growing without bound:
+//! each model parameter keeps at most `capacity` of its most recent
+//! `(zone users, seconds per item)` observations in a ring buffer. The
+//! window doubles as the refit data set — old-regime samples age out of
+//! it at the ingest rate, which is what lets a post-drift refit converge
+//! on the new regime.
+
+use roia_model::ParamKind;
+use std::collections::{BTreeMap, VecDeque};
+
+/// A bounded ring of `(x, y)` samples; pushing at capacity evicts the
+/// oldest sample.
+#[derive(Debug, Clone)]
+pub struct SampleWindow {
+    capacity: usize,
+    xs: VecDeque<f64>,
+    ys: VecDeque<f64>,
+}
+
+impl SampleWindow {
+    /// Creates an empty window holding at most `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a sample window needs room for samples");
+        Self {
+            capacity,
+            xs: VecDeque::with_capacity(capacity),
+            ys: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Appends a sample, evicting the oldest when full.
+    pub fn push(&mut self, x: f64, y: f64) {
+        if self.xs.len() == self.capacity {
+            self.xs.pop_front();
+            self.ys.pop_front();
+        }
+        self.xs.push_back(x);
+        self.ys.push_back(y);
+    }
+
+    /// Samples currently held.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the window holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The maximum number of samples retained.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Contiguous copies of the sample vectors, oldest first (the batch
+    /// fitters want slices).
+    pub fn as_vecs(&self) -> (Vec<f64>, Vec<f64>) {
+        (
+            self.xs.iter().copied().collect(),
+            self.ys.iter().copied().collect(),
+        )
+    }
+
+    /// Drops every sample.
+    pub fn clear(&mut self) {
+        self.xs.clear();
+        self.ys.clear();
+    }
+}
+
+/// Per-parameter sample windows, lazily created on first push.
+#[derive(Debug, Clone)]
+pub struct WindowStore {
+    capacity: usize,
+    windows: BTreeMap<ParamKind, SampleWindow>,
+}
+
+impl WindowStore {
+    /// Creates a store whose windows each hold at most `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            windows: BTreeMap::new(),
+        }
+    }
+
+    /// Records one observation for `kind`.
+    pub fn push(&mut self, kind: ParamKind, x: f64, y: f64) {
+        self.windows
+            .entry(kind)
+            .or_insert_with(|| SampleWindow::new(self.capacity))
+            .push(x, y);
+    }
+
+    /// The window for `kind`, if any sample arrived for it.
+    pub fn window(&self, kind: ParamKind) -> Option<&SampleWindow> {
+        self.windows.get(&kind)
+    }
+
+    /// Samples currently held for `kind`.
+    pub fn len(&self, kind: ParamKind) -> usize {
+        self.windows.get(&kind).map(|w| w.len()).unwrap_or(0)
+    }
+
+    /// Samples currently held across every parameter.
+    pub fn total(&self) -> usize {
+        self.windows.values().map(|w| w.len()).sum()
+    }
+
+    /// Drops every sample in every window.
+    pub fn clear(&mut self) {
+        for w in self.windows.values_mut() {
+            w.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_evicts_oldest_at_capacity() {
+        let mut w = SampleWindow::new(3);
+        for i in 0..5 {
+            w.push(i as f64, 10.0 * i as f64);
+        }
+        assert_eq!(w.len(), 3);
+        let (xs, ys) = w.as_vecs();
+        assert_eq!(xs, vec![2.0, 3.0, 4.0]);
+        assert_eq!(ys, vec![20.0, 30.0, 40.0]);
+    }
+
+    #[test]
+    fn store_is_bounded_per_param() {
+        let mut store = WindowStore::new(8);
+        for i in 0..100 {
+            store.push(ParamKind::Ua, i as f64, 1.0);
+            store.push(ParamKind::Su, i as f64, 2.0);
+        }
+        assert_eq!(store.len(ParamKind::Ua), 8);
+        assert_eq!(store.len(ParamKind::Su), 8);
+        assert_eq!(store.len(ParamKind::Npc), 0);
+        assert_eq!(store.total(), 16);
+        store.clear();
+        assert_eq!(store.total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "room for samples")]
+    fn zero_capacity_rejected() {
+        SampleWindow::new(0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the online-calibration building blocks: the
+//! RLS fast path must agree with the batch Levenberg–Marquardt fitter on
+//! linear models under noise, and the CUSUM drift detector must fire on a
+//! synthetic regime shift while staying silent on stationary noise.
+
+use proptest::prelude::*;
+use roia_autocal::{CusumConfig, CusumDetector, Rls};
+use roia_fit::lm::fit_default;
+use roia_fit::model::{FitModel, Polynomial};
+
+/// Deterministic uniform noise in `[-1, 1)` (SplitMix64, seeded per case).
+struct Noise {
+    state: u64,
+}
+
+impl Noise {
+    fn new(seed: u64) -> Self {
+        Self {
+            state: seed ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    fn next(&mut self) -> f64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 52) as f64 - 1.0
+    }
+}
+
+proptest! {
+    /// With λ = 1 (no forgetting) RLS solves the same least-squares
+    /// problem as the batch LM fitter, so on noisy linear data the two
+    /// must produce near-identical predictions across the sample range.
+    #[test]
+    fn rls_agrees_with_batch_lm_on_noisy_linear_data(
+        c0 in 1e-5f64..1e-2,
+        c1 in 1e-7f64..1e-4,
+        noise_frac in 0.0f64..0.10,
+        seed in 0u64..1000,
+    ) {
+        let mut noise = Noise::new(seed);
+        let xs: Vec<f64> = (0..120).map(|i| 1.0 + i as f64 * 2.5).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|&x| {
+                let clean = c0 + c1 * x;
+                clean * (1.0 + noise_frac * noise.next())
+            })
+            .collect();
+
+        let mut rls = Rls::new(1, 1.0);
+        for (&x, &y) in xs.iter().zip(&ys) {
+            rls.observe(x, y);
+        }
+        let lm = fit_default(&Polynomial::linear(), &xs, &ys).unwrap();
+        let model = Polynomial::linear();
+
+        for &x in &[xs[0], 75.0, 150.0, *xs.last().unwrap()] {
+            let recursive = rls.predict(x);
+            let batch = model.eval(&lm.beta, x);
+            let scale = batch.abs().max(c0);
+            prop_assert!(
+                (recursive - batch).abs() <= scale * 1e-3,
+                "at x = {x}: RLS {recursive} vs LM {batch}"
+            );
+        }
+    }
+
+    /// A persistent residual bias well above the slack must raise a CUSUM
+    /// alarm shortly after the shift — and stationary noise below the
+    /// slack must never alarm, no matter how long it runs.
+    #[test]
+    fn cusum_fires_on_regime_shift_but_not_stationary_noise(
+        noise_amp in 0.5e-3f64..2e-3,
+        shift_factor in 5.0f64..20.0,
+        seed in 0u64..1000,
+    ) {
+        let config = CusumConfig {
+            slack: 2.0 * noise_amp,
+            threshold: 20.0 * noise_amp,
+            warmup: 25,
+        };
+        let shift = shift_factor * config.slack;
+        let mut noise = Noise::new(seed);
+        let mut detector = CusumDetector::new(config);
+
+        // Stationary phase: zero-mean noise strictly inside the slack.
+        for _ in 0..600 {
+            let fired = detector.observe(noise_amp * noise.next());
+            prop_assert!(!fired, "stationary noise must not alarm");
+        }
+        prop_assert_eq!(detector.alarms(), 0);
+
+        // Regime shift: the same noise plus a persistent bias. Each
+        // sample accumulates at least `shift − slack − noise_amp` of
+        // excess, so the alarm must land within a bounded horizon.
+        let per_sample = shift - detector.config().slack - noise_amp;
+        let horizon = (detector.config().threshold / per_sample).ceil() as u64 + 10;
+        let mut fired_at = None;
+        for i in 0..horizon {
+            if detector.observe(shift + noise_amp * noise.next()) {
+                fired_at = Some(i);
+                break;
+            }
+        }
+        prop_assert!(
+            fired_at.is_some(),
+            "no alarm within {horizon} samples of a {shift_factor}x-slack shift"
+        );
+        prop_assert_eq!(detector.alarms(), 1);
+    }
+}

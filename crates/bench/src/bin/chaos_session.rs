@@ -9,6 +9,10 @@
 //! end retried-to-success, escalated, or explicitly abandoned — never
 //! silently lost. The per-tick invariant checker runs throughout, so a
 //! panic here means user conservation or migration-safety broke.
+//!
+//! Usage: `chaos_session [--seed N] [--plan mild|rough|hostile|all]
+//! [--ticks N]` — default runs all three plans at the session's natural
+//! length with the built-in seed.
 
 use roia_bench::{calibrated_model, default_campaign, U_THRESHOLD};
 use roia_sim::chaos::{Fault, FaultPlan};
@@ -82,17 +86,68 @@ fn plan(seed: u64, level: u32, ticks: u64) -> FaultPlan {
     }
 }
 
+struct Args {
+    seed: u64,
+    plan: Option<String>,
+    ticks: Option<u64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 0xC405,
+        plan: None,
+        ticks: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value =
+            |name: &str| -> String { it.next().unwrap_or_else(|| panic!("{name} needs a value")) };
+        match flag.as_str() {
+            "--seed" => {
+                args.seed = value("--seed")
+                    .parse()
+                    .expect("--seed needs a numeric value");
+            }
+            "--ticks" => {
+                args.ticks = Some(
+                    value("--ticks")
+                        .parse()
+                        .expect("--ticks needs a numeric value"),
+                );
+            }
+            "--plan" => {
+                let plan = value("--plan");
+                assert!(
+                    matches!(plan.as_str(), "mild" | "rough" | "hostile" | "all"),
+                    "unknown plan {plan} (mild|rough|hostile|all)"
+                );
+                args.plan = Some(plan);
+            }
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
 fn main() {
+    let args = parse_args();
     let (_cal, model) = calibrated_model(&default_campaign());
     let workload = PaperSession::default();
-    let ticks = (workload.duration_secs() / 0.040).ceil() as u64;
+    let ticks = args
+        .ticks
+        .unwrap_or_else(|| (workload.duration_secs() / 0.040).ceil() as u64);
 
     for (level, label) in [(0, "mild"), (1, "rough"), (2, "hostile")] {
+        if let Some(wanted) = args.plan.as_deref() {
+            if wanted != "all" && wanted != label {
+                continue;
+            }
+        }
         let config = SessionConfig {
             ticks,
             max_churn_per_tick: 2,
             initial_servers: 2,
-            chaos: Some(plan(0xC405 + level as u64, level, ticks)),
+            chaos: Some(plan(args.seed + level as u64, level, ticks)),
             debug_checks: true,
             ..SessionConfig::default()
         };

@@ -8,7 +8,7 @@
 //! user count, active servers and average CPU load — and the §V-B
 //! acceptance criterion: the tick duration never exceeded 40 ms.
 
-use roia_bench::{calibrated_model, default_campaign, U_THRESHOLD};
+use roia_bench::{calibrated_model, default_campaign, json, U_THRESHOLD};
 use roia_sim::{run_session, table, PaperSession, Series, SessionConfig};
 use rtf_rms::{ModelDriven, ModelDrivenConfig};
 
@@ -74,4 +74,39 @@ fn main() {
             "violated (see EXPERIMENTS.md)"
         }
     );
+
+    // Machine-readable counterpart of the printed series and summary.
+    let series_rows: Vec<String> = report
+        .sampled(125)
+        .iter()
+        .map(|h| {
+            json::object(&[
+                ("tick", json::num(h.tick as f64)),
+                ("t_secs", json::num(h.tick as f64 * 0.040)),
+                ("users", json::num(h.users as f64)),
+                ("servers", json::num(h.servers as f64)),
+                ("avg_cpu_load", json::num(h.avg_cpu_load)),
+                ("max_tick_ms", json::num(h.max_tick_duration * 1e3)),
+            ])
+        })
+        .collect();
+    let doc = json::object(&[
+        ("experiment", json::string("fig8")),
+        ("u_threshold_ms", json::num(U_THRESHOLD * 1e3)),
+        ("worst_tick_ms", json::num(worst * 1e3)),
+        ("violations", json::num(report.violations as f64)),
+        ("violation_rate", json::num(report.violation_rate())),
+        ("replicas_added", json::num(report.replicas_added as f64)),
+        (
+            "replicas_removed",
+            json::num(report.replicas_removed as f64),
+        ),
+        ("migrations", json::num(report.migrations as f64)),
+        ("peak_servers", json::num(report.peak_servers as f64)),
+        ("mean_cpu_load", json::num(report.mean_cpu_load())),
+        ("total_cost", json::num(report.total_cost)),
+        ("series", json::array(&series_rows)),
+    ]);
+    std::fs::write("BENCH_fig8.json", doc + "\n").expect("write BENCH_fig8.json");
+    println!("wrote BENCH_fig8.json");
 }

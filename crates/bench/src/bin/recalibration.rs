@@ -1,0 +1,204 @@
+//! Recalibration study — static vs online calibration under a regime
+//! shift.
+//!
+//! Runs the same drifting-workload session twice with identical seeds: a
+//! population ramp that holds while, mid-session, the workload regime
+//! shifts (attack frequency doubles, an NPC surge lands). The *frozen*
+//! arm keeps the offline §V-A calibration for the whole session; the
+//! *online* arm streams tick records into an `roia-autocal` calibrator
+//! whose versioned registry the model-driven policy consults live.
+//! Prints the prediction-error-over-time comparison and writes the
+//! machine-readable summary to `BENCH_recalibration.json`.
+//!
+//! Usage: `recalibration [--seed N] [--ticks N] [--shift-tick N]
+//! [--npcs N] [--users N]`
+
+use roia_autocal::CalibratorConfig;
+use roia_bench::{calibrated_model, default_campaign, json, U_THRESHOLD};
+use roia_sim::{
+    run_drift_session, table, CalibrationMode, DriftReport, DriftSessionConfig, Ramp, RegimeShift,
+    Series,
+};
+
+struct Args {
+    seed: u64,
+    ticks: u64,
+    shift_tick: u64,
+    npcs: u32,
+    users: u32,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 42,
+        ticks: 7_500,
+        shift_tick: 3_000,
+        npcs: 150,
+        users: 200,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> u64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} needs a numeric value"))
+        };
+        match flag.as_str() {
+            "--seed" => args.seed = value("--seed"),
+            "--ticks" => args.ticks = value("--ticks"),
+            "--shift-tick" => args.shift_tick = value("--shift-tick"),
+            "--npcs" => args.npcs = value("--npcs") as u32,
+            "--users" => args.users = value("--users") as u32,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    assert!(
+        args.shift_tick < args.ticks,
+        "the shift must land inside the session"
+    );
+    args
+}
+
+fn arm_summary(label: &str, report: &DriftReport, shift: u64, settle: u64) -> String {
+    json::object(&[
+        ("mode", json::string(label)),
+        (
+            "mean_err_pre_shift",
+            json::num(report.mean_prediction_error(0, shift)),
+        ),
+        (
+            "mean_err_post_shift",
+            json::num(report.mean_prediction_error(shift + settle, u64::MAX)),
+        ),
+        (
+            "max_tick_post_shift_ms",
+            json::num(report.max_tick_from(shift + settle) * 1e3),
+        ),
+        ("violations", json::num(report.violations as f64)),
+        (
+            "final_model_version",
+            json::num(report.final_model_version as f64),
+        ),
+        (
+            "published_refits",
+            json::num(report.published_refits() as f64),
+        ),
+        ("peak_servers", json::num(report.peak_servers as f64)),
+        ("total_cost", json::num(report.total_cost)),
+    ])
+}
+
+fn main() {
+    let args = parse_args();
+    let (_cal, model) = calibrated_model(&default_campaign());
+    println!(
+        "seed model: n_max(1) = {}, trigger = {}\n",
+        model.max_users(1, 0),
+        model.replication_trigger(1, 0)
+    );
+
+    let workload = Ramp {
+        from: 0,
+        to: args.users,
+        duration_secs: 60.0,
+    };
+    let shift = RegimeShift::attack_surge(args.shift_tick, args.npcs);
+    let make_config = |mode: CalibrationMode| {
+        let mut config = DriftSessionConfig::new(model.clone(), shift, mode);
+        config.ticks = args.ticks;
+        config.cluster.seed = args.seed;
+        config
+    };
+
+    println!("running frozen arm ({} ticks)...", args.ticks);
+    let frozen = run_drift_session(make_config(CalibrationMode::Frozen), &workload);
+    println!("running online arm ({} ticks)...", args.ticks);
+    let online = run_drift_session(
+        make_config(CalibrationMode::Online(CalibratorConfig::default())),
+        &workload,
+    );
+
+    // Prediction error over time, averaged per ~10 s bucket.
+    let bucket = 250usize;
+    let mut frozen_err = Series::new("frozen_err_%");
+    let mut online_err = Series::new("online_err_%");
+    let mut version = Series::new("model_version");
+    let buckets = (args.ticks as usize).div_ceil(bucket);
+    let mut series_rows: Vec<String> = Vec::new();
+    for b in 0..buckets {
+        let lo = (b * bucket) as u64;
+        let hi = lo + bucket as u64;
+        let t = lo as f64 * 0.040;
+        let fe = frozen.mean_prediction_error(lo, hi);
+        let oe = online.mean_prediction_error(lo, hi);
+        let ver = online
+            .history
+            .iter()
+            .filter(|h| h.tick >= lo && h.tick < hi)
+            .map(|h| h.model_version)
+            .max()
+            .unwrap_or(0);
+        frozen_err.push(t, fe * 100.0);
+        online_err.push(t, oe * 100.0);
+        version.push(t, ver as f64);
+        series_rows.push(json::object(&[
+            ("tick", json::num(lo as f64)),
+            ("t_secs", json::num(t)),
+            ("frozen_err", json::num(fe)),
+            ("online_err", json::num(oe)),
+            ("online_version", json::num(ver as f64)),
+        ]));
+    }
+
+    println!("\n=== prediction error over time (relative, %) ===\n");
+    println!("{}", table("t_secs", &[&frozen_err, &online_err, &version]));
+    println!(
+        "(regime shift at t = {:.0} s: attack frequency x2, {} NPCs spawn, costs x1.5)\n",
+        args.shift_tick as f64 * 0.040,
+        args.npcs
+    );
+
+    let settle = 500u64; // 20 s for refits/boots to land before judging
+    for (label, report) in [("frozen", &frozen), ("online", &online)] {
+        println!(
+            "{label:>7}: err pre {:.1} % -> post {:.1} %, worst post-shift tick {:.2} ms, \
+             violations {}, refits published {}, final version {}",
+            report.mean_prediction_error(0, args.shift_tick) * 100.0,
+            report.mean_prediction_error(args.shift_tick + settle, u64::MAX) * 100.0,
+            report.max_tick_from(args.shift_tick + settle) * 1e3,
+            report.violations,
+            report.published_refits(),
+            report.final_model_version
+        );
+    }
+    println!(
+        "\nthe online arm's controller {} the {:.0} ms threshold after the shift",
+        if online.max_tick_from(args.shift_tick + settle) <= U_THRESHOLD {
+            "held"
+        } else {
+            "VIOLATED"
+        },
+        U_THRESHOLD * 1e3
+    );
+
+    let doc = json::object(&[
+        ("experiment", json::string("recalibration")),
+        ("seed", json::num(args.seed as f64)),
+        ("ticks", json::num(args.ticks as f64)),
+        ("shift_tick", json::num(args.shift_tick as f64)),
+        ("npcs_after", json::num(args.npcs as f64)),
+        ("users", json::num(args.users as f64)),
+        ("u_threshold_ms", json::num(U_THRESHOLD * 1e3)),
+        ("settle_ticks", json::num(settle as f64)),
+        (
+            "arms",
+            json::array(&[
+                arm_summary("frozen", &frozen, args.shift_tick, settle),
+                arm_summary("online", &online, args.shift_tick, settle),
+            ]),
+        ),
+        ("series", json::array(&series_rows)),
+    ]);
+    std::fs::write("BENCH_recalibration.json", doc + "\n").expect("write BENCH_recalibration.json");
+    println!("wrote BENCH_recalibration.json");
+}

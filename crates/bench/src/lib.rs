@@ -32,3 +32,69 @@ pub fn calibrated_model(config: &MeasureConfig) -> (Calibration, ScalabilityMode
 pub fn default_campaign() -> MeasureConfig {
     MeasureConfig::default()
 }
+
+/// Minimal hand-rolled JSON emitters.
+///
+/// The workspace deliberately carries no JSON dependency; bench outputs
+/// are flat arrays/objects of numbers and short ASCII strings, so
+/// rendering them by hand is simpler than gating a crate.
+pub mod json {
+    /// A JSON number (non-finite values render as `null`).
+    pub fn num(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    }
+
+    /// A JSON string with quote/backslash/control escaping.
+    pub fn string(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// `{"k": v, ...}` from already-rendered values.
+    pub fn object(fields: &[(&str, String)]) -> String {
+        let body: Vec<String> = fields
+            .iter()
+            .map(|(k, v)| format!("{}: {}", string(k), v))
+            .collect();
+        format!("{{{}}}", body.join(", "))
+    }
+
+    /// `[...]` from already-rendered values.
+    pub fn array(items: &[String]) -> String {
+        format!("[{}]", items.join(", "))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn renders_flat_documents() {
+            let doc = object(&[
+                ("name", string("fig\"8\"")),
+                ("worst", num(1.25)),
+                ("bad", num(f64::NAN)),
+                ("series", array(&[num(1.0), num(2.0)])),
+            ]);
+            assert_eq!(
+                doc,
+                "{\"name\": \"fig\\\"8\\\"\", \"worst\": 1.25, \"bad\": null, \"series\": [1, 2]}"
+            );
+        }
+    }
+}

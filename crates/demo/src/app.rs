@@ -79,6 +79,20 @@ impl RtfDemoApp {
         self.costs.set_slowdown(factor);
     }
 
+    /// Scales every per-unit cost rate by `factor` (> 0). Used by
+    /// regime-shift scenarios: a patch makes each interaction heavier,
+    /// so the same work units cost more from the next tick on.
+    pub fn scale_cost_rates(&mut self, factor: f64) {
+        self.costs.scale_rates(factor);
+    }
+
+    /// Repopulates the zone with `count` NPCs (deterministic positions).
+    /// Used by regime-shift scenarios: a content event spawns an NPC
+    /// surge, every replica processes the larger `m` from the next tick.
+    pub fn set_npc_count(&mut self, count: u32) {
+        self.npcs.populate(count, &self.world);
+    }
+
     /// All avatars known to this server (active + shadow).
     pub fn avatar_count(&self) -> usize {
         self.avatars.len()

@@ -76,6 +76,17 @@ impl Bot {
         self.user
     }
 
+    /// The behaviour currently driving the bot.
+    pub fn behavior(&self) -> BotBehavior {
+        self.behavior
+    }
+
+    /// Replaces the bot's behaviour mid-session (workload regime shifts:
+    /// a patch changes the meta, players start fighting twice as much).
+    pub fn set_behavior(&mut self, behavior: BotBehavior) {
+        self.behavior = behavior;
+    }
+
     /// Targets the bot currently sees.
     pub fn visible_targets(&self) -> &[UserId] {
         &self.visible

@@ -65,6 +65,36 @@ pub struct CostRates {
     pub mig_rcv_per_user: f64,
 }
 
+impl CostRates {
+    /// Every per-unit cost multiplied by `factor`. Below 1 this models a
+    /// faster machine; above 1 it models heavier work per unit — e.g. a
+    /// content patch whose richer interactions inflate the cost of each
+    /// command, scan and update.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor > 0.0, "cost scale factor must be positive");
+        Self {
+            ua_dser_per_byte: self.ua_dser_per_byte * factor,
+            ua_dser_per_cmd: self.ua_dser_per_cmd * factor,
+            ua_move: self.ua_move * factor,
+            ua_attack_base: self.ua_attack_base * factor,
+            ua_attack_scan: self.ua_attack_scan * factor,
+            fa_dser_per_byte: self.fa_dser_per_byte * factor,
+            fa_apply: self.fa_apply * factor,
+            fa_shadow_entity: self.fa_shadow_entity * factor,
+            npc_update: self.npc_update * factor,
+            npc_user_scan: self.npc_user_scan * factor,
+            aoi_pair: self.aoi_pair * factor,
+            aoi_dedup: self.aoi_dedup * factor,
+            su_entity: self.su_entity * factor,
+            su_per_byte: self.su_per_byte * factor,
+            mig_ini_base: self.mig_ini_base * factor,
+            mig_ini_per_user: self.mig_ini_per_user * factor,
+            mig_rcv_base: self.mig_rcv_base * factor,
+            mig_rcv_per_user: self.mig_rcv_per_user * factor,
+        }
+    }
+}
+
 impl Default for CostRates {
     /// The calibration used throughout the reproduction (see module docs).
     fn default() -> Self {
@@ -141,6 +171,14 @@ impl CostModel {
     /// The current straggler factor.
     pub fn slowdown(&self) -> f64 {
         self.slowdown
+    }
+
+    /// Permanently scales every per-unit rate by `factor` (> 0). Unlike
+    /// the straggler factor this changes the *workload's* cost structure
+    /// — the knob regime-shift scenarios turn when a patch makes each
+    /// interaction heavier.
+    pub fn scale_rates(&mut self, factor: f64) {
+        self.rates = self.rates.scaled(factor);
     }
 
     /// Applies the noise factor to a cost.

@@ -15,8 +15,10 @@
 use crate::actions::Action;
 use crate::monitor::ZoneSnapshot;
 use crate::policy::Policy;
+use roia_autocal::ModelRegistry;
 use roia_model::{MigrationSide, ScalabilityModel};
 use rtf_core::net::NodeId;
+use std::sync::Arc;
 
 /// Tunables of the model-driven policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,6 +32,22 @@ pub struct ModelDrivenConfig {
     pub replica_cooldown_rounds: u32,
     /// Ignore imbalance smaller than this many users.
     pub min_imbalance: u32,
+    /// Fraction of the tick-slack migration budget actually spent per
+    /// round (0 < h ≤ 1). The Fig. 7 budgets divide the slack `U − T` by
+    /// the *model's* per-user migration cost; when that estimate lags
+    /// reality — right after a workload regime shift, before refits catch
+    /// up — a full-budget burst overshoots `U`. Below 1 this hedges the
+    /// budget so a cost underestimate of up to `1/h` still fits in the
+    /// slack. `1.0` reproduces the paper's strict budgets.
+    pub migration_headroom: f64,
+    /// Minimum migrations per round allowed *off a server whose observed
+    /// tick already exceeds `U`*. The Eq. (5) budget is zero there — no
+    /// slack is left to pay for a migration — which deadlocks
+    /// rebalancing exactly when it is most needed: an overloaded server
+    /// can never shed users, so its tick never recovers. A floor of 1
+    /// accepts one transiently worse tick per round to escape the
+    /// overload. `0` reproduces the paper's strict budgets.
+    pub overload_migration_floor: u32,
 }
 
 impl Default for ModelDrivenConfig {
@@ -38,6 +56,8 @@ impl Default for ModelDrivenConfig {
             remove_fraction: 0.6,
             replica_cooldown_rounds: 4,
             min_imbalance: 4,
+            migration_headroom: 1.0,
+            overload_migration_floor: 0,
         }
     }
 }
@@ -45,6 +65,10 @@ impl Default for ModelDrivenConfig {
 /// The model-driven policy (§IV).
 pub struct ModelDriven {
     model: ScalabilityModel,
+    /// Version of `model` when it came from a registry (0 = frozen).
+    model_version: u64,
+    /// Live model source, when online calibration feeds this policy.
+    registry: Option<Arc<ModelRegistry>>,
     config: ModelDrivenConfig,
     draining: Option<NodeId>,
     cooldown_rounds_left: u32,
@@ -52,10 +76,28 @@ pub struct ModelDriven {
 }
 
 impl ModelDriven {
-    /// Creates the policy around a calibrated model.
+    /// Creates the policy around a frozen calibrated model.
     pub fn new(model: ScalabilityModel, config: ModelDrivenConfig) -> Self {
         Self {
             model,
+            model_version: 0,
+            registry: None,
+            config,
+            draining: None,
+            cooldown_rounds_left: 0,
+            replicas_last_round: 0,
+        }
+    }
+
+    /// Creates the policy against a live [`ModelRegistry`]: every decision
+    /// uses the latest published model version instead of a frozen
+    /// parameter set.
+    pub fn live(registry: Arc<ModelRegistry>, config: ModelDrivenConfig) -> Self {
+        let current = registry.current();
+        Self {
+            model: current.model.clone(),
+            model_version: current.version,
+            registry: Some(registry),
             config,
             draining: None,
             cooldown_rounds_left: 0,
@@ -68,9 +110,32 @@ impl ModelDriven {
         &self.model
     }
 
+    /// Version of the model in use (0 when frozen).
+    pub fn model_version(&self) -> u64 {
+        self.model_version
+    }
+
+    /// Pulls the registry's latest version into the local model cache.
+    /// No-op for a frozen policy; cheap (one atomic read) when nothing
+    /// was published since the last call.
+    pub fn refresh_model(&mut self) {
+        if let Some(registry) = &self.registry {
+            let current = registry.current();
+            if current.version != self.model_version {
+                self.model = current.model.clone();
+                self.model_version = current.version;
+            }
+        }
+    }
+
     /// The server currently being drained for removal, if any.
     pub fn draining(&self) -> Option<NodeId> {
         self.draining
+    }
+
+    /// Applies the migration-headroom hedge to a raw slack budget.
+    fn hedged(&self, raw: u32) -> u32 {
+        (raw as f64 * self.config.migration_headroom).floor() as u32
     }
 
     /// Listing 1: one round of paced migrations from the most loaded server
@@ -91,13 +156,16 @@ impl ModelDriven {
         };
 
         // (ii) the initiate budget of s_max, from its observed tick.
-        let mut ini_left = roia_model::x_max_from_tick(
+        let mut ini_left = self.hedged(roia_model::x_max_from_tick(
             &self.model.params,
             MigrationSide::Initiate,
             s_max.avg_tick,
             n,
             self.model.u_threshold,
-        );
+        ));
+        if s_max.avg_tick >= self.model.u_threshold {
+            ini_left = ini_left.max(self.config.overload_migration_floor);
+        }
         let mut surplus = s_max.active_users.saturating_sub(avg);
 
         for target in &snapshot.servers {
@@ -109,13 +177,13 @@ impl ModelDriven {
                 continue;
             }
             // (iii) the receive budget of the target.
-            let rcv = roia_model::x_max_from_tick(
+            let rcv = self.hedged(roia_model::x_max_from_tick(
                 &self.model.params,
                 MigrationSide::Receive,
                 target.avg_tick,
                 n,
                 self.model.u_threshold,
-            );
+            ));
             let k = deficit.min(rcv).min(ini_left).min(surplus);
             if k == 0 {
                 continue;
@@ -136,25 +204,28 @@ impl ModelDriven {
             return;
         };
         let n = snapshot.total_users();
-        let mut ini_left = roia_model::x_max_from_tick(
+        let mut ini_left = self.hedged(roia_model::x_max_from_tick(
             &self.model.params,
             MigrationSide::Initiate,
             v.avg_tick,
             n,
             self.model.u_threshold,
-        );
+        ));
+        if v.avg_tick >= self.model.u_threshold {
+            ini_left = ini_left.max(self.config.overload_migration_floor);
+        }
         let mut remaining = v.active_users;
         for target in &snapshot.servers {
             if target.server == victim || ini_left == 0 || remaining == 0 {
                 continue;
             }
-            let rcv = roia_model::x_max_from_tick(
+            let rcv = self.hedged(roia_model::x_max_from_tick(
                 &self.model.params,
                 MigrationSide::Receive,
                 target.avg_tick,
                 n,
                 self.model.u_threshold,
-            );
+            ));
             let k = remaining.min(rcv).min(ini_left);
             if k == 0 {
                 continue;
@@ -176,6 +247,7 @@ impl Policy for ModelDriven {
     }
 
     fn decide(&mut self, snapshot: &ZoneSnapshot, _now_tick: u64) -> Vec<Action> {
+        self.refresh_model();
         let mut out = Vec::new();
         let l = snapshot.replicas();
         if l == 0 {
@@ -192,6 +264,19 @@ impl Policy for ModelDriven {
         self.cooldown_rounds_left = self.cooldown_rounds_left.saturating_sub(1);
 
         // Continue an in-progress removal first: drain, then shut down.
+        // But re-check the scale-down condition every round: a workload
+        // shift (or a model refit) mid-drain can mean the zone no longer
+        // fits on l − 1 servers, and finishing the drain would wedge the
+        // cluster — the remaining servers go past U, their receive
+        // budgets hit zero, and the drain can neither finish nor yield
+        // to replication while it holds the policy. Abort instead.
+        if self.draining.is_some()
+            && (l < 2
+                || (n as f64)
+                    >= self.config.remove_fraction * self.model.max_users(l - 1, m) as f64)
+        {
+            self.draining = None;
+        }
         if let Some(victim) = self.draining {
             match snapshot.server(victim) {
                 Some(v) if v.active_users == 0 => {
@@ -442,6 +527,60 @@ mod tests {
         let gone = snapshot(&[40], &[6.0]);
         p.decide(&gone, 25);
         assert!(p.draining().is_none());
+    }
+
+    #[test]
+    fn live_policy_follows_registry_versions() {
+        use roia_autocal::{
+            CandidateFit, FitPath, ParamRefit, PublishOutcome, RefitReason, RegistryConfig,
+        };
+        let registry = Arc::new(ModelRegistry::new(
+            model(),
+            RegistryConfig {
+                cooldown_ticks: 0,
+                min_relative_change: 0.0,
+                ..RegistryConfig::default()
+            },
+        ));
+        let mut p = ModelDriven::live(registry.clone(), ModelDrivenConfig::default());
+        assert_eq!(p.model_version(), 1);
+        let trigger_v1 = p.model().replication_trigger(1, 0);
+
+        // Publish a version where the per-user cost doubled: capacity (and
+        // the trigger) halves.
+        let doubled = CostFn::Constant(2e-4);
+        let mut params = model().params;
+        params.set(roia_model::ParamKind::Ua, doubled.clone());
+        let outcome = registry.try_publish(
+            CandidateFit {
+                params,
+                refits: vec![ParamRefit {
+                    kind: roia_model::ParamKind::Ua,
+                    cost_fn: doubled,
+                    samples: 100,
+                    r_squared: 0.99,
+                    rmse: 1e-6,
+                    mean_y: 2e-4,
+                    path: FitPath::Rls,
+                }],
+                reason: RefitReason::Drift,
+            },
+            10,
+        );
+        assert!(matches!(outcome, PublishOutcome::Published { version: 2 }));
+
+        // The next decision runs on the new model.
+        let s = snapshot(&[trigger_v1 - 50], &[30.0]);
+        let actions = p.decide(&s, 0);
+        assert_eq!(p.model_version(), 2);
+        let trigger_v2 = p.model().replication_trigger(1, 0);
+        assert!(trigger_v2 < trigger_v1);
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, Action::AddReplica { .. })),
+            "below the stale trigger but above the live one: {actions:?}"
+        );
     }
 
     #[test]

@@ -97,6 +97,21 @@ impl PredictiveModelDriven {
         }
     }
 
+    /// Creates the policy against a live [`roia_autocal::ModelRegistry`]:
+    /// trigger evaluations and migration budgets use the latest published
+    /// model version.
+    pub fn live(
+        registry: std::sync::Arc<roia_autocal::ModelRegistry>,
+        config: ModelDrivenConfig,
+        horizon_ticks: u64,
+    ) -> Self {
+        Self {
+            inner: ModelDriven::live(registry, config),
+            forecaster: TrendForecaster::new(8),
+            horizon_ticks,
+        }
+    }
+
     /// The current forecaster state (for diagnostics).
     pub fn forecaster(&self) -> &TrendForecaster {
         &self.forecaster
@@ -109,6 +124,9 @@ impl Policy for PredictiveModelDriven {
     }
 
     fn decide(&mut self, snapshot: &ZoneSnapshot, now_tick: u64) -> Vec<Action> {
+        // The trigger check below reads `inner.model()` before delegating;
+        // make sure it sees the latest registry version.
+        self.inner.refresh_model();
         let n_now = snapshot.total_users();
         self.forecaster.observe(now_tick, n_now);
         let n_future = self.forecaster.forecast(self.horizon_ticks).max(n_now);

@@ -19,6 +19,8 @@
 use crate::chaos::{ChaosEngine, Fault, FaultPlan, Revert};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use roia_autocal::{OnlineCalibrator, RefitReport};
+use roia_model::ScalabilityModel;
 use rtf_core::client::{Client, ClientState};
 use rtf_core::entity::UserId;
 use rtf_core::metrics::TickRecord;
@@ -141,6 +143,16 @@ pub struct ClusterTickStats {
     pub violation: bool,
     /// Users not active on any replica (orphaned or mid-re-home).
     pub unhomed: u32,
+    /// NPCs in the zone this tick (regime shifts change it mid-session).
+    pub npcs: u32,
+    /// Version of the calibration model in force this tick. A live
+    /// calibrator reports its registry version (the seed model is `1`);
+    /// a frozen reference model — and no model at all — report `0`.
+    pub model_version: u64,
+    /// Worst model-predicted tick duration across replicas (Eq. 4 with the
+    /// tick's observed `l`, `n`, `m`, `a`); `0.0` without a model. Compare
+    /// with `max_tick_duration` to see the prediction error live.
+    pub predicted_tick: f64,
 }
 
 /// The running deployment.
@@ -169,6 +181,13 @@ pub struct Cluster {
     /// excluded from placement, migration targets and snapshots.
     suspects: BTreeSet<NodeId>,
     chaos: Option<ChaosEngine>,
+    /// Online calibration engine; fed every tick record when attached.
+    autocal: Option<OnlineCalibrator>,
+    /// Frozen model used only to annotate stats with predictions when no
+    /// calibrator is attached (the static arm of recalibration studies).
+    reference_model: Option<ScalabilityModel>,
+    /// Refit attempts the calibrator made, in order.
+    refit_log: Vec<RefitReport>,
     debug_checks: bool,
     /// Users this deployment should be serving (add/remove/adopt/extract
     /// accounting) — the conservation baseline for the invariant checker.
@@ -221,6 +240,9 @@ impl Cluster {
             rehoming: BTreeMap::new(),
             suspects: BTreeSet::new(),
             chaos: None,
+            autocal: None,
+            reference_model: None,
+            refit_log: Vec::new(),
             debug_checks: false,
             expected_users: 0,
             history: Vec::new(),
@@ -272,6 +294,64 @@ impl Cluster {
         self.pool.set_boot_failures(0.0, 0);
         for id in std::mem::take(&mut self.suspects) {
             self.bus.set_isolated(id, false);
+        }
+    }
+
+    /// Attaches an online calibrator: every server tick record is streamed
+    /// into it, refits run on its cadence/drift schedule, and per-tick
+    /// stats carry the registry version and the live model's tick
+    /// prediction. Pair it with a live policy
+    /// (`ModelDriven::live(cluster_calibrator.registry(), ..)`) to close
+    /// the loop.
+    pub fn set_autocal(&mut self, calibrator: OnlineCalibrator) {
+        self.autocal = Some(calibrator);
+    }
+
+    /// The attached calibrator, if any.
+    pub fn autocal(&self) -> Option<&OnlineCalibrator> {
+        self.autocal.as_ref()
+    }
+
+    /// Annotates per-tick stats with a *frozen* model's predictions — the
+    /// static-calibration arm of a recalibration study. Ignored while a
+    /// calibrator is attached (the live model wins).
+    pub fn set_reference_model(&mut self, model: ScalabilityModel) {
+        self.reference_model = Some(model);
+    }
+
+    /// Every refit attempt the calibrator made so far, in order.
+    pub fn refit_log(&self) -> &[RefitReport] {
+        &self.refit_log
+    }
+
+    /// Swaps the behaviour of every connected bot (and of bots connecting
+    /// later) — a mid-session workload regime shift, e.g. a patch that
+    /// doubles attack frequency.
+    pub fn set_bot_behavior(&mut self, behavior: BotBehavior) {
+        self.config.bots = behavior;
+        for handle in self.clients.values_mut() {
+            handle.bot.set_behavior(behavior);
+        }
+    }
+
+    /// Repopulates every replica's zone with `count` NPCs — the other half
+    /// of a regime shift (a content event spawning an NPC surge). New
+    /// replicas booted later inherit the new count.
+    pub fn set_npc_population(&mut self, count: u32) {
+        self.config.npcs = count;
+        for handle in &mut self.servers {
+            handle.server.app_mut().set_npc_count(count);
+        }
+    }
+
+    /// Scales every per-unit cost rate by `factor` (> 0) on every live
+    /// replica and in the config used for future boots — the third leg of
+    /// a regime shift (a patch makes each interaction heavier). Relative
+    /// machine speedups are preserved.
+    pub fn scale_cost_rates(&mut self, factor: f64) {
+        self.config.rates = self.config.rates.scaled(factor);
+        for handle in &mut self.servers {
+            handle.server.app_mut().scale_cost_rates(factor);
         }
     }
 
@@ -366,27 +446,8 @@ impl Cluster {
     }
 
     fn make_app(&mut self, speedup: f64) -> RtfDemoApp {
-        let mut rates = self.config.rates;
         // A faster machine divides every per-unit cost.
-        let inv = 1.0 / speedup;
-        rates.ua_dser_per_byte *= inv;
-        rates.ua_dser_per_cmd *= inv;
-        rates.ua_move *= inv;
-        rates.ua_attack_base *= inv;
-        rates.ua_attack_scan *= inv;
-        rates.fa_dser_per_byte *= inv;
-        rates.fa_apply *= inv;
-        rates.fa_shadow_entity *= inv;
-        rates.npc_update *= inv;
-        rates.npc_user_scan *= inv;
-        rates.aoi_pair *= inv;
-        rates.aoi_dedup *= inv;
-        rates.su_entity *= inv;
-        rates.su_per_byte *= inv;
-        rates.mig_ini_base *= inv;
-        rates.mig_ini_per_user *= inv;
-        rates.mig_rcv_base *= inv;
-        rates.mig_rcv_per_user *= inv;
+        let rates = self.config.rates.scaled(1.0 / speedup);
         let seed = self.rng.gen();
         RtfDemoApp::new(
             self.config.world.clone(),
@@ -1057,7 +1118,20 @@ impl Cluster {
         }
         self.pending_connects.clear();
 
-        // 3b. Repair avatar-table damage; assert invariants if asked to.
+        // 3b. Online calibration: stream the tick's records in (the record
+        // does not know the replica count `l`; we do), then close the
+        // tick so cadence/drift refits can run.
+        let replicas = self.servers.len() as u32;
+        if let Some(cal) = self.autocal.as_mut() {
+            for record in &records {
+                cal.ingest(record, replicas);
+            }
+            if let Some(report) = cal.end_tick(self.tick) {
+                self.refit_log.push(report);
+            }
+        }
+
+        // 3c. Repair avatar-table damage; assert invariants if asked to.
         if self.chaos.is_some() || self.debug_checks {
             self.repair_sweep();
         }
@@ -1087,6 +1161,29 @@ impl Cluster {
             active.extend(handle.server.users());
         }
         let unhomed = self.clients.keys().filter(|u| !active.contains(*u)).count() as u32;
+
+        // Model annotations: whatever model is in force (live registry
+        // version, or the frozen reference) predicts each replica's tick
+        // from the observed (l, n, m, a); the worst one lines up against
+        // `max_tick_duration`.
+        let (model_version, predicted_tick) = {
+            let model = match (&self.autocal, &self.reference_model) {
+                (Some(cal), _) => Some((cal.version(), cal.model())),
+                (None, Some(frozen)) => Some((0, frozen.clone())),
+                (None, None) => None,
+            };
+            match model {
+                Some((version, model)) => {
+                    let worst = records
+                        .iter()
+                        .map(|r| model.tick(replicas, r.zone_users(), r.npcs, r.active_users))
+                        .fold(0.0f64, f64::max);
+                    (version, worst)
+                }
+                None => (0, 0.0),
+            }
+        };
+
         let stats = ClusterTickStats {
             tick: self.tick,
             users: self.user_count(),
@@ -1099,6 +1196,9 @@ impl Cluster {
             max_tick_duration: max_tick,
             violation,
             unhomed,
+            npcs: self.config.npcs,
+            model_version,
+            predicted_tick,
         };
         self.history.push(stats);
         self.tick += 1;

@@ -1,0 +1,418 @@
+//! Drifting-workload scenarios — regime shifts that break frozen models.
+//!
+//! The §V-A calibration measures per-request costs once, offline, and the
+//! controller trusts them forever. This module stages the failure mode
+//! that assumption invites: mid-session the workload's *cost structure*
+//! changes — a patch doubles attack frequency, a content event spawns an
+//! NPC surge — so a frozen model keeps predicting the old regime while
+//! the observed tick durations move. [`RegimeShift`] applies the change
+//! to a running [`Cluster`]; [`run_drift_session`] drives the full
+//! managed session in one of two arms ([`CalibrationMode`]): the frozen
+//! seed model, or an online calibrator whose registry the policy
+//! consults live. [`DriftReport`] carries the per-tick history with
+//! model-version and prediction annotations so the two arms can be
+//! compared tick for tick.
+
+use crate::cluster::{Cluster, ClusterConfig, ClusterTickStats};
+use crate::workload::{drive, Workload};
+use roia_autocal::{CalibratorConfig, OnlineCalibrator, RefitReport};
+use roia_model::ScalabilityModel;
+use rtf_rms::{ControllerConfig, ModelDriven, ModelDrivenConfig};
+use rtfdemo::BotBehavior;
+
+/// A mid-session workload regime shift.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RegimeShift {
+    /// Tick at which the shift lands.
+    pub at_tick: u64,
+    /// Bot behaviour after the shift (`None`: unchanged).
+    pub bots_after: Option<BotBehavior>,
+    /// NPC population after the shift (`None`: unchanged).
+    pub npcs_after: Option<u32>,
+    /// Per-unit cost-rate multiplier the shift applies (`None`:
+    /// unchanged). Above 1 models a patch whose richer interactions make
+    /// each command, scan and update heavier — the component that makes
+    /// the *shape* of the frozen calibration wrong, not just the load.
+    pub cost_factor: Option<f64>,
+}
+
+impl RegimeShift {
+    /// The canonical drifting-workload shift: a content patch doubles
+    /// attack frequency (base and per-target probability, with headroom
+    /// in the cap), spawns `npcs` NPCs into the zone, and makes every
+    /// interaction 1.5x heavier (new combat effects).
+    pub fn attack_surge(at_tick: u64, npcs: u32) -> Self {
+        let calm = BotBehavior::default();
+        Self {
+            at_tick,
+            bots_after: Some(BotBehavior {
+                attack_base: calm.attack_base * 2.0,
+                attack_per_target: calm.attack_per_target * 2.0,
+                attack_cap: (calm.attack_cap * 1.2).min(1.0),
+                ..calm
+            }),
+            npcs_after: Some(npcs),
+            cost_factor: Some(1.5),
+        }
+    }
+
+    /// A shift that changes nothing (control arm for tests).
+    pub fn none(at_tick: u64) -> Self {
+        Self {
+            at_tick,
+            bots_after: None,
+            npcs_after: None,
+            cost_factor: None,
+        }
+    }
+
+    /// Applies the shift to a running cluster.
+    pub fn apply(&self, cluster: &mut Cluster) {
+        if let Some(bots) = self.bots_after {
+            cluster.set_bot_behavior(bots);
+        }
+        if let Some(npcs) = self.npcs_after {
+            cluster.set_npc_population(npcs);
+        }
+        if let Some(factor) = self.cost_factor {
+            cluster.scale_cost_rates(factor);
+        }
+    }
+}
+
+/// Which model the controller consults during a drift session.
+#[derive(Debug, Clone)]
+pub enum CalibrationMode {
+    /// The seed model, frozen for the whole session (the paper's offline
+    /// calibration). Stats still carry its predictions, so its error is
+    /// visible.
+    Frozen,
+    /// An [`OnlineCalibrator`] refits the model live; the policy follows
+    /// the registry's published versions.
+    Online(CalibratorConfig),
+}
+
+impl CalibrationMode {
+    /// Short label for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CalibrationMode::Frozen => "frozen",
+            CalibrationMode::Online(_) => "online",
+        }
+    }
+}
+
+/// Configuration of one drift-session arm.
+#[derive(Clone)]
+pub struct DriftSessionConfig {
+    /// Cluster configuration (seed, world, rates, bots before the shift).
+    pub cluster: ClusterConfig,
+    /// Session length in ticks.
+    pub ticks: u64,
+    /// Maximum user joins/leaves per tick.
+    pub max_churn_per_tick: u32,
+    /// Tick-duration threshold `U` (seconds).
+    pub u_threshold: f64,
+    /// Controller cadence.
+    pub controller: ControllerConfig,
+    /// Model-driven policy tuning.
+    pub policy: ModelDrivenConfig,
+    /// Initial replica count.
+    pub initial_servers: u32,
+    /// The seed model (frozen arm keeps it; online arm starts from it).
+    pub model: ScalabilityModel,
+    /// The regime shift to stage.
+    pub shift: RegimeShift,
+    /// Frozen or online calibration.
+    pub mode: CalibrationMode,
+}
+
+impl DriftSessionConfig {
+    /// A config with everything defaulted except the model, shift and mode.
+    pub fn new(model: ScalabilityModel, shift: RegimeShift, mode: CalibrationMode) -> Self {
+        // After the shift the model's migration-cost estimates lag reality
+        // until refits catch up, so drift sessions hedge the Fig. 7
+        // budgets: spend half the slack per round instead of all of it.
+        // And since a shift can push a server past U before rebalancing
+        // starts (where the strict Eq. 5 budget is zero and would
+        // deadlock), allow a trickle of migrations off overloaded
+        // servers.
+        let policy = ModelDrivenConfig {
+            migration_headroom: 0.5,
+            overload_migration_floor: 2,
+            ..ModelDrivenConfig::default()
+        };
+        Self {
+            cluster: ClusterConfig::default(),
+            ticks: 7_500,
+            max_churn_per_tick: 2,
+            u_threshold: 0.040,
+            controller: ControllerConfig::default(),
+            policy,
+            initial_servers: 1,
+            model,
+            shift,
+            mode,
+        }
+    }
+}
+
+/// Outcome of one drift-session arm.
+#[derive(Debug, Clone)]
+pub struct DriftReport {
+    /// Which arm ran (`"frozen"` / `"online"`).
+    pub mode: &'static str,
+    /// Tick at which the regime shift landed.
+    pub shift_tick: u64,
+    /// Per-tick statistics, with model-version and prediction columns.
+    pub history: Vec<ClusterTickStats>,
+    /// Every refit attempt the calibrator made (empty in the frozen arm).
+    pub refits: Vec<RefitReport>,
+    /// Registry version at session end (`0` in the frozen arm).
+    pub final_model_version: u64,
+    /// Server-ticks at or over the threshold.
+    pub violations: u64,
+    /// Total users migrated.
+    pub migrations: u64,
+    /// Cloud cost accrued.
+    pub total_cost: f64,
+    /// Peak replica count.
+    pub peak_servers: u32,
+}
+
+impl DriftReport {
+    /// Per-tick relative prediction error `|pred − obs| / obs` for every
+    /// tick where both the model prediction and the observation are
+    /// positive.
+    pub fn prediction_errors(&self) -> Vec<(u64, f64)> {
+        self.history
+            .iter()
+            .filter(|h| h.predicted_tick > 0.0 && h.max_tick_duration > 0.0)
+            .map(|h| {
+                let err = (h.predicted_tick - h.max_tick_duration).abs() / h.max_tick_duration;
+                (h.tick, err)
+            })
+            .collect()
+    }
+
+    /// Mean relative prediction error over `[from_tick, to_tick)`.
+    pub fn mean_prediction_error(&self, from_tick: u64, to_tick: u64) -> f64 {
+        let errs: Vec<f64> = self
+            .prediction_errors()
+            .into_iter()
+            .filter(|(t, _)| *t >= from_tick && *t < to_tick)
+            .map(|(_, e)| e)
+            .collect();
+        if errs.is_empty() {
+            return 0.0;
+        }
+        errs.iter().sum::<f64>() / errs.len() as f64
+    }
+
+    /// Worst observed tick duration from `from_tick` on (seconds).
+    pub fn max_tick_from(&self, from_tick: u64) -> f64 {
+        self.history
+            .iter()
+            .filter(|h| h.tick >= from_tick)
+            .map(|h| h.max_tick_duration)
+            .fold(0.0, f64::max)
+    }
+
+    /// Ticks with at least one threshold violation from `from_tick` on.
+    pub fn violation_ticks_from(&self, from_tick: u64) -> usize {
+        self.history
+            .iter()
+            .filter(|h| h.tick >= from_tick && h.violation)
+            .count()
+    }
+
+    /// Refits the registry actually published.
+    pub fn published_refits(&self) -> usize {
+        self.refits
+            .iter()
+            .filter(|r| matches!(r.outcome, roia_autocal::PublishOutcome::Published { .. }))
+            .count()
+    }
+}
+
+/// Runs one arm of a drifting-workload session: a model-driven controller
+/// (frozen or registry-backed) manages the cluster while the workload
+/// regime shifts mid-session.
+pub fn run_drift_session(config: DriftSessionConfig, workload: &dyn Workload) -> DriftReport {
+    let tick_interval = config.cluster.tick_interval;
+    let mode_name = config.mode.name();
+    let mut cluster = Cluster::new(config.cluster, config.initial_servers);
+    cluster.set_threshold(config.u_threshold);
+    match &config.mode {
+        CalibrationMode::Frozen => {
+            cluster.set_reference_model(config.model.clone());
+            cluster.set_controller(
+                Box::new(ModelDriven::new(config.model.clone(), config.policy)),
+                config.controller,
+            );
+        }
+        CalibrationMode::Online(cal_config) => {
+            let calibrator = OnlineCalibrator::new(config.model.clone(), cal_config.clone());
+            let registry = calibrator.registry();
+            cluster.set_autocal(calibrator);
+            cluster.set_controller(
+                Box::new(ModelDriven::live(registry, config.policy)),
+                config.controller,
+            );
+        }
+    }
+
+    let mut peak_servers = cluster.server_count();
+    let mut shifted = false;
+    for tick in 0..config.ticks {
+        if !shifted && tick >= config.shift.at_tick {
+            config.shift.apply(&mut cluster);
+            shifted = true;
+        }
+        drive(
+            &mut cluster,
+            workload,
+            tick_interval,
+            config.max_churn_per_tick,
+        );
+        cluster.step();
+        peak_servers = peak_servers.max(cluster.server_count());
+    }
+
+    DriftReport {
+        mode: mode_name,
+        shift_tick: config.shift.at_tick,
+        final_model_version: cluster.autocal().map_or(0, |c| c.version()),
+        refits: cluster.refit_log().to_vec(),
+        violations: cluster.violations(),
+        migrations: cluster.total_migrations(),
+        total_cost: cluster.total_cost(),
+        peak_servers,
+        history: cluster.history().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Ramp;
+    use roia_model::{CostFn, ModelParams};
+
+    fn rough_model() -> ScalabilityModel {
+        let params = ModelParams {
+            t_ua_dser: CostFn::Linear { c0: 4e-6, c1: 5e-9 },
+            t_ua: CostFn::Quadratic {
+                c0: 45e-6,
+                c1: 2.5e-7,
+                c2: 0.0,
+            },
+            t_aoi: CostFn::Quadratic {
+                c0: 5e-6,
+                c1: 2.2e-7,
+                c2: 1e-10,
+            },
+            t_su: CostFn::Linear {
+                c0: 3e-6,
+                c1: 1.5e-7,
+            },
+            t_fa_dser: CostFn::Linear { c0: 2e-6, c1: 1e-9 },
+            t_fa: CostFn::Linear {
+                c0: 20e-6,
+                c1: 1e-9,
+            },
+            t_npc: CostFn::ZERO,
+            t_mig_ini: CostFn::Linear {
+                c0: 0.2e-3,
+                c1: 7e-6,
+            },
+            t_mig_rcv: CostFn::Linear {
+                c0: 0.15e-3,
+                c1: 4e-6,
+            },
+        };
+        ScalabilityModel::new(params, 0.040)
+    }
+
+    fn short_config(mode: CalibrationMode) -> DriftSessionConfig {
+        let mut config =
+            DriftSessionConfig::new(rough_model(), RegimeShift::attack_surge(150, 60), mode);
+        config.ticks = 400;
+        config.max_churn_per_tick = 3;
+        config.cluster.cost_noise = 0.0;
+        config
+    }
+
+    #[test]
+    fn shift_lands_in_history() {
+        let workload = Ramp {
+            from: 0,
+            to: 40,
+            duration_secs: 4.0,
+        };
+        let report = run_drift_session(short_config(CalibrationMode::Frozen), &workload);
+        assert_eq!(report.history.len(), 400);
+        let before = report.history.iter().find(|h| h.tick == 149).unwrap();
+        let after = report.history.iter().find(|h| h.tick == 151).unwrap();
+        assert_eq!(before.npcs, 0, "no NPCs before the shift");
+        assert_eq!(after.npcs, 60, "NPC surge visible in the stats");
+        assert_eq!(report.mode, "frozen");
+        assert_eq!(report.final_model_version, 0);
+        assert!(report.refits.is_empty(), "frozen arm never refits");
+    }
+
+    #[test]
+    fn frozen_arm_records_reference_predictions() {
+        let workload = Ramp {
+            from: 0,
+            to: 40,
+            duration_secs: 4.0,
+        };
+        let report = run_drift_session(short_config(CalibrationMode::Frozen), &workload);
+        assert!(
+            report.history.iter().any(|h| h.predicted_tick > 0.0),
+            "the frozen reference model annotates predictions"
+        );
+        assert!(!report.prediction_errors().is_empty());
+    }
+
+    #[test]
+    fn online_arm_versions_advance() {
+        let workload = Ramp {
+            from: 0,
+            to: 40,
+            duration_secs: 4.0,
+        };
+        let mut cal = CalibratorConfig::default();
+        cal.refit_interval_ticks = 100;
+        cal.registry.cooldown_ticks = 50;
+        let report = run_drift_session(short_config(CalibrationMode::Online(cal)), &workload);
+        assert_eq!(report.mode, "online");
+        assert!(
+            report.history.iter().all(|h| h.model_version >= 1),
+            "live runs always have a registry version"
+        );
+        assert!(
+            !report.refits.is_empty(),
+            "the calibrator attempted refits on cadence"
+        );
+        assert!(report.final_model_version >= 1);
+    }
+
+    #[test]
+    fn drift_sessions_are_deterministic() {
+        let workload = Ramp {
+            from: 0,
+            to: 30,
+            duration_secs: 3.0,
+        };
+        let run = || {
+            let report = run_drift_session(short_config(CalibrationMode::Frozen), &workload);
+            report
+                .history
+                .iter()
+                .map(|h| (h.users, h.max_tick_duration, h.npcs))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -11,6 +11,7 @@
 
 pub mod chaos;
 pub mod cluster;
+pub mod drift;
 pub mod measure;
 pub mod multizone;
 pub mod report;
@@ -20,6 +21,7 @@ pub mod workload;
 
 pub use chaos::{ChaosEngine, Fault, FaultPlan, ScheduledFault};
 pub use cluster::{ActionExec, Cluster, ClusterConfig, ClusterTickStats};
+pub use drift::{run_drift_session, CalibrationMode, DriftReport, DriftSessionConfig, RegimeShift};
 pub use measure::{
     calibrate_demo, default_demo_model, measure_bandwidth_params, measure_migration_params,
     measure_replication_params, MeasureConfig,

@@ -98,19 +98,26 @@ impl SessionReport {
     }
 
     /// The full per-tick history as CSV (for external plotting tools).
+    /// The trailing columns annotate each tick with the calibration model
+    /// in force: registry version, its predicted tick (ms) and the NPC
+    /// population (all zero in runs without a model attached).
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("tick,t_secs,users,servers,avg_cpu_load,max_tick_ms,violation\n");
+        let mut out = String::from(
+            "tick,t_secs,users,servers,avg_cpu_load,max_tick_ms,violation,model_version,predicted_tick_ms,npcs\n",
+        );
         for h in &self.history {
             out.push_str(&format!(
-                "{},{:.3},{},{},{:.4},{:.3},{}\n",
+                "{},{:.3},{},{},{:.4},{:.3},{},{},{:.3},{}\n",
                 h.tick,
                 h.tick as f64 * 0.040,
                 h.users,
                 h.servers,
                 h.avg_cpu_load,
                 h.max_tick_duration * 1e3,
-                h.violation as u8
+                h.violation as u8,
+                h.model_version,
+                h.predicted_tick * 1e3,
+                h.npcs
             ));
         }
         out

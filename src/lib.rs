@@ -16,9 +16,12 @@
 //!   load-balancing policies.
 //! * [`sim`] (`roia-sim`) — the multi-server session simulator, workload
 //!   generators and measurement campaigns.
+//! * [`autocal`] (`roia-autocal`) — online calibration: sliding-window
+//!   refits, drift detection and the versioned model registry.
 
 #![warn(missing_docs)]
 
+pub use roia_autocal as autocal;
 pub use roia_fit as fit;
 pub use roia_model as model;
 pub use roia_sim as sim;
