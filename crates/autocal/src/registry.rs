@@ -23,6 +23,7 @@
 
 use parking_lot::{Mutex, RwLock};
 use roia_model::{CostFn, ModelParams, ParamKind, ScalabilityModel};
+use roia_obs::{TraceEvent, Tracer};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -255,6 +256,7 @@ pub struct ModelRegistry {
     current: RwLock<Arc<ModelVersion>>,
     history: Mutex<VecDeque<ModelVersion>>,
     stats: Mutex<RegistryStats>,
+    tracer: Mutex<Tracer>,
 }
 
 impl ModelRegistry {
@@ -275,7 +277,16 @@ impl ModelRegistry {
             current: RwLock::new(Arc::new(seed)),
             history: Mutex::new(history),
             stats: Mutex::new(RegistryStats::default()),
+            tracer: Mutex::new(Tracer::disabled()),
         }
+    }
+
+    /// Installs a telemetry tracer: every successful publish emits a
+    /// [`TraceEvent::RegistrySwap`] so the audit trail records exactly
+    /// when the controller's model changed underneath it. Interior
+    /// mutability because registries are shared behind an `Arc`.
+    pub fn set_tracer(&self, tracer: Tracer) {
+        *self.tracer.lock() = tracer;
     }
 
     /// The registry's tuning.
@@ -388,8 +399,19 @@ impl ModelRegistry {
             history.push_back(next.clone());
         }
         let version = next.version;
+        let reason = next.reason;
         *self.current.write() = Arc::new(next);
         self.stats.lock().published += 1;
+        {
+            let tracer = self.tracer.lock();
+            if tracer.is_enabled() {
+                tracer.emit(TraceEvent::RegistrySwap {
+                    tick: now_tick,
+                    version,
+                    reason: reason.name(),
+                });
+            }
+        }
         PublishOutcome::Published { version }
     }
 }

@@ -1,11 +1,18 @@
 //! Diagnostic: where do the calibrated headline numbers land relative to
 //! the paper (n_max(1) ≈ 235, trigger ≈ 188, l_max(0.15) = 8,
 //! l_max(0.05) = 48)?
+//!
+//! Usage: `calibration_check [--seed N] [--json PATH]`.
 
-use roia_bench::{calibrated_model, default_campaign};
+use roia_bench::{calibrated_model, cli, default_campaign, json};
 
 fn main() {
-    let (calibration, model) = calibrated_model(&default_campaign());
+    let args = cli::parse();
+    let mut campaign = default_campaign();
+    if let Some(seed) = args.seed {
+        campaign.seed = seed;
+    }
+    let (calibration, model) = calibrated_model(&campaign);
     println!(
         "fit quality (worst R^2): {:.5}",
         calibration.worst_r_squared()
@@ -32,4 +39,30 @@ fn main() {
     println!("l_max(c=0.15) = {}  (paper: 8)", lim15.l_max);
     let m05 = model.clone().with_improvement_factor(0.05);
     println!("l_max(c=0.05) = {}  (paper: 48)", m05.max_replicas(0).l_max);
+
+    let fit_rows: Vec<String> = calibration
+        .fits
+        .iter()
+        .map(|fit| {
+            json::object(&[
+                ("param", json::string(fit.kind.symbol())),
+                ("r_squared", json::num(fit.fit.r_squared)),
+                ("rmse", json::num(fit.fit.rmse)),
+            ])
+        })
+        .collect();
+    let doc = json::object(&[
+        ("experiment", json::string("calibration_check")),
+        ("seed", json::uint(campaign.seed)),
+        ("worst_r_squared", json::num(calibration.worst_r_squared())),
+        ("n_max_1", json::uint(n1 as u64)),
+        (
+            "trigger",
+            json::uint(model.replication_trigger(1, 0) as u64),
+        ),
+        ("l_max_c015", json::uint(lim15.l_max as u64)),
+        ("l_max_c005", json::uint(m05.max_replicas(0).l_max as u64)),
+        ("fits", json::array(&fit_rows)),
+    ]);
+    cli::write_json_doc(args.json.as_deref(), None, &doc);
 }

@@ -11,13 +11,19 @@
 //! panic here means user conservation or migration-safety broke.
 //!
 //! Usage: `chaos_session [--seed N] [--plan mild|rough|hostile|all]
-//! [--ticks N]` — default runs all three plans at the session's natural
-//! length with the built-in seed.
+//! [--ticks N] [--json PATH] [--trace PATH] [--metrics PATH]` — default
+//! runs all three plans at the session's natural length with the
+//! built-in seed. `--trace` records the session's JSONL telemetry
+//! stream (tick spans, controller decisions with their Eq. 1–5 numbers,
+//! fault injections, action lifecycles); replay it with the `explain`
+//! binary. When several plans run, the plan label is suffixed to the
+//! trace/metrics file stem.
 
-use roia_bench::{calibrated_model, default_campaign, U_THRESHOLD};
+use roia_bench::{calibrated_model, cli, default_campaign, json, U_THRESHOLD};
 use roia_sim::chaos::{Fault, FaultPlan};
 use roia_sim::{run_session, table, PaperSession, Series, SessionConfig, SessionReport};
 use rtf_rms::{ModelDriven, ModelDrivenConfig};
+use std::path::{Path, PathBuf};
 
 /// A contiguous stretch of ticks with unhomed users.
 struct Episode {
@@ -86,69 +92,61 @@ fn plan(seed: u64, level: u32, ticks: u64) -> FaultPlan {
     }
 }
 
-struct Args {
-    seed: u64,
-    plan: Option<String>,
-    ticks: Option<u64>,
-}
-
-fn parse_args() -> Args {
-    let mut args = Args {
-        seed: 0xC405,
-        plan: None,
-        ticks: None,
+/// `trace.jsonl` + `rough` → `trace.rough.jsonl` (used when several
+/// plans run in one invocation so they do not clobber one file).
+fn with_label(path: &Path, label: &str) -> PathBuf {
+    let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("out");
+    let ext = path.extension().and_then(|s| s.to_str());
+    let name = match ext {
+        Some(ext) => format!("{stem}.{label}.{ext}"),
+        None => format!("{stem}.{label}"),
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut value =
-            |name: &str| -> String { it.next().unwrap_or_else(|| panic!("{name} needs a value")) };
-        match flag.as_str() {
-            "--seed" => {
-                args.seed = value("--seed")
-                    .parse()
-                    .expect("--seed needs a numeric value");
-            }
-            "--ticks" => {
-                args.ticks = Some(
-                    value("--ticks")
-                        .parse()
-                        .expect("--ticks needs a numeric value"),
-                );
-            }
-            "--plan" => {
-                let plan = value("--plan");
-                assert!(
-                    matches!(plan.as_str(), "mild" | "rough" | "hostile" | "all"),
-                    "unknown plan {plan} (mild|rough|hostile|all)"
-                );
-                args.plan = Some(plan);
-            }
-            other => panic!("unknown flag {other}"),
-        }
-    }
-    args
+    path.with_file_name(name)
 }
 
 fn main() {
-    let args = parse_args();
+    let args = cli::parse();
+    if let Some(plan) = args.plan.as_deref() {
+        assert!(
+            matches!(plan, "mild" | "rough" | "hostile" | "all"),
+            "unknown plan {plan} (mild|rough|hostile|all)"
+        );
+    }
+    let seed = args.seed.unwrap_or(0xC405);
     let (_cal, model) = calibrated_model(&default_campaign());
     let workload = PaperSession::default();
     let ticks = args
         .ticks
         .unwrap_or_else(|| (workload.duration_secs() / 0.040).ceil() as u64);
 
-    for (level, label) in [(0, "mild"), (1, "rough"), (2, "hostile")] {
-        if let Some(wanted) = args.plan.as_deref() {
-            if wanted != "all" && wanted != label {
-                continue;
+    let levels: Vec<(u32, &str)> = [(0, "mild"), (1, "rough"), (2, "hostile")]
+        .into_iter()
+        .filter(|(_, label)| match args.plan.as_deref() {
+            Some("all") | None => true,
+            Some(wanted) => wanted == *label,
+        })
+        .collect();
+    let single = levels.len() == 1;
+    let per_plan_path = |base: Option<&Path>, label: &str| -> Option<PathBuf> {
+        base.map(|p| {
+            if single {
+                p.to_path_buf()
+            } else {
+                with_label(p, label)
             }
-        }
+        })
+    };
+    let mut plan_docs: Vec<String> = Vec::new();
+
+    for (level, label) in levels {
+        let trace_path = per_plan_path(args.trace.as_deref(), label);
         let config = SessionConfig {
             ticks,
             max_churn_per_tick: 2,
             initial_servers: 2,
-            chaos: Some(plan(args.seed + level as u64, level, ticks)),
+            chaos: Some(plan(seed + level as u64, level, ticks)),
             debug_checks: true,
+            tracer: cli::tracer(trace_path.as_deref()),
             ..SessionConfig::default()
         };
         let policy = Box::new(ModelDriven::new(
@@ -156,6 +154,13 @@ fn main() {
             ModelDrivenConfig::default(),
         ));
         let report = run_session(config, policy, &workload);
+        if let Some(path) = &trace_path {
+            println!("wrote {}", path.display());
+        }
+        cli::write_metrics(
+            per_plan_path(args.metrics.as_deref(), label).as_deref(),
+            &report.metrics,
+        );
 
         println!("=== chaos level {level} ({label}) ===\n");
 
@@ -220,5 +225,46 @@ fn main() {
             "cost: {:.3} units, peak servers: {}, migrations: {}\n",
             report.total_cost, report.peak_servers, report.migrations
         );
+
+        let outcome_fields: Vec<String> = report
+            .outcomes
+            .iter()
+            .map(|(name, count)| {
+                json::object(&[
+                    ("outcome", json::string(name)),
+                    ("count", json::uint(*count as u64)),
+                ])
+            })
+            .collect();
+        let episode_rows: Vec<String> = episodes
+            .iter()
+            .map(|ep| {
+                json::object(&[
+                    ("start_tick", json::uint(ep.start_tick)),
+                    ("ticks", json::uint(ep.ticks)),
+                    ("peak_unhomed", json::uint(ep.peak_unhomed as u64)),
+                ])
+            })
+            .collect();
+        plan_docs.push(json::object(&[
+            ("plan", json::string(label)),
+            ("level", json::uint(level as u64)),
+            ("violations", json::uint(report.violations)),
+            ("violation_rate", json::num(report.violation_rate())),
+            ("migrations", json::uint(report.migrations)),
+            ("peak_servers", json::uint(report.peak_servers as u64)),
+            ("total_cost", json::num(report.total_cost)),
+            ("final_unhomed", json::uint(final_unhomed as u64)),
+            ("recovery_episodes", json::array(&episode_rows)),
+            ("outcomes", json::array(&outcome_fields)),
+        ]));
     }
+
+    let doc = json::object(&[
+        ("experiment", json::string("chaos_session")),
+        ("seed", json::uint(seed)),
+        ("ticks", json::uint(ticks)),
+        ("plans", json::array(&plan_docs)),
+    ]);
+    cli::write_json_doc(args.json.as_deref(), None, &doc);
 }

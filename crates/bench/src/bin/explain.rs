@@ -1,0 +1,300 @@
+//! `explain` — replay a JSONL telemetry trace as a human-readable
+//! timeline.
+//!
+//! Reads the trace a session wrote under `--trace` (see `chaos_session`,
+//! `fig8`, `recalibration`), decodes every line back into a typed
+//! [`TraceEvent`], and reconstructs the controller's audit trail: for
+//! every control round, the model decision with its Eq. 1–5 numbers
+//! (predicted tick vs. `n_max` / trigger / `l_max`), the per-pair Eq. 5
+//! migration budgets, and each issued action followed to its terminal
+//! outcome. Server lifecycle, chaos faults, migration waves and
+//! calibration refits are interleaved at the tick they happened.
+//!
+//! Usage: `explain TRACE.jsonl [--ticks N]` — `--ticks` truncates the
+//! replay after the given sim tick. Per-server tick spans are folded
+//! into the summary instead of printed (they dominate the line count).
+
+use roia_obs::TraceEvent;
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader};
+
+/// Tick count → wall-clock seconds at the paper's 25 Hz update rate.
+fn secs(tick: u64) -> f64 {
+    tick as f64 * 0.040
+}
+
+struct ActionInfo {
+    attempts: u32,
+    outcome: Option<&'static str>,
+    resolved_tick: Option<u64>,
+}
+
+fn main() {
+    let mut path: Option<String> = None;
+    let mut max_tick = u64::MAX;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--ticks" => {
+                max_tick = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--ticks needs a numeric value");
+            }
+            other if !other.starts_with("--") => path = Some(other.to_string()),
+            other => panic!("unknown flag {other} (usage: explain TRACE.jsonl [--ticks N])"),
+        }
+    }
+    let path = path.expect("usage: explain TRACE.jsonl [--ticks N]");
+    let file = std::fs::File::open(&path).unwrap_or_else(|e| panic!("open {path}: {e}"));
+
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let mut malformed = 0usize;
+    for line in BufReader::new(file).lines() {
+        let line = line.unwrap_or_else(|e| panic!("read {path}: {e}"));
+        if line.trim().is_empty() {
+            continue;
+        }
+        match TraceEvent::from_json(&line) {
+            Some(ev) if ev.tick() <= max_tick => events.push(ev),
+            Some(_) => {}
+            None => malformed += 1,
+        }
+    }
+    // The JSONL stream interleaves emitters; order by sim-time for replay.
+    events.sort_by_key(|e| e.tick());
+
+    // First pass: follow every action to its terminal outcome so the
+    // timeline can print issue→resolution chains in one line.
+    let mut actions: BTreeMap<u64, ActionInfo> = BTreeMap::new();
+    for ev in &events {
+        match ev {
+            TraceEvent::ActionIssued { action_id, .. } => {
+                let info = actions.entry(*action_id).or_insert(ActionInfo {
+                    attempts: 0,
+                    outcome: None,
+                    resolved_tick: None,
+                });
+                info.attempts += 1;
+            }
+            TraceEvent::ActionResolved {
+                tick,
+                action_id,
+                outcome,
+            } => {
+                if let Some(info) = actions.get_mut(action_id) {
+                    info.outcome = Some(outcome);
+                    info.resolved_tick = Some(*tick);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let server_of = |id: i64| -> String {
+        if id < 0 {
+            "-".to_string()
+        } else {
+            format!("s{id}")
+        }
+    };
+
+    println!("=== trace replay: {path} ===\n");
+    let mut tick_spans = 0u64;
+    let mut worst_tick: Option<(u64, u32, f64)> = None;
+    let mut decision_counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut fault_count = 0u64;
+    for ev in &events {
+        let t = ev.tick();
+        let stamp = format!("t={t:>6} ({:>7.1}s)", secs(t));
+        match ev {
+            TraceEvent::TickSpan {
+                server, duration_s, ..
+            } => {
+                tick_spans += 1;
+                if worst_tick.is_none_or(|(_, _, d)| *duration_s > d) {
+                    worst_tick = Some((t, *server, *duration_s));
+                }
+            }
+            TraceEvent::ControlRound {
+                zone,
+                servers,
+                users,
+                issued,
+                ..
+            } => {
+                println!(
+                    "{stamp}  control round   zone {zone}: {servers} servers, {users} users, \
+                     {issued} action(s) issued"
+                );
+            }
+            TraceEvent::Decision {
+                zone,
+                kind,
+                model_version,
+                replicas,
+                users,
+                npcs,
+                predicted_tick_s,
+                n_max,
+                trigger,
+                l_max,
+                ..
+            } => {
+                *decision_counts.entry(kind).or_insert(0) += 1;
+                println!(
+                    "{stamp}    decision      {kind} (zone {zone}, model v{model_version}): \
+                     l={replicas} n={users} m={npcs} -> T={:.1}ms | n_max={n_max} \
+                     trigger={trigger} l_max={l_max}",
+                    predicted_tick_s * 1e3
+                );
+            }
+            TraceEvent::MigrationBudget {
+                from,
+                to,
+                from_tick_s,
+                to_tick_s,
+                x_max_ini,
+                x_max_rcv,
+                granted,
+                ..
+            } => {
+                println!(
+                    "{stamp}    eq5 budget    s{from}({:.1}ms) -> s{to}({:.1}ms): \
+                     x_max_ini={x_max_ini} x_max_rcv={x_max_rcv} granted={granted}",
+                    from_tick_s * 1e3,
+                    to_tick_s * 1e3
+                );
+            }
+            TraceEvent::ActionIssued {
+                action_id,
+                kind,
+                attempt,
+                from,
+                to,
+                users,
+                ..
+            } => {
+                let chain = actions
+                    .get(action_id)
+                    .and_then(|info| info.outcome.map(|o| (o, info.resolved_tick)));
+                let resolution = match chain {
+                    Some((outcome, Some(rt))) => format!(" => {outcome} @ t={rt}"),
+                    Some((outcome, None)) => format!(" => {outcome}"),
+                    None => " => UNRESOLVED".to_string(),
+                };
+                let retry = if *attempt > 0 {
+                    format!(" (retry #{attempt})")
+                } else {
+                    String::new()
+                };
+                println!(
+                    "{stamp}    action #{action_id:<4} {kind}{retry} {} -> {} ({users} users){resolution}",
+                    server_of(*from),
+                    server_of(*to)
+                );
+            }
+            TraceEvent::ActionResolved { .. } => {} // folded into the issue line
+            TraceEvent::MigrationPlanned {
+                action_id,
+                from,
+                to,
+                users,
+                ..
+            } => {
+                let origin = if *action_id == 0 {
+                    "rebalance".to_string()
+                } else {
+                    format!("action #{action_id}")
+                };
+                println!(
+                    "{stamp}    migration     s{from} -> s{to}: {users} users scheduled ({origin})"
+                );
+            }
+            TraceEvent::MigrationSettled {
+                server, arrived, ..
+            } => {
+                println!("{stamp}    settled       {arrived} users arrived on s{server}");
+            }
+            TraceEvent::FaultInjected { fault, server, .. } => {
+                fault_count += 1;
+                println!(
+                    "{stamp}  FAULT           {fault} (target {})",
+                    server_of(*server)
+                );
+            }
+            TraceEvent::FaultReverted { fault, server, .. } => {
+                println!(
+                    "{stamp}  fault reverted  {fault} (target {})",
+                    server_of(*server)
+                );
+            }
+            TraceEvent::ServerBooted { server, .. } => {
+                println!("{stamp}  server s{server} booted");
+            }
+            TraceEvent::ServerCrashed { server, .. } => {
+                println!("{stamp}  server s{server} CRASHED");
+            }
+            TraceEvent::ServerRemoved { server, .. } => {
+                println!("{stamp}  server s{server} removed (scale-down)");
+            }
+            TraceEvent::Refit {
+                reason,
+                outcome,
+                version,
+                params,
+                ..
+            } => {
+                println!(
+                    "{stamp}  refit           reason={reason} outcome={outcome} \
+                     version={version} params_updated={params}"
+                );
+            }
+            TraceEvent::RegistrySwap {
+                version, reason, ..
+            } => {
+                println!("{stamp}  registry swap   model v{version} live (reason: {reason})");
+            }
+        }
+    }
+
+    println!("\n=== summary ===");
+    println!(
+        "events: {} ({} malformed lines skipped)",
+        events.len(),
+        malformed
+    );
+    println!("server tick spans: {tick_spans}");
+    if let Some((t, server, d)) = worst_tick {
+        println!(
+            "worst tick: {:.2} ms on s{server} at t={t} ({:.1}s)",
+            d * 1e3,
+            secs(t)
+        );
+    }
+    if !decision_counts.is_empty() {
+        println!("decisions:");
+        for (kind, count) in &decision_counts {
+            println!("  {kind:<14} {count}");
+        }
+    }
+    if !actions.is_empty() {
+        let mut outcomes: BTreeMap<&'static str, u64> = BTreeMap::new();
+        let mut unresolved = 0u64;
+        for info in actions.values() {
+            match info.outcome {
+                Some(o) => *outcomes.entry(o).or_insert(0) += 1,
+                None => unresolved += 1,
+            }
+        }
+        let retried = actions.values().filter(|i| i.attempts > 1).count();
+        println!("actions: {} issued ({retried} retried)", actions.len());
+        for (outcome, count) in &outcomes {
+            println!("  {outcome:<14} {count}");
+        }
+        if unresolved > 0 {
+            println!("  UNRESOLVED     {unresolved} (trace truncated or ledger leak)");
+        }
+    }
+    println!("faults injected: {fault_count}");
+}

@@ -7,11 +7,18 @@
 //! allows, so the rebalancing takes multiple rounds. This binary runs the
 //! Listing-1 planner with the calibrated RTFDemo model and prints every
 //! round.
+//!
+//! Usage: `fig2 [--seed N] [--json PATH]`.
 
-use roia_bench::{calibrated_model, default_campaign};
+use roia_bench::{calibrated_model, cli, default_campaign, json};
 
 fn main() {
-    let (_cal, model) = calibrated_model(&default_campaign());
+    let args = cli::parse();
+    let mut campaign = default_campaign();
+    if let Some(seed) = args.seed {
+        campaign.seed = seed;
+    }
+    let (_cal, model) = calibrated_model(&campaign);
 
     let initial = [25u32, 12, 8];
     println!("=== Fig. 2: workload-aware migration, initial distribution {initial:?} ===\n");
@@ -55,6 +62,30 @@ fn main() {
         plan2.balanced,
         plan2.rounds.len()
     );
+
+    let doc = json::object(&[
+        ("experiment", json::string("fig2")),
+        ("light_balanced", json::string(&plan.balanced.to_string())),
+        ("light_rounds", json::uint(plan.rounds.len() as u64)),
+        ("heavy_balanced", json::string(&plan2.balanced.to_string())),
+        ("heavy_rounds", json::uint(plan2.rounds.len() as u64)),
+        (
+            "heavy_final_distribution",
+            json::array(
+                &plan2
+                    .rounds
+                    .last()
+                    .map(|r| {
+                        r.resulting_users
+                            .iter()
+                            .map(|&u| json::uint(u as u64))
+                            .collect::<Vec<_>>()
+                    })
+                    .unwrap_or_default(),
+            ),
+        ),
+    ]);
+    cli::write_json_doc(args.json.as_deref(), None, &doc);
 }
 
 fn print_plan(plan: &roia_model::MigrationPlan) {

@@ -6,13 +6,19 @@
 //! (quadratic for `t_ua`/`t_aoi`, linear otherwise), and prints the
 //! measured samples next to the fitted approximation functions for the four
 //! parameters the figure shows.
+//!
+//! Usage: `fig4 [--seed N] [--json PATH]`.
 
-use roia_bench::{calibrated_model, default_campaign};
+use roia_bench::{calibrated_model, cli, default_campaign, json};
 use roia_model::ParamKind;
 use roia_sim::{table, Series};
 
 fn main() {
-    let campaign = default_campaign();
+    let args = cli::parse();
+    let mut campaign = default_campaign();
+    if let Some(seed) = args.seed {
+        campaign.seed = seed;
+    }
     let (calibration, _model) = calibrated_model(&campaign);
 
     println!("=== Fig. 4: fitted approximation functions (CPU time per entity, µs) ===\n");
@@ -77,4 +83,37 @@ fn main() {
         fa.cost_fn.eval(300.0) * 1e6,
         ua.cost_fn.eval(300.0) * 1e6
     );
+
+    let fit_rows: Vec<String> = [
+        ParamKind::UaDser,
+        ParamKind::Ua,
+        ParamKind::Aoi,
+        ParamKind::Su,
+    ]
+    .iter()
+    .map(|&kind| {
+        let fit = calibration.fit_for(kind).unwrap();
+        json::object(&[
+            ("param", json::string(kind.symbol())),
+            (
+                "coefficients",
+                json::array(
+                    &fit.cost_fn
+                        .coefficients()
+                        .iter()
+                        .map(|&c| json::num(c))
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+            ("r_squared", json::num(fit.fit.r_squared)),
+            ("rmse", json::num(fit.fit.rmse)),
+        ])
+    })
+    .collect();
+    let doc = json::object(&[
+        ("experiment", json::string("fig4")),
+        ("seed", json::uint(campaign.seed)),
+        ("fits", json::array(&fit_rows)),
+    ]);
+    cli::write_json_doc(args.json.as_deref(), None, &doc);
 }

@@ -5,12 +5,19 @@
 //! figure's dashed line) for every replica count up to `l_max` (Eq. (3)),
 //! plus the paper's §V-A scalars: the single-server capacity (235 in the
 //! paper), the trigger (188), and l_max for c = 0.15 (8) and c = 0.05 (48).
+//!
+//! Usage: `fig5 [--seed N] [--json PATH]`.
 
-use roia_bench::{calibrated_model, default_campaign};
+use roia_bench::{calibrated_model, cli, default_campaign, json};
 use roia_sim::{table, Series};
 
 fn main() {
-    let (_calibration, model) = calibrated_model(&default_campaign());
+    let args = cli::parse();
+    let mut campaign = default_campaign();
+    if let Some(seed) = args.seed {
+        campaign.seed = seed;
+    }
+    let (_calibration, model) = calibrated_model(&campaign);
 
     let limit = model.max_replicas(0);
     let mut cap = Series::new("max_users");
@@ -46,4 +53,37 @@ fn main() {
         "l_max(c = 1.0)                   = {}   (paper: 1, 'values close or equal to 1 lead to l_max = 1')",
         strict.max_replicas(0).l_max
     );
+
+    let capacity_rows: Vec<String> = limit
+        .capacity_per_replica
+        .iter()
+        .enumerate()
+        .map(|(i, &users)| {
+            json::object(&[
+                ("replicas", json::uint(i as u64 + 1)),
+                ("max_users", json::uint(users as u64)),
+                (
+                    "trigger",
+                    json::uint((users as f64 * model.trigger_fraction).floor() as u64),
+                ),
+            ])
+        })
+        .collect();
+    let doc = json::object(&[
+        ("experiment", json::string("fig5")),
+        ("seed", json::uint(campaign.seed)),
+        ("n_max_1", json::uint(limit.single_server_capacity as u64)),
+        (
+            "trigger_80pct",
+            json::uint(model.replication_trigger(1, 0) as u64),
+        ),
+        ("l_max_c015", json::uint(limit.l_max as u64)),
+        ("l_max_c005", json::uint(loose.max_replicas(0).l_max as u64)),
+        (
+            "l_max_c100",
+            json::uint(strict.max_replicas(0).l_max as u64),
+        ),
+        ("capacity_per_replica", json::array(&capacity_rows)),
+    ]);
+    cli::write_json_doc(args.json.as_deref(), None, &doc);
 }

@@ -6,13 +6,19 @@
 //! linear approximation functions, and prints both curves. The paper's
 //! observation to reproduce: both grow almost linearly and initiating is
 //! more expensive than receiving.
+//!
+//! Usage: `fig6 [--seed N] [--json PATH]`.
 
-use roia_bench::default_campaign;
+use roia_bench::{cli, default_campaign, json};
 use roia_model::{calibrate, ParamKind};
 use roia_sim::{measure_migration_params, table, Series};
 
 fn main() {
-    let campaign = default_campaign();
+    let args = cli::parse();
+    let mut campaign = default_campaign();
+    if let Some(seed) = args.seed {
+        campaign.seed = seed;
+    }
     let measurements = measure_migration_params(&campaign);
     let calibration = calibrate(&measurements).expect("migration params sampled");
 
@@ -46,4 +52,33 @@ fn main() {
         rcv.cost_fn.eval(n) * 1e3,
         ini.cost_fn.eval(n) > rcv.cost_fn.eval(n)
     );
+
+    let fit_rows: Vec<String> = [ParamKind::MigIni, ParamKind::MigRcv]
+        .iter()
+        .map(|&kind| {
+            let fit = calibration.fit_for(kind).unwrap();
+            json::object(&[
+                ("param", json::string(kind.symbol())),
+                (
+                    "coefficients",
+                    json::array(
+                        &fit.cost_fn
+                            .coefficients()
+                            .iter()
+                            .map(|&c| json::num(c))
+                            .collect::<Vec<_>>(),
+                    ),
+                ),
+                ("r_squared", json::num(fit.fit.r_squared)),
+            ])
+        })
+        .collect();
+    let doc = json::object(&[
+        ("experiment", json::string("fig6")),
+        ("seed", json::uint(campaign.seed)),
+        ("ini_cost_ms_at_200", json::num(ini.cost_fn.eval(n) * 1e3)),
+        ("rcv_cost_ms_at_200", json::num(rcv.cost_fn.eval(n) * 1e3)),
+        ("fits", json::array(&fit_rows)),
+    ]);
+    cli::write_json_doc(args.json.as_deref(), None, &doc);
 }

@@ -11,13 +11,20 @@
 //!
 //! Also reprints the worked example of §V-A: 180 users at 35 ms vs 80 users
 //! at 15 ms ⇒ RTF-RMS performs min{x_ini, x_rcv} migrations per second.
+//!
+//! Usage: `fig7 [--seed N] [--json PATH]`.
 
-use roia_bench::{calibrated_model, default_campaign};
+use roia_bench::{calibrated_model, cli, default_campaign, json};
 use roia_model::{migration_curve, x_max_from_tick, MigrationSide, ZoneLoad};
 use roia_sim::{table, Series};
 
 fn main() {
-    let (_cal, model) = calibrated_model(&default_campaign());
+    let args = cli::parse();
+    let mut campaign = default_campaign();
+    if let Some(seed) = args.seed {
+        campaign.seed = seed;
+    }
+    let (_cal, model) = calibrated_model(&campaign);
 
     // Invert the tick prediction: for each candidate active-user count `a`
     // on one of two replicas (zone population n = 2a), Eq. (4) gives the
@@ -61,4 +68,24 @@ fn main() {
         "  after rebalancing (A: 160 @ 30 ms): min{{{ini_a2}, {rcv_b2}}} = {} (paper: 5)",
         ini_a2.min(rcv_b2)
     );
+
+    let curve_rows: Vec<String> = curve
+        .iter()
+        .map(|p| {
+            json::object(&[
+                ("tick_ms", json::num(p.tick * 1e3)),
+                ("x_max_ini", json::uint(p.x_ini as u64)),
+                ("x_max_rcv", json::uint(p.x_rcv as u64)),
+            ])
+        })
+        .collect();
+    let doc = json::object(&[
+        ("experiment", json::string("fig7")),
+        ("seed", json::uint(campaign.seed)),
+        ("worked_example_ini_a", json::uint(ini_a as u64)),
+        ("worked_example_rcv_b", json::uint(rcv_b as u64)),
+        ("worked_example_min", json::uint(ini_a.min(rcv_b) as u64)),
+        ("curve", json::array(&curve_rows)),
+    ]);
+    cli::write_json_doc(args.json.as_deref(), None, &doc);
 }

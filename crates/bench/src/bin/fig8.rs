@@ -8,11 +8,16 @@
 //! user count, active servers and average CPU load — and the §V-B
 //! acceptance criterion: the tick duration never exceeded 40 ms.
 
-use roia_bench::{calibrated_model, default_campaign, json, U_THRESHOLD};
-use roia_sim::{run_session, table, PaperSession, Series, SessionConfig};
+//!
+//! Usage: `fig8 [--seed N] [--ticks N] [--json PATH] [--trace PATH]
+//! [--metrics PATH]`.
+
+use roia_bench::{calibrated_model, cli, default_campaign, json, U_THRESHOLD};
+use roia_sim::{run_session, table, ClusterConfig, PaperSession, Series, SessionConfig};
 use rtf_rms::{ModelDriven, ModelDrivenConfig};
 
 fn main() {
+    let args = cli::parse();
     let (_cal, model) = calibrated_model(&default_campaign());
     println!(
         "calibrated: n_max(1) = {}, trigger = {}, l_max = {}\n",
@@ -22,14 +27,25 @@ fn main() {
     );
 
     let workload = PaperSession::default();
-    let ticks = (workload.duration_secs() / 0.040).ceil() as u64;
+    let ticks = args
+        .ticks
+        .unwrap_or_else(|| (workload.duration_secs() / 0.040).ceil() as u64);
     let config = SessionConfig {
         ticks,
         max_churn_per_tick: 2,
+        cluster: ClusterConfig {
+            seed: args.seed.unwrap_or(42),
+            ..ClusterConfig::default()
+        },
+        tracer: cli::tracer(args.trace.as_deref()),
         ..SessionConfig::default()
     };
     let policy = Box::new(ModelDriven::new(model, ModelDrivenConfig::default()));
     let report = run_session(config, policy, &workload);
+    if let Some(path) = &args.trace {
+        println!("wrote {}", path.display());
+    }
+    cli::write_metrics(args.metrics.as_deref(), &report.metrics);
 
     // Downsample to ~5-second resolution for the printed series.
     let mut users = Series::new("users");
@@ -107,6 +123,5 @@ fn main() {
         ("total_cost", json::num(report.total_cost)),
         ("series", json::array(&series_rows)),
     ]);
-    std::fs::write("BENCH_fig8.json", doc + "\n").expect("write BENCH_fig8.json");
-    println!("wrote BENCH_fig8.json");
+    cli::write_json_doc(args.json.as_deref(), Some("BENCH_fig8.json"), &doc);
 }

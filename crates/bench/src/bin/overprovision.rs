@@ -8,15 +8,20 @@
 //! Runs the §V-B session three ways: statically provisioned for the peak
 //! (what a cautious provider does), statically provisioned for the average
 //! (what a cheap provider does), and managed by the model-driven RTF-RMS.
+//!
+//! Usage: `overprovision [--seed N] [--ticks N] [--json PATH]`.
 
-use roia_bench::{calibrated_model, default_campaign};
+use roia_bench::{calibrated_model, cli, default_campaign, json};
 use roia_sim::{drive, run_session, Cluster, ClusterConfig, PaperSession, SessionConfig};
 use rtf_rms::{ModelDriven, ModelDrivenConfig};
 
 fn main() {
+    let args = cli::parse();
     let (_cal, model) = calibrated_model(&default_campaign());
     let workload = PaperSession::default(); // peak 300, 5 minutes
-    let ticks = (workload.duration_secs() / 0.040).ceil() as u64;
+    let ticks = args
+        .ticks
+        .unwrap_or_else(|| (workload.duration_secs() / 0.040).ceil() as u64);
 
     // How many servers does the peak need? Provision like a cautious
     // provider: the peak must sit below the 80 % comfort line (the same
@@ -36,7 +41,11 @@ fn main() {
     // Static provisioning runs: fixed servers, no controller.
     let mut static_runs = Vec::new();
     for (label, servers) in [("static@peak", peak_servers), ("static@avg", avg_servers)] {
-        let mut cluster = Cluster::new(ClusterConfig::default(), servers.max(1));
+        let cluster_config = ClusterConfig {
+            seed: args.seed.unwrap_or(42),
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::new(cluster_config, servers.max(1));
         for _ in 0..ticks {
             drive(&mut cluster, &workload, 0.040, 2);
             cluster.step();
@@ -48,6 +57,10 @@ fn main() {
     let config = SessionConfig {
         ticks,
         max_churn_per_tick: 2,
+        cluster: ClusterConfig {
+            seed: args.seed.unwrap_or(42),
+            ..ClusterConfig::default()
+        },
         ..SessionConfig::default()
     };
     let policy = Box::new(ModelDriven::new(model, ModelDrivenConfig::default()));
@@ -83,4 +96,30 @@ fn main() {
     );
     println!("static@avg is cheaper but violates whenever the crowd exceeds its fixed");
     println!("capacity. The model-driven controller gets the best of both.");
+
+    let mut rows: Vec<String> = static_runs
+        .iter()
+        .map(|(label, servers, violations, cost)| {
+            json::object(&[
+                ("strategy", json::string(label)),
+                ("servers", json::uint(*servers as u64)),
+                ("violations", json::uint(*violations)),
+                ("total_cost", json::num(*cost)),
+                ("cost_vs_managed", json::num(cost / managed.total_cost)),
+            ])
+        })
+        .collect();
+    rows.push(json::object(&[
+        ("strategy", json::string("model-driven")),
+        ("servers", json::uint(managed.peak_servers as u64)),
+        ("violations", json::uint(managed.violations)),
+        ("total_cost", json::num(managed.total_cost)),
+        ("cost_vs_managed", json::num(1.0)),
+    ]));
+    let doc = json::object(&[
+        ("experiment", json::string("overprovision")),
+        ("seed", json::uint(args.seed.unwrap_or(42))),
+        ("strategies", json::array(&rows)),
+    ]);
+    cli::write_json_doc(args.json.as_deref(), None, &doc);
 }

@@ -11,35 +11,50 @@
 //!   workload,
 //! * the model-driven policy keeps the tick duration under U throughout.
 
-use roia_bench::{calibrated_model, default_campaign};
-use roia_sim::{run_session, PaperSession, SessionConfig, SessionReport};
+//!
+//! Usage: `policy_compare [--seed N] [--ticks N] [--json PATH]` — the
+//! seed and length apply identically to every arm so the comparison
+//! stays paired.
+
+use roia_bench::{calibrated_model, cli, default_campaign, json};
+use roia_sim::{run_session, ClusterConfig, PaperSession, SessionConfig, SessionReport};
 use rtf_rms::{
     BandwidthProportional, ModelDriven, ModelDrivenConfig, Policy, StaticInterval, StaticThreshold,
 };
 
-fn session(policy: Box<dyn Policy>) -> SessionReport {
+fn session(policy: Box<dyn Policy>, args: &cli::CommonArgs) -> SessionReport {
     let workload = PaperSession::default();
-    let ticks = (workload.duration_secs() / 0.040).ceil() as u64;
+    let ticks = args
+        .ticks
+        .unwrap_or_else(|| (workload.duration_secs() / 0.040).ceil() as u64);
     let config = SessionConfig {
         ticks,
         max_churn_per_tick: 2,
+        cluster: ClusterConfig {
+            seed: args.seed.unwrap_or(42),
+            ..ClusterConfig::default()
+        },
         ..SessionConfig::default()
     };
     run_session(config, policy, &workload)
 }
 
 fn main() {
+    let args = cli::parse();
     let (_cal, model) = calibrated_model(&default_campaign());
     let n1 = model.max_users(1, 0);
 
     let reports: Vec<SessionReport> = vec![
-        session(Box::new(ModelDriven::new(
-            model.clone(),
-            ModelDrivenConfig::default(),
-        ))),
-        session(Box::new(StaticInterval::new(1, n1))),
-        session(Box::new(StaticThreshold::new(n1))),
-        session(Box::new(BandwidthProportional::new(2, n1))),
+        session(
+            Box::new(ModelDriven::new(
+                model.clone(),
+                ModelDrivenConfig::default(),
+            )),
+            &args,
+        ),
+        session(Box::new(StaticInterval::new(1, n1)), &args),
+        session(Box::new(StaticThreshold::new(n1)), &args),
+        session(Box::new(BandwidthProportional::new(2, n1)), &args),
     ];
 
     println!("=== Policy comparison on the §V-B session (peak 300 users, 5 min) ===\n");
@@ -87,4 +102,27 @@ fn main() {
         "model-driven violations: {} (paper: none during the managed session)",
         model_driven.violations
     );
+
+    let rows: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            json::object(&[
+                ("policy", json::string(r.policy)),
+                ("violations", json::uint(r.violations)),
+                ("violation_rate", json::num(r.violation_rate())),
+                ("migrations", json::uint(r.migrations)),
+                ("replicas_added", json::uint(r.replicas_added as u64)),
+                ("replicas_removed", json::uint(r.replicas_removed as u64)),
+                ("substitutions", json::uint(r.substitutions as u64)),
+                ("peak_servers", json::uint(r.peak_servers as u64)),
+                ("total_cost", json::num(r.total_cost)),
+            ])
+        })
+        .collect();
+    let doc = json::object(&[
+        ("experiment", json::string("policy_compare")),
+        ("seed", json::uint(args.seed.unwrap_or(42))),
+        ("policies", json::array(&rows)),
+    ]);
+    cli::write_json_doc(args.json.as_deref(), None, &doc);
 }

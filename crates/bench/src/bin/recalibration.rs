@@ -11,16 +11,18 @@
 //! machine-readable summary to `BENCH_recalibration.json`.
 //!
 //! Usage: `recalibration [--seed N] [--ticks N] [--shift-tick N]
-//! [--npcs N] [--users N]`
+//! [--npcs N] [--users N] [--json PATH] [--trace PATH] [--metrics PATH]`
+//! — trace/metrics capture the *online* arm's session.
 
 use roia_autocal::CalibratorConfig;
-use roia_bench::{calibrated_model, default_campaign, json, U_THRESHOLD};
+use roia_bench::{calibrated_model, cli, default_campaign, json, U_THRESHOLD};
 use roia_sim::{
     run_drift_session, table, CalibrationMode, DriftReport, DriftSessionConfig, Ramp, RegimeShift,
     Series,
 };
 
 struct Args {
+    common: cli::CommonArgs,
     seed: u64,
     ticks: u64,
     shift_tick: u64,
@@ -29,29 +31,30 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args {
-        seed: 42,
-        ticks: 7_500,
-        shift_tick: 3_000,
-        npcs: 150,
-        users: 200,
-    };
-    let mut it = std::env::args().skip(1);
-    while let Some(flag) = it.next() {
-        let mut value = |name: &str| -> u64 {
-            it.next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| panic!("{name} needs a numeric value"))
+    let mut shift_tick = 3_000u64;
+    let mut npcs = 150u32;
+    let mut users = 200u32;
+    let common = cli::parse_with(|flag, value| {
+        let number = |name: &str, v: String| -> u64 {
+            v.parse()
+                .unwrap_or_else(|_| panic!("{name} needs a numeric value"))
         };
-        match flag.as_str() {
-            "--seed" => args.seed = value("--seed"),
-            "--ticks" => args.ticks = value("--ticks"),
-            "--shift-tick" => args.shift_tick = value("--shift-tick"),
-            "--npcs" => args.npcs = value("--npcs") as u32,
-            "--users" => args.users = value("--users") as u32,
-            other => panic!("unknown flag {other}"),
+        match flag {
+            "--shift-tick" => shift_tick = number("--shift-tick", value("--shift-tick")),
+            "--npcs" => npcs = number("--npcs", value("--npcs")) as u32,
+            "--users" => users = number("--users", value("--users")) as u32,
+            _ => return false,
         }
-    }
+        true
+    });
+    let args = Args {
+        seed: common.seed.unwrap_or(42),
+        ticks: common.ticks.unwrap_or(7_500),
+        shift_tick,
+        npcs,
+        users,
+        common,
+    };
     assert!(
         args.shift_tick < args.ticks,
         "the shift must land inside the session"
@@ -113,10 +116,13 @@ fn main() {
     println!("running frozen arm ({} ticks)...", args.ticks);
     let frozen = run_drift_session(make_config(CalibrationMode::Frozen), &workload);
     println!("running online arm ({} ticks)...", args.ticks);
-    let online = run_drift_session(
-        make_config(CalibrationMode::Online(CalibratorConfig::default())),
-        &workload,
-    );
+    let mut online_config = make_config(CalibrationMode::Online(CalibratorConfig::default()));
+    online_config.tracer = cli::tracer(args.common.trace.as_deref());
+    let online = run_drift_session(online_config, &workload);
+    if let Some(path) = &args.common.trace {
+        println!("wrote {}", path.display());
+    }
+    cli::write_metrics(args.common.metrics.as_deref(), &online.metrics);
 
     // Prediction error over time, averaged per ~10 s bucket.
     let bucket = 250usize;
@@ -199,6 +205,9 @@ fn main() {
         ),
         ("series", json::array(&series_rows)),
     ]);
-    std::fs::write("BENCH_recalibration.json", doc + "\n").expect("write BENCH_recalibration.json");
-    println!("wrote BENCH_recalibration.json");
+    cli::write_json_doc(
+        args.common.json.as_deref(),
+        Some("BENCH_recalibration.json"),
+        &doc,
+    );
 }

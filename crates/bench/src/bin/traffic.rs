@@ -8,12 +8,24 @@
 //! `roia_model::bandwidth`, and derives the bandwidth-constrained capacity
 //! that complements Eq. (2).
 
-use roia_bench::{calibrated_model, default_campaign};
+//!
+//! Usage: `traffic [--seed N] [--ticks N] [--json PATH]` — the seed
+//! feeds the measurement campaign's cost noise; `--ticks` sets the
+//! per-level sample window.
+
+use roia_bench::{calibrated_model, cli, default_campaign, json};
 use roia_model::{n_max_joint, ZoneLoad};
 use roia_sim::{measure_bandwidth_params, table, Series};
 
 fn main() {
-    let campaign = default_campaign();
+    let args = cli::parse();
+    let mut campaign = default_campaign();
+    if let Some(seed) = args.seed {
+        campaign.seed = seed;
+    }
+    if let Some(ticks) = args.ticks {
+        campaign.sample_ticks = ticks;
+    }
     println!(
         "measuring traffic rates ({}-bot campaign)...\n",
         campaign.max_users
@@ -71,4 +83,32 @@ fn main() {
         "300 users on 2 replicas = {:.1}x",
         bw.asymmetry(ZoneLoad::new(2, 300, 0))
     );
+
+    let capacity_rows: Vec<String> = [2.0f64, 5.0, 10.0, 50.0]
+        .iter()
+        .map(|&mbit| {
+            let cap = mbit * 1e6 / 8.0 * 0.040;
+            json::object(&[
+                ("uplink_mbit", json::num(mbit)),
+                ("n_max_bw", json::uint(bw.n_max_bandwidth(1, cap) as u64)),
+                ("n_max_cpu", json::uint(model.max_users(1, 0) as u64)),
+                (
+                    "n_max_joint",
+                    json::uint(
+                        n_max_joint(&model.params, &bw, 1, 0, model.u_threshold, cap) as u64,
+                    ),
+                ),
+            ])
+        })
+        .collect();
+    let doc = json::object(&[
+        ("experiment", json::string("traffic")),
+        ("seed", json::uint(campaign.seed)),
+        (
+            "asymmetry_300_users_2_replicas",
+            json::num(bw.asymmetry(ZoneLoad::new(2, 300, 0))),
+        ),
+        ("capacity_under_uplink_caps", json::array(&capacity_rows)),
+    ]);
+    cli::write_json_doc(args.json.as_deref(), None, &doc);
 }

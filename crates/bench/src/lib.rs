@@ -35,49 +35,13 @@ pub fn default_campaign() -> MeasureConfig {
 
 /// Minimal hand-rolled JSON emitters.
 ///
-/// The workspace deliberately carries no JSON dependency; bench outputs
-/// are flat arrays/objects of numbers and short ASCII strings, so
-/// rendering them by hand is simpler than gating a crate.
+/// The workspace deliberately carries no JSON dependency. Bench used to
+/// keep its own emitters here; they now live in [`roia_obs::export`] so
+/// traces, metric exports and figure outputs share one canonical
+/// implementation. Re-exported under the historical name for the
+/// binaries.
 pub mod json {
-    /// A JSON number (non-finite values render as `null`).
-    pub fn num(v: f64) -> String {
-        if v.is_finite() {
-            format!("{v}")
-        } else {
-            "null".to_string()
-        }
-    }
-
-    /// A JSON string with quote/backslash/control escaping.
-    pub fn string(s: &str) -> String {
-        let mut out = String::with_capacity(s.len() + 2);
-        out.push('"');
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out.push('"');
-        out
-    }
-
-    /// `{"k": v, ...}` from already-rendered values.
-    pub fn object(fields: &[(&str, String)]) -> String {
-        let body: Vec<String> = fields
-            .iter()
-            .map(|(k, v)| format!("{}: {}", string(k), v))
-            .collect();
-        format!("{{{}}}", body.join(", "))
-    }
-
-    /// `[...]` from already-rendered values.
-    pub fn array(items: &[String]) -> String {
-        format!("[{}]", items.join(", "))
-    }
+    pub use roia_obs::export::{array, int, num, object, string, uint};
 
     #[cfg(test)]
     mod tests {
@@ -95,6 +59,125 @@ pub mod json {
                 doc,
                 "{\"name\": \"fig\\\"8\\\"\", \"worst\": 1.25, \"bad\": null, \"series\": [1, 2]}"
             );
+        }
+
+        #[test]
+        fn emitted_documents_parse_back() {
+            let doc = object(&[
+                ("experiment", string("fig8")),
+                ("violations", uint(3)),
+                ("series", array(&[num(1.0), num(2.5)])),
+            ]);
+            let map = roia_obs::export::parse_object(&doc).expect("round-trips");
+            assert_eq!(map["experiment"].as_str(), Some("fig8"));
+            assert_eq!(map["violations"].as_u64(), Some(3));
+            assert_eq!(map["series"].as_arr().map(|a| a.len()), Some(2));
+        }
+    }
+}
+
+/// Shared command-line handling for the figure binaries.
+///
+/// Every binary accepts the same core flags; binaries with extra knobs
+/// (e.g. `recalibration --shift-tick`) pass a handler to
+/// [`cli::parse_with`]:
+///
+/// * `--seed N` — RNG seed for the session/campaign,
+/// * `--ticks N` — session length override,
+/// * `--plan NAME` — named scenario selector (chaos plans),
+/// * `--json PATH` — write the machine-readable summary here,
+/// * `--trace PATH` — record a JSONL telemetry trace of the session
+///   (replay with `explain`),
+/// * `--metrics PATH` — write the Prometheus metrics snapshot here.
+pub mod cli {
+    use std::path::{Path, PathBuf};
+
+    /// Flags every figure binary understands.
+    #[derive(Debug, Default, Clone)]
+    pub struct CommonArgs {
+        /// `--seed N`: RNG seed override.
+        pub seed: Option<u64>,
+        /// `--ticks N`: session-length override.
+        pub ticks: Option<u64>,
+        /// `--plan NAME`: named scenario selector.
+        pub plan: Option<String>,
+        /// `--json PATH`: machine-readable summary destination.
+        pub json: Option<PathBuf>,
+        /// `--trace PATH`: JSONL telemetry trace destination.
+        pub trace: Option<PathBuf>,
+        /// `--metrics PATH`: Prometheus text snapshot destination.
+        pub metrics: Option<PathBuf>,
+    }
+
+    /// Parses the process arguments. Flags not in [`CommonArgs`] are
+    /// offered to `extra(flag, value)` — it pulls the flag's value
+    /// through the callback as needed and returns `true` when it
+    /// consumed the flag. Panics (with the offending flag) otherwise.
+    pub fn parse_with(
+        mut extra: impl FnMut(&str, &mut dyn FnMut(&str) -> String) -> bool,
+    ) -> CommonArgs {
+        let mut out = CommonArgs::default();
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| -> String {
+                it.next().unwrap_or_else(|| panic!("{name} needs a value"))
+            };
+            let number = |name: &str, v: String| -> u64 {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("{name} needs a numeric value"))
+            };
+            match flag.as_str() {
+                "--seed" => out.seed = Some(number("--seed", value("--seed"))),
+                "--ticks" => out.ticks = Some(number("--ticks", value("--ticks"))),
+                "--plan" => out.plan = Some(value("--plan")),
+                "--json" => out.json = Some(PathBuf::from(value("--json"))),
+                "--trace" => out.trace = Some(PathBuf::from(value("--trace"))),
+                "--metrics" => out.metrics = Some(PathBuf::from(value("--metrics"))),
+                other => {
+                    if !extra(other, &mut value) {
+                        panic!("unknown flag {other}");
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// [`parse_with`] accepting only the common flags.
+    pub fn parse() -> CommonArgs {
+        parse_with(|_, _| false)
+    }
+
+    /// Writes a JSON document where the user asked (`--json`), or to the
+    /// binary's historical default path, or nowhere when neither is
+    /// given. Announces the written file on stdout.
+    pub fn write_json_doc(flag: Option<&Path>, default_path: Option<&str>, doc: &str) {
+        let path: Option<PathBuf> = flag
+            .map(Path::to_path_buf)
+            .or_else(|| default_path.map(PathBuf::from));
+        if let Some(path) = path {
+            let mut body = doc.to_string();
+            body.push('\n');
+            std::fs::write(&path, body).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+            println!("wrote {}", path.display());
+        }
+    }
+
+    /// Writes the Prometheus snapshot if `--metrics` was given.
+    pub fn write_metrics(flag: Option<&Path>, registry: &roia_obs::MetricsRegistry) {
+        if let Some(path) = flag {
+            std::fs::write(path, registry.prometheus())
+                .unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+            println!("wrote {}", path.display());
+        }
+    }
+
+    /// Builds a JSONL tracer if `--trace` was given (disabled otherwise).
+    pub fn tracer(flag: Option<&Path>) -> roia_obs::Tracer {
+        match flag {
+            Some(path) => roia_obs::Tracer::jsonl(path)
+                .unwrap_or_else(|e| panic!("open trace {}: {e}", path.display())),
+            None => roia_obs::Tracer::disabled(),
         }
     }
 }

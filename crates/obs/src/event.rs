@@ -1,0 +1,762 @@
+//! Typed trace records: tick spans, control rounds, the decision audit
+//! trail, migration lifecycles, chaos faults and calibration events.
+//!
+//! Events carry only primitives (`u64` ticks and causality ids, `u32`
+//! server/zone ids, `&'static str` vocabulary) so `roia-obs` stays a
+//! zero-dependency leaf crate: emitters translate their `NodeId` /
+//! `ZoneId` / enum types at the call site. Every event encodes to one
+//! flat JSON line ([`TraceEvent::to_json`]) and decodes back
+//! ([`TraceEvent::from_json`]), which is what the JSONL sink writes and
+//! the `explain` replay tool reads.
+//!
+//! # Causality
+//!
+//! The audit trail is linked by two ids:
+//!
+//! - `cause` — the control-round tick that produced a decision. A
+//!   [`TraceEvent::Decision`], its per-pair
+//!   [`TraceEvent::MigrationBudget`] evaluations and every
+//!   [`TraceEvent::ActionIssued`] spawned by that round share it.
+//! - `action_id` — the controller ledger id of one issued action.
+//!   [`TraceEvent::ActionResolved`], [`TraceEvent::MigrationPlanned`]
+//!   and retries (`ActionIssued` with `attempt > 0`) share it.
+
+use crate::export::{self, JsonValue};
+use std::collections::BTreeMap;
+
+/// Number of per-task cost slots in a tick span (mirrors
+/// `rtf_core::timer::TASK_COUNT` without depending on it).
+pub const TASK_SLOTS: usize = 10;
+
+/// One structured telemetry record. See the module docs for the
+/// causality scheme; field meanings follow the paper's notation
+/// (`l` replicas, `n` users, `m` NPCs, `T` tick duration).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// One server tick: duration, per-task child timings and load.
+    TickSpan {
+        /// Simulation tick (monotonic sim-time).
+        tick: u64,
+        /// Server (node) id.
+        server: u32,
+        /// Zone the server replicates.
+        zone: u32,
+        /// Total tick duration in seconds.
+        duration_s: f64,
+        /// Per-`TaskKind` child timings in seconds, indexed like
+        /// `TaskKind::ALL`.
+        per_task: [f64; TASK_SLOTS],
+        /// Users homed on this server.
+        active_users: u32,
+        /// Shadow (replicated) users.
+        shadow_users: u32,
+        /// NPCs simulated by this server.
+        npcs: u32,
+        /// Migrations this server initiated during the tick.
+        migrations_initiated: u32,
+        /// Migrations this server received during the tick.
+        migrations_received: u32,
+    },
+    /// A controller round ran for a zone.
+    ControlRound {
+        /// Simulation tick — also the `cause` id of everything this
+        /// round produced.
+        tick: u64,
+        /// Zone under control.
+        zone: u32,
+        /// Replica count observed in the snapshot.
+        servers: u32,
+        /// Total users observed in the snapshot.
+        users: u32,
+        /// Actions issued by this round (including follow-ups).
+        issued: u32,
+    },
+    /// A model-driven policy decision with its Eq. 1–5 inputs plugged
+    /// in — the "why" record of the audit trail.
+    Decision {
+        /// Simulation tick of the control round (the `cause` id).
+        tick: u64,
+        /// Zone decided on.
+        zone: u32,
+        /// What the policy chose: `add_replica`, `substitute`,
+        /// `scale_down`, `balance` or `hold`.
+        kind: &'static str,
+        /// Version of the scalability model used (registry version).
+        model_version: u64,
+        /// Replicas `l` in the snapshot.
+        replicas: u32,
+        /// Users `n` in the snapshot.
+        users: u32,
+        /// NPCs `m` in the snapshot.
+        npcs: u32,
+        /// Eq. 4 predicted tick duration `T(l, n, m)` in seconds.
+        predicted_tick_s: f64,
+        /// Eq. 2 capacity `n_max(l, m)` at the current replica count.
+        n_max: u32,
+        /// Replication trigger (80% of `n_max`, §IV).
+        trigger: u32,
+        /// Eq. 3 replica ceiling `l_max(m)`.
+        l_max: u32,
+    },
+    /// One Eq. 5 migration-budget evaluation for a donor→receiver pair.
+    MigrationBudget {
+        /// Simulation tick of the evaluation.
+        tick: u64,
+        /// Control-round tick that requested it (the `cause` id).
+        cause: u64,
+        /// Donor server id.
+        from: u32,
+        /// Receiver server id.
+        to: u32,
+        /// Donor's observed tick duration in seconds.
+        from_tick_s: f64,
+        /// Receiver's observed tick duration in seconds.
+        to_tick_s: f64,
+        /// Eq. 5 initiate-side budget `x_max_ini` (after hedging).
+        x_max_ini: u32,
+        /// Eq. 5 receive-side budget `x_max_rcv` (after hedging).
+        x_max_rcv: u32,
+        /// Users actually granted to move on this pair.
+        granted: u32,
+    },
+    /// The controller issued (or re-issued) an action.
+    ActionIssued {
+        /// Simulation tick of issue.
+        tick: u64,
+        /// Control-round tick whose decision spawned it.
+        cause: u64,
+        /// Controller ledger id linking resolution and retries.
+        action_id: u64,
+        /// Action kind: `migrate`, `add_replica`, `substitute`,
+        /// `remove_replica`.
+        kind: &'static str,
+        /// Retry attempt, 0 for the first issue.
+        attempt: u32,
+        /// Source server id, or -1 when not applicable.
+        from: i64,
+        /// Destination server id, or -1 when not applicable.
+        to: i64,
+        /// Users moved (migrations), else 0.
+        users: u32,
+    },
+    /// A previously issued action reached a terminal outcome.
+    ActionResolved {
+        /// Simulation tick of resolution.
+        tick: u64,
+        /// Ledger id of the resolved action.
+        action_id: u64,
+        /// Terminal outcome name (`succeeded`, `failed`, …).
+        outcome: &'static str,
+    },
+    /// The cluster scheduled the user transfers for a migrate action.
+    MigrationPlanned {
+        /// Simulation tick of planning.
+        tick: u64,
+        /// Ledger id of the migrate/substitute action, or 0 for
+        /// internally scheduled rebalances.
+        action_id: u64,
+        /// Donor server id.
+        from: u32,
+        /// Receiver server id.
+        to: u32,
+        /// Users scheduled to move.
+        users: u32,
+    },
+    /// Users finished transferring onto a server this tick.
+    MigrationSettled {
+        /// Simulation tick of settlement.
+        tick: u64,
+        /// Receiving server id.
+        server: u32,
+        /// Users that arrived during the tick.
+        arrived: u32,
+    },
+    /// The chaos engine injected a fault.
+    FaultInjected {
+        /// Simulation tick of injection.
+        tick: u64,
+        /// Fault kind (`crash_most_loaded`, `isolate`, …).
+        fault: &'static str,
+        /// Target server id, or -1 for cluster-wide faults.
+        server: i64,
+    },
+    /// A timed fault reverted.
+    FaultReverted {
+        /// Simulation tick of reversion.
+        tick: u64,
+        /// Reverted fault kind (`unisolate`, `unstraggle`).
+        fault: &'static str,
+        /// Target server id, or -1 when not applicable.
+        server: i64,
+    },
+    /// A server finished booting and joined the zone.
+    ServerBooted {
+        /// Simulation tick the server became ready.
+        tick: u64,
+        /// New server id.
+        server: u32,
+    },
+    /// A server crashed (fault or supervisor verdict).
+    ServerCrashed {
+        /// Simulation tick of the crash.
+        tick: u64,
+        /// Crashed server id.
+        server: u32,
+    },
+    /// A server was removed by a scale-down.
+    ServerRemoved {
+        /// Simulation tick of removal.
+        tick: u64,
+        /// Removed server id.
+        server: u32,
+    },
+    /// The online calibrator ran a refit.
+    Refit {
+        /// Simulation tick of the refit.
+        tick: u64,
+        /// Why it ran: `seed`, `cadence` or `drift`.
+        reason: &'static str,
+        /// Publish outcome: `published`, `rejected_quality`,
+        /// `cooldown` or `unchanged`.
+        outcome: &'static str,
+        /// Model version after the refit.
+        version: u64,
+        /// Number of parameters the refit updated.
+        params: u32,
+    },
+    /// The model registry atomically swapped in a new version.
+    RegistrySwap {
+        /// Simulation tick of the swap.
+        tick: u64,
+        /// Newly published version.
+        version: u64,
+        /// Refit reason that produced it.
+        reason: &'static str,
+    },
+}
+
+/// Known vocabulary for `&'static str` event fields, so decoded events
+/// can round-trip without allocation. Unknown strings map to
+/// `"unknown"`.
+const VOCAB: &[&str] = &[
+    "migrate",
+    "add_replica",
+    "substitute",
+    "remove_replica",
+    "scale_down",
+    "balance",
+    "hold",
+    "pending",
+    "succeeded",
+    "rejected",
+    "failed",
+    "timed_out",
+    "escalated",
+    "abandoned",
+    "crash_most_loaded",
+    "crash_nth",
+    "isolate",
+    "straggle",
+    "set_boot_failure_rate",
+    "set_link_loss",
+    "unisolate",
+    "unstraggle",
+    "seed",
+    "cadence",
+    "drift",
+    "published",
+    "rejected_quality",
+    "cooldown",
+    "unchanged",
+];
+
+/// Map a decoded string onto the static vocabulary (`"unknown"` if
+/// absent).
+pub fn intern(s: &str) -> &'static str {
+    VOCAB
+        .iter()
+        .find(|v| **v == s)
+        .copied()
+        .unwrap_or("unknown")
+}
+
+impl TraceEvent {
+    /// Stable discriminator written as the `"ev"` field of the JSON
+    /// encoding.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::TickSpan { .. } => "tick_span",
+            TraceEvent::ControlRound { .. } => "control_round",
+            TraceEvent::Decision { .. } => "decision",
+            TraceEvent::MigrationBudget { .. } => "migration_budget",
+            TraceEvent::ActionIssued { .. } => "action_issued",
+            TraceEvent::ActionResolved { .. } => "action_resolved",
+            TraceEvent::MigrationPlanned { .. } => "migration_planned",
+            TraceEvent::MigrationSettled { .. } => "migration_settled",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::FaultReverted { .. } => "fault_reverted",
+            TraceEvent::ServerBooted { .. } => "server_booted",
+            TraceEvent::ServerCrashed { .. } => "server_crashed",
+            TraceEvent::ServerRemoved { .. } => "server_removed",
+            TraceEvent::Refit { .. } => "refit",
+            TraceEvent::RegistrySwap { .. } => "registry_swap",
+        }
+    }
+
+    /// Simulation tick the event occurred at.
+    pub fn tick(&self) -> u64 {
+        match self {
+            TraceEvent::TickSpan { tick, .. }
+            | TraceEvent::ControlRound { tick, .. }
+            | TraceEvent::Decision { tick, .. }
+            | TraceEvent::MigrationBudget { tick, .. }
+            | TraceEvent::ActionIssued { tick, .. }
+            | TraceEvent::ActionResolved { tick, .. }
+            | TraceEvent::MigrationPlanned { tick, .. }
+            | TraceEvent::MigrationSettled { tick, .. }
+            | TraceEvent::FaultInjected { tick, .. }
+            | TraceEvent::FaultReverted { tick, .. }
+            | TraceEvent::ServerBooted { tick, .. }
+            | TraceEvent::ServerCrashed { tick, .. }
+            | TraceEvent::ServerRemoved { tick, .. }
+            | TraceEvent::Refit { tick, .. }
+            | TraceEvent::RegistrySwap { tick, .. } => *tick,
+        }
+    }
+
+    /// Encode as one flat JSON object (one JSONL line, no newline).
+    pub fn to_json(&self) -> String {
+        use export::{array, int, num, object, string, uint};
+        let ev = ("ev", string(self.name()));
+        match self {
+            TraceEvent::TickSpan {
+                tick,
+                server,
+                zone,
+                duration_s,
+                per_task,
+                active_users,
+                shadow_users,
+                npcs,
+                migrations_initiated,
+                migrations_received,
+            } => {
+                let tasks: Vec<String> = per_task.iter().map(|v| num(*v)).collect();
+                object(&[
+                    ev,
+                    ("tick", uint(*tick)),
+                    ("server", uint(*server as u64)),
+                    ("zone", uint(*zone as u64)),
+                    ("duration_s", num(*duration_s)),
+                    ("per_task", array(&tasks)),
+                    ("active_users", uint(*active_users as u64)),
+                    ("shadow_users", uint(*shadow_users as u64)),
+                    ("npcs", uint(*npcs as u64)),
+                    ("migrations_initiated", uint(*migrations_initiated as u64)),
+                    ("migrations_received", uint(*migrations_received as u64)),
+                ])
+            }
+            TraceEvent::ControlRound {
+                tick,
+                zone,
+                servers,
+                users,
+                issued,
+            } => object(&[
+                ev,
+                ("tick", uint(*tick)),
+                ("zone", uint(*zone as u64)),
+                ("servers", uint(*servers as u64)),
+                ("users", uint(*users as u64)),
+                ("issued", uint(*issued as u64)),
+            ]),
+            TraceEvent::Decision {
+                tick,
+                zone,
+                kind,
+                model_version,
+                replicas,
+                users,
+                npcs,
+                predicted_tick_s,
+                n_max,
+                trigger,
+                l_max,
+            } => object(&[
+                ev,
+                ("tick", uint(*tick)),
+                ("zone", uint(*zone as u64)),
+                ("kind", string(kind)),
+                ("model_version", uint(*model_version)),
+                ("replicas", uint(*replicas as u64)),
+                ("users", uint(*users as u64)),
+                ("npcs", uint(*npcs as u64)),
+                ("predicted_tick_s", num(*predicted_tick_s)),
+                ("n_max", uint(*n_max as u64)),
+                ("trigger", uint(*trigger as u64)),
+                ("l_max", uint(*l_max as u64)),
+            ]),
+            TraceEvent::MigrationBudget {
+                tick,
+                cause,
+                from,
+                to,
+                from_tick_s,
+                to_tick_s,
+                x_max_ini,
+                x_max_rcv,
+                granted,
+            } => object(&[
+                ev,
+                ("tick", uint(*tick)),
+                ("cause", uint(*cause)),
+                ("from", uint(*from as u64)),
+                ("to", uint(*to as u64)),
+                ("from_tick_s", num(*from_tick_s)),
+                ("to_tick_s", num(*to_tick_s)),
+                ("x_max_ini", uint(*x_max_ini as u64)),
+                ("x_max_rcv", uint(*x_max_rcv as u64)),
+                ("granted", uint(*granted as u64)),
+            ]),
+            TraceEvent::ActionIssued {
+                tick,
+                cause,
+                action_id,
+                kind,
+                attempt,
+                from,
+                to,
+                users,
+            } => object(&[
+                ev,
+                ("tick", uint(*tick)),
+                ("cause", uint(*cause)),
+                ("action_id", uint(*action_id)),
+                ("kind", string(kind)),
+                ("attempt", uint(*attempt as u64)),
+                ("from", int(*from)),
+                ("to", int(*to)),
+                ("users", uint(*users as u64)),
+            ]),
+            TraceEvent::ActionResolved {
+                tick,
+                action_id,
+                outcome,
+            } => object(&[
+                ev,
+                ("tick", uint(*tick)),
+                ("action_id", uint(*action_id)),
+                ("outcome", string(outcome)),
+            ]),
+            TraceEvent::MigrationPlanned {
+                tick,
+                action_id,
+                from,
+                to,
+                users,
+            } => object(&[
+                ev,
+                ("tick", uint(*tick)),
+                ("action_id", uint(*action_id)),
+                ("from", uint(*from as u64)),
+                ("to", uint(*to as u64)),
+                ("users", uint(*users as u64)),
+            ]),
+            TraceEvent::MigrationSettled {
+                tick,
+                server,
+                arrived,
+            } => object(&[
+                ev,
+                ("tick", uint(*tick)),
+                ("server", uint(*server as u64)),
+                ("arrived", uint(*arrived as u64)),
+            ]),
+            TraceEvent::FaultInjected {
+                tick,
+                fault,
+                server,
+            } => object(&[
+                ev,
+                ("tick", uint(*tick)),
+                ("fault", string(fault)),
+                ("server", int(*server)),
+            ]),
+            TraceEvent::FaultReverted {
+                tick,
+                fault,
+                server,
+            } => object(&[
+                ev,
+                ("tick", uint(*tick)),
+                ("fault", string(fault)),
+                ("server", int(*server)),
+            ]),
+            TraceEvent::ServerBooted { tick, server } => {
+                object(&[ev, ("tick", uint(*tick)), ("server", uint(*server as u64))])
+            }
+            TraceEvent::ServerCrashed { tick, server } => {
+                object(&[ev, ("tick", uint(*tick)), ("server", uint(*server as u64))])
+            }
+            TraceEvent::ServerRemoved { tick, server } => {
+                object(&[ev, ("tick", uint(*tick)), ("server", uint(*server as u64))])
+            }
+            TraceEvent::Refit {
+                tick,
+                reason,
+                outcome,
+                version,
+                params,
+            } => object(&[
+                ev,
+                ("tick", uint(*tick)),
+                ("reason", string(reason)),
+                ("outcome", string(outcome)),
+                ("version", uint(*version)),
+                ("params", uint(*params as u64)),
+            ]),
+            TraceEvent::RegistrySwap {
+                tick,
+                version,
+                reason,
+            } => object(&[
+                ev,
+                ("tick", uint(*tick)),
+                ("version", uint(*version)),
+                ("reason", string(reason)),
+            ]),
+        }
+    }
+
+    /// Decode one JSONL line produced by [`TraceEvent::to_json`].
+    /// Returns `None` for malformed lines or unknown event names.
+    pub fn from_json(line: &str) -> Option<TraceEvent> {
+        let map = export::parse_object(line)?;
+        Self::from_fields(&map)
+    }
+
+    /// Decode from an already-parsed flat object.
+    pub fn from_fields(map: &BTreeMap<String, JsonValue>) -> Option<TraceEvent> {
+        let u32_of = |k: &str| map.get(k)?.as_u64().map(|v| v as u32);
+        let u64_of = |k: &str| map.get(k)?.as_u64();
+        let i64_of = |k: &str| map.get(k)?.as_i64();
+        let f64_of = |k: &str| map.get(k)?.as_f64();
+        let str_of = |k: &str| map.get(k)?.as_str().map(intern);
+        match map.get("ev")?.as_str()? {
+            "tick_span" => {
+                let arr = map.get("per_task")?.as_arr()?;
+                let mut per_task = [0.0; TASK_SLOTS];
+                for (slot, item) in per_task.iter_mut().zip(arr.iter()) {
+                    *slot = item.as_f64().unwrap_or(0.0);
+                }
+                Some(TraceEvent::TickSpan {
+                    tick: u64_of("tick")?,
+                    server: u32_of("server")?,
+                    zone: u32_of("zone")?,
+                    duration_s: f64_of("duration_s")?,
+                    per_task,
+                    active_users: u32_of("active_users")?,
+                    shadow_users: u32_of("shadow_users")?,
+                    npcs: u32_of("npcs")?,
+                    migrations_initiated: u32_of("migrations_initiated")?,
+                    migrations_received: u32_of("migrations_received")?,
+                })
+            }
+            "control_round" => Some(TraceEvent::ControlRound {
+                tick: u64_of("tick")?,
+                zone: u32_of("zone")?,
+                servers: u32_of("servers")?,
+                users: u32_of("users")?,
+                issued: u32_of("issued")?,
+            }),
+            "decision" => Some(TraceEvent::Decision {
+                tick: u64_of("tick")?,
+                zone: u32_of("zone")?,
+                kind: str_of("kind")?,
+                model_version: u64_of("model_version")?,
+                replicas: u32_of("replicas")?,
+                users: u32_of("users")?,
+                npcs: u32_of("npcs")?,
+                predicted_tick_s: f64_of("predicted_tick_s")?,
+                n_max: u32_of("n_max")?,
+                trigger: u32_of("trigger")?,
+                l_max: u32_of("l_max")?,
+            }),
+            "migration_budget" => Some(TraceEvent::MigrationBudget {
+                tick: u64_of("tick")?,
+                cause: u64_of("cause")?,
+                from: u32_of("from")?,
+                to: u32_of("to")?,
+                from_tick_s: f64_of("from_tick_s")?,
+                to_tick_s: f64_of("to_tick_s")?,
+                x_max_ini: u32_of("x_max_ini")?,
+                x_max_rcv: u32_of("x_max_rcv")?,
+                granted: u32_of("granted")?,
+            }),
+            "action_issued" => Some(TraceEvent::ActionIssued {
+                tick: u64_of("tick")?,
+                cause: u64_of("cause")?,
+                action_id: u64_of("action_id")?,
+                kind: str_of("kind")?,
+                attempt: u32_of("attempt")?,
+                from: i64_of("from")?,
+                to: i64_of("to")?,
+                users: u32_of("users")?,
+            }),
+            "action_resolved" => Some(TraceEvent::ActionResolved {
+                tick: u64_of("tick")?,
+                action_id: u64_of("action_id")?,
+                outcome: str_of("outcome")?,
+            }),
+            "migration_planned" => Some(TraceEvent::MigrationPlanned {
+                tick: u64_of("tick")?,
+                action_id: u64_of("action_id")?,
+                from: u32_of("from")?,
+                to: u32_of("to")?,
+                users: u32_of("users")?,
+            }),
+            "migration_settled" => Some(TraceEvent::MigrationSettled {
+                tick: u64_of("tick")?,
+                server: u32_of("server")?,
+                arrived: u32_of("arrived")?,
+            }),
+            "fault_injected" => Some(TraceEvent::FaultInjected {
+                tick: u64_of("tick")?,
+                fault: str_of("fault")?,
+                server: i64_of("server")?,
+            }),
+            "fault_reverted" => Some(TraceEvent::FaultReverted {
+                tick: u64_of("tick")?,
+                fault: str_of("fault")?,
+                server: i64_of("server")?,
+            }),
+            "server_booted" => Some(TraceEvent::ServerBooted {
+                tick: u64_of("tick")?,
+                server: u32_of("server")?,
+            }),
+            "server_crashed" => Some(TraceEvent::ServerCrashed {
+                tick: u64_of("tick")?,
+                server: u32_of("server")?,
+            }),
+            "server_removed" => Some(TraceEvent::ServerRemoved {
+                tick: u64_of("tick")?,
+                server: u32_of("server")?,
+            }),
+            "refit" => Some(TraceEvent::Refit {
+                tick: u64_of("tick")?,
+                reason: str_of("reason")?,
+                outcome: str_of("outcome")?,
+                version: u64_of("version")?,
+                params: u32_of("params")?,
+            }),
+            "registry_swap" => Some(TraceEvent::RegistrySwap {
+                tick: u64_of("tick")?,
+                version: u64_of("version")?,
+                reason: str_of("reason")?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::TickSpan {
+                tick: 4180,
+                server: 2,
+                zone: 0,
+                duration_s: 0.0312,
+                per_task: [0.001, 0.002, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0282],
+                active_users: 120,
+                shadow_users: 60,
+                npcs: 50,
+                migrations_initiated: 3,
+                migrations_received: 0,
+            },
+            TraceEvent::Decision {
+                tick: 4175,
+                zone: 0,
+                kind: "add_replica",
+                model_version: 3,
+                replicas: 2,
+                users: 210,
+                npcs: 150,
+                predicted_tick_s: 0.0388,
+                n_max: 260,
+                trigger: 208,
+                l_max: 5,
+            },
+            TraceEvent::MigrationBudget {
+                tick: 4175,
+                cause: 4175,
+                from: 0,
+                to: 2,
+                from_tick_s: 0.041,
+                to_tick_s: 0.012,
+                x_max_ini: 12,
+                x_max_rcv: 40,
+                granted: 12,
+            },
+            TraceEvent::ActionIssued {
+                tick: 4175,
+                cause: 4175,
+                action_id: 17,
+                kind: "migrate",
+                attempt: 1,
+                from: 0,
+                to: 2,
+                users: 12,
+            },
+            TraceEvent::ActionResolved {
+                tick: 4176,
+                action_id: 17,
+                outcome: "succeeded",
+            },
+            TraceEvent::FaultInjected {
+                tick: 900,
+                fault: "crash_most_loaded",
+                server: -1,
+            },
+            TraceEvent::Refit {
+                tick: 3000,
+                reason: "drift",
+                outcome: "published",
+                version: 4,
+                params: 2,
+            },
+            TraceEvent::RegistrySwap {
+                tick: 3000,
+                version: 4,
+                reason: "drift",
+            },
+        ]
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_event() {
+        for ev in samples() {
+            let line = ev.to_json();
+            let back =
+                TraceEvent::from_json(&line).unwrap_or_else(|| panic!("failed to decode: {line}"));
+            assert_eq!(back, ev, "round trip changed {line}");
+        }
+    }
+
+    #[test]
+    fn unknown_event_names_decode_to_none() {
+        assert!(TraceEvent::from_json("{\"ev\": \"mystery\", \"tick\": 1}").is_none());
+        assert!(TraceEvent::from_json("not json").is_none());
+    }
+
+    #[test]
+    fn intern_covers_emitted_vocabulary() {
+        for word in ["migrate", "succeeded", "drift", "published", "isolate"] {
+            assert_eq!(intern(word), word);
+        }
+        assert_eq!(intern("zalgo"), "unknown");
+    }
+}

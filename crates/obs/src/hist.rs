@@ -1,0 +1,314 @@
+//! Log-linear-bucket latency histogram (HdrHistogram-style).
+//!
+//! Values are unsigned integers — by convention microseconds when
+//! recording durations — so the hot path never touches floats. The
+//! bucket layout is *log-linear*: values below [`SUB_BUCKETS`] land in
+//! exact unit-width buckets; above that, each power-of-two range is
+//! split into [`SUB_BUCKETS`] equal sub-buckets, bounding the relative
+//! quantile error at `1/SUB_BUCKETS` (≈ 3%) across the full `u64`
+//! range. The bucket array is fixed-size and allocated once, so
+//! recording is a couple of shifts plus an array increment.
+
+/// Number of low-order bits resolved exactly (sub-bucket granularity).
+const SUB_BITS: u32 = 5;
+
+/// Sub-buckets per power-of-two group (and size of the exact region).
+pub const SUB_BUCKETS: usize = 1 << SUB_BITS;
+
+/// Power-of-two groups above the exact region (msb in `SUB_BITS..=63`).
+const GROUPS: usize = 64 - SUB_BITS as usize;
+
+/// Total bucket count of the fixed layout.
+pub const BUCKET_COUNT: usize = SUB_BUCKETS + GROUPS * SUB_BUCKETS;
+
+/// Bucket index for a recorded value.
+fn index_of(value: u64) -> usize {
+    if value < SUB_BUCKETS as u64 {
+        value as usize
+    } else {
+        let msb = 63 - value.leading_zeros();
+        let sub = (value >> (msb - SUB_BITS)) as usize - SUB_BUCKETS;
+        SUB_BUCKETS + (msb - SUB_BITS) as usize * SUB_BUCKETS + sub
+    }
+}
+
+/// Inclusive `(lower, upper)` value bounds covered by bucket `index`.
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < BUCKET_COUNT, "bucket index out of range");
+    if index < SUB_BUCKETS {
+        (index as u64, index as u64)
+    } else {
+        let g = (index - SUB_BUCKETS) / SUB_BUCKETS;
+        let sub = (index - SUB_BUCKETS) % SUB_BUCKETS;
+        let shift = g as u32; // msb - SUB_BITS
+        let lower = (((SUB_BUCKETS + sub) as u128) << shift) as u64;
+        let upper_excl = ((SUB_BUCKETS + sub + 1) as u128) << shift;
+        let upper = (upper_excl - 1).min(u64::MAX as u128) as u64;
+        (lower, upper)
+    }
+}
+
+/// Point-in-time percentile summary of a [`Histogram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistSnapshot {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Saturating sum of recorded values.
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+    /// 50th percentile (bucket upper bound, clamped to `max`).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
+/// Fixed-bucket log-linear histogram over `u64` values.
+///
+/// ```
+/// let mut h = roia_obs::Histogram::new();
+/// for v in [3_u64, 5, 40_000, 41_000, 39_500] {
+///     h.record(v);
+/// }
+/// let s = h.snapshot();
+/// assert_eq!(s.count, 5);
+/// assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.max);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram with the full fixed bucket layout.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one value. Constant-time; no allocation, no floats.
+    pub fn record(&mut self, value: u64) {
+        self.counts[index_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Saturating sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value, or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values, or 0.0 when empty (export path only).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the upper bound of the bucket
+    /// holding the `ceil(q·count)`-th value, clamped to the observed
+    /// `max`. Returns 0 when empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0_u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                return bucket_bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Fold another histogram into this one. `merge(a, b)` yields the
+    /// same bucket counts and aggregates as recording the union of both
+    /// value streams into a fresh histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (dst, src) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Percentile summary snapshot.
+    pub fn snapshot(&self) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count,
+            sum: self.sum,
+            min: self.min(),
+            max: self.max,
+            p50: self.percentile(0.50),
+            p90: self.percentile(0.90),
+            p99: self.percentile(0.99),
+            p999: self.percentile(0.999),
+        }
+    }
+
+    /// Count held in bucket `index` (test/inspection path).
+    pub fn bucket_count(&self, index: usize) -> u64 {
+        self.counts[index]
+    }
+}
+
+/// Convert a duration in seconds to whole microseconds for recording,
+/// clamping negatives and non-finite values to zero. Float-to-int
+/// conversion happens here, at the edge, not inside the histogram.
+pub fn secs_to_micros(seconds: f64) -> u64 {
+    if seconds.is_finite() && seconds > 0.0 {
+        (seconds * 1e6) as u64
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_region_is_unit_buckets() {
+        for v in 0..SUB_BUCKETS as u64 {
+            assert_eq!(index_of(v), v as usize);
+            assert_eq!(bucket_bounds(v as usize), (v, v));
+        }
+    }
+
+    #[test]
+    fn buckets_tile_the_range_contiguously() {
+        let mut expected_lower = 0_u64;
+        for i in 0..BUCKET_COUNT {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(lo, expected_lower, "gap before bucket {i}");
+            assert!(hi >= lo);
+            if hi == u64::MAX {
+                assert_eq!(i, BUCKET_COUNT - 1);
+                return;
+            }
+            expected_lower = hi + 1;
+        }
+        panic!("layout never reached u64::MAX");
+    }
+
+    #[test]
+    fn boundary_values_round_trip() {
+        for v in [
+            0,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            1023,
+            1024,
+            1025,
+            u64::MAX / 2,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let i = index_of(v);
+            let (lo, hi) = bucket_bounds(i);
+            assert!(
+                lo <= v && v <= hi,
+                "value {v} outside bucket {i} [{lo},{hi}]"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_on_known_distribution() {
+        let mut h = Histogram::new();
+        for v in 1..=1000_u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1000);
+        // Relative error bounded by the sub-bucket width (~3%).
+        assert!((s.p50 as f64 - 500.0).abs() / 500.0 < 0.04, "p50={}", s.p50);
+        assert!((s.p99 as f64 - 990.0).abs() / 990.0 < 0.04, "p99={}", s.p99);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.p999 && s.p999 <= s.max);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        let s = h.snapshot();
+        assert_eq!(s, HistSnapshot::default());
+    }
+
+    #[test]
+    fn merge_matches_union() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut u = Histogram::new();
+        for v in [1_u64, 7, 100, 10_000] {
+            a.record(v);
+            u.record(v);
+        }
+        for v in [2_u64, 100, 999_999] {
+            b.record(v);
+            u.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, u);
+    }
+
+    #[test]
+    fn secs_to_micros_clamps() {
+        assert_eq!(secs_to_micros(0.001), 1000);
+        assert_eq!(secs_to_micros(-1.0), 0);
+        assert_eq!(secs_to_micros(f64::NAN), 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! # roia-obs — the operator-facing telemetry spine
+//!
+//! Zero-dependency, allocation-conscious observability for the ROIA
+//! reproduction, in three pillars:
+//!
+//! 1. **Structured event tracing** ([`event`], [`sink`]): typed
+//!    records — tick spans with per-task child timings, control
+//!    rounds, the decision audit trail, migration lifecycles
+//!    (planned → issued → settled), chaos faults, calibration refits —
+//!    each carrying monotonic sim-time, server/zone ids and a
+//!    causality id linking a controller decision to every action it
+//!    spawned. Sinks: in-memory ring ([`RingSink`]) and JSONL file
+//!    ([`JsonlSink`]); emitters hold a cheap cloneable [`Tracer`].
+//! 2. **Metrics registry** ([`metrics`], [`hist`]): counters, gauges
+//!    and HdrHistogram-style log-linear latency histograms (integer
+//!    microseconds, no floats in the hot path), snapshotable as
+//!    p50/p90/p99/p99.9/max and exportable as Prometheus text
+//!    exposition or JSON.
+//! 3. **Decision audit trail** ([`event::TraceEvent::Decision`],
+//!    [`event::TraceEvent::MigrationBudget`]): every model-driven
+//!    decision records its inputs and Eq. 1–5 evaluations with the
+//!    numbers plugged in, so "why did the controller add a replica at
+//!    tick 4180?" is answerable from the trace alone (see the
+//!    `explain` binary in `roia-bench`).
+//!
+//! The existing `MetricsLog`/`Series` machinery in `rtf-core`/`roia-sim`
+//! remains the *model-facing* measurement path (calibration inputs);
+//! this crate is the *operator-facing* one. It is a leaf crate: events
+//! carry primitives only, and emitters translate their ids at the call
+//! site.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod hist;
+pub mod metrics;
+pub mod sink;
+
+pub use event::{TraceEvent, TASK_SLOTS};
+pub use hist::{bucket_bounds, secs_to_micros, HistSnapshot, Histogram, BUCKET_COUNT};
+pub use metrics::{MetricKey, MetricsRegistry};
+pub use sink::{JsonlSink, RingSink, TeeSink, TraceSink, Tracer};

@@ -1,0 +1,273 @@
+//! Metrics registry: counters, gauges and latency histograms keyed by
+//! `(name, optional numeric label)`, with Prometheus text exposition
+//! and JSON export.
+//!
+//! Keys are `Copy` pairs of `&'static str` and a numeric label value
+//! (e.g. `("server", 3)`), so the hot path allocates nothing and never
+//! formats strings — rendering happens only at export time.
+
+use crate::export;
+use crate::hist::{HistSnapshot, Histogram};
+use std::collections::BTreeMap;
+
+/// Registry key: a metric name plus an optional single numeric label
+/// (`("server", 3)` renders as `name{server="3"}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name (Prometheus-style snake case, unit suffixed).
+    pub name: &'static str,
+    /// Optional `(label_name, label_value)` pair.
+    pub label: Option<(&'static str, u64)>,
+}
+
+impl MetricKey {
+    /// An unlabelled key.
+    pub fn plain(name: &'static str) -> Self {
+        MetricKey { name, label: None }
+    }
+
+    /// A key labelled with one numeric dimension.
+    pub fn labelled(name: &'static str, label: &'static str, value: u64) -> Self {
+        MetricKey {
+            name,
+            label: Some((label, value)),
+        }
+    }
+
+    fn render(&self, extra: Option<(&str, &str)>) -> String {
+        match (self.label, extra) {
+            (None, None) => self.name.to_string(),
+            (Some((k, v)), None) => format!("{}{{{}=\"{}\"}}", self.name, k, v),
+            (None, Some((ek, ev))) => format!("{}{{{}=\"{}\"}}", self.name, ek, ev),
+            (Some((k, v)), Some((ek, ev))) => {
+                format!("{}{{{}=\"{}\",{}=\"{}\"}}", self.name, k, v, ek, ev)
+            }
+        }
+    }
+}
+
+/// In-memory metrics store. One registry per cluster/session; all
+/// mutation is by `&mut self` so the owner controls synchronisation.
+#[derive(Debug, Default, Clone)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, i64>,
+    histograms: BTreeMap<MetricKey, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to a monotonic counter.
+    pub fn add(&mut self, key: MetricKey, delta: u64) {
+        *self.counters.entry(key).or_insert(0) += delta;
+    }
+
+    /// Set a gauge to an instantaneous value.
+    pub fn set(&mut self, key: MetricKey, value: i64) {
+        self.gauges.insert(key, value);
+    }
+
+    /// Record one value into a histogram (created on first use).
+    pub fn record(&mut self, key: MetricKey, value: u64) {
+        self.histograms.entry(key).or_default().record(value);
+    }
+
+    /// Current counter value (0 when never incremented).
+    pub fn counter(&self, key: MetricKey) -> u64 {
+        self.counters.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Current gauge value, if set.
+    pub fn gauge(&self, key: MetricKey) -> Option<i64> {
+        self.gauges.get(&key).copied()
+    }
+
+    /// The histogram under `key`, if any values were recorded.
+    pub fn histogram(&self, key: MetricKey) -> Option<&Histogram> {
+        self.histograms.get(&key)
+    }
+
+    /// Snapshots of every histogram, keyed for rendering.
+    pub fn histogram_snapshots(&self) -> Vec<(MetricKey, HistSnapshot)> {
+        self.histograms
+            .iter()
+            .map(|(k, h)| (*k, h.snapshot()))
+            .collect()
+    }
+
+    /// Fold `other` into this registry (counters add, gauges take
+    /// `other`'s value, histograms merge).
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(*k).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(*k, *v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(*k).or_default().merge(h);
+        }
+    }
+
+    /// Render the registry in Prometheus text exposition format.
+    /// Histograms render as summaries: quantile series plus `_count`,
+    /// `_sum` and `_max` companions.
+    pub fn prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_type: Option<(String, &'static str)> = None;
+        let mut type_line = |out: &mut String, name: &str, kind: &'static str| {
+            if last_type.as_ref().map(|(n, k)| (n.as_str(), *k)) != Some((name, kind)) {
+                out.push_str(&format!("# TYPE {name} {kind}\n"));
+            }
+            last_type = Some((name.to_string(), kind));
+        };
+        for (key, value) in &self.counters {
+            type_line(&mut out, key.name, "counter");
+            out.push_str(&format!("{} {}\n", key.render(None), value));
+        }
+        for (key, value) in &self.gauges {
+            type_line(&mut out, key.name, "gauge");
+            out.push_str(&format!("{} {}\n", key.render(None), value));
+        }
+        for (key, hist) in &self.histograms {
+            type_line(&mut out, key.name, "summary");
+            let s = hist.snapshot();
+            for (q, v) in [
+                ("0.5", s.p50),
+                ("0.9", s.p90),
+                ("0.99", s.p99),
+                ("0.999", s.p999),
+            ] {
+                out.push_str(&format!("{} {}\n", key.render(Some(("quantile", q))), v));
+            }
+            let base = key.render(None);
+            let (plain, labels) = match base.find('{') {
+                Some(i) => (&base[..i], &base[i..]),
+                None => (base.as_str(), ""),
+            };
+            out.push_str(&format!("{plain}_count{labels} {}\n", s.count));
+            out.push_str(&format!("{plain}_sum{labels} {}\n", s.sum));
+            out.push_str(&format!("{plain}_max{labels} {}\n", s.max));
+        }
+        out
+    }
+
+    /// Render the registry as one JSON object with `counters`, `gauges`
+    /// and `histograms` sections (histograms as percentile snapshots).
+    pub fn to_json(&self) -> String {
+        use export::{object, uint};
+        let counters: Vec<(String, String)> = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.render(None), uint(*v)))
+            .collect();
+        let gauges: Vec<(String, String)> = self
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.render(None), export::int(*v)))
+            .collect();
+        let hists: Vec<(String, String)> = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let s = h.snapshot();
+                (
+                    k.render(None),
+                    object(&[
+                        ("count", uint(s.count)),
+                        ("sum", uint(s.sum)),
+                        ("min", uint(s.min)),
+                        ("max", uint(s.max)),
+                        ("p50", uint(s.p50)),
+                        ("p90", uint(s.p90)),
+                        ("p99", uint(s.p99)),
+                        ("p999", uint(s.p999)),
+                    ]),
+                )
+            })
+            .collect();
+        let section = |items: Vec<(String, String)>| {
+            let body: Vec<String> = items
+                .iter()
+                .map(|(k, v)| format!("{}: {}", export::string(k), v))
+                .collect();
+            format!("{{{}}}", body.join(", "))
+        };
+        object(&[
+            ("counters", section(counters)),
+            ("gauges", section(gauges)),
+            ("histograms", section(hists)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_round_trip() {
+        let mut r = MetricsRegistry::new();
+        let c = MetricKey::labelled("roia_migrations_total", "server", 1);
+        r.add(c, 2);
+        r.add(c, 3);
+        assert_eq!(r.counter(c), 5);
+        let g = MetricKey::plain("roia_servers");
+        r.set(g, 4);
+        assert_eq!(r.gauge(g), Some(4));
+        let h = MetricKey::labelled("roia_tick_duration_us", "server", 1);
+        for v in [100, 200, 300] {
+            r.record(h, v);
+        }
+        assert_eq!(r.histogram(h).unwrap().count(), 3);
+    }
+
+    #[test]
+    fn prometheus_exposition_has_quantiles_and_companions() {
+        let mut r = MetricsRegistry::new();
+        let h = MetricKey::labelled("roia_tick_duration_us", "server", 0);
+        for v in 1..=100_u64 {
+            r.record(h, v);
+        }
+        r.add(MetricKey::plain("roia_ticks_total"), 100);
+        let text = r.prometheus();
+        assert!(text.contains("# TYPE roia_tick_duration_us summary"));
+        assert!(text.contains("roia_tick_duration_us{server=\"0\",quantile=\"0.5\"}"));
+        assert!(text.contains("roia_tick_duration_us{server=\"0\",quantile=\"0.99\"}"));
+        assert!(text.contains("roia_tick_duration_us_count{server=\"0\"} 100"));
+        assert!(text.contains("roia_tick_duration_us_max{server=\"0\"} 100"));
+        assert!(text.contains("# TYPE roia_ticks_total counter"));
+        assert!(text.contains("roia_ticks_total 100"));
+    }
+
+    #[test]
+    fn json_export_is_well_formed() {
+        let mut r = MetricsRegistry::new();
+        r.add(MetricKey::plain("c"), 1);
+        r.set(MetricKey::labelled("g", "zone", 0), -2);
+        r.record(MetricKey::plain("h"), 42);
+        let json = r.to_json();
+        // The registry JSON nests one level deep, which the flat parser
+        // rejects by design — sanity-check shape textually instead.
+        assert!(json.starts_with("{\"counters\": {"));
+        assert!(json.contains("\"g{zone=\\\"0\\\"}\": -2"));
+        assert!(json.contains("\"p99\": 42"));
+    }
+
+    #[test]
+    fn merge_combines_sections() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        let k = MetricKey::plain("n");
+        a.add(k, 1);
+        b.add(k, 2);
+        b.record(k, 10);
+        a.merge(&b);
+        assert_eq!(a.counter(k), 3);
+        assert_eq!(a.histogram(k).unwrap().count(), 1);
+    }
+}

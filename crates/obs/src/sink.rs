@@ -1,0 +1,292 @@
+//! Trace sinks and the cheap cloneable [`Tracer`] handle.
+//!
+//! Emitters hold a [`Tracer`] and call [`Tracer::emit`]; a disabled
+//! tracer (the default) short-circuits to a single `Option` check, so
+//! instrumented hot paths cost nothing when tracing is off. Enabled
+//! tracers fan into a shared [`TraceSink`]: [`RingSink`] keeps the last
+//! N events in memory (the low-overhead default for benches),
+//! [`JsonlSink`] streams every event as one JSON line to a buffered
+//! writer (the replayable format the `explain` tool consumes).
+
+use crate::event::TraceEvent;
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Destination for trace events. Implementations must be cheap per
+/// event; the tracer serialises access behind one mutex.
+pub trait TraceSink: Send {
+    /// Consume one event.
+    fn record(&mut self, event: &TraceEvent);
+    /// Flush any buffered output (no-op by default).
+    fn flush(&mut self) {}
+}
+
+/// Fixed-capacity in-memory ring of the most recent events.
+pub struct RingSink {
+    buf: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (oldest evicted first).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            buf: VecDeque::with_capacity(capacity),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Events currently retained, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.buf.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Events evicted due to capacity since creation.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drain and return all retained events, oldest first.
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(event.clone());
+    }
+}
+
+/// Streams each event as one JSON line to a buffered writer.
+pub struct JsonlSink {
+    out: BufWriter<Box<dyn Write + Send>>,
+    written: u64,
+}
+
+impl JsonlSink {
+    /// Create (truncating) a JSONL trace file at `path`.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::new(Box::new(file)))
+    }
+
+    /// Wrap any writer (tests use `Vec<u8>` via a cursor).
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            out: BufWriter::new(writer),
+            written: 0,
+        }
+    }
+
+    /// Lines written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&mut self, event: &TraceEvent) {
+        // Trace output is best-effort: an I/O error must never abort
+        // the simulation, so errors are swallowed here.
+        let _ = writeln!(self.out, "{}", event.to_json());
+        self.written += 1;
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// A sink that forwards every event to several child sinks (e.g. ring
+/// for cheap in-memory inspection plus JSONL for replay).
+pub struct TeeSink {
+    sinks: Vec<Arc<Mutex<dyn TraceSink>>>,
+}
+
+impl TeeSink {
+    /// Forward to all of `sinks`, in order.
+    pub fn new(sinks: Vec<Arc<Mutex<dyn TraceSink>>>) -> Self {
+        TeeSink { sinks }
+    }
+}
+
+impl TraceSink for TeeSink {
+    fn record(&mut self, event: &TraceEvent) {
+        for sink in &self.sinks {
+            if let Ok(mut s) = sink.lock() {
+                s.record(event);
+            }
+        }
+    }
+
+    fn flush(&mut self) {
+        for sink in &self.sinks {
+            if let Ok(mut s) = sink.lock() {
+                s.flush();
+            }
+        }
+    }
+}
+
+/// Cheap cloneable handle emitters hold. Disabled by default; cloning
+/// shares the underlying sink.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Mutex<dyn TraceSink>>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// The no-op tracer: `emit` is a single branch.
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// A tracer writing into an existing shared sink.
+    pub fn to_sink(sink: Arc<Mutex<dyn TraceSink>>) -> Self {
+        Tracer { inner: Some(sink) }
+    }
+
+    /// Convenience: a tracer plus a handle to its ring sink, for
+    /// reading events back after a run.
+    pub fn ring(capacity: usize) -> (Self, Arc<Mutex<RingSink>>) {
+        let ring = Arc::new(Mutex::new(RingSink::new(capacity)));
+        let sink: Arc<Mutex<dyn TraceSink>> = ring.clone();
+        (Tracer { inner: Some(sink) }, ring)
+    }
+
+    /// Convenience: a tracer streaming JSONL to `path`.
+    pub fn jsonl(path: impl AsRef<Path>) -> io::Result<Self> {
+        let sink: Arc<Mutex<dyn TraceSink>> = Arc::new(Mutex::new(JsonlSink::create(path)?));
+        Ok(Tracer { inner: Some(sink) })
+    }
+
+    /// True when events will actually be recorded. Check this before
+    /// assembling an expensive event payload.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Record one event (no-op when disabled).
+    pub fn emit(&self, event: TraceEvent) {
+        if let Some(sink) = &self.inner {
+            if let Ok(mut s) = sink.lock() {
+                s.record(&event);
+            }
+        }
+    }
+
+    /// Flush the underlying sink (no-op when disabled).
+    pub fn flush(&self) {
+        if let Some(sink) = &self.inner {
+            if let Ok(mut s) = sink.lock() {
+                s.flush();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(tick: u64) -> TraceEvent {
+        TraceEvent::ServerBooted { tick, server: 0 }
+    }
+
+    #[test]
+    fn disabled_tracer_is_silent() {
+        let t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        t.emit(ev(1)); // must not panic
+        t.flush();
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let (t, ring) = Tracer::ring(3);
+        for i in 0..5 {
+            t.emit(ev(i));
+        }
+        let r = ring.lock().unwrap();
+        let ticks: Vec<u64> = r.events().map(|e| e.tick()).collect();
+        assert_eq!(ticks, vec![2, 3, 4]);
+        assert_eq!(r.dropped(), 2);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = std::env::temp_dir().join("roia_obs_sink_test.jsonl");
+        {
+            let t = Tracer::jsonl(&path).unwrap();
+            t.emit(ev(7));
+            t.emit(TraceEvent::ActionResolved {
+                tick: 8,
+                action_id: 1,
+                outcome: "succeeded",
+            });
+            t.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events: Vec<TraceEvent> = text
+            .lines()
+            .map(|l| TraceEvent::from_json(l).expect("line decodes"))
+            .collect();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].tick(), 7);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tee_fans_out() {
+        let ring_a = Arc::new(Mutex::new(RingSink::new(10)));
+        let ring_b = Arc::new(Mutex::new(RingSink::new(10)));
+        let tee = TeeSink::new(vec![ring_a.clone(), ring_b.clone()]);
+        let t = Tracer::to_sink(Arc::new(Mutex::new(tee)));
+        t.emit(ev(1));
+        assert_eq!(ring_a.lock().unwrap().len(), 1);
+        assert_eq!(ring_b.lock().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn clones_share_the_sink() {
+        let (t, ring) = Tracer::ring(10);
+        let t2 = t.clone();
+        t.emit(ev(1));
+        t2.emit(ev(2));
+        assert_eq!(ring.lock().unwrap().len(), 2);
+    }
+}

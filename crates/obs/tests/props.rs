@@ -1,0 +1,82 @@
+//! Property tests for the log-linear histogram (ISSUE 3 satellite):
+//! recorded values land in buckets whose bounds contain them, quantiles
+//! are monotone (p50 ≤ p90 ≤ p99 ≤ max), and merging two histograms
+//! equals recording the union of their value streams.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use roia_obs::{bucket_bounds, Histogram, BUCKET_COUNT};
+
+/// Mix of small exact-region values, mid-range latencies and extreme
+/// magnitudes so every bucket regime is exercised.
+fn value_strategy() -> BoxedStrategy<u64> {
+    prop_oneof![0_u64..64, 64_u64..1_000_000, any::<u64>()].boxed()
+}
+
+proptest! {
+    #[test]
+    fn recorded_value_lands_in_containing_bucket(v in value_strategy()) {
+        let mut h = Histogram::new();
+        h.record(v);
+        let idx = (0..BUCKET_COUNT)
+            .find(|&i| h.bucket_count(i) == 1)
+            .expect("exactly one bucket incremented");
+        let (lo, hi) = bucket_bounds(idx);
+        prop_assert!(lo <= v && v <= hi, "{v} not in bucket {idx} [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn quantiles_are_monotone(values in vec(value_strategy(), 1..200)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        prop_assert!(s.p50 <= s.p90, "p50 {} > p90 {}", s.p50, s.p90);
+        prop_assert!(s.p90 <= s.p99, "p90 {} > p99 {}", s.p90, s.p99);
+        prop_assert!(s.p99 <= s.p999, "p99 {} > p99.9 {}", s.p99, s.p999);
+        prop_assert!(s.p999 <= s.max, "p99.9 {} > max {}", s.p999, s.max);
+        prop_assert!(s.min <= s.p50, "min {} > p50 {}", s.min, s.p50);
+        prop_assert_eq!(s.count, values.len() as u64);
+    }
+
+    #[test]
+    fn merge_equals_recording_the_union(
+        a_values in vec(value_strategy(), 0..100),
+        b_values in vec(value_strategy(), 0..100),
+    ) {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut union = Histogram::new();
+        for &v in &a_values {
+            a.record(v);
+            union.record(v);
+        }
+        for &v in &b_values {
+            b.record(v);
+            union.record(v);
+        }
+        a.merge(&b);
+        prop_assert_eq!(&a, &union);
+        prop_assert_eq!(a.snapshot(), union.snapshot());
+    }
+
+    #[test]
+    fn percentile_never_exceeds_max_nor_undershoots_min(
+        values in vec(value_strategy(), 1..100),
+        q in 0.0_f64..1.0,
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let p = h.percentile(q);
+        prop_assert!(p <= h.max());
+        // A quantile estimate is a bucket upper bound, so it can only
+        // round *up*; it must never fall below the bucket holding min.
+        let (min_lo, _) = bucket_bounds(
+            (0..BUCKET_COUNT).find(|&i| h.bucket_count(i) > 0).unwrap(),
+        );
+        prop_assert!(p >= min_lo);
+    }
+}

@@ -23,6 +23,7 @@
 use crate::actions::{Action, ActionId, ActionLog, ActionOutcome};
 use crate::monitor::ZoneSnapshot;
 use crate::policy::Policy;
+use roia_obs::{TraceEvent, Tracer};
 
 /// Retry/timeout behaviour of the pending-action ledger.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -114,6 +115,7 @@ pub struct RmsController {
     pending: Vec<PendingAction>,
     follow_ups: Vec<QueuedFollowUp>,
     degraded_until: Option<u64>,
+    tracer: Tracer,
 }
 
 impl RmsController {
@@ -127,7 +129,34 @@ impl RmsController {
             pending: Vec::new(),
             follow_ups: Vec::new(),
             degraded_until: None,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Installs a telemetry tracer on the controller and its policy: the
+    /// controller emits round/action lifecycle events, the policy its
+    /// decision audit trail.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.policy.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+
+    /// Trace-event payload fields `(from, to, users)` of an action.
+    fn action_fields(action: &Action) -> (i64, i64, u32) {
+        match action {
+            Action::Migrate { from, to, users } => (from.0 as i64, to.0 as i64, *users),
+            Action::AddReplica { .. } => (-1, -1, 0),
+            Action::Substitute { old, .. } => (old.0 as i64, -1, 0),
+            Action::RemoveReplica { server, .. } => (server.0 as i64, -1, 0),
+        }
+    }
+
+    fn trace_resolved(&self, id: ActionId, outcome: ActionOutcome, now_tick: u64) {
+        self.tracer.emit(TraceEvent::ActionResolved {
+            tick: now_tick,
+            action_id: id.0,
+            outcome: outcome.name(),
+        });
     }
 
     /// The active policy's name.
@@ -167,6 +196,7 @@ impl RmsController {
         };
         let entry = self.pending.swap_remove(pos);
         self.log.resolve(id, outcome, now_tick);
+        self.trace_resolved(id, outcome, now_tick);
         if matches!(outcome, ActionOutcome::Rejected | ActionOutcome::Failed) {
             self.schedule_follow_up(entry.id, entry.action, entry.attempt, now_tick);
         }
@@ -196,6 +226,7 @@ impl RmsController {
         });
         for p in overdue {
             self.log.resolve(p.id, ActionOutcome::TimedOut, now_tick);
+            self.trace_resolved(p.id, ActionOutcome::TimedOut, now_tick);
             self.schedule_follow_up(p.id, p.action, p.attempt, now_tick);
         }
 
@@ -242,6 +273,15 @@ impl RmsController {
             }
             issued.push(self.issue(action, 0, now_tick));
         }
+        if self.tracer.is_enabled() {
+            self.tracer.emit(TraceEvent::ControlRound {
+                tick: now_tick,
+                zone: snapshot.zone.0,
+                servers: snapshot.replicas(),
+                users: snapshot.total_users(),
+                issued: issued.len() as u32,
+            });
+        }
         issued
     }
 
@@ -253,6 +293,19 @@ impl RmsController {
             deadline: now_tick + self.config.retry.action_timeout_ticks,
             attempt,
         });
+        if self.tracer.is_enabled() {
+            let (from, to, users) = Self::action_fields(&action);
+            self.tracer.emit(TraceEvent::ActionIssued {
+                tick: now_tick,
+                cause: now_tick,
+                action_id: id.0,
+                kind: action.kind(),
+                attempt,
+                from,
+                to,
+                users,
+            });
+        }
         IssuedAction { id, action }
     }
 
@@ -285,6 +338,7 @@ impl RmsController {
                     // Replication keeps failing — ask for the bigger
                     // machine class instead.
                     self.log.resolve(id, ActionOutcome::Escalated, now_tick);
+                    self.trace_resolved(id, ActionOutcome::Escalated, now_tick);
                     self.follow_ups.push(QueuedFollowUp {
                         plan: Planned::SubstituteHottest,
                         not_before: now_tick + retry.backoff_base_ticks,
@@ -294,6 +348,7 @@ impl RmsController {
                     // Substitution failed too: stop asking the cloud and
                     // balance with migrations only for a while.
                     self.log.resolve(id, ActionOutcome::Abandoned, now_tick);
+                    self.trace_resolved(id, ActionOutcome::Abandoned, now_tick);
                     self.degraded_until = Some(now_tick + retry.degraded_cooldown_ticks);
                 }
             }

@@ -25,6 +25,7 @@ pub use static_threshold::StaticThreshold;
 
 use crate::actions::Action;
 use crate::monitor::ZoneSnapshot;
+use roia_obs::Tracer;
 
 /// A load-balancing strategy: maps a monitoring snapshot to actions.
 pub trait Policy: Send {
@@ -33,4 +34,9 @@ pub trait Policy: Send {
 
     /// Decides the actions for one control round.
     fn decide(&mut self, snapshot: &ZoneSnapshot, now_tick: u64) -> Vec<Action>;
+
+    /// Installs a telemetry tracer. Policies that keep a decision audit
+    /// trail ([`ModelDriven`], [`PredictiveModelDriven`]) emit their
+    /// Eq. 1–5 evaluations through it; the baselines ignore it.
+    fn set_tracer(&mut self, _tracer: Tracer) {}
 }

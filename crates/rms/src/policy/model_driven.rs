@@ -17,6 +17,7 @@ use crate::monitor::ZoneSnapshot;
 use crate::policy::Policy;
 use roia_autocal::ModelRegistry;
 use roia_model::{MigrationSide, ScalabilityModel};
+use roia_obs::{TraceEvent, Tracer};
 use rtf_core::net::NodeId;
 use std::sync::Arc;
 
@@ -73,6 +74,7 @@ pub struct ModelDriven {
     draining: Option<NodeId>,
     cooldown_rounds_left: u32,
     replicas_last_round: u32,
+    tracer: Tracer,
 }
 
 impl ModelDriven {
@@ -86,6 +88,7 @@ impl ModelDriven {
             draining: None,
             cooldown_rounds_left: 0,
             replicas_last_round: 0,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -102,6 +105,7 @@ impl ModelDriven {
             draining: None,
             cooldown_rounds_left: 0,
             replicas_last_round: 0,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -138,10 +142,63 @@ impl ModelDriven {
         (raw as f64 * self.config.migration_headroom).floor() as u32
     }
 
+    /// Audit-trail record of one decision with its Eq. 1–5 inputs
+    /// plugged in (no-op when tracing is off).
+    fn audit_decision(&self, snapshot: &ZoneSnapshot, now_tick: u64, kind: &'static str) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        let l = snapshot.replicas();
+        let n = snapshot.total_users();
+        let m = snapshot.npcs;
+        let n_max = self.model.max_users(l.max(1), m);
+        self.tracer.emit(TraceEvent::Decision {
+            tick: now_tick,
+            zone: snapshot.zone.0,
+            kind,
+            model_version: self.model_version,
+            replicas: l,
+            users: n,
+            npcs: m,
+            predicted_tick_s: self.model.tick(l.max(1), n, m, n.div_ceil(l.max(1))),
+            n_max,
+            trigger: self.model.replication_trigger(l.max(1), m),
+            l_max: self.model.max_replicas(m).l_max,
+        });
+    }
+
+    /// Audit-trail record of one Eq. 5 budget evaluation for a
+    /// donor→receiver pair (no-op when tracing is off).
+    #[allow(clippy::too_many_arguments)]
+    fn audit_budget(
+        &self,
+        now_tick: u64,
+        from: &crate::monitor::ServerSnapshot,
+        to: &crate::monitor::ServerSnapshot,
+        x_max_ini: u32,
+        x_max_rcv: u32,
+        granted: u32,
+    ) {
+        if !self.tracer.is_enabled() {
+            return;
+        }
+        self.tracer.emit(TraceEvent::MigrationBudget {
+            tick: now_tick,
+            cause: now_tick,
+            from: from.server.0,
+            to: to.server.0,
+            from_tick_s: from.avg_tick,
+            to_tick_s: to.avg_tick,
+            x_max_ini,
+            x_max_rcv,
+            granted,
+        });
+    }
+
     /// Listing 1: one round of paced migrations from the most loaded server
     /// toward the underloaded ones. `exclude` removes a server (e.g. a
     /// draining one) from the target set.
-    fn balance_round(&self, snapshot: &ZoneSnapshot, out: &mut Vec<Action>) {
+    fn balance_round(&self, snapshot: &ZoneSnapshot, now_tick: u64, out: &mut Vec<Action>) {
         let n = snapshot.total_users();
         let l = snapshot.replicas();
         if l < 2 || n == 0 {
@@ -185,6 +242,7 @@ impl ModelDriven {
                 self.model.u_threshold,
             ));
             let k = deficit.min(rcv).min(ini_left).min(surplus);
+            self.audit_budget(now_tick, s_max, target, ini_left, rcv, k);
             if k == 0 {
                 continue;
             }
@@ -199,7 +257,13 @@ impl ModelDriven {
     }
 
     /// Paced draining of a replica marked for removal.
-    fn drain_round(&self, snapshot: &ZoneSnapshot, victim: NodeId, out: &mut Vec<Action>) {
+    fn drain_round(
+        &self,
+        snapshot: &ZoneSnapshot,
+        victim: NodeId,
+        now_tick: u64,
+        out: &mut Vec<Action>,
+    ) {
         let Some(v) = snapshot.server(victim) else {
             return;
         };
@@ -227,6 +291,7 @@ impl ModelDriven {
                 self.model.u_threshold,
             ));
             let k = remaining.min(rcv).min(ini_left);
+            self.audit_budget(now_tick, v, target, ini_left, rcv, k);
             if k == 0 {
                 continue;
             }
@@ -246,7 +311,7 @@ impl Policy for ModelDriven {
         "model-driven"
     }
 
-    fn decide(&mut self, snapshot: &ZoneSnapshot, _now_tick: u64) -> Vec<Action> {
+    fn decide(&mut self, snapshot: &ZoneSnapshot, now_tick: u64) -> Vec<Action> {
         self.refresh_model();
         let mut out = Vec::new();
         let l = snapshot.replicas();
@@ -287,10 +352,12 @@ impl Policy for ModelDriven {
                     self.draining = None;
                     // The snapshot still lists the victim; further decisions
                     // wait until the next round sees the updated group.
+                    self.audit_decision(snapshot, now_tick, "remove_replica");
                     return out;
                 }
                 Some(_) => {
-                    self.drain_round(snapshot, victim, &mut out);
+                    self.drain_round(snapshot, victim, now_tick, &mut out);
+                    self.audit_decision(snapshot, now_tick, "scale_down");
                     return out;
                 }
                 None => self.draining = None,
@@ -306,6 +373,7 @@ impl Policy for ModelDriven {
                     zone: snapshot.zone,
                 });
                 self.cooldown_rounds_left = self.config.replica_cooldown_rounds;
+                self.audit_decision(snapshot, now_tick, "add_replica");
             } else {
                 // l_max reached: substitute the most loaded standard
                 // machine, if one is left (§IV).
@@ -320,6 +388,7 @@ impl Policy for ModelDriven {
                         old: old.server,
                     });
                     self.cooldown_rounds_left = self.config.replica_cooldown_rounds;
+                    self.audit_decision(snapshot, now_tick, "substitute");
                 }
             }
         } else if l > 1 && self.draining.is_none() && self.cooldown_rounds_left == 0 {
@@ -328,14 +397,25 @@ impl Policy for ModelDriven {
             if (n as f64) < self.config.remove_fraction * cap_smaller as f64 {
                 if let Some(least) = snapshot.least_loaded() {
                     self.draining = Some(least.server);
-                    self.drain_round(snapshot, least.server, &mut out);
+                    self.drain_round(snapshot, least.server, now_tick, &mut out);
+                    self.audit_decision(snapshot, now_tick, "scale_down");
                     return out;
                 }
             }
         }
 
-        self.balance_round(snapshot, &mut out);
+        let before_balance = out.len();
+        self.balance_round(snapshot, now_tick, &mut out);
+        if out.is_empty() {
+            self.audit_decision(snapshot, now_tick, "hold");
+        } else if out.len() > before_balance && before_balance == 0 {
+            self.audit_decision(snapshot, now_tick, "balance");
+        }
         out
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 }
 

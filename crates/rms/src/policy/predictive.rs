@@ -158,6 +158,10 @@ impl Policy for PredictiveModelDriven {
         }
         self.inner.decide(snapshot, now_tick)
     }
+
+    fn set_tracer(&mut self, tracer: roia_obs::Tracer) {
+        self.inner.set_tracer(tracer);
+    }
 }
 
 #[cfg(test)]

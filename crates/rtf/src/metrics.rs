@@ -118,7 +118,12 @@ impl MetricsLog {
         self.records.iter()
     }
 
-    /// The last `window` records, oldest first.
+    /// The last `window` records, oldest first. Windowing is
+    /// *positional*, not tick-numbered: it returns the most recent
+    /// `window` retained records (all of them when `window ≥ len`,
+    /// none when `window == 0`), regardless of the records' `tick`
+    /// fields — so a server restart, which resets tick numbering to
+    /// zero, does not hide or duplicate records near the boundary.
     pub fn window(&self, window: usize) -> impl Iterator<Item = &TickRecord> {
         let skip = self.records.len().saturating_sub(window);
         self.records.iter().skip(skip)
@@ -267,6 +272,64 @@ mod tests {
         assert!(log
             .avg_task_per_item(TaskKind::Fa, 10, |r| r.forwarded_processed)
             .is_none());
+    }
+
+    #[test]
+    fn window_at_the_retention_boundary() {
+        // Exactly at capacity: a window of `capacity` sees every record,
+        // larger windows see the same (no phantom records), and the next
+        // push shifts the window by exactly one.
+        let cap = 4;
+        let mut log = MetricsLog::new(cap);
+        for i in 0..cap as u64 {
+            log.push(record(i, i as f64, 0));
+        }
+        let all: Vec<u64> = log.window(cap).map(|r| r.tick).collect();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+        let over: Vec<u64> = log.window(cap + 1).map(|r| r.tick).collect();
+        assert_eq!(over, all, "window beyond retention returns what is kept");
+        assert_eq!(log.window(usize::MAX).count(), cap);
+
+        log.push(record(4, 4.0, 0));
+        let shifted: Vec<u64> = log.window(cap).map(|r| r.tick).collect();
+        assert_eq!(shifted, vec![1, 2, 3, 4], "eviction shifts the window");
+        let one: Vec<u64> = log.window(1).map(|r| r.tick).collect();
+        assert_eq!(one, vec![4]);
+        assert_eq!(log.window(0).count(), 0, "window(0) is empty");
+    }
+
+    #[test]
+    fn window_stats_at_the_retention_boundary() {
+        // Aggregates over a window that spans evicted records must use
+        // only the retained ones — not silently divide by the requested
+        // window size.
+        let mut log = MetricsLog::new(2);
+        log.push(record(0, 1.0, 0));
+        log.push(record(1, 0.02, 0));
+        log.push(record(2, 0.04, 0)); // evicts tick 0 (duration 1.0)
+        assert!((log.avg_tick_duration(10) - 0.03).abs() < 1e-12);
+        assert_eq!(log.max_tick_duration(10), 0.04, "evicted max is forgotten");
+    }
+
+    #[test]
+    fn window_across_server_restart() {
+        // A restarted server resets its tick counter to zero. Windowing
+        // is positional, so the monitor's queries must keep returning
+        // the most recent records even while tick numbers go backwards.
+        let mut log = MetricsLog::new(8);
+        for i in 0..5u64 {
+            log.push(record(100 + i, 0.01, 0));
+        }
+        for i in 0..3u64 {
+            log.push(record(i, 0.03, 0)); // post-restart ticks restart at 0
+        }
+        let last4: Vec<u64> = log.window(4).map(|r| r.tick).collect();
+        assert_eq!(last4, vec![104, 0, 1, 2], "positional, not tick-ordered");
+        // The 3-record window covers exactly the post-restart records.
+        assert!((log.avg_tick_duration(3) - 0.03).abs() < 1e-12);
+        // A window spanning the restart mixes both epochs, by design.
+        assert!((log.avg_tick_duration(4) - (0.01 + 3.0 * 0.03) / 4.0).abs() < 1e-12);
+        assert_eq!(log.latest().unwrap().tick, 2);
     }
 
     #[test]

@@ -156,6 +156,10 @@ pub struct Server<A: Application> {
     tick: u64,
     config: ServerConfig,
     migration_counters: MigrationCounters,
+    tracer: roia_obs::Tracer,
+    /// Sim-time of this server's tick 0, so trace events carry
+    /// cluster-monotonic time instead of the server-local counter.
+    trace_tick_offset: u64,
 }
 
 impl<A: Application> Server<A> {
@@ -175,7 +179,19 @@ impl<A: Application> Server<A> {
             tick: 0,
             config,
             migration_counters: MigrationCounters::default(),
+            tracer: roia_obs::Tracer::disabled(),
+            trace_tick_offset: 0,
         }
+    }
+
+    /// Installs a telemetry tracer: every tick then emits a
+    /// [`roia_obs::TraceEvent::TickSpan`] with the per-task child
+    /// timings. `tick_offset` is the simulation time of this server's
+    /// local tick 0 (a server booted mid-session starts counting at
+    /// zero), so spans carry monotonic sim-time.
+    pub fn set_tracer(&mut self, tracer: roia_obs::Tracer, tick_offset: u64) {
+        self.tracer = tracer;
+        self.trace_tick_offset = tick_offset;
     }
 
     /// This server's network identity.
@@ -584,6 +600,20 @@ impl<A: Application> Server<A> {
             bytes_out_peers,
         };
         self.metrics.push(record.clone());
+        if self.tracer.is_enabled() {
+            self.tracer.emit(roia_obs::TraceEvent::TickSpan {
+                tick: self.trace_tick_offset + self.tick,
+                server: record.server.0,
+                zone: self.zone.0,
+                duration_s: record.tick_duration,
+                per_task: record.per_task,
+                active_users: record.active_users,
+                shadow_users: record.shadow_users,
+                npcs: record.npcs,
+                migrations_initiated: record.migrations_initiated,
+                migrations_received: record.migrations_received,
+            });
+        }
         self.tick += 1;
         record
     }

@@ -19,8 +19,9 @@
 use crate::chaos::{ChaosEngine, Fault, FaultPlan, Revert};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use roia_autocal::{OnlineCalibrator, RefitReport};
+use roia_autocal::{OnlineCalibrator, PublishOutcome, RefitReport};
 use roia_model::ScalabilityModel;
+use roia_obs::{secs_to_micros, MetricKey, MetricsRegistry, TraceEvent, Tracer};
 use rtf_core::client::{Client, ClientState};
 use rtf_core::entity::UserId;
 use rtf_core::metrics::TickRecord;
@@ -196,6 +197,11 @@ pub struct Cluster {
     history: Vec<ClusterTickStats>,
     violations: u64,
     u_threshold: f64,
+    /// Telemetry tracer threaded through servers, controller and chaos.
+    tracer: Tracer,
+    /// Operator-facing metrics: per-server tick-duration histograms,
+    /// population gauges, lifecycle counters.
+    metrics: MetricsRegistry,
 }
 
 impl Cluster {
@@ -248,6 +254,8 @@ impl Cluster {
             history: Vec::new(),
             violations: 0,
             u_threshold: 0.040,
+            tracer: Tracer::disabled(),
+            metrics: MetricsRegistry::new(),
         };
         for _ in 0..initial_servers {
             let lease = cluster
@@ -263,7 +271,48 @@ impl Cluster {
 
     /// Attaches an RTF-RMS controller.
     pub fn set_controller(&mut self, policy: Box<dyn Policy>, config: ControllerConfig) {
-        self.controller = Some(RmsController::new(policy, config));
+        let mut controller = RmsController::new(policy, config);
+        if self.tracer.is_enabled() {
+            controller.set_tracer(self.tracer.clone());
+        }
+        self.controller = Some(controller);
+    }
+
+    /// Installs a telemetry tracer on the whole deployment: every live and
+    /// future server emits tick spans, the controller (if attached now or
+    /// later) emits its decision audit trail, and the cluster itself emits
+    /// fault, lifecycle, migration and refit events. Install it before
+    /// [`Cluster::run`] for a complete trace; installing mid-session picks
+    /// up from the current tick.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+        if let Some(controller) = self.controller.as_mut() {
+            controller.set_tracer(self.tracer.clone());
+        }
+        let now = self.tick;
+        for handle in &mut self.servers {
+            // Offset local tick 0 to sim time: the server has produced
+            // `latest().tick + 1` records so far.
+            let local = handle
+                .server
+                .metrics()
+                .latest()
+                .map(|r| r.tick + 1)
+                .unwrap_or(0);
+            handle
+                .server
+                .set_tracer(self.tracer.clone(), now.saturating_sub(local));
+        }
+        if let Some(cal) = self.autocal.as_ref() {
+            cal.registry().set_tracer(self.tracer.clone());
+        }
+    }
+
+    /// The operator-facing metrics registry (tick-duration histograms,
+    /// population gauges, lifecycle counters). Export with
+    /// [`MetricsRegistry::prometheus`] or [`MetricsRegistry::to_json`].
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// The tick-duration threshold used for violation accounting.
@@ -304,6 +353,9 @@ impl Cluster {
     /// (`ModelDriven::live(cluster_calibrator.registry(), ..)`) to close
     /// the loop.
     pub fn set_autocal(&mut self, calibrator: OnlineCalibrator) {
+        if self.tracer.is_enabled() {
+            calibrator.registry().set_tracer(self.tracer.clone());
+        }
         self.autocal = Some(calibrator);
     }
 
@@ -464,8 +516,17 @@ impl Cluster {
             metrics_capacity: 4096,
         };
         let label = format!("server-{}", self.servers.len());
-        let server = Server::new(&self.bus, &label, self.zone, app, server_config);
+        let mut server = Server::new(&self.bus, &label, self.zone, app, server_config);
         let id = server.id();
+        if self.tracer.is_enabled() {
+            server.set_tracer(self.tracer.clone(), self.tick);
+            self.tracer.emit(TraceEvent::ServerBooted {
+                tick: self.tick,
+                server: id.0,
+            });
+        }
+        self.metrics
+            .add(MetricKey::plain("roia_servers_booted_total"), 1);
         self.layout.assign(self.zone, InstanceId(0), id);
         self.servers.push(ServerHandle {
             server,
@@ -498,6 +559,14 @@ impl Cluster {
         self.layout.unassign(self.zone, InstanceId(0), id);
         self.bus.unregister(id);
         self.refresh_peers();
+        if self.tracer.is_enabled() {
+            self.tracer.emit(TraceEvent::ServerRemoved {
+                tick: self.tick,
+                server: id.0,
+            });
+        }
+        self.metrics
+            .add(MetricKey::plain("roia_servers_removed_total"), 1);
         true
     }
 
@@ -649,6 +718,14 @@ impl Cluster {
         self.bus.unregister(id);
         self.suspects.remove(&id);
         self.refresh_peers();
+        if self.tracer.is_enabled() {
+            self.tracer.emit(TraceEvent::ServerCrashed {
+                tick: self.tick,
+                server: id.0,
+            });
+        }
+        self.metrics
+            .add(MetricKey::plain("roia_servers_crashed_total"), 1);
         true
     }
 
@@ -737,6 +814,18 @@ impl Cluster {
         self.chaos = Some(engine);
     }
 
+    fn trace_fault(&mut self, fault: &'static str, server: i64) {
+        if self.tracer.is_enabled() {
+            self.tracer.emit(TraceEvent::FaultInjected {
+                tick: self.tick,
+                fault,
+                server,
+            });
+        }
+        self.metrics
+            .add(MetricKey::plain("roia_faults_injected_total"), 1);
+    }
+
     fn apply_fault(&mut self, fault: Fault, engine: &mut ChaosEngine) {
         match fault {
             Fault::CrashMostLoaded => {
@@ -746,18 +835,21 @@ impl Cluster {
                     .max_by_key(|s| s.server.active_users())
                     .map(|s| s.server.id())
                 {
+                    self.trace_fault("crash_most_loaded", id.0 as i64);
                     self.crash_server(id);
                 }
             }
             Fault::CrashNth(nth) => {
                 if !self.servers.is_empty() {
                     let id = self.servers[nth % self.servers.len()].server.id();
+                    self.trace_fault("crash_nth", id.0 as i64);
                     self.crash_server(id);
                 }
             }
             Fault::Isolate { nth, for_ticks } => {
                 if !self.servers.is_empty() {
                     let id = self.servers[nth % self.servers.len()].server.id();
+                    self.trace_fault("isolate", id.0 as i64);
                     self.bus.set_isolated(id, true);
                     self.suspects.insert(id);
                     engine.schedule_revert(self.tick + for_ticks, Revert::Unisolate(id));
@@ -771,6 +863,7 @@ impl Cluster {
                 if !self.servers.is_empty() {
                     let idx = nth % self.servers.len();
                     let id = self.servers[idx].server.id();
+                    self.trace_fault("straggle", id.0 as i64);
                     self.servers[idx]
                         .server
                         .app_mut()
@@ -779,9 +872,11 @@ impl Cluster {
                 }
             }
             Fault::SetBootFailureRate(rate) => {
+                self.trace_fault("set_boot_failure_rate", -1);
                 self.pool.set_boot_failures(rate, engine.plan().seed);
             }
             Fault::SetLinkLoss(loss) => {
+                self.trace_fault("set_link_loss", -1);
                 let jitter = engine.plan().link_jitter_ticks;
                 self.bus.set_link_faults(loss, jitter);
             }
@@ -789,6 +884,17 @@ impl Cluster {
     }
 
     fn apply_revert(&mut self, revert: Revert) {
+        let (fault, server) = match revert {
+            Revert::Unisolate(id) => ("unisolate", id),
+            Revert::Unstraggle(id) => ("unstraggle", id),
+        };
+        if self.tracer.is_enabled() {
+            self.tracer.emit(TraceEvent::FaultReverted {
+                tick: self.tick,
+                fault,
+                server: server.0 as i64,
+            });
+        }
         match revert {
             Revert::Unisolate(id) => {
                 self.bus.set_isolated(id, false);
@@ -866,7 +972,17 @@ impl Cluster {
                 .map(|s| s.server.active_users())
                 .unwrap_or(0);
             if users > 0 {
-                let _ = self.schedule_migrations(old, new, users);
+                if self.schedule_migrations(old, new, users) && self.tracer.is_enabled() {
+                    // action_id 0: internally scheduled drain, not a
+                    // ledger entry of its own.
+                    self.tracer.emit(TraceEvent::MigrationPlanned {
+                        tick: self.tick,
+                        action_id: 0,
+                        from: old.0,
+                        to: new.0,
+                        users,
+                    });
+                }
                 self.substituting.push((old, new));
             } else if !self.shutdown_server(old) {
                 // Retry next tick (e.g. in-flight migration data).
@@ -991,6 +1107,17 @@ impl Cluster {
         for issued in controller.control(&snapshot, self.tick) {
             match self.execute_action(issued.action) {
                 ActionExec::Done => {
+                    if self.tracer.is_enabled() {
+                        if let Action::Migrate { from, to, users } = issued.action {
+                            self.tracer.emit(TraceEvent::MigrationPlanned {
+                                tick: self.tick,
+                                action_id: issued.id.0,
+                                from: from.0,
+                                to: to.0,
+                                users,
+                            });
+                        }
+                    }
                     controller.report(issued.id, ActionOutcome::Succeeded, self.tick)
                 }
                 ActionExec::Rejected => {
@@ -1127,6 +1254,22 @@ impl Cluster {
                 cal.ingest(record, replicas);
             }
             if let Some(report) = cal.end_tick(self.tick) {
+                if self.tracer.is_enabled() {
+                    let (outcome, version) = match &report.outcome {
+                        PublishOutcome::Published { version } => ("published", *version),
+                        PublishOutcome::RejectedQuality(..) => ("rejected_quality", 0),
+                        PublishOutcome::Cooldown { .. } => ("cooldown", 0),
+                        PublishOutcome::Unchanged { .. } => ("unchanged", 0),
+                    };
+                    self.tracer.emit(TraceEvent::Refit {
+                        tick: self.tick,
+                        reason: report.reason.name(),
+                        outcome,
+                        version,
+                        params: report.refitted.len() as u32,
+                    });
+                }
+                self.metrics.add(MetricKey::plain("roia_refits_total"), 1);
                 self.refit_log.push(report);
             }
         }
@@ -1144,7 +1287,7 @@ impl Cluster {
             handle.client.tick(self.tick, &mut handle.bot);
         }
 
-        // 5. Aggregate stats.
+        // 5. Aggregate stats, operator metrics and settlement events.
         let mut max_tick = 0.0f64;
         let mut load_sum = 0.0;
         let mut violation = false;
@@ -1154,6 +1297,34 @@ impl Cluster {
             if r.tick_duration >= self.u_threshold {
                 violation = true;
                 self.violations += 1;
+                self.metrics
+                    .add(MetricKey::plain("roia_violations_total"), 1);
+            }
+            let micros = secs_to_micros(r.tick_duration);
+            self.metrics.record(
+                MetricKey::labelled("roia_tick_duration_us", "server", r.server.0 as u64),
+                micros,
+            );
+            self.metrics
+                .record(MetricKey::plain("roia_tick_duration_us"), micros);
+            if r.migrations_initiated > 0 {
+                self.metrics.add(
+                    MetricKey::plain("roia_migrations_initiated_total"),
+                    r.migrations_initiated as u64,
+                );
+            }
+            if r.migrations_received > 0 {
+                self.metrics.add(
+                    MetricKey::plain("roia_migrations_received_total"),
+                    r.migrations_received as u64,
+                );
+                if self.tracer.is_enabled() {
+                    self.tracer.emit(TraceEvent::MigrationSettled {
+                        tick: self.tick,
+                        server: r.server.0,
+                        arrived: r.migrations_received,
+                    });
+                }
             }
         }
         let mut active: BTreeSet<UserId> = BTreeSet::new();
@@ -1200,6 +1371,16 @@ impl Cluster {
             model_version,
             predicted_tick,
         };
+        self.metrics
+            .set(MetricKey::plain("roia_users"), stats.users as i64);
+        self.metrics
+            .set(MetricKey::plain("roia_servers"), stats.servers as i64);
+        self.metrics
+            .set(MetricKey::plain("roia_unhomed"), stats.unhomed as i64);
+        self.metrics.set(
+            MetricKey::plain("roia_model_version"),
+            stats.model_version as i64,
+        );
         self.history.push(stats);
         self.tick += 1;
         stats

@@ -125,6 +125,10 @@ pub struct DriftSessionConfig {
     pub shift: RegimeShift,
     /// Frozen or online calibration.
     pub mode: CalibrationMode,
+    /// Telemetry tracer installed on the cluster before the first tick
+    /// (disabled by default). In the online arm the model registry shares
+    /// it, so registry swaps land in the same trace.
+    pub tracer: roia_obs::Tracer,
 }
 
 impl DriftSessionConfig {
@@ -153,6 +157,7 @@ impl DriftSessionConfig {
             model,
             shift,
             mode,
+            tracer: roia_obs::Tracer::disabled(),
         }
     }
 }
@@ -178,6 +183,8 @@ pub struct DriftReport {
     pub total_cost: f64,
     /// Peak replica count.
     pub peak_servers: u32,
+    /// Operator metrics accumulated by the cluster.
+    pub metrics: roia_obs::MetricsRegistry,
 }
 
 impl DriftReport {
@@ -243,6 +250,9 @@ pub fn run_drift_session(config: DriftSessionConfig, workload: &dyn Workload) ->
     let mode_name = config.mode.name();
     let mut cluster = Cluster::new(config.cluster, config.initial_servers);
     cluster.set_threshold(config.u_threshold);
+    if config.tracer.is_enabled() {
+        cluster.set_tracer(config.tracer.clone());
+    }
     match &config.mode {
         CalibrationMode::Frozen => {
             cluster.set_reference_model(config.model.clone());
@@ -288,6 +298,7 @@ pub fn run_drift_session(config: DriftSessionConfig, workload: &dyn Workload) ->
         migrations: cluster.total_migrations(),
         total_cost: cluster.total_cost(),
         peak_servers,
+        metrics: cluster.metrics().clone(),
         history: cluster.history().to_vec(),
     }
 }

@@ -8,6 +8,7 @@
 use crate::chaos::FaultPlan;
 use crate::cluster::{Cluster, ClusterConfig, ClusterTickStats};
 use crate::workload::{drive, Workload};
+use roia_obs::{MetricsRegistry, Tracer};
 use rtf_rms::{ActionOutcome, ControllerConfig, Policy};
 
 /// Session configuration.
@@ -28,6 +29,9 @@ pub struct SessionConfig {
     pub chaos: Option<FaultPlan>,
     /// Run the per-tick invariant checker (panics on violation).
     pub debug_checks: bool,
+    /// Telemetry tracer installed on the cluster before the first tick
+    /// (disabled by default — tracing is strictly opt-in).
+    pub tracer: Tracer,
 }
 
 impl Default for SessionConfig {
@@ -41,6 +45,7 @@ impl Default for SessionConfig {
             initial_servers: 1,
             chaos: None,
             debug_checks: false,
+            tracer: Tracer::disabled(),
         }
     }
 }
@@ -69,6 +74,9 @@ pub struct SessionReport {
     /// Action-ledger outcome histogram: (outcome name, count), in
     /// [`ActionOutcome::ALL`] order, zero-count outcomes included.
     pub outcomes: Vec<(&'static str, usize)>,
+    /// Operator metrics accumulated by the cluster (tick-duration
+    /// histograms per server, lifecycle counters, population gauges).
+    pub metrics: MetricsRegistry,
 }
 
 impl SessionReport {
@@ -134,6 +142,9 @@ pub fn run_session(
     let policy_name = policy.name();
     let mut cluster = Cluster::new(config.cluster, config.initial_servers);
     cluster.set_threshold(config.u_threshold);
+    if config.tracer.is_enabled() {
+        cluster.set_tracer(config.tracer);
+    }
     cluster.set_controller(policy, config.controller);
     cluster.set_debug_checks(config.debug_checks);
     if let Some(plan) = config.chaos {
@@ -167,6 +178,7 @@ pub fn run_session(
         total_cost: cluster.total_cost(),
         peak_servers,
         outcomes,
+        metrics: cluster.metrics().clone(),
         history: cluster.history().to_vec(),
     }
 }

@@ -18,12 +18,15 @@
 //!   generators and measurement campaigns.
 //! * [`autocal`] (`roia-autocal`) — online calibration: sliding-window
 //!   refits, drift detection and the versioned model registry.
+//! * [`obs`] (`roia-obs`) — the telemetry spine: structured event
+//!   tracing, the metrics registry and the decision audit trail.
 
 #![warn(missing_docs)]
 
 pub use roia_autocal as autocal;
 pub use roia_fit as fit;
 pub use roia_model as model;
+pub use roia_obs as obs;
 pub use roia_sim as sim;
 pub use rtf_core as rtf;
 pub use rtf_net as net;

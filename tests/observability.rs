@@ -1,0 +1,233 @@
+//! Observability: the telemetry spine end to end. A seeded chaotic
+//! session is traced into a ring buffer and a JSONL file; the tests
+//! assert the decision audit trail is complete (scale-up decisions
+//! carry their Eq. 1–5 numbers, every issued action reaches a terminal
+//! outcome, migration waves appear as budget → planned → settled), the
+//! metrics registry exports per-server latency quantiles, and that
+//! attaching a tracer does not perturb the simulation.
+
+use roia::model::{calibrate, ScalabilityModel};
+use roia::obs::{TraceEvent, Tracer};
+use roia::rms::{ModelDriven, ModelDrivenConfig};
+use roia::sim::{
+    measure_migration_params, measure_replication_params, run_session, FaultPlan, MeasureConfig,
+    PaperSession, SessionConfig, SessionReport,
+};
+
+fn model() -> ScalabilityModel {
+    let campaign = MeasureConfig {
+        max_users: 120,
+        step: 15,
+        settle_ticks: 8,
+        sample_ticks: 15,
+        noise: 0.08,
+        ..MeasureConfig::default()
+    };
+    let mut measurements = measure_replication_params(&campaign);
+    measurements.merge(&measure_migration_params(&campaign));
+    let calibration = calibrate(&measurements).expect("all parameters fitted");
+    ScalabilityModel::new(calibration.params, 0.040)
+}
+
+/// A session that must scale up (peak 20 % above one server's capacity)
+/// while a seeded fault plan crashes a machine mid-ramp.
+fn chaotic_session(model: &ScalabilityModel, tracer: Tracer) -> SessionReport {
+    let n1 = model.max_users(1, 0);
+    let workload = PaperSession {
+        peak: (n1 as f64 * 1.2) as u32,
+        ramp_up_secs: 28.0,
+        hold_secs: 6.0,
+        ramp_down_secs: 20.0,
+    };
+    let ticks = 54 * 25;
+    let config = SessionConfig {
+        ticks,
+        max_churn_per_tick: 2,
+        chaos: Some(FaultPlan::quiet(7).with_link_faults(0.01, 0)),
+        debug_checks: true,
+        tracer,
+        ..SessionConfig::default()
+    };
+    let policy = Box::new(ModelDriven::new(
+        model.clone(),
+        ModelDrivenConfig::default(),
+    ));
+    run_session(config, policy, &workload)
+}
+
+#[test]
+fn audit_trail_reconstructs_scale_up_and_migration_wave() {
+    let model = model();
+    let (tracer, ring) = Tracer::ring(1 << 20);
+    let report = chaotic_session(&model, tracer);
+    assert!(report.replicas_added >= 1, "the session scaled up");
+
+    let events: Vec<TraceEvent> = ring.lock().unwrap().drain();
+    assert_eq!(ring.lock().unwrap().dropped(), 0, "ring was large enough");
+
+    // ≥1 add_replica decision, carrying its Eq. 1–5 inputs: the load
+    // that crossed the trigger and the capacity numbers it was judged
+    // against.
+    let add = events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::Decision {
+                kind: "add_replica",
+                users,
+                replicas,
+                n_max,
+                trigger,
+                l_max,
+                predicted_tick_s,
+                ..
+            } => Some((
+                *users,
+                *replicas,
+                *n_max,
+                *trigger,
+                *l_max,
+                *predicted_tick_s,
+            )),
+            _ => None,
+        })
+        .expect("an add_replica decision was audited");
+    let (users, replicas, n_max, trigger, l_max, predicted) = add;
+    assert!(
+        trigger > 0 && trigger < n_max,
+        "Eq. 2 trigger below capacity"
+    );
+    assert!(
+        users >= trigger,
+        "the decision fired at or past the trigger"
+    );
+    assert!(replicas < l_max, "Eq. 3 allowed another replica");
+    assert!(predicted > 0.0, "Eq. 4 prediction recorded");
+
+    // The decision spawned an action that reached a terminal outcome.
+    let add_action = events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::ActionIssued {
+                action_id,
+                kind: "add_replica",
+                ..
+            } => Some(*action_id),
+            _ => None,
+        })
+        .expect("the add_replica decision issued an action");
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            TraceEvent::ActionResolved { action_id, .. } if *action_id == add_action
+        )),
+        "action #{add_action} reached a terminal outcome"
+    );
+
+    // A full migration wave: an Eq. 5 budget evaluation with consistent
+    // bounds, the planned transfer, and users arriving.
+    let budget_ok = events.iter().any(|e| match e {
+        TraceEvent::MigrationBudget {
+            x_max_ini,
+            x_max_rcv,
+            granted,
+            ..
+        } => *granted > 0 && granted <= x_max_ini.min(x_max_rcv),
+        _ => false,
+    });
+    assert!(budget_ok, "an Eq. 5 budget granted within its bounds");
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::MigrationPlanned { users, .. } if *users > 0)),
+        "a migration wave was planned"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, TraceEvent::MigrationSettled { arrived, .. } if *arrived > 0)),
+        "migrated users settled"
+    );
+
+    // Sim-time is monotone per server within the span stream.
+    let mut last_tick = std::collections::HashMap::new();
+    for e in &events {
+        if let TraceEvent::TickSpan { tick, server, .. } = e {
+            let prev = last_tick.insert(*server, *tick);
+            assert!(prev.is_none_or(|p| p < *tick), "span ticks monotone");
+        }
+    }
+}
+
+#[test]
+fn jsonl_trace_replays_losslessly() {
+    let model = model();
+    let path = std::env::temp_dir().join(format!("roia_obs_it_{}.jsonl", std::process::id()));
+    let report = chaotic_session(&model, Tracer::jsonl(&path).expect("trace file opens"));
+    assert!(report.replicas_added >= 1);
+
+    let text = std::fs::read_to_string(&path).expect("trace written and flushed");
+    let _ = std::fs::remove_file(&path);
+    let mut decisions = 0;
+    let mut spans = 0;
+    for line in text.lines() {
+        let event = TraceEvent::from_json(line)
+            .unwrap_or_else(|| panic!("every line decodes, failed on: {line}"));
+        // Encode → decode → encode is the identity on the wire format.
+        assert_eq!(
+            TraceEvent::from_json(&event.to_json()),
+            Some(event.clone()),
+            "round trip"
+        );
+        match event {
+            TraceEvent::Decision { .. } => decisions += 1,
+            TraceEvent::TickSpan { .. } => spans += 1,
+            _ => {}
+        }
+    }
+    assert!(decisions >= 1, "decisions present in the replayable trace");
+    assert!(spans as u64 >= 54 * 25, "every server tick left a span");
+}
+
+#[test]
+fn metrics_export_reports_per_server_tick_quantiles() {
+    let model = model();
+    let report = chaotic_session(&model, Tracer::disabled());
+
+    // Metric collection is unconditional — no tracer attached.
+    let prom = report.metrics.prometheus();
+    for needle in [
+        "roia_tick_duration_us{server=\"0\",quantile=\"0.5\"}",
+        "roia_tick_duration_us{server=\"0\",quantile=\"0.99\"}",
+        "roia_tick_duration_us_max{server=\"0\"}",
+        "# TYPE roia_tick_duration_us summary",
+        "# TYPE roia_servers_booted_total counter",
+        "roia_users",
+    ] {
+        assert!(
+            prom.contains(needle),
+            "prometheus export missing {needle}:\n{prom}"
+        );
+    }
+    let json = report.metrics.to_json();
+    assert!(
+        json.contains("roia_tick_duration_us"),
+        "JSON export covers histograms"
+    );
+}
+
+#[test]
+fn tracing_does_not_perturb_the_session() {
+    let model = model();
+    let (tracer, _ring) = Tracer::ring(1 << 20);
+    let traced = chaotic_session(&model, tracer);
+    let silent = chaotic_session(&model, Tracer::disabled());
+
+    assert_eq!(traced.violations, silent.violations);
+    assert_eq!(traced.migrations, silent.migrations);
+    assert_eq!(traced.replicas_added, silent.replicas_added);
+    assert_eq!(traced.peak_servers, silent.peak_servers);
+    assert_eq!(traced.history.len(), silent.history.len());
+    for (a, b) in traced.history.iter().zip(silent.history.iter()) {
+        assert_eq!((a.tick, a.users, a.servers), (b.tick, b.users, b.servers));
+    }
+}
