@@ -193,6 +193,7 @@ fn fit_quality(predict: impl Fn(f64) -> f64, xs: &[f64], ys: &[f64]) -> (f64, f6
     }
     let r_squared = if ss_tot > 0.0 {
         1.0 - ss_res / ss_tot
+        // lint: allow(float_cmp, "exact-zero guard: a sum of squares is 0.0 only when every residual is exactly 0.0")
     } else if ss_res == 0.0 {
         1.0
     } else {

@@ -38,8 +38,8 @@ impl BandwidthParams {
     /// distribution: state updates to `n/l` clients plus replica updates
     /// for `n/l` active entities to each of the `l − 1` peers.
     pub fn bytes_out_per_tick(&self, load: ZoneLoad) -> f64 {
-        let l = load.replicas as f64;
-        let n = load.users as f64;
+        let l = f64::from(load.replicas);
+        let n = f64::from(load.users);
         let active = n / l;
         active * self.client_out_per_user.eval(n)
             + (l - 1.0) * active * self.peer_out_per_active.eval(n)
@@ -49,8 +49,8 @@ impl BandwidthParams {
     /// own `n/l` users plus replica updates for the `n − n/l` shadow
     /// entities.
     pub fn bytes_in_per_tick(&self, load: ZoneLoad) -> f64 {
-        let l = load.replicas as f64;
-        let n = load.users as f64;
+        let l = f64::from(load.replicas);
+        let n = f64::from(load.users);
         let active = n / l;
         active * self.client_in_per_user.eval(n) + (n - active) * self.peer_out_per_active.eval(n)
     }

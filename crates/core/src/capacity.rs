@@ -84,7 +84,9 @@ impl ReplicaLimit {
         if l == 0 {
             return None;
         }
-        self.capacity_per_replica.get(l as usize - 1).copied()
+        self.capacity_per_replica
+            .get(crate::convert::usize_from_u32(l) - 1)
+            .copied()
     }
 }
 
@@ -107,12 +109,12 @@ pub fn l_max(params: &ModelParams, m: u32, u_threshold: f64, c: f64) -> ReplicaL
     while l < L_SEARCH_CAP {
         let next = l + 1;
         let n_prev = *capacities.last().expect("at least one entry");
-        let target = n_prev as f64 + c * n1 as f64;
+        let target = f64::from(n_prev) + c * f64::from(n1);
         let t = tick_duration_equal(
             params,
             ZoneLoad {
                 replicas: next,
-                users: target.ceil() as u32,
+                users: crate::convert::ceil_u32(target),
                 npcs: m,
             },
         );
@@ -137,7 +139,7 @@ pub fn replication_trigger(capacity: u32, fraction: f64) -> u32 {
         (0.0..=1.0).contains(&fraction),
         "fraction must be in [0, 1]"
     );
-    (capacity as f64 * fraction).floor() as u32
+    crate::convert::floor_u32(f64::from(capacity) * fraction)
 }
 
 /// One point of the Fig. 5 curve.

@@ -1,0 +1,92 @@
+//! Checked numeric conversions for model quantities.
+//!
+//! The model computes on `f64` but counts users, replicas and NPCs in
+//! `u32`/`usize`/`u64`. A bare `as` cast at each boundary silently wraps or
+//! truncates when an intermediate goes negative, NaN or out of range —
+//! exactly the "small evaluation error becomes a wrong capacity decision"
+//! failure mode this reproduction must not have. roia-lint rule **M2** bans
+//! bare casts in `roia-model` and `rtf-rms`; these helpers (and
+//! `From`/`TryFrom`) are the sanctioned replacements. Each states its
+//! clamping behaviour in its name and documentation instead of hiding it in
+//! cast semantics.
+//!
+//! This module is the one place in the model crates where `as` appears; the
+//! sites carry justified `allow(cast)` annotations.
+
+/// Widens a population count to `f64`.
+///
+/// Exact up to 2⁵³; populations are bounded far below that.
+pub fn f64_from_usize(n: usize) -> f64 {
+    n as f64 // lint: allow(cast, "usize→f64 is exact below 2^53; counts are far smaller")
+}
+
+/// Widens a tick count or id to `f64`.
+///
+/// Exact up to 2⁵³ (≈285 million years of 25 Hz ticks).
+pub fn f64_from_u64(n: u64) -> f64 {
+    n as f64 // lint: allow(cast, "u64→f64 is exact below 2^53; tick counts are far smaller")
+}
+
+/// Narrows a collection length to a `u32` population count, saturating.
+///
+/// A saturated result (> 4 billion users) is far past every other limit in
+/// the model, so clamping is strictly better than wrapping.
+pub fn count_u32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
+/// Widens a `u32` index to `usize` (lossless on every supported target).
+pub fn usize_from_u32(n: u32) -> usize {
+    n as usize // lint: allow(cast, "u32→usize is lossless on 32-/64-bit targets")
+}
+
+/// Floors a model quantity to a `u32` count: NaN and negatives become 0,
+/// overflow saturates at `u32::MAX`.
+///
+/// Matches what `x.max(0.0) as u32` did, with the semantics in the name.
+pub fn floor_u32(x: f64) -> u32 {
+    x.floor() as u32 // lint: allow(cast, "float→int `as` saturates (NaN→0) since Rust 1.45 — the documented contract of this helper")
+}
+
+/// Ceils a model quantity to a `u32` count: NaN and negatives become 0,
+/// overflow saturates at `u32::MAX`.
+pub fn ceil_u32(x: f64) -> u32 {
+    x.ceil() as u32 // lint: allow(cast, "float→int `as` saturates (NaN→0) since Rust 1.45 — the documented contract of this helper")
+}
+
+/// Rounds a model quantity to the nearest `u32` count: NaN and negatives
+/// become 0, overflow saturates at `u32::MAX`.
+pub fn round_u32(x: f64) -> u32 {
+    x.round() as u32 // lint: allow(cast, "float→int `as` saturates (NaN→0) since Rust 1.45 — the documented contract of this helper")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widening_is_exact_for_model_ranges() {
+        assert_eq!(f64_from_usize(300), 300.0);
+        assert_eq!(f64_from_u64(7500), 7500.0);
+        assert_eq!(f64_from_u64(1 << 53), 9007199254740992.0);
+        assert_eq!(usize_from_u32(u32::MAX), 4294967295);
+    }
+
+    #[test]
+    fn count_saturates_instead_of_wrapping() {
+        assert_eq!(count_u32(42), 42);
+        assert_eq!(count_u32(usize::MAX), u32::MAX);
+    }
+
+    #[test]
+    fn float_to_count_clamps_the_bad_cases() {
+        assert_eq!(floor_u32(2.9), 2);
+        assert_eq!(ceil_u32(2.1), 3);
+        assert_eq!(round_u32(2.5), 3);
+        assert_eq!(floor_u32(-1.5), 0);
+        assert_eq!(round_u32(f64::NAN), 0);
+        assert_eq!(ceil_u32(1e300), u32::MAX);
+        assert_eq!(floor_u32(f64::INFINITY), u32::MAX);
+        assert_eq!(floor_u32(f64::NEG_INFINITY), 0);
+    }
+}

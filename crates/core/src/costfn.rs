@@ -101,7 +101,8 @@ impl CostFn {
         const SAMPLES: usize = 256;
         let mut prev = self.eval(0.0);
         for i in 1..=SAMPLES {
-            let x = x_hi * i as f64 / SAMPLES as f64;
+            let x =
+                x_hi * crate::convert::f64_from_usize(i) / crate::convert::f64_from_usize(SAMPLES);
             let v = self.eval(x);
             if v < prev - 1e-15 {
                 return false;

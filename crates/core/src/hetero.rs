@@ -35,7 +35,7 @@ pub fn equalized_allocation(params: &ModelParams, n: u32, speedups: &[f64]) -> (
         speedups.iter().all(|s| *s > 0.0),
         "speedups must be positive"
     );
-    let nf = n as f64;
+    let nf = f64::from(n);
     let own = params.own_cost(nf);
     let fwd = params.shadow_cost(nf);
 
@@ -44,7 +44,7 @@ pub fn equalized_allocation(params: &ModelParams, n: u32, speedups: &[f64]) -> (
     let mut shares_f = vec![0.0f64; speedups.len()];
     let mut tick;
     loop {
-        let l_active = active.len() as f64;
+        let l_active = crate::convert::f64_from_usize(active.len());
         let speed_sum: f64 = active.iter().map(|&i| speedups[i]).sum();
         // Equal ticks over the active set (pinned servers own no users, so
         // they drop out of the Σa_i = n constraint entirely):
@@ -79,8 +79,11 @@ pub fn equalized_allocation(params: &ModelParams, n: u32, speedups: &[f64]) -> (
     }
 
     // Round to integers while conserving n (largest remainders win).
-    let mut shares: Vec<u32> = shares_f.iter().map(|s| s.floor() as u32).collect();
-    let mut remainder = n as i64 - shares.iter().map(|&s| s as i64).sum::<i64>();
+    let mut shares: Vec<u32> = shares_f
+        .iter()
+        .map(|s| crate::convert::floor_u32(*s))
+        .collect();
+    let mut remainder = i64::from(n) - shares.iter().map(|&s| i64::from(s)).sum::<i64>();
     let mut order: Vec<usize> = (0..shares.len()).collect();
     order.sort_by(|&a, &b| {
         let fa = shares_f[a] - shares_f[a].floor();
@@ -101,14 +104,14 @@ pub fn equalized_allocation(params: &ModelParams, n: u32, speedups: &[f64]) -> (
 /// the true maximum).
 pub fn worst_tick_hetero(params: &ModelParams, n: u32, m: u32, speedups: &[f64]) -> f64 {
     let (shares, _) = equalized_allocation(params, n, speedups);
-    let nf = n as f64;
+    let nf = f64::from(n);
     let own = params.own_cost(nf);
     let fwd = params.shadow_cost(nf);
-    let npc = params.npc_cost(nf) * m as f64 / speedups.len() as f64;
+    let npc = params.npc_cost(nf) * f64::from(m) / crate::convert::f64_from_usize(speedups.len());
     shares
         .iter()
         .zip(speedups)
-        .map(|(&a, &s)| (a as f64 * own + (nf - a as f64) * fwd + npc) / s)
+        .map(|(&a, &s)| (f64::from(a) * own + (nf - f64::from(a)) * fwd + npc) / s)
         .fold(0.0, f64::max)
 }
 

@@ -53,6 +53,7 @@
 pub mod bandwidth;
 pub mod calibrate;
 pub mod capacity;
+pub mod convert;
 pub mod costfn;
 pub mod hetero;
 pub mod migration;

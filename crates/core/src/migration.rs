@@ -39,7 +39,7 @@ fn max_additional(base: f64, cost: f64, threshold: f64) -> u32 {
     // but floating-point rounding can put it off by one in either
     // direction, so nudge against the actual comparison.
     let mut x = (budget / cost).floor();
-    if x >= u32::MAX as f64 {
+    if x >= f64::from(u32::MAX) {
         return u32::MAX;
     }
     while x > 0.0 && base + x * cost >= threshold {
@@ -47,11 +47,11 @@ fn max_additional(base: f64, cost: f64, threshold: f64) -> u32 {
     }
     while base + (x + 1.0) * cost < threshold {
         x += 1.0;
-        if x >= u32::MAX as f64 {
+        if x >= f64::from(u32::MAX) {
             return u32::MAX;
         }
     }
-    x.max(0.0) as u32
+    crate::convert::floor_u32(x)
 }
 
 /// Eq. (5), initiate side, from a *predicted* tick duration: how many
@@ -59,13 +59,13 @@ fn max_additional(base: f64, cost: f64, threshold: f64) -> u32 {
 /// second without exceeding `u_threshold`.
 pub fn x_max_ini(params: &ModelParams, load: ZoneLoad, active: u32, u_threshold: f64) -> u32 {
     let t = tick_duration(params, load, active);
-    max_additional(t, params.t_mig_ini.eval(load.users as f64), u_threshold)
+    max_additional(t, params.t_mig_ini.eval(f64::from(load.users)), u_threshold)
 }
 
 /// Eq. (5), receive side. See [`x_max_ini`].
 pub fn x_max_rcv(params: &ModelParams, load: ZoneLoad, active: u32, u_threshold: f64) -> u32 {
     let t = tick_duration(params, load, active);
-    max_additional(t, params.t_mig_rcv.eval(load.users as f64), u_threshold)
+    max_additional(t, params.t_mig_rcv.eval(f64::from(load.users)), u_threshold)
 }
 
 /// Eq. (5) evaluated from an *observed* tick duration instead of the
@@ -80,8 +80,8 @@ pub fn x_max_from_tick(
     u_threshold: f64,
 ) -> u32 {
     let cost = match side {
-        MigrationSide::Initiate => params.t_mig_ini.eval(users as f64),
-        MigrationSide::Receive => params.t_mig_rcv.eval(users as f64),
+        MigrationSide::Initiate => params.t_mig_ini.eval(f64::from(users)),
+        MigrationSide::Receive => params.t_mig_rcv.eval(f64::from(users)),
     };
     max_additional(observed_tick, cost, u_threshold)
 }

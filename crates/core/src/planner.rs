@@ -92,7 +92,7 @@ impl Default for PlannerConfig {
 /// divisible by the replica count.)
 fn is_balanced(users: &[u32]) -> bool {
     let n: u32 = users.iter().sum();
-    let avg = n / users.len() as u32;
+    let avg = n / crate::convert::count_u32(users.len());
     users
         .iter()
         .all(|&u| u >= avg.saturating_sub(1) && u <= avg + 1)
@@ -110,7 +110,7 @@ pub fn plan_round(params: &ModelParams, users: &[u32], config: &PlannerConfig) -
     }
 
     let n: u32 = users.iter().sum();
-    let l = users.len() as u32;
+    let l = crate::convert::count_u32(users.len());
     let load = ZoneLoad {
         replicas: l,
         users: n,

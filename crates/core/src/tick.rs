@@ -42,9 +42,9 @@ impl ZoneLoad {
 ///          + m/l · t_npc(n)
 /// ```
 pub fn tick_duration_equal(params: &ModelParams, load: ZoneLoad) -> f64 {
-    let l = load.replicas as f64;
-    let n = load.users as f64;
-    let m = load.npcs as f64;
+    let l = f64::from(load.replicas);
+    let n = f64::from(load.users);
+    let m = f64::from(load.npcs);
     let active = n / l;
     active * params.own_cost(n)
         + (n - active) * params.shadow_cost(n)
@@ -63,12 +63,12 @@ pub fn tick_duration_equal(params: &ModelParams, load: ZoneLoad) -> f64 {
 /// `active` is clamped to `n`: a server can never own more active entities
 /// than the zone has users.
 pub fn tick_duration(params: &ModelParams, load: ZoneLoad, active: u32) -> f64 {
-    let a = active.min(load.users) as f64;
-    let n = load.users as f64;
-    let m = load.npcs as f64;
+    let a = f64::from(active.min(load.users));
+    let n = f64::from(load.users);
+    let m = f64::from(load.npcs);
     a * params.own_cost(n)
         + (n - a) * params.shadow_cost(n)
-        + (m / load.replicas as f64) * params.npc_cost(n)
+        + (m / f64::from(load.replicas)) * params.npc_cost(n)
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@ use rtf_core::server::{Application, ForwardEvent, TickCtx};
 use rtf_core::wire::{Wire, WireReader, WireWriter};
 use rtf_net::NodeId;
 use std::collections::BTreeMap;
+// lint: allow-file(nondet, "Instant spans here only feed the Wall accumulators via add_wall; deterministic runs use TimeMode::Virtual, whose tick durations come solely from charge()d virtual seconds")
 use std::time::Instant;
 
 /// Gameplay counters, for tests and reports.

@@ -183,6 +183,7 @@ impl CostModel {
 
     /// Applies the noise factor to a cost.
     fn perturb(&mut self, secs: f64) -> f64 {
+        // lint: allow(float_cmp, "0.0 is the exact noise-off config value, never a computed quantity")
         if self.noise == 0.0 {
             return secs;
         }

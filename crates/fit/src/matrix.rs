@@ -141,6 +141,7 @@ impl Matrix {
         for i in 0..self.rows {
             for k in 0..self.cols {
                 let aik = self[(i, k)];
+                // lint: allow(float_cmp, "sparsity skip: only exactly-zero entries may be skipped without changing the product")
                 if aik == 0.0 {
                     continue;
                 }

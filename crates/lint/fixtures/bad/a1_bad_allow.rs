@@ -1,0 +1,9 @@
+// Golden bad fixture for A1: annotations without justification / with an
+// unknown tag are findings themselves.
+// lint: allow(panic)
+pub fn f(v: &[u32]) -> u32 {
+    v[0]
+}
+
+// lint: allow(determinism, "not a known tag")
+pub fn g() {}

@@ -1,0 +1,8 @@
+// Golden bad fixture for D2: wall-clock and ambient randomness.
+use std::time::Instant;
+
+pub fn measure() -> f64 {
+    let start = Instant::now();
+    let jitter: f64 = rand::random();
+    start.elapsed().as_secs_f64() + jitter
+}

@@ -1,0 +1,4 @@
+// Golden bad fixture for F1: exact float comparison.
+pub fn converged(residual: f64) -> bool {
+    residual == 0.0
+}

@@ -1,0 +1,5 @@
+// Golden bad fixture for M1: panics in a hot path.
+pub fn hot(v: &[u32], o: Option<u32>) -> u32 {
+    let first = v[0];
+    first + o.unwrap() + o.expect("present")
+}

@@ -1,0 +1,4 @@
+// Golden bad fixture for M2: bare numeric casts on model quantities.
+pub fn lossy(users: u64, t: f64) -> (u32, u64) {
+    (users as u32, t as u64)
+}

@@ -1,0 +1,19 @@
+// Golden good fixture: every would-be finding carries a justified allow.
+// lint: allow-file(nondet, "this module is the wall-clock boundary for Wall mode")
+use std::time::Instant;
+
+// lint: allow(unordered, "insert/get only; never iterated, so order cannot leak")
+use std::collections::HashMap;
+
+// lint: allow(unordered, "read-only view over the map imported above")
+pub fn lookup(m: &HashMap<u32, u32>, k: u32, v: &[u32]) -> u32 {
+    let base = m.get(&k).copied().unwrap_or(0);
+    let first = v[0]; // lint: allow(panic, "caller guarantees non-empty by construction")
+    let t = Instant::now().elapsed().as_secs_f64();
+    let scaled = t as u64; // lint: allow(cast, "diagnostic only, precision loss is fine")
+    base + first + scaled as u32 // lint: allow(cast, "bounded by protocol to < 2^32")
+}
+
+pub fn is_sentinel(x: f64) -> bool {
+    x == -1.0 // lint: allow(float_cmp, "-1.0 is an exact sentinel, never computed")
+}

@@ -1,0 +1,31 @@
+// Golden good fixture: idiomatic deterministic code — nothing to flag.
+use std::collections::BTreeMap;
+
+pub fn tally(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+
+pub fn safe_first(v: &[u32]) -> Option<u32> {
+    v.first().copied()
+}
+
+pub fn widen(n: u32) -> f64 {
+    f64::from(n)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_panic_and_hash() {
+        use std::collections::HashMap;
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(*m.get(&1).unwrap(), 2);
+        let v = [1, 2, 3];
+        assert_eq!(v[0] as f64, 1.0);
+    }
+}

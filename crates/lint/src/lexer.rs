@@ -1,0 +1,599 @@
+//! A minimal Rust lexer — just enough structure for the roia-lint rules.
+//!
+//! The analyzer cannot use `syn` (it must build in hermetic environments
+//! with no registry access), so it works on a token stream produced here.
+//! The lexer understands the parts of the grammar that matter for not
+//! mis-firing: line and nested block comments, string/raw-string/byte-string
+//! and char literals (so `"HashMap"` in a string is not an identifier),
+//! lifetimes vs char literals, numeric literals with suffixes and exponents,
+//! and a small set of multi-char operators (`::`, `==`, `!=`, ...).
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Numeric literal (including suffix, e.g. `1.5e-3f64`).
+    Num,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+    /// Punctuation / operator (possibly multi-char).
+    Punct,
+}
+
+/// One lexed token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Source text of the token.
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// Whether this token is the punctuation `op`.
+    pub fn is_punct(&self, op: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == op
+    }
+}
+
+/// One comment (the rules scan these for `lint: allow(...)` annotations).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including the `//` / `/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Whether code tokens precede the comment on its starting line.
+    pub trailing: bool,
+}
+
+/// Lexer output: code tokens and comments, both in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens.
+    pub tokens: Vec<Tok>,
+    /// Comments.
+    pub comments: Vec<Comment>,
+}
+
+/// Two-character operators recognized as single tokens (maximal munch over
+/// this table only; everything else is a single-char punct).
+const TWO_CHAR_OPS: &[&str] = &[
+    "::", "==", "!=", "<=", ">=", "->", "=>", "&&", "||", "..", "+=", "-=", "*=", "/=", "%=", "^=",
+    "|=", "&=",
+];
+
+struct Scanner {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Scanner {
+    fn new(src: &str) -> Self {
+        Self {
+            chars: src.chars().collect(),
+            i: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn cur(&self) -> Option<char> {
+        self.peek(0)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.cur()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Lexes `src` into tokens and comments. Unterminated literals are tolerated
+/// (the rest of the file becomes one literal token): the linter must never
+/// panic on weird input, fixtures included.
+pub fn lex(src: &str) -> Lexed {
+    let mut s = Scanner::new(src);
+    let mut out = Lexed::default();
+    let mut code_on_line: u32 = 0; // last line that produced a code token
+
+    while let Some(c) = s.cur() {
+        let (line, col) = (s.line, s.col);
+
+        // Whitespace.
+        if c.is_whitespace() {
+            s.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && s.peek(1) == Some('/') {
+            let mut text = String::new();
+            while let Some(c) = s.cur() {
+                if c == '\n' {
+                    break;
+                }
+                text.push(c);
+                s.bump();
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                trailing: code_on_line == line,
+            });
+            continue;
+        }
+        if c == '/' && s.peek(1) == Some('*') {
+            let mut text = String::new();
+            let mut depth = 0u32;
+            while let Some(c) = s.cur() {
+                if c == '/' && s.peek(1) == Some('*') {
+                    depth += 1;
+                    text.push('/');
+                    text.push('*');
+                    s.bump();
+                    s.bump();
+                } else if c == '*' && s.peek(1) == Some('/') {
+                    depth -= 1;
+                    text.push('*');
+                    text.push('/');
+                    s.bump();
+                    s.bump();
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(c);
+                    s.bump();
+                }
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                trailing: code_on_line == line,
+            });
+            continue;
+        }
+
+        // Raw identifiers and raw/byte string prefixes.
+        if c == 'r' || c == 'b' {
+            let p1 = s.peek(1);
+            let p2 = s.peek(2);
+            // r"..." | r#"..."# | br"..." | b"..." | b'x' | r#ident
+            let (is_raw_str, hash_offset) = match (c, p1, p2) {
+                ('r', Some('"'), _) => (true, 1),
+                ('r', Some('#'), _) => {
+                    // distinguish r#"…"# from r#ident
+                    let mut k = 1;
+                    while s.peek(k) == Some('#') {
+                        k += 1;
+                    }
+                    if s.peek(k) == Some('"') {
+                        (true, 1)
+                    } else {
+                        (false, 0)
+                    }
+                }
+                ('b', Some('"'), _) => (true, 1),
+                ('b', Some('r'), Some('"' | '#')) => (true, 2),
+                _ => (false, 0),
+            };
+            if is_raw_str {
+                let mut text = String::new();
+                for _ in 0..hash_offset {
+                    text.push(s.bump().unwrap_or_default());
+                }
+                // count hashes
+                let mut hashes = 0usize;
+                while s.cur() == Some('#') {
+                    hashes += 1;
+                    text.push(s.bump().unwrap_or_default());
+                }
+                if s.cur() == Some('"') {
+                    text.push(s.bump().unwrap_or_default());
+                    'body: while let Some(c) = s.bump() {
+                        text.push(c);
+                        if c == '"' {
+                            // need `hashes` following '#'
+                            for k in 0..hashes {
+                                if s.peek(k) != Some('#') {
+                                    continue 'body;
+                                }
+                            }
+                            for _ in 0..hashes {
+                                text.push(s.bump().unwrap_or_default());
+                            }
+                            break;
+                        }
+                    }
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                    col,
+                });
+                code_on_line = line;
+                continue;
+            }
+            if c == 'b' && p1 == Some('\'') {
+                // byte char b'x'
+                let mut text = String::new();
+                text.push(s.bump().unwrap_or_default()); // b
+                text.push(s.bump().unwrap_or_default()); // '
+                while let Some(c) = s.bump() {
+                    text.push(c);
+                    if c == '\\' {
+                        if let Some(e) = s.bump() {
+                            text.push(e);
+                        }
+                    } else if c == '\'' {
+                        break;
+                    }
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Char,
+                    text,
+                    line,
+                    col,
+                });
+                code_on_line = line;
+                continue;
+            }
+            if c == 'r' && p1 == Some('#') {
+                // raw identifier r#ident
+                let mut text = String::from("r#");
+                s.bump();
+                s.bump();
+                while let Some(c) = s.cur() {
+                    if is_ident_continue(c) {
+                        text.push(c);
+                        s.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                    col,
+                });
+                code_on_line = line;
+                continue;
+            }
+            // plain identifier starting with r/b — fall through.
+        }
+
+        // Identifiers / keywords.
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(c) = s.cur() {
+                if is_ident_continue(c) {
+                    text.push(c);
+                    s.bump();
+                } else {
+                    break;
+                }
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+                col,
+            });
+            code_on_line = line;
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            let radix_prefix = c == '0' && matches!(s.peek(1), Some('x' | 'o' | 'b' | 'X' | 'O'));
+            text.push(s.bump().unwrap_or_default());
+            if radix_prefix {
+                text.push(s.bump().unwrap_or_default());
+                while let Some(c) = s.cur() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        text.push(c);
+                        s.bump();
+                    } else {
+                        break;
+                    }
+                }
+            } else {
+                while let Some(c) = s.cur() {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        s.bump();
+                    } else {
+                        break;
+                    }
+                }
+                // Fraction: `1.5` but not `1..2` and not `1.method()`.
+                if s.cur() == Some('.') && s.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                    text.push(s.bump().unwrap_or_default());
+                    while let Some(c) = s.cur() {
+                        if c.is_ascii_digit() || c == '_' {
+                            text.push(c);
+                            s.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                } else if s.cur() == Some('.')
+                    && s.peek(1) != Some('.')
+                    && !s.peek(1).is_some_and(is_ident_start)
+                {
+                    // trailing-dot float `1.`
+                    text.push(s.bump().unwrap_or_default());
+                }
+                // Exponent.
+                if matches!(s.cur(), Some('e' | 'E'))
+                    && (s.peek(1).is_some_and(|d| d.is_ascii_digit())
+                        || (matches!(s.peek(1), Some('+' | '-'))
+                            && s.peek(2).is_some_and(|d| d.is_ascii_digit())))
+                {
+                    text.push(s.bump().unwrap_or_default());
+                    if matches!(s.cur(), Some('+' | '-')) {
+                        text.push(s.bump().unwrap_or_default());
+                    }
+                    while let Some(c) = s.cur() {
+                        if c.is_ascii_digit() || c == '_' {
+                            text.push(c);
+                            s.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                // Type suffix (`u32`, `f64`, ...).
+                while let Some(c) = s.cur() {
+                    if is_ident_continue(c) {
+                        text.push(c);
+                        s.bump();
+                    } else {
+                        break;
+                    }
+                }
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Num,
+                text,
+                line,
+                col,
+            });
+            code_on_line = line;
+            continue;
+        }
+
+        // Strings.
+        if c == '"' {
+            let mut text = String::new();
+            text.push(s.bump().unwrap_or_default());
+            while let Some(c) = s.bump() {
+                text.push(c);
+                if c == '\\' {
+                    if let Some(e) = s.bump() {
+                        text.push(e);
+                    }
+                } else if c == '"' {
+                    break;
+                }
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Str,
+                text,
+                line,
+                col,
+            });
+            code_on_line = line;
+            continue;
+        }
+
+        // Lifetime or char literal.
+        if c == '\'' {
+            let next = s.peek(1);
+            let after = s.peek(2);
+            let is_lifetime = next.is_some_and(is_ident_start) && after != Some('\'');
+            if is_lifetime {
+                let mut text = String::from("'");
+                s.bump();
+                while let Some(c) = s.cur() {
+                    if is_ident_continue(c) {
+                        text.push(c);
+                        s.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                });
+            } else {
+                let mut text = String::new();
+                text.push(s.bump().unwrap_or_default());
+                while let Some(c) = s.bump() {
+                    text.push(c);
+                    if c == '\\' {
+                        if let Some(e) = s.bump() {
+                            text.push(e);
+                        }
+                    } else if c == '\'' {
+                        break;
+                    }
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Char,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            code_on_line = line;
+            continue;
+        }
+
+        // Punctuation, with two-char maximal munch.
+        let mut text = String::new();
+        text.push(c);
+        if let Some(n) = s.peek(1) {
+            let pair: String = [c, n].iter().collect();
+            if TWO_CHAR_OPS.contains(&pair.as_str()) {
+                text = pair;
+            }
+        }
+        for _ in 0..text.chars().count() {
+            s.bump();
+        }
+        out.tokens.push(Tok {
+            kind: TokKind::Punct,
+            text,
+            line,
+            col,
+        });
+        code_on_line = line;
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = a::b();");
+        assert_eq!(toks[0], (TokKind::Ident, "let".into()));
+        assert!(toks.iter().any(|t| t == &(TokKind::Punct, "::".into())));
+    }
+
+    #[test]
+    fn string_contents_are_not_idents() {
+        let lexed = lex(r#"let s = "HashMap is fine here";"#);
+        assert!(!lexed.tokens.iter().any(|t| t.is_ident("HashMap")));
+        assert!(lexed.tokens.iter().any(|t| t.kind == TokKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes() {
+        let lexed = lex(r###"let s = r#"a " b"#; let t = 1;"###);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("t")));
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Str)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn comments_are_separated_and_classified() {
+        let lexed = lex("let a = 1; // trailing\n// standalone\nlet b = 2;");
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].trailing);
+        assert!(!lexed.comments[1].trailing);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still comment */ let x = 1;");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.tokens.iter().any(|t| t.is_ident("x")));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let lexed = lex("fn f<'a>(x: &'a u8) -> char { 'b' }");
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Char)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn float_literals_keep_exponents() {
+        let toks = kinds("let x = 1.5e-3f64 + 2e6 + 0x1f;");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Num)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, vec!["1.5e-3f64", "2e6", "0x1f"]);
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let toks = kinds("for i in 0..10 {}");
+        assert!(toks.contains(&(TokKind::Num, "0".into())));
+        assert!(toks.contains(&(TokKind::Punct, "..".into())));
+        assert!(toks.contains(&(TokKind::Num, "10".into())));
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let lexed = lex("a\n  b");
+        assert_eq!((lexed.tokens[0].line, lexed.tokens[0].col), (1, 1));
+        assert_eq!((lexed.tokens[1].line, lexed.tokens[1].col), (2, 3));
+    }
+}

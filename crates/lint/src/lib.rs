@@ -1,0 +1,264 @@
+//! roia-lint: the workspace determinism & model-integrity analyzer.
+//!
+//! The compiler and clippy cannot express the properties this repo's value
+//! rests on: seeded runs must be bit-for-bit deterministic, and model code
+//! must not silently panic, truncate or compare floats exactly. PR 1
+//! shipped a real nondeterminism bug (`HashMap` iteration order in
+//! `Bus::advance`) that only an accident surfaced — this crate makes that
+//! whole bug class a CI failure.
+//!
+//! Run it with:
+//!
+//! ```text
+//! cargo run -p roia-lint -- check
+//! ```
+//!
+//! Rules (see DESIGN.md §8 for the full catalogue):
+//!
+//! | id | scope | what it forbids |
+//! |----|-------|-----------------|
+//! | D1 | rtf-core, rtf-net, rtf-rms, roia-sim | `HashMap`/`HashSet` |
+//! | D2 | those + roia-model, roia-fit, roia-autocal, rtfdemo | `Instant`, `SystemTime`, `thread_rng`, `rand::random` |
+//! | M1 | tick & control-round hot-path files | `.unwrap()`, `.expect()`, slice indexing |
+//! | M2 | roia-model, rtf-rms | bare numeric `as` casts |
+//! | F1 | model crates | `==`/`!=` against float literals |
+//! | A1 | everywhere scanned | malformed `lint: allow` annotations |
+//!
+//! Suppressions carry mandatory justifications:
+//! `// lint: allow(panic, "why this cannot fire")` (line) or
+//! `// lint: allow-file(nondet, "why")` (file).
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{scan_source, Finding, RuleId};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Crates whose containers must iterate deterministically (D1).
+const D1_SCOPE: &[&str] = &[
+    "crates/rtf/src",
+    "crates/net/src",
+    "crates/rms/src",
+    "crates/sim/src",
+];
+
+/// Sim/model code paths that must not read wall clocks or ambient
+/// randomness (D2).
+const D2_SCOPE: &[&str] = &[
+    "crates/rtf/src",
+    "crates/net/src",
+    "crates/rms/src",
+    "crates/sim/src",
+    "crates/core/src",
+    "crates/fit/src",
+    "crates/autocal/src",
+    "crates/demo/src",
+];
+
+/// The tick and control-round hot paths (M1). A panic here takes down a
+/// server mid-session instead of degrading.
+const M1_SCOPE: &[&str] = &[
+    "crates/rtf/src/server.rs",
+    "crates/rtf/src/client.rs",
+    "crates/net/src/bus.rs",
+    "crates/net/src/link.rs",
+    "crates/rms/src/controller.rs",
+    "crates/rms/src/policy",
+    "crates/sim/src/cluster.rs",
+];
+
+/// Model-quantity code where bare `as` casts silently corrupt results (M2).
+const M2_SCOPE: &[&str] = &["crates/core/src", "crates/rms/src"];
+
+/// Crates computing on model floats (F1).
+const F1_SCOPE: &[&str] = &[
+    "crates/core/src",
+    "crates/rms/src",
+    "crates/fit/src",
+    "crates/autocal/src",
+    "crates/sim/src",
+    "crates/demo/src",
+];
+
+fn in_scope(rel: &str, scope: &[&str]) -> bool {
+    scope
+        .iter()
+        .any(|p| rel == *p || rel.starts_with(&format!("{p}/")))
+}
+
+/// The rules that apply to a workspace-relative path. `A1` (annotation
+/// hygiene) applies to every scanned file.
+pub fn rules_for(rel: &str) -> Vec<RuleId> {
+    let mut rules = vec![RuleId::A1];
+    if in_scope(rel, D1_SCOPE) {
+        rules.push(RuleId::D1);
+    }
+    if in_scope(rel, D2_SCOPE) {
+        rules.push(RuleId::D2);
+    }
+    if in_scope(rel, M1_SCOPE) {
+        rules.push(RuleId::M1);
+    }
+    if in_scope(rel, M2_SCOPE) {
+        rules.push(RuleId::M2);
+    }
+    if in_scope(rel, F1_SCOPE) {
+        rules.push(RuleId::F1);
+    }
+    rules
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            walk(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// All source files the scope tables cover, workspace-relative, sorted.
+pub fn scoped_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut roots: Vec<&str> = Vec::new();
+    for scope in [D1_SCOPE, D2_SCOPE, M2_SCOPE, F1_SCOPE] {
+        for p in scope {
+            if !roots.contains(p) {
+                roots.push(p);
+            }
+        }
+    }
+    let mut files = Vec::new();
+    for r in roots {
+        let dir = root.join(r);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    let mut rels: Vec<String> = files
+        .iter()
+        .filter_map(|p| p.strip_prefix(root).ok())
+        .map(|p| p.to_string_lossy().replace('\\', "/"))
+        .collect();
+    rels.sort();
+    rels.dedup();
+    Ok(rels)
+}
+
+/// Scans the whole workspace under `root` and returns every finding, sorted
+/// by file, line, column.
+pub fn check_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for rel in scoped_files(root)? {
+        let src = fs::read_to_string(root.join(&rel))?;
+        findings.extend(scan_source(&rel, &src, &rules_for(&rel)));
+    }
+    findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    Ok(findings)
+}
+
+/// Locates the workspace root: an explicit `--root`, else the nearest
+/// ancestor of the current directory containing `Cargo.toml` + `crates/`,
+/// else this crate's grandparent (for `cargo run -p roia-lint` from
+/// anywhere inside the repo).
+pub fn find_root(explicit: Option<&str>) -> PathBuf {
+    if let Some(r) = explicit {
+        return PathBuf::from(r);
+    }
+    if let Ok(mut dir) = std::env::current_dir() {
+        loop {
+            if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+                return dir;
+            }
+            if !dir.pop() {
+                break;
+            }
+        }
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+/// Renders findings as a JSON array (hand-rolled — the crate is
+/// dependency-free by design).
+pub fn to_json(findings: &[Finding]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let items: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
+                f.rule,
+                esc(&f.file),
+                f.line,
+                f.col,
+                esc(&f.message)
+            )
+        })
+        .collect();
+    format!("[{}]", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_tables_route_rules() {
+        let bus = rules_for("crates/net/src/bus.rs");
+        assert!(bus.contains(&RuleId::D1));
+        assert!(bus.contains(&RuleId::M1));
+        assert!(!bus.contains(&RuleId::M2));
+
+        let tick = rules_for("crates/core/src/tick.rs");
+        assert!(tick.contains(&RuleId::M2));
+        assert!(tick.contains(&RuleId::F1));
+        assert!(!tick.contains(&RuleId::D1), "core may use HashMap");
+
+        let policy = rules_for("crates/rms/src/policy/model_driven.rs");
+        assert!(policy.contains(&RuleId::M1));
+
+        let monitor = rules_for("crates/rms/src/monitor.rs");
+        assert!(!monitor.contains(&RuleId::M1), "not a hot-path file");
+        assert!(monitor.contains(&RuleId::A1));
+    }
+
+    #[test]
+    fn json_escapes() {
+        let f = vec![Finding {
+            rule: "D1",
+            file: "a\"b.rs".into(),
+            line: 1,
+            col: 2,
+            message: "x\ny".into(),
+        }];
+        let j = to_json(&f);
+        assert!(j.contains("a\\\"b.rs"));
+        assert!(j.contains("x\\ny"));
+    }
+}

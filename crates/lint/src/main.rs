@@ -1,0 +1,87 @@
+//! CLI: `cargo run -p roia-lint -- check [--root PATH] [--json] [--report PATH]`.
+//!
+//! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+use roia_lint::{check_workspace, find_root, to_json};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut command = None;
+    let mut root = None;
+    let mut json = false;
+    let mut report = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "check" if command.is_none() => command = Some("check"),
+            "--json" => json = true,
+            "--root" => {
+                i += 1;
+                root = args.get(i).cloned();
+                if root.is_none() {
+                    eprintln!("--root needs a path");
+                    return ExitCode::from(2);
+                }
+            }
+            "--report" => {
+                i += 1;
+                report = args.get(i).cloned();
+                if report.is_none() {
+                    eprintln!("--report needs a path");
+                    return ExitCode::from(2);
+                }
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: roia-lint check [--root PATH] [--json] [--report PATH]");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    if command != Some("check") {
+        eprintln!("usage: roia-lint check [--root PATH] [--json] [--report PATH]");
+        return ExitCode::from(2);
+    }
+
+    let root = find_root(root.as_deref());
+    let findings = match check_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("roia-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    let rendered = if json {
+        to_json(&findings)
+    } else {
+        let mut out = String::new();
+        for f in &findings {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "roia-lint: {} finding{} in {}\n",
+            findings.len(),
+            if findings.len() == 1 { "" } else { "s" },
+            root.display()
+        ));
+        out
+    };
+    print!("{rendered}");
+
+    if let Some(path) = report {
+        if let Err(e) = std::fs::write(&path, &rendered) {
+            eprintln!("roia-lint: failed to write report {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

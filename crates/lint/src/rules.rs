@@ -1,0 +1,564 @@
+//! The lint rules and the allowlist machinery.
+//!
+//! Every rule has a stable id (`D1`, `D2`, `M1`, `M2`, `F1`, plus `A1` for
+//! the allowlist syntax itself). A finding can be suppressed with an
+//! annotation comment carrying a justification:
+//!
+//! ```text
+//! // lint: allow(panic, "pool sizing is a constructor precondition")
+//! // lint: allow-file(nondet, "wall-clock timing is this module's job")
+//! ```
+//!
+//! `allow(...)` applies to its own line when trailing, or to the next code
+//! line when the comment stands alone. `allow-file(...)` applies to the
+//! whole file. The justification string is mandatory; an annotation without
+//! one (or with an unknown tag) is itself a finding (`A1`).
+
+use crate::lexer::{lex, Comment, Tok, TokKind};
+use std::collections::BTreeSet;
+
+/// Stable identifier of a lint rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RuleId {
+    /// No `HashMap`/`HashSet` in deterministic crates.
+    D1,
+    /// No wall-clock or ambient randomness in sim/model code paths.
+    D2,
+    /// No `unwrap`/`expect`/slice-indexing in tick & control-round hot paths.
+    M1,
+    /// No bare `as` casts on model quantities.
+    M2,
+    /// No `==`/`!=` on floating-point values.
+    F1,
+    /// Allow-annotation hygiene (malformed tag or missing justification).
+    A1,
+}
+
+impl RuleId {
+    /// The rule id as printed in reports.
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::D1 => "D1",
+            RuleId::D2 => "D2",
+            RuleId::M1 => "M1",
+            RuleId::M2 => "M2",
+            RuleId::F1 => "F1",
+            RuleId::A1 => "A1",
+        }
+    }
+
+    /// The allow-annotation tag that suppresses this rule, if any.
+    pub fn allow_tag(self) -> Option<&'static str> {
+        match self {
+            RuleId::D1 => Some("unordered"),
+            RuleId::D2 => Some("nondet"),
+            RuleId::M1 => Some("panic"),
+            RuleId::M2 => Some("cast"),
+            RuleId::F1 => Some("float_cmp"),
+            RuleId::A1 => None,
+        }
+    }
+
+    /// Every suppressible rule tag (for annotation validation).
+    pub const TAGS: [&'static str; 5] = ["unordered", "nondet", "panic", "cast", "float_cmp"];
+}
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`"D1"`, ...).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Finding {
+    /// `RULE file:line:col message` — the report line format.
+    pub fn render(&self) -> String {
+        format!(
+            "{} {}:{}:{} {}",
+            self.rule, self.file, self.line, self.col, self.message
+        )
+    }
+}
+
+/// A parsed `lint: allow(...)` annotation.
+#[derive(Debug)]
+struct Allow {
+    tag: String,
+    /// Line the annotation suppresses (`None` = whole file).
+    applies_to: Option<u32>,
+}
+
+/// Result of parsing the annotations of one file.
+#[derive(Debug, Default)]
+struct Allows {
+    /// (tag, line) pairs suppressed by line annotations.
+    by_line: BTreeSet<(String, u32)>,
+    /// Tags suppressed file-wide.
+    file_wide: BTreeSet<String>,
+    /// Malformed annotations (A1 findings).
+    malformed: Vec<(u32, String)>,
+}
+
+impl Allows {
+    fn suppressed(&self, tag: &str, line: u32) -> bool {
+        self.file_wide.contains(tag) || self.by_line.contains(&(tag.to_string(), line))
+    }
+}
+
+/// Parses `lint: allow(tag, "justification")` out of one comment. Returns
+/// `Ok(None)` when the comment carries no annotation at all.
+fn parse_allow(comment: &Comment, code_lines: &BTreeSet<u32>) -> Result<Vec<Allow>, String> {
+    let text = &comment.text;
+    let Some(pos) = text.find("lint:") else {
+        return Ok(Vec::new());
+    };
+    let rest = text[pos + "lint:".len()..].trim_start();
+    let (file_wide, rest) = if let Some(r) = rest.strip_prefix("allow-file") {
+        (true, r)
+    } else if let Some(r) = rest.strip_prefix("allow") {
+        (false, r)
+    } else {
+        return Err("expected `allow(tag, \"justification\")` after `lint:`".to_string());
+    };
+    let rest = rest.trim_start();
+    let Some(rest) = rest.strip_prefix('(') else {
+        return Err("expected `(` after `lint: allow`".to_string());
+    };
+    // Tag runs to the first `,` (or `)` when the justification is missing).
+    let tag_end = rest.find([',', ')']).unwrap_or(rest.len());
+    let tag = rest[..tag_end].trim();
+    if !RuleId::TAGS.contains(&tag) {
+        return Err(format!(
+            "unknown allow tag `{tag}` (known: {})",
+            RuleId::TAGS.join(", ")
+        ));
+    }
+    if !rest[tag_end..].starts_with(',') {
+        return Err(format!(
+            "missing justification: write `lint: allow({tag}, \"why this is sound\")`"
+        ));
+    }
+    // The justification is a double-quoted string (which may itself contain
+    // parentheses), followed by the closing `)`.
+    let after_comma = rest[tag_end + 1..].trim_start();
+    let justification = after_comma
+        .strip_prefix('"')
+        .and_then(|j| j.split_once('"'))
+        .map(|(inner, tail)| (inner, tail.trim_start()))
+        .filter(|(_, tail)| tail.starts_with(')'))
+        .map(|(inner, _)| inner)
+        .unwrap_or("");
+    if justification.trim().is_empty() {
+        return Err(format!(
+            "empty justification for `allow({tag})`: say why this is sound"
+        ));
+    }
+
+    let applies_to = if file_wide {
+        None
+    } else if comment.trailing {
+        Some(comment.line)
+    } else {
+        // Standalone annotation: applies to the next line that has code
+        // (skipping further comment-only lines so annotations can stack).
+        let mut target = comment.line + 1;
+        while !code_lines.contains(&target) {
+            target += 1;
+            if target > comment.line + 50 {
+                break; // orphaned annotation — points nowhere close
+            }
+        }
+        Some(target)
+    };
+    Ok(vec![Allow {
+        tag: tag.to_string(),
+        applies_to,
+    }])
+}
+
+fn collect_allows(comments: &[Comment], code_lines: &BTreeSet<u32>) -> Allows {
+    let mut allows = Allows::default();
+    for comment in comments {
+        match parse_allow(comment, code_lines) {
+            Ok(list) => {
+                for a in list {
+                    match a.applies_to {
+                        Some(line) => {
+                            allows.by_line.insert((a.tag, line));
+                        }
+                        None => {
+                            allows.file_wide.insert(a.tag);
+                        }
+                    }
+                }
+            }
+            Err(msg) => allows.malformed.push((comment.line, msg)),
+        }
+    }
+    allows
+}
+
+/// Marks the token ranges covered by test-only items: any item annotated
+/// `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ...))]` and the braced body
+/// that follows. Returns one flag per token.
+fn test_exempt_mask(tokens: &[Tok]) -> Vec<bool> {
+    let mut exempt = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].is_punct("#") && tokens.get(i + 1).is_some_and(|t| t.is_punct("[")) {
+            // find matching `]` of this attribute
+            let Some(attr_end) = match_bracket(tokens, i + 1, "[", "]") else {
+                break;
+            };
+            let mentions_test = tokens[i + 2..attr_end].iter().any(|t| t.is_ident("test"));
+            if !mentions_test {
+                i = attr_end + 1;
+                continue;
+            }
+            // Skip any further attributes (`#[should_panic]`, docs ...).
+            let mut k = attr_end + 1;
+            while k < tokens.len()
+                && tokens[k].is_punct("#")
+                && tokens.get(k + 1).is_some_and(|t| t.is_punct("["))
+            {
+                match match_bracket(tokens, k + 1, "[", "]") {
+                    Some(e) => k = e + 1,
+                    None => break,
+                }
+            }
+            // The exempt region ends at a top-level `;` (e.g. a `use`) or at
+            // the closing brace of the first braced body.
+            let mut end = tokens.len() - 1;
+            let mut j = k;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.is_punct(";") {
+                    end = j;
+                    break;
+                }
+                if t.is_punct("{") {
+                    end = match_bracket(tokens, j, "{", "}").unwrap_or(tokens.len() - 1);
+                    break;
+                }
+                j += 1;
+            }
+            for flag in exempt.iter_mut().take(end + 1).skip(i) {
+                *flag = true;
+            }
+            i = end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    exempt
+}
+
+/// Index of the token closing the bracket opened at `open_idx`.
+fn match_bracket(tokens: &[Tok], open_idx: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.is_punct(open) {
+            depth += 1;
+        } else if t.is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+/// Keywords that can legally precede `[` without it being an indexing
+/// expression (slice patterns, array types after `as`/`in`, ...).
+const NON_INDEX_PRECEDERS: &[&str] = &[
+    "let", "in", "as", "ref", "mut", "return", "else", "match", "if", "while", "box", "move",
+    "static", "const", "dyn", "impl", "where", "for", "loop", "break", "continue", "unsafe", "pub",
+    "crate", "fn", "use", "type", "struct", "enum", "trait", "mod", "await",
+];
+
+/// Numeric primitive names (the `as` targets M2 flags).
+const NUMERIC_PRIMITIVES: &[&str] = &[
+    "u8", "u16", "u32", "u64", "u128", "usize", "i8", "i16", "i32", "i64", "i128", "isize", "f32",
+    "f64",
+];
+
+fn is_float_literal(t: &Tok) -> bool {
+    t.kind == TokKind::Num
+        && !t.text.starts_with("0x")
+        && !t.text.starts_with("0X")
+        && (t.text.contains('.')
+            || t.text.contains('e')
+            || t.text.contains('E')
+            || t.text.ends_with("f32")
+            || t.text.ends_with("f64"))
+}
+
+/// Scans one file's source with the given rules and returns its findings.
+/// `rel_path` is only used to fill in [`Finding::file`].
+pub fn scan_source(rel_path: &str, src: &str, rules: &[RuleId]) -> Vec<Finding> {
+    let lexed = lex(src);
+    let tokens = &lexed.tokens;
+    let code_lines: BTreeSet<u32> = tokens.iter().map(|t| t.line).collect();
+    let allows = collect_allows(&lexed.comments, &code_lines);
+    let exempt = test_exempt_mask(tokens);
+    let mut findings = Vec::new();
+
+    // A1 runs unconditionally: annotation hygiene is never waivable.
+    for (line, msg) in &allows.malformed {
+        findings.push(Finding {
+            rule: RuleId::A1.id(),
+            file: rel_path.to_string(),
+            line: *line,
+            col: 1,
+            message: msg.clone(),
+        });
+    }
+
+    let emit = |rule: RuleId, t: &Tok, message: String, out: &mut Vec<Finding>| {
+        let tag = rule.allow_tag().unwrap_or_default();
+        if !allows.suppressed(tag, t.line) {
+            out.push(Finding {
+                rule: rule.id(),
+                file: rel_path.to_string(),
+                line: t.line,
+                col: t.col,
+                message,
+            });
+        }
+    };
+
+    for (i, t) in tokens.iter().enumerate() {
+        if exempt[i] {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|p| tokens.get(p));
+        let next = tokens.get(i + 1);
+
+        if rules.contains(&RuleId::D1) && (t.is_ident("HashMap") || t.is_ident("HashSet")) {
+            emit(
+                RuleId::D1,
+                t,
+                format!(
+                    "{} in a deterministic crate: iteration order varies run-to-run; \
+                     use BTreeMap/BTreeSet or annotate `// lint: allow(unordered, \"...\")`",
+                    t.text
+                ),
+                &mut findings,
+            );
+        }
+
+        if rules.contains(&RuleId::D2) {
+            let named =
+                t.is_ident("Instant") || t.is_ident("SystemTime") || t.is_ident("UNIX_EPOCH");
+            let entropy = t.is_ident("thread_rng") || t.is_ident("from_entropy");
+            let rand_random = t.is_ident("rand")
+                && next.is_some_and(|n| n.is_punct("::"))
+                && tokens.get(i + 2).is_some_and(|n| n.is_ident("random"));
+            if named || entropy || rand_random {
+                emit(
+                    RuleId::D2,
+                    t,
+                    format!(
+                        "{} is wall-clock/ambient-randomness: seeded runs stop being \
+                         reproducible; thread sim-time or a seeded RNG through instead, \
+                         or annotate `// lint: allow(nondet, \"...\")`",
+                        t.text
+                    ),
+                    &mut findings,
+                );
+            }
+        }
+
+        if rules.contains(&RuleId::M1) {
+            let method_panic = prev.is_some_and(|p| p.is_punct("."))
+                && (t.is_ident("unwrap") || t.is_ident("expect") || t.is_ident("unwrap_unchecked"))
+                && next.is_some_and(|n| n.is_punct("("));
+            if method_panic {
+                emit(
+                    RuleId::M1,
+                    t,
+                    format!(
+                        ".{}() can panic in a tick/control-round hot path; convert to a \
+                         Result/Option flow or annotate `// lint: allow(panic, \"...\")`",
+                        t.text
+                    ),
+                    &mut findings,
+                );
+            }
+            let indexing = t.is_punct("[")
+                && prev.is_some_and(|p| {
+                    (p.kind == TokKind::Ident && !NON_INDEX_PRECEDERS.contains(&p.text.as_str()))
+                        || p.is_punct("]")
+                        || p.is_punct(")")
+                });
+            if indexing {
+                emit(
+                    RuleId::M1,
+                    t,
+                    "slice/array indexing can panic in a tick/control-round hot path; use \
+                     .get()/.get_mut() or annotate `// lint: allow(panic, \"...\")`"
+                        .to_string(),
+                    &mut findings,
+                );
+            }
+        }
+
+        if rules.contains(&RuleId::M2)
+            && t.is_ident("as")
+            && next.is_some_and(|n| {
+                n.kind == TokKind::Ident && NUMERIC_PRIMITIVES.contains(&n.text.as_str())
+            })
+        {
+            emit(
+                RuleId::M2,
+                t,
+                format!(
+                    "bare `as {}` cast on a model quantity silently wraps/truncates; use \
+                     From/TryFrom or the roia_model::convert helpers, or annotate \
+                     `// lint: allow(cast, \"...\")`",
+                    next.map(|n| n.text.as_str()).unwrap_or_default()
+                ),
+                &mut findings,
+            );
+        }
+
+        if rules.contains(&RuleId::F1)
+            && (t.is_punct("==") || t.is_punct("!="))
+            && (prev.is_some_and(is_float_literal) || next.is_some_and(is_float_literal))
+        {
+            emit(
+                RuleId::F1,
+                t,
+                format!(
+                    "`{}` against a floating-point literal: exact float equality is almost \
+                     never the intended model predicate; compare against a tolerance or \
+                     annotate `// lint: allow(float_cmp, \"...\")`",
+                    t.text
+                ),
+                &mut findings,
+            );
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [RuleId; 6] = [
+        RuleId::D1,
+        RuleId::D2,
+        RuleId::M1,
+        RuleId::M2,
+        RuleId::F1,
+        RuleId::A1,
+    ];
+
+    fn scan(src: &str) -> Vec<Finding> {
+        scan_source("test.rs", src, &ALL)
+    }
+
+    #[test]
+    fn hashmap_flagged_and_allow_suppresses() {
+        let f = scan("use std::collections::HashMap;\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "D1");
+
+        let ok = scan(
+            "// lint: allow(unordered, \"only get/insert, never iterated\")\n\
+             use std::collections::HashMap;\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn trailing_allow_applies_to_its_own_line() {
+        let ok = scan("let t = Instant::now(); // lint: allow(nondet, \"wall mode only\")\n");
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn allow_justification_may_contain_parens_and_commas() {
+        let ok = scan(
+            "let n = x.floor() as u32; // lint: allow(cast, \"saturates (NaN→0, see docs) since 1.45\")\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn allow_without_justification_is_a1() {
+        let f = scan("// lint: allow(unordered)\nuse std::collections::HashMap;\n");
+        assert!(f.iter().any(|f| f.rule == "A1"));
+        assert!(f.iter().any(|f| f.rule == "D1"), "finding not suppressed");
+    }
+
+    #[test]
+    fn unknown_tag_is_a1() {
+        let f = scan("// lint: allow(everything, \"please\")\nlet x = 1;\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "A1");
+    }
+
+    #[test]
+    fn file_wide_allow() {
+        let ok = scan(
+            "// lint: allow-file(nondet, \"this module is the wall-clock boundary\")\n\
+             fn f() { let a = Instant::now(); let b = SystemTime::now(); }\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    #[test]\n    fn f() { x.unwrap(); }\n}\n";
+        assert!(scan(src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_and_indexing_flagged() {
+        let f = scan("fn f() { let x = v[0]; y.unwrap(); z.expect(\"msg\"); }\n");
+        assert_eq!(f.iter().filter(|f| f.rule == "M1").count(), 3);
+    }
+
+    #[test]
+    fn array_types_and_slice_patterns_not_indexing() {
+        let f = scan("struct S { wall: [f64; 4] }\nfn f(s: &S) { let [a, b] = pair; }\n");
+        assert!(f.iter().all(|f| f.rule != "M1"), "{f:?}");
+    }
+
+    #[test]
+    fn vec_macro_not_indexing() {
+        let f = scan("fn f() { let v = vec![1, 2]; }\n");
+        assert!(f.iter().all(|f| f.rule != "M1"), "{f:?}");
+    }
+
+    #[test]
+    fn casts_flagged_but_use_rename_is_not() {
+        let f = scan("fn f(n: u32) -> f64 { n as f64 }\nuse foo as bar;\n");
+        assert_eq!(f.iter().filter(|f| f.rule == "M2").count(), 1);
+    }
+
+    #[test]
+    fn float_eq_flagged_int_eq_not() {
+        let f = scan("fn f(x: f64, n: u32) { if x == 0.0 {} if n == 0 {} if 1e-6 != x {} }\n");
+        assert_eq!(f.iter().filter(|f| f.rule == "F1").count(), 2);
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        let f = scan("// HashMap Instant unwrap as f64\nlet s = \"HashMap x == 0.0\";\n");
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

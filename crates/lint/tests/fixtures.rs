@@ -1,0 +1,119 @@
+//! Golden fixture tests: every rule must fire on its known-bad snippet with
+//! the documented id and span, stay silent on the good fixtures, and the
+//! real workspace must scan clean.
+
+use roia_lint::{check_workspace, scan_source, Finding, RuleId};
+use std::path::Path;
+
+const ALL_RULES: [RuleId; 6] = [
+    RuleId::D1,
+    RuleId::D2,
+    RuleId::M1,
+    RuleId::M2,
+    RuleId::F1,
+    RuleId::A1,
+];
+
+fn scan_fixture(name: &str) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    scan_source(name, &src, &ALL_RULES)
+}
+
+fn rules_fired(findings: &[Finding]) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = findings.iter().map(|f| f.rule).collect();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn d1_fixture_fires_with_span_and_message() {
+    let f = scan_fixture("bad/d1_unordered.rs");
+    assert_eq!(rules_fired(&f), vec!["D1"], "{f:?}");
+    assert_eq!((f[0].line, f[0].col), (2, 23), "the `use` import");
+    assert!(f[0].message.contains("iteration order"));
+    assert!(f[0].message.contains("allow(unordered"));
+    assert!(
+        f.len() >= 3,
+        "type, constructor and import all flagged: {f:?}"
+    );
+}
+
+#[test]
+fn d2_fixture_fires_on_clock_and_randomness() {
+    let f = scan_fixture("bad/d2_nondet.rs");
+    assert_eq!(rules_fired(&f), vec!["D2"], "{f:?}");
+    assert!(f
+        .iter()
+        .any(|f| f.message.contains("Instant") && f.line == 5));
+    assert!(f.iter().any(|f| f.line == 6), "rand::random flagged: {f:?}");
+    assert!(f[0].message.contains("reproducible"));
+}
+
+#[test]
+fn m1_fixture_fires_on_each_panic_site() {
+    let f = scan_fixture("bad/m1_panic.rs");
+    assert_eq!(rules_fired(&f), vec!["M1"], "{f:?}");
+    assert_eq!(f.len(), 3, "indexing + unwrap + expect: {f:?}");
+    assert_eq!(f[0].line, 3, "v[0]");
+    assert!(f[1].message.contains(".unwrap()"));
+    assert!(f[2].message.contains(".expect()"));
+}
+
+#[test]
+fn m2_fixture_fires_per_cast() {
+    let f = scan_fixture("bad/m2_cast.rs");
+    assert_eq!(rules_fired(&f), vec!["M2"], "{f:?}");
+    assert_eq!(f.len(), 2, "{f:?}");
+    assert!(f[0].message.contains("`as u32`"));
+    assert!(f[1].message.contains("`as u64`"));
+    assert_eq!(f[0].line, 3);
+}
+
+#[test]
+fn f1_fixture_fires_on_float_equality() {
+    let f = scan_fixture("bad/f1_float_eq.rs");
+    assert_eq!(rules_fired(&f), vec!["F1"], "{f:?}");
+    assert_eq!(f[0].line, 3);
+    assert!(f[0].message.contains("tolerance"));
+}
+
+#[test]
+fn a1_fixture_fires_on_malformed_allows() {
+    let f = scan_fixture("bad/a1_bad_allow.rs");
+    let a1: Vec<&Finding> = f.iter().filter(|f| f.rule == "A1").collect();
+    assert_eq!(a1.len(), 2, "{f:?}");
+    assert!(a1[0].message.contains("missing justification"));
+    assert!(a1[1].message.contains("unknown allow tag"));
+    // The unjustified allow does NOT suppress the finding underneath.
+    assert!(f.iter().any(|f| f.rule == "M1"), "{f:?}");
+}
+
+#[test]
+fn good_fixtures_scan_clean() {
+    for name in ["good/allowlisted.rs", "good/clean.rs"] {
+        let f = scan_fixture(name);
+        assert!(f.is_empty(), "{name} should be clean: {f:?}");
+    }
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root");
+    let findings = check_workspace(root).expect("scan");
+    assert!(
+        findings.is_empty(),
+        "workspace has lint findings:\n{}",
+        findings
+            .iter()
+            .map(Finding::render)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -12,7 +12,7 @@ use crate::NodeId;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
 use parking_lot::Mutex;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::sync::Arc;
 
@@ -56,7 +56,7 @@ struct NodeEntry {
 struct BusInner {
     next_id: u32,
     now_tick: u64,
-    nodes: HashMap<NodeId, NodeEntry>,
+    nodes: BTreeMap<NodeId, NodeEntry>,
     /// Ordered so [`Bus::advance`] flushes links in a stable order — with
     /// jittered links, cross-link delivery order is observable downstream.
     links: BTreeMap<(NodeId, NodeId), LinkState>,
@@ -65,9 +65,9 @@ struct BusInner {
     fault_seed: u64,
     /// Unordered node pairs that cannot reach each other (stored with the
     /// smaller id first).
-    partitions: HashSet<(NodeId, NodeId)>,
+    partitions: BTreeSet<(NodeId, NodeId)>,
     /// Nodes cut off from everyone (a network-isolated machine).
-    isolated: HashSet<NodeId>,
+    isolated: BTreeSet<NodeId>,
 }
 
 /// Normalizes an unordered node pair for the partition set.
@@ -287,7 +287,7 @@ impl Bus {
     /// A snapshot of the per-link traffic counters.
     pub fn stats(&self) -> TrafficStats {
         let inner = self.inner.lock();
-        let mut per_link = HashMap::new();
+        let mut per_link = BTreeMap::new();
         for (key, link) in &inner.links {
             per_link.insert(
                 *key,
@@ -322,7 +322,7 @@ pub struct LinkTraffic {
 /// Aggregated traffic statistics for the whole bus.
 #[derive(Debug, Clone, Default)]
 pub struct TrafficStats {
-    per_link: HashMap<(NodeId, NodeId), LinkTraffic>,
+    per_link: BTreeMap<(NodeId, NodeId), LinkTraffic>,
 }
 
 impl TrafficStats {

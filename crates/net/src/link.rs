@@ -211,7 +211,9 @@ impl LinkState {
             }
             self.budget_left = self.budget_left.saturating_sub(size);
             self.delivered_this_tick += 1;
-            let staged = self.queue.pop_front().expect("front exists");
+            let Some(staged) = self.queue.pop_front() else {
+                break; // unreachable: front() above proved the queue non-empty
+            };
             self.bytes_delivered += size;
             out.push(staged.message);
         }

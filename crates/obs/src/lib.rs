@@ -40,4 +40,4 @@ pub mod sink;
 pub use event::{TraceEvent, TASK_SLOTS};
 pub use hist::{bucket_bounds, secs_to_micros, HistSnapshot, Histogram, BUCKET_COUNT};
 pub use metrics::{MetricKey, MetricsRegistry};
-pub use sink::{JsonlSink, RingSink, TeeSink, TraceSink, Tracer};
+pub use sink::{HashSink, JsonlSink, RingSink, TeeSink, TraceSink, Tracer};

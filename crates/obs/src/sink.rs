@@ -77,6 +77,57 @@ impl TraceSink for RingSink {
     }
 }
 
+/// Streaming FNV-1a hash over the JSONL encoding of the trace.
+///
+/// Records nothing but a 64-bit digest and an event count, so two runs can
+/// be compared for byte-identical traces in O(1) memory — the primitive
+/// behind the determinism double-run checker.
+pub struct HashSink {
+    hash: u64,
+    events: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl HashSink {
+    /// A fresh hasher (FNV-1a offset basis).
+    pub fn new() -> Self {
+        HashSink {
+            hash: FNV_OFFSET,
+            events: 0,
+        }
+    }
+
+    /// Digest of every JSON line recorded so far (including newlines).
+    pub fn hash(&self) -> u64 {
+        self.hash
+    }
+
+    /// Number of events hashed.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+impl Default for HashSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceSink for HashSink {
+    fn record(&mut self, event: &TraceEvent) {
+        for b in event.to_json().bytes() {
+            self.hash ^= u64::from(b);
+            self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        }
+        self.hash ^= u64::from(b'\n');
+        self.hash = self.hash.wrapping_mul(FNV_PRIME);
+        self.events += 1;
+    }
+}
+
 /// Streams each event as one JSON line to a buffered writer.
 pub struct JsonlSink {
     out: BufWriter<Box<dyn Write + Send>>,
@@ -192,6 +243,29 @@ impl Tracer {
     pub fn jsonl(path: impl AsRef<Path>) -> io::Result<Self> {
         let sink: Arc<Mutex<dyn TraceSink>> = Arc::new(Mutex::new(JsonlSink::create(path)?));
         Ok(Tracer { inner: Some(sink) })
+    }
+
+    /// Convenience: a tracer plus a handle to its [`HashSink`], for
+    /// comparing two runs' traces without retaining either.
+    pub fn hashing() -> (Self, Arc<Mutex<HashSink>>) {
+        let hasher = Arc::new(Mutex::new(HashSink::new()));
+        let sink: Arc<Mutex<dyn TraceSink>> = hasher.clone();
+        (Tracer { inner: Some(sink) }, hasher)
+    }
+
+    /// A tracer that feeds both this tracer's sink (when enabled) and
+    /// `extra`. Lets an auditor observe the event stream without
+    /// disturbing whatever sink the caller configured.
+    pub fn tee_with(&self, extra: Arc<Mutex<dyn TraceSink>>) -> Self {
+        match &self.inner {
+            None => Tracer { inner: Some(extra) },
+            Some(existing) => {
+                let tee = TeeSink::new(vec![existing.clone(), extra]);
+                Tracer {
+                    inner: Some(Arc::new(Mutex::new(tee))),
+                }
+            }
+        }
     }
 
     /// True when events will actually be recorded. Check this before

@@ -219,7 +219,7 @@ impl ActionLog {
         self.entries
             .iter()
             .map(|e| match e.action {
-                Action::Migrate { users, .. } => users as u64,
+                Action::Migrate { users, .. } => u64::from(users),
                 _ => 0,
             })
             .sum()

@@ -144,10 +144,10 @@ impl RmsController {
     /// Trace-event payload fields `(from, to, users)` of an action.
     fn action_fields(action: &Action) -> (i64, i64, u32) {
         match action {
-            Action::Migrate { from, to, users } => (from.0 as i64, to.0 as i64, *users),
+            Action::Migrate { from, to, users } => (i64::from(from.0), i64::from(to.0), *users),
             Action::AddReplica { .. } => (-1, -1, 0),
-            Action::Substitute { old, .. } => (old.0 as i64, -1, 0),
-            Action::RemoveReplica { server, .. } => (server.0 as i64, -1, 0),
+            Action::Substitute { old, .. } => (i64::from(old.0), -1, 0),
+            Action::RemoveReplica { server, .. } => (i64::from(server.0), -1, 0),
         }
     }
 
@@ -279,7 +279,7 @@ impl RmsController {
                 zone: snapshot.zone.0,
                 servers: snapshot.replicas(),
                 users: snapshot.total_users(),
-                issued: issued.len() as u32,
+                issued: roia_model::convert::count_u32(issued.len()),
             });
         }
         issued

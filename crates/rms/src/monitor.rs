@@ -37,7 +37,7 @@ pub struct ZoneSnapshot {
 impl ZoneSnapshot {
     /// Number of replicas `l`.
     pub fn replicas(&self) -> u32 {
-        self.servers.len() as u32
+        roia_model::convert::count_u32(self.servers.len())
     }
 
     /// Total users `n` across the replicas.

@@ -61,7 +61,7 @@ impl Policy for BandwidthProportional {
         }
 
         // Scale out on aggregate pressure.
-        if (n as f64) > self.users_per_weight_limit as f64 * total_weight {
+        if f64::from(n) > f64::from(self.users_per_weight_limit) * total_weight {
             out.push(Action::AddReplica {
                 zone: snapshot.zone,
             });
@@ -71,7 +71,8 @@ impl Policy for BandwidthProportional {
         let mut surpluses: Vec<(NodeId, u32)> = Vec::new();
         let mut deficits: Vec<(NodeId, u32)> = Vec::new();
         for s in &snapshot.servers {
-            let target = (n as f64 * self.weight(s.server) / total_weight).round() as u32;
+            let target =
+                roia_model::convert::round_u32(f64::from(n) * self.weight(s.server) / total_weight);
             if s.active_users > target + self.slack {
                 surpluses.push((s.server, s.active_users - target));
             } else if s.active_users + self.slack < target {

@@ -139,7 +139,7 @@ impl ModelDriven {
 
     /// Applies the migration-headroom hedge to a raw slack budget.
     fn hedged(&self, raw: u32) -> u32 {
-        (raw as f64 * self.config.migration_headroom).floor() as u32
+        roia_model::convert::floor_u32(f64::from(raw) * self.config.migration_headroom)
     }
 
     /// Audit-trail record of one decision with its Eq. 1–5 inputs
@@ -337,8 +337,8 @@ impl Policy for ModelDriven {
         // to replication while it holds the policy. Abort instead.
         if self.draining.is_some()
             && (l < 2
-                || (n as f64)
-                    >= self.config.remove_fraction * self.model.max_users(l - 1, m) as f64)
+                || f64::from(n)
+                    >= self.config.remove_fraction * f64::from(self.model.max_users(l - 1, m)))
         {
             self.draining = None;
         }
@@ -394,7 +394,7 @@ impl Policy for ModelDriven {
         } else if l > 1 && self.draining.is_none() && self.cooldown_rounds_left == 0 {
             // Scale down when the population fits easily on l − 1 servers.
             let cap_smaller = self.model.max_users(l - 1, m);
-            if (n as f64) < self.config.remove_fraction * cap_smaller as f64 {
+            if f64::from(n) < self.config.remove_fraction * f64::from(cap_smaller) {
                 if let Some(least) = snapshot.least_loaded() {
                     self.draining = Some(least.server);
                     self.drain_round(snapshot, least.server, now_tick, &mut out);

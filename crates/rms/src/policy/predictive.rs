@@ -49,13 +49,19 @@ impl TrendForecaster {
         if n < 2 {
             return 0.0;
         }
-        let mean_t = self.samples.iter().map(|&(t, _)| t as f64).sum::<f64>() / n as f64;
-        let mean_u = self.samples.iter().map(|&(_, u)| u as f64).sum::<f64>() / n as f64;
+        let nf = roia_model::convert::f64_from_usize(n);
+        let mean_t = self
+            .samples
+            .iter()
+            .map(|&(t, _)| roia_model::convert::f64_from_u64(t))
+            .sum::<f64>()
+            / nf;
+        let mean_u = self.samples.iter().map(|&(_, u)| f64::from(u)).sum::<f64>() / nf;
         let mut num = 0.0;
         let mut den = 0.0;
         for &(t, u) in &self.samples {
-            let dt = t as f64 - mean_t;
-            num += dt * (u as f64 - mean_u);
+            let dt = roia_model::convert::f64_from_u64(t) - mean_t;
+            num += dt * (f64::from(u) - mean_u);
             den += dt * dt;
         }
         if den <= 0.0 {
@@ -71,8 +77,9 @@ impl TrendForecaster {
         let Some(&(_, last)) = self.samples.back() else {
             return 0;
         };
-        let predicted = last as f64 + self.slope() * horizon_ticks as f64;
-        predicted.max(0.0).round() as u32
+        let predicted =
+            f64::from(last) + self.slope() * roia_model::convert::f64_from_u64(horizon_ticks);
+        roia_model::convert::round_u32(predicted)
     }
 }
 

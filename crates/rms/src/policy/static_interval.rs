@@ -13,6 +13,7 @@
 use crate::actions::Action;
 use crate::monitor::ZoneSnapshot;
 use crate::policy::Policy;
+use rtf_core::net::NodeId;
 
 /// The baseline policy.
 pub struct StaticInterval {
@@ -67,13 +68,13 @@ impl Policy for StaticInterval {
         // policy eliminates.)
         if l >= 2 {
             let avg = n / l;
-            let mut surpluses: Vec<(usize, u32)> = Vec::new();
-            let mut deficits: Vec<(usize, u32)> = Vec::new();
-            for (i, s) in snapshot.servers.iter().enumerate() {
+            let mut surpluses: Vec<(NodeId, u32)> = Vec::new();
+            let mut deficits: Vec<(NodeId, u32)> = Vec::new();
+            for s in &snapshot.servers {
                 if s.active_users > avg {
-                    surpluses.push((i, s.active_users - avg));
+                    surpluses.push((s.server, s.active_users - avg));
                 } else if s.active_users < avg {
-                    deficits.push((i, avg - s.active_users));
+                    deficits.push((s.server, avg - s.active_users));
                 }
             }
             let mut d_iter = deficits.into_iter();
@@ -83,8 +84,8 @@ impl Policy for StaticInterval {
                     let Some((dst, need)) = current else { break };
                     let k = surplus.min(need);
                     out.push(Action::Migrate {
-                        from: snapshot.servers[src].server,
-                        to: snapshot.servers[dst].server,
+                        from: src,
+                        to: dst,
                         users: k,
                     });
                     surplus -= k;

@@ -11,6 +11,7 @@
 use crate::actions::Action;
 use crate::monitor::ZoneSnapshot;
 use crate::policy::Policy;
+use rtf_core::net::NodeId;
 
 /// The baseline policy.
 pub struct StaticThreshold {
@@ -51,19 +52,17 @@ impl Policy for StaticThreshold {
 
         // Shed surplus from every over-threshold server to under-threshold
         // ones, most loaded first, with no pacing.
-        let mut room: Vec<(usize, u32)> = snapshot
+        let mut room: Vec<(NodeId, u32)> = snapshot
             .servers
             .iter()
-            .enumerate()
-            .filter(|(_, s)| s.active_users < cap)
-            .map(|(i, s)| (i, cap - s.active_users))
+            .filter(|s| s.active_users < cap)
+            .map(|s| (s.server, cap - s.active_users))
             .collect();
-        let mut over: Vec<(usize, u32)> = snapshot
+        let mut over: Vec<(NodeId, u32)> = snapshot
             .servers
             .iter()
-            .enumerate()
-            .filter(|(_, s)| s.active_users > cap)
-            .map(|(i, s)| (i, s.active_users - cap))
+            .filter(|s| s.active_users > cap)
+            .map(|s| (s.server, s.active_users - cap))
             .collect();
         over.sort_by_key(|&(_, surplus)| std::cmp::Reverse(surplus));
 
@@ -77,8 +76,8 @@ impl Policy for StaticThreshold {
                 }
                 let k = surplus.min(*space);
                 out.push(Action::Migrate {
-                    from: snapshot.servers[src].server,
-                    to: snapshot.servers[*dst].server,
+                    from: src,
+                    to: *dst,
                     users: k,
                 });
                 surplus -= k;

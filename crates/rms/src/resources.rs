@@ -171,14 +171,17 @@ impl ResourcePool {
         let mut z = self.fault_rng;
         z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        ((z ^ (z >> 31)) >> 11) as f64 / (1u64 << 53) as f64
+        roia_model::convert::f64_from_u64((z ^ (z >> 31)) >> 11)
+            / roia_model::convert::f64_from_u64(1u64 << 53)
     }
 
     fn active_count(&self, powerful: bool) -> u32 {
-        self.leases
+        let count = self
+            .leases
             .values()
             .filter(|l| l.released_at.is_none() && (l.profile.speedup > 1.0) == powerful)
-            .count() as u32
+            .count();
+        roia_model::convert::count_u32(count)
     }
 
     /// Requests a machine; it becomes ready after the startup delay.
@@ -264,10 +267,12 @@ impl ResourcePool {
 
     /// Machines currently leased (booting or serving).
     pub fn leased_count(&self) -> u32 {
-        self.leases
+        let count = self
+            .leases
             .values()
             .filter(|l| l.released_at.is_none())
-            .count() as u32
+            .count();
+        roia_model::convert::count_u32(count)
     }
 
     /// Total cost accrued up to `now_tick`, including released leases.
@@ -276,7 +281,8 @@ impl ResourcePool {
             .values()
             .map(|l| {
                 let end = l.released_at.unwrap_or(now_tick).max(l.leased_at);
-                let hours = (end - l.leased_at) as f64 / self.ticks_per_hour as f64;
+                let hours = roia_model::convert::f64_from_u64(end - l.leased_at)
+                    / roia_model::convert::f64_from_u64(self.ticks_per_hour);
                 hours * l.profile.cost_per_hour
             })
             .sum()

@@ -14,6 +14,7 @@
 //! by charging *virtual* seconds via [`TickTimers::charge`]. Which
 //! accumulator defines the tick duration is chosen by [`TimeMode`].
 
+// lint: allow(nondet, "Instant feeds the Wall accumulators only; deterministic sims run TimeMode::Virtual and never read them")
 use std::time::Instant;
 
 /// The per-tick tasks of §III-A plus the migration pair of §III-B.
@@ -121,7 +122,7 @@ impl TickTimers {
     /// Do not nest `time` calls for different tasks — the inner span would
     /// be counted twice. The framework times only its own leaf work.
     pub fn time<T>(&mut self, task: TaskKind, f: impl FnOnce() -> T) -> T {
-        let start = Instant::now();
+        let start = Instant::now(); // lint: allow(nondet, "wall-clock attribution is this method's contract; Virtual mode uses charge() instead")
         let out = f();
         self.wall[task.index()] += start.elapsed().as_secs_f64();
         out

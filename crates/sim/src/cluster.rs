@@ -17,6 +17,9 @@
 //! population conservation and no-migration-into-dead-nodes every tick.
 
 use crate::chaos::{ChaosEngine, Fault, FaultPlan, Revert};
+#[cfg(feature = "strict-invariants")]
+use crate::invariants::TraceAuditor;
+use crate::invariants::{self, PopulationView};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use roia_autocal::{OnlineCalibrator, PublishOutcome, RefitReport};
@@ -190,6 +193,10 @@ pub struct Cluster {
     /// Refit attempts the calibrator made, in order.
     refit_log: Vec<RefitReport>,
     debug_checks: bool,
+    /// Stream-invariant auditor teed onto the tracer under strict mode
+    /// (Eq. 5 budget caps, ledger legality, audit linkage).
+    #[cfg(feature = "strict-invariants")]
+    auditor: std::sync::Arc<std::sync::Mutex<TraceAuditor>>,
     /// Users this deployment should be serving (add/remove/adopt/extract
     /// accounting) — the conservation baseline for the invariant checker.
     expected_users: u64,
@@ -250,6 +257,8 @@ impl Cluster {
             reference_model: None,
             refit_log: Vec::new(),
             debug_checks: false,
+            #[cfg(feature = "strict-invariants")]
+            auditor: std::sync::Arc::new(std::sync::Mutex::new(TraceAuditor::new())),
             expected_users: 0,
             history: Vec::new(),
             violations: 0,
@@ -257,10 +266,12 @@ impl Cluster {
             tracer: Tracer::disabled(),
             metrics: MetricsRegistry::new(),
         };
+        cluster.arm_strict_auditor();
         for _ in 0..initial_servers {
             let lease = cluster
                 .pool
                 .request(MachineProfile::STANDARD, 0)
+                // lint: allow(panic, "construction-time config validation: the pool is sized from the same config, before any tick runs")
                 .expect("initial capacity");
             // Initial machines are ready immediately.
             cluster.pool.poll_ready(u64::MAX >> 1);
@@ -286,6 +297,7 @@ impl Cluster {
     /// up from the current tick.
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+        self.arm_strict_auditor();
         if let Some(controller) = self.controller.as_mut() {
             controller.set_tracer(self.tracer.clone());
         }
@@ -307,6 +319,18 @@ impl Cluster {
             cal.registry().set_tracer(self.tracer.clone());
         }
     }
+
+    /// Tees the stream-invariant auditor onto the current tracer so it
+    /// observes the same events the operator records. No-op without the
+    /// `strict-invariants` feature.
+    #[cfg(feature = "strict-invariants")]
+    fn arm_strict_auditor(&mut self) {
+        let sink: std::sync::Arc<std::sync::Mutex<dyn roia_obs::TraceSink>> = self.auditor.clone();
+        self.tracer = self.tracer.tee_with(sink);
+    }
+
+    #[cfg(not(feature = "strict-invariants"))]
+    fn arm_strict_auditor(&mut self) {}
 
     /// The operator-facing metrics registry (tick-duration histograms,
     /// population gauges, lifecycle counters). Export with
@@ -488,12 +512,18 @@ impl Cluster {
     }
 
     /// Access to one server's metrics (for measurement campaigns).
+    ///
+    /// Panics on an out-of-range index; campaigns index `0..server_count()`.
     pub fn server_metrics(&self, idx: usize) -> &rtf_core::metrics::MetricsLog {
+        // lint: allow(panic, "measurement/test accessor, never called from the tick loop; callers index 0..server_count()")
         self.servers[idx].server.metrics()
     }
 
     /// Direct access to a server (measurement campaigns and tests).
+    ///
+    /// Panics on an out-of-range index; campaigns index `0..server_count()`.
     pub fn server(&self, idx: usize) -> &Server<RtfDemoApp> {
+        // lint: allow(panic, "measurement/test accessor, never called from the tick loop; callers index 0..server_count()")
         &self.servers[idx].server
     }
 
@@ -551,7 +581,11 @@ impl Cluster {
         if self.servers.len() <= 1 {
             return false; // each zone keeps at least one server
         }
-        if self.servers[idx].server.active_users() > 0 {
+        if self
+            .servers
+            .get(idx)
+            .is_none_or(|s| s.server.active_users() > 0)
+        {
             return false; // must be drained first
         }
         let handle = self.servers.remove(idx);
@@ -574,14 +608,27 @@ impl Cluster {
         self.servers.iter().any(|s| s.server.id() == id)
     }
 
-    /// Connects a new bot-driven user to the least loaded healthy server;
-    /// returns its id.
-    pub fn add_user(&mut self) -> UserId {
+    /// Id of the `nth % len` live server (chaos faults address servers by
+    /// ordinal so plans stay valid as the fleet grows and shrinks).
+    fn nth_server_id(&self, nth: usize) -> Option<NodeId> {
+        if self.servers.is_empty() {
+            return None;
+        }
+        self.servers
+            .get(nth % self.servers.len())
+            .map(|s| s.server.id())
+    }
+
+    /// Connects a new bot-driven user to the least loaded healthy server.
+    ///
+    /// Returns the new id, or `None` when no server exists to place it on
+    /// (every replica crashed); no state changes in that case.
+    pub fn add_user(&mut self) -> Option<UserId> {
+        let target = self.placement_target()?;
         let user = UserId(self.next_user);
+        let client = Client::connect(&self.bus, user, target).ok()?;
         self.next_user += 1;
-        let target = self.placement_target().expect("at least one server");
         *self.pending_connects.entry(target).or_insert(0) += 1;
-        let client = Client::connect(&self.bus, user, target).expect("server registered");
         let bot = Bot::new(user, self.config.seed, self.config.bots);
         self.clients.insert(
             user,
@@ -593,7 +640,7 @@ impl Cluster {
             },
         );
         self.expected_users += 1;
-        user
+        Some(user)
     }
 
     /// Least loaded non-suspect server, counting connects still in flight
@@ -808,8 +855,9 @@ impl Cluster {
         }
         if engine.sample_crash() && self.servers.len() > 1 {
             let idx = engine.pick(self.servers.len());
-            let id = self.servers[idx].server.id();
-            self.crash_server(id);
+            if let Some(id) = self.servers.get(idx).map(|s| s.server.id()) {
+                self.crash_server(id);
+            }
         }
         self.chaos = Some(engine);
     }
@@ -840,15 +888,13 @@ impl Cluster {
                 }
             }
             Fault::CrashNth(nth) => {
-                if !self.servers.is_empty() {
-                    let id = self.servers[nth % self.servers.len()].server.id();
+                if let Some(id) = self.nth_server_id(nth) {
                     self.trace_fault("crash_nth", id.0 as i64);
                     self.crash_server(id);
                 }
             }
             Fault::Isolate { nth, for_ticks } => {
-                if !self.servers.is_empty() {
-                    let id = self.servers[nth % self.servers.len()].server.id();
+                if let Some(id) = self.nth_server_id(nth) {
                     self.trace_fault("isolate", id.0 as i64);
                     self.bus.set_isolated(id, true);
                     self.suspects.insert(id);
@@ -860,15 +906,12 @@ impl Cluster {
                 factor,
                 for_ticks,
             } => {
-                if !self.servers.is_empty() {
-                    let idx = nth % self.servers.len();
-                    let id = self.servers[idx].server.id();
+                if let Some(id) = self.nth_server_id(nth) {
                     self.trace_fault("straggle", id.0 as i64);
-                    self.servers[idx]
-                        .server
-                        .app_mut()
-                        .set_slowdown(factor.max(1.0));
-                    engine.schedule_revert(self.tick + for_ticks, Revert::Unstraggle(id));
+                    if let Some(handle) = self.servers.iter_mut().find(|s| s.server.id() == id) {
+                        handle.server.app_mut().set_slowdown(factor.max(1.0));
+                        engine.schedule_revert(self.tick + for_ticks, Revert::Unstraggle(id));
+                    }
                 }
             }
             Fault::SetBootFailureRate(rate) => {
@@ -1083,11 +1126,16 @@ impl Cluster {
                 }
                 continue;
             };
-            let handle = self.clients.get_mut(&user).expect("checked above");
+            let Some(handle) = self.clients.get_mut(&user) else {
+                self.rehoming.remove(&user); // client vanished; nothing to rehome
+                continue;
+            };
             handle.client.reconnect(target);
             handle.last_progress_tick = self.tick;
             *self.pending_connects.entry(target).or_insert(0) += 1;
-            let r = self.rehoming.get_mut(&user).expect("checked above");
+            let Some(r) = self.rehoming.get_mut(&user) else {
+                continue;
+            };
             r.attempts += 1;
             r.next_attempt =
                 self.tick + (REHOME_BACKOFF_TICKS << (r.attempts - 1).min(MAX_BACKOFF_SHIFT));
@@ -1147,7 +1195,9 @@ impl Cluster {
             match self.clients.get(&user) {
                 None => {
                     for idx in idxs {
-                        self.servers[idx].server.disconnect_user(user);
+                        if let Some(s) = self.servers.get_mut(idx) {
+                            s.server.disconnect_user(user);
+                        }
                     }
                 }
                 Some(handle) => {
@@ -1156,11 +1206,17 @@ impl Cluster {
                         let keep = idxs
                             .iter()
                             .copied()
-                            .find(|i| self.servers[*i].server.id() == preferred)
-                            .unwrap_or(idxs[0]);
+                            .find(|i| {
+                                self.servers
+                                    .get(*i)
+                                    .is_some_and(|s| s.server.id() == preferred)
+                            })
+                            .or_else(|| idxs.first().copied());
                         for idx in idxs {
-                            if idx != keep {
-                                self.servers[idx].server.disconnect_user(user);
+                            if Some(idx) != keep {
+                                if let Some(s) = self.servers.get_mut(idx) {
+                                    s.server.disconnect_user(user);
+                                }
                             }
                         }
                     }
@@ -1169,57 +1225,60 @@ impl Cluster {
         }
     }
 
-    /// Debug-mode invariant checker (see [`Cluster::set_debug_checks`]).
-    fn check_invariants(&self) {
-        assert_eq!(
-            self.clients.len() as u64,
-            self.expected_users,
-            "tick {}: client population diverged from add/remove accounting",
-            self.tick
-        );
-        let mut active: BTreeSet<UserId> = BTreeSet::new();
-        for handle in &self.servers {
-            for user in handle.server.users() {
-                assert!(
-                    active.insert(user),
-                    "tick {}: {user:?} active on two replicas after repair sweep",
-                    self.tick
-                );
-                assert!(
-                    self.clients.contains_key(&user),
-                    "tick {}: ghost avatar {user:?} after repair sweep",
-                    self.tick
-                );
-            }
-        }
-        for (old, new) in &self.substituting {
-            assert!(
-                self.server_alive(*new),
-                "tick {}: substitution targets dead node {new:?}",
-                self.tick
-            );
-            assert!(
-                !self.suspects.contains(new),
-                "tick {}: substitution targets suspect node {new:?}",
-                self.tick
-            );
-            assert!(
-                self.server_alive(*old),
-                "tick {}: substitution drains dead node {old:?}",
-                self.tick
-            );
-        }
+    /// Snapshots the cluster's structural state for the population half of
+    /// the invariant oracle (see [`crate::invariants`]).
+    fn population_view(&self) -> PopulationView {
+        let mut client_ids = Vec::with_capacity(self.clients.len());
+        let mut stalled_ticks = Vec::with_capacity(self.clients.len());
+        let mut supervised_or_connecting = Vec::new();
         for (user, handle) in &self.clients {
-            if active.contains(user) {
-                continue;
+            client_ids.push(user.0);
+            stalled_ticks.push(self.tick.saturating_sub(handle.last_progress_tick));
+            if self.rehoming.contains_key(user)
+                || self.orphans.contains(user)
+                || handle.client.state() == ClientState::Connecting
+            {
+                supervised_or_connecting.push(user.0);
             }
-            let supervised = self.rehoming.contains_key(user) || self.orphans.contains(user);
-            let connecting = handle.client.state() == ClientState::Connecting;
-            let stalled_for = self.tick.saturating_sub(handle.last_progress_tick);
-            assert!(
-                supervised || connecting || stalled_for < STALL_TICKS,
-                "tick {}: {user:?} unhomed, unsupervised, stalled {stalled_for} ticks",
-                self.tick
+        }
+        PopulationView {
+            tick: self.tick,
+            expected_users: self.expected_users,
+            per_server_users: self
+                .servers
+                .iter()
+                .map(|h| (h.server.id().0, h.server.users().map(|u| u.0).collect()))
+                .collect(),
+            client_ids,
+            supervised_or_connecting,
+            stalled_ticks,
+            stall_limit: STALL_TICKS,
+            substitutions: self.substituting.iter().map(|(a, b)| (a.0, b.0)).collect(),
+            live_servers: self.servers.iter().map(|h| h.server.id().0).collect(),
+            suspect_servers: self.suspects.iter().map(|n| n.0).collect(),
+        }
+    }
+
+    /// Runs the invariant oracle (population checks, plus the trace
+    /// auditor under `strict-invariants`) and panics on any violation.
+    fn check_invariants(&self) {
+        #[cfg(not(feature = "strict-invariants"))]
+        let violations = invariants::check_population(&self.population_view());
+        #[cfg(feature = "strict-invariants")]
+        let violations = {
+            let mut v = invariants::check_population(&self.population_view());
+            if let Ok(mut auditor) = self.auditor.lock() {
+                v.extend(auditor.take_violations());
+            }
+            v
+        };
+        if !violations.is_empty() {
+            let rendered: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+            panic!(
+                "tick {}: {} invariant violation(s):\n{}",
+                self.tick,
+                violations.len(),
+                rendered.join("\n")
             );
         }
     }
@@ -1274,11 +1333,14 @@ impl Cluster {
             }
         }
 
-        // 3c. Repair avatar-table damage; assert invariants if asked to.
-        if self.chaos.is_some() || self.debug_checks {
+        // 3c. Repair avatar-table damage; consult the invariant oracle.
+        // Strict builds check every tick; otherwise only when debug checks
+        // or chaos are active.
+        let strict = cfg!(feature = "strict-invariants");
+        if strict || self.chaos.is_some() || self.debug_checks {
             self.repair_sweep();
         }
-        if self.debug_checks {
+        if strict || self.debug_checks {
             self.check_invariants();
         }
 

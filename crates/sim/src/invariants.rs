@@ -1,0 +1,612 @@
+//! The runtime invariant oracle: one catalog of everything a correct
+//! deployment must keep true, checked live against the running cluster
+//! and its telemetry stream.
+//!
+//! Two halves, one vocabulary:
+//!
+//! * **Population invariants** ([`check_population`]) are structural facts
+//!   about the cluster state — user conservation, replica exclusivity,
+//!   supervision liveness, substitution legality. The cluster snapshots
+//!   itself into a [`PopulationView`] and the oracle judges it.
+//! * **Stream invariants** ([`TraceAuditor`]) are facts about the decision
+//!   audit trail — every Eq. (5) budget grant within bounds, every action
+//!   resolution legal against the ledger's state machine, every trace
+//!   record linked to an issued action. The auditor is a
+//!   [`TraceSink`], so it can be teed onto any tracer and watch the same
+//!   events the operator records.
+//!
+//! Both report [`Violation`]s tagged with an [`InvariantId`], each of which
+//! documents the paper equation or subsystem rule it guards. Under the
+//! `strict-invariants` feature the cluster consults the oracle **every
+//! tick** and panics on the first violation; without it, the checks run
+//! only when debug checks or chaos are active (see
+//! [`crate::cluster::Cluster::set_debug_checks`]).
+//!
+//! The module also hosts the determinism double-run checker
+//! ([`double_run`]): run the same seeded scenario twice under a hashing
+//! trace sink and compare digests — byte-identical JSONL traces are the
+//! repo's operational definition of determinism.
+
+use roia_obs::{HashSink, TraceEvent, TraceSink, Tracer};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+/// Every invariant the oracle can report, with a stable id for reports
+/// and the paper equation / subsystem rule it guards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum InvariantId {
+    /// I1 — the connected-client population equals the add/remove
+    /// accounting (no users created or destroyed by the machinery).
+    UserConservation,
+    /// I2 — a user is active on at most one replica (§III-B: migration
+    /// transfers ownership, never duplicates it).
+    ReplicaExclusivity,
+    /// I3 — every active avatar belongs to a connected client (crash
+    /// recovery must not leave ghost avatars behind).
+    GhostAvatar,
+    /// I4 — every unhomed user is supervised (rehoming/orphan queues),
+    /// still connecting, or made progress recently.
+    SupervisionLiveness,
+    /// I5 — substitutions drain a live node into a live, non-suspect
+    /// node (§IV: substitution replaces a machine, not a corpse).
+    SubstitutionLegality,
+    /// I6 — Eq. (5): users granted to a donor→receiver pair never exceed
+    /// either side's migration budget `x_max_ini` / `x_max_rcv`.
+    BudgetCap,
+    /// I7 — ledger legality: an action resolves at most twice, and a
+    /// second resolution may only escalate or abandon a retryable
+    /// failure (`rejected`/`failed`/`timed_out`).
+    LedgerLegality,
+    /// I8 — audit linkage: every resolution, retry and migration plan in
+    /// the trace refers to an action the trace saw issued.
+    AuditLinkage,
+}
+
+impl InvariantId {
+    /// Stable short id used in reports and violation messages.
+    pub fn id(self) -> &'static str {
+        match self {
+            InvariantId::UserConservation => "I1",
+            InvariantId::ReplicaExclusivity => "I2",
+            InvariantId::GhostAvatar => "I3",
+            InvariantId::SupervisionLiveness => "I4",
+            InvariantId::SubstitutionLegality => "I5",
+            InvariantId::BudgetCap => "I6",
+            InvariantId::LedgerLegality => "I7",
+            InvariantId::AuditLinkage => "I8",
+        }
+    }
+
+    /// The paper equation or subsystem contract the invariant guards.
+    pub fn paper_ref(self) -> &'static str {
+        match self {
+            InvariantId::UserConservation => "client bookkeeping (§V session accounting)",
+            InvariantId::ReplicaExclusivity => "§III-B user migration semantics",
+            InvariantId::GhostAvatar => "crash-recovery repair sweep contract",
+            InvariantId::SupervisionLiveness => "rehoming/orphan supervision contract",
+            InvariantId::SubstitutionLegality => "§IV substitution action",
+            InvariantId::BudgetCap => "Eq. (5) migration budgets",
+            InvariantId::LedgerLegality => "action-ledger state machine",
+            InvariantId::AuditLinkage => "decision audit trail (roia-obs causality)",
+        }
+    }
+
+    /// Every invariant, in report order.
+    pub const ALL: [InvariantId; 8] = [
+        InvariantId::UserConservation,
+        InvariantId::ReplicaExclusivity,
+        InvariantId::GhostAvatar,
+        InvariantId::SupervisionLiveness,
+        InvariantId::SubstitutionLegality,
+        InvariantId::BudgetCap,
+        InvariantId::LedgerLegality,
+        InvariantId::AuditLinkage,
+    ];
+}
+
+/// One observed breach of an invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Which invariant was breached.
+    pub invariant: InvariantId,
+    /// Simulation tick at which it was observed.
+    pub tick: u64,
+    /// Human-readable description with the offending values.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} tick {}: {} [{}]",
+            self.invariant.id(),
+            self.tick,
+            self.message,
+            self.invariant.paper_ref()
+        )
+    }
+}
+
+/// A structural snapshot of the cluster the population checks judge.
+///
+/// The cluster assembles this from its private state each time it wants a
+/// verdict; keeping the view a plain struct keeps the oracle independently
+/// testable.
+#[derive(Debug, Clone, Default)]
+pub struct PopulationView {
+    /// Current simulation tick.
+    pub tick: u64,
+    /// Users the add/remove accounting says should be connected.
+    pub expected_users: u64,
+    /// Per-server lists of active (owned) user ids.
+    pub per_server_users: Vec<(u32, Vec<u64>)>,
+    /// Ids of all connected clients.
+    pub client_ids: Vec<u64>,
+    /// Clients currently supervised (rehoming or orphan queues) or still
+    /// connecting — exempt from the liveness check.
+    pub supervised_or_connecting: Vec<u64>,
+    /// Ticks since each client last made progress, same order as
+    /// `client_ids`.
+    pub stalled_ticks: Vec<u64>,
+    /// Stall tolerance before an unhomed, unsupervised user is a breach.
+    pub stall_limit: u64,
+    /// Substitution pairs `(old, new)` in flight.
+    pub substitutions: Vec<(u32, u32)>,
+    /// Ids of live servers.
+    pub live_servers: Vec<u32>,
+    /// Ids of suspect servers.
+    pub suspect_servers: Vec<u32>,
+}
+
+/// Judges a [`PopulationView`] against invariants I1–I5.
+pub fn check_population(view: &PopulationView) -> Vec<Violation> {
+    let tick = view.tick;
+    let mut out = Vec::new();
+    let clients: BTreeMap<u64, usize> = view
+        .client_ids
+        .iter()
+        .enumerate()
+        .map(|(i, &u)| (u, i))
+        .collect();
+
+    // I1 — conservation.
+    if clients.len() as u64 != view.expected_users {
+        out.push(Violation {
+            invariant: InvariantId::UserConservation,
+            tick,
+            message: format!(
+                "{} clients connected but accounting expects {}",
+                clients.len(),
+                view.expected_users
+            ),
+        });
+    }
+
+    // I2/I3 — exclusivity and ghosts.
+    let mut active: BTreeMap<u64, u32> = BTreeMap::new();
+    for (server, users) in &view.per_server_users {
+        for &user in users {
+            if let Some(first) = active.insert(user, *server) {
+                out.push(Violation {
+                    invariant: InvariantId::ReplicaExclusivity,
+                    tick,
+                    message: format!("user {user} active on servers {first} and {server}"),
+                });
+            }
+            if !clients.contains_key(&user) {
+                out.push(Violation {
+                    invariant: InvariantId::GhostAvatar,
+                    tick,
+                    message: format!("server {server} hosts avatar {user} with no client"),
+                });
+            }
+        }
+    }
+
+    // I4 — liveness of unhomed users.
+    let supervised: BTreeMap<u64, ()> = view
+        .supervised_or_connecting
+        .iter()
+        .map(|&u| (u, ()))
+        .collect();
+    for (&user, &idx) in &clients {
+        if active.contains_key(&user) || supervised.contains_key(&user) {
+            continue;
+        }
+        let stalled = view.stalled_ticks.get(idx).copied().unwrap_or(0);
+        if stalled >= view.stall_limit {
+            out.push(Violation {
+                invariant: InvariantId::SupervisionLiveness,
+                tick,
+                message: format!("user {user} unhomed, unsupervised, stalled {stalled} ticks"),
+            });
+        }
+    }
+
+    // I5 — substitution legality.
+    for &(old, new) in &view.substitutions {
+        if !view.live_servers.contains(&new) {
+            out.push(Violation {
+                invariant: InvariantId::SubstitutionLegality,
+                tick,
+                message: format!("substitution {old}→{new} targets a dead node"),
+            });
+        } else if view.suspect_servers.contains(&new) {
+            out.push(Violation {
+                invariant: InvariantId::SubstitutionLegality,
+                tick,
+                message: format!("substitution {old}→{new} targets a suspect node"),
+            });
+        }
+        if !view.live_servers.contains(&old) {
+            out.push(Violation {
+                invariant: InvariantId::SubstitutionLegality,
+                tick,
+                message: format!("substitution {old}→{new} drains a dead node"),
+            });
+        }
+    }
+
+    out
+}
+
+/// Per-action state the auditor tracks from the trace stream.
+#[derive(Debug, Clone)]
+struct IssuedAction {
+    kind: &'static str,
+    outcomes: Vec<&'static str>,
+}
+
+/// Streaming auditor for invariants I6–I8 over [`TraceEvent`]s.
+///
+/// Implements [`TraceSink`], so `tracer.tee_with(auditor)` lets it watch
+/// the exact event stream the operator records without altering it.
+#[derive(Debug, Default)]
+pub struct TraceAuditor {
+    issued: BTreeMap<u64, IssuedAction>,
+    violations: Vec<Violation>,
+    budget_evals: u64,
+    resolutions: u64,
+}
+
+/// First outcomes after which a second, stronger resolution is legal.
+const RETRYABLE: [&str; 3] = ["rejected", "failed", "timed_out"];
+/// Legal second resolutions.
+const SUPERSEDING: [&str; 2] = ["escalated", "abandoned"];
+
+impl TraceAuditor {
+    /// A fresh auditor with no observed events.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feed one trace event through the stream invariants.
+    pub fn observe(&mut self, event: &TraceEvent) {
+        match event {
+            TraceEvent::MigrationBudget {
+                tick,
+                from,
+                to,
+                x_max_ini,
+                x_max_rcv,
+                granted,
+                ..
+            } => {
+                self.budget_evals += 1;
+                let cap = (*x_max_ini).min(*x_max_rcv);
+                if *granted > cap {
+                    self.violations.push(Violation {
+                        invariant: InvariantId::BudgetCap,
+                        tick: *tick,
+                        message: format!(
+                            "pair {from}→{to} granted {granted} users, Eq. 5 budget is \
+                             min(x_max_ini={x_max_ini}, x_max_rcv={x_max_rcv})={cap}"
+                        ),
+                    });
+                }
+            }
+            TraceEvent::ActionIssued {
+                tick,
+                action_id,
+                kind,
+                ..
+            } => {
+                // Every attempt — including retries — gets a fresh ledger id
+                // (`ActionLog::push_attempt`), so a reused id means the
+                // controller corrupted the ledger.
+                let entry = IssuedAction {
+                    kind,
+                    outcomes: Vec::new(),
+                };
+                if self.issued.insert(*action_id, entry).is_some() {
+                    self.violations.push(Violation {
+                        invariant: InvariantId::AuditLinkage,
+                        tick: *tick,
+                        message: format!("ledger id {action_id} issued twice"),
+                    });
+                }
+            }
+            TraceEvent::ActionResolved {
+                tick,
+                action_id,
+                outcome,
+            } => {
+                self.resolutions += 1;
+                let Some(state) = self.issued.get_mut(action_id) else {
+                    self.violations.push(Violation {
+                        invariant: InvariantId::AuditLinkage,
+                        tick: *tick,
+                        message: format!("resolution of action {action_id} never seen issued"),
+                    });
+                    return;
+                };
+                state.outcomes.push(outcome);
+                match state.outcomes.as_slice() {
+                    [_] => {}
+                    [first, second] => {
+                        if !(RETRYABLE.contains(first) && SUPERSEDING.contains(second)) {
+                            self.violations.push(Violation {
+                                invariant: InvariantId::LedgerLegality,
+                                tick: *tick,
+                                message: format!(
+                                    "{} action {action_id} re-resolved {first} → {second}; only \
+                                     rejected/failed/timed_out may become escalated/abandoned",
+                                    state.kind
+                                ),
+                            });
+                        }
+                    }
+                    chain => self.violations.push(Violation {
+                        invariant: InvariantId::LedgerLegality,
+                        tick: *tick,
+                        message: format!(
+                            "action {action_id} resolved {} times ({})",
+                            chain.len(),
+                            chain.join(" → ")
+                        ),
+                    }),
+                }
+            }
+            // id 0 marks internally scheduled rebalances with no ledger
+            // entry; anything else must trace back to an issue event.
+            TraceEvent::MigrationPlanned {
+                tick, action_id, ..
+            } if *action_id != 0 && !self.issued.contains_key(action_id) => {
+                self.violations.push(Violation {
+                    invariant: InvariantId::AuditLinkage,
+                    tick: *tick,
+                    message: format!("migration plan for action {action_id} never seen issued"),
+                });
+            }
+            _ => {}
+        }
+    }
+
+    /// Violations observed so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Drains and returns the violations observed so far.
+    pub fn take_violations(&mut self) -> Vec<Violation> {
+        std::mem::take(&mut self.violations)
+    }
+
+    /// Eq. (5) budget evaluations seen (sanity: the soak actually
+    /// exercised the budget path).
+    pub fn budget_evals(&self) -> u64 {
+        self.budget_evals
+    }
+
+    /// Action resolutions seen.
+    pub fn resolutions(&self) -> u64 {
+        self.resolutions
+    }
+}
+
+impl TraceSink for TraceAuditor {
+    fn record(&mut self, event: &TraceEvent) {
+        self.observe(event);
+    }
+}
+
+/// Outcome of one hashed run of a seeded scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunDigest {
+    /// FNV-1a digest of the JSONL trace.
+    pub hash: u64,
+    /// Events hashed.
+    pub events: u64,
+}
+
+/// Runs `scenario` twice, each time with a fresh hashing tracer, and
+/// returns both digests plus both scenario outputs.
+///
+/// The scenario gets the [`Tracer`] to install; determinism holds iff
+/// `digests.0 == digests.1` (byte-identical JSONL traces) — callers
+/// usually also compare the two outputs.
+pub fn double_run<R>(mut scenario: impl FnMut(Tracer) -> R) -> ((RunDigest, R), (RunDigest, R)) {
+    let one_run = |scenario: &mut dyn FnMut(Tracer) -> R| {
+        let (tracer, sink) = Tracer::hashing();
+        let out = scenario(tracer);
+        let digest = {
+            let guard = sink.lock().unwrap_or_else(|e| e.into_inner());
+            RunDigest {
+                hash: guard.hash(),
+                events: guard.events(),
+            }
+        };
+        (digest, out)
+    };
+    (one_run(&mut scenario), one_run(&mut scenario))
+}
+
+/// Convenience wrapper around [`HashSink`] for code that wants to hash an
+/// event stream it already holds.
+pub fn trace_hash<'a>(events: impl IntoIterator<Item = &'a TraceEvent>) -> RunDigest {
+    let mut sink = HashSink::new();
+    for e in events {
+        sink.record(e);
+    }
+    RunDigest {
+        hash: sink.hash(),
+        events: sink.events(),
+    }
+}
+
+/// Shares a [`TraceAuditor`] behind the `Arc<Mutex<_>>` shape
+/// [`Tracer::tee_with`] expects, returning both the sink handle and a
+/// typed handle for reading violations back.
+pub fn shared_auditor() -> (Arc<Mutex<TraceAuditor>>, Arc<Mutex<dyn TraceSink>>) {
+    let auditor = Arc::new(Mutex::new(TraceAuditor::new()));
+    let sink: Arc<Mutex<dyn TraceSink>> = auditor.clone();
+    (auditor, sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn issued(id: u64, attempt: u32) -> TraceEvent {
+        TraceEvent::ActionIssued {
+            tick: 10,
+            cause: 10,
+            action_id: id,
+            kind: "migrate",
+            attempt,
+            from: 1,
+            to: 2,
+            users: 4,
+        }
+    }
+
+    fn resolved(id: u64, outcome: &'static str) -> TraceEvent {
+        TraceEvent::ActionResolved {
+            tick: 12,
+            action_id: id,
+            outcome,
+        }
+    }
+
+    fn budget(granted: u32, ini: u32, rcv: u32) -> TraceEvent {
+        TraceEvent::MigrationBudget {
+            tick: 10,
+            cause: 10,
+            from: 1,
+            to: 2,
+            from_tick_s: 0.03,
+            to_tick_s: 0.02,
+            x_max_ini: ini,
+            x_max_rcv: rcv,
+            granted,
+        }
+    }
+
+    #[test]
+    fn budget_within_cap_is_clean() {
+        let mut a = TraceAuditor::new();
+        a.observe(&budget(3, 3, 5));
+        assert!(a.violations().is_empty());
+        assert_eq!(a.budget_evals(), 1);
+    }
+
+    #[test]
+    fn budget_over_cap_is_i6() {
+        let mut a = TraceAuditor::new();
+        a.observe(&budget(6, 3, 5));
+        assert_eq!(a.violations().len(), 1);
+        assert_eq!(a.violations()[0].invariant, InvariantId::BudgetCap);
+        assert!(a.violations()[0].message.contains("granted 6"));
+    }
+
+    #[test]
+    fn legal_lifecycle_is_clean() {
+        let mut a = TraceAuditor::new();
+        a.observe(&issued(1, 0));
+        a.observe(&resolved(1, "failed"));
+        // The retry is a fresh ledger entry; the exhausted attempt is
+        // upgraded in place (timed_out → escalated).
+        a.observe(&issued(2, 1));
+        a.observe(&resolved(2, "timed_out"));
+        a.observe(&resolved(2, "escalated"));
+        assert!(a.violations().is_empty(), "{:?}", a.violations());
+    }
+
+    #[test]
+    fn reissued_ledger_id_is_i8() {
+        let mut a = TraceAuditor::new();
+        a.observe(&issued(1, 0));
+        a.observe(&issued(1, 1));
+        assert_eq!(a.violations()[0].invariant, InvariantId::AuditLinkage);
+    }
+
+    #[test]
+    fn double_success_is_i7() {
+        let mut a = TraceAuditor::new();
+        a.observe(&issued(1, 0));
+        a.observe(&resolved(1, "succeeded"));
+        a.observe(&resolved(1, "succeeded"));
+        assert_eq!(a.violations()[0].invariant, InvariantId::LedgerLegality);
+    }
+
+    #[test]
+    fn orphan_resolution_is_i8() {
+        let mut a = TraceAuditor::new();
+        a.observe(&resolved(7, "succeeded"));
+        assert_eq!(a.violations()[0].invariant, InvariantId::AuditLinkage);
+    }
+
+    #[test]
+    fn population_checks_fire_per_invariant() {
+        let view = PopulationView {
+            tick: 5,
+            expected_users: 3,
+            per_server_users: vec![(1, vec![10, 11]), (2, vec![10, 99])],
+            client_ids: vec![10, 11],
+            supervised_or_connecting: vec![],
+            stalled_ticks: vec![0, 0],
+            stall_limit: 50,
+            substitutions: vec![(1, 9)],
+            live_servers: vec![1, 2],
+            suspect_servers: vec![],
+        };
+        let v = check_population(&view);
+        let ids: Vec<&str> = v.iter().map(|v| v.invariant.id()).collect();
+        assert!(ids.contains(&"I1"), "{v:?}"); // 2 clients, 3 expected
+        assert!(ids.contains(&"I2"), "{v:?}"); // user 10 on two servers
+        assert!(ids.contains(&"I3"), "{v:?}"); // avatar 99 has no client
+        assert!(ids.contains(&"I5"), "{v:?}"); // substitution targets node 9
+    }
+
+    #[test]
+    fn clean_population_is_clean() {
+        let view = PopulationView {
+            tick: 5,
+            expected_users: 2,
+            per_server_users: vec![(1, vec![10]), (2, vec![11])],
+            client_ids: vec![10, 11],
+            supervised_or_connecting: vec![],
+            stalled_ticks: vec![0, 0],
+            stall_limit: 50,
+            substitutions: vec![],
+            live_servers: vec![1, 2],
+            suspect_servers: vec![],
+        };
+        assert!(check_population(&view).is_empty());
+    }
+
+    #[test]
+    fn trace_hash_matches_double_run_of_same_events() {
+        let events = vec![issued(1, 0), resolved(1, "succeeded")];
+        let ((d1, _), (d2, _)) = double_run(|tracer| {
+            for e in &events {
+                tracer.emit(e.clone());
+            }
+        });
+        assert_eq!(d1, d2);
+        assert_eq!(d1.events, 2);
+        assert_eq!(trace_hash(events.iter()), d1);
+    }
+}

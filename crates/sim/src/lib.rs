@@ -12,6 +12,7 @@
 pub mod chaos;
 pub mod cluster;
 pub mod drift;
+pub mod invariants;
 pub mod measure;
 pub mod multizone;
 pub mod report;

@@ -222,8 +222,9 @@ impl MultiZoneWorld {
     }
 
     /// Adds a user to a zone (the lobby routes players to the area they
-    /// picked); returns the user id.
-    pub fn add_user_to_zone(&mut self, zone_idx: u32) -> UserId {
+    /// picked); returns the user id, or `None` when the chosen instance has
+    /// no live server to place the user on.
+    pub fn add_user_to_zone(&mut self, zone_idx: u32) -> Option<UserId> {
         assert!(zone_idx < self.config.zones);
         let idx = self.target_instance(zone_idx);
         self.instances[idx].cluster.add_user()
@@ -491,7 +492,7 @@ mod tests {
         // Cross-zone travel uses the migration machinery, so the avatar's
         // health/kills must survive the move.
         let mut world = MultiZoneWorld::new(config(), model());
-        let user = world.add_user_to_zone(0);
+        let user = world.add_user_to_zone(0).expect("zone 0 has a server");
         world.run(10);
         // Wound the avatar on its current server.
         let health_before = {

@@ -18,6 +18,7 @@ use rtf_core::timer::TimeMode;
 use rtf_core::zone::ZoneId;
 use rtfdemo::{Bot, BotBehavior, CostModel, CostRates, RtfDemoApp, World};
 use std::thread;
+// lint: allow-file(nondet, "real-time pacing harness by design (TimeMode::Wall); the measurement campaigns use the deterministic virtual-clock simulator instead")
 use std::time::{Duration, Instant};
 
 /// Configuration of a threaded run.

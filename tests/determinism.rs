@@ -1,0 +1,132 @@
+//! Determinism regression: the same seeded scenario, run twice, must
+//! produce byte-identical JSONL traces and identical reports.
+//!
+//! This is the repo's operational definition of reproducibility — the
+//! property roia-lint rules D1 (ordered containers) and D2 (no ambient
+//! clocks/randomness) exist to protect. The double-run checker hashes
+//! every trace event through a streaming FNV sink, so a single reordered
+//! map iteration or wall-clock read anywhere in the pipeline flips the
+//! digest.
+
+use roia::model::{CostFn, ModelParams, ScalabilityModel};
+use roia::rms::{ModelDriven, ModelDrivenConfig};
+use roia::sim::drift::{run_drift_session, CalibrationMode, DriftSessionConfig, RegimeShift};
+use roia::sim::invariants::double_run;
+use roia::sim::{run_session, ClusterConfig, Ramp, SessionConfig, SessionReport};
+
+fn model() -> ScalabilityModel {
+    let params = ModelParams {
+        t_ua_dser: CostFn::Linear { c0: 4e-6, c1: 5e-9 },
+        t_ua: CostFn::Quadratic {
+            c0: 45e-6,
+            c1: 2.5e-7,
+            c2: 0.0,
+        },
+        t_aoi: CostFn::Quadratic {
+            c0: 5e-6,
+            c1: 2.2e-7,
+            c2: 1e-10,
+        },
+        t_su: CostFn::Linear {
+            c0: 3e-6,
+            c1: 1.5e-7,
+        },
+        t_fa_dser: CostFn::Linear { c0: 2e-6, c1: 1e-9 },
+        t_fa: CostFn::Linear {
+            c0: 20e-6,
+            c1: 1e-9,
+        },
+        t_npc: CostFn::ZERO,
+        t_mig_ini: CostFn::Linear {
+            c0: 0.2e-3,
+            c1: 7e-6,
+        },
+        t_mig_rcv: CostFn::Linear {
+            c0: 0.15e-3,
+            c1: 4e-6,
+        },
+    };
+    ScalabilityModel::new(params, 0.040)
+}
+
+fn assert_session_reports_identical(a: &SessionReport, b: &SessionReport) {
+    assert_eq!(a.policy, b.policy);
+    assert_eq!(a.violations, b.violations);
+    assert_eq!(a.migrations, b.migrations);
+    assert_eq!(a.replicas_added, b.replicas_added);
+    assert_eq!(a.replicas_removed, b.replicas_removed);
+    assert_eq!(a.substitutions, b.substitutions);
+    assert_eq!(a.total_cost, b.total_cost);
+    assert_eq!(a.peak_servers, b.peak_servers);
+    assert_eq!(a.outcomes, b.outcomes);
+    assert_eq!(a.history, b.history, "per-tick series diverged");
+    assert_eq!(
+        a.metrics.prometheus(),
+        b.metrics.prometheus(),
+        "operator metrics diverged"
+    );
+}
+
+#[test]
+fn managed_session_is_deterministic_under_tracing() {
+    let scenario = |tracer| {
+        let workload = Ramp {
+            from: 0,
+            to: 90,
+            duration_secs: 20.0,
+        };
+        let config = SessionConfig {
+            ticks: 30 * 25,
+            max_churn_per_tick: 3,
+            initial_servers: 1,
+            cluster: ClusterConfig {
+                cost_noise: 0.0,
+                ..ClusterConfig::default()
+            },
+            tracer,
+            ..SessionConfig::default()
+        };
+        let policy = Box::new(ModelDriven::new(model(), ModelDrivenConfig::default()));
+        run_session(config, policy, &workload)
+    };
+
+    let ((d1, r1), (d2, r2)) = double_run(scenario);
+    assert!(d1.events > 0, "tracing produced no events to compare");
+    assert_eq!(
+        d1, d2,
+        "same seed, different trace: {} vs {} events, digest {:#x} vs {:#x}",
+        d1.events, d2.events, d1.hash, d2.hash
+    );
+    assert_session_reports_identical(&r1, &r2);
+}
+
+#[test]
+fn drift_session_is_deterministic_under_tracing() {
+    let scenario = |tracer| {
+        let mut config = DriftSessionConfig::new(
+            model(),
+            RegimeShift::attack_surge(300, 150),
+            CalibrationMode::Frozen,
+        );
+        config.ticks = 700;
+        config.max_churn_per_tick = 3;
+        config.cluster.cost_noise = 0.0;
+        config.tracer = tracer;
+        let workload = Ramp {
+            from: 0,
+            to: 80,
+            duration_secs: 15.0,
+        };
+        run_drift_session(config, &workload)
+    };
+
+    let ((d1, r1), (d2, r2)) = double_run(scenario);
+    assert!(d1.events > 0, "tracing produced no events to compare");
+    assert_eq!(d1, d2, "same seed, different drift-session trace");
+    assert_eq!(r1.mode, r2.mode);
+    assert_eq!(r1.shift_tick, r2.shift_tick);
+    assert_eq!(r1.violations, r2.violations);
+    assert_eq!(r1.migrations, r2.migrations);
+    assert_eq!(r1.final_model_version, r2.final_model_version);
+    assert_eq!(r1.history, r2.history, "per-tick series diverged");
+}
