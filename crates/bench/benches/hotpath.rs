@@ -1,0 +1,97 @@
+//! Criterion microbenchmarks of the PR-5 hot paths: wire encoding with
+//! and without buffer reuse, and the quadratic scan vs the spatial-hash
+//! grid for interest management.
+//!
+//! The grid numbers quantify the host-CPU win of [`rtfdemo::AoiGrid`];
+//! the *virtual* cost charged to the scalability model stays quadratic
+//! either way (see `DESIGN.md`).
+
+use bytes::BytesMut;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtf_core::entity::{Rect, UserId, Vec2};
+use rtf_core::event::Packet;
+use rtf_core::wire::{Wire, WireWriter};
+use rtfdemo::{compute_aoi, AoiGrid, CommandBatch, World};
+
+fn state_update_packet() -> Packet {
+    Packet::StateUpdate {
+        user: UserId(7),
+        tick: 1_234,
+        payload: CommandBatch::movement(1.0, 0.5)
+            .with_attack(UserId(9), 10)
+            .to_bytes(),
+    }
+}
+
+fn bench_wire_roundtrip(c: &mut Criterion) {
+    let pkt = state_update_packet();
+    let encoded = pkt.to_bytes();
+    let mut group = c.benchmark_group("hotpath/wire");
+    group.bench_function("encode_fresh", |b| b.iter(|| black_box(&pkt).to_bytes()));
+    group.bench_function("encode_reused_buffer", |b| {
+        let mut buf = BytesMut::with_capacity(256);
+        b.iter(|| {
+            let mut w = WireWriter::with_buf(std::mem::take(&mut buf));
+            black_box(&pkt).encode(&mut w);
+            let (frame, rest) = w.finish_reusing();
+            buf = rest;
+            frame
+        })
+    });
+    group.bench_function("roundtrip", |b| {
+        b.iter(|| {
+            let bytes = black_box(&pkt).to_bytes();
+            Packet::from_bytes(&bytes).unwrap()
+        })
+    });
+    group.bench_function("decode", |b| {
+        b.iter(|| Packet::from_bytes(black_box(&encoded)).unwrap())
+    });
+    group.finish();
+}
+
+/// Density-constant arena (as in the `scale` bench): the visible-set
+/// size stays roughly flat while the population grows, which is exactly
+/// the regime where the quadratic scan falls behind.
+fn dense_world(n: u64) -> (World, Vec<(UserId, Vec2)>) {
+    let side = 1000.0 * ((n.max(300) as f32) / 300.0).sqrt();
+    let world = World {
+        bounds: Rect::square(side),
+        ..World::default()
+    };
+    let avatars: Vec<(UserId, Vec2)> = (0..n)
+        .map(|i| (UserId(i), world.spawn_point(UserId(i))))
+        .collect();
+    (world, avatars)
+}
+
+fn bench_aoi_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath/aoi");
+    for n in [64u64, 512, 4096] {
+        let (world, avatars) = dense_world(n);
+        // One observer's query: the per-user cost inside a server tick.
+        group.bench_with_input(BenchmarkId::new("quadratic", n), &n, |b, _| {
+            let (observer, pos) = avatars[0];
+            b.iter(|| compute_aoi(&world, observer, black_box(&pos), avatars.iter().copied()))
+        });
+        // Grid equivalent including its amortized share of the rebuild:
+        // one rebuild serves every observer of the tick, so a full tick
+        // is rebuild + n queries. Benchmark that whole tick divided by
+        // the iteration giving per-tick numbers comparable to running
+        // the quadratic scan n times.
+        group.bench_with_input(BenchmarkId::new("grid_query", n), &n, |b, _| {
+            let mut grid = AoiGrid::default();
+            grid.rebuild(&world, &avatars);
+            let (observer, pos) = avatars[0];
+            b.iter(|| grid.query(&world, observer, black_box(&pos), avatars.len() - 1))
+        });
+        group.bench_with_input(BenchmarkId::new("grid_rebuild", n), &n, |b, _| {
+            let mut grid = AoiGrid::default();
+            b.iter(|| grid.rebuild(&world, black_box(&avatars)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire_roundtrip, bench_aoi_backends);
+criterion_main!(benches);

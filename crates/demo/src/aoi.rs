@@ -12,6 +12,12 @@
 //! makes `t_aoi` quadratic in the user count — this module reproduces it
 //! literally and reports the work units so the calibrated cost model can
 //! charge virtual time proportionally.
+//!
+//! [`AoiGrid`] is the wall-clock fast path for large sessions: a uniform
+//! spatial hash that returns the *same* visible set as the literal scan
+//! while synthesizing the same work-unit counters, so the virtual cost
+//! charged to `t_aoi` (and therefore every trace and report) is unchanged
+//! — only the host CPU time drops from O(n²) to O(n + v log v) per tick.
 
 use crate::world::World;
 use rtf_core::entity::{UserId, Vec2};
@@ -58,6 +64,133 @@ pub fn compute_aoi(
         }
     }
     result
+}
+
+/// Upper bound on grid columns/rows, so a tiny AoI radius in a huge world
+/// cannot blow up the cell table (the cell size grows instead, which only
+/// costs extra candidate checks, never correctness).
+const MAX_GRID_DIM: usize = 128;
+
+/// Uniform spatial hash over the world bounds, rebuilt once per tick and
+/// queried once per observer.
+///
+/// Equivalence contract (pinned by tests and `tests/props.rs`-style
+/// proptests): for an input with unique user ids — the only shape the
+/// map-backed callers produce — [`AoiGrid::query`] returns exactly the
+/// [`AoiResult`] that [`compute_aoi`] returns for the same avatars
+/// iterated in ascending id order:
+///
+/// * `visible` is identical — cell size ≥ `aoi_radius`, so the 3×3
+///   neighbourhood covers every point within the radius, and candidates
+///   pass through the same [`World::in_aoi`] predicate before an
+///   ascending sort;
+/// * `pairs_checked` is the caller-supplied scan count (all avatars
+///   except the observer — the literal algorithm checks each exactly
+///   once);
+/// * `dedup_scans` is `v·(v−1)/2` for `v` visible users — with unique
+///   ids the literal dedup scan never finds a duplicate, so the k-th
+///   subscription walks the full k-entry list.
+#[derive(Debug, Default, Clone)]
+pub struct AoiGrid {
+    cols: usize,
+    rows: usize,
+    cell: f32,
+    min: Vec2,
+    /// CSR layout: `entries[starts[c]..starts[c + 1]]` are the avatars in
+    /// cell `c`. Both vectors keep their capacity across rebuilds.
+    starts: Vec<usize>,
+    entries: Vec<(UserId, Vec2)>,
+    cursor: Vec<usize>,
+}
+
+impl AoiGrid {
+    /// An empty grid; call [`rebuild`](Self::rebuild) before querying.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn col_row(&self, pos: &Vec2) -> (usize, usize) {
+        let col =
+            (((pos.x - self.min.x) / self.cell) as isize).clamp(0, self.cols as isize - 1) as usize;
+        let row =
+            (((pos.y - self.min.y) / self.cell) as isize).clamp(0, self.rows as isize - 1) as usize;
+        (col, row)
+    }
+
+    /// Re-indexes `avatars` (one entry per user) for `world`. Reuses the
+    /// grid's allocations; O(n + cells).
+    pub fn rebuild(&mut self, world: &World, avatars: &[(UserId, Vec2)]) {
+        let width = world.bounds.width().max(1e-3);
+        let height = world.bounds.height().max(1e-3);
+        self.cell = world
+            .aoi_radius
+            .max(width / MAX_GRID_DIM as f32)
+            .max(height / MAX_GRID_DIM as f32)
+            .max(1e-3);
+        self.min = world.bounds.min;
+        self.cols = ((width / self.cell).ceil() as usize).clamp(1, MAX_GRID_DIM);
+        self.rows = ((height / self.cell).ceil() as usize).clamp(1, MAX_GRID_DIM);
+        let cells = self.cols * self.rows;
+
+        self.starts.clear();
+        self.starts.resize(cells + 1, 0);
+        for (_, pos) in avatars {
+            let (col, row) = self.col_row(pos);
+            self.starts[row * self.cols + col + 1] += 1;
+        }
+        for c in 0..cells {
+            self.starts[c + 1] += self.starts[c];
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.starts[..cells]);
+        self.entries.clear();
+        self.entries
+            .resize(avatars.len(), (UserId(0), Vec2::new(0.0, 0.0)));
+        for &(user, pos) in avatars {
+            let (col, row) = self.col_row(&pos);
+            let slot = &mut self.cursor[row * self.cols + col];
+            self.entries[*slot] = (user, pos);
+            *slot += 1;
+        }
+    }
+
+    /// Computes `observer`'s update list from the indexed avatars.
+    /// `others_scanned` is the number of avatars the literal algorithm
+    /// would have distance-checked (all indexed avatars except the
+    /// observer); it becomes `pairs_checked` verbatim so the virtual cost
+    /// charge stays quadratic.
+    pub fn query(
+        &self,
+        world: &World,
+        observer: UserId,
+        observer_pos: &Vec2,
+        others_scanned: usize,
+    ) -> AoiResult {
+        let mut result = AoiResult {
+            pairs_checked: others_scanned,
+            ..AoiResult::default()
+        };
+        let (col, row) = self.col_row(observer_pos);
+        for gy in row.saturating_sub(1)..=(row + 1).min(self.rows - 1) {
+            for gx in col.saturating_sub(1)..=(col + 1).min(self.cols - 1) {
+                let c = gy * self.cols + gx;
+                for (user, pos) in &self.entries[self.starts[c]..self.starts[c + 1]] {
+                    if *user == observer {
+                        continue;
+                    }
+                    if world.in_aoi(observer_pos, pos) {
+                        result.visible.push(*user);
+                    }
+                }
+            }
+        }
+        // Ascending id order = the literal scan order of the map-backed
+        // callers.
+        result.visible.sort_unstable();
+        let v = result.visible.len();
+        result.dedup_scans = v * v.saturating_sub(1) / 2;
+        result
+    }
 }
 
 #[cfg(test)]
@@ -136,5 +269,103 @@ mod tests {
         let w = world();
         let r = compute_aoi(&w, UserId(0), &Vec2::new(0.0, 0.0), std::iter::empty());
         assert_eq!(r, AoiResult::default());
+    }
+
+    /// Asserts the grid's full-result equivalence with the literal scan
+    /// for every avatar as observer.
+    fn assert_grid_matches_scan(w: &World, avatars: &[(UserId, Vec2)]) {
+        let mut grid = AoiGrid::new();
+        grid.rebuild(w, avatars);
+        for &(observer, pos) in avatars {
+            let literal = compute_aoi(w, observer, &pos, avatars.iter().copied());
+            let fast = grid.query(w, observer, &pos, avatars.len() - 1);
+            assert_eq!(fast, literal, "observer {observer:?}");
+        }
+    }
+
+    #[test]
+    fn grid_equals_literal_scan_on_spawn_spread() {
+        let w = world();
+        let avatars: Vec<(UserId, Vec2)> = (0..200)
+            .map(|i| (UserId(i), w.spawn_point(UserId(i))))
+            .collect();
+        assert_grid_matches_scan(&w, &avatars);
+    }
+
+    #[test]
+    fn grid_equals_literal_scan_when_everyone_is_visible() {
+        // Radius larger than the world diagonal: the 3×3 neighbourhood is
+        // the whole (1×1) grid and every other user is visible.
+        let w = World {
+            aoi_radius: 5000.0,
+            ..World::default()
+        };
+        let avatars: Vec<(UserId, Vec2)> = (0..50)
+            .map(|i| (UserId(i), w.spawn_point(UserId(i))))
+            .collect();
+        assert_grid_matches_scan(&w, &avatars);
+    }
+
+    #[test]
+    fn grid_equals_literal_scan_on_cell_boundaries() {
+        // Positions sitting exactly on cell borders and at exactly the
+        // AoI radius — the predicate (≤ r²) must agree bit-for-bit.
+        let w = world(); // radius 100 ⇒ cell size 100
+        let avatars = vec![
+            (UserId(0), Vec2::new(100.0, 100.0)),
+            (UserId(1), Vec2::new(200.0, 100.0)), // exactly r away
+            (UserId(2), Vec2::new(200.1, 100.0)), // just outside
+            (UserId(3), Vec2::new(0.0, 0.0)),
+            (UserId(4), Vec2::new(999.9, 999.9)),
+            (UserId(5), Vec2::new(100.0, 200.0)),
+        ];
+        assert_grid_matches_scan(&w, &avatars);
+    }
+
+    #[test]
+    fn grid_handles_tiny_radius_without_blowing_up() {
+        // Radius far below world-size/MAX_GRID_DIM: the cell size floors
+        // at the dimension cap instead of allocating millions of cells.
+        let w = World {
+            aoi_radius: 0.5,
+            ..World::default()
+        };
+        let avatars: Vec<(UserId, Vec2)> = (0..64)
+            .map(|i| (UserId(i), w.spawn_point(UserId(i))))
+            .collect();
+        let mut grid = AoiGrid::new();
+        grid.rebuild(&w, &avatars);
+        assert!(grid.cols <= MAX_GRID_DIM && grid.rows <= MAX_GRID_DIM);
+        assert_grid_matches_scan(&w, &avatars);
+    }
+
+    #[test]
+    fn grid_counters_follow_the_quadratic_formulas() {
+        let w = world();
+        // A tight cluster: everyone sees everyone.
+        let avatars: Vec<(UserId, Vec2)> = (0..20)
+            .map(|i| (UserId(i), Vec2::new(500.0 + i as f32, 500.0)))
+            .collect();
+        let mut grid = AoiGrid::new();
+        grid.rebuild(&w, &avatars);
+        let r = grid.query(&w, UserId(0), &avatars[0].1, avatars.len() - 1);
+        assert_eq!(r.pairs_checked, 19);
+        assert_eq!(r.visible.len(), 19);
+        assert_eq!(r.dedup_scans, 19 * 18 / 2);
+    }
+
+    #[test]
+    fn rebuild_reuses_allocations_and_replaces_content() {
+        let w = world();
+        let mut grid = AoiGrid::new();
+        grid.rebuild(&w, &[(UserId(1), Vec2::new(10.0, 10.0))]);
+        let one = grid.query(&w, UserId(99), &Vec2::new(10.0, 10.0), 1);
+        assert_eq!(one.visible, vec![UserId(1)]);
+        // Rebuilding with a different population forgets the old one.
+        grid.rebuild(&w, &[(UserId(2), Vec2::new(900.0, 900.0))]);
+        let gone = grid.query(&w, UserId(99), &Vec2::new(10.0, 10.0), 1);
+        assert!(gone.visible.is_empty());
+        let found = grid.query(&w, UserId(99), &Vec2::new(900.0, 900.0), 1);
+        assert_eq!(found.visible, vec![UserId(2)]);
     }
 }

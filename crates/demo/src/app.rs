@@ -6,7 +6,7 @@
 //! virtual time through the [`CostModel`], and the same code paths run
 //! under wall-clock accounting unchanged.
 
-use crate::aoi::compute_aoi;
+use crate::aoi::{compute_aoi, AoiGrid, AoiResult};
 use crate::avatar::{Avatar, AvatarSnapshot};
 use crate::calibration::CostModel;
 use crate::commands::{Command, CommandBatch, Interaction};
@@ -38,6 +38,20 @@ pub struct GameStats {
     pub kills: u64,
 }
 
+/// How [`RtfDemoApp`] computes areas of interest. Both backends return
+/// identical visible sets and charge identical virtual `t_aoi` costs
+/// (see [`crate::aoi`]); they differ only in host CPU time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum AoiBackend {
+    /// The paper-literal O(n²) scan (§V-A). The default.
+    #[default]
+    Quadratic,
+    /// Spatial-hash fast path: O(n) index per tick + O(neighbourhood)
+    /// per observer. Use for large sessions where the wall-clock cost of
+    /// the literal scan dominates.
+    Grid,
+}
+
 /// The RTFDemo application state on one server.
 pub struct RtfDemoApp {
     world: World,
@@ -46,6 +60,14 @@ pub struct RtfDemoApp {
     npcs: NpcWorld,
     costs: CostModel,
     stats: GameStats,
+    aoi_backend: AoiBackend,
+    /// Grid-backend cache: the spatial index and the tick it was built
+    /// for. State updates all run in the send phase of one server tick,
+    /// after every avatar mutation of that tick, so one rebuild serves
+    /// every observer.
+    aoi_grid: AoiGrid,
+    aoi_grid_tick: Option<u64>,
+    aoi_scratch: Vec<(UserId, Vec2)>,
 }
 
 impl RtfDemoApp {
@@ -61,7 +83,23 @@ impl RtfDemoApp {
             npcs,
             costs,
             stats: GameStats::default(),
+            aoi_backend: AoiBackend::default(),
+            aoi_grid: AoiGrid::new(),
+            aoi_grid_tick: None,
+            aoi_scratch: Vec::new(),
         }
+    }
+
+    /// Selects the interest-management backend (default:
+    /// [`AoiBackend::Quadratic`], the paper-literal scan).
+    pub fn set_aoi_backend(&mut self, backend: AoiBackend) {
+        self.aoi_backend = backend;
+        self.aoi_grid_tick = None;
+    }
+
+    /// The active interest-management backend.
+    pub fn aoi_backend(&self) -> AoiBackend {
+        self.aoi_backend
     }
 
     /// The arena description.
@@ -113,6 +151,39 @@ impl RtfDemoApp {
             .collect()
     }
 
+    /// Computes one observer's area of interest via the configured
+    /// backend. Both backends return identical results (the grid
+    /// synthesizes the literal scan's work-unit counters — see
+    /// [`crate::aoi::AoiGrid`]), so the charged virtual cost and every
+    /// downstream payload byte are backend-independent.
+    fn compute_aoi_for(&mut self, tick: u64, observer: UserId, observer_pos: &Vec2) -> AoiResult {
+        match self.aoi_backend {
+            AoiBackend::Quadratic => compute_aoi(
+                &self.world,
+                observer,
+                observer_pos,
+                self.avatars.values().map(|a| (a.user, a.pos)),
+            ),
+            AoiBackend::Grid => {
+                // One rebuild serves every observer of this tick: state
+                // updates are the send phase, after all avatar mutation.
+                if self.aoi_grid_tick != Some(tick) {
+                    self.aoi_scratch.clear();
+                    self.aoi_scratch
+                        .extend(self.avatars.values().map(|a| (a.user, a.pos)));
+                    self.aoi_grid.rebuild(&self.world, &self.aoi_scratch);
+                    self.aoi_grid_tick = Some(tick);
+                }
+                self.aoi_grid.query(
+                    &self.world,
+                    observer,
+                    observer_pos,
+                    self.avatars.len().saturating_sub(1),
+                )
+            }
+        }
+    }
+
     /// Applies one attack: the paper-described hit check iterates through
     /// every known avatar. Returns a forward event if the hit target is a
     /// shadow entity.
@@ -128,16 +199,13 @@ impl RtfDemoApp {
         self.stats.attacks_applied += 1;
 
         let attacker_pos = self.avatars.get(&attacker)?.pos;
-        // Literal scan: find the target among all avatars and check range.
-        let mut found: Option<(Ownership, Vec2)> = None;
-        for avatar in self.avatars.values() {
-            if avatar.user == target {
-                found = Some((avatar.ownership, avatar.pos));
-                // No break: the scan cost above already covers the full
-                // iteration, matching the measured behaviour.
-            }
-        }
-        let (ownership, target_pos) = found?;
+        // The paper's hit check iterates through every known avatar; the
+        // `charge_attack(scanned)` above bills that full scan. The lookup
+        // itself uses the map (ids are unique, so the scan's result is
+        // exactly the map entry) — the virtual cost stays linear in the
+        // avatar count while the host cost stops being the hot path of
+        // large sessions.
+        let (ownership, target_pos) = self.avatars.get(&target).map(|a| (a.ownership, a.pos))?;
         if !self.world.in_attack_range(&attacker_pos, &target_pos) {
             return None;
         }
@@ -341,12 +409,7 @@ impl Application for RtfDemoApp {
         };
         let observer_pos = observer.pos;
         let aoi_started = Instant::now();
-        let aoi = compute_aoi(
-            &self.world,
-            user,
-            &observer_pos,
-            self.avatars.values().map(|a| (a.user, a.pos)),
-        );
+        let aoi = self.compute_aoi_for(ctx.tick, user, &observer_pos);
         ctx.timers.add_wall(
             rtf_core::timer::TaskKind::Aoi,
             aoi_started.elapsed().as_secs_f64(),
@@ -684,6 +747,59 @@ mod tests {
         assert_eq!(victim.deaths, 1);
         assert_eq!(app.avatar(UserId(1)).unwrap().kills, 1);
         assert_eq!(app.stats().kills, 1);
+    }
+
+    #[test]
+    fn grid_backend_emits_identical_updates_and_charges() {
+        let build = |backend: AoiBackend| {
+            let mut app = app();
+            app.set_aoi_backend(backend);
+            for u in 0..40 {
+                app.on_user_connected(UserId(u));
+            }
+            app
+        };
+        let mut quad = build(AoiBackend::Quadratic);
+        let mut grid = build(AoiBackend::Grid);
+        assert_eq!(grid.aoi_backend(), AoiBackend::Grid);
+        for u in 0..40 {
+            let mut t_quad = ctx_timers();
+            let mut t_grid = ctx_timers();
+            let p_quad = with_ctx(&mut t_quad, |ctx| quad.state_update_for(ctx, UserId(u)));
+            let p_grid = with_ctx(&mut t_grid, |ctx| grid.state_update_for(ctx, UserId(u)));
+            assert_eq!(p_grid, p_quad, "payload bytes diverge for user {u}");
+            assert_eq!(
+                t_grid.get(TaskKind::Aoi),
+                t_quad.get(TaskKind::Aoi),
+                "virtual t_aoi charge diverges for user {u}"
+            );
+            assert_eq!(t_grid.get(TaskKind::Su), t_quad.get(TaskKind::Su));
+        }
+    }
+
+    #[test]
+    fn grid_cache_invalidates_across_ticks() {
+        let mut app = app();
+        app.set_aoi_backend(AoiBackend::Grid);
+        app.on_user_connected(UserId(1));
+        app.on_user_connected(UserId(2));
+        app.avatars.get_mut(&UserId(1)).unwrap().pos = Vec2::new(500.0, 500.0);
+        app.avatars.get_mut(&UserId(2)).unwrap().pos = Vec2::new(520.0, 500.0);
+        let mut timers = ctx_timers();
+        let tick0 = with_ctx(&mut timers, |ctx| app.state_update_for(ctx, UserId(1)));
+        let mut r = WireReader::new(&tick0);
+        assert_eq!(r.get_u16().unwrap(), 2, "both visible at tick 0");
+
+        // User 2 walks out of range; the next tick must see fresh data.
+        app.avatars.get_mut(&UserId(2)).unwrap().pos = Vec2::new(0.0, 0.0);
+        let mut ctx = TickCtx {
+            tick: 1,
+            server: NodeId(0),
+            timers: &mut timers,
+        };
+        let tick1 = app.state_update_for(&mut ctx, UserId(1));
+        let mut r = WireReader::new(&tick1);
+        assert_eq!(r.get_u16().unwrap(), 1, "only self visible at tick 1");
     }
 
     #[test]

@@ -2,9 +2,11 @@
 //! command/avatar serialization, combat arithmetic and work-unit counting.
 
 use proptest::prelude::*;
-use rtf_core::entity::{UserId, Vec2};
+use rtf_core::entity::{Rect, UserId, Vec2};
 use rtf_core::wire::Wire;
-use rtfdemo::{compute_aoi, Avatar, AvatarSnapshot, Command, CommandBatch, World, MAX_HEALTH};
+use rtfdemo::{
+    compute_aoi, AoiGrid, Avatar, AvatarSnapshot, Command, CommandBatch, World, MAX_HEALTH,
+};
 
 fn arb_pos() -> impl Strategy<Value = Vec2> {
     (0.0f32..1000.0, 0.0f32..1000.0).prop_map(|(x, y)| Vec2::new(x, y))
@@ -129,5 +131,41 @@ proptest! {
         let world = World::default();
         let p = world.spawn_point(UserId(user));
         prop_assert!(world.bounds.contains(&p));
+    }
+}
+
+proptest! {
+    /// The spatial-hash fast path must be observably identical to the
+    /// paper's quadratic scan for map-backed callers (unique ids,
+    /// ascending iteration): same visible set, and counters that follow
+    /// the quadratic formulas the virtual cost model charges.
+    #[test]
+    fn grid_aoi_matches_quadratic_scan(
+        side in 200.0f32..4000.0,
+        radius in 1.0f32..800.0,
+        fracs in proptest::collection::vec((0.0f32..1.0, 0.0f32..1.0), 1..60),
+    ) {
+        let world = World {
+            bounds: Rect::square(side),
+            aoi_radius: radius,
+            ..World::default()
+        };
+        let avatars: Vec<(UserId, Vec2)> = fracs
+            .iter()
+            .enumerate()
+            .map(|(i, &(fx, fy))| (UserId(i as u64), Vec2::new(fx * side, fy * side)))
+            .collect();
+        let mut grid = AoiGrid::default();
+        grid.rebuild(&world, &avatars);
+        for &(observer, pos) in &avatars {
+            let quad = compute_aoi(&world, observer, &pos, avatars.iter().copied());
+            let fast = grid.query(&world, observer, &pos, avatars.len() - 1);
+            prop_assert_eq!(&fast.visible, &quad.visible, "observer {:?}", observer);
+            prop_assert_eq!(fast.pairs_checked, avatars.len() - 1, "quadratic scan count");
+            prop_assert_eq!(fast.pairs_checked, quad.pairs_checked);
+            let v = fast.visible.len();
+            prop_assert_eq!(fast.dedup_scans, v * v.saturating_sub(1) / 2);
+            prop_assert_eq!(fast.dedup_scans, quad.dedup_scans);
+        }
     }
 }

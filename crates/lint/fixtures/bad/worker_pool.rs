@@ -1,0 +1,17 @@
+// Golden bad fixture for the worker-pool hot path: the mistakes the
+// M1/D2 scope extension to `crates/sim/src/parallel.rs` must catch —
+// a panicking join in the fan-out and thread-timing nondeterminism.
+use std::time::Instant;
+
+pub fn fan_out(parts: &mut [Vec<u32>]) -> f64 {
+    let started = Instant::now();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for part in parts.iter_mut() {
+            handles.push(scope.spawn(move || part.len()));
+        }
+        let first = handles.remove(0).join().unwrap();
+        let _ = first;
+    });
+    started.elapsed().as_secs_f64()
+}

@@ -68,6 +68,7 @@ const M1_SCOPE: &[&str] = &[
     "crates/rms/src/controller.rs",
     "crates/rms/src/policy",
     "crates/sim/src/cluster.rs",
+    "crates/sim/src/parallel.rs",
 ];
 
 /// Model-quantity code where bare `as` casts silently corrupt results (M2).
@@ -246,6 +247,15 @@ mod tests {
         let monitor = rules_for("crates/rms/src/monitor.rs");
         assert!(!monitor.contains(&RuleId::M1), "not a hot-path file");
         assert!(monitor.contains(&RuleId::A1));
+
+        let pool = rules_for("crates/sim/src/parallel.rs");
+        assert!(pool.contains(&RuleId::M1), "worker pool is tick hot path");
+        assert!(
+            pool.contains(&RuleId::D2),
+            "worker pool must stay clock-free"
+        );
+        let workload = rules_for("crates/sim/src/workload.rs");
+        assert!(!workload.contains(&RuleId::M1), "not a hot-path file");
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! the documented id and span, stay silent on the good fixtures, and the
 //! real workspace must scan clean.
 
-use roia_lint::{check_workspace, scan_source, Finding, RuleId};
+use roia_lint::{check_workspace, rules_for, scan_source, Finding, RuleId};
 use std::path::Path;
 
 const ALL_RULES: [RuleId; 6] = [
@@ -90,6 +90,30 @@ fn a1_fixture_fires_on_malformed_allows() {
     assert!(a1[1].message.contains("unknown allow tag"));
     // The unjustified allow does NOT suppress the finding underneath.
     assert!(f.iter().any(|f| f.rule == "M1"), "{f:?}");
+}
+
+#[test]
+fn worker_pool_fixture_fires_d2_and_m1() {
+    // Scanned with exactly the rules the scope tables route to the
+    // worker-pool module, so this pins both the routing and the
+    // detections: thread-timing reads and a panicking join must fire.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("bad/worker_pool.rs");
+    let src = std::fs::read_to_string(&path).expect("fixture readable");
+    let rules = rules_for("crates/sim/src/parallel.rs");
+    let f = scan_source("bad/worker_pool.rs", &src, &rules);
+    assert_eq!(rules_fired(&f), vec!["D2", "M1"], "{f:?}");
+    assert!(
+        f.iter()
+            .any(|f| f.rule == "D2" && f.line == 7 && f.message.contains("Instant")),
+        "Instant::now in the fan-out flagged: {f:?}"
+    );
+    assert!(
+        f.iter()
+            .any(|f| f.rule == "M1" && f.line == 13 && f.message.contains(".unwrap()")),
+        "panicking join flagged: {f:?}"
+    );
 }
 
 #[test]

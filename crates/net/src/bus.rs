@@ -6,6 +6,16 @@
 //! Zero-latency links (the default) deliver synchronously on `send`, so a
 //! lock-step simulation needs no extra pumping; links with latency require
 //! the driver to call [`Bus::advance`] once per simulation tick.
+//!
+//! A lock-step driver that ticks nodes concurrently instead calls
+//! [`Bus::pause_delivery`] before the phase and [`Bus::resume_delivery`]
+//! after it: while paused, sends stage per-link (preserving each sender's
+//! program order) and nothing reaches an inbox; `resume_delivery` then
+//! flushes the staged links in ascending `(from, to)` key order. Because
+//! every directed link has exactly one sender, the resulting inbox order is
+//! a pure function of the traffic itself — independent of thread
+//! interleaving — which is what makes a parallel tick byte-identical to a
+//! serial one.
 
 use crate::link::{LinkSpec, LinkState};
 use crate::NodeId;
@@ -68,6 +78,13 @@ struct BusInner {
     partitions: BTreeSet<(NodeId, NodeId)>,
     /// Nodes cut off from everyone (a network-isolated machine).
     isolated: BTreeSet<NodeId>,
+    /// While `true`, `send` stages traffic on its link without flushing;
+    /// [`Bus::resume_delivery`] flushes in key order.
+    deferred: bool,
+    /// Links that may hold undelivered traffic. Kept ordered so deferred
+    /// flushes and `advance` walk links in a stable order, and so both skip
+    /// the (potentially many) idle links entirely.
+    pending: BTreeSet<(NodeId, NodeId)>,
 }
 
 /// Normalizes an unordered node pair for the partition set.
@@ -98,10 +115,16 @@ impl BusInner {
     /// Delivers every message due on a link into its destination inbox.
     fn flush_link(&mut self, key: (NodeId, NodeId)) {
         let now = self.now_tick;
-        let due = match self.links.get_mut(&key) {
-            Some(link) => link.drain_due(now),
+        let (due, emptied) = match self.links.get_mut(&key) {
+            Some(link) => {
+                let due = link.drain_due(now);
+                (due, link.in_flight() == 0)
+            }
             None => return,
         };
+        if emptied {
+            self.pending.remove(&key);
+        }
         for msg in due {
             if let Some(entry) = self.nodes.get(&msg.to) {
                 // A send can only fail if the endpoint was dropped; treat
@@ -263,9 +286,31 @@ impl Bus {
             return Ok(());
         }
         link.enqueue(now, Message { from, to, payload });
-        // Zero-latency traffic is deliverable right away.
-        inner.flush_link(key);
+        inner.pending.insert(key);
+        if !inner.deferred {
+            // Zero-latency traffic is deliverable right away.
+            inner.flush_link(key);
+        }
         Ok(())
+    }
+
+    /// Stages subsequent sends on their links without delivering anything.
+    /// Per-link send order is preserved; cross-link delivery order is
+    /// decided by [`Bus::resume_delivery`], not by call interleaving — the
+    /// contract a concurrent lock-step driver relies on.
+    pub fn pause_delivery(&self) {
+        self.inner.lock().deferred = true;
+    }
+
+    /// Ends a [`Bus::pause_delivery`] window and flushes every staged link
+    /// in ascending `(from, to)` order.
+    pub fn resume_delivery(&self) {
+        let mut inner = self.inner.lock();
+        inner.deferred = false;
+        let keys: Vec<(NodeId, NodeId)> = inner.pending.iter().copied().collect();
+        for key in keys {
+            inner.flush_link(key);
+        }
     }
 
     /// Advances simulated time to `now_tick` and delivers everything due on
@@ -273,7 +318,7 @@ impl Bus {
     pub fn advance(&self, now_tick: u64) {
         let mut inner = self.inner.lock();
         inner.now_tick = now_tick;
-        let keys: Vec<(NodeId, NodeId)> = inner.links.keys().copied().collect();
+        let keys: Vec<(NodeId, NodeId)> = inner.pending.iter().copied().collect();
         for key in keys {
             inner.flush_link(key);
         }
@@ -401,10 +446,17 @@ impl Endpoint {
     /// Drains every message currently in the inbox.
     pub fn drain(&self) -> Vec<Message> {
         let mut out = Vec::new();
+        self.drain_into(&mut out);
+        out
+    }
+
+    /// Drains the inbox into a caller-owned buffer (not cleared first), so
+    /// per-tick callers can reuse one allocation instead of building a
+    /// fresh `Vec` every tick.
+    pub fn drain_into(&self, out: &mut Vec<Message>) {
         while let Some(m) = self.try_recv() {
             out.push(m);
         }
-        out
     }
 }
 
@@ -561,6 +613,69 @@ mod tests {
         bus.set_link_faults(0.0, 0);
         a.send(b.id(), Bytes::from_static(b"post")).unwrap();
         assert!(b.try_recv().is_some());
+    }
+
+    #[test]
+    fn paused_delivery_holds_traffic_until_resume() {
+        let bus = Bus::new();
+        let a = bus.register("a");
+        let b = bus.register("b");
+        bus.pause_delivery();
+        a.send(b.id(), Bytes::from_static(b"held")).unwrap();
+        assert!(b.try_recv().is_none(), "paused traffic must not arrive");
+        bus.resume_delivery();
+        assert_eq!(&b.try_recv().unwrap().payload[..], b"held");
+        // After resume the bus is synchronous again.
+        a.send(b.id(), Bytes::from_static(b"sync")).unwrap();
+        assert!(b.try_recv().is_some());
+    }
+
+    #[test]
+    fn resume_flushes_links_in_key_order_not_send_order() {
+        let bus = Bus::new();
+        let lo = bus.register("lo"); // NodeId(0)
+        let hi = bus.register("hi"); // NodeId(1)
+        let dst = bus.register("dst"); // NodeId(2)
+        bus.pause_delivery();
+        // Send from the higher id first: under synchronous delivery the
+        // inbox would read hi-then-lo; the deferred flush must order by
+        // link key instead, independent of call interleaving.
+        hi.send(dst.id(), Bytes::from_static(b"hi")).unwrap();
+        lo.send(dst.id(), Bytes::from_static(b"lo")).unwrap();
+        bus.resume_delivery();
+        let got: Vec<NodeId> = dst.drain().iter().map(|m| m.from).collect();
+        assert_eq!(got, vec![lo.id(), hi.id()]);
+    }
+
+    #[test]
+    fn paused_sends_preserve_per_link_order() {
+        let bus = Bus::new();
+        let a = bus.register("a");
+        let b = bus.register("b");
+        bus.pause_delivery();
+        for i in 0u8..10 {
+            a.send(b.id(), Bytes::from(vec![i])).unwrap();
+        }
+        bus.resume_delivery();
+        let got: Vec<u8> = b.drain().iter().map(|m| m.payload[0]).collect();
+        assert_eq!(got, (0u8..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn drain_into_reuses_buffer() {
+        let bus = Bus::new();
+        let a = bus.register("a");
+        let b = bus.register("b");
+        let mut buf = Vec::with_capacity(4);
+        a.send(b.id(), Bytes::from_static(b"one")).unwrap();
+        b.drain_into(&mut buf);
+        assert_eq!(buf.len(), 1);
+        buf.clear();
+        let cap = buf.capacity();
+        a.send(b.id(), Bytes::from_static(b"two")).unwrap();
+        b.drain_into(&mut buf);
+        assert_eq!(buf.len(), 1);
+        assert_eq!(buf.capacity(), cap, "no reallocation on reuse");
     }
 
     #[test]

@@ -76,6 +76,19 @@ impl MetricsRegistry {
         self.histograms.entry(key).or_default().record(value);
     }
 
+    /// Record a batch of values into one histogram — a single map lookup
+    /// for the whole slice, for hot loops that would otherwise pay the
+    /// key lookup per sample.
+    pub fn record_many(&mut self, key: MetricKey, values: &[u64]) {
+        if values.is_empty() {
+            return;
+        }
+        let hist = self.histograms.entry(key).or_default();
+        for v in values {
+            hist.record(*v);
+        }
+    }
+
     /// Current counter value (0 when never incremented).
     pub fn counter(&self, key: MetricKey) -> u64 {
         self.counters.get(&key).copied().unwrap_or(0)

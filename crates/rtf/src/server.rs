@@ -19,10 +19,10 @@ use crate::entity::UserId;
 use crate::event::Packet;
 use crate::metrics::{MetricsLog, TickRecord};
 use crate::timer::{TaskKind, TickTimers, TimeMode};
-use crate::wire::Wire;
+use crate::wire::{Wire, WireWriter};
 use crate::zone::ZoneId;
-use bytes::Bytes;
-use rtf_net::{Bus, Endpoint, NodeId};
+use bytes::{Bytes, BytesMut};
+use rtf_net::{Bus, Endpoint, Message, NodeId};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// An interaction produced by applying a local user's input that targets a
@@ -142,6 +142,22 @@ pub struct MigrationCounters {
     pub received: u64,
 }
 
+/// Reusable per-tick buffers. [`Server::tick`] takes them out of the
+/// server at the top and puts them back at the end, so the
+/// receive/classify/encode hot path allocates nothing in steady state
+/// (the vectors keep their high-water capacity across ticks).
+#[derive(Debug, Default)]
+struct TickScratch {
+    inbox: Vec<Message>,
+    user_inputs: Vec<Bytes>,
+    forwarded: Vec<Bytes>,
+    replica_updates: Vec<Bytes>,
+    migration_data: Vec<Bytes>,
+    control: Vec<Bytes>,
+    users: Vec<(UserId, NodeId)>,
+    encode: BytesMut,
+}
+
 /// An RTF application server: one replica of one zone.
 pub struct Server<A: Application> {
     endpoint: Endpoint,
@@ -160,6 +176,7 @@ pub struct Server<A: Application> {
     /// Sim-time of this server's tick 0, so trace events carry
     /// cluster-monotonic time instead of the server-local counter.
     trace_tick_offset: u64,
+    scratch: TickScratch,
 }
 
 impl<A: Application> Server<A> {
@@ -181,6 +198,7 @@ impl<A: Application> Server<A> {
             migration_counters: MigrationCounters::default(),
             tracer: roia_obs::Tracer::disabled(),
             trace_tick_offset: 0,
+            scratch: TickScratch::default(),
         }
     }
 
@@ -192,6 +210,14 @@ impl<A: Application> Server<A> {
     pub fn set_tracer(&mut self, tracer: roia_obs::Tracer, tick_offset: u64) {
         self.tracer = tracer;
         self.trace_tick_offset = tick_offset;
+    }
+
+    /// Swaps the tracer, keeping the tick offset — a concurrent driver
+    /// temporarily points each server at a private buffer sink for the
+    /// duration of a fanned-out tick, then swaps the shared tracer back
+    /// and drains the buffers in server order.
+    pub fn swap_tracer(&mut self, tracer: roia_obs::Tracer) -> roia_obs::Tracer {
+        std::mem::replace(&mut self.tracer, tracer)
     }
 
     /// This server's network identity.
@@ -303,44 +329,87 @@ impl<A: Application> Server<A> {
         let mut migrations_received = 0u32;
 
         // --- Step 1: receive. Classify by tag byte without decoding, so
-        // decode time can be attributed per task kind below.
-        let raw = self.endpoint.drain();
-        let mut user_inputs = Vec::new();
-        let mut forwarded = Vec::new();
-        let mut replica_updates = Vec::new();
-        let mut migration_data = Vec::new();
-        let mut control = Vec::new();
-        for msg in raw {
+        // decode time can be attributed per task kind below. The scratch
+        // buffers move out of `self` for the duration of the tick (and
+        // back at the end), so the loop below can borrow the app mutably
+        // while iterating them.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.inbox.clear();
+        self.endpoint.drain_into(&mut scratch.inbox);
+        scratch.user_inputs.clear();
+        scratch.forwarded.clear();
+        scratch.replica_updates.clear();
+        scratch.migration_data.clear();
+        scratch.control.clear();
+        for msg in scratch.inbox.drain(..) {
             let len = msg.payload.len() as u64;
             bytes_in += len;
             match msg.payload.first() {
                 Some(4) => {
                     bytes_in_clients += len;
-                    user_inputs.push(msg.payload);
+                    scratch.user_inputs.push(msg.payload);
                 }
                 Some(5) => {
                     bytes_in_peers += len;
-                    forwarded.push(msg.payload);
+                    scratch.forwarded.push(msg.payload);
                 }
                 Some(6) => {
                     bytes_in_peers += len;
-                    replica_updates.push(msg.payload);
+                    scratch.replica_updates.push(msg.payload);
                 }
                 Some(8) => {
                     bytes_in_peers += len;
-                    migration_data.push(msg.payload);
+                    scratch.migration_data.push(msg.payload);
                 }
                 Some(_) => {
                     bytes_in_clients += len;
-                    control.push(msg.payload);
+                    scratch.control.push(msg.payload);
                 }
                 None => {}
             }
         }
 
+        // Incoming migrations (receive side of §III-B) — processed before
+        // connection control: a `Disconnect` that chased a migrating user
+        // (the client saw the `Redirect`, then logged off) can land in the
+        // same tick as the `MigrationData`, and the export causally
+        // precedes the disconnect. Importing first lets the disconnect
+        // remove the avatar instead of no-opping on an unknown user and
+        // leaving a ghost.
+        for buf in &scratch.migration_data {
+            let pkt = self
+                .timers
+                .time(TaskKind::MigRcv, || Packet::from_bytes(buf));
+            if let Ok(Packet::MigrationData {
+                user,
+                client,
+                payload,
+            }) = pkt
+            {
+                migrations_received += 1;
+                self.migration_counters.received += 1;
+                self.clients.insert(user, client);
+                // The user stops being a shadow here (we own it now).
+                for set in self.shadows_by_origin.values_mut() {
+                    set.remove(&user);
+                }
+                let mut ctx = TickCtx {
+                    tick: self.tick,
+                    server: self.endpoint.id(),
+                    timers: &mut self.timers,
+                };
+                self.app.import_user(&mut ctx, user, &payload);
+                self.app.on_user_connected(user);
+                let sent = self.send(client, &Packet::ConnectAck { user });
+                bytes_out += sent;
+                bytes_out_clients += sent;
+            }
+        }
+
         // Connection control (not part of the model's four tasks).
         let decoded_control: Vec<Packet> = self.timers.time(TaskKind::Other, || {
-            control
+            scratch
+                .control
                 .iter()
                 .filter_map(|b| Packet::from_bytes(b).ok())
                 .collect()
@@ -366,7 +435,7 @@ impl<A: Application> Server<A> {
 
         // Replica updates: refresh shadow tables, then let the app apply
         // the shadow-entity state (task 2 of §III-A).
-        for buf in &replica_updates {
+        for buf in &scratch.replica_updates {
             let pkt = self
                 .timers
                 .time(TaskKind::FaDser, || Packet::from_bytes(buf));
@@ -394,7 +463,7 @@ impl<A: Application> Server<A> {
         }
 
         // Forwarded interactions targeting our active entities.
-        for buf in &forwarded {
+        for buf in &scratch.forwarded {
             let pkt = self
                 .timers
                 .time(TaskKind::FaDser, || Packet::from_bytes(buf));
@@ -411,7 +480,7 @@ impl<A: Application> Server<A> {
 
         // User inputs (task 1).
         let mut outgoing_forwards: Vec<(NodeId, Packet)> = Vec::new();
-        for buf in &user_inputs {
+        for buf in &scratch.user_inputs {
             let pkt = self
                 .timers
                 .time(TaskKind::UaDser, || Packet::from_bytes(buf));
@@ -443,37 +512,6 @@ impl<A: Application> Server<A> {
             let sent = self.send(owner, &pkt);
             bytes_out += sent;
             bytes_out_peers += sent;
-        }
-
-        // Incoming migrations (receive side of §III-B).
-        for buf in &migration_data {
-            let pkt = self
-                .timers
-                .time(TaskKind::MigRcv, || Packet::from_bytes(buf));
-            if let Ok(Packet::MigrationData {
-                user,
-                client,
-                payload,
-            }) = pkt
-            {
-                migrations_received += 1;
-                self.migration_counters.received += 1;
-                self.clients.insert(user, client);
-                // The user stops being a shadow here (we own it now).
-                for set in self.shadows_by_origin.values_mut() {
-                    set.remove(&user);
-                }
-                let mut ctx = TickCtx {
-                    tick: self.tick,
-                    server: self.endpoint.id(),
-                    timers: &mut self.timers,
-                };
-                self.app.import_user(&mut ctx, user, &payload);
-                self.app.on_user_connected(user);
-                let sent = self.send(client, &Packet::ConnectAck { user });
-                bytes_out += sent;
-                bytes_out_clients += sent;
-            }
         }
 
         // --- Step 2: compute the new state (task 3: NPCs).
@@ -530,8 +568,12 @@ impl<A: Application> Server<A> {
         }
 
         // --- Step 3: send state updates (task 4) ...
-        let users: Vec<(UserId, NodeId)> = self.clients.iter().map(|(u, c)| (*u, *c)).collect();
-        for (user, client) in users {
+        scratch.users.clear();
+        scratch
+            .users
+            .extend(self.clients.iter().map(|(u, c)| (*u, *c)));
+        let mut encode_buf = std::mem::take(&mut scratch.encode);
+        for &(user, client) in &scratch.users {
             let payload = {
                 let mut ctx = TickCtx {
                     tick: self.tick,
@@ -545,12 +587,20 @@ impl<A: Application> Server<A> {
                 tick: self.tick,
                 payload,
             };
-            let buf = self.timers.time(TaskKind::Su, || pkt.to_bytes());
+            // Encode into the reused buffer: one allocation serves every
+            // state update (re-grown only past the high-water mark).
+            let (buf, rest) = self.timers.time(TaskKind::Su, || {
+                let mut w = WireWriter::with_buf(encode_buf);
+                pkt.encode(&mut w);
+                w.finish_reusing()
+            });
+            encode_buf = rest;
             bytes_out += buf.len() as u64;
             bytes_out_clients += buf.len() as u64;
             let _ = self.endpoint.send(client, buf);
             updates_sent += 1;
         }
+        scratch.encode = encode_buf;
 
         // ... and the replica update to the peers (the traffic that becomes
         // the peers' forwarded-input work; its own cost is not one of the
@@ -571,12 +621,14 @@ impl<A: Application> Server<A> {
                 payload,
             };
             let buf = self.timers.time(TaskKind::Other, || pkt.to_bytes());
-            for peer in self.peers.clone() {
+            for &peer in &self.peers {
                 bytes_out += buf.len() as u64;
                 bytes_out_peers += buf.len() as u64;
                 let _ = self.endpoint.send(peer, buf.clone());
             }
         }
+
+        self.scratch = scratch;
 
         // Finalize the record.
         let record = TickRecord {

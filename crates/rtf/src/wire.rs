@@ -59,6 +59,25 @@ impl WireWriter {
         }
     }
 
+    /// Creates a writer that appends into a caller-provided buffer
+    /// (cleared first), so encode loops can reuse one allocation instead
+    /// of growing a fresh buffer per frame. Pair with
+    /// [`finish_reusing`](Self::finish_reusing) to get the allocation
+    /// back.
+    pub fn with_buf(mut buf: BytesMut) -> Self {
+        buf.clear();
+        Self { buf }
+    }
+
+    /// Finishes like [`finish`](Self::finish) but also hands back the
+    /// writer's (now empty) buffer: once every reader of the returned
+    /// [`Bytes`] drops it, the buffer can reclaim the capacity on its
+    /// next `reserve`, keeping steady-state encode loops allocation-free.
+    pub fn finish_reusing(mut self) -> (Bytes, BytesMut) {
+        let frame = self.buf.split().freeze();
+        (frame, self.buf)
+    }
+
     /// Bytes written so far.
     pub fn len(&self) -> usize {
         self.buf.len()
@@ -296,6 +315,38 @@ mod tests {
         assert_eq!(w.len(), 4);
         w.put_bytes(b"abc");
         assert_eq!(w.len(), 4 + 4 + 3);
+    }
+
+    #[test]
+    fn reused_buffer_produces_identical_frames() {
+        let encode = |w: &mut WireWriter| {
+            w.put_u8(9);
+            w.put_bytes(b"state");
+            w.put_f64(0.25);
+        };
+        let mut fresh = WireWriter::new();
+        encode(&mut fresh);
+        let expected = fresh.finish();
+
+        let mut buf = BytesMut::new();
+        for _ in 0..3 {
+            let mut w = WireWriter::with_buf(buf);
+            encode(&mut w);
+            let (frame, rest) = w.finish_reusing();
+            assert_eq!(frame, expected);
+            buf = rest;
+            assert!(buf.is_empty(), "handed-back buffer starts empty");
+        }
+    }
+
+    #[test]
+    fn with_buf_clears_stale_content() {
+        let mut stale = BytesMut::new();
+        stale.extend_from_slice(b"leftover");
+        let mut w = WireWriter::with_buf(stale);
+        assert!(w.is_empty());
+        w.put_u8(1);
+        assert_eq!(&w.finish()[..], &[1]);
     }
 
     #[test]

@@ -20,11 +20,12 @@ use crate::chaos::{ChaosEngine, Fault, FaultPlan, Revert};
 #[cfg(feature = "strict-invariants")]
 use crate::invariants::TraceAuditor;
 use crate::invariants::{self, PopulationView};
+use crate::parallel;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use roia_autocal::{OnlineCalibrator, PublishOutcome, RefitReport};
 use roia_model::ScalabilityModel;
-use roia_obs::{secs_to_micros, MetricKey, MetricsRegistry, TraceEvent, Tracer};
+use roia_obs::{secs_to_micros, MetricKey, MetricsRegistry, RingSink, TraceEvent, Tracer};
 use rtf_core::client::{Client, ClientState};
 use rtf_core::entity::UserId;
 use rtf_core::metrics::TickRecord;
@@ -36,7 +37,7 @@ use rtf_rms::{
     Action, ActionId, ActionOutcome, BootEvent, ControllerConfig, LeaseId, MachineProfile, Policy,
     ResourcePool, RmsController, ServerSnapshot, ZoneSnapshot,
 };
-use rtfdemo::{Bot, BotBehavior, CostModel, CostRates, RtfDemoApp, World};
+use rtfdemo::{AoiBackend, Bot, BotBehavior, CostModel, CostRates, RtfDemoApp, World};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Ticks without a single state update before the stall watchdog hands a
@@ -68,6 +69,14 @@ pub struct ClusterConfig {
     pub monitor_window: usize,
     /// The resource pool.
     pub pool: ResourcePool,
+    /// Worker threads for the server/client tick phases. `1` runs them
+    /// serially; any value produces byte-identical traces (see
+    /// [`crate::parallel`] for the determinism argument).
+    pub threads: usize,
+    /// Interest-management backend for every server's app. Both settings
+    /// produce identical traffic and identical virtual `t_aoi` charges;
+    /// [`AoiBackend::Grid`] only cuts the host CPU cost of large zones.
+    pub aoi_backend: AoiBackend,
 }
 
 impl Default for ClusterConfig {
@@ -82,6 +91,8 @@ impl Default for ClusterConfig {
             tick_interval: 0.040,
             monitor_window: 25,
             pool: ResourcePool::testbed(),
+            threads: 1,
+            aoi_backend: AoiBackend::default(),
         }
     }
 }
@@ -166,6 +177,9 @@ pub struct Cluster {
     zone: ZoneId,
     layout: WorldLayout,
     servers: Vec<ServerHandle>,
+    /// NodeId → index into `servers`, rebuilt on every topology change —
+    /// O(log l) lookups where the hot paths used to scan.
+    server_index: BTreeMap<NodeId, usize>,
     clients: BTreeMap<UserId, ClientHandle>,
     controller: Option<RmsController>,
     pool: ResourcePool,
@@ -209,7 +223,18 @@ pub struct Cluster {
     /// Operator-facing metrics: per-server tick-duration histograms,
     /// population gauges, lifecycle counters.
     metrics: MetricsRegistry,
+    /// Reused per-tick: the concatenated active-user lists of every
+    /// server (the unhomed merge walk).
+    active_scratch: Vec<UserId>,
+    /// Reused per-tick: the tick-duration samples batched into the
+    /// unlabelled latency histogram.
+    micros_scratch: Vec<u64>,
 }
+
+/// Per-server trace buffer capacity during a fanned-out tick. A server
+/// emits one `TickSpan` per tick today; the headroom absorbs future
+/// per-tick events without eviction.
+const TICK_TRACE_BUFFER: usize = 64;
 
 impl Cluster {
     /// Creates a cluster with `initial_servers` standard replicas of one
@@ -239,6 +264,7 @@ impl Cluster {
             zone,
             layout,
             servers: Vec::new(),
+            server_index: BTreeMap::new(),
             clients: BTreeMap::new(),
             controller: None,
             pending_replicas: Vec::new(),
@@ -265,6 +291,8 @@ impl Cluster {
             u_threshold: 0.040,
             tracer: Tracer::disabled(),
             metrics: MetricsRegistry::new(),
+            active_scratch: Vec::new(),
+            micros_scratch: Vec::new(),
         };
         cluster.arm_strict_auditor();
         for _ in 0..initial_servers {
@@ -531,11 +559,13 @@ impl Cluster {
         // A faster machine divides every per-unit cost.
         let rates = self.config.rates.scaled(1.0 / speedup);
         let seed = self.rng.gen();
-        RtfDemoApp::new(
+        let mut app = RtfDemoApp::new(
             self.config.world.clone(),
             self.config.npcs,
             CostModel::new(rates, self.config.cost_noise, seed),
-        )
+        );
+        app.set_aoi_backend(self.config.aoi_backend);
+        app
     }
 
     fn boot_server(&mut self, lease: LeaseId, profile: MachineProfile) -> NodeId {
@@ -569,13 +599,21 @@ impl Cluster {
 
     fn refresh_peers(&mut self) {
         let ids: Vec<NodeId> = self.servers.iter().map(|s| s.server.id()).collect();
+        self.server_index = ids.iter().enumerate().map(|(i, id)| (*id, i)).collect();
         for handle in &mut self.servers {
             handle.server.set_peers(ids.clone());
         }
     }
 
+    /// O(log l) handle lookup by node id (the index is rebuilt on every
+    /// boot/shutdown/crash, so it is always in sync with `servers`).
+    fn handle_mut(&mut self, id: NodeId) -> Option<&mut ServerHandle> {
+        let idx = *self.server_index.get(&id)?;
+        self.servers.get_mut(idx)
+    }
+
     fn shutdown_server(&mut self, id: NodeId) -> bool {
-        let Some(idx) = self.servers.iter().position(|s| s.server.id() == id) else {
+        let Some(idx) = self.server_index.get(&id).copied() else {
             return false;
         };
         if self.servers.len() <= 1 {
@@ -605,7 +643,7 @@ impl Cluster {
     }
 
     fn server_alive(&self, id: NodeId) -> bool {
-        self.servers.iter().any(|s| s.server.id() == id)
+        self.server_index.contains_key(&id)
     }
 
     /// Id of the `nth % len` live server (chaos faults address servers by
@@ -700,7 +738,7 @@ impl Cluster {
         if from == to || !self.server_alive(to) || self.suspects.contains(&to) {
             return false;
         }
-        let Some(src) = self.servers.iter_mut().find(|s| s.server.id() == from) else {
+        let Some(src) = self.handle_mut(from) else {
             return false;
         };
         let users: Vec<UserId> = src.server.users().take(count as usize).collect();
@@ -752,7 +790,7 @@ impl Cluster {
     /// lost, as on real hardware without checkpointing). Returns `false`
     /// for the last remaining server.
     pub fn crash_server(&mut self, id: NodeId) -> bool {
-        let Some(idx) = self.servers.iter().position(|s| s.server.id() == id) else {
+        let Some(idx) = self.server_index.get(&id).copied() else {
             return false;
         };
         if self.servers.len() <= 1 {
@@ -908,7 +946,7 @@ impl Cluster {
             } => {
                 if let Some(id) = self.nth_server_id(nth) {
                     self.trace_fault("straggle", id.0 as i64);
-                    if let Some(handle) = self.servers.iter_mut().find(|s| s.server.id() == id) {
+                    if let Some(handle) = self.handle_mut(id) {
                         handle.server.app_mut().set_slowdown(factor.max(1.0));
                         engine.schedule_revert(self.tick + for_ticks, Revert::Unstraggle(id));
                     }
@@ -944,7 +982,7 @@ impl Cluster {
                 self.suspects.remove(&id);
             }
             Revert::Unstraggle(id) => {
-                if let Some(handle) = self.servers.iter_mut().find(|s| s.server.id() == id) {
+                if let Some(handle) = self.handle_mut(id) {
                     handle.server.app_mut().set_slowdown(1.0);
                 }
             }
@@ -1009,9 +1047,9 @@ impl Cluster {
                 continue;
             }
             let users = self
-                .servers
-                .iter()
-                .find(|s| s.server.id() == old)
+                .server_index
+                .get(&old)
+                .and_then(|idx| self.servers.get(*idx))
                 .map(|s| s.server.active_users())
                 .unwrap_or(0);
             if users > 0 {
@@ -1283,6 +1321,49 @@ impl Cluster {
         }
     }
 
+    /// Ticks every server — serially, or fanned across the worker pool —
+    /// returning the records in server order. Under fan-out each server
+    /// emits trace events into a private buffer, drained into the shared
+    /// tracer in server order after the join; since the serial path also
+    /// emits in server order, the event stream is byte-identical for
+    /// every thread count.
+    fn tick_servers(&mut self) -> Vec<TickRecord> {
+        let threads = self.config.threads;
+        if threads <= 1 || self.servers.len() <= 1 {
+            let mut records = Vec::with_capacity(self.servers.len());
+            for handle in &mut self.servers {
+                records.push(handle.server.tick());
+            }
+            return records;
+        }
+        let trace_on = self.tracer.is_enabled();
+        let mut buffers: Vec<std::sync::Arc<std::sync::Mutex<RingSink>>> = Vec::new();
+        let mut originals: Vec<Tracer> = Vec::new();
+        if trace_on {
+            buffers.reserve(self.servers.len());
+            originals.reserve(self.servers.len());
+            for handle in &mut self.servers {
+                let sink =
+                    std::sync::Arc::new(std::sync::Mutex::new(RingSink::new(TICK_TRACE_BUFFER)));
+                originals.push(handle.server.swap_tracer(Tracer::to_sink(sink.clone())));
+                buffers.push(sink);
+            }
+        }
+        let records = parallel::map_mut(&mut self.servers, threads, |h| h.server.tick());
+        if trace_on {
+            for ((handle, original), buffer) in self.servers.iter_mut().zip(originals).zip(buffers)
+            {
+                handle.server.swap_tracer(original);
+                if let Ok(mut sink) = buffer.lock() {
+                    for event in sink.drain() {
+                        self.tracer.emit(event);
+                    }
+                }
+            }
+        }
+        records
+    }
+
     /// Runs one tick of the whole deployment.
     pub fn step(&mut self) -> ClusterTickStats {
         // 0. Deliver network traffic due now; then let chaos strike.
@@ -1297,11 +1378,15 @@ impl Cluster {
         // 2. Control round.
         self.control_round();
 
-        // 3. Server ticks (these absorb any in-flight connects).
-        let mut records: Vec<TickRecord> = Vec::with_capacity(self.servers.len());
-        for handle in &mut self.servers {
-            records.push(handle.server.tick());
-        }
+        // 3. Server ticks (these absorb any in-flight connects). The bus
+        // is paused for the phase: servers exchange traffic only at the
+        // phase boundary, which (a) makes the ticks data-independent so
+        // they can fan out across the worker pool, and (b) fixes delivery
+        // order to ascending link key — identical for every thread count
+        // (see `crate::parallel` for the full determinism argument).
+        self.bus.pause_delivery();
+        let records = self.tick_servers();
+        self.bus.resume_delivery();
         self.pending_connects.clear();
 
         // 3b. Online calibration: stream the tick's records in (the record
@@ -1344,56 +1429,99 @@ impl Cluster {
             self.check_invariants();
         }
 
-        // 4. Client ticks.
-        for handle in self.clients.values_mut() {
-            handle.client.tick(self.tick, &mut handle.bot);
+        // 4. Client ticks — fanned out like the servers, under the same
+        // paused-bus contract (each client owns a distinct link to its
+        // server, so the resumed flush order is client-id order for every
+        // thread count).
+        self.bus.pause_delivery();
+        let now = self.tick;
+        let threads = self.config.threads;
+        if threads <= 1 {
+            for handle in self.clients.values_mut() {
+                handle.client.tick(now, &mut handle.bot);
+            }
+        } else {
+            let mut handles: Vec<&mut ClientHandle> = self.clients.values_mut().collect();
+            parallel::for_each_mut(&mut handles, threads, |h| {
+                h.client.tick(now, &mut h.bot);
+            });
         }
+        self.bus.resume_delivery();
 
         // 5. Aggregate stats, operator metrics and settlement events.
+        // Counter deltas are summed locally and recorded once, and the
+        // unlabelled latency histogram takes the whole tick as one batch —
+        // one registry lookup instead of one per record.
         let mut max_tick = 0.0f64;
         let mut load_sum = 0.0;
         let mut violation = false;
+        let mut violations_delta = 0u64;
+        let mut migrations_initiated = 0u64;
+        let mut migrations_received = 0u64;
+        self.micros_scratch.clear();
         for r in &records {
             max_tick = max_tick.max(r.tick_duration);
             load_sum += r.tick_duration / self.config.tick_interval;
             if r.tick_duration >= self.u_threshold {
                 violation = true;
-                self.violations += 1;
-                self.metrics
-                    .add(MetricKey::plain("roia_violations_total"), 1);
+                violations_delta += 1;
             }
             let micros = secs_to_micros(r.tick_duration);
+            self.micros_scratch.push(micros);
             self.metrics.record(
                 MetricKey::labelled("roia_tick_duration_us", "server", r.server.0 as u64),
                 micros,
             );
+            migrations_initiated += r.migrations_initiated as u64;
+            migrations_received += r.migrations_received as u64;
+            if r.migrations_received > 0 && self.tracer.is_enabled() {
+                self.tracer.emit(TraceEvent::MigrationSettled {
+                    tick: self.tick,
+                    server: r.server.0,
+                    arrived: r.migrations_received,
+                });
+            }
+        }
+        self.metrics.record_many(
+            MetricKey::plain("roia_tick_duration_us"),
+            &self.micros_scratch,
+        );
+        if violations_delta > 0 {
+            self.violations += violations_delta;
             self.metrics
-                .record(MetricKey::plain("roia_tick_duration_us"), micros);
-            if r.migrations_initiated > 0 {
-                self.metrics.add(
-                    MetricKey::plain("roia_migrations_initiated_total"),
-                    r.migrations_initiated as u64,
-                );
-            }
-            if r.migrations_received > 0 {
-                self.metrics.add(
-                    MetricKey::plain("roia_migrations_received_total"),
-                    r.migrations_received as u64,
-                );
-                if self.tracer.is_enabled() {
-                    self.tracer.emit(TraceEvent::MigrationSettled {
-                        tick: self.tick,
-                        server: r.server.0,
-                        arrived: r.migrations_received,
-                    });
-                }
-            }
+                .add(MetricKey::plain("roia_violations_total"), violations_delta);
         }
-        let mut active: BTreeSet<UserId> = BTreeSet::new();
+        if migrations_initiated > 0 {
+            self.metrics.add(
+                MetricKey::plain("roia_migrations_initiated_total"),
+                migrations_initiated,
+            );
+        }
+        if migrations_received > 0 {
+            self.metrics.add(
+                MetricKey::plain("roia_migrations_received_total"),
+                migrations_received,
+            );
+        }
+        // Per-server user sets are disjoint after the repair sweep and
+        // each iterates ascending, so one sort of the concatenation plus a
+        // merge walk against the (sorted) client keys replaces the old
+        // per-tick `BTreeSet` build — O(n log n) flat, no tree nodes.
+        self.active_scratch.clear();
         for handle in &self.servers {
-            active.extend(handle.server.users());
+            self.active_scratch.extend(handle.server.users());
         }
-        let unhomed = self.clients.keys().filter(|u| !active.contains(*u)).count() as u32;
+        self.active_scratch.sort_unstable();
+        let mut unhomed = 0u32;
+        let mut i = 0usize;
+        for user in self.clients.keys() {
+            while self.active_scratch.get(i).is_some_and(|a| a < user) {
+                i += 1;
+            }
+            if self.active_scratch.get(i) != Some(user) {
+                unhomed += 1;
+            }
+        }
 
         // Model annotations: whatever model is in force (live registry
         // version, or the frozen reference) predicts each replica's tick

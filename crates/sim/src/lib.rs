@@ -15,6 +15,7 @@ pub mod drift;
 pub mod invariants;
 pub mod measure;
 pub mod multizone;
+pub mod parallel;
 pub mod report;
 pub mod session;
 pub mod threaded;

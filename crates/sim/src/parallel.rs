@@ -1,0 +1,136 @@
+//! Scoped worker pool for the deterministic parallel tick.
+//!
+//! [`Cluster::step`](crate::cluster::Cluster::step) runs every server (and
+//! every client) tick under a paused bus, so within one cluster tick the
+//! ticked entities are data-independent: nothing a worker does is visible
+//! to another worker until the driver resumes delivery at the phase
+//! boundary. That makes the fan-out below *order-free*: workers may
+//! interleave arbitrarily, yet
+//!
+//! 1. per-entity state transitions depend only on that entity's own inbox
+//!    and RNG stream (owned by exactly one worker),
+//! 2. per-link message order on the bus is each sender's program order
+//!    (one sender per directed link), and the deferred flush delivers
+//!    links in ascending key order regardless of which worker sent first,
+//! 3. results are returned in input order (contiguous chunks, concatenated
+//!    in chunk order), and trace events are drained from per-server
+//!    buffers in server order after the join.
+//!
+//! Together these make a run with `threads = k` byte-identical to a serial
+//! run — the property `tests/determinism.rs` pins with trace digests.
+//!
+//! The pool is built on [`std::thread::scope`]: no extra dependencies, no
+//! detached threads, and borrowed data (`&mut [T]`) flows in without
+//! `'static` bounds.
+
+/// Applies `f` to every element, fanning contiguous chunks across at most
+/// `threads` scoped workers, and returns the results in input order.
+///
+/// `threads <= 1`, or fewer items than would fill two chunks, degenerates
+/// to the plain serial loop — same observable behaviour, no thread setup.
+pub fn map_mut<T, R, F>(items: &mut [T], threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.min(n).max(1);
+    if workers <= 1 {
+        return items.iter_mut().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for part in items.chunks_mut(chunk) {
+            let f = &f;
+            handles.push(scope.spawn(move || part.iter_mut().map(f).collect::<Vec<R>>()));
+        }
+        for handle in handles {
+            match handle.join() {
+                Ok(mut part) => out.append(&mut part),
+                // A worker panic is a bug in the ticked code; re-raise it
+                // on the driver thread instead of swallowing it.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out
+}
+
+/// [`map_mut`] without result collection, for phases that only mutate.
+pub fn for_each_mut<T, F>(items: &mut [T], threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    let n = items.len();
+    let workers = threads.min(n).max(1);
+    if workers <= 1 {
+        for item in items.iter_mut() {
+            f(item);
+        }
+        return;
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for part in items.chunks_mut(chunk) {
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                for item in part.iter_mut() {
+                    f(item);
+                }
+            }));
+        }
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                std::panic::resume_unwind(payload);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_keep_input_order() {
+        let mut items: Vec<u64> = (0..103).collect();
+        let out = map_mut(&mut items, 4, |x| *x * 2);
+        assert_eq!(out, (0..103).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let run = |threads: usize| {
+            let mut items: Vec<u64> = (0..57).collect();
+            map_mut(&mut items, threads, |x| {
+                *x = x.wrapping_mul(0x9E37_79B9).rotate_left(13);
+                *x
+            })
+        };
+        let serial = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let mut items = vec![1u32, 2, 3];
+        let out = map_mut(&mut items, 64, |x| *x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+        let mut empty: Vec<u32> = Vec::new();
+        assert!(map_mut(&mut empty, 8, |x| *x).is_empty());
+    }
+
+    #[test]
+    fn for_each_mutates_every_item() {
+        let mut items: Vec<u64> = vec![0; 41];
+        for_each_mut(&mut items, 5, |x| *x += 7);
+        assert!(items.iter().all(|x| *x == 7));
+    }
+}

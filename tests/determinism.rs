@@ -130,3 +130,83 @@ fn drift_session_is_deterministic_under_tracing() {
     assert_eq!(r1.final_model_version, r2.final_model_version);
     assert_eq!(r1.history, r2.history, "per-tick series diverged");
 }
+
+// --- Serial-vs-parallel trace equality (the worker-pool tick engine) ---
+//
+// Beyond run-to-run stability, the parallel engine must be *backend*
+// deterministic: a session ticked by k worker threads has to produce the
+// byte-identical trace of the serial run — chaos faults included. The
+// engine buffers per-server traces and merges them in `NodeId` order,
+// the bus defers all sends until the fan-out joins and flushes links in
+// key order, and every server owns its RNG stream, so thread
+// interleaving must never reach the observable history (see
+// `roia_sim::parallel` for the full argument).
+
+use roia::demo::AoiBackend;
+use roia::obs::Tracer;
+use roia::sim::{Cluster, FaultPlan};
+
+/// Runs one eventful session — joins, chaos faults, leaves — and returns
+/// the trace digest (FNV-1a hash, event count).
+fn session_digest(seed: u64, threads: usize, aoi: AoiBackend) -> (u64, u64) {
+    let config = ClusterConfig {
+        seed,
+        cost_noise: 0.05,
+        threads,
+        aoi_backend: aoi,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(config, 3);
+    let (tracer, sink) = Tracer::hashing();
+    cluster.set_tracer(tracer);
+    cluster.set_chaos(FaultPlan::random(seed ^ 0x9e37_79b9, 0.35, 120));
+    for _ in 0..40 {
+        cluster.add_user();
+    }
+    cluster.run(30);
+    for _ in 0..20 {
+        cluster.add_user();
+    }
+    cluster.run(40);
+    for _ in 0..10 {
+        cluster.remove_user();
+    }
+    cluster.run(50);
+    let guard = sink.lock().unwrap_or_else(|e| e.into_inner());
+    (guard.hash(), guard.events())
+}
+
+#[test]
+fn parallel_traces_match_serial_across_thread_counts() {
+    for seed in [7, 1234] {
+        let (serial_hash, serial_events) = session_digest(seed, 1, AoiBackend::Quadratic);
+        assert!(serial_events > 0, "the session must actually trace");
+        for threads in [2, 4] {
+            let (hash, events) = session_digest(seed, threads, AoiBackend::Quadratic);
+            assert_eq!(
+                (hash, events),
+                (serial_hash, serial_events),
+                "trace diverged at seed {seed}, {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_traces_match_serial_with_grid_backend() {
+    let (serial_hash, serial_events) = session_digest(99, 1, AoiBackend::Grid);
+    let (hash, events) = session_digest(99, 4, AoiBackend::Grid);
+    assert_eq!((hash, events), (serial_hash, serial_events));
+}
+
+#[test]
+fn aoi_backends_produce_identical_traces() {
+    // The grid fast path changes host CPU cost only: same visible sets,
+    // same virtual charges, same wire bytes — so the same trace digest.
+    let quad = session_digest(5, 1, AoiBackend::Quadratic);
+    let grid = session_digest(5, 1, AoiBackend::Grid);
+    assert_eq!(
+        quad, grid,
+        "interest-management backends must be observably equivalent"
+    );
+}
