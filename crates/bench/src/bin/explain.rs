@@ -7,8 +7,10 @@
 //! every control round, the model decision with its Eq. 1–5 numbers
 //! (predicted tick vs. `n_max` / trigger / `l_max`), the per-pair Eq. 5
 //! migration budgets, and each issued action followed to its terminal
-//! outcome. Server lifecycle, chaos faults, migration waves and
-//! calibration refits are interleaved at the tick they happened.
+//! outcome. Server lifecycle, chaos faults, migration waves, calibration
+//! refits and graceful-degradation episodes (degraded-mode enter/exit
+//! with their cause ticks, plus every admission-control verdict) are
+//! interleaved at the tick they happened.
 //!
 //! Usage: `explain TRACE.jsonl [--ticks N]` — `--ticks` truncates the
 //! replay after the given sim tick. Per-server tick spans are folded
@@ -103,6 +105,8 @@ fn main() {
     let mut tick_spans = 0u64;
     let mut worst_tick: Option<(u64, u32, f64)> = None;
     let mut decision_counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut throttle_counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut degraded_entries = 0u64;
     let mut fault_count = 0u64;
     for ev in &events {
         let t = ev.tick();
@@ -255,6 +259,44 @@ fn main() {
             } => {
                 println!("{stamp}  registry swap   model v{version} live (reason: {reason})");
             }
+            TraceEvent::DegradedEnter {
+                cause,
+                reason,
+                admission,
+                fidelity,
+                ..
+            } => {
+                degraded_entries += 1;
+                println!(
+                    "{stamp}  DEGRADED enter  reason={reason} (cause t={cause}): \
+                     new joins {admission}, aoi fidelity {fidelity:.2}"
+                );
+            }
+            TraceEvent::DegradedExit {
+                cause,
+                dwell_ticks,
+                queued,
+                shed,
+                ..
+            } => {
+                println!(
+                    "{stamp}  degraded exit   entered t={cause}, dwelt {dwell_ticks} ticks \
+                     ({:.1}s): {queued} join(s) queued, {shed} shed",
+                    secs(*dwell_ticks)
+                );
+            }
+            TraceEvent::JoinThrottled {
+                cause,
+                verdict,
+                total,
+                ..
+            } => {
+                *throttle_counts.entry(verdict).or_insert(0) += 1;
+                println!(
+                    "{stamp}    join throttle {verdict} (episode t={cause}, \
+                     #{total} this episode)"
+                );
+            }
         }
     }
 
@@ -297,4 +339,10 @@ fn main() {
         }
     }
     println!("faults injected: {fault_count}");
+    if degraded_entries > 0 || !throttle_counts.is_empty() {
+        println!("degraded episodes: {degraded_entries}");
+        for (verdict, count) in &throttle_counts {
+            println!("  joins {verdict:<12} {count}");
+        }
+    }
 }

@@ -1,0 +1,199 @@
+//! Scenario campaign — the adversarial robustness leaderboard.
+//!
+//! Runs every scenario in [`roia_sim::catalogue`] (flash crowd, diurnal
+//! regime shift, spot revocation wave, replication oscillation) under
+//! three policies — the Eq. 1–5 `model-driven` controller, the
+//! `simultaneous` vertical+horizontal variant and the `static-threshold`
+//! baseline — across several seeds, and scores every (scenario, policy)
+//! cell on threshold violations, cloud cost, migration churn, shed and
+//! queued joins and tick-duration tail percentiles. Each scenario's
+//! model-driven cell is executed twice at the first seed and the run
+//! aborts if the telemetry digests differ — adversarial runs must stay
+//! exactly as reproducible as calm ones.
+//!
+//! Build with `--features strict-invariants` to consult the runtime
+//! invariant oracle every tick (CI smoke does): a panic here means user
+//! conservation or migration safety broke under overload.
+//!
+//! Usage: `scenarios [--ticks N] [--seed N] [--seeds K] [--json PATH]`
+//! — defaults: 7500 ticks (5 min at 25 Hz), 2 seeds, summary written to
+//! `BENCH_scenarios.json`.
+
+use roia_bench::{calibrated_model, cli, default_campaign, json};
+use roia_model::ScalabilityModel;
+use roia_sim::{catalogue, run_scenario, Scenario, ScenarioOutcome};
+use rtf_rms::{
+    ModelDriven, ModelDrivenConfig, Policy, Simultaneous, SimultaneousConfig, StaticThreshold,
+};
+
+/// The policy roster of the campaign.
+const POLICIES: &[&str] = &["model-driven", "simultaneous", "static-threshold"];
+
+fn make_policy(name: &str, model: &ScalabilityModel) -> Box<dyn Policy> {
+    match name {
+        "model-driven" => Box::new(ModelDriven::new(
+            model.clone(),
+            ModelDrivenConfig::default(),
+        )),
+        "simultaneous" => Box::new(Simultaneous::new(
+            model.clone(),
+            SimultaneousConfig::default(),
+        )),
+        "static-threshold" => Box::new(StaticThreshold::new(model.max_users(1, 0))),
+        other => panic!("unknown policy {other}"),
+    }
+}
+
+fn outcome_doc(o: &ScenarioOutcome) -> String {
+    json::object(&[
+        ("scenario", json::string(o.scenario)),
+        ("policy", json::string(o.policy)),
+        ("seed", json::uint(o.seed)),
+        ("ticks", json::uint(o.ticks)),
+        ("violations", json::uint(o.violations)),
+        ("violation_rate", json::num(o.violation_rate)),
+        ("total_cost", json::num(o.total_cost)),
+        ("migrations", json::uint(o.migrations)),
+        ("shed", json::uint(o.shed)),
+        ("queued", json::uint(o.queued)),
+        ("degraded_entries", json::uint(o.degraded_entries)),
+        ("degraded_ticks", json::uint(o.degraded_ticks)),
+        ("p99_tick_us", json::uint(o.p99_tick_us)),
+        ("p999_tick_us", json::uint(o.p999_tick_us)),
+        ("peak_servers", json::uint(o.peak_servers as u64)),
+        ("final_users", json::uint(o.final_users as u64)),
+        ("final_queued", json::uint(o.final_queued as u64)),
+        ("score", json::num(o.score())),
+        ("trace_hash", json::uint(o.trace_hash)),
+        ("trace_events", json::uint(o.trace_events)),
+    ])
+}
+
+fn main() {
+    let mut seeds_flag: Option<u64> = None;
+    let args = cli::parse_with(|flag, value| match flag {
+        "--seeds" => {
+            seeds_flag = Some(
+                value("--seeds")
+                    .parse()
+                    .expect("--seeds needs a numeric value"),
+            );
+            true
+        }
+        _ => false,
+    });
+    let ticks = args.ticks.unwrap_or(7500);
+    let base_seed = args.seed.unwrap_or(0x5CE4);
+    let seed_count = seeds_flag.unwrap_or(2).max(1);
+
+    let (_cal, model) = calibrated_model(&default_campaign());
+    let scenarios: Vec<Scenario> = catalogue(ticks);
+
+    println!(
+        "=== scenario campaign: {} scenarios x {} policies x {} seed(s), {} ticks ===\n",
+        scenarios.len(),
+        POLICIES.len(),
+        seed_count,
+        ticks
+    );
+
+    let mut cell_docs: Vec<String> = Vec::new();
+    let mut leaderboard_docs: Vec<String> = Vec::new();
+
+    for scenario in &scenarios {
+        println!("--- {} ---", scenario.name);
+        println!("    {}", scenario.summary);
+
+        // Rerun-stability gate: the same cell twice must hash identically.
+        let probe_a = run_scenario(scenario, make_policy(POLICIES[0], &model), base_seed);
+        let probe_b = run_scenario(scenario, make_policy(POLICIES[0], &model), base_seed);
+        assert_eq!(
+            (probe_a.trace_hash, probe_a.trace_events),
+            (probe_b.trace_hash, probe_b.trace_events),
+            "{}: rerun at seed {base_seed} diverged — determinism broke",
+            scenario.name
+        );
+
+        // (policy, per-seed outcomes, mean score)
+        let mut rows: Vec<(&str, Vec<ScenarioOutcome>, f64)> = Vec::new();
+        for policy_name in POLICIES {
+            let mut outcomes = Vec::new();
+            for k in 0..seed_count {
+                let seed = base_seed.wrapping_add(k);
+                // Reuse the probe run instead of repeating it.
+                let outcome = if *policy_name == POLICIES[0] && seed == base_seed {
+                    probe_a.clone()
+                } else {
+                    run_scenario(scenario, make_policy(policy_name, &model), seed)
+                };
+                outcomes.push(outcome);
+            }
+            let mean_score =
+                outcomes.iter().map(ScenarioOutcome::score).sum::<f64>() / outcomes.len() as f64;
+            rows.push((policy_name, outcomes, mean_score));
+        }
+        rows.sort_by(|a, b| a.2.total_cmp(&b.2));
+
+        println!(
+            "    {:<18} {:>8} {:>7} {:>9} {:>7} {:>7} {:>9} {:>10} {:>8}",
+            "policy", "score", "viol%", "cost", "shed", "queued", "migr", "p99_ms", "deg_tk"
+        );
+        for (policy_name, outcomes, mean_score) in &rows {
+            let mean = |f: &dyn Fn(&ScenarioOutcome) -> f64| {
+                outcomes.iter().map(f).sum::<f64>() / outcomes.len() as f64
+            };
+            println!(
+                "    {:<18} {:>8.1} {:>6.1}% {:>9.3} {:>7.0} {:>7.0} {:>9.0} {:>10.2} {:>8.0}",
+                policy_name,
+                mean_score,
+                mean(&|o| o.violation_rate) * 100.0,
+                mean(&|o| o.total_cost),
+                mean(&|o| o.shed as f64),
+                mean(&|o| o.queued as f64),
+                mean(&|o| o.migrations as f64),
+                mean(&|o| o.p99_tick_us as f64) / 1e3,
+                mean(&|o| o.degraded_ticks as f64),
+            );
+            cell_docs.extend(outcomes.iter().map(outcome_doc));
+        }
+        let winner = rows.first().map(|(name, _, _)| *name).unwrap_or("-");
+        println!("    winner: {winner}\n");
+
+        leaderboard_docs.push(json::object(&[
+            ("scenario", json::string(scenario.name)),
+            ("winner", json::string(winner)),
+            (
+                "ranking",
+                json::array(
+                    &rows
+                        .iter()
+                        .map(|(name, _, score)| {
+                            json::object(&[
+                                ("policy", json::string(name)),
+                                ("mean_score", json::num(*score)),
+                            ])
+                        })
+                        .collect::<Vec<_>>(),
+                ),
+            ),
+        ]));
+    }
+
+    let doc = json::object(&[
+        ("experiment", json::string("scenarios")),
+        ("ticks", json::uint(ticks)),
+        ("base_seed", json::uint(base_seed)),
+        ("seeds", json::uint(seed_count)),
+        (
+            "strict_invariants",
+            json::string(if cfg!(feature = "strict-invariants") {
+                "on"
+            } else {
+                "off"
+            }),
+        ),
+        ("leaderboard", json::array(&leaderboard_docs)),
+        ("cells", json::array(&cell_docs)),
+    ]);
+    cli::write_json_doc(args.json.as_deref(), Some("BENCH_scenarios.json"), &doc);
+}

@@ -68,6 +68,9 @@ pub struct RtfDemoApp {
     aoi_grid: AoiGrid,
     aoi_grid_tick: Option<u64>,
     aoi_scratch: Vec<(UserId, Vec2)>,
+    /// The world's full-fidelity AoI radius, kept so degraded-mode
+    /// scaling is always relative to the original, not cumulative.
+    base_aoi_radius: f32,
 }
 
 impl RtfDemoApp {
@@ -76,6 +79,7 @@ impl RtfDemoApp {
     pub fn new(world: World, npc_count: u32, costs: CostModel) -> Self {
         let mut npcs = NpcWorld::new();
         npcs.populate(npc_count, &world);
+        let base_aoi_radius = world.aoi_radius;
         Self {
             world,
             avatars: BTreeMap::new(),
@@ -87,7 +91,31 @@ impl RtfDemoApp {
             aoi_grid: AoiGrid::new(),
             aoi_grid_tick: None,
             aoi_scratch: Vec::new(),
+            base_aoi_radius,
         }
+    }
+
+    /// Scales the area-of-interest radius relative to the world's base
+    /// radius (`1.0` = full fidelity, clamped to `[0, 1]`). The
+    /// graceful-degradation path shrinks AoI under overload to cut
+    /// per-user update fan-out while keeping every connected user in
+    /// the session; passing `1.0` restores full fidelity exactly.
+    pub fn set_aoi_scale(&mut self, scale: f64) {
+        let scale = if scale.is_finite() {
+            scale.clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        self.world.aoi_radius = self.base_aoi_radius * scale as f32;
+        self.aoi_grid_tick = None;
+    }
+
+    /// The current AoI fidelity relative to the base radius.
+    pub fn aoi_scale(&self) -> f64 {
+        if self.base_aoi_radius <= f32::EPSILON {
+            return 1.0;
+        }
+        f64::from(self.world.aoi_radius / self.base_aoi_radius)
     }
 
     /// Selects the interest-management backend (default:
@@ -502,6 +530,27 @@ mod tests {
             timers,
         };
         f(&mut ctx)
+    }
+
+    #[test]
+    fn aoi_scale_is_relative_to_base_and_restores_exactly() {
+        let mut app = app();
+        let base = app.world().aoi_radius;
+        app.set_aoi_scale(0.5);
+        assert!((app.world().aoi_radius - base * 0.5).abs() < 1e-6);
+        app.set_aoi_scale(0.5);
+        assert!(
+            (app.world().aoi_radius - base * 0.5).abs() < 1e-6,
+            "scaling must not compound"
+        );
+        assert!((app.aoi_scale() - 0.5).abs() < 1e-6);
+        app.set_aoi_scale(1.0);
+        assert!((app.world().aoi_radius - base).abs() < f32::EPSILON);
+        app.set_aoi_scale(7.0);
+        assert!(
+            (app.world().aoi_radius - base).abs() < f32::EPSILON,
+            "scale clamps to [0, 1]"
+        );
     }
 
     #[test]

@@ -233,6 +233,50 @@ pub enum TraceEvent {
         /// Refit reason that produced it.
         reason: &'static str,
     },
+    /// The controller entered declared degraded mode: capacity requests
+    /// keep bouncing, so it switches to join admission control and
+    /// reduced AoI fidelity instead of silently accruing violations.
+    DegradedEnter {
+        /// Simulation tick the mode engaged.
+        tick: u64,
+        /// Tick of the action resolution that tripped the entry
+        /// threshold (the `cause` id of the state change).
+        cause: u64,
+        /// Why it engaged: `out_of_capacity` or `abandoned`.
+        reason: &'static str,
+        /// Admission verdict applied to new joins while degraded:
+        /// `queue` or `shed`.
+        admission: &'static str,
+        /// AoI fidelity scale applied while degraded (1.0 = full).
+        fidelity: f64,
+    },
+    /// The controller left degraded mode after the hysteresis window —
+    /// minimum dwell elapsed and enough consecutive clean rounds.
+    DegradedExit {
+        /// Simulation tick the mode disengaged.
+        tick: u64,
+        /// Tick degraded mode was entered (the `cause` id pairing the
+        /// exit with its enter event).
+        cause: u64,
+        /// Ticks spent degraded.
+        dwell_ticks: u64,
+        /// Joins queued over the degraded episode.
+        queued: u32,
+        /// Joins shed over the degraded episode.
+        shed: u32,
+    },
+    /// Admission control intercepted a join request while degraded.
+    JoinThrottled {
+        /// Simulation tick of the join attempt.
+        tick: u64,
+        /// Tick degraded mode was entered (the `cause` id linking the
+        /// throttle to its episode).
+        cause: u64,
+        /// What happened to the join: `queue` or `shed`.
+        verdict: &'static str,
+        /// Total joins throttled (queued + shed) so far this episode.
+        total: u32,
+    },
 }
 
 /// Known vocabulary for `&'static str` event fields, so decoded events
@@ -268,6 +312,9 @@ const VOCAB: &[&str] = &[
     "rejected_quality",
     "cooldown",
     "unchanged",
+    "out_of_capacity",
+    "queue",
+    "shed",
 ];
 
 /// Map a decoded string onto the static vocabulary (`"unknown"` if
@@ -300,6 +347,9 @@ impl TraceEvent {
             TraceEvent::ServerRemoved { .. } => "server_removed",
             TraceEvent::Refit { .. } => "refit",
             TraceEvent::RegistrySwap { .. } => "registry_swap",
+            TraceEvent::DegradedEnter { .. } => "degraded_enter",
+            TraceEvent::DegradedExit { .. } => "degraded_exit",
+            TraceEvent::JoinThrottled { .. } => "join_throttled",
         }
     }
 
@@ -320,7 +370,10 @@ impl TraceEvent {
             | TraceEvent::ServerCrashed { tick, .. }
             | TraceEvent::ServerRemoved { tick, .. }
             | TraceEvent::Refit { tick, .. }
-            | TraceEvent::RegistrySwap { tick, .. } => *tick,
+            | TraceEvent::RegistrySwap { tick, .. }
+            | TraceEvent::DegradedEnter { tick, .. }
+            | TraceEvent::DegradedExit { tick, .. }
+            | TraceEvent::JoinThrottled { tick, .. } => *tick,
         }
     }
 
@@ -525,6 +578,46 @@ impl TraceEvent {
                 ("version", uint(*version)),
                 ("reason", string(reason)),
             ]),
+            TraceEvent::DegradedEnter {
+                tick,
+                cause,
+                reason,
+                admission,
+                fidelity,
+            } => object(&[
+                ev,
+                ("tick", uint(*tick)),
+                ("cause", uint(*cause)),
+                ("reason", string(reason)),
+                ("admission", string(admission)),
+                ("fidelity", num(*fidelity)),
+            ]),
+            TraceEvent::DegradedExit {
+                tick,
+                cause,
+                dwell_ticks,
+                queued,
+                shed,
+            } => object(&[
+                ev,
+                ("tick", uint(*tick)),
+                ("cause", uint(*cause)),
+                ("dwell_ticks", uint(*dwell_ticks)),
+                ("queued", uint(*queued as u64)),
+                ("shed", uint(*shed as u64)),
+            ]),
+            TraceEvent::JoinThrottled {
+                tick,
+                cause,
+                verdict,
+                total,
+            } => object(&[
+                ev,
+                ("tick", uint(*tick)),
+                ("cause", uint(*cause)),
+                ("verdict", string(verdict)),
+                ("total", uint(*total as u64)),
+            ]),
         }
     }
 
@@ -654,6 +747,26 @@ impl TraceEvent {
                 version: u64_of("version")?,
                 reason: str_of("reason")?,
             }),
+            "degraded_enter" => Some(TraceEvent::DegradedEnter {
+                tick: u64_of("tick")?,
+                cause: u64_of("cause")?,
+                reason: str_of("reason")?,
+                admission: str_of("admission")?,
+                fidelity: f64_of("fidelity")?,
+            }),
+            "degraded_exit" => Some(TraceEvent::DegradedExit {
+                tick: u64_of("tick")?,
+                cause: u64_of("cause")?,
+                dwell_ticks: u64_of("dwell_ticks")?,
+                queued: u32_of("queued")?,
+                shed: u32_of("shed")?,
+            }),
+            "join_throttled" => Some(TraceEvent::JoinThrottled {
+                tick: u64_of("tick")?,
+                cause: u64_of("cause")?,
+                verdict: str_of("verdict")?,
+                total: u32_of("total")?,
+            }),
             _ => None,
         }
     }
@@ -732,6 +845,26 @@ mod tests {
                 tick: 3000,
                 version: 4,
                 reason: "drift",
+            },
+            TraceEvent::DegradedEnter {
+                tick: 5100,
+                cause: 5098,
+                reason: "out_of_capacity",
+                admission: "queue",
+                fidelity: 0.6,
+            },
+            TraceEvent::JoinThrottled {
+                tick: 5120,
+                cause: 5100,
+                verdict: "queue",
+                total: 7,
+            },
+            TraceEvent::DegradedExit {
+                tick: 5600,
+                cause: 5100,
+                dwell_ticks: 500,
+                queued: 7,
+                shed: 0,
             },
         ]
     }

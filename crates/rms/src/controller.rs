@@ -21,6 +21,7 @@
 //! re-plans them from fresh load data, which beats replaying a stale plan.
 
 use crate::actions::{Action, ActionId, ActionLog, ActionOutcome};
+use crate::degraded::{Admission, DegradedConfig, DegradedMode};
 use crate::monitor::ZoneSnapshot;
 use crate::policy::Policy;
 use roia_obs::{TraceEvent, Tracer};
@@ -60,6 +61,9 @@ pub struct ControllerConfig {
     pub control_interval_ticks: u64,
     /// Retry/timeout behaviour.
     pub retry: RetryConfig,
+    /// Declared degraded-mode behaviour (admission control + AoI
+    /// fidelity when the cloud runs out of capacity).
+    pub degraded: DegradedConfig,
 }
 
 impl Default for ControllerConfig {
@@ -67,6 +71,7 @@ impl Default for ControllerConfig {
         Self {
             control_interval_ticks: 25,
             retry: RetryConfig::default(),
+            degraded: DegradedConfig::default(),
         }
     }
 }
@@ -115,6 +120,7 @@ pub struct RmsController {
     pending: Vec<PendingAction>,
     follow_ups: Vec<QueuedFollowUp>,
     degraded_until: Option<u64>,
+    degraded_mode: DegradedMode,
     tracer: Tracer,
 }
 
@@ -129,6 +135,7 @@ impl RmsController {
             pending: Vec::new(),
             follow_ups: Vec::new(),
             degraded_until: None,
+            degraded_mode: DegradedMode::new(config.degraded),
             tracer: Tracer::disabled(),
         }
     }
@@ -179,6 +186,53 @@ impl RmsController {
         self.degraded_until.is_some_and(|until| now_tick < until)
     }
 
+    /// Whether a *declared* degraded episode (admission control + AoI
+    /// fidelity reduction) is live.
+    pub fn degraded_mode_active(&self) -> bool {
+        self.degraded_mode.active()
+    }
+
+    /// Tick the live degraded episode was entered, if any.
+    pub fn degraded_since(&self) -> Option<u64> {
+        self.degraded_mode.entered_at()
+    }
+
+    /// AoI fidelity the cluster should apply right now (1.0 healthy,
+    /// [`DegradedConfig::aoi_fidelity`] while degraded).
+    pub fn aoi_fidelity(&self) -> f64 {
+        self.degraded_mode.fidelity()
+    }
+
+    /// Admission verdict for one join request. `queue_depth` is the
+    /// caller's current join-queue length. Healthy controllers always
+    /// admit; degraded ones queue up to the configured depth and shed
+    /// beyond it, tracing every throttled join.
+    pub fn admit_join(&mut self, queue_depth: u32, now_tick: u64) -> Admission {
+        let verdict = self.degraded_mode.admit(queue_depth);
+        if verdict != Admission::Admit && self.tracer.is_enabled() {
+            self.tracer.emit(TraceEvent::JoinThrottled {
+                tick: now_tick,
+                cause: self.degraded_mode.entered_at().unwrap_or(now_tick),
+                verdict: match verdict {
+                    Admission::Queue => "queue",
+                    _ => "shed",
+                },
+                total: self.degraded_mode.throttled(),
+            });
+        }
+        verdict
+    }
+
+    fn trace_degraded_enter(&self, reason: &'static str, now_tick: u64) {
+        self.tracer.emit(TraceEvent::DegradedEnter {
+            tick: now_tick,
+            cause: now_tick,
+            reason,
+            admission: self.config.degraded.admission.name(),
+            fidelity: self.config.degraded.aoi_fidelity,
+        });
+    }
+
     /// Whether a control round is due at `now_tick`.
     pub fn is_due(&self, now_tick: u64) -> bool {
         match self.last_round {
@@ -197,6 +251,21 @@ impl RmsController {
         let entry = self.pending.swap_remove(pos);
         self.log.resolve(id, outcome, now_tick);
         self.trace_resolved(id, outcome, now_tick);
+        let scale_up = matches!(
+            entry.action,
+            Action::AddReplica { .. } | Action::Substitute { .. }
+        );
+        if scale_up {
+            match outcome {
+                // The cloud refused the machine outright: count toward
+                // the declared degraded episode.
+                ActionOutcome::Rejected if self.degraded_mode.note_rejection(now_tick) => {
+                    self.trace_degraded_enter("out_of_capacity", now_tick);
+                }
+                ActionOutcome::Succeeded => self.degraded_mode.note_success(),
+                _ => {}
+            }
+        }
         if matches!(outcome, ActionOutcome::Rejected | ActionOutcome::Failed) {
             self.schedule_follow_up(entry.id, entry.action, entry.attempt, now_tick);
         }
@@ -258,17 +327,38 @@ impl RmsController {
             }
         }
 
-        // 3. The policy's round. While a scale-up is already in flight
+        // 3. Feed the round's load observation into the declared
+        //    degraded episode's exit hysteresis (min dwell, then
+        //    consecutive clean rounds with no fresh rejection).
+        if let Some(summary) = self
+            .degraded_mode
+            .observe_round(snapshot.worst_avg_tick(), now_tick)
+        {
+            if self.tracer.is_enabled() {
+                self.tracer.emit(TraceEvent::DegradedExit {
+                    tick: now_tick,
+                    cause: summary.entered_at,
+                    dwell_ticks: summary.dwell_ticks,
+                    queued: summary.queued,
+                    shed: summary.shed,
+                });
+            }
+        }
+
+        // 4. The policy's round. While a scale-up is already in flight
         //    (pending boot or queued retry) further scale-ups are
         //    suppressed, so a slow cloud is not asked twice for the same
-        //    machine; while degraded they are dropped entirely.
+        //    machine; while degraded they are dropped entirely. The
+        //    guard is computed once so a simultaneous policy may issue
+        //    several scale-ups in the same round.
+        let scale_ups_blocked = self.is_degraded(now_tick) || self.scale_up_in_flight();
         let decisions = self.policy.decide(snapshot, now_tick);
         for action in decisions {
             let scale_up = matches!(
                 action,
                 Action::AddReplica { .. } | Action::Substitute { .. }
             );
-            if scale_up && (self.is_degraded(now_tick) || self.scale_up_in_flight()) {
+            if scale_up && scale_ups_blocked {
                 continue;
             }
             issued.push(self.issue(action, 0, now_tick));
@@ -346,10 +436,15 @@ impl RmsController {
                     });
                 } else {
                     // Substitution failed too: stop asking the cloud and
-                    // balance with migrations only for a while.
+                    // balance with migrations only for a while, and make
+                    // sure the declared degraded episode (admission
+                    // control, reduced fidelity) is open.
                     self.log.resolve(id, ActionOutcome::Abandoned, now_tick);
                     self.trace_resolved(id, ActionOutcome::Abandoned, now_tick);
                     self.degraded_until = Some(now_tick + retry.degraded_cooldown_ticks);
+                    if self.degraded_mode.force_enter(now_tick) {
+                        self.trace_degraded_enter("abandoned", now_tick);
+                    }
                 }
             }
         }
@@ -483,6 +578,40 @@ mod tests {
         let after = now + c.config.retry.degraded_cooldown_ticks + 25;
         assert!(!c.is_degraded(after));
         assert!(!c.control(&snapshot(), after).is_empty());
+    }
+
+    #[test]
+    fn capacity_rejections_declare_degraded_mode_then_hysteresis_exit() {
+        let mut c = RmsController::new(Box::new(Always), ControllerConfig::default());
+        assert_eq!(c.admit_join(0, 0), Admission::Admit, "healthy: admit");
+        // Keep rejecting scale-ups until the declared episode engages.
+        let mut now = 0u64;
+        while !c.degraded_mode_active() && now < 2_000 {
+            for issued in c.control(&snapshot(), now) {
+                c.report(issued.id, ActionOutcome::Rejected, now);
+            }
+            now += 25;
+        }
+        assert!(c.degraded_mode_active(), "rejections must declare the mode");
+        let entered = c.degraded_since().expect("episode start tick");
+        assert_eq!(c.admit_join(0, now), Admission::Queue);
+        assert!(c.aoi_fidelity() < 1.0, "fidelity reduced while degraded");
+        // Capacity returns and the snapshot load is clean (10 ms ticks):
+        // after the minimum dwell plus the clean-round streak the
+        // episode closes on its own.
+        while c.degraded_mode_active() && now < entered + 5_000 {
+            for issued in c.control(&snapshot(), now) {
+                c.report(issued.id, ActionOutcome::Succeeded, now);
+            }
+            now += 25;
+        }
+        assert!(!c.degraded_mode_active(), "hysteresis exit after recovery");
+        assert!(
+            now - entered >= c.config.degraded.min_dwell_ticks,
+            "no exit before the dwell"
+        );
+        assert_eq!(c.admit_join(0, now), Admission::Admit);
+        assert!((c.aoi_fidelity() - 1.0).abs() < f64::EPSILON);
     }
 
     #[test]

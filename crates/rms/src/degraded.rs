@@ -1,0 +1,329 @@
+//! Declared degraded mode — the graceful-degradation path for capacity
+//! exhaustion.
+//!
+//! When the cloud keeps answering `AddReplica`/`Substitute` with
+//! `Rejected` (the pool is out of capacity), piling more users onto the
+//! existing replicas just accrues Eq. (4) threshold violations. Instead
+//! the controller *declares* the condition: it enters a degraded episode
+//! with join admission control (new users are queued or shed at the
+//! door) and reduced AoI fidelity (a smaller interest radius cuts the
+//! quadratic `t_aoi` term for everyone already playing). The episode is
+//! visible in the trace ([`roia_obs::TraceEvent::DegradedEnter`] /
+//! [`DegradedExit`](roia_obs::TraceEvent::DegradedExit)) rather than
+//! inferred from a violation spike.
+//!
+//! Exit is hysteretic so the mode does not flap with the load: the
+//! episode must dwell at least [`DegradedConfig::min_dwell_ticks`], and
+//! then ends only after [`DegradedConfig::exit_clean_rounds`]
+//! *consecutive* control rounds whose worst per-server average tick sits
+//! below [`DegradedConfig::exit_tick_threshold_s`] with no fresh
+//! capacity rejection in between.
+//!
+//! This module is a pure, deterministic state machine; the controller
+//! owns the trace emission so the episode logic stays trivially
+//! unit-testable.
+
+/// What admission control decided for one join request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Capacity is fine (or the episode ended): connect the user.
+    Admit,
+    /// Degraded: hold the user in the join queue until capacity returns.
+    Queue,
+    /// Degraded and the queue is full (or shedding is configured): turn
+    /// the user away.
+    Shed,
+}
+
+/// How new joins are treated while degraded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionMode {
+    /// Queue joins up to `max_depth`, shedding beyond that.
+    Queue {
+        /// Maximum join-queue depth before queuing falls back to
+        /// shedding.
+        max_depth: u32,
+    },
+    /// Shed every new join for the duration of the episode.
+    Shed,
+}
+
+impl AdmissionMode {
+    /// Vocabulary name for the trace (`"queue"` or `"shed"`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdmissionMode::Queue { .. } => "queue",
+            AdmissionMode::Shed => "shed",
+        }
+    }
+}
+
+/// Tuning for the declared degraded mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegradedConfig {
+    /// Consecutive capacity rejections on scale-up actions before the
+    /// episode engages.
+    pub enter_after_rejections: u32,
+    /// Join treatment while degraded.
+    pub admission: AdmissionMode,
+    /// AoI interest-radius scale applied while degraded (1.0 = full
+    /// fidelity; values below 1 shrink every server's interest radius).
+    pub aoi_fidelity: f64,
+    /// Minimum episode length in ticks — exits are not considered
+    /// before this dwell elapses, however clean the load looks.
+    pub min_dwell_ticks: u64,
+    /// Consecutive clean control rounds (after the dwell) required to
+    /// exit.
+    pub exit_clean_rounds: u32,
+    /// A control round is "clean" when the zone's worst per-server
+    /// average tick is below this threshold (seconds). Defaults below
+    /// the paper's U = 40 ms so the exit has real headroom.
+    pub exit_tick_threshold_s: f64,
+}
+
+impl Default for DegradedConfig {
+    fn default() -> Self {
+        Self {
+            enter_after_rejections: 2,
+            admission: AdmissionMode::Queue { max_depth: 64 },
+            aoi_fidelity: 0.6,
+            min_dwell_ticks: 250,
+            exit_clean_rounds: 4,
+            exit_tick_threshold_s: 0.032,
+        }
+    }
+}
+
+/// One live degraded episode.
+#[derive(Debug, Clone, Copy)]
+struct Episode {
+    entered_at: u64,
+    queued: u32,
+    shed: u32,
+    clean_rounds: u32,
+}
+
+/// Summary of a finished episode, for the exit trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpisodeSummary {
+    /// Tick the episode was entered.
+    pub entered_at: u64,
+    /// Ticks spent degraded.
+    pub dwell_ticks: u64,
+    /// Joins queued over the episode.
+    pub queued: u32,
+    /// Joins shed over the episode.
+    pub shed: u32,
+}
+
+/// The degraded-mode state machine (entry counting, per-episode
+/// admission bookkeeping, hysteretic exit).
+#[derive(Debug, Clone, Copy)]
+pub struct DegradedMode {
+    config: DegradedConfig,
+    consecutive_rejections: u32,
+    episode: Option<Episode>,
+}
+
+impl DegradedMode {
+    /// Creates the state machine in the healthy state.
+    pub fn new(config: DegradedConfig) -> Self {
+        Self {
+            config,
+            consecutive_rejections: 0,
+            episode: None,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DegradedConfig {
+        &self.config
+    }
+
+    /// Whether a degraded episode is live.
+    pub fn active(&self) -> bool {
+        self.episode.is_some()
+    }
+
+    /// Tick the live episode was entered, if any.
+    pub fn entered_at(&self) -> Option<u64> {
+        self.episode.map(|e| e.entered_at)
+    }
+
+    /// AoI fidelity the cluster should apply right now (1.0 when
+    /// healthy).
+    pub fn fidelity(&self) -> f64 {
+        if self.episode.is_some() {
+            self.config.aoi_fidelity
+        } else {
+            1.0
+        }
+    }
+
+    /// Joins throttled (queued + shed) in the live episode so far.
+    pub fn throttled(&self) -> u32 {
+        self.episode
+            .map(|e| e.queued.saturating_add(e.shed))
+            .unwrap_or(0)
+    }
+
+    /// Records a capacity rejection on a scale-up action. Returns `true`
+    /// when this rejection *enters* a new episode (the caller emits the
+    /// enter event). While an episode is live, a rejection resets its
+    /// clean-round count — the cloud is still refusing us.
+    pub fn note_rejection(&mut self, now_tick: u64) -> bool {
+        self.consecutive_rejections = self.consecutive_rejections.saturating_add(1);
+        if let Some(episode) = self.episode.as_mut() {
+            episode.clean_rounds = 0;
+            return false;
+        }
+        if self.consecutive_rejections >= self.config.enter_after_rejections {
+            self.enter(now_tick);
+            return true;
+        }
+        false
+    }
+
+    /// Records a successful scale-up: the consecutive-rejection streak is
+    /// broken (a live episode still needs its clean rounds to exit).
+    pub fn note_success(&mut self) {
+        self.consecutive_rejections = 0;
+    }
+
+    /// Forces an episode open (the abandonment path: retries exhausted
+    /// and the substitution fallback refused too). Returns `true` when
+    /// this call opened the episode.
+    pub fn force_enter(&mut self, now_tick: u64) -> bool {
+        if self.episode.is_some() {
+            return false;
+        }
+        self.enter(now_tick);
+        true
+    }
+
+    fn enter(&mut self, now_tick: u64) {
+        self.episode = Some(Episode {
+            entered_at: now_tick,
+            queued: 0,
+            shed: 0,
+            clean_rounds: 0,
+        });
+    }
+
+    /// Admission verdict for one join request. `queue_depth` is the
+    /// caller's current join-queue length (the queue itself lives with
+    /// the caller; this machine only rules and counts).
+    pub fn admit(&mut self, queue_depth: u32) -> Admission {
+        let Some(episode) = self.episode.as_mut() else {
+            return Admission::Admit;
+        };
+        match self.config.admission {
+            AdmissionMode::Queue { max_depth } if queue_depth < max_depth => {
+                episode.queued = episode.queued.saturating_add(1);
+                Admission::Queue
+            }
+            _ => {
+                episode.shed = episode.shed.saturating_add(1);
+                Admission::Shed
+            }
+        }
+    }
+
+    /// Feeds one control round's load observation into the hysteresis.
+    /// Returns the episode summary when this round closes the episode
+    /// (the caller emits the exit event).
+    pub fn observe_round(
+        &mut self,
+        worst_avg_tick_s: f64,
+        now_tick: u64,
+    ) -> Option<EpisodeSummary> {
+        let episode = self.episode.as_mut()?;
+        if worst_avg_tick_s < self.config.exit_tick_threshold_s {
+            episode.clean_rounds = episode.clean_rounds.saturating_add(1);
+        } else {
+            episode.clean_rounds = 0;
+        }
+        let dwelt = now_tick.saturating_sub(episode.entered_at) >= self.config.min_dwell_ticks;
+        if dwelt && episode.clean_rounds >= self.config.exit_clean_rounds {
+            let done = *episode;
+            self.episode = None;
+            self.consecutive_rejections = 0;
+            return Some(EpisodeSummary {
+                entered_at: done.entered_at,
+                dwell_ticks: now_tick.saturating_sub(done.entered_at),
+                queued: done.queued,
+                shed: done.shed,
+            });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enters_after_consecutive_rejections_only() {
+        let mut m = DegradedMode::new(DegradedConfig::default());
+        assert!(!m.note_rejection(10));
+        m.note_success(); // streak broken
+        assert!(!m.note_rejection(20));
+        assert!(m.note_rejection(30), "second consecutive rejection enters");
+        assert!(m.active());
+        assert_eq!(m.entered_at(), Some(30));
+        assert!(m.fidelity() < 1.0);
+    }
+
+    #[test]
+    fn queue_overflows_into_shedding() {
+        let mut m = DegradedMode::new(DegradedConfig {
+            admission: AdmissionMode::Queue { max_depth: 2 },
+            ..DegradedConfig::default()
+        });
+        assert_eq!(m.admit(0), Admission::Admit, "healthy: always admit");
+        m.force_enter(0);
+        assert_eq!(m.admit(0), Admission::Queue);
+        assert_eq!(m.admit(1), Admission::Queue);
+        assert_eq!(m.admit(2), Admission::Shed, "queue full");
+        assert_eq!(m.throttled(), 3);
+    }
+
+    #[test]
+    fn exit_needs_dwell_and_consecutive_clean_rounds() {
+        let config = DegradedConfig {
+            min_dwell_ticks: 100,
+            exit_clean_rounds: 2,
+            exit_tick_threshold_s: 0.032,
+            ..DegradedConfig::default()
+        };
+        let mut m = DegradedMode::new(config);
+        m.force_enter(0);
+        // Clean but before the dwell: no exit.
+        assert!(m.observe_round(0.010, 25).is_none());
+        assert!(m.observe_round(0.010, 50).is_none());
+        // A hot round resets the streak.
+        assert!(m.observe_round(0.039, 125).is_none());
+        assert!(m.observe_round(0.010, 150).is_none(), "streak restarted");
+        let summary = m.observe_round(0.010, 175).expect("exits");
+        assert_eq!(summary.entered_at, 0);
+        assert_eq!(summary.dwell_ticks, 175);
+        assert!(!m.active());
+        assert!((m.fidelity() - 1.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn rejection_during_episode_resets_clean_streak() {
+        let config = DegradedConfig {
+            min_dwell_ticks: 0,
+            exit_clean_rounds: 2,
+            ..DegradedConfig::default()
+        };
+        let mut m = DegradedMode::new(config);
+        m.force_enter(0);
+        assert!(m.observe_round(0.010, 25).is_none());
+        assert!(!m.note_rejection(30), "already degraded: no re-entry");
+        assert!(m.observe_round(0.010, 50).is_none(), "streak was reset");
+        assert!(m.observe_round(0.010, 75).is_some());
+    }
+}

@@ -16,15 +16,17 @@
 
 pub mod actions;
 pub mod controller;
+pub mod degraded;
 pub mod monitor;
 pub mod policy;
 pub mod resources;
 
 pub use actions::{rebalance_share, Action, ActionId, ActionLog, ActionOutcome, LoggedAction};
 pub use controller::{ControllerConfig, IssuedAction, RetryConfig, RmsController};
+pub use degraded::{Admission, AdmissionMode, DegradedConfig, DegradedMode, EpisodeSummary};
 pub use monitor::{ServerSnapshot, ZoneSnapshot};
 pub use policy::{
     BandwidthProportional, ModelDriven, ModelDrivenConfig, Policy, PredictiveModelDriven,
-    StaticInterval, StaticThreshold, TrendForecaster,
+    Simultaneous, SimultaneousConfig, StaticInterval, StaticThreshold, TrendForecaster,
 };
 pub use resources::{BootEvent, LeaseId, MachineProfile, PoolError, ReadyMachine, ResourcePool};

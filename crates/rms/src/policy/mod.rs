@@ -10,16 +10,22 @@
 //!   user count triggers migration/scale-out.
 //! * [`BandwidthProportional`] — Bezerra & Geyer \[4\]: load allocated
 //!   proportionally to each server's capacity weight.
+//!
+//! [`Simultaneous`] extends [`ModelDriven`] with a vertical scaling leg
+//! raced against the horizontal one in the same control round (Ship et
+//! al., PAPERS.md) — built for the adversarial scenario campaigns.
 
 mod bandwidth;
 mod model_driven;
 mod predictive;
+mod simultaneous;
 mod static_interval;
 mod static_threshold;
 
 pub use bandwidth::BandwidthProportional;
 pub use model_driven::{ModelDriven, ModelDrivenConfig};
 pub use predictive::{PredictiveModelDriven, TrendForecaster};
+pub use simultaneous::{Simultaneous, SimultaneousConfig};
 pub use static_interval::StaticInterval;
 pub use static_threshold::StaticThreshold;
 

@@ -1,0 +1,230 @@
+//! Simultaneous vertical + horizontal scaling.
+//!
+//! The model-driven policy of §IV scales one dimension at a time:
+//! replicate while `l < l_max`, substitute hardware only after the
+//! replica ceiling is hit. Under adversarial load (a flash crowd that
+//! outruns boot delays, a revocation wave that deletes capacity faster
+//! than one machine per control round can restore it) that serializes
+//! recovery. Following the simultaneous-autoscaling argument of Ship et
+//! al. (PAPERS.md), this policy races both dimensions: when the Eq. (2)
+//! trigger fires *and* the pressure is deep enough that one extra
+//! replica would already sit at its own trigger, it issues the
+//! `AddReplica` **and** a `Substitute` of the most loaded standard
+//! machine in the same control round.
+//!
+//! Everything else — Eq. (5)-paced balancing, drain-based scale-down,
+//! the replica cooldown — is inherited from [`ModelDriven`], so the two
+//! policies differ only in the scale-up leg and leaderboard deltas are
+//! attributable to it.
+
+use crate::actions::Action;
+use crate::monitor::ZoneSnapshot;
+use crate::policy::{ModelDriven, ModelDrivenConfig, Policy};
+use roia_autocal::ModelRegistry;
+use roia_model::ScalabilityModel;
+use roia_obs::{TraceEvent, Tracer};
+use std::sync::Arc;
+
+/// Tunables of the simultaneous policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimultaneousConfig {
+    /// The underlying model-driven behaviour (pacing, cooldown,
+    /// scale-down hysteresis).
+    pub base: ModelDrivenConfig,
+    /// The vertical leg joins a scale-up round when
+    /// `n >= vertical_pressure · trigger(l + 1)` — i.e. when even the
+    /// replica being requested would start life at its own replication
+    /// trigger. `1.0` is the natural threshold; lower values substitute
+    /// more eagerly.
+    pub vertical_pressure: f64,
+}
+
+impl Default for SimultaneousConfig {
+    fn default() -> Self {
+        Self {
+            base: ModelDrivenConfig::default(),
+            vertical_pressure: 1.0,
+        }
+    }
+}
+
+/// The simultaneous vertical + horizontal policy.
+pub struct Simultaneous {
+    inner: ModelDriven,
+    vertical_pressure: f64,
+    tracer: Tracer,
+}
+
+impl Simultaneous {
+    /// Creates the policy around a frozen calibrated model.
+    pub fn new(model: ScalabilityModel, config: SimultaneousConfig) -> Self {
+        Self {
+            inner: ModelDriven::new(model, config.base),
+            vertical_pressure: config.vertical_pressure,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Creates the policy against a live [`ModelRegistry`].
+    pub fn live(registry: Arc<ModelRegistry>, config: SimultaneousConfig) -> Self {
+        Self {
+            inner: ModelDriven::live(registry, config.base),
+            vertical_pressure: config.vertical_pressure,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// The model in use.
+    pub fn model(&self) -> &ScalabilityModel {
+        self.inner.model()
+    }
+}
+
+impl Policy for Simultaneous {
+    fn name(&self) -> &'static str {
+        "simultaneous"
+    }
+
+    fn decide(&mut self, snapshot: &ZoneSnapshot, now_tick: u64) -> Vec<Action> {
+        let mut out = self.inner.decide(snapshot, now_tick);
+        // The vertical leg only ever joins a horizontal scale-up round
+        // (at l_max the inner policy already substitutes on its own).
+        if !out.iter().any(|a| matches!(a, Action::AddReplica { .. })) {
+            return out;
+        }
+        let l = snapshot.replicas();
+        let n = snapshot.total_users();
+        let m = snapshot.npcs;
+        let model = self.inner.model();
+        let next_trigger = model.replication_trigger(l + 1, m);
+        if f64::from(n) < self.vertical_pressure * f64::from(next_trigger) {
+            return out;
+        }
+        let candidate = snapshot
+            .servers
+            .iter()
+            .filter(|s| s.speedup <= 1.0)
+            .max_by_key(|s| s.active_users);
+        if let Some(old) = candidate {
+            out.push(Action::Substitute {
+                zone: snapshot.zone,
+                old: old.server,
+            });
+            if self.tracer.is_enabled() {
+                self.tracer.emit(TraceEvent::Decision {
+                    tick: now_tick,
+                    zone: snapshot.zone.0,
+                    kind: "substitute",
+                    model_version: self.inner.model_version(),
+                    replicas: l,
+                    users: n,
+                    npcs: m,
+                    predicted_tick_s: model.tick(l.max(1), n, m, n.div_ceil(l.max(1))),
+                    n_max: model.max_users(l.max(1), m),
+                    trigger: model.replication_trigger(l.max(1), m),
+                    l_max: model.max_replicas(m).l_max,
+                });
+            }
+        }
+        out
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.inner.set_tracer(tracer.clone());
+        self.tracer = tracer;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monitor::ServerSnapshot;
+    use roia_model::{CostFn, ModelParams};
+    use rtf_core::net::NodeId;
+    use rtf_core::zone::ZoneId;
+
+    /// Same known-capacity model as the model-driven tests:
+    /// n_max(1) = 399, trigger(1) = 319.
+    fn model() -> ScalabilityModel {
+        let params = ModelParams {
+            t_ua: CostFn::Constant(1e-4),
+            t_fa: CostFn::Constant(2e-6),
+            t_mig_ini: CostFn::Constant(1e-3),
+            t_mig_rcv: CostFn::Constant(0.5e-3),
+            ..ModelParams::default()
+        };
+        ScalabilityModel::new(params, 0.040)
+    }
+
+    fn snapshot(users: &[u32], ticks_ms: &[f64]) -> ZoneSnapshot {
+        ZoneSnapshot {
+            zone: ZoneId(1),
+            npcs: 0,
+            servers: users
+                .iter()
+                .zip(ticks_ms)
+                .enumerate()
+                .map(|(i, (&u, &t))| ServerSnapshot {
+                    server: NodeId(roia_model::convert::count_u32(i)),
+                    active_users: u,
+                    avg_tick: t * 1e-3,
+                    max_tick: t * 1e-3,
+                    speedup: 1.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn deep_pressure_scales_both_dimensions_in_one_round() {
+        let mut p = Simultaneous::new(model(), SimultaneousConfig::default());
+        let t1 = p.model().replication_trigger(1, 0);
+        let t2 = p.model().replication_trigger(2, 0);
+        assert!(t2 > t1, "trigger must grow with l");
+        // A population already at trigger(2) on a single server: even the
+        // replica being requested would start at its own trigger.
+        let s = snapshot(&[t2], &[39.0]);
+        let actions = p.decide(&s, 0);
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, Action::AddReplica { .. })),
+            "{actions:?}"
+        );
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, Action::Substitute { .. })),
+            "deep pressure adds the vertical leg: {actions:?}"
+        );
+    }
+
+    #[test]
+    fn mild_pressure_stays_horizontal() {
+        let mut p = Simultaneous::new(model(), SimultaneousConfig::default());
+        let t1 = p.model().replication_trigger(1, 0);
+        let s = snapshot(&[t1], &[32.0]);
+        let actions = p.decide(&s, 0);
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(a, Action::AddReplica { .. })),
+            "{actions:?}"
+        );
+        assert!(
+            actions
+                .iter()
+                .all(|a| !matches!(a, Action::Substitute { .. })),
+            "at trigger(1) only the replica is requested: {actions:?}"
+        );
+    }
+
+    #[test]
+    fn vertical_leg_skips_rounds_without_replication() {
+        let mut p = Simultaneous::new(model(), SimultaneousConfig::default());
+        assert_eq!(p.name(), "simultaneous");
+        // Comfort zone: the inner policy holds, the wrapper adds nothing.
+        let s = snapshot(&[150, 150], &[15.0, 15.0]);
+        assert!(p.decide(&s, 0).is_empty());
+    }
+}

@@ -123,8 +123,21 @@ impl FaultPlan {
     /// A randomized plan over `horizon` ticks whose harshness scales with
     /// `intensity` in `[0, 1]`: crashes, isolation windows, stragglers and
     /// a boot-failure burst, all placed by the seed.
+    ///
+    /// `intensity` outside `[0, 1]` is saturated to the nearest bound (NaN
+    /// is treated as 0 — no chaos); debug builds additionally assert the
+    /// caller stayed in range, since an out-of-range value is almost
+    /// always a sweep-generation bug rather than a deliberate request.
     pub fn random(seed: u64, intensity: f64, horizon: u64) -> Self {
-        assert!((0.0..=1.0).contains(&intensity));
+        debug_assert!(
+            (0.0..=1.0).contains(&intensity),
+            "FaultPlan::random intensity {intensity} outside [0, 1]"
+        );
+        let intensity = if intensity.is_nan() {
+            0.0
+        } else {
+            intensity.clamp(0.0, 1.0)
+        };
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xCA05_0000_0000_0000);
         let mut plan = Self::quiet(seed)
             .with_boot_failures(0.3 * intensity)
@@ -308,5 +321,29 @@ mod tests {
         assert!(harsh.events.len() >= mild.events.len());
         assert!(harsh.boot_failure_rate > mild.boot_failure_rate);
         assert!(harsh.link_loss > mild.link_loss);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn random_flags_out_of_range_intensity_in_debug() {
+        let _ = FaultPlan::random(5, 1.5, 7500);
+    }
+
+    #[test]
+    #[cfg(not(debug_assertions))]
+    fn random_saturates_out_of_range_intensity_in_release() {
+        assert_eq!(
+            FaultPlan::random(5, 1.5, 7500),
+            FaultPlan::random(5, 1.0, 7500)
+        );
+        assert_eq!(
+            FaultPlan::random(5, -0.2, 7500),
+            FaultPlan::random(5, 0.0, 7500)
+        );
+        assert_eq!(
+            FaultPlan::random(5, f64::NAN, 7500),
+            FaultPlan::random(5, 0.0, 7500)
+        );
     }
 }

@@ -34,8 +34,8 @@ use rtf_core::server::{Server, ServerConfig};
 use rtf_core::timer::TimeMode;
 use rtf_core::zone::{InstanceId, WorldLayout, Zone, ZoneId};
 use rtf_rms::{
-    Action, ActionId, ActionOutcome, BootEvent, ControllerConfig, LeaseId, MachineProfile, Policy,
-    ResourcePool, RmsController, ServerSnapshot, ZoneSnapshot,
+    Action, ActionId, ActionOutcome, Admission, BootEvent, ControllerConfig, LeaseId,
+    MachineProfile, Policy, ResourcePool, RmsController, ServerSnapshot, ZoneSnapshot,
 };
 use rtfdemo::{AoiBackend, Bot, BotBehavior, CostModel, CostRates, RtfDemoApp, World};
 use std::collections::{BTreeMap, BTreeSet};
@@ -77,6 +77,13 @@ pub struct ClusterConfig {
     /// produce identical traffic and identical virtual `t_aoi` charges;
     /// [`AoiBackend::Grid`] only cuts the host CPU cost of large zones.
     pub aoi_backend: AoiBackend,
+    /// How many of the initial replicas boot on [`MachineProfile::POWERFUL`]
+    /// machines (clamped to the initial server count). Heterogeneous
+    /// scenarios start with a mixed fleet instead of growing into one.
+    pub initial_powerful: u32,
+    /// Queued joins admitted per tick once the controller leaves degraded
+    /// mode — a bounded drain so a backlog does not re-trigger overload.
+    pub join_queue_drain: u32,
 }
 
 impl Default for ClusterConfig {
@@ -93,8 +100,21 @@ impl Default for ClusterConfig {
             pool: ResourcePool::testbed(),
             threads: 1,
             aoi_backend: AoiBackend::default(),
+            initial_powerful: 0,
+            join_queue_drain: 4,
         }
     }
+}
+
+/// How the cluster answered one [`Cluster::request_join`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinOutcome {
+    /// Connected immediately.
+    Admitted(UserId),
+    /// Held in the join queue until capacity recovers.
+    Queued,
+    /// Turned away (queue full, or nowhere to place the user).
+    Shed,
 }
 
 struct ServerHandle {
@@ -229,6 +249,16 @@ pub struct Cluster {
     /// Reused per-tick: the tick-duration samples batched into the
     /// unlabelled latency histogram.
     micros_scratch: Vec<u64>,
+    /// Joins held back by degraded-mode admission control, waiting for
+    /// capacity to recover. Anonymous until admitted: a queued join has
+    /// no `UserId` and no client yet, so it can never violate user
+    /// conservation (I1).
+    queued_joins: u32,
+    /// Joins turned away outright (queue full or no placement target).
+    shed_joins: u64,
+    /// Degraded flag observed at the last reconcile — transition edges
+    /// apply/restore AoI fidelity on every live replica exactly once.
+    degraded_prev: bool,
 }
 
 /// Per-server trace buffer capacity during a fanned-out tick. A server
@@ -293,17 +323,26 @@ impl Cluster {
             metrics: MetricsRegistry::new(),
             active_scratch: Vec::new(),
             micros_scratch: Vec::new(),
+            queued_joins: 0,
+            shed_joins: 0,
+            degraded_prev: false,
         };
         cluster.arm_strict_auditor();
-        for _ in 0..initial_servers {
+        let powerful = cluster.config.initial_powerful.min(initial_servers);
+        for i in 0..initial_servers {
+            let profile = if i < powerful {
+                MachineProfile::POWERFUL
+            } else {
+                MachineProfile::STANDARD
+            };
             let lease = cluster
                 .pool
-                .request(MachineProfile::STANDARD, 0)
+                .request(profile, 0)
                 // lint: allow(panic, "construction-time config validation: the pool is sized from the same config, before any tick runs")
                 .expect("initial capacity");
             // Initial machines are ready immediately.
             cluster.pool.poll_ready(u64::MAX >> 1);
-            cluster.boot_server(lease, MachineProfile::STANDARD);
+            cluster.boot_server(lease, profile);
         }
         cluster
     }
@@ -565,6 +604,11 @@ impl Cluster {
             CostModel::new(rates, self.config.cost_noise, seed),
         );
         app.set_aoi_backend(self.config.aoi_backend);
+        // A replica booted mid-episode serves at the episode's fidelity
+        // (1.0 outside degraded mode, so this is a no-op normally).
+        if let Some(controller) = self.controller.as_ref() {
+            app.set_aoi_scale(controller.aoi_fidelity());
+        }
         app
     }
 
@@ -695,6 +739,74 @@ impl Cluster {
             .min_by_key(|s| load_of(s))
             .or_else(|| self.servers.iter().min_by_key(|s| load_of(s)))
             .map(|s| s.server.id())
+    }
+
+    /// Requests a join through the controller's admission control. In
+    /// normal operation this is [`Cluster::add_user`]; while the
+    /// controller is in degraded mode the join is queued (admitted later
+    /// by the bounded drain, see [`ClusterConfig::join_queue_drain`]) or
+    /// shed outright once the queue is full. Without a controller every
+    /// join is admitted.
+    pub fn request_join(&mut self) -> JoinOutcome {
+        let now = self.tick;
+        let verdict = match self.controller.as_mut() {
+            Some(controller) => controller.admit_join(self.queued_joins, now),
+            None => Admission::Admit,
+        };
+        match verdict {
+            Admission::Admit => match self.add_user() {
+                Some(user) => JoinOutcome::Admitted(user),
+                None => {
+                    // Every replica crashed: nowhere to place the user.
+                    self.note_shed();
+                    JoinOutcome::Shed
+                }
+            },
+            Admission::Queue => {
+                self.queued_joins += 1;
+                self.metrics
+                    .add(MetricKey::plain("roia_joins_queued_total"), 1);
+                JoinOutcome::Queued
+            }
+            Admission::Shed => {
+                self.note_shed();
+                JoinOutcome::Shed
+            }
+        }
+    }
+
+    fn note_shed(&mut self) {
+        self.shed_joins += 1;
+        self.metrics
+            .add(MetricKey::plain("roia_joins_shed_total"), 1);
+    }
+
+    /// A departure under admission control: a still-queued join gives up
+    /// first (returning `None` — it never had a `UserId`); otherwise the
+    /// most recently connected user disconnects.
+    pub fn request_leave(&mut self) -> Option<UserId> {
+        if self.queued_joins > 0 {
+            self.queued_joins -= 1;
+            return None;
+        }
+        self.remove_user()
+    }
+
+    /// Joins currently held in the admission queue.
+    pub fn queued_users(&self) -> u32 {
+        self.queued_joins
+    }
+
+    /// Joins turned away since the session started.
+    pub fn shed_users(&self) -> u64 {
+        self.shed_joins
+    }
+
+    /// Whether the attached controller has declared degraded mode.
+    pub fn degraded_active(&self) -> bool {
+        self.controller
+            .as_ref()
+            .is_some_and(|c| c.degraded_mode_active())
     }
 
     /// Disconnects the most recently added user; returns it.
@@ -1217,6 +1329,46 @@ impl Cluster {
         self.controller = Some(controller);
     }
 
+    /// Propagates the controller's degraded-mode state into the zone:
+    /// on an enter/exit edge every live replica's AoI fidelity is
+    /// scaled/restored, and while healthy a bounded batch of queued
+    /// joins is admitted per tick so the backlog cannot re-trigger the
+    /// overload that caused it.
+    fn reconcile_degraded(&mut self) {
+        let Some(controller) = self.controller.as_ref() else {
+            return;
+        };
+        let active = controller.degraded_mode_active();
+        let fidelity = controller.aoi_fidelity();
+        if active != self.degraded_prev {
+            for handle in &mut self.servers {
+                handle.server.app_mut().set_aoi_scale(fidelity);
+            }
+            if active {
+                self.metrics
+                    .add(MetricKey::plain("roia_degraded_entries_total"), 1);
+            }
+            self.degraded_prev = active;
+        }
+        if active {
+            self.metrics
+                .add(MetricKey::plain("roia_degraded_ticks_total"), 1);
+        } else if self.queued_joins > 0 {
+            let drain = self.config.join_queue_drain.min(self.queued_joins);
+            for _ in 0..drain {
+                if self.add_user().is_some() {
+                    self.queued_joins -= 1;
+                } else {
+                    break;
+                }
+            }
+        }
+        self.metrics.set(
+            MetricKey::plain("roia_join_queue_depth"),
+            i64::from(self.queued_joins),
+        );
+    }
+
     /// Removes avatar-table damage that fault races leave behind: a user
     /// active on two replicas (reconnect raced a migration) keeps the copy
     /// its client points at; an avatar whose user left the deployment is
@@ -1375,8 +1527,10 @@ impl Cluster {
         self.progress_substitutions();
         self.supervise_users();
 
-        // 2. Control round.
+        // 2. Control round; then reconcile degraded-mode state (fidelity
+        // edges, bounded join-queue drain) against its outcome.
         self.control_round();
+        self.reconcile_degraded();
 
         // 3. Server ticks (these absorb any in-flight connects). The bus
         // is paused for the phase: servers exchange traffic only at the

@@ -393,8 +393,10 @@ mod tests {
             to: 40,
             duration_secs: 4.0,
         };
-        let mut cal = CalibratorConfig::default();
-        cal.refit_interval_ticks = 100;
+        let mut cal = CalibratorConfig {
+            refit_interval_ticks: 100,
+            ..Default::default()
+        };
         cal.registry.cooldown_ticks = 50;
         let report = run_drift_session(short_config(CalibrationMode::Online(cal)), &workload);
         assert_eq!(report.mode, "online");

@@ -5,7 +5,9 @@
 //! controller into one lock-step simulation; [`workload`] generates the
 //! changing user populations of §V-B; [`measure`] reruns the §V-A
 //! parameter-determination campaigns; [`session`] packages managed runs;
-//! [`report`] renders paper-comparable series.
+//! [`scenarios`] curates the adversarial robustness campaign (flash
+//! crowds, revocation waves, oscillating load) with graceful-degradation
+//! accounting; [`report`] renders paper-comparable series.
 
 #![warn(missing_docs)]
 
@@ -17,12 +19,13 @@ pub mod measure;
 pub mod multizone;
 pub mod parallel;
 pub mod report;
+pub mod scenarios;
 pub mod session;
 pub mod threaded;
 pub mod workload;
 
 pub use chaos::{ChaosEngine, Fault, FaultPlan, ScheduledFault};
-pub use cluster::{ActionExec, Cluster, ClusterConfig, ClusterTickStats};
+pub use cluster::{ActionExec, Cluster, ClusterConfig, ClusterTickStats, JoinOutcome};
 pub use drift::{run_drift_session, CalibrationMode, DriftReport, DriftSessionConfig, RegimeShift};
 pub use measure::{
     calibrate_demo, default_demo_model, measure_bandwidth_params, measure_migration_params,
@@ -30,6 +33,9 @@ pub use measure::{
 };
 pub use multizone::{MultiZoneConfig, MultiZoneWorld, WorldTickStats};
 pub use report::{ascii_chart, csv, table, Series};
+pub use scenarios::{catalogue, run_scenario, Scenario, ScenarioOutcome, ScenarioWorkload};
 pub use session::{run_session, SessionConfig, SessionReport};
 pub use threaded::{run_threaded_session, ThreadedConfig, ThreadedReport};
-pub use workload::{drive, FlashCrowd, PaperSession, Ramp, SineWave, Trace, Workload};
+pub use workload::{
+    drive, FlashCrowd, PaperSession, Ramp, SineWave, Trace, TraceCsvError, Workload,
+};

@@ -1,0 +1,417 @@
+//! Adversarial scenario campaigns — named, seeded stress sessions.
+//!
+//! The §V-B experiments exercise RTF-RMS under a *cooperative* workload:
+//! users arrive at a civilized pace and the cloud always has another
+//! machine. This module curates the opposite — a [`Scenario`] composes a
+//! workload shape ([`ScenarioWorkload`]), a [`FaultPlan`], an optional
+//! [`RegimeShift`] and a machine mix into one reproducible session, and
+//! [`catalogue`] names the campaign the robustness suite runs:
+//!
+//! * `flash_crowd` — an 11× population jump against a pool too small to
+//!   absorb it, forcing `AddReplica` into `OutOfCapacity` and the
+//!   controller into declared degraded mode (admission control + AoI
+//!   fidelity reduction);
+//! * `diurnal` — a day/night sine with a mid-session content patch that
+//!   changes the cost regime under the frozen model;
+//! * `spot_revocation_wave` — a heterogeneous fleet losing machines in a
+//!   correlated burst while boots fail, replaying a recorded ramp;
+//! * `replication_oscillation` — a fast population oscillation around
+//!   the replication trigger, punishing hysteresis-free policies with
+//!   churn.
+//!
+//! [`run_scenario`] executes one (scenario, policy, seed) cell and
+//! returns a [`ScenarioOutcome`] with the leaderboard numbers: threshold
+//! violations, cost, migration churn, shed/queued joins, degraded-mode
+//! engagement and tick-duration tail percentiles, plus an FNV trace
+//! digest so reruns can assert byte-identical behaviour.
+
+use crate::chaos::{Fault, FaultPlan};
+use crate::cluster::{Cluster, ClusterConfig};
+use crate::drift::RegimeShift;
+use crate::workload::{drive, FlashCrowd, SineWave, Trace, Workload};
+use roia_obs::{MetricKey, Tracer};
+use rtf_rms::{ControllerConfig, Policy, ResourcePool};
+
+/// The population driver of a scenario. An owned enum (rather than a
+/// trait object) keeps [`Scenario`] a plain cloneable value.
+#[derive(Debug, Clone)]
+pub enum ScenarioWorkload {
+    /// A step jump in population.
+    FlashCrowd(FlashCrowd),
+    /// A day/night oscillation.
+    SineWave(SineWave),
+    /// A recorded trace replayed against the cluster.
+    Trace(Trace),
+}
+
+impl Workload for ScenarioWorkload {
+    fn target_users(&self, t_secs: f64) -> u32 {
+        match self {
+            ScenarioWorkload::FlashCrowd(w) => w.target_users(t_secs),
+            ScenarioWorkload::SineWave(w) => w.target_users(t_secs),
+            ScenarioWorkload::Trace(w) => w.target_users(t_secs),
+        }
+    }
+}
+
+/// One named adversarial scenario: everything about a stress session
+/// except the policy under test and the seed.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Stable identifier (leaderboard row key).
+    pub name: &'static str,
+    /// One-line description of what the scenario stresses.
+    pub summary: &'static str,
+    /// Session length in ticks (25 ticks = 1 s).
+    pub ticks: u64,
+    /// Maximum joins/leaves per tick the driver issues.
+    pub max_churn_per_tick: u32,
+    /// Replicas booted before the first tick.
+    pub initial_servers: u32,
+    /// How many of the initial replicas run on powerful machines.
+    pub initial_powerful: u32,
+    /// The cloud the controller leases from (small pools are the point
+    /// of the overload scenarios).
+    pub pool: ResourcePool,
+    /// Faults injected during the run, if any. The plan's seed is mixed
+    /// with the run seed so chaos varies across seeds but not reruns.
+    pub chaos: Option<FaultPlan>,
+    /// A mid-session workload regime shift, if any.
+    pub shift: Option<RegimeShift>,
+    /// The population over time.
+    pub workload: ScenarioWorkload,
+}
+
+/// What one (scenario, policy, seed) cell produced — the leaderboard row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Policy name.
+    pub policy: &'static str,
+    /// Run seed.
+    pub seed: u64,
+    /// Ticks simulated.
+    pub ticks: u64,
+    /// Server-ticks at or over the threshold `U`.
+    pub violations: u64,
+    /// Fraction of ticks with at least one violating server.
+    pub violation_rate: f64,
+    /// Cloud cost accrued over the session.
+    pub total_cost: f64,
+    /// Users migrated (churn).
+    pub migrations: u64,
+    /// Join attempts refused outright (degraded-mode shedding).
+    pub shed: u64,
+    /// Join attempts parked in the admission queue.
+    pub queued: u64,
+    /// Declared degraded-mode episodes entered.
+    pub degraded_entries: u64,
+    /// Ticks spent inside a declared degraded episode.
+    pub degraded_ticks: u64,
+    /// 99th-percentile server tick duration, microseconds.
+    pub p99_tick_us: u64,
+    /// 99.9th-percentile server tick duration, microseconds.
+    pub p999_tick_us: u64,
+    /// Peak replica count.
+    pub peak_servers: u32,
+    /// Connected users when the session ended.
+    pub final_users: u32,
+    /// Users still queued when the session ended.
+    pub final_queued: u32,
+    /// FNV-1a digest of the full telemetry trace (rerun stability check).
+    pub trace_hash: u64,
+    /// Events behind the digest.
+    pub trace_events: u64,
+}
+
+impl ScenarioOutcome {
+    /// Composite leaderboard score, lower is better: violations dominate
+    /// (each worth 10), then refused players (1 each), then cost (1 per
+    /// dollar) and churn (1 per 100 migrated users). The weights are a
+    /// reporting convention, not a tuned objective — the raw columns are
+    /// all in the outcome for anyone who weighs differently.
+    pub fn score(&self) -> f64 {
+        self.violations as f64 * 10.0
+            + self.shed as f64
+            + self.total_cost
+            + self.migrations as f64 / 100.0
+    }
+}
+
+/// Runs one scenario under one policy at one seed.
+///
+/// Cost noise is disabled and the tracer is a hashing sink, so two runs
+/// with the same arguments produce byte-identical traces (equal
+/// [`ScenarioOutcome::trace_hash`]) — the property the determinism suite
+/// pins. Under the `strict-invariants` feature every tick additionally
+/// consults the invariant oracle and panics on I1–I8 violations.
+pub fn run_scenario(scenario: &Scenario, policy: Box<dyn Policy>, seed: u64) -> ScenarioOutcome {
+    let policy_name = policy.name();
+    let config = ClusterConfig {
+        seed,
+        cost_noise: 0.0,
+        pool: scenario.pool.clone(),
+        initial_powerful: scenario.initial_powerful,
+        ..ClusterConfig::default()
+    };
+    let tick_interval = config.tick_interval;
+    let mut cluster = Cluster::new(config, scenario.initial_servers);
+    let (tracer, hash) = Tracer::hashing();
+    cluster.set_tracer(tracer);
+    cluster.set_controller(policy, ControllerConfig::default());
+    if let Some(plan) = &scenario.chaos {
+        let mut plan = plan.clone();
+        plan.seed ^= seed;
+        cluster.set_chaos(plan);
+    }
+
+    let mut peak_servers = cluster.server_count();
+    for _ in 0..scenario.ticks {
+        if let Some(shift) = &scenario.shift {
+            if cluster.now() == shift.at_tick {
+                shift.apply(&mut cluster);
+            }
+        }
+        drive(
+            &mut cluster,
+            &scenario.workload,
+            tick_interval,
+            scenario.max_churn_per_tick,
+        );
+        cluster.step();
+        peak_servers = peak_servers.max(cluster.server_count());
+    }
+
+    let metrics = cluster.metrics();
+    let counter = |name| metrics.counter(MetricKey::plain(name));
+    let tick_hist = metrics
+        .histogram(MetricKey::plain("roia_tick_duration_us"))
+        .map(|h| h.snapshot())
+        .unwrap_or_default();
+    let violation_ticks = cluster.history().iter().filter(|h| h.violation).count();
+    let (trace_hash, trace_events) = hash
+        .lock()
+        .map(|h| (h.hash(), h.events()))
+        .unwrap_or((0, 0));
+
+    ScenarioOutcome {
+        scenario: scenario.name,
+        policy: policy_name,
+        seed,
+        ticks: scenario.ticks,
+        violations: cluster.violations(),
+        violation_rate: if scenario.ticks == 0 {
+            0.0
+        } else {
+            violation_ticks as f64 / scenario.ticks as f64
+        },
+        total_cost: cluster.total_cost(),
+        migrations: cluster.total_migrations(),
+        shed: counter("roia_joins_shed_total"),
+        queued: counter("roia_joins_queued_total"),
+        degraded_entries: counter("roia_degraded_entries_total"),
+        degraded_ticks: counter("roia_degraded_ticks_total"),
+        p99_tick_us: tick_hist.p99,
+        p999_tick_us: tick_hist.p999,
+        peak_servers,
+        final_users: cluster.user_count(),
+        final_queued: cluster.queued_users(),
+        trace_hash,
+        trace_events,
+    }
+}
+
+/// The named campaign, scaled to `ticks` per scenario (the bench default
+/// is 7500 — five minutes at 25 Hz; CI smoke runs use 200). Event
+/// placement is proportional to the horizon, so short runs exercise the
+/// same phases as long ones.
+pub fn catalogue(ticks: u64) -> Vec<Scenario> {
+    let ticks = ticks.max(40);
+    let horizon_secs = ticks as f64 * 0.040;
+    let secs = |f: f64| horizon_secs * f;
+    let at_tick = |f: f64| (ticks as f64 * f) as u64;
+
+    vec![
+        Scenario {
+            name: "flash_crowd",
+            summary: "11x population jump against a 4-machine cloud: \
+                      AddReplica exhausts the pool and admission control \
+                      must queue or shed the still-arriving crowd",
+            ticks,
+            max_churn_per_tick: 1,
+            initial_servers: 2,
+            initial_powerful: 0,
+            pool: ResourcePool::new(3, 1, 50, 90_000),
+            chaos: None,
+            shift: None,
+            workload: ScenarioWorkload::FlashCrowd(FlashCrowd {
+                base: 40,
+                crowd: 400,
+                start_secs: secs(0.2),
+                end_secs: secs(0.7),
+            }),
+        },
+        Scenario {
+            name: "diurnal",
+            summary: "day/night sine with a mid-session content patch that \
+                      invalidates the frozen cost calibration",
+            ticks,
+            max_churn_per_tick: 4,
+            initial_servers: 2,
+            initial_powerful: 0,
+            pool: ResourcePool::testbed(),
+            chaos: None,
+            shift: Some(RegimeShift::attack_surge(at_tick(0.5), 40)),
+            workload: ScenarioWorkload::SineWave(SineWave {
+                mean: 120,
+                amplitude: 80,
+                period_secs: secs(0.5),
+            }),
+        },
+        Scenario {
+            name: "spot_revocation_wave",
+            summary: "heterogeneous fleet losing three machines in one \
+                      correlated burst while a third of boots fail",
+            ticks,
+            max_churn_per_tick: 6,
+            initial_servers: 3,
+            initial_powerful: 1,
+            pool: ResourcePool::testbed(),
+            chaos: Some(
+                FaultPlan::quiet(0xD00D)
+                    .with_boot_failures(0.3)
+                    .at(at_tick(0.45), Fault::CrashNth(0))
+                    .at(at_tick(0.45), Fault::CrashNth(1))
+                    .at(at_tick(0.45).saturating_add(5), Fault::CrashNth(2)),
+            ),
+            shift: Some(RegimeShift {
+                at_tick: at_tick(0.6),
+                bots_after: None,
+                npcs_after: None,
+                cost_factor: Some(1.25),
+            }),
+            workload: ScenarioWorkload::Trace(Trace::new(vec![
+                (0.0, 30),
+                (secs(0.25), 150),
+                (secs(0.6), 150),
+                (secs(1.0), 60),
+            ])),
+        },
+        Scenario {
+            name: "replication_oscillation",
+            summary: "fast oscillation around the replication trigger: \
+                      overload/underload flapping punishes hysteresis-free \
+                      scaling",
+            ticks,
+            max_churn_per_tick: 6,
+            initial_servers: 2,
+            initial_powerful: 0,
+            pool: ResourcePool::testbed(),
+            chaos: None,
+            shift: None,
+            workload: ScenarioWorkload::SineWave(SineWave {
+                mean: 90,
+                amplitude: 35,
+                period_secs: secs(0.15),
+            }),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use roia_model::{CostFn, ModelParams, ScalabilityModel};
+    use rtf_rms::{ModelDriven, ModelDrivenConfig};
+
+    fn rough_model() -> ScalabilityModel {
+        let params = ModelParams {
+            t_ua_dser: CostFn::Linear { c0: 4e-6, c1: 5e-9 },
+            t_ua: CostFn::Quadratic {
+                c0: 45e-6,
+                c1: 2.5e-7,
+                c2: 0.0,
+            },
+            t_aoi: CostFn::Quadratic {
+                c0: 5e-6,
+                c1: 2.2e-7,
+                c2: 1e-10,
+            },
+            t_su: CostFn::Linear {
+                c0: 3e-6,
+                c1: 1.5e-7,
+            },
+            t_fa_dser: CostFn::Linear { c0: 2e-6, c1: 1e-9 },
+            t_fa: CostFn::Linear {
+                c0: 20e-6,
+                c1: 1e-9,
+            },
+            t_npc: CostFn::ZERO,
+            t_mig_ini: CostFn::Linear {
+                c0: 0.2e-3,
+                c1: 7e-6,
+            },
+            t_mig_rcv: CostFn::Linear {
+                c0: 0.15e-3,
+                c1: 4e-6,
+            },
+        };
+        ScalabilityModel::new(params, 0.040)
+    }
+
+    fn policy() -> Box<dyn Policy> {
+        Box::new(ModelDriven::new(
+            rough_model(),
+            ModelDrivenConfig::default(),
+        ))
+    }
+
+    #[test]
+    fn catalogue_names_are_distinct_and_scaled() {
+        let cat = catalogue(500);
+        assert_eq!(cat.len(), 4);
+        let mut names: Vec<_> = cat.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 4, "scenario names must be unique");
+        assert!(cat.iter().all(|s| s.ticks == 500));
+        // Short horizons still place events inside the run.
+        for s in catalogue(40) {
+            if let Some(plan) = &s.chaos {
+                assert!(plan.events.iter().all(|e| e.tick < 40));
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_reruns_are_byte_identical() {
+        let cat = catalogue(120);
+        let scenario = &cat[0];
+        let a = run_scenario(scenario, policy(), 7);
+        let b = run_scenario(scenario, policy(), 7);
+        assert_eq!(a, b, "same seed must reproduce the whole outcome");
+        assert!(a.trace_events > 0, "the hashing tracer saw the session");
+        let c = run_scenario(scenario, policy(), 8);
+        assert_ne!(a.trace_hash, c.trace_hash, "different seed, different run");
+    }
+
+    #[test]
+    fn flash_crowd_overwhelms_the_small_pool() {
+        let cat = catalogue(900);
+        let flash = cat
+            .iter()
+            .find(|s| s.name == "flash_crowd")
+            .expect("catalogued");
+        let out = run_scenario(flash, policy(), 11);
+        assert!(
+            out.degraded_entries > 0,
+            "the pool is sized to force degraded mode: {out:?}"
+        );
+        assert!(
+            out.shed + out.queued > 0,
+            "admission control engaged: {out:?}"
+        );
+        assert!(out.peak_servers <= 4, "the pool caps the fleet");
+    }
+}

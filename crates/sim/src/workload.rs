@@ -125,6 +125,13 @@ impl Workload for FlashCrowd {
 /// Drives the cluster toward the workload's target each tick, joining or
 /// disconnecting at most `max_churn_per_tick` users per tick (players do
 /// not all arrive in the same 40 ms in reality either).
+///
+/// Joins go through [`Cluster::request_join`], so a controller in degraded
+/// mode may queue or shed them instead of admitting; queued joins count
+/// toward the current population (they hold a slot and will be admitted on
+/// recovery), while shed joins model players who retry — the workload keeps
+/// demanding the target, and every refused attempt is counted by the
+/// cluster's shed statistics.
 pub fn drive(
     cluster: &mut Cluster,
     workload: &dyn Workload,
@@ -133,14 +140,14 @@ pub fn drive(
 ) {
     let t_secs = cluster.now() as f64 * tick_interval;
     let target = workload.target_users(t_secs);
-    let current = cluster.user_count();
+    let current = cluster.user_count() + cluster.queued_users();
     if target > current {
         for _ in 0..(target - current).min(max_churn_per_tick) {
-            cluster.add_user();
+            cluster.request_join();
         }
     } else if target < current {
         for _ in 0..(current - target).min(max_churn_per_tick) {
-            cluster.remove_user();
+            cluster.request_leave();
         }
     }
 }
@@ -262,6 +269,35 @@ pub struct Trace {
     points: Vec<(f64, u32)>,
 }
 
+/// Why [`Trace::from_csv`] rejected its input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceCsvError {
+    /// 1-based line number of the offending row (0 when the whole file
+    /// contained no data rows).
+    pub line: usize,
+    /// 1-based field number: 1 is the time column, 2 the user count
+    /// (0 when the whole file contained no data rows).
+    pub column: usize,
+    /// Human-readable description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for TraceCsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line == 0 {
+            write!(f, "trace CSV: {}", self.message)
+        } else {
+            write!(
+                f,
+                "trace CSV line {}, column {}: {}",
+                self.line, self.column, self.message
+            )
+        }
+    }
+}
+
+impl std::error::Error for TraceCsvError {}
+
 impl Trace {
     /// Builds a trace from `(t_secs, users)` samples; they are sorted by
     /// time. Panics on an empty input.
@@ -271,28 +307,72 @@ impl Trace {
         Self { points }
     }
 
-    /// Parses a two-column CSV (`t_secs,users`, `#`-comments and a header
-    /// line allowed). Returns `None` if no valid rows are found.
-    pub fn from_csv(text: &str) -> Option<Self> {
+    /// Parses a two-column CSV (`t_secs,users`). `#`-comments and blank
+    /// lines are skipped, and one non-numeric header line is tolerated
+    /// *before* the first data row. Any other unparsable content is an
+    /// error — a recorded trace that silently loses rows replays a
+    /// different session than the one measured.
+    pub fn from_csv(text: &str) -> Result<Self, TraceCsvError> {
         let mut points = Vec::new();
-        for line in text.lines() {
-            let line = line.trim();
+        let mut header_skipped = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
             let mut cols = line.split(',');
-            let (Some(t), Some(u)) = (cols.next(), cols.next()) else {
-                continue;
+            let t_col = cols.next().unwrap_or("");
+            let Some(u_col) = cols.next() else {
+                if points.is_empty() && !header_skipped {
+                    header_skipped = true;
+                    continue;
+                }
+                return Err(TraceCsvError {
+                    line: lineno,
+                    column: 2,
+                    message: "missing `users` field (expected `t_secs,users`)".into(),
+                });
             };
-            if let (Ok(t), Ok(u)) = (t.trim().parse::<f64>(), u.trim().parse::<u32>()) {
-                points.push((t, u));
+            let parsed = (t_col.trim().parse::<f64>(), u_col.trim().parse::<u32>());
+            match parsed {
+                (Ok(t), Ok(u)) => {
+                    if !t.is_finite() {
+                        return Err(TraceCsvError {
+                            line: lineno,
+                            column: 1,
+                            message: format!("non-finite time `{}`", t_col.trim()),
+                        });
+                    }
+                    points.push((t, u));
+                }
+                (t_res, u_res) => {
+                    if points.is_empty() && !header_skipped {
+                        header_skipped = true;
+                        continue;
+                    }
+                    let (column, field, name) = if t_res.is_err() {
+                        (1, t_col.trim(), "time")
+                    } else {
+                        (2, u_col.trim(), "user count")
+                    };
+                    let _ = u_res;
+                    return Err(TraceCsvError {
+                        line: lineno,
+                        column,
+                        message: format!("invalid {name} `{field}`"),
+                    });
+                }
             }
         }
         if points.is_empty() {
-            None
-        } else {
-            Some(Self::new(points))
+            return Err(TraceCsvError {
+                line: 0,
+                column: 0,
+                message: "no data rows".into(),
+            });
         }
+        Ok(Self::new(points))
     }
 
     /// Number of samples.
@@ -356,11 +436,40 @@ mod trace_tests {
 
     #[test]
     fn trace_parses_csv() {
-        let csv = "# a recorded session\nt,users\n0,10\n30,40\n60, 20\nbroken,row\n";
+        let csv = "# a recorded session\nt,users\n0,10\n30,40\n60, 20\n";
         let t = Trace::from_csv(csv).expect("parsed");
         assert_eq!(t.len(), 3);
         assert_eq!(t.target_users(15.0), 25);
-        assert!(Trace::from_csv("# nothing\n").is_none());
+    }
+
+    #[test]
+    fn trace_csv_reports_error_position() {
+        let err = Trace::from_csv("0,10\nbroken,row\n").expect_err("bad time");
+        assert_eq!((err.line, err.column), (2, 1));
+        assert!(err.message.contains("broken"), "{}", err.message);
+        assert!(err.to_string().contains("line 2, column 1"));
+
+        let err = Trace::from_csv("0,10\n30,many\n").expect_err("bad count");
+        assert_eq!((err.line, err.column), (2, 2));
+
+        let err = Trace::from_csv("0,10\n30\n").expect_err("missing field");
+        assert_eq!((err.line, err.column), (2, 2));
+        assert!(err.message.contains("missing"), "{}", err.message);
+    }
+
+    #[test]
+    fn trace_csv_tolerates_one_header_only_before_data() {
+        // A lone header line is fine; a second pre-data junk line is not.
+        assert!(Trace::from_csv("time_secs\n0,10\n").is_ok());
+        let err = Trace::from_csv("t,users\njunk,here\n0,10\n").expect_err("two headers");
+        assert_eq!((err.line, err.column), (2, 1));
+    }
+
+    #[test]
+    fn trace_csv_without_rows_is_an_error() {
+        let err = Trace::from_csv("# nothing\n").expect_err("no rows");
+        assert_eq!((err.line, err.column), (0, 0));
+        assert!(err.to_string().contains("no data rows"));
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! Scenario-campaign pinning: every catalogued adversarial scenario is
+//! deterministic (same seed ⇒ identical outcome and trace digest), the
+//! flash crowd actually forces graceful degradation (admission control
+//! engages, the episode is visible in the trace, and the exit respects
+//! the hysteresis dwell), and — extending invariant I1 — admission
+//! control may refuse *new* joins but never drops a user who already
+//! connected.
+
+use roia::model::{CostFn, ModelParams, ScalabilityModel};
+use roia::obs::{TraceEvent, Tracer};
+use roia::rms::{
+    AdmissionMode, ControllerConfig, DegradedConfig, ModelDriven, ModelDrivenConfig, Policy,
+    ResourcePool,
+};
+use roia::sim::scenarios::{catalogue, run_scenario};
+use roia::sim::{drive, Cluster, ClusterConfig, JoinOutcome, Workload};
+
+fn model() -> ScalabilityModel {
+    let params = ModelParams {
+        t_ua_dser: CostFn::Linear { c0: 4e-6, c1: 5e-9 },
+        t_ua: CostFn::Quadratic {
+            c0: 45e-6,
+            c1: 2.5e-7,
+            c2: 0.0,
+        },
+        t_aoi: CostFn::Quadratic {
+            c0: 5e-6,
+            c1: 2.2e-7,
+            c2: 1e-10,
+        },
+        t_su: CostFn::Linear {
+            c0: 3e-6,
+            c1: 1.5e-7,
+        },
+        t_fa_dser: CostFn::Linear { c0: 2e-6, c1: 1e-9 },
+        t_fa: CostFn::Linear {
+            c0: 20e-6,
+            c1: 1e-9,
+        },
+        t_npc: CostFn::ZERO,
+        t_mig_ini: CostFn::Linear {
+            c0: 0.2e-3,
+            c1: 7e-6,
+        },
+        t_mig_rcv: CostFn::Linear {
+            c0: 0.15e-3,
+            c1: 4e-6,
+        },
+    };
+    ScalabilityModel::new(params, 0.040)
+}
+
+fn policy() -> Box<dyn Policy> {
+    Box::new(ModelDriven::new(model(), ModelDrivenConfig::default()))
+}
+
+/// Same seed, same scenario, run twice: every leaderboard number and the
+/// FNV trace digest must come back identical, for every entry in the
+/// catalogue. `ScenarioOutcome` derives `PartialEq` over all its fields,
+/// so one comparison pins the whole row.
+#[test]
+fn every_catalogue_scenario_is_deterministic() {
+    for scenario in catalogue(250) {
+        let a = run_scenario(&scenario, policy(), 0x5EED);
+        let b = run_scenario(&scenario, policy(), 0x5EED);
+        assert_eq!(a, b, "{}: rerun at the same seed diverged", scenario.name);
+        assert!(
+            a.trace_events > 0,
+            "{}: the hashing tracer saw no events",
+            scenario.name
+        );
+        let c = run_scenario(&scenario, policy(), 0x5EED + 1);
+        assert_ne!(
+            a.trace_hash, c.trace_hash,
+            "{}: a different seed must change the run",
+            scenario.name
+        );
+    }
+}
+
+/// The flash crowd replayed with a ring tracer: degraded mode must
+/// engage while the crowd is still arriving (joins get queued or shed),
+/// the enter/exit pair must be present in the trace with matching cause
+/// ticks, and the exit must respect the hysteresis dwell.
+#[test]
+fn flash_crowd_degrades_gracefully_and_recovers() {
+    let cat = catalogue(900);
+    let scenario = cat
+        .iter()
+        .find(|s| s.name == "flash_crowd")
+        .expect("catalogued");
+    let config = ClusterConfig {
+        seed: 11,
+        cost_noise: 0.0,
+        pool: scenario.pool.clone(),
+        initial_powerful: scenario.initial_powerful,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(config, scenario.initial_servers);
+    let (tracer, ring) = Tracer::ring(200_000);
+    cluster.set_tracer(tracer);
+    cluster.set_controller(policy(), ControllerConfig::default());
+
+    let mut max_queued = 0u32;
+    for _ in 0..scenario.ticks {
+        drive(
+            &mut cluster,
+            &scenario.workload,
+            0.040,
+            scenario.max_churn_per_tick,
+        );
+        cluster.step();
+        max_queued = max_queued.max(cluster.queued_users());
+    }
+
+    let ring = ring.lock().expect("ring sink");
+    let mut enters = Vec::new();
+    let mut exits = Vec::new();
+    let mut throttled = 0u64;
+    for ev in ring.events() {
+        match ev {
+            TraceEvent::DegradedEnter { tick, .. } => enters.push(*tick),
+            TraceEvent::DegradedExit {
+                tick,
+                cause,
+                dwell_ticks,
+                ..
+            } => exits.push((*tick, *cause, *dwell_ticks)),
+            TraceEvent::JoinThrottled { .. } => throttled += 1,
+            _ => {}
+        }
+    }
+
+    assert!(!enters.is_empty(), "the pool is sized to force degradation");
+    assert!(
+        max_queued > 0 || cluster.shed_users() > 0,
+        "admission control engaged while the crowd arrived"
+    );
+    assert!(throttled > 0, "every queue/shed verdict is in the trace");
+    assert!(!exits.is_empty(), "the episode ends once the crowd leaves");
+    let (exit_tick, cause, dwell) = exits[0];
+    assert_eq!(cause, enters[0], "exit pairs with its enter event");
+    assert_eq!(exit_tick - cause, dwell, "dwell accounting is consistent");
+    assert!(
+        dwell >= DegradedConfig::default().min_dwell_ticks,
+        "hysteresis: no exit before the minimum dwell ({dwell} ticks)"
+    );
+    assert!(
+        !cluster.degraded_active(),
+        "the session ends back in normal operation"
+    );
+    // The slow churn (1 leave/tick) can't fully drain the crowd before
+    // the horizon ends, but recovery must be under way: the join queue
+    // is empty and the population is back below the crowd-era target.
+    assert_eq!(cluster.queued_users(), 0, "no user left stranded queued");
+    let crowd_target = scenario.workload.target_users(0.45 * 899.0 * 0.040);
+    assert!(
+        cluster.user_count() < crowd_target,
+        "population is draining back toward the base load ({} < {crowd_target})",
+        cluster.user_count()
+    );
+}
+
+mod admission_conservation {
+    use super::*;
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    /// One externally visible operation against the cluster.
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Join,
+        Leave,
+        Step,
+    }
+
+    fn op() -> BoxedStrategy<Op> {
+        prop_oneof![
+            3 => Just(Op::Join),
+            1 => Just(Op::Leave),
+            2 => Just(Op::Step),
+        ]
+        .boxed()
+    }
+
+    proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Extends I1 (user conservation) across admission control: every
+    /// join request is admitted, queued or shed — and once a user is
+    /// connected (or queued), only an explicit leave removes them. The
+    /// sum `connected + queued` must track the request ledger exactly,
+    /// through degraded entry, queue overflow, shedding and the
+    /// post-episode queue drain.
+    #[test]
+    fn admission_control_never_drops_a_connected_user(
+        ops in vec(op(), 1..120),
+        seed in any::<u16>(),
+        shed_everything in any::<bool>(),
+    ) {
+            // A one-machine cloud with instant-entry degraded mode:
+            // the first AddReplica rejection starts the episode, so
+            // short op sequences exercise the throttling paths.
+            let config = ClusterConfig {
+                seed: u64::from(seed),
+                cost_noise: 0.0,
+                pool: ResourcePool::new(1, 0, 5, 90_000),
+                ..ClusterConfig::default()
+            };
+            let mut cluster = Cluster::new(config, 1);
+            let degraded = DegradedConfig {
+                enter_after_rejections: 1,
+                admission: if shed_everything {
+                    AdmissionMode::Shed
+                } else {
+                    AdmissionMode::Queue { max_depth: 8 }
+                },
+                min_dwell_ticks: 30,
+                ..DegradedConfig::default()
+            };
+            let controller = ControllerConfig {
+                degraded,
+                ..ControllerConfig::default()
+            };
+            cluster.set_controller(super::policy(), controller);
+
+            // Overload the lone server so the controller asks the
+            // exhausted pool for capacity and declares degradation.
+            let mut expected: u64 = 0;
+            for _ in 0..60 {
+                if !matches!(cluster.request_join(), JoinOutcome::Shed) {
+                    expected += 1;
+                }
+            }
+            for _ in 0..55 {
+                cluster.step();
+            }
+            prop_assert_eq!(
+                u64::from(cluster.user_count() + cluster.queued_users()),
+                expected,
+                "preload conserved"
+            );
+
+            for op in ops {
+                match op {
+                    Op::Join => {
+                        if !matches!(cluster.request_join(), JoinOutcome::Shed) {
+                            expected += 1;
+                        }
+                    }
+                    Op::Leave => {
+                        let before = cluster.user_count() + cluster.queued_users();
+                        cluster.request_leave();
+                        if before > 0 {
+                            expected -= 1;
+                        }
+                    }
+                    Op::Step => {
+                        cluster.step();
+                    }
+                }
+                prop_assert_eq!(
+                    u64::from(cluster.user_count() + cluster.queued_users()),
+                    expected,
+                    "a connected or queued user disappeared without a leave"
+                );
+            }
+        }
+    }
+}
