@@ -108,6 +108,10 @@ fn main() {
     let mut throttle_counts: BTreeMap<&'static str, u64> = BTreeMap::new();
     let mut degraded_entries = 0u64;
     let mut fault_count = 0u64;
+    let mut conn_opens = 0u64;
+    let mut close_counts: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut backpressure_onsets = 0u64;
+    let mut corrections = 0u64;
     for ev in &events {
         let t = ev.tick();
         let stamp = format!("t={t:>6} ({:>7.1}s)", secs(t));
@@ -297,6 +301,55 @@ fn main() {
                      #{total} this episode)"
                 );
             }
+            TraceEvent::ConnOpened {
+                peer, transport, ..
+            } => {
+                conn_opens += 1;
+                println!("{stamp}  conn open       peer {peer} ({transport})");
+            }
+            TraceEvent::ConnClosed {
+                cause,
+                peer,
+                reason,
+                ..
+            } => {
+                *close_counts.entry(reason).or_insert(0) += 1;
+                println!(
+                    "{stamp}  conn close      peer {peer}: {reason} \
+                     (opened t={cause}, lived {} ticks)",
+                    t.saturating_sub(*cause)
+                );
+            }
+            TraceEvent::Backpressure {
+                cause,
+                peer,
+                state,
+                queued_bytes,
+                ..
+            } => {
+                if *state == "onset" {
+                    backpressure_onsets += 1;
+                    println!(
+                        "{stamp}  BACKPRESSURE    peer {peer}: onset, \
+                         {queued_bytes} bytes queued"
+                    );
+                } else {
+                    println!(
+                        "{stamp}  backpressure    peer {peer}: relief \
+                         (onset t={cause}, lasted {} ticks)",
+                        t.saturating_sub(*cause)
+                    );
+                }
+            }
+            TraceEvent::ReconcileCorrection {
+                peer, seq, error, ..
+            } => {
+                corrections += 1;
+                println!(
+                    "{stamp}    reconcile     user {peer}: prediction off by \
+                     {error} units at ack seq {seq}"
+                );
+            }
         }
     }
 
@@ -344,5 +397,17 @@ fn main() {
         for (verdict, count) in &throttle_counts {
             println!("  joins {verdict:<12} {count}");
         }
+    }
+    if conn_opens > 0 || !close_counts.is_empty() {
+        println!("connections opened: {conn_opens}");
+        for (reason, count) in &close_counts {
+            println!("  closed {reason:<12} {count}");
+        }
+    }
+    if backpressure_onsets > 0 {
+        println!("backpressure onsets: {backpressure_onsets}");
+    }
+    if corrections > 0 {
+        println!("reconciliation corrections: {corrections}");
     }
 }

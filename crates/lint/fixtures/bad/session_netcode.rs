@@ -1,0 +1,13 @@
+// Golden bad fixture for the transport session hot path: the mistakes
+// the D1/D2/M1 scope extension to `crates/transport/src/session.rs`
+// must catch — an unordered peer map, a wall-clock read inside the tick
+// and a panicking frame decode.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn tick(peers: &mut HashMap<u64, Vec<u8>>, frame: &[u8]) -> f64 {
+    let t0 = Instant::now();
+    let first = peers.values_mut().next().unwrap();
+    first.push(frame[0]);
+    t0.elapsed().as_secs_f64()
+}

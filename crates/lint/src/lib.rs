@@ -17,7 +17,7 @@
 //!
 //! | id | scope | what it forbids |
 //! |----|-------|-----------------|
-//! | D1 | rtf-core, rtf-net, rtf-rms, roia-sim | `HashMap`/`HashSet` |
+//! | D1 | rtf-core, rtf-net, rtf-rms, roia-sim, rtf-transport | `HashMap`/`HashSet` |
 //! | D2 | those + roia-model, roia-fit, roia-autocal, rtfdemo | `Instant`, `SystemTime`, `thread_rng`, `rand::random` |
 //! | M1 | tick & control-round hot-path files | `.unwrap()`, `.expect()`, slice indexing |
 //! | M2 | roia-model, rtf-rms | bare numeric `as` casts |
@@ -43,6 +43,7 @@ const D1_SCOPE: &[&str] = &[
     "crates/net/src",
     "crates/rms/src",
     "crates/sim/src",
+    "crates/transport/src",
 ];
 
 /// Sim/model code paths that must not read wall clocks or ambient
@@ -56,6 +57,7 @@ const D2_SCOPE: &[&str] = &[
     "crates/fit/src",
     "crates/autocal/src",
     "crates/demo/src",
+    "crates/transport/src",
 ];
 
 /// The tick and control-round hot paths (M1). A panic here takes down a
@@ -69,6 +71,7 @@ const M1_SCOPE: &[&str] = &[
     "crates/rms/src/policy",
     "crates/sim/src/cluster.rs",
     "crates/sim/src/parallel.rs",
+    "crates/transport/src/session.rs",
 ];
 
 /// Model-quantity code where bare `as` casts silently corrupt results (M2).
@@ -256,6 +259,17 @@ mod tests {
         );
         let workload = rules_for("crates/sim/src/workload.rs");
         assert!(!workload.contains(&RuleId::M1), "not a hot-path file");
+
+        let session = rules_for("crates/transport/src/session.rs");
+        assert!(session.contains(&RuleId::D1));
+        assert!(
+            session.contains(&RuleId::D2),
+            "netcode must stay clock-free"
+        );
+        assert!(session.contains(&RuleId::M1), "per-tick netcode hot path");
+        let tcp = rules_for("crates/transport/src/tcp.rs");
+        assert!(tcp.contains(&RuleId::D2), "socket I/O clocks need allows");
+        assert!(!tcp.contains(&RuleId::M1), "I/O layer is not the tick path");
     }
 
     #[test]

@@ -117,8 +117,46 @@ fn worker_pool_fixture_fires_d2_and_m1() {
 }
 
 #[test]
+fn session_netcode_fixture_fires_d1_d2_and_m1() {
+    // Scanned with exactly the rules the scope tables route to the
+    // transport session hot path, pinning both the routing and the
+    // detections: an unordered peer map, a tick-path clock read and a
+    // panicking frame decode must all fire.
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join("bad/session_netcode.rs");
+    let src = std::fs::read_to_string(&path).expect("fixture readable");
+    let rules = rules_for("crates/transport/src/session.rs");
+    let f = scan_source("bad/session_netcode.rs", &src, &rules);
+    // Findings interleave by line (the map fires on both its import and
+    // its use), so compare the distinct rule set, not the fired order.
+    let mut distinct = rules_fired(&f);
+    distinct.sort_unstable();
+    distinct.dedup();
+    assert_eq!(distinct, vec!["D1", "D2", "M1"], "{f:?}");
+    assert!(
+        f.iter()
+            .any(|f| f.rule == "D2" && f.line == 9 && f.message.contains("Instant")),
+        "Instant::now in the tick flagged: {f:?}"
+    );
+    assert!(
+        f.iter()
+            .any(|f| f.rule == "M1" && f.line == 10 && f.message.contains(".unwrap()")),
+        "panicking decode flagged: {f:?}"
+    );
+    assert!(
+        f.iter().any(|f| f.rule == "M1" && f.line == 11),
+        "frame[0] indexing flagged: {f:?}"
+    );
+}
+
+#[test]
 fn good_fixtures_scan_clean() {
-    for name in ["good/allowlisted.rs", "good/clean.rs"] {
+    for name in [
+        "good/allowlisted.rs",
+        "good/clean.rs",
+        "good/transport_boundary.rs",
+    ] {
         let f = scan_fixture(name);
         assert!(f.is_empty(), "{name} should be clean: {f:?}");
     }

@@ -125,12 +125,28 @@ impl BusInner {
         if emptied {
             self.pending.remove(&key);
         }
+        // A destination may have unregistered (or dropped its inbox) while
+        // the message was in flight — a real socket close eats those bytes.
+        // The message is still lost traffic, so it must show up in the
+        // link's drop counters rather than vanish silently.
+        let mut lost_msgs = 0u64;
+        let mut lost_bytes = 0u64;
         for msg in due {
-            if let Some(entry) = self.nodes.get(&msg.to) {
-                // A send can only fail if the endpoint was dropped; treat
-                // that as a disconnected node and drop the message, which is
-                // what a real socket close does.
-                let _ = entry.tx.send(msg);
+            let size = msg.payload.len() as u64;
+            let delivered = match self.nodes.get(&msg.to) {
+                Some(entry) => entry.tx.send(msg).is_ok(),
+                None => false,
+            };
+            if !delivered {
+                lost_msgs += 1;
+                lost_bytes += size;
+            }
+        }
+        if lost_msgs > 0 {
+            if let Some(link) = self.links.get_mut(&key) {
+                link.messages_dropped += lost_msgs;
+                // `drain_due` pre-counted these as delivered; undo that.
+                link.bytes_delivered = link.bytes_delivered.saturating_sub(lost_bytes);
             }
         }
     }
@@ -358,7 +374,8 @@ pub struct LinkTraffic {
     pub bytes_delivered: u64,
     /// Messages ever sent on the link.
     pub messages_sent: u64,
-    /// Messages lost to drop probability, partitions or isolation.
+    /// Messages lost to drop probability, partitions, isolation or a
+    /// destination that unregistered while they were in flight.
     pub messages_dropped: u64,
     /// Messages currently in flight.
     pub in_flight: u64,
@@ -694,6 +711,22 @@ mod tests {
             .expect("delivered");
         assert_eq!(&msg.payload[..], b"cross-thread");
         handle.join().unwrap();
+    }
+
+    #[test]
+    fn unregister_midflight_counts_as_dropped() {
+        let bus = Bus::new();
+        let a = bus.register("a");
+        let b = bus.register("b");
+        bus.set_link(a.id(), b.id(), LinkSpec::with_latency(2));
+        a.send(b.id(), Bytes::from(vec![0u8; 16])).unwrap();
+        bus.unregister(b.id());
+        bus.advance(2);
+        let link = bus.stats().link(a.id(), b.id());
+        assert_eq!(link.messages_dropped, 1, "in-flight loss must be counted");
+        assert_eq!(link.bytes_delivered, 0, "nothing reached an inbox");
+        assert_eq!(link.in_flight, 0);
+        assert_eq!(bus.stats().total_dropped(), 1);
     }
 
     #[test]

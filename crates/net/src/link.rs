@@ -101,7 +101,8 @@ pub struct LinkState {
     pub bytes_delivered: u64,
     /// Total messages ever enqueued.
     pub messages_sent: u64,
-    /// Messages lost to drop probability or partitions.
+    /// Messages lost to drop probability, partitions, or a destination
+    /// that unregistered while they were in flight.
     pub messages_dropped: u64,
 }
 

@@ -277,6 +277,56 @@ pub enum TraceEvent {
         /// Total joins throttled (queued + shed) so far this episode.
         total: u32,
     },
+    /// A transport connection opened (socket accepted / bus peer seen).
+    ConnOpened {
+        /// Server session tick the connection appeared at.
+        tick: u64,
+        /// Transport-level peer id.
+        peer: u64,
+        /// Backend that carries it: `tcp` or `bus`.
+        transport: &'static str,
+    },
+    /// A transport connection closed.
+    ConnClosed {
+        /// Server session tick of the close.
+        tick: u64,
+        /// Tick the connection opened (the `cause` id pairing the close
+        /// with its open event).
+        cause: u64,
+        /// Transport-level peer id.
+        peer: u64,
+        /// Why it closed: `eof`, `bye`, `error` or `shutdown`.
+        reason: &'static str,
+    },
+    /// A peer's bounded outbound queue crossed a watermark.
+    Backpressure {
+        /// Server session tick of the transition.
+        tick: u64,
+        /// Tick the pressure began (the `cause` id linking `relief`
+        /// back to its `onset`; equals `tick` for the onset itself).
+        cause: u64,
+        /// Transport-level peer id.
+        peer: u64,
+        /// `onset` (high watermark crossed) or `relief` (drained).
+        state: &'static str,
+        /// Bytes queued at the transition (0 on relief).
+        queued_bytes: u64,
+    },
+    /// Client-side prediction disagreed with the authoritative replay
+    /// and was corrected.
+    ReconcileCorrection {
+        /// Server tick of the snapshot that exposed the divergence.
+        tick: u64,
+        /// Same snapshot tick (the `cause` id of the correction).
+        cause: u64,
+        /// The correcting user id (client traces carry user ids here,
+        /// not transport peer ids).
+        peer: u64,
+        /// Input sequence number the snapshot acked.
+        seq: u32,
+        /// Correction magnitude, Chebyshev world units.
+        error: u64,
+    },
 }
 
 /// Known vocabulary for `&'static str` event fields, so decoded events
@@ -315,6 +365,14 @@ const VOCAB: &[&str] = &[
     "out_of_capacity",
     "queue",
     "shed",
+    "tcp",
+    "bus",
+    "eof",
+    "bye",
+    "error",
+    "shutdown",
+    "onset",
+    "relief",
 ];
 
 /// Map a decoded string onto the static vocabulary (`"unknown"` if
@@ -350,6 +408,10 @@ impl TraceEvent {
             TraceEvent::DegradedEnter { .. } => "degraded_enter",
             TraceEvent::DegradedExit { .. } => "degraded_exit",
             TraceEvent::JoinThrottled { .. } => "join_throttled",
+            TraceEvent::ConnOpened { .. } => "conn_opened",
+            TraceEvent::ConnClosed { .. } => "conn_closed",
+            TraceEvent::Backpressure { .. } => "backpressure",
+            TraceEvent::ReconcileCorrection { .. } => "reconcile_correction",
         }
     }
 
@@ -373,7 +435,11 @@ impl TraceEvent {
             | TraceEvent::RegistrySwap { tick, .. }
             | TraceEvent::DegradedEnter { tick, .. }
             | TraceEvent::DegradedExit { tick, .. }
-            | TraceEvent::JoinThrottled { tick, .. } => *tick,
+            | TraceEvent::JoinThrottled { tick, .. }
+            | TraceEvent::ConnOpened { tick, .. }
+            | TraceEvent::ConnClosed { tick, .. }
+            | TraceEvent::Backpressure { tick, .. }
+            | TraceEvent::ReconcileCorrection { tick, .. } => *tick,
         }
     }
 
@@ -618,6 +684,56 @@ impl TraceEvent {
                 ("verdict", string(verdict)),
                 ("total", uint(*total as u64)),
             ]),
+            TraceEvent::ConnOpened {
+                tick,
+                peer,
+                transport,
+            } => object(&[
+                ev,
+                ("tick", uint(*tick)),
+                ("peer", uint(*peer)),
+                ("transport", string(transport)),
+            ]),
+            TraceEvent::ConnClosed {
+                tick,
+                cause,
+                peer,
+                reason,
+            } => object(&[
+                ev,
+                ("tick", uint(*tick)),
+                ("cause", uint(*cause)),
+                ("peer", uint(*peer)),
+                ("reason", string(reason)),
+            ]),
+            TraceEvent::Backpressure {
+                tick,
+                cause,
+                peer,
+                state,
+                queued_bytes,
+            } => object(&[
+                ev,
+                ("tick", uint(*tick)),
+                ("cause", uint(*cause)),
+                ("peer", uint(*peer)),
+                ("state", string(state)),
+                ("queued_bytes", uint(*queued_bytes)),
+            ]),
+            TraceEvent::ReconcileCorrection {
+                tick,
+                cause,
+                peer,
+                seq,
+                error,
+            } => object(&[
+                ev,
+                ("tick", uint(*tick)),
+                ("cause", uint(*cause)),
+                ("peer", uint(*peer)),
+                ("seq", uint(*seq as u64)),
+                ("error", uint(*error)),
+            ]),
         }
     }
 
@@ -767,6 +883,31 @@ impl TraceEvent {
                 verdict: str_of("verdict")?,
                 total: u32_of("total")?,
             }),
+            "conn_opened" => Some(TraceEvent::ConnOpened {
+                tick: u64_of("tick")?,
+                peer: u64_of("peer")?,
+                transport: str_of("transport")?,
+            }),
+            "conn_closed" => Some(TraceEvent::ConnClosed {
+                tick: u64_of("tick")?,
+                cause: u64_of("cause")?,
+                peer: u64_of("peer")?,
+                reason: str_of("reason")?,
+            }),
+            "backpressure" => Some(TraceEvent::Backpressure {
+                tick: u64_of("tick")?,
+                cause: u64_of("cause")?,
+                peer: u64_of("peer")?,
+                state: str_of("state")?,
+                queued_bytes: u64_of("queued_bytes")?,
+            }),
+            "reconcile_correction" => Some(TraceEvent::ReconcileCorrection {
+                tick: u64_of("tick")?,
+                cause: u64_of("cause")?,
+                peer: u64_of("peer")?,
+                seq: u32_of("seq")?,
+                error: u64_of("error")?,
+            }),
             _ => None,
         }
     }
@@ -865,6 +1006,38 @@ mod tests {
                 dwell_ticks: 500,
                 queued: 7,
                 shed: 0,
+            },
+            TraceEvent::ConnOpened {
+                tick: 12,
+                peer: 3,
+                transport: "tcp",
+            },
+            TraceEvent::ConnClosed {
+                tick: 480,
+                cause: 12,
+                peer: 3,
+                reason: "bye",
+            },
+            TraceEvent::Backpressure {
+                tick: 200,
+                cause: 200,
+                peer: 3,
+                state: "onset",
+                queued_bytes: 262200,
+            },
+            TraceEvent::Backpressure {
+                tick: 208,
+                cause: 200,
+                peer: 3,
+                state: "relief",
+                queued_bytes: 0,
+            },
+            TraceEvent::ReconcileCorrection {
+                tick: 310,
+                cause: 310,
+                peer: 42,
+                seq: 87,
+                error: 16,
             },
         ]
     }

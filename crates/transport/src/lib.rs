@@ -1,0 +1,261 @@
+//! # rtf-transport — socket transport and the client-side latency toolkit
+//!
+//! The Real-Time Framework paper charges Eq. (1) with serialization and
+//! state-update terms (`t_ser`, `t_su`) that the rest of this workspace
+//! only ever exercises over the in-process [`rtf_net::Bus`] — no real
+//! bytes ever cross a real link. This crate closes that gap:
+//!
+//! * [`Transport`] — a backend-agnostic frame transport. One server-side
+//!   implementation accepts peers, one client-side implementation speaks
+//!   to a single server (peer [`SERVER_PEER`]).
+//! * [`bus`] — the deterministic in-process backend over `rtf_net`,
+//!   unchanged bus semantics. Lock-step tests and digest checks run here.
+//! * [`tcp`] — a real non-blocking TCP backend over `std::net` (zero new
+//!   dependencies): readiness loop, per-connection send budgets, bounded
+//!   outbound queues, and explicit backpressure surfaced as events.
+//! * [`proto`] — the session wire protocol: sequenced input frames with
+//!   acks and server snapshots with delta baselines, encoded with
+//!   [`rtf_core::wire`].
+//! * [`session`] — [`session::ServerSession`] (authoritative world,
+//!   per-peer input acks, lag-compensation history ring) and
+//!   [`session::ClientSession`] (prediction, reconciliation against acked
+//!   sequence numbers, snapshot interpolation).
+//!
+//! Both backends account every frame identically — payload bytes plus
+//! [`FRAME_OVERHEAD`] — so measured traffic can be compared against the
+//! analytic Eq. (1) serialization volume regardless of backend (the
+//! `netdemo` bench does exactly that over localhost TCP).
+
+#![warn(missing_docs)]
+
+pub mod bus;
+pub mod proto;
+pub mod session;
+pub mod tcp;
+
+use bytes::Bytes;
+use std::fmt;
+
+/// Transport-level identifier of one remote peer. Server transports
+/// allocate these densely from 1; client transports talk to the single
+/// peer [`SERVER_PEER`].
+pub type PeerId = u64;
+
+/// The peer id a client-side transport uses for its server.
+pub const SERVER_PEER: PeerId = 0;
+
+/// Per-frame overhead both backends charge on top of the payload (the
+/// TCP backend's `u32` length prefix; the bus backend charges the same
+/// so byte accounting is backend-independent).
+pub const FRAME_OVERHEAD: u64 = 4;
+
+/// Why a connection closed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseReason {
+    /// The remote side closed the stream (TCP EOF / endpoint gone).
+    Eof,
+    /// The session said goodbye cleanly.
+    Bye,
+    /// An I/O or framing error killed the connection.
+    Error,
+    /// The local side is shutting down.
+    Shutdown,
+}
+
+impl CloseReason {
+    /// Stable vocabulary word for traces.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CloseReason::Eof => "eof",
+            CloseReason::Bye => "bye",
+            CloseReason::Error => "error",
+            CloseReason::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Errors a [`Transport`] can raise on the send path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer id is not (or no longer) connected.
+    UnknownPeer(PeerId),
+    /// The peer's bounded outbound queue is full; the frame was NOT
+    /// queued. The caller decides what to degrade (the session skips the
+    /// snapshot and schedules a keyframe resync instead of disconnecting).
+    Backpressure {
+        /// The peer whose queue is full.
+        peer: PeerId,
+        /// Bytes currently queued for it.
+        queued_bytes: u64,
+    },
+    /// The frame exceeds the backend's maximum frame size.
+    FrameTooLarge {
+        /// Offered payload length.
+        len: usize,
+        /// Backend maximum.
+        max: usize,
+    },
+    /// An underlying I/O error (TCP backend only).
+    Io(String),
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::UnknownPeer(p) => write!(f, "unknown peer {p}"),
+            TransportError::Backpressure { peer, queued_bytes } => {
+                write!(
+                    f,
+                    "backpressure on peer {peer} ({queued_bytes} bytes queued)"
+                )
+            }
+            TransportError::FrameTooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds max {max}")
+            }
+            TransportError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Events a [`Transport`] surfaces from [`Transport::poll`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportEvent {
+    /// A new peer connected (server transports) or the connection to the
+    /// server became usable (client transports).
+    Opened {
+        /// The new peer.
+        peer: PeerId,
+    },
+    /// One complete frame arrived from a peer.
+    Frame {
+        /// Sending peer.
+        peer: PeerId,
+        /// Frame payload (without the length prefix).
+        payload: Bytes,
+    },
+    /// A peer's connection closed; no further events for this peer.
+    Closed {
+        /// The closed peer.
+        peer: PeerId,
+        /// Why it closed.
+        reason: CloseReason,
+    },
+    /// The peer's outbound queue crossed its high watermark; sends may
+    /// start failing with [`TransportError::Backpressure`].
+    BackpressureOn {
+        /// The congested peer.
+        peer: PeerId,
+        /// Bytes queued when the watermark tripped.
+        queued_bytes: u64,
+    },
+    /// The peer's outbound queue drained below its low watermark.
+    BackpressureOff {
+        /// The recovered peer.
+        peer: PeerId,
+    },
+}
+
+/// Wire-level byte accounting for one connection (or summed over all of
+/// them). `bytes_*` include [`FRAME_OVERHEAD`] per frame.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Bytes received.
+    pub bytes_in: u64,
+    /// Bytes accepted for sending (queued or written).
+    pub bytes_out: u64,
+    /// Frames received.
+    pub frames_in: u64,
+    /// Frames accepted for sending.
+    pub frames_out: u64,
+    /// Sends rejected by [`TransportError::Backpressure`].
+    pub send_rejections: u64,
+}
+
+impl ConnStats {
+    /// Accumulates `other` into `self` (for totals across connections).
+    pub fn merge(&mut self, other: &ConnStats) {
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+        self.frames_in += other.frames_in;
+        self.frames_out += other.frames_out;
+        self.send_rejections += other.send_rejections;
+    }
+}
+
+/// A frame-oriented, poll-driven transport.
+///
+/// Implementations never block: [`Transport::poll`] performs whatever
+/// I/O is currently possible (accepting, reading, flushing bounded
+/// outbound queues under a per-poll send budget) and appends the
+/// resulting [`TransportEvent`]s. [`Transport::send`] only queues — a
+/// full queue is reported as [`TransportError::Backpressure`] rather
+/// than blocking or dropping silently.
+pub trait Transport {
+    /// Backend name for traces: `"bus"` or `"tcp"`.
+    fn kind(&self) -> &'static str;
+
+    /// Runs one readiness pass and appends events in arrival order.
+    fn poll(&mut self, events: &mut Vec<TransportEvent>);
+
+    /// Queues one frame for `peer`.
+    fn send(&mut self, peer: PeerId, frame: Bytes) -> Result<(), TransportError>;
+
+    /// Closes `peer` locally. Idempotent; unknown peers are ignored.
+    fn close(&mut self, peer: PeerId, reason: CloseReason);
+
+    /// Currently open peers, ascending.
+    fn peers(&self) -> Vec<PeerId>;
+
+    /// Byte accounting for one peer (`None` if never seen).
+    fn stats(&self, peer: PeerId) -> Option<ConnStats>;
+
+    /// Byte accounting summed over every connection this transport ever
+    /// carried (closed ones included).
+    fn total_stats(&self) -> ConnStats;
+
+    /// Zeroes all counters (e.g. at the start of a measurement window).
+    fn reset_stats(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn close_reason_vocabulary_is_stable() {
+        assert_eq!(CloseReason::Eof.as_str(), "eof");
+        assert_eq!(CloseReason::Bye.as_str(), "bye");
+        assert_eq!(CloseReason::Error.as_str(), "error");
+        assert_eq!(CloseReason::Shutdown.as_str(), "shutdown");
+    }
+
+    #[test]
+    fn conn_stats_merge_sums_fields() {
+        let mut a = ConnStats {
+            bytes_in: 1,
+            bytes_out: 2,
+            frames_in: 3,
+            frames_out: 4,
+            send_rejections: 5,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.bytes_in, 2);
+        assert_eq!(a.bytes_out, 4);
+        assert_eq!(a.frames_in, 6);
+        assert_eq!(a.frames_out, 8);
+        assert_eq!(a.send_rejections, 10);
+    }
+
+    #[test]
+    fn errors_render() {
+        let e = TransportError::Backpressure {
+            peer: 3,
+            queued_bytes: 4096,
+        };
+        assert!(e.to_string().contains("backpressure"));
+        assert!(TransportError::UnknownPeer(9).to_string().contains('9'));
+    }
+}

@@ -1,0 +1,366 @@
+//! The client/server session wire protocol.
+//!
+//! Everything is encoded with [`rtf_core::wire`] (compact little-endian),
+//! one message per transport frame. The shapes follow the classic
+//! authoritative-server netcode loop:
+//!
+//! * clients send [`InputFrame`]s carrying a monotonically increasing
+//!   `seq` and the server tick the client was *viewing* when it acted
+//!   (`view_tick`, consumed by lag compensation);
+//! * the server answers with [`Snapshot`]s that ack the last applied
+//!   input `seq` per receiver and carry either the full world
+//!   (`baseline == 0`, a keyframe) or only the entities changed since
+//!   the `baseline` tick (a delta).
+//!
+//! The byte-size constants at the bottom are the protocol's analytic
+//! serialization volume — `netdemo` plugs them into
+//! `roia_model::bandwidth::BandwidthParams` to predict Eq. (1)-style
+//! traffic and compares against measured socket bytes.
+
+use rtf_core::wire::{Wire, WireError, WireReader, WireWriter};
+
+/// Protocol version carried in [`ClientMsg::Hello`].
+pub const PROTO_VERSION: u8 = 1;
+
+/// `attack` value meaning "no attack this frame".
+pub const NO_TARGET: u64 = u64::MAX;
+
+/// One sequenced client input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InputFrame {
+    /// Client-assigned sequence number, strictly increasing per session.
+    pub seq: u32,
+    /// The server tick the client was rendering when it issued this
+    /// input — the rewind point for lag compensation.
+    pub view_tick: u64,
+    /// Movement on x, in steps of `SessionConfig::move_step`.
+    pub dx: i8,
+    /// Movement on y.
+    pub dy: i8,
+    /// Entity id under attack, or [`NO_TARGET`].
+    pub attack: u64,
+}
+
+impl Wire for InputFrame {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u32(self.seq);
+        w.put_u64(self.view_tick);
+        w.put_u8(self.dx as u8);
+        w.put_u8(self.dy as u8);
+        w.put_u64(self.attack);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(InputFrame {
+            seq: r.get_u32()?,
+            view_tick: r.get_u64()?,
+            dx: r.get_u8()? as i8,
+            dy: r.get_u8()? as i8,
+            attack: r.get_u64()?,
+        })
+    }
+}
+
+/// Authoritative state of one entity as serialized to clients.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntityState {
+    /// Entity (user) id.
+    pub id: u64,
+    /// World x position (integer world units — positions are integral so
+    /// prediction can be compared exactly across processes).
+    pub x: i32,
+    /// World y position.
+    pub y: i32,
+    /// Hit points.
+    pub health: i16,
+}
+
+impl Wire for EntityState {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.id);
+        w.put_u32(self.x as u32);
+        w.put_u32(self.y as u32);
+        w.put_u16(self.health as u16);
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(EntityState {
+            id: r.get_u64()?,
+            x: r.get_u32()? as i32,
+            y: r.get_u32()? as i32,
+            health: r.get_u16()? as i16,
+        })
+    }
+}
+
+/// One server → client state update.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Server tick this snapshot describes.
+    pub tick: u64,
+    /// Tick the delta is relative to, or 0 for a keyframe carrying the
+    /// full world. (Tick 0 never carries a snapshot, so 0 is free.)
+    pub baseline: u64,
+    /// Last input `seq` of the *receiving* client the server had applied
+    /// when it built this snapshot — the reconciliation ack.
+    pub ack_seq: u32,
+    /// Changed entities (all entities for a keyframe).
+    pub entries: Vec<EntityState>,
+    /// Entities that left the world since the baseline.
+    pub removed: Vec<u64>,
+}
+
+impl Wire for Snapshot {
+    fn encode(&self, w: &mut WireWriter) {
+        w.put_u64(self.tick);
+        w.put_u64(self.baseline);
+        w.put_u32(self.ack_seq);
+        debug_assert!(self.entries.len() <= u16::MAX as usize);
+        debug_assert!(self.removed.len() <= u16::MAX as usize);
+        w.put_u16(self.entries.len() as u16);
+        for e in &self.entries {
+            e.encode(w);
+        }
+        w.put_u16(self.removed.len() as u16);
+        for id in &self.removed {
+            w.put_u64(*id);
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        let tick = r.get_u64()?;
+        let baseline = r.get_u64()?;
+        let ack_seq = r.get_u32()?;
+        let n = r.get_u16()?;
+        let mut entries = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            entries.push(EntityState::decode(r)?);
+        }
+        let n = r.get_u16()?;
+        let mut removed = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            removed.push(r.get_u64()?);
+        }
+        Ok(Snapshot {
+            tick,
+            baseline,
+            ack_seq,
+            entries,
+            removed,
+        })
+    }
+}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientMsg {
+    /// Join the session as `user`.
+    Hello {
+        /// The user id joining.
+        user: u64,
+        /// Protocol version ([`PROTO_VERSION`]).
+        version: u8,
+    },
+    /// One sequenced input.
+    Input(InputFrame),
+    /// Clean goodbye.
+    Bye,
+}
+
+const TAG_HELLO: u8 = 1;
+const TAG_INPUT: u8 = 2;
+const TAG_BYE: u8 = 3;
+
+impl Wire for ClientMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            ClientMsg::Hello { user, version } => {
+                w.put_u8(TAG_HELLO);
+                w.put_u64(*user);
+                w.put_u8(*version);
+            }
+            ClientMsg::Input(frame) => {
+                w.put_u8(TAG_INPUT);
+                frame.encode(w);
+            }
+            ClientMsg::Bye => w.put_u8(TAG_BYE),
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            TAG_HELLO => Ok(ClientMsg::Hello {
+                user: r.get_u64()?,
+                version: r.get_u8()?,
+            }),
+            TAG_INPUT => Ok(ClientMsg::Input(InputFrame::decode(r)?)),
+            TAG_BYE => Ok(ClientMsg::Bye),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerMsg {
+    /// Hello accepted; carries the spawn state so client prediction
+    /// starts from the authoritative position.
+    Welcome {
+        /// The admitted user.
+        user: u64,
+        /// Server tick of admission.
+        tick: u64,
+        /// Spawn x.
+        x: i32,
+        /// Spawn y.
+        y: i32,
+    },
+    /// One state update.
+    Snapshot(Snapshot),
+}
+
+const TAG_WELCOME: u8 = 1;
+const TAG_SNAPSHOT: u8 = 2;
+
+impl Wire for ServerMsg {
+    fn encode(&self, w: &mut WireWriter) {
+        match self {
+            ServerMsg::Welcome { user, tick, x, y } => {
+                w.put_u8(TAG_WELCOME);
+                w.put_u64(*user);
+                w.put_u64(*tick);
+                w.put_u32(*x as u32);
+                w.put_u32(*y as u32);
+            }
+            ServerMsg::Snapshot(s) => {
+                w.put_u8(TAG_SNAPSHOT);
+                s.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.get_u8()? {
+            TAG_WELCOME => Ok(ServerMsg::Welcome {
+                user: r.get_u64()?,
+                tick: r.get_u64()?,
+                x: r.get_u32()? as i32,
+                y: r.get_u32()? as i32,
+            }),
+            TAG_SNAPSHOT => Ok(ServerMsg::Snapshot(Snapshot::decode(r)?)),
+            t => Err(WireError::BadTag(t)),
+        }
+    }
+}
+
+/// Serialized size of one [`EntityState`] (id + x + y + health).
+pub const ENTITY_STATE_BYTES: u64 = 8 + 4 + 4 + 2;
+
+/// Serialized size of a [`ServerMsg::Snapshot`] with zero entries and
+/// zero removals (tag + tick + baseline + ack + two counts).
+pub const SNAPSHOT_OVERHEAD_BYTES: u64 = 1 + 8 + 8 + 4 + 2 + 2;
+
+/// Serialized size of a [`ClientMsg::Input`] (tag + frame).
+pub const INPUT_MSG_BYTES: u64 = 1 + 4 + 8 + 1 + 1 + 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn input_round_trips_including_negatives() {
+        let f = InputFrame {
+            seq: 7,
+            view_tick: 41,
+            dx: -1,
+            dy: 1,
+            attack: NO_TARGET,
+        };
+        let msg = ClientMsg::Input(f);
+        assert_eq!(ClientMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+        assert_eq!(msg.to_bytes().len() as u64, INPUT_MSG_BYTES);
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_sizes_match_constants() {
+        let s = Snapshot {
+            tick: 100,
+            baseline: 99,
+            ack_seq: 55,
+            entries: vec![
+                EntityState {
+                    id: 1,
+                    x: -64,
+                    y: 2048,
+                    health: -5,
+                },
+                EntityState {
+                    id: 2,
+                    x: 0,
+                    y: 0,
+                    health: 100,
+                },
+            ],
+            removed: vec![9],
+        };
+        let msg = ServerMsg::Snapshot(s.clone());
+        let bytes = msg.to_bytes();
+        assert_eq!(
+            bytes.len() as u64,
+            SNAPSHOT_OVERHEAD_BYTES + 2 * ENTITY_STATE_BYTES + 8
+        );
+        assert_eq!(ServerMsg::from_bytes(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn hello_welcome_bye_round_trip() {
+        for msg in [
+            ClientMsg::Hello {
+                user: 42,
+                version: PROTO_VERSION,
+            },
+            ClientMsg::Bye,
+        ] {
+            assert_eq!(ClientMsg::from_bytes(&msg.to_bytes()).unwrap(), msg);
+        }
+        let w = ServerMsg::Welcome {
+            user: 42,
+            tick: 3,
+            x: -10,
+            y: 10,
+        };
+        assert_eq!(ServerMsg::from_bytes(&w.to_bytes()).unwrap(), w);
+    }
+
+    #[test]
+    fn bad_tags_are_rejected() {
+        assert_eq!(
+            ClientMsg::from_bytes(&[99]).unwrap_err(),
+            WireError::BadTag(99)
+        );
+        assert_eq!(
+            ServerMsg::from_bytes(&[0]).unwrap_err(),
+            WireError::BadTag(0)
+        );
+    }
+
+    #[test]
+    fn truncated_snapshot_fails_cleanly() {
+        let msg = ServerMsg::Snapshot(Snapshot {
+            tick: 5,
+            baseline: 0,
+            ack_seq: 1,
+            entries: vec![EntityState {
+                id: 3,
+                x: 1,
+                y: 2,
+                health: 3,
+            }],
+            removed: vec![],
+        });
+        let bytes = msg.to_bytes();
+        for cut in 1..bytes.len() {
+            assert!(ServerMsg::from_bytes(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+}

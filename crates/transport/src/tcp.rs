@@ -1,0 +1,682 @@
+//! The real non-blocking TCP backend over `std::net` — zero new
+//! dependencies.
+//!
+//! Frames are `u32` little-endian length-prefixed payloads. Every socket
+//! runs non-blocking; [`Transport::poll`] is the readiness loop: accept
+//! whatever is pending, read whole frames out of per-connection receive
+//! buffers, and flush bounded outbound queues under a per-poll *send
+//! budget* ([`TcpConfig::send_budget_per_poll`]). A queue that exceeds
+//! [`TcpConfig::max_queue_bytes`] rejects further sends with
+//! [`TransportError::Backpressure`] and surfaces
+//! [`TransportEvent::BackpressureOn`]; once the flusher drains it below
+//! [`TcpConfig::low_watermark`], [`TransportEvent::BackpressureOff`]
+//! reports relief. Nothing here ever blocks the tick loop and nothing is
+//! dropped silently.
+//!
+//! This file is the workspace's only real-clock I/O boundary; the lone
+//! `Instant` use (connect retry deadline) carries a justified nondet
+//! suppression, keeping roia-lint's D2 rule armed for everything else.
+
+use crate::{CloseReason, ConnStats, PeerId, Transport, TransportError, TransportEvent};
+use crate::{FRAME_OVERHEAD, SERVER_PEER};
+use bytes::Bytes;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Tuning knobs of the TCP backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpConfig {
+    /// Maximum payload bytes per frame; larger sends fail with
+    /// [`TransportError::FrameTooLarge`] and larger received prefixes
+    /// close the connection as corrupt.
+    pub max_frame: usize,
+    /// Bound on one connection's outbound queue (length prefixes
+    /// included). Sends that would exceed it are rejected with
+    /// [`TransportError::Backpressure`].
+    pub max_queue_bytes: usize,
+    /// Bytes one [`Transport::poll`] may write per connection — the
+    /// send budget that keeps a slow reader from monopolizing the tick.
+    pub send_budget_per_poll: usize,
+    /// Queue level at which backpressure relief is announced.
+    pub low_watermark: usize,
+    /// Whether to set `TCP_NODELAY` (on by default: snapshots are
+    /// latency-sensitive and already batched per tick).
+    pub nodelay: bool,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        Self {
+            max_frame: 1 << 20,
+            max_queue_bytes: 256 * 1024,
+            send_budget_per_poll: 64 * 1024,
+            low_watermark: 64 * 1024,
+            nodelay: true,
+        }
+    }
+}
+
+/// One live connection: stream, receive buffer, bounded outbound queue.
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wqueue: VecDeque<Vec<u8>>,
+    wqueue_bytes: usize,
+    woffset: usize,
+    stats: ConnStats,
+    backpressured: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            rbuf: Vec::new(),
+            wqueue: VecDeque::new(),
+            wqueue_bytes: 0,
+            woffset: 0,
+            stats: ConnStats::default(),
+            backpressured: false,
+        }
+    }
+
+    /// Queues one frame, enforcing the queue bound. A first rejection
+    /// pushes the backpressure-onset event onto `pending` (surfaced by
+    /// the next poll).
+    fn enqueue(
+        &mut self,
+        peer: PeerId,
+        frame: &[u8],
+        cfg: &TcpConfig,
+        pending: &mut Vec<TransportEvent>,
+    ) -> Result<(), TransportError> {
+        if frame.len() > cfg.max_frame {
+            return Err(TransportError::FrameTooLarge {
+                len: frame.len(),
+                max: cfg.max_frame,
+            });
+        }
+        let total = frame.len() + FRAME_OVERHEAD as usize;
+        if self.wqueue_bytes + total > cfg.max_queue_bytes {
+            self.stats.send_rejections += 1;
+            if !self.backpressured {
+                self.backpressured = true;
+                pending.push(TransportEvent::BackpressureOn {
+                    peer,
+                    queued_bytes: self.wqueue_bytes as u64,
+                });
+            }
+            return Err(TransportError::Backpressure {
+                peer,
+                queued_bytes: self.wqueue_bytes as u64,
+            });
+        }
+        let mut buf = Vec::with_capacity(total);
+        buf.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        buf.extend_from_slice(frame);
+        self.wqueue.push_back(buf);
+        self.wqueue_bytes += total;
+        self.stats.bytes_out += total as u64;
+        self.stats.frames_out += 1;
+        Ok(())
+    }
+
+    /// Reads everything currently available, extracting whole frames.
+    /// Returns `Some(reason)` when the connection must close.
+    fn read_frames(
+        &mut self,
+        peer: PeerId,
+        cfg: &TcpConfig,
+        events: &mut Vec<TransportEvent>,
+    ) -> Option<CloseReason> {
+        let mut chunk = [0u8; 16 * 1024];
+        let close = loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => break Some(CloseReason::Eof),
+                Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break None,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break Some(CloseReason::Error),
+            }
+        };
+        let mut consumed = 0usize;
+        let mut corrupt = false;
+        while self.rbuf.len() - consumed >= FRAME_OVERHEAD as usize {
+            let mut prefix = [0u8; 4];
+            prefix.copy_from_slice(&self.rbuf[consumed..consumed + 4]);
+            let len = u32::from_le_bytes(prefix) as usize;
+            if len > cfg.max_frame {
+                corrupt = true;
+                break;
+            }
+            if self.rbuf.len() - consumed < 4 + len {
+                break;
+            }
+            let payload = Bytes::copy_from_slice(&self.rbuf[consumed + 4..consumed + 4 + len]);
+            consumed += 4 + len;
+            self.stats.bytes_in += len as u64 + FRAME_OVERHEAD;
+            self.stats.frames_in += 1;
+            events.push(TransportEvent::Frame { peer, payload });
+        }
+        self.rbuf.drain(..consumed);
+        if corrupt {
+            return Some(CloseReason::Error);
+        }
+        close
+    }
+
+    /// Flushes the outbound queue under the per-poll send budget.
+    /// Returns `Some(reason)` when the connection must close.
+    fn flush(
+        &mut self,
+        peer: PeerId,
+        cfg: &TcpConfig,
+        events: &mut Vec<TransportEvent>,
+    ) -> Option<CloseReason> {
+        let mut budget = cfg.send_budget_per_poll;
+        while budget > 0 {
+            let Some(front) = self.wqueue.front() else {
+                break;
+            };
+            let remaining = front.len() - self.woffset;
+            let attempt = remaining.min(budget);
+            match self
+                .stream
+                .write(&front[self.woffset..self.woffset + attempt])
+            {
+                Ok(0) => break,
+                Ok(n) => {
+                    self.woffset += n;
+                    budget -= n;
+                    if self.woffset == front.len() {
+                        self.wqueue_bytes -= front.len();
+                        self.wqueue.pop_front();
+                        self.woffset = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return Some(CloseReason::Error),
+            }
+        }
+        if self.backpressured && self.wqueue_bytes <= cfg.low_watermark {
+            self.backpressured = false;
+            events.push(TransportEvent::BackpressureOff { peer });
+        }
+        None
+    }
+}
+
+fn configure_stream(stream: &TcpStream, cfg: &TcpConfig) -> io::Result<()> {
+    stream.set_nonblocking(true)?;
+    // NODELAY failing is not fatal — it only costs latency.
+    let _ = stream.set_nodelay(cfg.nodelay);
+    Ok(())
+}
+
+/// Server-side TCP transport: one listener, many peers.
+pub struct TcpServerTransport {
+    listener: TcpListener,
+    cfg: TcpConfig,
+    conns: BTreeMap<PeerId, Conn>,
+    next_peer: PeerId,
+    closed_total: ConnStats,
+    pending: Vec<TransportEvent>,
+}
+
+impl TcpServerTransport {
+    /// Binds a non-blocking listener on `addr` (use port 0 for an
+    /// ephemeral port, then read it back with
+    /// [`local_addr`](Self::local_addr)).
+    pub fn bind(addr: impl ToSocketAddrs, cfg: TcpConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        Ok(Self {
+            listener,
+            cfg,
+            conns: BTreeMap::new(),
+            next_peer: SERVER_PEER + 1,
+            closed_total: ConnStats::default(),
+            pending: Vec::new(),
+        })
+    }
+
+    /// The bound address (clients connect here).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    fn accept_pending(&mut self, events: &mut Vec<TransportEvent>) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if configure_stream(&stream, &self.cfg).is_err() {
+                        continue;
+                    }
+                    let peer = self.next_peer;
+                    self.next_peer += 1;
+                    self.conns.insert(peer, Conn::new(stream));
+                    events.push(TransportEvent::Opened { peer });
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn retire(&mut self, peer: PeerId, reason: CloseReason, events: &mut Vec<TransportEvent>) {
+        if let Some(conn) = self.conns.remove(&peer) {
+            self.closed_total.merge(&conn.stats);
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            events.push(TransportEvent::Closed { peer, reason });
+        }
+    }
+}
+
+impl Transport for TcpServerTransport {
+    fn kind(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn poll(&mut self, events: &mut Vec<TransportEvent>) {
+        events.append(&mut self.pending);
+        self.accept_pending(events);
+        let peers: Vec<PeerId> = self.conns.keys().copied().collect();
+        for peer in peers {
+            let mut verdict = None;
+            if let Some(conn) = self.conns.get_mut(&peer) {
+                verdict = conn.read_frames(peer, &self.cfg, events);
+                if verdict.is_none() {
+                    verdict = conn.flush(peer, &self.cfg, events);
+                }
+            }
+            if let Some(reason) = verdict {
+                self.retire(peer, reason, events);
+            }
+        }
+    }
+
+    fn send(&mut self, peer: PeerId, frame: Bytes) -> Result<(), TransportError> {
+        let Some(conn) = self.conns.get_mut(&peer) else {
+            return Err(TransportError::UnknownPeer(peer));
+        };
+        conn.enqueue(peer, &frame, &self.cfg, &mut self.pending)
+    }
+
+    fn close(&mut self, peer: PeerId, reason: CloseReason) {
+        let mut events = Vec::new();
+        // Best-effort final flush so a clean shutdown delivers queued
+        // snapshots instead of truncating them.
+        if let Some(conn) = self.conns.get_mut(&peer) {
+            let _ = conn.flush(peer, &self.cfg, &mut events);
+        }
+        self.retire(peer, reason, &mut events);
+        self.pending.append(&mut events);
+    }
+
+    fn peers(&self) -> Vec<PeerId> {
+        self.conns.keys().copied().collect()
+    }
+
+    fn stats(&self, peer: PeerId) -> Option<ConnStats> {
+        self.conns.get(&peer).map(|c| c.stats)
+    }
+
+    fn total_stats(&self) -> ConnStats {
+        let mut total = self.closed_total;
+        for conn in self.conns.values() {
+            total.merge(&conn.stats);
+        }
+        total
+    }
+
+    fn reset_stats(&mut self) {
+        self.closed_total = ConnStats::default();
+        for conn in self.conns.values_mut() {
+            conn.stats = ConnStats::default();
+        }
+    }
+}
+
+/// Client-side TCP transport: one connection to the server, addressed
+/// as peer [`SERVER_PEER`].
+pub struct TcpClientTransport {
+    conn: Option<Conn>,
+    cfg: TcpConfig,
+    opened: bool,
+    closed_total: ConnStats,
+    pending: Vec<TransportEvent>,
+}
+
+impl TcpClientTransport {
+    /// Connects to `addr` (blocking connect — instantaneous on
+    /// localhost) and switches the stream to non-blocking mode.
+    pub fn connect(addr: impl ToSocketAddrs, cfg: TcpConfig) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        configure_stream(&stream, &cfg)?;
+        Ok(Self {
+            conn: Some(Conn::new(stream)),
+            cfg,
+            opened: false,
+            closed_total: ConnStats::default(),
+            pending: Vec::new(),
+        })
+    }
+
+    /// Like [`connect`](Self::connect) but retries refused connections
+    /// until `timeout` elapses — for bot fleets racing a server that is
+    /// still binding its listener.
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs + Clone,
+        cfg: TcpConfig,
+        timeout: Duration,
+    ) -> io::Result<Self> {
+        let deadline = std::time::Instant::now() + timeout; // lint: allow(nondet, "connect retry deadline; real-I/O boundary, never inside the deterministic sim")
+        loop {
+            match Self::connect(addr.clone(), cfg) {
+                Ok(t) => return Ok(t),
+                Err(e) => {
+                    let now = std::time::Instant::now(); // lint: allow(nondet, "same retry-deadline clock as above")
+                    if now >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }
+        }
+    }
+}
+
+impl Transport for TcpClientTransport {
+    fn kind(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn poll(&mut self, events: &mut Vec<TransportEvent>) {
+        events.append(&mut self.pending);
+        if !self.opened && self.conn.is_some() {
+            self.opened = true;
+            events.push(TransportEvent::Opened { peer: SERVER_PEER });
+        }
+        let mut verdict = None;
+        if let Some(conn) = self.conn.as_mut() {
+            verdict = conn.read_frames(SERVER_PEER, &self.cfg, events);
+            if verdict.is_none() {
+                verdict = conn.flush(SERVER_PEER, &self.cfg, events);
+            }
+        }
+        if let Some(reason) = verdict {
+            self.close(SERVER_PEER, reason);
+            events.append(&mut self.pending);
+        }
+    }
+
+    fn send(&mut self, peer: PeerId, frame: Bytes) -> Result<(), TransportError> {
+        if peer != SERVER_PEER {
+            return Err(TransportError::UnknownPeer(peer));
+        }
+        let Some(conn) = self.conn.as_mut() else {
+            return Err(TransportError::UnknownPeer(peer));
+        };
+        conn.enqueue(peer, &frame, &self.cfg, &mut self.pending)
+    }
+
+    fn close(&mut self, peer: PeerId, reason: CloseReason) {
+        if peer != SERVER_PEER {
+            return;
+        }
+        if let Some(mut conn) = self.conn.take() {
+            let mut events = Vec::new();
+            let _ = conn.flush(SERVER_PEER, &self.cfg, &mut events);
+            self.closed_total.merge(&conn.stats);
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            self.pending.push(TransportEvent::Closed { peer, reason });
+        }
+    }
+
+    fn peers(&self) -> Vec<PeerId> {
+        if self.conn.is_some() {
+            vec![SERVER_PEER]
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn stats(&self, peer: PeerId) -> Option<ConnStats> {
+        if peer != SERVER_PEER {
+            return None;
+        }
+        self.conn.as_ref().map(|c| c.stats)
+    }
+
+    fn total_stats(&self) -> ConnStats {
+        let mut total = self.closed_total;
+        if let Some(conn) = self.conn.as_ref() {
+            total.merge(&conn.stats);
+        }
+        total
+    }
+
+    fn reset_stats(&mut self) {
+        self.closed_total = ConnStats::default();
+        if let Some(conn) = self.conn.as_mut() {
+            conn.stats = ConnStats::default();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> (TcpServerTransport, TcpClientTransport) {
+        let server = TcpServerTransport::bind("127.0.0.1:0", TcpConfig::default()).unwrap();
+        let addr = server.local_addr().unwrap();
+        let client = TcpClientTransport::connect(addr, TcpConfig::default()).unwrap();
+        (server, client)
+    }
+
+    /// Polls `t` until `pred` matches an accumulated event or the
+    /// attempt budget runs out.
+    fn poll_until(
+        t: &mut dyn Transport,
+        pred: impl Fn(&TransportEvent) -> bool,
+    ) -> Vec<TransportEvent> {
+        let mut events = Vec::new();
+        for _ in 0..2000 {
+            t.poll(&mut events);
+            if events.iter().any(&pred) {
+                return events;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        panic!("condition not reached; events: {events:?}");
+    }
+
+    #[test]
+    fn frames_round_trip_over_loopback() {
+        let (mut server, mut client) = pair();
+        let events = poll_until(&mut server, |e| matches!(e, TransportEvent::Opened { .. }));
+        let peer = match events.first() {
+            Some(TransportEvent::Opened { peer }) => *peer,
+            other => panic!("expected open, got {other:?}"),
+        };
+
+        client
+            .send(SERVER_PEER, Bytes::from_static(b"hello"))
+            .unwrap();
+        client.poll(&mut Vec::new()); // flush
+        let events = poll_until(&mut server, |e| matches!(e, TransportEvent::Frame { .. }));
+        assert!(events.contains(&TransportEvent::Frame {
+            peer,
+            payload: Bytes::from_static(b"hello")
+        }));
+
+        server.send(peer, Bytes::from_static(b"world")).unwrap();
+        server.poll(&mut Vec::new()); // flush
+        let events = poll_until(&mut client, |e| matches!(e, TransportEvent::Frame { .. }));
+        assert!(events.contains(&TransportEvent::Frame {
+            peer: SERVER_PEER,
+            payload: Bytes::from_static(b"world")
+        }));
+
+        // Byte accounting: payload + 4-byte prefix in both directions.
+        assert_eq!(server.total_stats().bytes_in, 5 + FRAME_OVERHEAD);
+        assert_eq!(server.total_stats().bytes_out, 5 + FRAME_OVERHEAD);
+        assert_eq!(client.total_stats().bytes_out, 5 + FRAME_OVERHEAD);
+    }
+
+    #[test]
+    fn partial_frames_reassemble() {
+        let (mut server, mut client) = pair();
+        poll_until(&mut server, |e| matches!(e, TransportEvent::Opened { .. }));
+        // A frame larger than one read chunk still arrives whole.
+        let big = vec![0xAB; 100_000];
+        client.send(SERVER_PEER, Bytes::from(big.clone())).unwrap();
+        for _ in 0..200 {
+            client.poll(&mut Vec::new());
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        let events = poll_until(&mut server, |e| matches!(e, TransportEvent::Frame { .. }));
+        let got = events.iter().find_map(|e| match e {
+            TransportEvent::Frame { payload, .. } => Some(payload.clone()),
+            _ => None,
+        });
+        assert_eq!(got.unwrap(), Bytes::from(big));
+    }
+
+    #[test]
+    fn eof_surfaces_close() {
+        let (mut server, client) = pair();
+        let events = poll_until(&mut server, |e| matches!(e, TransportEvent::Opened { .. }));
+        let peer = match events.first() {
+            Some(TransportEvent::Opened { peer }) => *peer,
+            other => panic!("expected open, got {other:?}"),
+        };
+        drop(client);
+        let events = poll_until(&mut server, |e| matches!(e, TransportEvent::Closed { .. }));
+        assert!(events.contains(&TransportEvent::Closed {
+            peer,
+            reason: CloseReason::Eof
+        }));
+        assert!(server.peers().is_empty());
+    }
+
+    #[test]
+    fn bounded_queue_backpressures_then_relieves() {
+        let cfg = TcpConfig {
+            max_queue_bytes: 2048,
+            send_budget_per_poll: 512,
+            low_watermark: 512,
+            ..TcpConfig::default()
+        };
+        let mut server = TcpServerTransport::bind("127.0.0.1:0", cfg).unwrap();
+        let addr = server.local_addr().unwrap();
+        let mut client = TcpClientTransport::connect(addr, cfg).unwrap();
+        let events = poll_until(&mut server, |e| matches!(e, TransportEvent::Opened { .. }));
+        let peer = match events.first() {
+            Some(TransportEvent::Opened { peer }) => *peer,
+            other => panic!("expected open, got {other:?}"),
+        };
+
+        // Without polling (no flush), the queue must fill and reject.
+        let frame = Bytes::from(vec![7u8; 500]);
+        let mut rejected = false;
+        for _ in 0..10 {
+            match server.send(peer, frame.clone()) {
+                Ok(()) => {}
+                Err(TransportError::Backpressure { .. }) => {
+                    rejected = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(rejected, "queue bound never hit");
+        assert!(server.stats(peer).unwrap().send_rejections >= 1);
+
+        // Onset event surfaces on the next poll; flushing under the
+        // budget eventually relieves it.
+        let events = poll_until(&mut server, |e| {
+            matches!(e, TransportEvent::BackpressureOn { .. })
+        });
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, TransportEvent::BackpressureOn { .. })));
+        let mut drained = Vec::new();
+        for _ in 0..2000 {
+            server.poll(&mut drained);
+            client.poll(&mut Vec::new());
+            if drained
+                .iter()
+                .any(|e| matches!(e, TransportEvent::BackpressureOff { .. }))
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        assert!(
+            drained
+                .iter()
+                .any(|e| matches!(e, TransportEvent::BackpressureOff { .. })),
+            "no relief: {drained:?}"
+        );
+        // The squeezed peer was never dropped.
+        assert_eq!(server.peers(), vec![peer]);
+    }
+
+    #[test]
+    fn oversized_frame_rejected_and_corrupt_prefix_closes() {
+        let cfg = TcpConfig {
+            max_frame: 64,
+            ..TcpConfig::default()
+        };
+        let mut server = TcpServerTransport::bind("127.0.0.1:0", cfg).unwrap();
+        let addr = server.local_addr().unwrap();
+        let mut client = TcpClientTransport::connect(addr, cfg).unwrap();
+        assert!(matches!(
+            client.send(SERVER_PEER, Bytes::from(vec![0u8; 65])),
+            Err(TransportError::FrameTooLarge { len: 65, max: 64 })
+        ));
+
+        // Write a lying length prefix directly; the server must close
+        // the connection as corrupt instead of buffering forever.
+        let events = poll_until(&mut server, |e| matches!(e, TransportEvent::Opened { .. }));
+        let peer = match events.first() {
+            Some(TransportEvent::Opened { peer }) => *peer,
+            other => panic!("expected open, got {other:?}"),
+        };
+        client
+            .send(SERVER_PEER, Bytes::from(vec![1u8; 64]))
+            .unwrap();
+        if let Some(conn) = client.conn.as_mut() {
+            if let Some(front) = conn.wqueue.front_mut() {
+                front[..4].copy_from_slice(&u32::MAX.to_le_bytes());
+            }
+        }
+        client.poll(&mut Vec::new());
+        let events = poll_until(&mut server, |e| matches!(e, TransportEvent::Closed { .. }));
+        assert!(events.contains(&TransportEvent::Closed {
+            peer,
+            reason: CloseReason::Error
+        }));
+    }
+
+    #[test]
+    fn connect_retry_times_out_against_dead_port() {
+        // Bind-then-drop to get a port nothing listens on.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let r = TcpClientTransport::connect_retry(
+            addr,
+            TcpConfig::default(),
+            Duration::from_millis(30),
+        );
+        assert!(r.is_err());
+    }
+}

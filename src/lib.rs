@@ -11,6 +11,9 @@
 //! * [`rtf`] (`rtf-core`) — the Real-Time Framework substrate: entities,
 //!   zones, replication, the measured real-time loop.
 //! * [`net`] (`rtf-net`) — the in-process network transport.
+//! * [`transport`] (`rtf-transport`) — real socket transport: non-blocking
+//!   TCP framing, client prediction/reconciliation, lag compensation and
+//!   the deterministic in-process bus backend.
 //! * [`demo`] (`rtfdemo`) — the RTFDemo first-person-shooter case study.
 //! * [`rms`] (`rtf-rms`) — the RTF-RMS resource manager and its
 //!   load-balancing policies.
@@ -31,4 +34,5 @@ pub use roia_sim as sim;
 pub use rtf_core as rtf;
 pub use rtf_net as net;
 pub use rtf_rms as rms;
+pub use rtf_transport as transport;
 pub use rtfdemo as demo;

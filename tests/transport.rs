@@ -1,0 +1,301 @@
+//! Workspace-level exercises of the real transport stack: loopback TCP
+//! bot fleets driven single-threaded (interleaved polling, no sleeps and
+//! no timing assumptions), the send-budget squeeze degradation path,
+//! lock-step determinism on the bus backend, and property tests of the
+//! session wire codec.
+
+use proptest::prelude::*;
+use roia::obs::Tracer;
+use roia::rtf::wire::Wire;
+use roia::transport::bus::{BusClientTransport, BusServerTransport};
+use roia::transport::proto::{ClientMsg, EntityState, InputFrame, ServerMsg, Snapshot, NO_TARGET};
+use roia::transport::session::{
+    ClientSession, ClientState, InputCmd, ServerSession, SessionConfig,
+};
+use roia::transport::tcp::{TcpClientTransport, TcpConfig, TcpServerTransport};
+
+/// Small deterministic generator for bot inputs (xorshift64*).
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn step(&mut self) -> i8 {
+        (self.next() % 3) as i8 - 1
+    }
+}
+
+/// Binds a loopback server and connects `n` client sessions to it.
+fn tcp_fleet(
+    cfg: TcpConfig,
+    n: usize,
+) -> (
+    ServerSession<TcpServerTransport>,
+    Vec<ClientSession<TcpClientTransport>>,
+) {
+    let listener = TcpServerTransport::bind("127.0.0.1:0", cfg).expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let server = ServerSession::new(listener, SessionConfig::default(), Tracer::disabled());
+    let clients = (0..n as u64)
+        .map(|user| {
+            let t = TcpClientTransport::connect(addr, cfg).expect("connect loopback");
+            ClientSession::new(t, user, SessionConfig::default(), Tracer::disabled())
+        })
+        .collect();
+    (server, clients)
+}
+
+/// Interleaves both halves until every client is welcomed and spawned.
+fn join_fleet(
+    server: &mut ServerSession<TcpServerTransport>,
+    clients: &mut [ClientSession<TcpClientTransport>],
+) {
+    let mut rounds = 0;
+    while server.world().len() < clients.len()
+        || clients.iter().any(|c| c.state() != ClientState::Welcomed)
+    {
+        server.tick();
+        for c in clients.iter_mut() {
+            c.tick(None);
+        }
+        rounds += 1;
+        assert!(
+            rounds < 20_000,
+            "fleet failed to join: world has {} of {} after {rounds} rounds",
+            server.world().len(),
+            clients.len()
+        );
+    }
+}
+
+/// Ticks without inputs until every client's prediction matches the
+/// authoritative world and nothing is left unacked.
+fn quiesce(
+    server: &mut ServerSession<TcpServerTransport>,
+    clients: &mut [ClientSession<TcpClientTransport>],
+) {
+    let mut rounds = 0;
+    loop {
+        server.tick();
+        for c in clients.iter_mut() {
+            c.tick(None);
+        }
+        let converged = clients.iter().all(|c| {
+            c.pending_inputs() == 0
+                && server.world().get(&c.user()).map(|e| (e.x, e.y)) == Some(c.predicted_pos())
+        });
+        if converged {
+            return;
+        }
+        rounds += 1;
+        assert!(
+            rounds < 20_000,
+            "fleet failed to quiesce after {rounds} rounds"
+        );
+    }
+}
+
+#[test]
+fn loopback_fleet_reconciles_and_mirrors_the_server() {
+    const BOTS: usize = 16;
+    let (mut server, mut clients) = tcp_fleet(TcpConfig::default(), BOTS);
+    join_fleet(&mut server, &mut clients);
+
+    // 200 ticks of seeded movement-only traffic over real sockets.
+    let mut rng = XorShift(0x5EED_CAFE);
+    for _ in 0..200 {
+        server.tick();
+        for c in clients.iter_mut() {
+            c.tick(Some(InputCmd {
+                dx: rng.step(),
+                dy: rng.step(),
+                attack: NO_TARGET,
+            }));
+        }
+    }
+    quiesce(&mut server, &mut clients);
+
+    assert_eq!(server.peer_count(), BOTS, "no bot may be dropped");
+    assert_eq!(server.stats().bad_frames, 0);
+    for c in &clients {
+        let stats = c.net_stats();
+        assert_eq!(stats.desyncs, 0, "bot {} lost a delta baseline", c.user());
+        assert_eq!(
+            stats.corrections,
+            0,
+            "movement-only prediction must replay exactly (bot {})",
+            c.user()
+        );
+        // The mirrored world matches the authoritative one entity by entity.
+        for (id, e) in server.world() {
+            let mirrored = c.auth_world().get(id).unwrap_or_else(|| {
+                panic!("bot {} is missing entity {id}", c.user());
+            });
+            assert_eq!(
+                (mirrored.x, mirrored.y, mirrored.health),
+                (e.x, e.y, e.health)
+            );
+        }
+    }
+}
+
+#[test]
+fn send_budget_squeeze_degrades_without_dropping_clients() {
+    const BOTS: usize = 8;
+    // Per-client snapshot traffic (~25 + 8·18 bytes a tick) far outruns a
+    // 64-byte-per-poll send budget, so outbound queues fill and the server
+    // must skip snapshots (scheduling keyframe resyncs) instead of
+    // disconnecting anyone.
+    let cfg = TcpConfig {
+        max_queue_bytes: 512,
+        send_budget_per_poll: 64,
+        low_watermark: 128,
+        ..TcpConfig::default()
+    };
+    let (mut server, mut clients) = tcp_fleet(cfg, BOTS);
+    join_fleet(&mut server, &mut clients);
+
+    for _ in 0..150 {
+        server.tick();
+        for c in clients.iter_mut() {
+            c.tick(Some(InputCmd {
+                dx: 1,
+                dy: 0,
+                attack: NO_TARGET,
+            }));
+        }
+    }
+    let squeezed = server.stats();
+    assert!(
+        squeezed.snapshot_skips > 0,
+        "the squeeze must actually trigger backpressure skips: {squeezed:?}"
+    );
+    assert_eq!(
+        squeezed.peers_closed, 0,
+        "backpressure must degrade, not drop"
+    );
+
+    // Traffic stops, queues drain below the low watermark, and the
+    // scheduled keyframes resynchronize every client.
+    quiesce(&mut server, &mut clients);
+    assert_eq!(server.peer_count(), BOTS);
+    for c in &clients {
+        assert_eq!(
+            c.state(),
+            ClientState::Welcomed,
+            "bot {} was dropped",
+            c.user()
+        );
+        assert_eq!(
+            c.net_stats().desyncs,
+            0,
+            "keyframe resync must re-anchor deltas"
+        );
+    }
+}
+
+/// Final world snapshot: `(id, x, y, health)` per entity.
+type WorldDump = Vec<(u64, i32, i32, i16)>;
+
+/// One scripted lock-step run over the deterministic bus backend.
+/// Returns the per-tick egress byte sequence and the final world.
+fn bus_run(seed: u64) -> (Vec<u64>, WorldDump) {
+    const BOTS: u64 = 6;
+    let bus = roia::net::Bus::new();
+    let listener = BusServerTransport::register(&bus, "server");
+    let server_node = listener.node_id();
+    let mut server = ServerSession::new(listener, SessionConfig::default(), Tracer::disabled());
+    let mut clients: Vec<ClientSession<BusClientTransport>> = (0..BOTS)
+        .map(|user| {
+            let t = BusClientTransport::connect(&bus, &format!("bot{user}"), server_node);
+            ClientSession::new(t, user, SessionConfig::default(), Tracer::disabled())
+        })
+        .collect();
+
+    let mut rng = XorShift(seed);
+    let mut egress = Vec::new();
+    for _ in 0..120 {
+        let report = server.tick();
+        egress.push(report.egress_bytes);
+        for c in clients.iter_mut() {
+            let attack = if rng.next().is_multiple_of(8) {
+                rng.next() % BOTS
+            } else {
+                NO_TARGET
+            };
+            c.tick(Some(InputCmd {
+                dx: rng.step(),
+                dy: rng.step(),
+                attack,
+            }));
+        }
+    }
+    let world = server
+        .world()
+        .iter()
+        .map(|(id, e)| (*id, e.x, e.y, e.health))
+        .collect();
+    (egress, world)
+}
+
+#[test]
+fn bus_lockstep_runs_are_byte_identical() {
+    let (egress_a, world_a) = bus_run(7);
+    let (egress_b, world_b) = bus_run(7);
+    assert_eq!(egress_a, egress_b, "same seed, same wire bytes every tick");
+    assert_eq!(world_a, world_b, "same seed, same final world");
+    let (_, world_c) = bus_run(8);
+    assert_ne!(world_a, world_c, "different seeds must actually diverge");
+}
+
+proptest! {
+    #[test]
+    fn input_frames_round_trip(
+        seq in any::<u32>(),
+        view_tick in any::<u64>(),
+        dx in any::<i8>(),
+        dy in any::<i8>(),
+        attack in any::<u64>(),
+    ) {
+        let msg = ClientMsg::Input(InputFrame { seq, view_tick, dx, dy, attack });
+        let bytes = msg.to_bytes();
+        prop_assert_eq!(ClientMsg::from_bytes(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn snapshots_round_trip_and_truncations_fail_cleanly(
+        tick in any::<u64>(),
+        baseline in any::<u64>(),
+        ack_seq in any::<u32>(),
+        entries in proptest::collection::vec(
+            (any::<u64>(), any::<i32>(), any::<i32>(), any::<i16>()),
+            0..20,
+        ),
+        removed in proptest::collection::vec(any::<u64>(), 0..8),
+        cut_bits in any::<u64>(),
+    ) {
+        let snap = Snapshot {
+            tick,
+            baseline,
+            ack_seq,
+            entries: entries
+                .into_iter()
+                .map(|(id, x, y, health)| EntityState { id, x, y, health })
+                .collect(),
+            removed,
+        };
+        let msg = ServerMsg::Snapshot(snap);
+        let bytes = msg.to_bytes();
+        prop_assert_eq!(&ServerMsg::from_bytes(&bytes).unwrap(), &msg);
+        // Any strict prefix must error, never panic or half-parse.
+        if bytes.len() > 1 {
+            let cut = 1 + (cut_bits as usize) % (bytes.len() - 1);
+            prop_assert!(ServerMsg::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+}
