@@ -147,6 +147,8 @@ fn main() {
             chaos: Some(plan(seed + level as u64, level, ticks)),
             debug_checks: true,
             tracer: cli::tracer(trace_path.as_deref()),
+            flight: per_plan_path(args.flight.as_deref(), label).map(roia_obs::FlightConfig::new),
+            reference_model: Some(model.clone()),
             ..SessionConfig::default()
         };
         let policy = Box::new(ModelDriven::new(

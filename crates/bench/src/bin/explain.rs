@@ -12,13 +12,33 @@
 //! with their cause ticks, plus every admission-control verdict) are
 //! interleaved at the tick they happened.
 //!
-//! Usage: `explain TRACE.jsonl [--ticks N]` — `--ticks` truncates the
-//! replay after the given sim tick. Per-server tick spans are folded
-//! into the summary instead of printed (they dominate the line count).
+//! Usage: `explain TRACE.jsonl [--ticks N] [--since N] [--last N]
+//! [--kind NAME]...` — `--ticks` truncates the replay after the given sim
+//! tick, `--since` skips everything before one (bracket an incident with
+//! `--since`/`--ticks`), `--last` keeps only the N most recent timeline
+//! events after the other filters, and `--kind` (repeatable) restricts
+//! the timeline to the named event kinds (`decision`, `slo_burn`,
+//! `postmortem_dumped`, … — the `event` field of the JSONL records).
+//! Action issue→resolution chains are followed over the whole trace
+//! before filtering, so a filtered view still shows terminal outcomes.
+//! Per-server tick spans are folded into the summary instead of printed
+//! (they dominate the line count).
 
 use roia_obs::TraceEvent;
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader};
+
+const USAGE: &str = "usage: explain TRACE.jsonl [--ticks N] [--since N] [--last N] [--kind NAME]...
+
+Replays a JSONL telemetry trace as a human-readable timeline.
+
+  --ticks N    drop events after sim tick N
+  --since N    drop events before sim tick N
+  --last N     keep only the N most recent events (after other filters)
+  --kind NAME  keep only events of this kind; repeatable
+               (names are the `event` field: decision, action_issued,
+                slo_burn, slo_recovered, postmortem_dumped, ...)
+  --help       print this help";
 
 /// Tick count → wall-clock seconds at the paper's 25 Hz update rate.
 fn secs(tick: u64) -> f64 {
@@ -34,6 +54,9 @@ struct ActionInfo {
 fn main() {
     let mut path: Option<String> = None;
     let mut max_tick = u64::MAX;
+    let mut since_tick = 0u64;
+    let mut last_n: Option<usize> = None;
+    let mut kinds: Vec<String> = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -43,11 +66,31 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--ticks needs a numeric value");
             }
+            "--since" => {
+                since_tick = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--since needs a numeric value");
+            }
+            "--last" => {
+                last_n = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--last needs a numeric value"),
+                );
+            }
+            "--kind" => {
+                kinds.push(it.next().expect("--kind needs an event name"));
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
             other if !other.starts_with("--") => path = Some(other.to_string()),
-            other => panic!("unknown flag {other} (usage: explain TRACE.jsonl [--ticks N])"),
+            other => panic!("unknown flag {other}\n{USAGE}"),
         }
     }
-    let path = path.expect("usage: explain TRACE.jsonl [--ticks N]");
+    let path = path.unwrap_or_else(|| panic!("no trace given\n{USAGE}"));
     let file = std::fs::File::open(&path).unwrap_or_else(|e| panic!("open {path}: {e}"));
 
     let mut events: Vec<TraceEvent> = Vec::new();
@@ -101,6 +144,18 @@ fn main() {
         }
     };
 
+    // Timeline filters (the action map above intentionally sees the whole
+    // trace, so filtered issue lines still carry their resolutions).
+    let mut filtered: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|ev| ev.tick() >= since_tick)
+        .filter(|ev| kinds.is_empty() || kinds.iter().any(|k| k == ev.name()))
+        .collect();
+    if let Some(n) = last_n {
+        let skip = filtered.len().saturating_sub(n);
+        filtered.drain(..skip);
+    }
+
     println!("=== trace replay: {path} ===\n");
     let mut tick_spans = 0u64;
     let mut worst_tick: Option<(u64, u32, f64)> = None;
@@ -112,7 +167,10 @@ fn main() {
     let mut close_counts: BTreeMap<&'static str, u64> = BTreeMap::new();
     let mut backpressure_onsets = 0u64;
     let mut corrections = 0u64;
-    for ev in &events {
+    let mut slo_burns: BTreeMap<&'static str, u64> = BTreeMap::new();
+    let mut slo_recoveries = 0u64;
+    let mut postmortems = 0u64;
+    for ev in &filtered {
         let t = ev.tick();
         let stamp = format!("t={t:>6} ({:>7.1}s)", secs(t));
         match ev {
@@ -350,15 +408,68 @@ fn main() {
                      {error} units at ack seq {seq}"
                 );
             }
+            TraceEvent::SloBurn {
+                cause,
+                slo,
+                severity,
+                fast_burn_pm,
+                slow_burn_pm,
+                ..
+            } => {
+                *slo_burns.entry(slo).or_insert(0) += 1;
+                println!(
+                    "{stamp}  SLO BURN        {slo} [{severity}] (cause t={cause}): \
+                     burning {:.1}x budget (fast) / {:.1}x (slow)",
+                    *fast_burn_pm as f64 / 1e3,
+                    *slow_burn_pm as f64 / 1e3
+                );
+            }
+            TraceEvent::SloRecovered {
+                cause,
+                slo,
+                burn_ticks,
+                ..
+            } => {
+                slo_recoveries += 1;
+                println!(
+                    "{stamp}  slo recovered   {slo} (cause t={cause}, burned {burn_ticks} \
+                     ticks = {:.1}s)",
+                    secs(*burn_ticks)
+                );
+            }
+            TraceEvent::PostmortemDumped {
+                cause,
+                reason,
+                seq,
+                events,
+                decisions,
+                model_version,
+                ..
+            } => {
+                postmortems += 1;
+                println!(
+                    "{stamp}  POSTMORTEM #{seq} reason={reason} (cause t={cause}): \
+                     {events} events, {decisions} decisions, model v{model_version}"
+                );
+            }
         }
     }
 
     println!("\n=== summary ===");
-    println!(
-        "events: {} ({} malformed lines skipped)",
-        events.len(),
-        malformed
-    );
+    if filtered.len() != events.len() {
+        println!(
+            "events: {} shown of {} decoded ({} malformed lines skipped)",
+            filtered.len(),
+            events.len(),
+            malformed
+        );
+    } else {
+        println!(
+            "events: {} ({} malformed lines skipped)",
+            events.len(),
+            malformed
+        );
+    }
     println!("server tick spans: {tick_spans}");
     if let Some((t, server, d)) = worst_tick {
         println!(
@@ -409,5 +520,15 @@ fn main() {
     }
     if corrections > 0 {
         println!("reconciliation corrections: {corrections}");
+    }
+    if !slo_burns.is_empty() || slo_recoveries > 0 {
+        println!("slo burns:");
+        for (slo, count) in &slo_burns {
+            println!("  {slo:<20} {count}");
+        }
+        println!("slo recoveries: {slo_recoveries}");
+    }
+    if postmortems > 0 {
+        println!("postmortem bundles dumped: {postmortems}");
     }
 }

@@ -88,7 +88,9 @@ pub mod json {
 /// * `--json PATH` — write the machine-readable summary here,
 /// * `--trace PATH` — record a JSONL telemetry trace of the session
 ///   (replay with `explain`),
-/// * `--metrics PATH` — write the Prometheus metrics snapshot here.
+/// * `--metrics PATH` — write the Prometheus metrics snapshot here,
+/// * `--flight DIR` — arm the flight recorder; postmortem bundles land
+///   under DIR (`postmortem-NNN/`).
 pub mod cli {
     use std::path::{Path, PathBuf};
 
@@ -107,6 +109,8 @@ pub mod cli {
         pub trace: Option<PathBuf>,
         /// `--metrics PATH`: Prometheus text snapshot destination.
         pub metrics: Option<PathBuf>,
+        /// `--flight DIR`: flight-recorder postmortem bundle directory.
+        pub flight: Option<PathBuf>,
     }
 
     /// Parses the process arguments. Flags not in [`CommonArgs`] are
@@ -133,6 +137,7 @@ pub mod cli {
                 "--json" => out.json = Some(PathBuf::from(value("--json"))),
                 "--trace" => out.trace = Some(PathBuf::from(value("--trace"))),
                 "--metrics" => out.metrics = Some(PathBuf::from(value("--metrics"))),
+                "--flight" => out.flight = Some(PathBuf::from(value("--flight"))),
                 other => {
                     if !extra(other, &mut value) {
                         panic!("unknown flag {other}");

@@ -73,7 +73,7 @@ pub use migration::{migration_curve, x_max_from_tick, x_max_ini, x_max_rcv, Migr
 pub use params::{ModelParams, ParamKind};
 pub use persist::{format_model, parse_model, PersistError};
 pub use planner::{plan, plan_round, MigrationPlan, Move, PlannerConfig, Round};
-pub use tick::{tick_duration, tick_duration_equal, ZoneLoad};
+pub use tick::{per_term_prediction, tick_duration, tick_duration_equal, ZoneLoad};
 
 use serde::{Deserialize, Serialize};
 
@@ -142,6 +142,29 @@ impl ScalabilityModel {
     /// zone's `n` users.
     pub fn tick(&self, l: u32, n: u32, m: u32, active: u32) -> f64 {
         tick_duration(&self.params, ZoneLoad::new(l, n, m), active)
+    }
+
+    /// Eq. (4) split per model term (indexed like [`ParamKind::ALL`]),
+    /// with the per-migration terms charged for `mig_ini` initiated and
+    /// `mig_rcv` received migrations this tick. The attribution side of
+    /// the per-term residual fold.
+    #[allow(clippy::too_many_arguments)]
+    pub fn tick_terms(
+        &self,
+        l: u32,
+        n: u32,
+        m: u32,
+        active: u32,
+        mig_ini: u32,
+        mig_rcv: u32,
+    ) -> [f64; ParamKind::ALL.len()] {
+        per_term_prediction(
+            &self.params,
+            ZoneLoad::new(l, n, m),
+            active,
+            mig_ini,
+            mig_rcv,
+        )
     }
 
     /// Eq. (2): maximum users on `l` replicas with `m` NPCs.

@@ -5,7 +5,7 @@
 //! NPCs spread over `l` replicas of one zone, the model predicts the CPU
 //! time of that iteration on one server.
 
-use crate::params::ModelParams;
+use crate::params::{ModelParams, ParamKind};
 
 /// Workload of a single zone: total users, NPCs and replica count.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,6 +69,41 @@ pub fn tick_duration(params: &ModelParams, load: ZoneLoad, active: u32) -> f64 {
     a * params.own_cost(n)
         + (n - a) * params.shadow_cost(n)
         + (m / f64::from(load.replicas)) * params.npc_cost(n)
+}
+
+/// Eq. (4) broken out per model term: predicted seconds each parameter
+/// contributes to one server's tick, indexed like [`ParamKind::ALL`].
+///
+/// The first seven slots decompose [`tick_duration`] exactly — their
+/// sum equals it. The migration terms are charged per migration rather
+/// than per tick, so they take the server's initiate/receive counts
+/// for the tick. This is the prediction side of the per-term
+/// attribution fold (`roia-obs::attrib`): the observed side is the
+/// tick span's per-task timer breakdown.
+pub fn per_term_prediction(
+    params: &ModelParams,
+    load: ZoneLoad,
+    active: u32,
+    migrations_initiated: u32,
+    migrations_received: u32,
+) -> [f64; ParamKind::ALL.len()] {
+    let a = f64::from(active.min(load.users));
+    let n = f64::from(load.users);
+    let shadow = n - a;
+    let npc_share = f64::from(load.npcs) / f64::from(load.replicas);
+    let mut out = [0.0; ParamKind::ALL.len()];
+    for (slot, kind) in out.iter_mut().zip(ParamKind::ALL) {
+        let unit = params.get(kind).eval(n);
+        let count = match kind {
+            ParamKind::UaDser | ParamKind::Ua | ParamKind::Aoi | ParamKind::Su => a,
+            ParamKind::FaDser | ParamKind::Fa => shadow,
+            ParamKind::Npc => npc_share,
+            ParamKind::MigIni => f64::from(migrations_initiated),
+            ParamKind::MigRcv => f64::from(migrations_received),
+        };
+        *slot = count * unit;
+    }
+    out
 }
 
 #[cfg(test)]
@@ -169,5 +204,31 @@ mod tests {
     #[should_panic(expected = "at least one server")]
     fn zero_replicas_rejected() {
         ZoneLoad::new(0, 10, 0);
+    }
+
+    #[test]
+    fn per_term_prediction_sums_to_eq4() {
+        let p = params();
+        let load = ZoneLoad::new(3, 120, 60);
+        let terms = per_term_prediction(&p, load, 50, 0, 0);
+        let total: f64 = terms.iter().sum();
+        let t4 = tick_duration(&p, load, 50);
+        assert!((total - t4).abs() < 1e-15, "{total} vs {t4}");
+    }
+
+    #[test]
+    fn per_term_prediction_charges_each_counter() {
+        let mut p = params();
+        p.t_mig_ini = CostFn::Constant(1e-4);
+        p.t_mig_rcv = CostFn::Constant(2e-4);
+        let load = ZoneLoad::new(2, 100, 10);
+        let terms = per_term_prediction(&p, load, 30, 4, 6);
+        // ParamKind::ALL order: UaDser, Ua, FaDser, Fa, Npc, Aoi, Su,
+        // MigIni, MigRcv.
+        assert!((terms[0] - 30.0 * 1e-5).abs() < 1e-15, "t_ua_dser");
+        assert!((terms[2] - 70.0 * 1e-6).abs() < 1e-15, "t_fa_dser");
+        assert!((terms[4] - 5.0 * 4e-6).abs() < 1e-15, "t_npc");
+        assert!((terms[7] - 4.0 * 1e-4).abs() < 1e-15, "t_mig_ini");
+        assert!((terms[8] - 6.0 * 2e-4).abs() < 1e-15, "t_mig_rcv");
     }
 }

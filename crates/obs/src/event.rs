@@ -312,6 +312,60 @@ pub enum TraceEvent {
         /// Bytes queued at the transition (0 on relief).
         queued_bytes: u64,
     },
+    /// An SLO's error budget is burning: both the fast and the slow
+    /// burn-rate windows crossed their thresholds (SRE multi-window
+    /// multi-burn-rate rule).
+    SloBurn {
+        /// Simulation tick the alert fired.
+        tick: u64,
+        /// First tick of the over-threshold streak (the `cause` id a
+        /// matching [`TraceEvent::SloRecovered`] points back to).
+        cause: u64,
+        /// Objective name: `tick_budget`, `tick_p99`,
+        /// `invariant_violations`, `join_shed` or `backpressure_duty`.
+        slo: &'static str,
+        /// Alert severity: `page` (fast window far over budget) or
+        /// `warn`.
+        severity: &'static str,
+        /// Fast-window burn rate (error budget multiples), permille.
+        fast_burn_pm: u64,
+        /// Slow-window burn rate (error budget multiples), permille.
+        slow_burn_pm: u64,
+    },
+    /// A burning SLO's fast window stayed clean long enough to clear
+    /// the alert (hysteresis exit).
+    SloRecovered {
+        /// Simulation tick the alert cleared.
+        tick: u64,
+        /// First tick of the burn streak (the `cause` id pairing the
+        /// recovery with its [`TraceEvent::SloBurn`]).
+        cause: u64,
+        /// Objective name that recovered.
+        slo: &'static str,
+        /// Ticks spent in the burning state.
+        burn_ticks: u64,
+    },
+    /// The flight recorder dumped a postmortem bundle to disk.
+    PostmortemDumped {
+        /// Simulation tick of the dump.
+        tick: u64,
+        /// Tick of the triggering condition (the `cause` id: the SLO
+        /// burn's cause, the degraded-enter tick, or the violation
+        /// tick).
+        cause: u64,
+        /// What tripped the dump: `slo_page`, `invariant` or
+        /// `degraded`.
+        reason: &'static str,
+        /// Bundle sequence number within the session (dump directory
+        /// is `postmortem-<seq>`).
+        seq: u32,
+        /// Events written to the bundle's `events.jsonl`.
+        events: u32,
+        /// Decision audit records written to `decisions.jsonl`.
+        decisions: u32,
+        /// Model registry version in force at dump time.
+        model_version: u64,
+    },
     /// Client-side prediction disagreed with the authoritative replay
     /// and was corrected.
     ReconcileCorrection {
@@ -373,6 +427,16 @@ const VOCAB: &[&str] = &[
     "shutdown",
     "onset",
     "relief",
+    "tick_budget",
+    "tick_p99",
+    "invariant_violations",
+    "join_shed",
+    "backpressure_duty",
+    "warn",
+    "page",
+    "slo_page",
+    "invariant",
+    "degraded",
 ];
 
 /// Map a decoded string onto the static vocabulary (`"unknown"` if
@@ -411,6 +475,9 @@ impl TraceEvent {
             TraceEvent::ConnOpened { .. } => "conn_opened",
             TraceEvent::ConnClosed { .. } => "conn_closed",
             TraceEvent::Backpressure { .. } => "backpressure",
+            TraceEvent::SloBurn { .. } => "slo_burn",
+            TraceEvent::SloRecovered { .. } => "slo_recovered",
+            TraceEvent::PostmortemDumped { .. } => "postmortem_dumped",
             TraceEvent::ReconcileCorrection { .. } => "reconcile_correction",
         }
     }
@@ -439,6 +506,9 @@ impl TraceEvent {
             | TraceEvent::ConnOpened { tick, .. }
             | TraceEvent::ConnClosed { tick, .. }
             | TraceEvent::Backpressure { tick, .. }
+            | TraceEvent::SloBurn { tick, .. }
+            | TraceEvent::SloRecovered { tick, .. }
+            | TraceEvent::PostmortemDumped { tick, .. }
             | TraceEvent::ReconcileCorrection { tick, .. } => *tick,
         }
     }
@@ -720,6 +790,52 @@ impl TraceEvent {
                 ("state", string(state)),
                 ("queued_bytes", uint(*queued_bytes)),
             ]),
+            TraceEvent::SloBurn {
+                tick,
+                cause,
+                slo,
+                severity,
+                fast_burn_pm,
+                slow_burn_pm,
+            } => object(&[
+                ev,
+                ("tick", uint(*tick)),
+                ("cause", uint(*cause)),
+                ("slo", string(slo)),
+                ("severity", string(severity)),
+                ("fast_burn_pm", uint(*fast_burn_pm)),
+                ("slow_burn_pm", uint(*slow_burn_pm)),
+            ]),
+            TraceEvent::SloRecovered {
+                tick,
+                cause,
+                slo,
+                burn_ticks,
+            } => object(&[
+                ev,
+                ("tick", uint(*tick)),
+                ("cause", uint(*cause)),
+                ("slo", string(slo)),
+                ("burn_ticks", uint(*burn_ticks)),
+            ]),
+            TraceEvent::PostmortemDumped {
+                tick,
+                cause,
+                reason,
+                seq,
+                events,
+                decisions,
+                model_version,
+            } => object(&[
+                ev,
+                ("tick", uint(*tick)),
+                ("cause", uint(*cause)),
+                ("reason", string(reason)),
+                ("seq", uint(*seq as u64)),
+                ("events", uint(*events as u64)),
+                ("decisions", uint(*decisions as u64)),
+                ("model_version", uint(*model_version)),
+            ]),
             TraceEvent::ReconcileCorrection {
                 tick,
                 cause,
@@ -901,6 +1017,29 @@ impl TraceEvent {
                 state: str_of("state")?,
                 queued_bytes: u64_of("queued_bytes")?,
             }),
+            "slo_burn" => Some(TraceEvent::SloBurn {
+                tick: u64_of("tick")?,
+                cause: u64_of("cause")?,
+                slo: str_of("slo")?,
+                severity: str_of("severity")?,
+                fast_burn_pm: u64_of("fast_burn_pm")?,
+                slow_burn_pm: u64_of("slow_burn_pm")?,
+            }),
+            "slo_recovered" => Some(TraceEvent::SloRecovered {
+                tick: u64_of("tick")?,
+                cause: u64_of("cause")?,
+                slo: str_of("slo")?,
+                burn_ticks: u64_of("burn_ticks")?,
+            }),
+            "postmortem_dumped" => Some(TraceEvent::PostmortemDumped {
+                tick: u64_of("tick")?,
+                cause: u64_of("cause")?,
+                reason: str_of("reason")?,
+                seq: u32_of("seq")?,
+                events: u32_of("events")?,
+                decisions: u32_of("decisions")?,
+                model_version: u64_of("model_version")?,
+            }),
             "reconcile_correction" => Some(TraceEvent::ReconcileCorrection {
                 tick: u64_of("tick")?,
                 cause: u64_of("cause")?,
@@ -1038,6 +1177,29 @@ mod tests {
                 peer: 42,
                 seq: 87,
                 error: 16,
+            },
+            TraceEvent::SloBurn {
+                tick: 5200,
+                cause: 5150,
+                slo: "tick_budget",
+                severity: "page",
+                fast_burn_pm: 14_200,
+                slow_burn_pm: 2_100,
+            },
+            TraceEvent::SloRecovered {
+                tick: 5700,
+                cause: 5150,
+                slo: "tick_budget",
+                burn_ticks: 500,
+            },
+            TraceEvent::PostmortemDumped {
+                tick: 5200,
+                cause: 5150,
+                reason: "slo_page",
+                seq: 0,
+                events: 512,
+                decisions: 24,
+                model_version: 4,
             },
         ]
     }

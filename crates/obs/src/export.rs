@@ -3,9 +3,8 @@
 //! The workspace deliberately carries no JSON dependency; the bench
 //! binaries used to hand-roll emitters per file. This module is the one
 //! canonical copy: [`num`]/[`string`]/[`object`]/[`array`] build JSON
-//! text, and [`parse_object`] reads back the *flat* object-per-line
-//! shape that [`crate::TraceEvent`] and the bench binaries emit
-//! (scalars and arrays of scalars — no nested objects).
+//! text, and [`parse_object`] reads back everything this module emits —
+//! scalars, arrays and (since the `roia-top` snapshot) nested objects.
 
 use std::collections::BTreeMap;
 
@@ -62,7 +61,7 @@ pub fn array(items: &[String]) -> String {
     format!("[{}]", items.join(", "))
 }
 
-/// A parsed JSON value from the flat subset this module emits.
+/// A parsed JSON value from the subset this module emits.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
     /// `null` (also produced by [`num`] for non-finite floats).
@@ -73,8 +72,10 @@ pub enum JsonValue {
     Num(f64),
     /// A string literal, unescaped.
     Str(String),
-    /// An array of flat values.
+    /// An array of values.
     Arr(Vec<JsonValue>),
+    /// A nested object.
+    Obj(BTreeMap<String, JsonValue>),
 }
 
 impl JsonValue {
@@ -117,11 +118,18 @@ impl JsonValue {
             _ => None,
         }
     }
+
+    /// The value as an object map, if a nested object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Obj(map) => Some(map),
+            _ => None,
+        }
+    }
 }
 
-/// Parse one flat JSON object (`{"k": scalar-or-array, ...}`) into a
-/// key → value map. Returns `None` on malformed input or nested
-/// objects, which this subset does not produce.
+/// Parse one JSON object (`{"k": value, ...}`, values possibly nested)
+/// into a key → value map. Returns `None` on malformed input.
 pub fn parse_object(input: &str) -> Option<BTreeMap<String, JsonValue>> {
     let mut p = Parser {
         bytes: input.as_bytes(),
@@ -193,6 +201,7 @@ impl<'a> Parser<'a> {
         match self.peek()? {
             b'"' => Some(JsonValue::Str(self.parse_string()?)),
             b'[' => self.parse_array(),
+            b'{' => Some(JsonValue::Obj(self.parse_object_body()?)),
             b't' => self.parse_literal("true", JsonValue::Bool(true)),
             b'f' => self.parse_literal("false", JsonValue::Bool(false)),
             b'n' => self.parse_literal("null", JsonValue::Null),
@@ -335,8 +344,30 @@ mod tests {
         assert!(parse_object("{").is_none());
         assert!(parse_object("{\"a\": }").is_none());
         assert!(parse_object("{\"a\": 1} trailing").is_none());
-        // Nested objects are outside the flat subset.
-        assert!(parse_object("{\"a\": {\"b\": 1}}").is_none());
+        assert!(
+            parse_object("{\"a\": {\"b\": 1}").is_none(),
+            "unclosed nest"
+        );
+    }
+
+    #[test]
+    fn nested_objects_round_trip() {
+        let line = object(&[
+            ("name", string("top")),
+            (
+                "rows",
+                array(&[
+                    object(&[("slo", string("tick_budget")), ("burns", uint(2))]),
+                    object(&[("slo", string("join_shed")), ("burns", uint(0))]),
+                ]),
+            ),
+        ]);
+        let map = parse_object(&line).expect("nested parse");
+        let rows = map["rows"].as_arr().unwrap();
+        assert_eq!(rows.len(), 2);
+        let first = rows[0].as_obj().unwrap();
+        assert_eq!(first["slo"].as_str(), Some("tick_budget"));
+        assert_eq!(first["burns"].as_u64(), Some(2));
     }
 
     #[test]

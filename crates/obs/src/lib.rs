@@ -31,13 +31,21 @@
 
 #![warn(missing_docs)]
 
+pub mod attrib;
 pub mod event;
 pub mod export;
+pub mod flight;
 pub mod hist;
 pub mod metrics;
 pub mod sink;
+pub mod slo;
 
+pub use attrib::{AttributionAccumulator, TermReport, TERM_COUNT, TERM_SYMBOLS};
 pub use event::{TraceEvent, TASK_SLOTS};
+pub use flight::{FlightConfig, FlightRecorder};
 pub use hist::{bucket_bounds, secs_to_micros, HistSnapshot, Histogram, BUCKET_COUNT};
-pub use metrics::{MetricKey, MetricsRegistry};
+pub use metrics::{
+    escape_label_value, valid_label_name, valid_metric_name, MetricKey, MetricsRegistry,
+};
 pub use sink::{HashSink, JsonlSink, RingSink, TeeSink, TraceSink, Tracer};
+pub use slo::{SloEngine, SloGauge, SloSpec, SloTransition};

@@ -23,11 +23,14 @@ pub struct MetricKey {
 impl MetricKey {
     /// An unlabelled key.
     pub fn plain(name: &'static str) -> Self {
+        debug_assert!(valid_metric_name(name), "invalid metric name {name:?}");
         MetricKey { name, label: None }
     }
 
     /// A key labelled with one numeric dimension.
     pub fn labelled(name: &'static str, label: &'static str, value: u64) -> Self {
+        debug_assert!(valid_metric_name(name), "invalid metric name {name:?}");
+        debug_assert!(valid_label_name(label), "invalid label name {label:?}");
         MetricKey {
             name,
             label: Some((label, value)),
@@ -35,14 +38,103 @@ impl MetricKey {
     }
 
     fn render(&self, extra: Option<(&str, &str)>) -> String {
+        let esc = |v: &str| escape_label_value(v);
         match (self.label, extra) {
             (None, None) => self.name.to_string(),
             (Some((k, v)), None) => format!("{}{{{}=\"{}\"}}", self.name, k, v),
-            (None, Some((ek, ev))) => format!("{}{{{}=\"{}\"}}", self.name, ek, ev),
+            (None, Some((ek, ev))) => format!("{}{{{}=\"{}\"}}", self.name, ek, esc(ev)),
             (Some((k, v)), Some((ek, ev))) => {
-                format!("{}{{{}=\"{}\",{}=\"{}\"}}", self.name, k, v, ek, ev)
+                format!("{}{{{}=\"{}\",{}=\"{}\"}}", self.name, k, v, ek, esc(ev))
             }
         }
+    }
+}
+
+/// True when `name` matches the Prometheus metric-name grammar
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`.
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// True when `name` matches the Prometheus label-name grammar
+/// `[a-zA-Z_][a-zA-Z0-9_]*` (no colons — those are reserved for
+/// recording rules).
+pub fn valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote and line feed must be escaped; everything else passes through.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape HELP text per the exposition format: only backslash and line
+/// feed are escaped (quotes are legal in help docstrings).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One-line HELP docstring for the workspace's metric families. Unknown
+/// names fall back to a generic line so the exposition stays conformant
+/// (every `# TYPE` is preceded by a `# HELP` for the same family).
+fn help_text(name: &str) -> &'static str {
+    match name {
+        "roia_ticks_total" => "Simulation ticks executed",
+        "roia_tick_duration_us" => "Per-server tick duration in microseconds",
+        "roia_violations_total" => "Server-ticks at or above the U threshold",
+        "roia_users" => "Connected users",
+        "roia_servers" => "Active servers",
+        "roia_unhomed" => "Users currently without a home server",
+        "roia_migrations_total" => "User migrations completed",
+        "roia_migrations_initiated_total" => "Migrations initiated (sender side)",
+        "roia_migrations_received_total" => "Migrations received (receiver side)",
+        "roia_servers_booted_total" => "Server boot events",
+        "roia_servers_crashed_total" => "Server crash events",
+        "roia_servers_removed_total" => "Server removal events",
+        "roia_degraded_entries_total" => "Transitions into degraded mode",
+        "roia_degraded_ticks_total" => "Ticks spent in degraded mode",
+        "roia_faults_injected_total" => "Chaos faults injected",
+        "roia_join_queue_depth" => "Joins waiting in the admission queue",
+        "roia_joins_queued_total" => "Join requests deferred to the queue",
+        "roia_joins_shed_total" => "Join requests shed under overload",
+        "roia_model_version" => "Calibration model version in force",
+        "roia_refits_total" => "Online calibrator refits published",
+        "roia_slo_burns_total" => "SLO burn-rate alerts raised",
+        "roia_slo_recoveries_total" => "SLO burn-rate alerts recovered",
+        "roia_slo_burning" => "1 while the SLO is in burn state",
+        "roia_slo_fast_burn_pm" => "Fast-window burn rate, milli-multiples of budget",
+        "roia_slo_slow_burn_pm" => "Slow-window burn rate, milli-multiples of budget",
+        "netdemo_ingress_bytes_per_tick" => "Wire bytes received per tick",
+        "netdemo_egress_bytes_per_tick" => "Wire bytes sent per tick",
+        _ => "Metric emitted by the roia workspace",
     }
 }
 
@@ -126,14 +218,16 @@ impl MetricsRegistry {
         }
     }
 
-    /// Render the registry in Prometheus text exposition format.
-    /// Histograms render as summaries: quantile series plus `_count`,
-    /// `_sum` and `_max` companions.
+    /// Render the registry in Prometheus text exposition format: per
+    /// metric family one `# HELP` line, then one `# TYPE` line, then the
+    /// samples. Histograms render as summaries: quantile series plus
+    /// `_count`, `_sum` and `_max` companions.
     pub fn prometheus(&self) -> String {
         let mut out = String::new();
         let mut last_type: Option<(String, &'static str)> = None;
         let mut type_line = |out: &mut String, name: &str, kind: &'static str| {
             if last_type.as_ref().map(|(n, k)| (n.as_str(), *k)) != Some((name, kind)) {
+                out.push_str(&format!("# HELP {name} {}\n", escape_help(help_text(name))));
                 out.push_str(&format!("# TYPE {name} {kind}\n"));
             }
             last_type = Some((name.to_string(), kind));

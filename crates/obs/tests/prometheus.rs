@@ -1,0 +1,178 @@
+//! Prometheus text-exposition conformance (ISSUE 8 satellite).
+//!
+//! A scrape target that violates the exposition grammar is silently
+//! dropped by real collectors, so these tests hold [`MetricsRegistry::
+//! prometheus`] to the format spec: metric/label name charsets, label
+//! value escaping, one `# HELP` + `# TYPE` per family with HELP first,
+//! and samples grouped under their family's comments.
+
+use roia_obs::{
+    escape_label_value, valid_label_name, valid_metric_name, MetricKey, MetricsRegistry,
+};
+use std::collections::BTreeSet;
+
+/// A registry exercising every section: counters, gauges, labelled and
+/// unlabelled histograms.
+fn populated_registry() -> MetricsRegistry {
+    let mut r = MetricsRegistry::new();
+    r.add(MetricKey::plain("roia_ticks_total"), 4180);
+    r.add(
+        MetricKey::labelled("roia_migrations_total", "server", 0),
+        12,
+    );
+    r.add(MetricKey::labelled("roia_migrations_total", "server", 3), 7);
+    r.set(MetricKey::plain("roia_users"), 250);
+    r.set(MetricKey::labelled("roia_slo_burning", "slo", 1), 1);
+    for v in [120_u64, 480, 9_500, 41_000] {
+        r.record(MetricKey::labelled("roia_tick_duration_us", "server", 0), v);
+        r.record(MetricKey::labelled("roia_tick_duration_us", "server", 3), v);
+    }
+    r
+}
+
+/// Splits `name{labels} value` into its three parts (labels optional).
+fn split_sample(line: &str) -> (String, Option<String>, String) {
+    let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+    match series.split_once('{') {
+        Some((name, rest)) => {
+            let labels = rest.strip_suffix('}').expect("label set closed");
+            (
+                name.to_string(),
+                Some(labels.to_string()),
+                value.to_string(),
+            )
+        }
+        None => (series.to_string(), None, value.to_string()),
+    }
+}
+
+#[test]
+fn metric_name_charset_is_enforced() {
+    assert!(valid_metric_name("roia_ticks_total"));
+    assert!(valid_metric_name("a:recording:rule"));
+    assert!(valid_metric_name("_leading_underscore"));
+    assert!(!valid_metric_name(""));
+    assert!(!valid_metric_name("9starts_with_digit"));
+    assert!(!valid_metric_name("has-dash"));
+    assert!(!valid_metric_name("has space"));
+    assert!(!valid_metric_name("uniçode"));
+}
+
+#[test]
+fn label_name_charset_rejects_colons() {
+    assert!(valid_label_name("server"));
+    assert!(valid_label_name("_private"));
+    assert!(!valid_label_name("a:b"), "colons are reserved for rules");
+    assert!(!valid_label_name("1st"));
+    assert!(!valid_label_name(""));
+}
+
+#[test]
+fn label_values_escape_backslash_quote_and_newline() {
+    assert_eq!(escape_label_value("plain"), "plain");
+    assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+    assert_eq!(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+    assert_eq!(escape_label_value("two\nlines"), "two\\nlines");
+    // Order matters: a backslash introduced by escaping must not be
+    // re-escaped. "\n" (backslash + n) stays two characters wide.
+    assert_eq!(escape_label_value("\\n"), "\\\\n");
+}
+
+#[test]
+fn every_sample_line_matches_the_exposition_grammar() {
+    let text = populated_registry().prometheus();
+    for line in text.lines() {
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name, labels, value) = split_sample(line);
+        assert!(valid_metric_name(&name), "bad metric name in {line:?}");
+        assert!(
+            value.parse::<f64>().is_ok(),
+            "unparseable value in {line:?}"
+        );
+        if let Some(labels) = labels {
+            for pair in labels.split(',') {
+                let (k, v) = pair.split_once('=').expect("label is k=\"v\"");
+                assert!(valid_label_name(k), "bad label name in {line:?}");
+                assert!(
+                    v.starts_with('"') && v.ends_with('"') && v.len() >= 2,
+                    "unquoted label value in {line:?}"
+                );
+                let inner = &v[1..v.len() - 1];
+                assert!(
+                    !inner.contains('\n') && !inner.contains('"'),
+                    "unescaped label value in {line:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn each_family_has_help_then_type_exactly_once() {
+    let text = populated_registry().prometheus();
+    let mut helped: BTreeSet<String> = BTreeSet::new();
+    let mut typed: BTreeSet<String> = BTreeSet::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').expect("HELP has text");
+            assert!(valid_metric_name(name), "bad HELP name in {line:?}");
+            assert!(!help.is_empty(), "empty HELP for {name}");
+            assert!(helped.insert(name.to_string()), "duplicate HELP for {name}");
+            assert!(
+                !typed.contains(name),
+                "HELP for {name} must precede its TYPE"
+            );
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest.split_once(' ').expect("TYPE has kind");
+            assert!(
+                matches!(
+                    kind,
+                    "counter" | "gauge" | "summary" | "histogram" | "untyped"
+                ),
+                "unknown TYPE kind in {line:?}"
+            );
+            assert!(helped.contains(name), "TYPE for {name} without HELP");
+            assert!(typed.insert(name.to_string()), "duplicate TYPE for {name}");
+        }
+    }
+    assert!(typed.contains("roia_ticks_total"));
+    assert!(typed.contains("roia_tick_duration_us"));
+}
+
+#[test]
+fn samples_only_appear_under_their_family_comments() {
+    let text = populated_registry().prometheus();
+    let mut current_family: Option<String> = None;
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            current_family = rest.split(' ').next().map(str::to_string);
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (name, _, _) = split_sample(line);
+        let family = current_family.as_deref().expect("sample before any TYPE");
+        // Summary companions append a suffix to the family name.
+        let base = name
+            .strip_suffix("_count")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_max"))
+            .unwrap_or(&name);
+        assert!(
+            name == family || base == family,
+            "sample {name} under family {family}"
+        );
+    }
+}
+
+#[test]
+fn quantile_labels_render_after_the_key_label() {
+    let text = populated_registry().prometheus();
+    assert!(text.contains("roia_tick_duration_us{server=\"0\",quantile=\"0.5\"}"));
+    assert!(text.contains("roia_tick_duration_us{server=\"3\",quantile=\"0.999\"}"));
+    assert!(text.contains("roia_tick_duration_us_count{server=\"0\"} 4"));
+    assert!(text.contains("roia_tick_duration_us_sum{server=\"3\"} 51100"));
+}

@@ -61,6 +61,64 @@ proptest! {
         prop_assert_eq!(a.snapshot(), union.snapshot());
     }
 
+    /// Stronger than snapshot equality: the merged histogram answers
+    /// *every* quantile query exactly as the union recording does, not
+    /// just the four snapshot percentiles.
+    #[test]
+    fn merged_percentiles_equal_union_at_arbitrary_q(
+        a_values in vec(value_strategy(), 1..120),
+        b_values in vec(value_strategy(), 0..120),
+        qs in vec(0.0_f64..=1.0, 1..16),
+    ) {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut union = Histogram::new();
+        for &v in &a_values {
+            a.record(v);
+            union.record(v);
+        }
+        for &v in &b_values {
+            b.record(v);
+            union.record(v);
+        }
+        a.merge(&b);
+        for &q in &qs {
+            prop_assert_eq!(
+                a.percentile(q),
+                union.percentile(q),
+                "q={} diverges after merge", q
+            );
+        }
+        // Merge is also order-insensitive: b.merge(a) answers the same.
+        let mut flipped = Histogram::new();
+        for &v in &b_values {
+            flipped.record(v);
+        }
+        let mut a_only = Histogram::new();
+        for &v in &a_values {
+            a_only.record(v);
+        }
+        flipped.merge(&a_only);
+        for &q in &qs {
+            prop_assert_eq!(flipped.percentile(q), union.percentile(q));
+        }
+    }
+
+    /// Merging an empty histogram is the identity in both directions.
+    #[test]
+    fn merge_with_empty_is_identity(values in vec(value_strategy(), 0..100)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let before = h.clone();
+        h.merge(&Histogram::new());
+        prop_assert_eq!(&h, &before);
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        prop_assert_eq!(&empty, &before);
+    }
+
     #[test]
     fn percentile_never_exceeds_max_nor_undershoots_min(
         values in vec(value_strategy(), 1..100),

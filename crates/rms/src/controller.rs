@@ -124,6 +124,26 @@ pub struct RmsController {
     tracer: Tracer,
 }
 
+/// Point-in-time controller state for observability consumers (the SLO
+/// feed and postmortem manifests). Produced by
+/// [`RmsController::health`]; plain data, no control authority.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControllerHealth {
+    /// A declared degraded episode (admission control + reduced AoI
+    /// fidelity) is live.
+    pub degraded: bool,
+    /// Tick the live episode was entered, if any.
+    pub degraded_since: Option<u64>,
+    /// The controller is in migration-only mode (scale-ups blocked).
+    pub migration_only: bool,
+    /// Actions issued but not yet resolved.
+    pub pending_actions: u32,
+    /// Retries/escalations waiting for their backoff to elapse.
+    pub queued_follow_ups: u32,
+    /// AoI fidelity the cluster should apply right now.
+    pub aoi_fidelity: f64,
+}
+
 impl RmsController {
     /// Creates a controller around a policy.
     pub fn new(policy: Box<dyn Policy>, config: ControllerConfig) -> Self {
@@ -195,6 +215,20 @@ impl RmsController {
     /// Tick the live degraded episode was entered, if any.
     pub fn degraded_since(&self) -> Option<u64> {
         self.degraded_mode.entered_at()
+    }
+
+    /// One-line health summary for the SLO engine and the flight
+    /// recorder's postmortem manifest: what state the controller is in
+    /// at `now_tick`, without touching any of it.
+    pub fn health(&self, now_tick: u64) -> ControllerHealth {
+        ControllerHealth {
+            degraded: self.degraded_mode.active(),
+            degraded_since: self.degraded_mode.entered_at(),
+            migration_only: self.is_degraded(now_tick),
+            pending_actions: u32::try_from(self.pending.len()).unwrap_or(u32::MAX),
+            queued_follow_ups: u32::try_from(self.follow_ups.len()).unwrap_or(u32::MAX),
+            aoi_fidelity: self.degraded_mode.fidelity(),
+        }
     }
 
     /// AoI fidelity the cluster should apply right now (1.0 healthy,

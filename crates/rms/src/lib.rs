@@ -22,7 +22,9 @@ pub mod policy;
 pub mod resources;
 
 pub use actions::{rebalance_share, Action, ActionId, ActionLog, ActionOutcome, LoggedAction};
-pub use controller::{ControllerConfig, IssuedAction, RetryConfig, RmsController};
+pub use controller::{
+    ControllerConfig, ControllerHealth, IssuedAction, RetryConfig, RmsController,
+};
 pub use degraded::{Admission, AdmissionMode, DegradedConfig, DegradedMode, EpisodeSummary};
 pub use monitor::{ServerSnapshot, ZoneSnapshot};
 pub use policy::{

@@ -62,6 +62,17 @@ impl TaskKind {
         self as usize
     }
 
+    /// Index of the matching model parameter in `ParamKind::ALL` order,
+    /// or `None` for [`TaskKind::Other`], which no Eq. (1) term models.
+    /// The first nine task kinds mirror the parameter order exactly, so
+    /// per-task timings can be folded against per-term predictions.
+    pub const fn param_index(self) -> Option<usize> {
+        match self {
+            TaskKind::Other => None,
+            _ => Some(self as usize),
+        }
+    }
+
     /// The paper's symbol, if the task has one.
     pub fn symbol(&self) -> &'static str {
         match self {

@@ -25,13 +25,19 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use roia_autocal::{OnlineCalibrator, PublishOutcome, RefitReport};
 use roia_model::ScalabilityModel;
-use roia_obs::{secs_to_micros, MetricKey, MetricsRegistry, RingSink, TraceEvent, Tracer};
+use roia_obs::slo::{
+    SLO_BACKPRESSURE, SLO_INVARIANTS, SLO_JOIN_SHED, SLO_TICK_BUDGET, SLO_TICK_P99,
+};
+use roia_obs::{
+    secs_to_micros, AttributionAccumulator, FlightConfig, FlightRecorder, MetricKey,
+    MetricsRegistry, RingSink, SloEngine, SloGauge, SloTransition, TraceEvent, Tracer,
+};
 use rtf_core::client::{Client, ClientState};
 use rtf_core::entity::UserId;
 use rtf_core::metrics::TickRecord;
 use rtf_core::net::{Bus, NodeId};
 use rtf_core::server::{Server, ServerConfig};
-use rtf_core::timer::TimeMode;
+use rtf_core::timer::{TaskKind, TimeMode};
 use rtf_core::zone::{InstanceId, WorldLayout, Zone, ZoneId};
 use rtf_rms::{
     Action, ActionId, ActionOutcome, Admission, BootEvent, ControllerConfig, LeaseId,
@@ -259,7 +265,27 @@ pub struct Cluster {
     /// Degraded flag observed at the last reconcile — transition edges
     /// apply/restore AoI fidelity on every live replica exactly once.
     degraded_prev: bool,
+    /// Always-on SLO engine: multi-window burn-rate objectives fed one
+    /// sample per server-tick; transitions become trace events, pages
+    /// trigger postmortem dumps.
+    slo: SloEngine,
+    /// Streaming per-term residual fold: observed per-task seconds vs the
+    /// in-force model's Eq. (4) term predictions.
+    attrib: AttributionAccumulator,
+    /// Flight recorder teed onto the tracer when armed
+    /// ([`Cluster::arm_flight`]); dumps a postmortem bundle on SLO pages,
+    /// degraded-mode entry and invariant violations.
+    flight: Option<std::sync::Arc<std::sync::Mutex<FlightRecorder>>>,
+    /// Join-admission attempts seen since the last step (SLO feed).
+    join_attempts_tick: u32,
+    /// Joins shed since the last step (SLO feed).
+    join_sheds_tick: u32,
 }
+
+/// Ticks between flight-recorder metrics snapshots (5 s at 25 Hz). The
+/// postmortem bundle carries the latest snapshot, so the cadence bounds
+/// how stale its metrics view can be.
+const FLIGHT_METRICS_CADENCE: u64 = 125;
 
 /// Per-server trace buffer capacity during a fanned-out tick. A server
 /// emits one `TickSpan` per tick today; the headroom absorbs future
@@ -326,6 +352,11 @@ impl Cluster {
             queued_joins: 0,
             shed_joins: 0,
             degraded_prev: false,
+            slo: SloEngine::standard(),
+            attrib: AttributionAccumulator::default(),
+            flight: None,
+            join_attempts_tick: 0,
+            join_sheds_tick: 0,
         };
         cluster.arm_strict_auditor();
         let powerful = cluster.config.initial_powerful.min(initial_servers);
@@ -365,6 +396,16 @@ impl Cluster {
     pub fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
         self.arm_strict_auditor();
+        if let Some(recorder) = &self.flight {
+            let sink: std::sync::Arc<std::sync::Mutex<dyn roia_obs::TraceSink>> = recorder.clone();
+            self.tracer = self.tracer.tee_with(sink);
+        }
+        self.propagate_tracer();
+    }
+
+    /// Re-hands the current tracer to the controller, servers and
+    /// calibrator after it was rebuilt (new sink, new tee).
+    fn propagate_tracer(&mut self) {
         if let Some(controller) = self.controller.as_mut() {
             controller.set_tracer(self.tracer.clone());
         }
@@ -385,6 +426,69 @@ impl Cluster {
         if let Some(cal) = self.autocal.as_ref() {
             cal.registry().set_tracer(self.tracer.clone());
         }
+    }
+
+    /// Arms the flight recorder: a bounded ring of recent trace events and
+    /// `Decision` records teed onto the tracer (alongside whatever sink the
+    /// operator configured), plus periodic metrics snapshots. On an SLO
+    /// page burn, a degraded-mode entry or an invariant violation the ring
+    /// is dumped as a deterministic postmortem bundle under the recorder's
+    /// directory and a `PostmortemDumped` event marks the trace.
+    pub fn arm_flight(&mut self, config: FlightConfig) {
+        let recorder = std::sync::Arc::new(std::sync::Mutex::new(FlightRecorder::new(config)));
+        let sink: std::sync::Arc<std::sync::Mutex<dyn roia_obs::TraceSink>> = recorder.clone();
+        self.flight = Some(recorder);
+        self.tracer = self.tracer.tee_with(sink);
+        self.propagate_tracer();
+    }
+
+    /// The armed flight recorder, if any.
+    pub fn flight(&self) -> Option<&std::sync::Arc<std::sync::Mutex<FlightRecorder>>> {
+        self.flight.as_ref()
+    }
+
+    /// Dumps a postmortem bundle (best-effort, budgeted) and emits the
+    /// marker event. No-op without an armed recorder.
+    fn flight_dump(&self, cause: u64, reason: &'static str) {
+        let Some(recorder) = &self.flight else {
+            return;
+        };
+        let version = self.autocal.as_ref().map(|c| c.version()).unwrap_or(0);
+        // Take the dump with the lock held, emit after releasing it — the
+        // marker event flows back into the recorder through the tee, and
+        // the mutex is not reentrant.
+        let event = recorder
+            .lock()
+            .ok()
+            .and_then(|mut rec| rec.dump(self.tick, cause, reason, version));
+        if let Some(event) = event {
+            self.tracer.emit(event);
+        }
+    }
+
+    /// Feeds the transport backpressure duty-cycle objective: `congested`
+    /// of `total` transport server ticks spent with at least one peer
+    /// under backpressure (see `rtf_transport`'s `backpressure_duty`).
+    /// Called by harnesses that pair the cluster with real transport
+    /// sessions; the objective stays silent otherwise.
+    pub fn observe_backpressure(&mut self, congested: u64, total: u64) {
+        self.slo.observe(SLO_BACKPRESSURE, congested, total);
+    }
+
+    /// The per-term attribution fold accumulated so far (empty until a
+    /// calibrator or reference model is attached).
+    pub fn attribution(&self) -> &AttributionAccumulator {
+        &self.attrib
+    }
+
+    /// Live SLO burn-rate gauges, one per objective.
+    pub fn slo_gauges(&self) -> Vec<SloGauge> {
+        self.slo.gauges()
+    }
+
+    /// Whether any SLO objective is currently burning.
+    pub fn slo_burning(&self) -> bool {
+        self.slo.any_burning()
     }
 
     /// Tees the stream-invariant auditor onto the current tracer so it
@@ -748,6 +852,7 @@ impl Cluster {
     /// shed outright once the queue is full. Without a controller every
     /// join is admitted.
     pub fn request_join(&mut self) -> JoinOutcome {
+        self.join_attempts_tick += 1;
         let now = self.tick;
         let verdict = match self.controller.as_mut() {
             Some(controller) => controller.admit_join(self.queued_joins, now),
@@ -776,6 +881,7 @@ impl Cluster {
     }
 
     fn note_shed(&mut self) {
+        self.join_sheds_tick += 1;
         self.shed_joins += 1;
         self.metrics
             .add(MetricKey::plain("roia_joins_shed_total"), 1);
@@ -1347,6 +1453,7 @@ impl Cluster {
             if active {
                 self.metrics
                     .add(MetricKey::plain("roia_degraded_entries_total"), 1);
+                self.flight_dump(self.tick, "degraded");
             }
             self.degraded_prev = active;
         }
@@ -1463,6 +1570,10 @@ impl Cluster {
             v
         };
         if !violations.is_empty() {
+            // Preserve the evidence before aborting: the bundle holds the
+            // events leading up to the violation, the panic only its text.
+            self.flight_dump(self.tick, "invariant");
+            self.tracer.flush();
             let rendered: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
             panic!(
                 "tick {}: {} invariant violation(s):\n{}",
@@ -1677,27 +1788,100 @@ impl Cluster {
             }
         }
 
-        // Model annotations: whatever model is in force (live registry
-        // version, or the frozen reference) predicts each replica's tick
-        // from the observed (l, n, m, a); the worst one lines up against
-        // `max_tick_duration`.
-        let (model_version, predicted_tick) = {
-            let model = match (&self.autocal, &self.reference_model) {
-                (Some(cal), _) => Some((cal.version(), cal.model())),
-                (None, Some(frozen)) => Some((0, frozen.clone())),
-                (None, None) => None,
-            };
-            match model {
-                Some((version, model)) => {
-                    let worst = records
-                        .iter()
-                        .map(|r| model.tick(replicas, r.zone_users(), r.npcs, r.active_users))
-                        .fold(0.0f64, f64::max);
-                    (version, worst)
-                }
-                None => (0, 0.0),
-            }
+        // Model annotations + attribution: whatever model is in force
+        // (live registry version, or the frozen reference) predicts each
+        // replica's tick from the observed (l, n, m, a); the worst one
+        // lines up against `max_tick_duration`, and the per-term split is
+        // folded against the observed per-task seconds so a miss can be
+        // pinned on a specific parameter.
+        let model = match (&self.autocal, &self.reference_model) {
+            (Some(cal), _) => Some((cal.version(), cal.model())),
+            (None, Some(frozen)) => Some((0, frozen.clone())),
+            (None, None) => None,
         };
+        let (model_version, predicted_tick) = match model {
+            Some((version, model)) => {
+                let mut worst = 0.0f64;
+                for r in &records {
+                    worst = worst.max(model.tick(replicas, r.zone_users(), r.npcs, r.active_users));
+                    let predicted = model.tick_terms(
+                        replicas,
+                        r.zone_users(),
+                        r.npcs,
+                        r.active_users,
+                        r.migrations_initiated,
+                        r.migrations_received,
+                    );
+                    let mut observed = [0.0f64; roia_obs::TERM_COUNT];
+                    for task in TaskKind::ALL {
+                        if let (Some(slot), Some(secs)) = (
+                            task.param_index().and_then(|i| observed.get_mut(i)),
+                            r.per_task.get(task.index()),
+                        ) {
+                            *slot = *secs;
+                        }
+                    }
+                    self.attrib.fold(&observed, &predicted);
+                }
+                (version, worst)
+            }
+            None => (0, 0.0),
+        };
+
+        // SLO feed: one sample per server-tick for the latency objectives,
+        // plus this step's join-admission outcomes. Burn and recovery
+        // transitions become trace events; a page-severity burn dumps the
+        // flight recorder with the burn's cause tick.
+        let server_ticks = records.len() as u64;
+        let p99_bad = records
+            .iter()
+            .filter(|r| r.tick_duration >= 0.9 * self.u_threshold)
+            .count() as u64;
+        self.slo
+            .observe(SLO_TICK_BUDGET, violations_delta, server_ticks);
+        self.slo.observe(SLO_TICK_P99, p99_bad, server_ticks);
+        self.slo.observe(SLO_INVARIANTS, 0, 1);
+        self.slo.observe(
+            SLO_JOIN_SHED,
+            u64::from(self.join_sheds_tick),
+            u64::from(self.join_attempts_tick),
+        );
+        self.join_attempts_tick = 0;
+        self.join_sheds_tick = 0;
+        let transitions = self.slo.end_tick(self.tick);
+        for transition in &transitions {
+            self.tracer.emit(transition.to_event(self.tick));
+            match transition {
+                SloTransition::Burn {
+                    severity, cause, ..
+                } => {
+                    self.metrics
+                        .add(MetricKey::plain("roia_slo_burns_total"), 1);
+                    if *severity == "page" {
+                        self.flight_dump(*cause, "slo_page");
+                    }
+                }
+                SloTransition::Recovered { .. } => {
+                    self.metrics
+                        .add(MetricKey::plain("roia_slo_recoveries_total"), 1);
+                }
+            }
+        }
+        for (idx, gauge) in self.slo.gauges().iter().enumerate() {
+            // Burn rates are clamped to 1e9 permille, well inside i64.
+            self.metrics.set(
+                MetricKey::labelled("roia_slo_fast_burn_pm", "slo", idx as u64),
+                gauge.fast_burn_pm as i64,
+            );
+            self.metrics.set(
+                MetricKey::labelled("roia_slo_slow_burn_pm", "slo", idx as u64),
+                gauge.slow_burn_pm as i64,
+            );
+            self.metrics.set(
+                MetricKey::labelled("roia_slo_burning", "slo", idx as u64),
+                i64::from(gauge.burning),
+            );
+        }
 
         let stats = ClusterTickStats {
             tick: self.tick,
@@ -1725,6 +1909,13 @@ impl Cluster {
             MetricKey::plain("roia_model_version"),
             stats.model_version as i64,
         );
+        if let Some(recorder) = &self.flight {
+            if self.tick.is_multiple_of(FLIGHT_METRICS_CADENCE) {
+                if let Ok(mut rec) = recorder.lock() {
+                    rec.note_metrics(self.tick, self.metrics.to_json());
+                }
+            }
+        }
         self.history.push(stats);
         self.tick += 1;
         stats
@@ -2051,5 +2242,121 @@ mod tests {
         cluster.run(30); // past the revert
         let recovered = cluster.history().last().unwrap().max_tick_duration;
         assert!(recovered < healthy * 2.0, "straggler healed: {recovered}");
+    }
+
+    /// The obs crate's attribution slots are a convention, not a shared
+    /// type — this pin makes the convention load-bearing.
+    #[test]
+    fn term_slots_mirror_param_kinds() {
+        use roia_model::ParamKind;
+        assert_eq!(roia_obs::TERM_COUNT, ParamKind::ALL.len());
+        for (i, kind) in ParamKind::ALL.iter().enumerate() {
+            assert_eq!(roia_obs::TERM_SYMBOLS[i], kind.symbol());
+        }
+        for task in TaskKind::ALL {
+            match task.param_index() {
+                Some(i) => assert_eq!(task.symbol(), roia_obs::TERM_SYMBOLS[i]),
+                None => assert_eq!(task, TaskKind::Other),
+            }
+        }
+    }
+
+    #[test]
+    fn slo_burn_fires_escalates_and_dumps() {
+        let dir = std::env::temp_dir().join(format!("roia-slo-burn-{}", std::process::id()));
+        let mut cluster = Cluster::new(small_config(), 1);
+        cluster.arm_flight(FlightConfig::new(&dir));
+        // An impossible budget makes every server tick a bad sample: the
+        // fast window saturates immediately and the burn escalates to a
+        // page, which dumps a postmortem bundle.
+        cluster.set_threshold(1e-9);
+        for _ in 0..5 {
+            cluster.add_user();
+        }
+        let (tracer, ring) = Tracer::ring(256);
+        cluster.set_tracer(tracer);
+        cluster.run(50);
+        assert!(cluster.slo_burning(), "impossible budget keeps burning");
+        let events = ring.lock().unwrap().drain();
+        let burns: Vec<(&str, &str)> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::SloBurn { slo, severity, .. } => Some((*slo, *severity)),
+                _ => None,
+            })
+            .collect();
+        // A fully saturated window crosses the page threshold on the very
+        // first evaluation, so the burn fires at page severity directly.
+        assert!(
+            burns.contains(&("tick_budget", "page")),
+            "tick-budget page: {burns:?}"
+        );
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                TraceEvent::PostmortemDumped {
+                    reason: "slo_page",
+                    ..
+                }
+            )),
+            "page burn dumped a bundle"
+        );
+        let gauges = cluster.slo_gauges();
+        assert!(gauges.iter().any(|g| g.slo == "tick_budget" && g.burning));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn attribution_folds_against_reference_model() {
+        use roia_model::{CostFn, ModelParams};
+        let params = ModelParams {
+            t_ua_dser: CostFn::Linear { c0: 4e-6, c1: 5e-9 },
+            t_ua: CostFn::Quadratic {
+                c0: 45e-6,
+                c1: 2.5e-7,
+                c2: 0.0,
+            },
+            t_aoi: CostFn::Quadratic {
+                c0: 5e-6,
+                c1: 2.2e-7,
+                c2: 1e-10,
+            },
+            t_su: CostFn::Linear {
+                c0: 3e-6,
+                c1: 1.5e-7,
+            },
+            t_fa_dser: CostFn::Linear { c0: 2e-6, c1: 1e-9 },
+            t_fa: CostFn::Linear {
+                c0: 20e-6,
+                c1: 1e-9,
+            },
+            t_npc: CostFn::ZERO,
+            t_mig_ini: CostFn::Linear {
+                c0: 0.2e-3,
+                c1: 7e-6,
+            },
+            t_mig_rcv: CostFn::Linear {
+                c0: 0.15e-3,
+                c1: 4e-6,
+            },
+        };
+        let mut cluster = Cluster::new(small_config(), 2);
+        cluster.set_reference_model(ScalabilityModel::new(params, 0.040));
+        for _ in 0..20 {
+            cluster.add_user();
+        }
+        cluster.run(30);
+        let attrib = cluster.attribution();
+        assert!(attrib.samples() > 0, "records folded");
+        let (observed, predicted) = attrib.totals();
+        assert!(observed > 0.0 && predicted > 0.0);
+        // The modeled terms never exceed the full tick durations (which
+        // also include TaskKind::Other time).
+        let total_ticks: f64 = cluster.history().iter().map(|h| h.max_tick_duration).sum();
+        assert!(observed <= total_ticks * 2.0 + 1e-9);
+        let report = attrib.report();
+        assert_eq!(report.len(), roia_obs::TERM_COUNT);
+        let share: f64 = report.iter().map(|t| t.miss_share).sum();
+        assert!(share.abs() < 1e-9 || (share - 1.0).abs() < 1e-6);
     }
 }

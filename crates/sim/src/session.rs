@@ -8,7 +8,8 @@
 use crate::chaos::FaultPlan;
 use crate::cluster::{Cluster, ClusterConfig, ClusterTickStats};
 use crate::workload::{drive, Workload};
-use roia_obs::{MetricsRegistry, Tracer};
+use roia_model::ScalabilityModel;
+use roia_obs::{FlightConfig, MetricsRegistry, TermReport, Tracer};
 use rtf_rms::{ActionOutcome, ControllerConfig, Policy};
 
 /// Session configuration.
@@ -32,6 +33,14 @@ pub struct SessionConfig {
     /// Telemetry tracer installed on the cluster before the first tick
     /// (disabled by default — tracing is strictly opt-in).
     pub tracer: Tracer,
+    /// Arm the flight recorder with this config before the first tick:
+    /// bounded event/decision rings plus postmortem bundles dumped on SLO
+    /// pages, degraded entries and invariant violations.
+    pub flight: Option<FlightConfig>,
+    /// Reference model installed on the cluster for per-tick predictions
+    /// and per-term attribution (superseded by the auto-calibrator's
+    /// published model when one is attached).
+    pub reference_model: Option<ScalabilityModel>,
 }
 
 impl Default for SessionConfig {
@@ -46,6 +55,8 @@ impl Default for SessionConfig {
             chaos: None,
             debug_checks: false,
             tracer: Tracer::disabled(),
+            flight: None,
+            reference_model: None,
         }
     }
 }
@@ -77,6 +88,9 @@ pub struct SessionReport {
     /// Operator metrics accumulated by the cluster (tick-duration
     /// histograms per server, lifecycle counters, population gauges).
     pub metrics: MetricsRegistry,
+    /// Per-term model attribution, ranked by miss share (empty when no
+    /// model was in force — no calibrator, no reference model).
+    pub attribution: Vec<TermReport>,
 }
 
 impl SessionReport {
@@ -150,6 +164,12 @@ pub fn run_session(
     if let Some(plan) = config.chaos {
         cluster.set_chaos(plan);
     }
+    if let Some(flight) = config.flight {
+        cluster.arm_flight(flight);
+    }
+    if let Some(model) = config.reference_model {
+        cluster.set_reference_model(model);
+    }
 
     let mut peak_servers = cluster.server_count();
     for _ in 0..config.ticks {
@@ -181,6 +201,7 @@ pub fn run_session(
         peak_servers,
         outcomes,
         metrics: cluster.metrics().clone(),
+        attribution: cluster.attribution().report(),
         history: cluster.history().to_vec(),
     }
 }

@@ -148,6 +148,13 @@ pub struct ServerStats {
     pub bad_frames: u64,
     /// Peers that disconnected (any reason).
     pub peers_closed: u64,
+    /// Ticks during which at least one peer was under backpressure —
+    /// the numerator of the backpressure duty cycle the SLO engine
+    /// watches.
+    pub bp_ticks: u64,
+    /// Peer-ticks spent under backpressure (every congested peer
+    /// counts each tick), for sizing how wide an episode was.
+    pub bp_peer_ticks: u64,
 }
 
 /// What one server tick did — the per-tick egress sample `netdemo`
@@ -224,6 +231,16 @@ impl<T: Transport> ServerSession<T> {
         self.stats
     }
 
+    /// Backpressure duty cycle so far: fraction of server ticks with at
+    /// least one congested peer, in `[0, 1]` (0.0 before any tick).
+    pub fn backpressure_duty(&self) -> f64 {
+        if self.tick == 0 {
+            0.0
+        } else {
+            self.stats.bp_ticks as f64 / self.tick as f64
+        }
+    }
+
     /// The underlying transport (byte accounting lives there).
     pub fn transport(&self) -> &T {
         &self.transport
@@ -254,6 +271,12 @@ impl<T: Transport> ServerSession<T> {
         let snapshots_sent = self.broadcast();
         self.changed.clear();
         self.removed.clear();
+
+        let congested = self.peers.values().filter(|p| p.bp_since.is_some()).count() as u64;
+        if congested > 0 {
+            self.stats.bp_ticks += 1;
+            self.stats.bp_peer_ticks += congested;
+        }
 
         let after = self.transport.total_stats();
         TickReport {

@@ -7,12 +7,13 @@
 //! attaching a tracer does not perturb the simulation.
 
 use roia::model::{calibrate, ScalabilityModel};
-use roia::obs::{TraceEvent, Tracer};
-use roia::rms::{ModelDriven, ModelDrivenConfig};
+use roia::obs::{FlightConfig, TraceEvent, Tracer};
+use roia::rms::{ModelDriven, ModelDrivenConfig, ResourcePool};
 use roia::sim::{
-    measure_migration_params, measure_replication_params, run_session, FaultPlan, MeasureConfig,
-    PaperSession, SessionConfig, SessionReport,
+    measure_migration_params, measure_replication_params, run_session, ClusterConfig, FaultPlan,
+    FlashCrowd, MeasureConfig, PaperSession, SessionConfig, SessionReport,
 };
+use std::path::{Path, PathBuf};
 
 fn model() -> ScalabilityModel {
     let campaign = MeasureConfig {
@@ -212,6 +213,271 @@ fn metrics_export_reports_per_server_tick_quantiles() {
     assert!(
         json.contains("roia_tick_duration_us"),
         "JSON export covers histograms"
+    );
+}
+
+/// A flash crowd sized off the calibrated capacity: the surge puts each
+/// of the two initial servers well past `N_max(1)` while the starved
+/// pool (one standard + one powerful machine spare, 2 s boot delay)
+/// guarantees a window of sustained tick-budget violations before
+/// scale-out absorbs the load.
+fn flash_crowd_session(
+    model: &ScalabilityModel,
+    tracer: Tracer,
+    flight: Option<FlightConfig>,
+) -> (SessionReport, u64, u64) {
+    let n1 = model.max_users(1, 0);
+    let ticks = 1500_u64; // 60 s at 25 Hz
+    let horizon_secs = ticks as f64 * 0.040;
+    let workload = FlashCrowd {
+        base: 40,
+        crowd: (n1 as f64 * 2.6) as u32, // ~1.3×N1 per initial server
+        start_secs: 0.2 * horizon_secs,
+        end_secs: 0.7 * horizon_secs,
+    };
+    let config = SessionConfig {
+        ticks,
+        max_churn_per_tick: 12,
+        cluster: ClusterConfig {
+            pool: ResourcePool::new(3, 1, 50, 90_000),
+            ..ClusterConfig::default()
+        },
+        initial_servers: 2,
+        tracer,
+        flight,
+        reference_model: Some(model.clone()),
+        ..SessionConfig::default()
+    };
+    let policy = Box::new(ModelDriven::new(
+        model.clone(),
+        ModelDrivenConfig::default(),
+    ));
+    let report = run_session(config, policy, &workload);
+    let crowd_start = (workload.start_secs / 0.040) as u64;
+    let crowd_end = (workload.end_secs / 0.040) as u64;
+    (report, crowd_start, crowd_end)
+}
+
+#[test]
+fn flash_crowd_fires_tick_budget_burn_and_recovers() {
+    let model = model();
+    let (tracer, ring) = Tracer::ring(1 << 20);
+    let (report, crowd_start, crowd_end) = flash_crowd_session(&model, tracer, None);
+
+    let events: Vec<TraceEvent> = ring.lock().unwrap().drain();
+    let burns: Vec<(u64, u64, &str)> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::SloBurn {
+                tick,
+                cause,
+                slo: "tick_budget",
+                severity,
+                ..
+            } => Some((*tick, *cause, *severity)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !burns.is_empty(),
+        "the crowd must burn the tick-duration budget"
+    );
+    let (burn_tick, burn_cause, _) = burns[0];
+    assert!(
+        burn_cause >= crowd_start && burn_cause < crowd_end,
+        "burn cause t={burn_cause} points into the crowd window [{crowd_start}, {crowd_end})"
+    );
+
+    let recovery = events
+        .iter()
+        .find_map(|e| match e {
+            TraceEvent::SloRecovered {
+                tick,
+                cause,
+                slo: "tick_budget",
+                burn_ticks,
+            } => Some((*tick, *cause, *burn_ticks)),
+            _ => None,
+        })
+        .expect("scale-out must eventually clear the burn");
+    let (rec_tick, rec_cause, burn_ticks) = recovery;
+    assert!(rec_tick > burn_tick, "recovery follows the burn");
+    assert_eq!(rec_cause, burn_cause, "recovery names the burn's cause");
+    assert!(burn_ticks > 0);
+
+    // Per-term attribution was live (a reference model is attached) and
+    // its observed side is complete: summed per-term seconds equal the
+    // total simulated busy time within 1 % (the roia-top acceptance
+    // bound; the sim charges no work outside the nine model terms).
+    let observed: f64 = report.attribution.iter().map(|t| t.observed_s).sum();
+    let busy_us = report
+        .metrics
+        .histogram(roia::obs::MetricKey::plain("roia_tick_duration_us"))
+        .expect("aggregate tick-duration histogram")
+        .snapshot()
+        .sum;
+    let busy = busy_us as f64 * 1e-6;
+    assert!(busy > 0.0 && observed > 0.0);
+    assert!(
+        ((observed - busy) / busy).abs() <= 0.01,
+        "attribution covers {observed:.3}s of {busy:.3}s busy time"
+    );
+    assert!(
+        report.attribution.iter().any(|t| t.samples > 0),
+        "residual accumulators saw samples"
+    );
+}
+
+/// Bundle files a postmortem dump must produce.
+const BUNDLE_FILES: [&str; 4] = [
+    "events.jsonl",
+    "decisions.jsonl",
+    "metrics.json",
+    "manifest.json",
+];
+
+/// A short session whose threshold is set so low that every server tick
+/// violates: the tick-budget objective pages within the first ticks and
+/// the flight recorder must dump a bundle.
+fn paging_session(model: &ScalabilityModel, dir: &Path, trace: &Path) -> SessionReport {
+    let config = SessionConfig {
+        ticks: 300,
+        u_threshold: 1e-6,
+        tracer: Tracer::jsonl(trace).expect("trace file opens"),
+        flight: Some(FlightConfig::new(dir)),
+        reference_model: Some(model.clone()),
+        ..SessionConfig::default()
+    };
+    let policy = Box::new(ModelDriven::new(
+        model.clone(),
+        ModelDrivenConfig::default(),
+    ));
+    let workload = PaperSession {
+        peak: 30,
+        ramp_up_secs: 4.0,
+        hold_secs: 4.0,
+        ramp_down_secs: 4.0,
+    };
+    run_session(config, policy, &workload)
+}
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("roia_obs_{}_{name}", std::process::id()))
+}
+
+#[test]
+fn postmortem_bundles_round_trip_and_are_deterministic() {
+    let model = model();
+    let dirs = [scratch("flight_a"), scratch("flight_b")];
+    let traces = [scratch("trace_a.jsonl"), scratch("trace_b.jsonl")];
+    for (dir, trace) in dirs.iter().zip(&traces) {
+        let _ = std::fs::remove_dir_all(dir);
+        paging_session(&model, dir, trace);
+    }
+
+    // Same seed, same inputs: the full telemetry stream and every dumped
+    // bundle are byte-identical across reruns.
+    let trace_a = std::fs::read(&traces[0]).expect("trace a written");
+    let trace_b = std::fs::read(&traces[1]).expect("trace b written");
+    assert!(!trace_a.is_empty());
+    assert_eq!(trace_a, trace_b, "same-seed traces must be byte-identical");
+
+    let bundle = dirs[0].join("postmortem-0");
+    assert!(bundle.is_dir(), "the page dumped a bundle at {bundle:?}");
+    for file in BUNDLE_FILES {
+        let a = std::fs::read(bundle.join(file)).expect(file);
+        let b = std::fs::read(dirs[1].join("postmortem-0").join(file)).expect(file);
+        assert_eq!(a, b, "{file} must be byte-identical across reruns");
+    }
+
+    // The bundle round-trips through the same parsers explain/roia-top
+    // use: every ring line decodes, the manifest and metrics parse, and
+    // the manifest agrees with the ring contents.
+    let events_text = std::fs::read_to_string(bundle.join("events.jsonl")).unwrap();
+    let mut ring_events = 0_u64;
+    for line in events_text.lines() {
+        let ev =
+            TraceEvent::from_json(line).unwrap_or_else(|| panic!("bundle event decodes: {line}"));
+        assert_eq!(TraceEvent::from_json(&ev.to_json()), Some(ev), "round trip");
+        ring_events += 1;
+    }
+    assert!(ring_events > 0, "the ring captured pre-trigger telemetry");
+    for line in std::fs::read_to_string(bundle.join("decisions.jsonl"))
+        .unwrap()
+        .lines()
+    {
+        assert!(
+            matches!(
+                TraceEvent::from_json(line),
+                Some(TraceEvent::Decision { .. })
+            ),
+            "decision ring holds decisions only: {line}"
+        );
+    }
+    let manifest_text = std::fs::read_to_string(bundle.join("manifest.json")).unwrap();
+    let manifest = roia::obs::export::parse_object(manifest_text.trim()).expect("manifest parses");
+    assert_eq!(manifest["bundle"].as_str(), Some("postmortem"));
+    assert_eq!(manifest["reason"].as_str(), Some("slo_page"));
+    assert_eq!(manifest["events"].as_u64(), Some(ring_events));
+    let metrics_text = std::fs::read_to_string(bundle.join("metrics.json")).unwrap();
+    assert!(
+        roia::obs::export::parse_object(metrics_text.trim()).is_some(),
+        "metrics snapshot parses"
+    );
+
+    // The trace carries the marker event pointing at this bundle.
+    let trace_text = String::from_utf8(trace_a).unwrap();
+    let marker = trace_text
+        .lines()
+        .filter_map(TraceEvent::from_json)
+        .find_map(|e| match e {
+            TraceEvent::PostmortemDumped {
+                seq,
+                reason,
+                events,
+                ..
+            } => Some((seq, reason, events)),
+            _ => None,
+        })
+        .expect("PostmortemDumped marker in the trace");
+    assert_eq!(marker.0, 0);
+    assert_eq!(marker.1, "slo_page");
+    assert_eq!(marker.2 as u64, ring_events);
+
+    for dir in &dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    for trace in &traces {
+        let _ = std::fs::remove_file(trace);
+    }
+}
+
+#[test]
+fn slo_and_flight_overhead_is_bounded() {
+    let model = model();
+    // Warm-up run so neither timed run pays first-touch costs.
+    let (_, _, _) = flash_crowd_session(&model, Tracer::disabled(), None);
+
+    let start = std::time::Instant::now();
+    let (_, _, _) = flash_crowd_session(&model, Tracer::disabled(), None);
+    let bare = start.elapsed();
+
+    let dir = scratch("flight_overhead");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (tracer, _ring) = Tracer::ring(1 << 20);
+    let start = std::time::Instant::now();
+    let (_, _, _) = flash_crowd_session(&model, tracer, Some(FlightConfig::new(&dir)));
+    let armed = start.elapsed();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Acceptance budget is ≤5 % on median tick time; wall-clock in a
+    // shared CI runner is noisy, so the gate here is a generous 75 %
+    // envelope plus a 50 ms absolute floor — it catches accidental
+    // O(events) work per tick, not single-digit-percent regressions.
+    let bound = bare.mul_f64(1.75) + std::time::Duration::from_millis(50);
+    assert!(
+        armed <= bound,
+        "tracer+flight overhead too high: bare={bare:?} armed={armed:?}"
     );
 }
 
