@@ -18,6 +18,7 @@
 //! * **Hysteresis** — a cadence refit whose parameters barely moved is
 //!   dropped; version churn would only invalidate downstream caches.
 //!
+// lint: allow-file(hot_lock, "locking IS this module's hot-path contract: reads are an RwLock<Arc> pointer clone (never blocked longer than the one-store publish swap), and the stats/history/tracer mutexes are touched only on cooldown-gated publishes and report paths")
 //! Drift-triggered refits bypass cooldown and hysteresis — the detector
 //! has evidence the world changed — but **never** the quality gates.
 

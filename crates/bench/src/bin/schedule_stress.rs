@@ -1,0 +1,122 @@
+//! Schedule-permutation determinism harness.
+//!
+//! The parallel tick's contract says *any* worker schedule produces the
+//! same observable history (see `roia_sim::parallel`). The unit tests
+//! pin that for thread counts; this harness attacks the stronger claim:
+//! it reruns one eventful seeded session — joins, chaos faults, leaves —
+//! under N seed-permuted worker schedules (chunk spawn order, per-chunk
+//! walk order and injected preemption points all perturbed, re-derived
+//! every tick) and requires every trace digest to be byte-identical to
+//! the natural schedule's. Any worker reading sibling state mid-fan-out,
+//! any map iteration leaking into the trace, any arrival-order-sensitive
+//! sink shows up as a digest mismatch and a nonzero exit.
+//!
+//! Usage: `schedule_stress [--seed N] [--ticks N] [--threads N]
+//! [--permutations N] [--json PATH]` — defaults: seed 7, 120 ticks,
+//! 4 threads, 8 permutations.
+
+use roia_bench::{cli, json};
+use roia_obs::Tracer;
+use roia_sim::chaos::FaultPlan;
+use roia_sim::{Cluster, ClusterConfig};
+use std::process::ExitCode;
+
+/// One session under a given schedule seed (0 = natural), returning the
+/// trace digest and event count.
+fn run(seed: u64, ticks: u64, threads: usize, schedule_seed: u64) -> (u64, u64) {
+    let config = ClusterConfig {
+        seed,
+        cost_noise: 0.05,
+        threads,
+        schedule_seed,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(config, 3);
+    let (tracer, sink) = Tracer::hashing();
+    cluster.set_tracer(tracer);
+    cluster.set_chaos(FaultPlan::random(seed ^ 0x9e37_79b9, 0.35, ticks));
+    for _ in 0..40 {
+        cluster.add_user();
+    }
+    cluster.run(ticks / 4);
+    for _ in 0..20 {
+        cluster.add_user();
+    }
+    cluster.run(ticks / 2);
+    for _ in 0..10 {
+        cluster.remove_user();
+    }
+    cluster.run(ticks / 4);
+    let guard = sink.lock().unwrap_or_else(|e| e.into_inner());
+    (guard.hash(), guard.events())
+}
+
+fn main() -> ExitCode {
+    let mut threads: usize = 4;
+    let mut permutations: u64 = 8;
+    let args = cli::parse_with(|flag, value| match flag {
+        "--threads" => {
+            threads = value("--threads").parse().expect("--threads: number");
+            true
+        }
+        "--permutations" => {
+            permutations = value("--permutations")
+                .parse()
+                .expect("--permutations: number");
+            true
+        }
+        _ => false,
+    });
+    let seed = args.seed.unwrap_or(7);
+    let ticks = args.ticks.unwrap_or(120).max(8);
+
+    let (natural_hash, natural_events) = run(seed, ticks, threads, 0);
+    println!(
+        "schedule natural      digest={natural_hash:016x} events={natural_events} \
+         (seed {seed}, {ticks} ticks, {threads} threads)"
+    );
+    assert!(natural_events > 0, "the session must actually trace");
+
+    let mut rows = vec![json::object(&[
+        ("schedule_seed", json::uint(0)),
+        ("digest", json::string(&format!("{natural_hash:016x}"))),
+        ("events", json::uint(natural_events)),
+    ])];
+    let mut diverged = 0u64;
+    for schedule_seed in 1..=permutations {
+        let (hash, events) = run(seed, ticks, threads, schedule_seed);
+        let verdict = if (hash, events) == (natural_hash, natural_events) {
+            "ok"
+        } else {
+            diverged += 1;
+            "DIVERGED"
+        };
+        println!(
+            "schedule permuted#{schedule_seed:<3} digest={hash:016x} events={events} {verdict}"
+        );
+        rows.push(json::object(&[
+            ("schedule_seed", json::uint(schedule_seed)),
+            ("digest", json::string(&format!("{hash:016x}"))),
+            ("events", json::uint(events)),
+        ]));
+    }
+
+    let doc = json::object(&[
+        ("bench", json::string("schedule_stress")),
+        ("seed", json::uint(seed)),
+        ("ticks", json::uint(ticks)),
+        ("threads", json::uint(threads as u64)),
+        ("permutations", json::uint(permutations)),
+        ("diverged", json::uint(diverged)),
+        ("runs", json::array(&rows)),
+    ]);
+    cli::write_json_doc(args.json.as_deref(), None, &doc);
+
+    if diverged == 0 {
+        println!("schedule_stress OK: {permutations} permuted schedules, all digests identical");
+        ExitCode::SUCCESS
+    } else {
+        println!("schedule_stress FAILED: {diverged} of {permutations} schedules diverged");
+        ExitCode::FAILURE
+    }
+}

@@ -19,6 +19,7 @@ use rtf_core::wire::{Wire, WireReader, WireWriter};
 use rtf_net::NodeId;
 use std::collections::BTreeMap;
 // lint: allow-file(nondet, "Instant spans here only feed the Wall accumulators via add_wall; deterministic runs use TimeMode::Virtual, whose tick durations come solely from charge()d virtual seconds")
+// lint: allow-file(taint, "sanctioned taint boundary, same reasoning: every clock read lands in add_wall(), which no digest- or report-affecting value ever reads back in Virtual mode")
 use std::time::Instant;
 
 /// Gameplay counters, for tests and reports.

@@ -1,0 +1,29 @@
+// C2 true positives: a guard held across a channel recv (every other
+// contender stalls until a message arrives), and a mutex acquisition on
+// the Server::tick hot path.
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub struct Pump {
+    state: Mutex<Vec<u32>>,
+}
+
+impl Pump {
+    pub fn drain(&self, rx: &Receiver<u32>) {
+        let mut state = self.state.lock().unwrap();
+        if let Ok(v) = rx.recv() {
+            state.push(v);
+        }
+    }
+}
+
+pub struct Server {
+    state: Mutex<Vec<u32>>,
+}
+
+impl Server {
+    pub fn tick(&mut self) -> usize {
+        let state = self.state.lock().unwrap();
+        state.len()
+    }
+}

@@ -1,0 +1,25 @@
+// C3 true positive: a wall-clock read flows through an ordinary-looking
+// helper into a trace emission. Two same-seed runs emit different
+// events, so replay digests diverge even though no single function
+// looks nondeterministic on its own.
+use std::time::Instant;
+
+pub fn sample_clock() -> f64 {
+    let t = Instant::now(); // lint: allow(nondet, "span measurement")
+    t.elapsed().as_secs_f64()
+}
+
+pub fn tick_cost() -> f64 {
+    sample_clock() * 2.0
+}
+
+pub struct Reporter {
+    tracer: Tracer,
+}
+
+impl Reporter {
+    pub fn publish(&mut self) {
+        let cost = tick_cost();
+        self.tracer.emit(cost);
+    }
+}

@@ -1,0 +1,13 @@
+// C4 true positive: the worker closure handed to the parallel fan-out
+// locks state captured from the enclosing scope. Workers then contend
+// on (and mutate) shared state mid-fan-out, which breaks the engine's
+// order-free contract: each worker may only touch its own item.
+use std::sync::Mutex;
+
+pub fn fan_out(items: &mut [u32], shared: &Mutex<u64>) {
+    map_mut(items, 4, |item| {
+        let mut total = shared.lock().unwrap();
+        *total += u64::from(*item);
+        *item
+    });
+}

@@ -1,0 +1,28 @@
+// C2 clean: the receive happens before the lock is taken, so no one
+// waits on a guard while the channel is idle, and the hot tick path
+// owns its state without a mutex.
+use std::sync::mpsc::Receiver;
+use std::sync::Mutex;
+
+pub struct Pump {
+    state: Mutex<Vec<u32>>,
+}
+
+impl Pump {
+    pub fn drain(&self, rx: &Receiver<u32>) {
+        if let Ok(v) = rx.recv() {
+            let mut state = self.state.lock().unwrap();
+            state.push(v);
+        }
+    }
+}
+
+pub struct Server {
+    state: Vec<u32>,
+}
+
+impl Server {
+    pub fn tick(&mut self) -> usize {
+        self.state.len()
+    }
+}

@@ -1,0 +1,25 @@
+// C3 clean: the clock read sits behind a sanctioned boundary — the
+// annotation on the declaration asserts its output never feeds a
+// digest-affecting value, so taint stops there instead of cascading
+// into every caller.
+use std::time::Instant;
+
+pub fn sample_clock() -> f64 { // lint: allow(taint, "feeds a wall-clock gauge that replay digests never read")
+    let t = Instant::now(); // lint: allow(nondet, "span measurement")
+    t.elapsed().as_secs_f64()
+}
+
+pub fn tick_cost() -> f64 {
+    sample_clock() * 2.0
+}
+
+pub struct Reporter {
+    tracer: Tracer,
+}
+
+impl Reporter {
+    pub fn publish(&mut self) {
+        let cost = tick_cost();
+        self.tracer.emit(cost);
+    }
+}

@@ -1,0 +1,10 @@
+// C4 clean: the worker closure touches only its own item and locals,
+// so the fan-out stays order-free — no captured state is mutated
+// behind the other workers' backs.
+pub fn fan_out(items: &mut [u32]) {
+    map_mut(items, 4, |item| {
+        let next = *item + 1;
+        *item = next;
+        next
+    });
+}

@@ -19,19 +19,30 @@
 //! |----|-------|-----------------|
 //! | D1 | rtf-core, rtf-net, rtf-rms, roia-sim, rtf-transport | `HashMap`/`HashSet` |
 //! | D2 | those + roia-model, roia-fit, roia-autocal, rtfdemo | `Instant`, `SystemTime`, `thread_rng`, `rand::random` |
-//! | M1 | tick & control-round hot-path files | `.unwrap()`, `.expect()`, slice indexing |
+//! | M1 | *inferred* hot paths: fns reachable from `Server::tick`/`Client::tick`/`Cluster::step`/`MultiZoneWorld::step`/`*Controller::control`/`run_session` | `.unwrap()`, `.expect()`, slice indexing |
 //! | M2 | roia-model, rtf-rms | bare numeric `as` casts |
 //! | F1 | model crates | `==`/`!=` against float literals |
 //! | A1 | everywhere scanned | malformed `lint: allow` annotations |
+//! | C1 | everywhere scanned | conflicting lock-acquisition orders |
+//! | C2 | everywhere scanned | guards held across blocking calls; locks on the hot path |
+//! | C3 | everywhere scanned | determinism taint reaching a trace/digest/report |
+//! | C4 | everywhere scanned | capture escape into worker closures |
+//!
+//! The C rules and the M1 hot set come from a workspace-wide call-graph
+//! model ([`model`], [`conc`]) built with the same dependency-free lexer —
+//! parse every scanned file once, connect call sites by name (owner hints
+//! preferred), then walk guards, taint and closures across functions.
 //!
 //! Suppressions carry mandatory justifications:
 //! `// lint: allow(panic, "why this cannot fire")` (line) or
 //! `// lint: allow-file(nondet, "why")` (file).
 
+pub mod conc;
 pub mod lexer;
+pub mod model;
 pub mod rules;
 
-pub use rules::{scan_source, Finding, RuleId};
+pub use rules::{scan_source, scan_source_ranged, Finding, RuleId};
 
 use std::fs;
 use std::io;
@@ -60,18 +71,20 @@ const D2_SCOPE: &[&str] = &[
     "crates/transport/src",
 ];
 
-/// The tick and control-round hot paths (M1). A panic here takes down a
-/// server mid-session instead of degrading.
-const M1_SCOPE: &[&str] = &[
-    "crates/rtf/src/server.rs",
-    "crates/rtf/src/client.rs",
-    "crates/net/src/bus.rs",
-    "crates/net/src/link.rs",
-    "crates/rms/src/controller.rs",
-    "crates/rms/src/policy",
-    "crates/sim/src/cluster.rs",
-    "crates/sim/src/parallel.rs",
-    "crates/transport/src/session.rs",
+/// Everything the concurrency rules (C1–C4) and the call-graph model see.
+/// The bench harness is deliberately excluded: its binaries are
+/// measurement drivers that use wall clocks and ad-hoc threads by design.
+const C_SCOPE: &[&str] = &[
+    "crates/rtf/src",
+    "crates/net/src",
+    "crates/rms/src",
+    "crates/sim/src",
+    "crates/core/src",
+    "crates/fit/src",
+    "crates/autocal/src",
+    "crates/demo/src",
+    "crates/transport/src",
+    "crates/obs/src",
 ];
 
 /// Model-quantity code where bare `as` casts silently corrupt results (M2).
@@ -93,8 +106,11 @@ fn in_scope(rel: &str, scope: &[&str]) -> bool {
         .any(|p| rel == *p || rel.starts_with(&format!("{p}/")))
 }
 
-/// The rules that apply to a workspace-relative path. `A1` (annotation
-/// hygiene) applies to every scanned file.
+/// The token rules that apply to a workspace-relative path. `A1`
+/// (annotation hygiene) applies to every scanned file. M1 is *not* routed
+/// here any more: the hot-path file list was replaced by call-graph
+/// inference — [`check_workspace`] applies M1 to the hot function ranges
+/// [`conc::analyze`] returns.
 pub fn rules_for(rel: &str) -> Vec<RuleId> {
     let mut rules = vec![RuleId::A1];
     if in_scope(rel, D1_SCOPE) {
@@ -102,9 +118,6 @@ pub fn rules_for(rel: &str) -> Vec<RuleId> {
     }
     if in_scope(rel, D2_SCOPE) {
         rules.push(RuleId::D2);
-    }
-    if in_scope(rel, M1_SCOPE) {
-        rules.push(RuleId::M1);
     }
     if in_scope(rel, M2_SCOPE) {
         rules.push(RuleId::M2);
@@ -133,7 +146,7 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 /// All source files the scope tables cover, workspace-relative, sorted.
 pub fn scoped_files(root: &Path) -> io::Result<Vec<String>> {
     let mut roots: Vec<&str> = Vec::new();
-    for scope in [D1_SCOPE, D2_SCOPE, M2_SCOPE, F1_SCOPE] {
+    for scope in [D1_SCOPE, D2_SCOPE, M2_SCOPE, F1_SCOPE, C_SCOPE] {
         for p in scope {
             if !roots.contains(p) {
                 roots.push(p);
@@ -157,17 +170,51 @@ pub fn scoped_files(root: &Path) -> io::Result<Vec<String>> {
     Ok(rels)
 }
 
-/// Scans the whole workspace under `root` and returns every finding, sorted
-/// by file, line, column.
-pub fn check_workspace(root: &Path) -> io::Result<Vec<Finding>> {
-    let mut findings = Vec::new();
+/// Full workspace scan result: findings plus the inferred hot set.
+pub struct WorkspaceReport {
+    /// Every finding, sorted by file, line, column.
+    pub findings: Vec<Finding>,
+    /// Qualified names of the inferred hot-path functions.
+    pub hot_fns: Vec<String>,
+}
+
+/// Scans the whole workspace under `root`: token rules per file, then the
+/// call-graph concurrency rules across files, with M1 applied to the
+/// inferred hot-path function ranges.
+pub fn check_workspace_report(root: &Path) -> io::Result<WorkspaceReport> {
+    let mut sources: Vec<(String, String)> = Vec::new();
     for rel in scoped_files(root)? {
         let src = fs::read_to_string(root.join(&rel))?;
-        findings.extend(scan_source(&rel, &src, &rules_for(&rel)));
+        sources.push((rel, src));
+    }
+    let ws = model::build(&sources);
+    let analysis = conc::analyze(&ws);
+    let mut findings = analysis.findings;
+    for (rel, src) in &sources {
+        let mut rules = rules_for(rel);
+        let ranges = analysis.m1_ranges.get(rel);
+        if ranges.is_some() {
+            rules.push(RuleId::M1);
+        }
+        findings.extend(scan_source_ranged(
+            rel,
+            src,
+            &rules,
+            ranges.map(|r| r.as_slice()),
+        ));
     }
     findings
         .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
-    Ok(findings)
+    Ok(WorkspaceReport {
+        findings,
+        hot_fns: analysis.hot_fns,
+    })
+}
+
+/// Scans the whole workspace under `root` and returns every finding, sorted
+/// by file, line, column.
+pub fn check_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    Ok(check_workspace_report(root)?.findings)
 }
 
 /// Locates the workspace root: an explicit `--root`, else the nearest
@@ -195,37 +242,95 @@ pub fn find_root(explicit: Option<&str>) -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("."))
 }
 
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Renders findings as a JSON array (hand-rolled — the crate is
 /// dependency-free by design).
 pub fn to_json(findings: &[Finding]) -> String {
-    fn esc(s: &str) -> String {
-        let mut out = String::with_capacity(s.len());
-        for c in s.chars() {
-            match c {
-                '"' => out.push_str("\\\""),
-                '\\' => out.push_str("\\\\"),
-                '\n' => out.push_str("\\n"),
-                '\t' => out.push_str("\\t"),
-                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-                c => out.push(c),
-            }
-        }
-        out
-    }
     let items: Vec<String> = findings
         .iter()
         .map(|f| {
             format!(
                 "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\"message\":\"{}\"}}",
                 f.rule,
-                esc(&f.file),
+                json_escape(&f.file),
                 f.line,
                 f.col,
-                esc(&f.message)
+                json_escape(&f.message)
             )
         })
         .collect();
     format!("[{}]", items.join(","))
+}
+
+/// Rule ids with one-line descriptions, for the SARIF rule table.
+const RULE_DESCRIPTIONS: &[(&str, &str)] = &[
+    ("D1", "No HashMap/HashSet in deterministic crates"),
+    (
+        "D2",
+        "No wall-clock or ambient randomness in sim/model code",
+    ),
+    ("M1", "No unwrap/expect/indexing on inferred hot paths"),
+    ("M2", "No bare numeric `as` casts on model quantities"),
+    ("F1", "No ==/!= against float literals"),
+    ("A1", "Allow-annotation hygiene"),
+    ("C1", "Globally consistent lock-acquisition order"),
+    ("C2", "No guard across blocking calls; no hot-path locks"),
+    (
+        "C3",
+        "Interprocedural determinism taint must not reach sinks",
+    ),
+    ("C4", "No capture escape into worker closures"),
+];
+
+/// Renders findings as a minimal SARIF 2.1.0 document — the format GitHub
+/// code scanning ingests to annotate PRs. `--json` stays the stable
+/// machine interface; SARIF is additive.
+pub fn to_sarif(findings: &[Finding]) -> String {
+    let rules: Vec<String> = RULE_DESCRIPTIONS
+        .iter()
+        .map(|(id, desc)| {
+            format!(
+                "{{\"id\":\"{id}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+                json_escape(desc)
+            )
+        })
+        .collect();
+    let results: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            format!(
+                "{{\"ruleId\":\"{}\",\"level\":\"error\",\"message\":{{\"text\":\"{}\"}},\
+                 \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+                 {{\"uri\":\"{}\"}},\"region\":{{\"startLine\":{},\"startColumn\":{}}}}}}}]}}",
+                f.rule,
+                json_escape(&f.message),
+                json_escape(&f.file),
+                f.line.max(1),
+                f.col.max(1)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"$schema\":\"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":{{\"name\":\"roia-lint\",\
+         \"informationUri\":\"DESIGN.md\",\"rules\":[{}]}}}},\"results\":[{}]}}]}}",
+        rules.join(","),
+        results.join(",")
+    )
 }
 
 #[cfg(test)]
@@ -236,7 +341,6 @@ mod tests {
     fn scope_tables_route_rules() {
         let bus = rules_for("crates/net/src/bus.rs");
         assert!(bus.contains(&RuleId::D1));
-        assert!(bus.contains(&RuleId::M1));
         assert!(!bus.contains(&RuleId::M2));
 
         let tick = rules_for("crates/core/src/tick.rs");
@@ -244,21 +348,11 @@ mod tests {
         assert!(tick.contains(&RuleId::F1));
         assert!(!tick.contains(&RuleId::D1), "core may use HashMap");
 
-        let policy = rules_for("crates/rms/src/policy/model_driven.rs");
-        assert!(policy.contains(&RuleId::M1));
-
-        let monitor = rules_for("crates/rms/src/monitor.rs");
-        assert!(!monitor.contains(&RuleId::M1), "not a hot-path file");
-        assert!(monitor.contains(&RuleId::A1));
-
         let pool = rules_for("crates/sim/src/parallel.rs");
-        assert!(pool.contains(&RuleId::M1), "worker pool is tick hot path");
         assert!(
             pool.contains(&RuleId::D2),
             "worker pool must stay clock-free"
         );
-        let workload = rules_for("crates/sim/src/workload.rs");
-        assert!(!workload.contains(&RuleId::M1), "not a hot-path file");
 
         let session = rules_for("crates/transport/src/session.rs");
         assert!(session.contains(&RuleId::D1));
@@ -266,10 +360,29 @@ mod tests {
             session.contains(&RuleId::D2),
             "netcode must stay clock-free"
         );
-        assert!(session.contains(&RuleId::M1), "per-tick netcode hot path");
         let tcp = rules_for("crates/transport/src/tcp.rs");
         assert!(tcp.contains(&RuleId::D2), "socket I/O clocks need allows");
-        assert!(!tcp.contains(&RuleId::M1), "I/O layer is not the tick path");
+
+        // M1 is no longer routed by file: the hot set is inferred.
+        for rel in [
+            "crates/net/src/bus.rs",
+            "crates/rms/src/policy/model_driven.rs",
+            "crates/sim/src/cluster.rs",
+        ] {
+            assert!(
+                !rules_for(rel).contains(&RuleId::M1),
+                "{rel}: M1 comes from hot-path inference now"
+            );
+        }
+    }
+
+    #[test]
+    fn obs_is_in_concurrency_scope() {
+        assert!(in_scope("crates/obs/src/sink.rs", C_SCOPE));
+        assert!(
+            !in_scope("crates/bench/src/bin/scale.rs", C_SCOPE),
+            "bench measurement harnesses are exempt by design"
+        );
     }
 
     #[test]
@@ -284,5 +397,31 @@ mod tests {
         let j = to_json(&f);
         assert!(j.contains("a\\\"b.rs"));
         assert!(j.contains("x\\ny"));
+    }
+
+    #[test]
+    fn sarif_has_schema_rules_and_results() {
+        let f = vec![Finding {
+            rule: "C1",
+            file: "crates/sim/src/cluster.rs".into(),
+            line: 10,
+            col: 3,
+            message: "conflicting lock order".into(),
+        }];
+        let s = to_sarif(&f);
+        assert!(s.contains("\"version\":\"2.1.0\""));
+        assert!(s.contains("\"name\":\"roia-lint\""));
+        assert!(s.contains("\"ruleId\":\"C1\""));
+        assert!(s.contains("\"startLine\":10"));
+        for (id, _) in RULE_DESCRIPTIONS {
+            assert!(
+                s.contains(&format!("\"id\":\"{id}\"")),
+                "{id} in rule table"
+            );
+        }
+        // Empty findings still produce a valid document with an empty
+        // results array (code scanning treats that as "all clear").
+        let empty = to_sarif(&[]);
+        assert!(empty.contains("\"results\":[]"));
     }
 }

@@ -1,21 +1,49 @@
-//! CLI: `cargo run -p roia-lint -- check [--root PATH] [--json] [--report PATH]`.
+//! CLI: `cargo run -p roia-lint -- check [--root PATH] [--json]
+//! [--format sarif] [--report PATH] [--hot]`.
+//!
+//! `--json` (stable machine interface) and `--format sarif` (GitHub
+//! code-scanning annotations) are mutually exclusive. `--hot` lists the
+//! inferred hot-path functions on stderr — useful when deciding where an
+//! M1 finding came from; `--report` appends the same list to the report
+//! file.
 //!
 //! Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
 
-use roia_lint::{check_workspace, find_root, to_json};
+use roia_lint::{check_workspace_report, find_root, to_json, to_sarif};
 use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: roia-lint check [--root PATH] [--json] [--format sarif] [--report PATH] [--hot]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut command = None;
     let mut root = None;
     let mut json = false;
+    let mut sarif = false;
+    let mut hot = false;
     let mut report = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "check" if command.is_none() => command = Some("check"),
             "--json" => json = true,
+            "--hot" => hot = true,
+            "--format" => {
+                i += 1;
+                match args.get(i).map(String::as_str) {
+                    Some("sarif") => sarif = true,
+                    Some("json") => json = true,
+                    Some(other) => {
+                        eprintln!("unknown format `{other}` (known: json, sarif)");
+                        return ExitCode::from(2);
+                    }
+                    None => {
+                        eprintln!("--format needs a value (json or sarif)");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--root" => {
                 i += 1;
                 root = args.get(i).cloned();
@@ -34,27 +62,39 @@ fn main() -> ExitCode {
             }
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: roia-lint check [--root PATH] [--json] [--report PATH]");
+                eprintln!("{USAGE}");
                 return ExitCode::from(2);
             }
         }
         i += 1;
     }
-    if command != Some("check") {
-        eprintln!("usage: roia-lint check [--root PATH] [--json] [--report PATH]");
+    if command != Some("check") || (json && sarif) {
+        eprintln!("{USAGE}");
         return ExitCode::from(2);
     }
 
     let root = find_root(root.as_deref());
-    let findings = match check_workspace(&root) {
-        Ok(f) => f,
+    let scan = match check_workspace_report(&root) {
+        Ok(s) => s,
         Err(e) => {
             eprintln!("roia-lint: failed to scan {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
+    let findings = scan.findings;
 
-    let rendered = if json {
+    if hot {
+        eprintln!("inferred hot-path functions ({}):", scan.hot_fns.len());
+        for f in &scan.hot_fns {
+            eprintln!("  {f}");
+        }
+    }
+
+    let rendered = if sarif {
+        let mut s = to_sarif(&findings);
+        s.push('\n');
+        s
+    } else if json {
         to_json(&findings)
     } else {
         let mut out = String::new();
@@ -73,7 +113,17 @@ fn main() -> ExitCode {
     print!("{rendered}");
 
     if let Some(path) = report {
-        if let Err(e) = std::fs::write(&path, &rendered) {
+        // The report artifact also records the inferred hot set, so a CI
+        // reader can see exactly which functions M1/hot_lock covered.
+        let mut full = rendered.clone();
+        full.push_str(&format!(
+            "\ninferred hot-path functions ({}):\n",
+            scan.hot_fns.len()
+        ));
+        for f in &scan.hot_fns {
+            full.push_str(&format!("  {f}\n"));
+        }
+        if let Err(e) = std::fs::write(&path, &full) {
             eprintln!("roia-lint: failed to write report {path}: {e}");
             return ExitCode::from(2);
         }

@@ -32,6 +32,14 @@ pub enum RuleId {
     F1,
     /// Allow-annotation hygiene (malformed tag or missing justification).
     A1,
+    /// Globally consistent lock-acquisition order (see [`crate::conc`]).
+    C1,
+    /// No guard held across a blocking call; no locks on the hot path.
+    C2,
+    /// Interprocedural determinism taint reaching a trace/digest/report.
+    C3,
+    /// Capture escape of shared-mutable state into worker closures.
+    C4,
 }
 
 impl RuleId {
@@ -44,10 +52,16 @@ impl RuleId {
             RuleId::M2 => "M2",
             RuleId::F1 => "F1",
             RuleId::A1 => "A1",
+            RuleId::C1 => "C1",
+            RuleId::C2 => "C2",
+            RuleId::C3 => "C3",
+            RuleId::C4 => "C4",
         }
     }
 
     /// The allow-annotation tag that suppresses this rule, if any.
+    /// C2 has two tags: `blocking` (guard across a blocking call) and
+    /// `hot_lock` (lock on the hot path) — [`crate::conc`] picks per site.
     pub fn allow_tag(self) -> Option<&'static str> {
         match self {
             RuleId::D1 => Some("unordered"),
@@ -56,11 +70,26 @@ impl RuleId {
             RuleId::M2 => Some("cast"),
             RuleId::F1 => Some("float_cmp"),
             RuleId::A1 => None,
+            RuleId::C1 => Some("lock_order"),
+            RuleId::C2 => Some("blocking"),
+            RuleId::C3 => Some("taint"),
+            RuleId::C4 => Some("capture"),
         }
     }
 
     /// Every suppressible rule tag (for annotation validation).
-    pub const TAGS: [&'static str; 5] = ["unordered", "nondet", "panic", "cast", "float_cmp"];
+    pub const TAGS: [&'static str; 10] = [
+        "unordered",
+        "nondet",
+        "panic",
+        "cast",
+        "float_cmp",
+        "lock_order",
+        "blocking",
+        "hot_lock",
+        "taint",
+        "capture",
+    ];
 }
 
 /// One lint finding.
@@ -98,7 +127,7 @@ struct Allow {
 
 /// Result of parsing the annotations of one file.
 #[derive(Debug, Default)]
-struct Allows {
+pub struct Allows {
     /// (tag, line) pairs suppressed by line annotations.
     by_line: BTreeSet<(String, u32)>,
     /// Tags suppressed file-wide.
@@ -108,7 +137,8 @@ struct Allows {
 }
 
 impl Allows {
-    fn suppressed(&self, tag: &str, line: u32) -> bool {
+    /// Whether findings with `tag` on `line` are suppressed.
+    pub fn suppressed(&self, tag: &str, line: u32) -> bool {
         self.file_wide.contains(tag) || self.by_line.contains(&(tag.to_string(), line))
     }
 }
@@ -184,7 +214,7 @@ fn parse_allow(comment: &Comment, code_lines: &BTreeSet<u32>) -> Result<Vec<Allo
     }])
 }
 
-fn collect_allows(comments: &[Comment], code_lines: &BTreeSet<u32>) -> Allows {
+pub(crate) fn collect_allows(comments: &[Comment], code_lines: &BTreeSet<u32>) -> Allows {
     let mut allows = Allows::default();
     for comment in comments {
         match parse_allow(comment, code_lines) {
@@ -209,7 +239,7 @@ fn collect_allows(comments: &[Comment], code_lines: &BTreeSet<u32>) -> Allows {
 /// Marks the token ranges covered by test-only items: any item annotated
 /// `#[test]`, `#[cfg(test)]`, `#[cfg(all(test, ...))]` and the braced body
 /// that follows. Returns one flag per token.
-fn test_exempt_mask(tokens: &[Tok]) -> Vec<bool> {
+pub(crate) fn test_exempt_mask(tokens: &[Tok]) -> Vec<bool> {
     let mut exempt = vec![false; tokens.len()];
     let mut i = 0;
     while i < tokens.len() {
@@ -305,6 +335,18 @@ fn is_float_literal(t: &Tok) -> bool {
 /// Scans one file's source with the given rules and returns its findings.
 /// `rel_path` is only used to fill in [`Finding::file`].
 pub fn scan_source(rel_path: &str, src: &str, rules: &[RuleId]) -> Vec<Finding> {
+    scan_source_ranged(rel_path, src, rules, None)
+}
+
+/// [`scan_source`] with M1 restricted to 1-based line ranges (the hot
+/// functions inferred by [`crate::conc::analyze`]). `None` keeps M1
+/// file-wide; `Some(&[])` disables it for the file.
+pub fn scan_source_ranged(
+    rel_path: &str,
+    src: &str,
+    rules: &[RuleId],
+    m1_ranges: Option<&[(u32, u32)]>,
+) -> Vec<Finding> {
     let lexed = lex(src);
     let tokens = &lexed.tokens;
     let code_lines: BTreeSet<u32> = tokens.iter().map(|t| t.line).collect();
@@ -378,7 +420,11 @@ pub fn scan_source(rel_path: &str, src: &str, rules: &[RuleId]) -> Vec<Finding> 
             }
         }
 
-        if rules.contains(&RuleId::M1) {
+        let m1_here = rules.contains(&RuleId::M1)
+            && m1_ranges
+                .map(|rs| rs.iter().any(|(s, e)| *s <= t.line && t.line <= *e))
+                .unwrap_or(true);
+        if m1_here {
             let method_panic = prev.is_some_and(|p| p.is_punct("."))
                 && (t.is_ident("unwrap") || t.is_ident("expect") || t.is_ident("unwrap_unchecked"))
                 && next.is_some_and(|n| n.is_punct("("));

@@ -5,6 +5,19 @@
 use roia_lint::{check_workspace, rules_for, scan_source, Finding, RuleId};
 use std::path::Path;
 
+/// Runs the workspace-model concurrency analysis (C1–C4) over a single
+/// fixture file, placed at `rel` so crate attribution works.
+fn conc_scan(name: &str, rel: &str) -> Vec<Finding> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(name);
+    let src = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()));
+    let files = vec![(rel.to_string(), src)];
+    let ws = roia_lint::model::build(&files);
+    roia_lint::conc::analyze(&ws).findings
+}
+
 const ALL_RULES: [RuleId; 6] = [
     RuleId::D1,
     RuleId::D2,
@@ -94,14 +107,21 @@ fn a1_fixture_fires_on_malformed_allows() {
 
 #[test]
 fn worker_pool_fixture_fires_d2_and_m1() {
-    // Scanned with exactly the rules the scope tables route to the
-    // worker-pool module, so this pins both the routing and the
-    // detections: thread-timing reads and a panicking join must fire.
+    // Scanned with the rules the scope tables route to the worker-pool
+    // module plus M1, which the workspace scan would add here via
+    // hot-path inference (fan-out helpers run inside Server::tick), so
+    // this pins both the routing and the detections: thread-timing
+    // reads and a panicking join must fire.
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("fixtures")
         .join("bad/worker_pool.rs");
     let src = std::fs::read_to_string(&path).expect("fixture readable");
-    let rules = rules_for("crates/sim/src/parallel.rs");
+    let mut rules = rules_for("crates/sim/src/parallel.rs");
+    assert!(
+        !rules.contains(&RuleId::M1),
+        "M1 is no longer routed file-wide; it rides on inferred hot ranges"
+    );
+    rules.push(RuleId::M1);
     let f = scan_source("bad/worker_pool.rs", &src, &rules);
     assert_eq!(rules_fired(&f), vec!["D2", "M1"], "{f:?}");
     assert!(
@@ -118,15 +138,18 @@ fn worker_pool_fixture_fires_d2_and_m1() {
 
 #[test]
 fn session_netcode_fixture_fires_d1_d2_and_m1() {
-    // Scanned with exactly the rules the scope tables route to the
-    // transport session hot path, pinning both the routing and the
-    // detections: an unordered peer map, a tick-path clock read and a
-    // panicking frame decode must all fire.
+    // Scanned with the rules the scope tables route to the transport
+    // session module plus M1, which the workspace scan would add here
+    // via hot-path inference (SessionServer::tick is a hot root),
+    // pinning both the routing and the detections: an unordered peer
+    // map, a tick-path clock read and a panicking frame decode must
+    // all fire.
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("fixtures")
         .join("bad/session_netcode.rs");
     let src = std::fs::read_to_string(&path).expect("fixture readable");
-    let rules = rules_for("crates/transport/src/session.rs");
+    let mut rules = rules_for("crates/transport/src/session.rs");
+    rules.push(RuleId::M1);
     let f = scan_source("bad/session_netcode.rs", &src, &rules);
     // Findings interleave by line (the map fires on both its import and
     // its use), so compare the distinct rule set, not the fired order.
@@ -151,6 +174,68 @@ fn session_netcode_fixture_fires_d1_d2_and_m1() {
 }
 
 #[test]
+fn c1_fixture_fires_on_conflicting_lock_order() {
+    let f = conc_scan("bad/c1_lock_order.rs", "crates/net/src/fixture.rs");
+    let c1: Vec<&Finding> = f.iter().filter(|f| f.rule == "C1").collect();
+    assert_eq!(c1.len(), 1, "one conflicting pair: {f:?}");
+    assert!(
+        c1[0].message.contains("conflicting lock order"),
+        "{}",
+        c1[0].message
+    );
+    assert!(
+        c1[0].message.contains("forward") && c1[0].message.contains("backward"),
+        "both witnesses named: {}",
+        c1[0].message
+    );
+}
+
+#[test]
+fn c2_fixture_fires_on_blocking_and_hot_lock() {
+    let f = conc_scan("bad/c2_blocking.rs", "crates/net/src/fixture.rs");
+    let c2: Vec<&Finding> = f.iter().filter(|f| f.rule == "C2").collect();
+    assert!(
+        c2.iter()
+            .any(|f| f.message.contains("held across") && f.message.contains("recv")),
+        "guard across recv flagged: {f:?}"
+    );
+    assert!(
+        c2.iter().any(|f| f.message.contains("hot path")),
+        "Server::tick lock flagged: {f:?}"
+    );
+}
+
+#[test]
+fn c3_fixture_fires_at_the_sink_with_a_witness_chain() {
+    let f = conc_scan("bad/c3_taint.rs", "crates/obs/src/fixture.rs");
+    let c3: Vec<&Finding> = f.iter().filter(|f| f.rule == "C3").collect();
+    assert_eq!(c3.len(), 1, "flagged once, at the sink: {f:?}");
+    assert!(
+        c3[0].message.contains("Reporter::publish"),
+        "sink named: {}",
+        c3[0].message
+    );
+    assert!(
+        c3[0].message.contains("tick_cost") && c3[0].message.contains("sample_clock"),
+        "witness chain spelled out: {}",
+        c3[0].message
+    );
+    assert!(c3[0].message.contains("Instant"), "{}", c3[0].message);
+}
+
+#[test]
+fn c4_fixture_fires_on_captured_shared_state() {
+    let f = conc_scan("bad/c4_capture.rs", "crates/sim/src/fixture.rs");
+    let c4: Vec<&Finding> = f.iter().filter(|f| f.rule == "C4").collect();
+    assert_eq!(c4.len(), 1, "{f:?}");
+    assert!(
+        c4[0].message.contains("shared") && c4[0].message.contains("map_mut"),
+        "captured root and worker host named: {}",
+        c4[0].message
+    );
+}
+
+#[test]
 fn good_fixtures_scan_clean() {
     for name in [
         "good/allowlisted.rs",
@@ -158,6 +243,19 @@ fn good_fixtures_scan_clean() {
         "good/transport_boundary.rs",
     ] {
         let f = scan_fixture(name);
+        assert!(f.is_empty(), "{name} should be clean: {f:?}");
+    }
+}
+
+#[test]
+fn good_conc_fixtures_scan_clean() {
+    for name in [
+        "good/c1_lock_order.rs",
+        "good/c2_blocking.rs",
+        "good/c3_taint.rs",
+        "good/c4_capture.rs",
+    ] {
+        let f = conc_scan(name, "crates/sim/src/fixture.rs");
         assert!(f.is_empty(), "{name} should be clean: {f:?}");
     }
 }

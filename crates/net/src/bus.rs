@@ -17,6 +17,7 @@
 //! interleaving — which is what makes a parallel tick byte-identical to a
 //! serial one.
 
+// lint: allow-file(hot_lock, "the coarse bus mutex is the simulated network itself: every critical section is a short queue push/pop with no I/O or allocation bursts, and the pause/resume staging protocol is what gives parallel ticks their deterministic delivery order")
 use crate::link::{LinkSpec, LinkState};
 use crate::NodeId;
 use bytes::Bytes;

@@ -64,7 +64,9 @@ pub struct FlightRecorder {
     dropped: u64,
     /// Most recent metrics snapshot (tick, JSON document).
     metrics: Option<(u64, String)>,
-    /// Bundles written so far; also the next bundle's sequence number.
+    /// Dump slots consumed so far; also the next bundle's sequence
+    /// number. A slot is consumed when a bundle is prepared — a failed
+    /// write burns its slot rather than retrying forever.
     dumps: u32,
     /// Triggers seen after `max_dumps` was reached.
     suppressed: u64,
@@ -101,7 +103,7 @@ impl FlightRecorder {
         self.events.is_empty()
     }
 
-    /// Bundles written so far.
+    /// Dump slots consumed so far (bundles prepared).
     pub fn dumps(&self) -> u32 {
         self.dumps
     }
@@ -117,6 +119,11 @@ impl FlightRecorder {
     /// emit, or `None` when the dump budget is exhausted or the bundle
     /// could not be written (postmortems are best-effort: I/O failure
     /// must never take the session down).
+    ///
+    /// Convenience for unshared recorders. When the recorder sits
+    /// behind a mutex, use [`FlightRecorder::prepare_dump`] under the
+    /// lock and [`PostmortemBundle::write`] after releasing it so the
+    /// filesystem I/O never runs with the guard held.
     pub fn dump(
         &mut self,
         tick: u64,
@@ -124,50 +131,94 @@ impl FlightRecorder {
         reason: &'static str,
         model_version: u64,
     ) -> Option<TraceEvent> {
+        let bundle = self.prepare_dump(tick, cause, reason, model_version)?;
+        match bundle.write() {
+            Ok(()) => Some(bundle.into_marker()),
+            Err(_) => None,
+        }
+    }
+
+    /// Snapshot phase of a dump: consumes a budget slot and clones the
+    /// retained rings into an owned [`PostmortemBundle`]. Performs no
+    /// I/O, so it is safe to call while holding the lock that guards a
+    /// shared recorder; `None` when the dump budget is exhausted.
+    pub fn prepare_dump(
+        &mut self,
+        tick: u64,
+        cause: u64,
+        reason: &'static str,
+        model_version: u64,
+    ) -> Option<PostmortemBundle> {
         if self.dumps >= self.config.max_dumps {
             self.suppressed += 1;
             return None;
         }
         let seq = self.dumps;
-        match self.write_bundle(seq, tick, cause, reason, model_version) {
-            Ok(()) => {
-                self.dumps += 1;
-                Some(TraceEvent::PostmortemDumped {
-                    tick,
-                    cause,
-                    reason,
-                    seq,
-                    events: self.events.len() as u32,
-                    decisions: self.decisions.len() as u32,
-                    model_version,
-                })
-            }
-            Err(_) => None,
-        }
+        self.dumps += 1;
+        let (metrics_tick, metrics_doc) = match &self.metrics {
+            Some((t, doc)) => (*t as i64, doc.clone()),
+            None => (-1, "{}".to_string()),
+        };
+        Some(PostmortemBundle {
+            dir: self.bundle_dir(seq),
+            events: self.events.iter().cloned().collect(),
+            decisions: self.decisions.iter().cloned().collect(),
+            metrics_tick,
+            metrics_doc,
+            ring_dropped: self.dropped,
+            marker: TraceEvent::PostmortemDumped {
+                tick,
+                cause,
+                reason,
+                seq,
+                events: self.events.len() as u32,
+                decisions: self.decisions.len() as u32,
+                model_version,
+            },
+        })
     }
 
     /// Directory the bundle with sequence number `seq` lands in.
     pub fn bundle_dir(&self, seq: u32) -> PathBuf {
         self.config.dir.join(format!("postmortem-{seq}"))
     }
+}
 
-    fn write_bundle(
-        &self,
-        seq: u32,
-        tick: u64,
-        cause: u64,
-        reason: &str,
-        model_version: u64,
-    ) -> io::Result<()> {
-        let dir = self.bundle_dir(seq);
-        std::fs::create_dir_all(&dir)?;
-        write_jsonl(&dir.join("events.jsonl"), self.events.iter())?;
-        write_jsonl(&dir.join("decisions.jsonl"), self.decisions.iter())?;
-        let (metrics_tick, metrics_doc) = match &self.metrics {
-            Some((t, doc)) => (*t as i64, doc.clone()),
-            None => (-1, "{}".to_string()),
+/// An owned snapshot of everything a postmortem bundle contains,
+/// detached from the recorder so the filesystem write can happen with
+/// no locks held. Produced by [`FlightRecorder::prepare_dump`].
+pub struct PostmortemBundle {
+    dir: PathBuf,
+    events: Vec<TraceEvent>,
+    decisions: Vec<TraceEvent>,
+    metrics_tick: i64,
+    metrics_doc: String,
+    ring_dropped: u64,
+    marker: TraceEvent,
+}
+
+impl PostmortemBundle {
+    /// Write phase of a dump: all the filesystem I/O. Call this after
+    /// releasing any lock that guards the recorder.
+    pub fn write(&self) -> io::Result<()> {
+        let (seq, tick, cause, reason, model_version) = match &self.marker {
+            TraceEvent::PostmortemDumped {
+                seq,
+                tick,
+                cause,
+                reason,
+                model_version,
+                ..
+            } => (*seq, *tick, *cause, *reason, *model_version),
+            _ => unreachable!("marker is always PostmortemDumped"),
         };
-        std::fs::write(dir.join("metrics.json"), format!("{metrics_doc}\n"))?;
+        std::fs::create_dir_all(&self.dir)?;
+        write_jsonl(&self.dir.join("events.jsonl"), self.events.iter())?;
+        write_jsonl(&self.dir.join("decisions.jsonl"), self.decisions.iter())?;
+        std::fs::write(
+            self.dir.join("metrics.json"),
+            format!("{}\n", self.metrics_doc),
+        )?;
         let manifest = export::object(&[
             ("bundle", export::string("postmortem")),
             ("seq", export::uint(seq as u64)),
@@ -177,11 +228,17 @@ impl FlightRecorder {
             ("model_version", export::uint(model_version)),
             ("events", export::uint(self.events.len() as u64)),
             ("decisions", export::uint(self.decisions.len() as u64)),
-            ("ring_dropped", export::uint(self.dropped)),
-            ("metrics_tick", export::int(metrics_tick)),
+            ("ring_dropped", export::uint(self.ring_dropped)),
+            ("metrics_tick", export::int(self.metrics_tick)),
         ]);
-        std::fs::write(dir.join("manifest.json"), format!("{manifest}\n"))?;
+        std::fs::write(self.dir.join("manifest.json"), format!("{manifest}\n"))?;
         Ok(())
+    }
+
+    /// The [`TraceEvent::PostmortemDumped`] marker to emit once the
+    /// bundle has been written.
+    pub fn into_marker(self) -> TraceEvent {
+        self.marker
     }
 }
 
@@ -306,6 +363,33 @@ mod tests {
         assert!(fr.dump(7, 3, "degraded", 7).is_none());
         assert_eq!(fr.suppressed(), 1);
         assert!(!fr.bundle_dir(1).exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regression for the lint C2 finding: the cluster used to hold the
+    /// recorder mutex across the whole dump, filesystem writes included.
+    /// The snapshot phase must touch no files so it is safe under a
+    /// lock; only `PostmortemBundle::write` hits the disk.
+    #[test]
+    fn prepare_dump_performs_no_io() {
+        let dir = temp_dir("two_phase");
+        let mut fr = FlightRecorder::new(FlightConfig::new(&dir));
+        for t in 0..4 {
+            fr.record(&span(t));
+        }
+        let bundle = fr.prepare_dump(5, 2, "invariant", 9).expect("slot free");
+        assert!(
+            !dir.exists(),
+            "prepare_dump must not create the bundle directory"
+        );
+        assert_eq!(fr.dumps(), 1, "slot consumed at prepare time");
+
+        // Snapshot is detached: later recorder mutation does not bleed
+        // into the already-prepared bundle.
+        fr.record(&span(99));
+        bundle.write().expect("write phase succeeds");
+        let events_text = std::fs::read_to_string(fr.bundle_dir(0).join("events.jsonl")).unwrap();
+        assert_eq!(events_text.lines().count(), 4, "snapshot taken at prepare");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

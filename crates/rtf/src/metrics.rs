@@ -55,7 +55,7 @@ pub struct TickRecord {
 impl TickRecord {
     /// Seconds spent on one task this tick.
     pub fn task(&self, task: TaskKind) -> f64 {
-        self.per_task[task.index()]
+        self.per_task[task.index()] // lint: allow(panic, "index is TaskKind::index(), < TASK_COUNT, the array's length (pinned by a test)")
     }
 
     /// Total users known to this server (`n` as seen locally:

@@ -132,17 +132,18 @@ impl TickTimers {
     ///
     /// Do not nest `time` calls for different tasks — the inner span would
     /// be counted twice. The framework times only its own leaf work.
+    // lint: allow(taint, "sanctioned taint boundary: the clock only feeds the wall[] accumulators, which digest-affecting paths never read — seeded runs use TimeMode::Virtual + charge()")
     pub fn time<T>(&mut self, task: TaskKind, f: impl FnOnce() -> T) -> T {
         let start = Instant::now(); // lint: allow(nondet, "wall-clock attribution is this method's contract; Virtual mode uses charge() instead")
         let out = f();
-        self.wall[task.index()] += start.elapsed().as_secs_f64();
+        self.wall[task.index()] += start.elapsed().as_secs_f64(); // lint: allow(panic, "index is TaskKind::index(), < TASK_COUNT, the arrays' length (pinned by a test)")
         out
     }
 
     /// Charges `seconds` of virtual CPU time to `task`.
     pub fn charge(&mut self, task: TaskKind, seconds: f64) {
         debug_assert!(seconds >= 0.0, "cannot charge negative time");
-        self.virt[task.index()] += seconds;
+        self.virt[task.index()] += seconds; // lint: allow(panic, "index is TaskKind::index(), < TASK_COUNT, the arrays' length (pinned by a test)")
     }
 
     /// Adds externally measured wall-clock `seconds` to `task` — for
@@ -152,14 +153,14 @@ impl TickTimers {
     /// [`TickTimers::time`] is inconvenient.
     pub fn add_wall(&mut self, task: TaskKind, seconds: f64) {
         debug_assert!(seconds >= 0.0);
-        self.wall[task.index()] += seconds;
+        self.wall[task.index()] += seconds; // lint: allow(panic, "index is TaskKind::index(), < TASK_COUNT, the arrays' length (pinned by a test)")
     }
 
     /// Seconds recorded for `task` in the reporting mode.
     pub fn get(&self, task: TaskKind) -> f64 {
         match self.mode {
-            TimeMode::Wall => self.wall[task.index()],
-            TimeMode::Virtual => self.virt[task.index()],
+            TimeMode::Wall => self.wall[task.index()], // lint: allow(panic, "index is TaskKind::index(), < TASK_COUNT, the arrays' length (pinned by a test)")
+            TimeMode::Virtual => self.virt[task.index()], // lint: allow(panic, "index is TaskKind::index(), < TASK_COUNT, the arrays' length (pinned by a test)")
         }
     }
 

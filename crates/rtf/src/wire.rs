@@ -165,7 +165,7 @@ impl<'a> WireReader<'a> {
                 remaining: self.remaining(),
             });
         }
-        let slice = &self.buf[self.pos..self.pos + n];
+        let slice = &self.buf[self.pos..self.pos + n]; // lint: allow(panic, "in bounds: the remaining() guard above rejects reads past the buffer")
         self.pos += n;
         Ok(slice)
     }
@@ -177,27 +177,27 @@ impl<'a> WireReader<'a> {
 
     /// Reads a `u16`.
     pub fn get_u16(&mut self) -> Result<u16, WireError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2"))) // lint: allow(panic, "take(2) returned exactly 2 bytes, so the array conversion is infallible")
     }
 
     /// Reads a `u32`.
     pub fn get_u32(&mut self) -> Result<u32, WireError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4"))) // lint: allow(panic, "take(4) returned exactly 4 bytes, so the array conversion is infallible")
     }
 
     /// Reads a `u64`.
     pub fn get_u64(&mut self) -> Result<u64, WireError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8"))) // lint: allow(panic, "take(8) returned exactly 8 bytes, so the array conversion is infallible")
     }
 
     /// Reads an `f32`.
     pub fn get_f32(&mut self) -> Result<f32, WireError> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().expect("len 4"))) // lint: allow(panic, "take(4) returned exactly 4 bytes, so the array conversion is infallible")
     }
 
     /// Reads an `f64`.
     pub fn get_f64(&mut self) -> Result<f64, WireError> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().expect("len 8"))) // lint: allow(panic, "take(8) returned exactly 8 bytes, so the array conversion is infallible")
     }
 
     /// Reads a length-prefixed byte string.

@@ -215,10 +215,11 @@ impl ChaosEngine {
     /// Scheduled faults due at `tick` (each fires exactly once).
     pub fn due_faults(&mut self, tick: u64) -> Vec<Fault> {
         let mut due = Vec::new();
-        while self.next_event < self.plan.events.len()
-            && self.plan.events[self.next_event].tick <= tick
-        {
-            due.push(self.plan.events[self.next_event].fault);
+        while let Some(event) = self.plan.events.get(self.next_event) {
+            if event.tick > tick {
+                break;
+            }
+            due.push(event.fault);
             self.next_event += 1;
         }
         due

@@ -90,6 +90,12 @@ pub struct ClusterConfig {
     /// Queued joins admitted per tick once the controller leaves degraded
     /// mode — a bounded drain so a backlog does not re-trigger overload.
     pub join_queue_drain: u32,
+    /// Schedule-permutation seed for the parallel fan-out. `0` (the
+    /// default) runs the natural production schedule; any other value
+    /// perturbs worker spawn order, per-chunk walk order and preemption
+    /// points each tick. Traces must stay byte-identical for every value
+    /// — the property the `schedule_stress` harness sweeps.
+    pub schedule_seed: u64,
 }
 
 impl Default for ClusterConfig {
@@ -108,6 +114,7 @@ impl Default for ClusterConfig {
             aoi_backend: AoiBackend::default(),
             initial_powerful: 0,
             join_queue_drain: 4,
+            schedule_seed: 0,
         }
     }
 }
@@ -454,15 +461,18 @@ impl Cluster {
             return;
         };
         let version = self.autocal.as_ref().map(|c| c.version()).unwrap_or(0);
-        // Take the dump with the lock held, emit after releasing it — the
-        // marker event flows back into the recorder through the tee, and
-        // the mutex is not reentrant.
-        let event = recorder
-            .lock()
+        // Snapshot under the lock, write the bundle and emit the marker
+        // after releasing it: the filesystem I/O must not run with the
+        // guard held, and the marker event flows back into the recorder
+        // through the tee (the mutex is not reentrant).
+        let bundle = recorder
+            .lock() // lint: allow(hot_lock, "postmortem trigger: fires at most max_dumps times per session, never on the healthy tick path")
             .ok()
-            .and_then(|mut rec| rec.dump(self.tick, cause, reason, version));
-        if let Some(event) = event {
-            self.tracer.emit(event);
+            .and_then(|mut rec| rec.prepare_dump(self.tick, cause, reason, version));
+        if let Some(bundle) = bundle {
+            if bundle.write().is_ok() {
+                self.tracer.emit(bundle.into_marker());
+            }
         }
     }
 
@@ -1564,6 +1574,7 @@ impl Cluster {
         #[cfg(feature = "strict-invariants")]
         let violations = {
             let mut v = invariants::check_population(&self.population_view());
+            // lint: allow(hot_lock, "strict-invariants debug builds only; uncontended outside worker fan-out windows")
             if let Ok(mut auditor) = self.auditor.lock() {
                 v.extend(auditor.take_violations());
             }
@@ -1581,6 +1592,22 @@ impl Cluster {
                 violations.len(),
                 rendered.join("\n")
             );
+        }
+    }
+
+    /// The fan-out schedule for this tick: natural in production
+    /// (`schedule_seed == 0`), otherwise a fresh per-tick permutation so
+    /// consecutive ticks exercise different worker interleavings.
+    fn schedule(&self) -> parallel::Schedule {
+        if self.config.schedule_seed == 0 {
+            parallel::Schedule::natural()
+        } else {
+            parallel::Schedule::permuted(
+                self.config
+                    .schedule_seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    ^ self.tick,
+            )
         }
     }
 
@@ -1612,11 +1639,14 @@ impl Cluster {
                 buffers.push(sink);
             }
         }
-        let records = parallel::map_mut(&mut self.servers, threads, |h| h.server.tick());
+        let schedule = self.schedule();
+        let records =
+            parallel::map_mut_scheduled(&mut self.servers, threads, schedule, |h| h.server.tick());
         if trace_on {
             for ((handle, original), buffer) in self.servers.iter_mut().zip(originals).zip(buffers)
             {
                 handle.server.swap_tracer(original);
+                // lint: allow(hot_lock, "post-join drain: workers have exited, the buffer mutex is provably uncontended here")
                 if let Ok(mut sink) = buffer.lock() {
                     for event in sink.drain() {
                         self.tracer.emit(event);
@@ -1706,8 +1736,9 @@ impl Cluster {
                 handle.client.tick(now, &mut handle.bot);
             }
         } else {
+            let schedule = self.schedule();
             let mut handles: Vec<&mut ClientHandle> = self.clients.values_mut().collect();
-            parallel::for_each_mut(&mut handles, threads, |h| {
+            parallel::for_each_mut_scheduled(&mut handles, threads, schedule, |h| {
                 h.client.tick(now, &mut h.bot);
             });
         }
@@ -1911,6 +1942,7 @@ impl Cluster {
         );
         if let Some(recorder) = &self.flight {
             if self.tick.is_multiple_of(FLIGHT_METRICS_CADENCE) {
+                // lint: allow(hot_lock, "metrics snapshot every FLIGHT_METRICS_CADENCE ticks; recorder is only otherwise locked by the budgeted postmortem path")
                 if let Ok(mut rec) = recorder.lock() {
                     rec.note_metrics(self.tick, self.metrics.to_json());
                 }

@@ -259,7 +259,7 @@ impl MultiZoneWorld {
         }
         let total: u32 = members
             .iter()
-            .map(|&i| self.instances[i].cluster.user_count())
+            .map(|&i| self.instances[i].cluster.user_count()) // lint: allow(panic, "i is an enumerate() index over instances; nothing is removed before this read")
             .sum();
         let spawn_threshold = (self.capacity_at_lmax as f64 * self.config.instance_fraction) as u32;
         let fits_in_fewer =
@@ -270,27 +270,30 @@ impl MultiZoneWorld {
         // Retire the smallest instance.
         let &victim_idx = members
             .iter()
-            .min_by_key(|&&i| self.instances[i].cluster.user_count())
-            .expect("two members");
-        let users = self.instances[victim_idx].cluster.users();
+            .min_by_key(|&&i| self.instances[i].cluster.user_count()) // lint: allow(panic, "member indices come from enumerate() over instances; no removal before this read")
+            .expect("two members"); // lint: allow(panic, "a minimum exists: members.len() >= 2 was checked above")
+        let users = self.instances[victim_idx].cluster.users(); // lint: allow(panic, "victim_idx is a member index, valid until the remove at the very end")
         for user in users {
             let Some(&target_idx) = members
                 .iter()
                 .filter(|&&i| i != victim_idx)
+                // lint: allow(panic, "member indices come from enumerate() over instances; no removal before this read")
                 .min_by_key(|&&i| self.instances[i].cluster.user_count())
             else {
                 break;
             };
+            // lint: allow(panic, "target_idx is a member index; instances are only removed at the very end")
             let Some(target_server) = self.instances[target_idx].cluster.least_loaded_server()
             else {
                 break;
             };
-            if self.instances[victim_idx]
+            if self.instances[victim_idx] // lint: allow(panic, "victim_idx is a member index, valid until the remove at the very end")
                 .cluster
                 .handover_user(user, target_server)
             {
+                // lint: allow(panic, "victim_idx is a member index, valid until the remove at the very end")
                 if let Some(handle) = self.instances[victim_idx].cluster.extract_client(user) {
-                    self.instances[target_idx].cluster.adopt_client(handle);
+                    self.instances[target_idx].cluster.adopt_client(handle); // lint: allow(panic, "target_idx is a member index; instances are only removed at the very end")
                     self.handovers += 1;
                 }
             }
@@ -298,13 +301,14 @@ impl MultiZoneWorld {
         // Let the in-flight migration data drain before dropping the
         // instance: run its servers a few ticks, then remove it.
         for _ in 0..3 {
-            self.instances[victim_idx].cluster.step();
+            self.instances[victim_idx].cluster.step(); // lint: allow(panic, "victim_idx is a member index, valid until the remove at the very end")
             for &i in &members {
                 if i != victim_idx {
-                    self.instances[i].cluster.step();
+                    self.instances[i].cluster.step(); // lint: allow(panic, "member indices come from enumerate() over instances; no removal before this read")
                 }
             }
         }
+        // lint: allow(panic, "victim_idx is a member index, valid until the remove at the very end")
         if self.instances[victim_idx].cluster.user_count() == 0 {
             self.instances.remove(victim_idx);
             self.instances_merged += 1;
@@ -341,16 +345,18 @@ impl MultiZoneWorld {
                 if to_idx == from_idx {
                     continue;
                 }
+                // lint: allow(panic, "to_idx comes from target_instance(), which only hands out live indices")
                 let Some(target_server) = self.instances[to_idx].cluster.least_loaded_server()
                 else {
                     continue;
                 };
-                if self.instances[from_idx]
+                if self.instances[from_idx] // lint: allow(panic, "from_idx is an enumerate() index; no instance is removed during travel")
                     .cluster
                     .handover_user(user, target_server)
                 {
+                    // lint: allow(panic, "from_idx is an enumerate() index; no instance is removed during travel")
                     if let Some(handle) = self.instances[from_idx].cluster.extract_client(user) {
-                        self.instances[to_idx].cluster.adopt_client(handle);
+                        self.instances[to_idx].cluster.adopt_client(handle); // lint: allow(panic, "to_idx comes from target_instance(), which only hands out live indices")
                         self.handovers += 1;
                     }
                 }

@@ -22,6 +22,86 @@
 //! The pool is built on [`std::thread::scope`]: no extra dependencies, no
 //! detached threads, and borrowed data (`&mut [T]`) flows in without
 //! `'static` bounds.
+//!
+//! Because the fan-out is order-free, any *schedule* — which worker runs
+//! which chunk, in what temporal order, with what preemption pattern —
+//! must yield the same observable history. [`Schedule`] makes that
+//! property testable: a permuted schedule reorders chunk spawns, walks
+//! each chunk in a seed-derived order and injects yields between items,
+//! while still returning results in input order. The `schedule_stress`
+//! harness and `tests/determinism.rs` assert byte-identical trace digests
+//! across many permuted schedules.
+
+/// A deterministic perturbation of the fan-out's execution schedule.
+///
+/// [`Schedule::natural`] is the production behaviour: chunks spawn and
+/// walk in input order with no injected yields. [`Schedule::permuted`]
+/// derives a chunk-spawn permutation, per-chunk walk orders and a yield
+/// mask from the seed — chunk *boundaries* (which items share a worker)
+/// never change, so a permuted run exercises different thread
+/// interleavings over exactly the same work assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Schedule {
+    seed: u64,
+}
+
+impl Schedule {
+    /// Input-order spawns, input-order walks, no injected yields.
+    pub fn natural() -> Self {
+        Schedule { seed: 0 }
+    }
+
+    /// A seed-derived permuted schedule (`seed == 0` is the natural one).
+    pub fn permuted(seed: u64) -> Self {
+        Schedule { seed }
+    }
+
+    /// True for the unperturbed production schedule.
+    pub fn is_natural(self) -> bool {
+        self.seed == 0
+    }
+}
+
+/// One xorshift64 step — the cheap deterministic bit source behind
+/// permutations and yield masks (never zero once seeded non-zero).
+fn xorshift(mut s: u64) -> u64 {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    s
+}
+
+/// A Fisher–Yates permutation of `0..n` driven by `seed`.
+fn permuted_indices(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut s = seed | 1;
+    for i in (1..n).rev() {
+        s = xorshift(s);
+        order.swap(i, (s % (i as u64 + 1)) as usize);
+    }
+    order
+}
+
+/// Walks one chunk in a seed-derived order with injected yields, returning
+/// results in the chunk's input order.
+fn run_chunk<T, R, F>(part: &mut [T], seed: u64, f: &F) -> Vec<R>
+where
+    F: Fn(&mut T) -> R,
+{
+    let mut slots: Vec<Option<R>> = part.iter().map(|_| None).collect();
+    let mut s = seed | 1;
+    for i in permuted_indices(part.len(), seed) {
+        s = xorshift(s);
+        if s & 7 == 0 {
+            std::thread::yield_now();
+        }
+        slots[i] = Some(f(&mut part[i])); // lint: allow(panic, "i comes from permuted_indices(part.len(), ..), so both indexes are in bounds")
+    }
+    slots
+        .into_iter()
+        .map(|r| r.expect("permutation visits every index")) // lint: allow(panic, "permuted_indices covers 0..len exactly once, so every slot is Some")
+        .collect()
+}
 
 /// Applies `f` to every element, fanning contiguous chunks across at most
 /// `threads` scoped workers, and returns the results in input order.
@@ -57,6 +137,74 @@ where
         }
     });
     out
+}
+
+/// [`map_mut`] under an explicit [`Schedule`]: a natural schedule is
+/// exactly `map_mut`; a permuted one spawns the same contiguous chunks in
+/// a seed-derived order, walks each chunk in a per-chunk derived order
+/// with injected yields, and still returns results in input order.
+pub fn map_mut_scheduled<T, R, F>(
+    items: &mut [T],
+    threads: usize,
+    schedule: Schedule,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&mut T) -> R + Sync,
+{
+    if schedule.is_natural() {
+        return map_mut(items, threads, f);
+    }
+    let n = items.len();
+    let workers = threads.min(n).max(1);
+    if workers <= 1 {
+        // Even single-threaded, a permuted schedule walks the items out of
+        // order — catching code that depends on sibling visit order.
+        return run_chunk(items, schedule.seed, &f);
+    }
+    let chunk = n.div_ceil(workers);
+    let mut parts: Vec<Option<(usize, &mut [T])>> =
+        items.chunks_mut(chunk).enumerate().map(Some).collect();
+    let spawn_order = permuted_indices(parts.len(), xorshift(schedule.seed | 1));
+    let mut out: Vec<R> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(parts.len());
+        for k in spawn_order {
+            let (idx, part) = parts[k].take().expect("spawn_order visits each chunk once"); // lint: allow(panic, "k comes from permuted_indices(parts.len(), ..): in bounds, each visited exactly once")
+            let f = &f;
+            let chunk_seed = (schedule.seed | 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ idx as u64;
+            handles.push((idx, scope.spawn(move || run_chunk(part, chunk_seed, f))));
+        }
+        // Join in chunk order so the output is input order no matter how
+        // the spawns were permuted.
+        handles.sort_by_key(|(idx, _)| *idx);
+        for (_, handle) in handles {
+            match handle.join() {
+                Ok(mut part) => out.append(&mut part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out
+}
+
+/// [`for_each_mut`] under an explicit [`Schedule`] (see
+/// [`map_mut_scheduled`]).
+pub fn for_each_mut_scheduled<T, F>(items: &mut [T], threads: usize, schedule: Schedule, f: F)
+where
+    T: Send,
+    F: Fn(&mut T) + Sync,
+{
+    if schedule.is_natural() {
+        for_each_mut(items, threads, f);
+        return;
+    }
+    // Vec<()> is zero-sized, so reusing the mapping fan-out costs nothing.
+    let _ = map_mut_scheduled(items, threads, schedule, |item| {
+        f(item);
+    });
 }
 
 /// [`map_mut`] without result collection, for phases that only mutate.
@@ -132,5 +280,54 @@ mod tests {
         let mut items: Vec<u64> = vec![0; 41];
         for_each_mut(&mut items, 5, |x| *x += 7);
         assert!(items.iter().all(|x| *x == 7));
+    }
+
+    #[test]
+    fn permuted_indices_are_a_permutation() {
+        for seed in [1, 7, 0xDEAD_BEEF, u64::MAX] {
+            let mut order = permuted_indices(37, seed);
+            order.sort_unstable();
+            assert_eq!(order, (0..37).collect::<Vec<_>>(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn scheduled_results_keep_input_order_across_seeds() {
+        let natural = {
+            let mut items: Vec<u64> = (0..103).collect();
+            map_mut(&mut items, 4, |x| x.wrapping_mul(3))
+        };
+        for seed in 1..=12u64 {
+            let mut items: Vec<u64> = (0..103).collect();
+            let out = map_mut_scheduled(&mut items, 4, Schedule::permuted(seed), |x| {
+                x.wrapping_mul(3)
+            });
+            assert_eq!(out, natural, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn scheduled_visits_every_item_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        for seed in [3u64, 11, 0x5EED] {
+            let calls = AtomicUsize::new(0);
+            let mut items: Vec<u64> = vec![0; 57];
+            for_each_mut_scheduled(&mut items, 3, Schedule::permuted(seed), |x| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                *x += 1;
+            });
+            assert_eq!(calls.load(Ordering::Relaxed), 57, "seed {seed}");
+            assert!(items.iter().all(|x| *x == 1), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn natural_schedule_is_plain_map_mut() {
+        assert!(Schedule::default().is_natural());
+        let mut a: Vec<u32> = (0..9).collect();
+        let mut b: Vec<u32> = (0..9).collect();
+        let out_a = map_mut(&mut a, 3, |x| *x + 1);
+        let out_b = map_mut_scheduled(&mut b, 3, Schedule::natural(), |x| *x + 1);
+        assert_eq!(out_a, out_b);
     }
 }

@@ -393,13 +393,13 @@ impl Trace {
 
 impl Workload for Trace {
     fn target_users(&self, t_secs: f64) -> u32 {
-        let first = self.points[0];
+        let first = self.points[0]; // lint: allow(panic, "Trace::new asserts at least one sample, so points[0] exists")
         if t_secs <= first.0 {
             return first.1;
         }
         for window in self.points.windows(2) {
-            let (t0, u0) = window[0];
-            let (t1, u1) = window[1];
+            let (t0, u0) = window[0]; // lint: allow(panic, "windows(2) always yields exactly-2-element slices")
+            let (t1, u1) = window[1]; // lint: allow(panic, "windows(2) always yields exactly-2-element slices")
             if t_secs <= t1 {
                 if t1 <= t0 {
                     return u1;
@@ -408,7 +408,7 @@ impl Workload for Trace {
                 return (u0 as f64 + f * (u1 as f64 - u0 as f64)).round() as u32;
             }
         }
-        self.points.last().expect("non-empty").1
+        self.points.last().expect("non-empty").1 // lint: allow(panic, "Trace::new asserts at least one sample, so last() is Some")
     }
 }
 

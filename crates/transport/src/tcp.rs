@@ -135,7 +135,7 @@ impl Conn {
         let close = loop {
             match self.stream.read(&mut chunk) {
                 Ok(0) => break Some(CloseReason::Eof),
-                Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]),
+                Ok(n) => self.rbuf.extend_from_slice(&chunk[..n]), // lint: allow(panic, "n <= chunk.len() by the read() contract")
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break None,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(_) => break Some(CloseReason::Error),
@@ -145,7 +145,7 @@ impl Conn {
         let mut corrupt = false;
         while self.rbuf.len() - consumed >= FRAME_OVERHEAD as usize {
             let mut prefix = [0u8; 4];
-            prefix.copy_from_slice(&self.rbuf[consumed..consumed + 4]);
+            prefix.copy_from_slice(&self.rbuf[consumed..consumed + 4]); // lint: allow(panic, "in bounds: the while condition guarantees >= FRAME_OVERHEAD (4) readable bytes past consumed")
             let len = u32::from_le_bytes(prefix) as usize;
             if len > cfg.max_frame {
                 corrupt = true;
@@ -154,7 +154,7 @@ impl Conn {
             if self.rbuf.len() - consumed < 4 + len {
                 break;
             }
-            let payload = Bytes::copy_from_slice(&self.rbuf[consumed + 4..consumed + 4 + len]);
+            let payload = Bytes::copy_from_slice(&self.rbuf[consumed + 4..consumed + 4 + len]); // lint: allow(panic, "in bounds: the length check above guarantees 4 + len readable bytes past consumed")
             consumed += 4 + len;
             self.stats.bytes_in += len as u64 + FRAME_OVERHEAD;
             self.stats.frames_in += 1;
@@ -184,7 +184,7 @@ impl Conn {
             let attempt = remaining.min(budget);
             match self
                 .stream
-                .write(&front[self.woffset..self.woffset + attempt])
+                .write(&front[self.woffset..self.woffset + attempt]) // lint: allow(panic, "in bounds: attempt = min(front.len() - woffset, budget), so the end stays <= front.len()")
             {
                 Ok(0) => break,
                 Ok(n) => {

@@ -199,6 +199,55 @@ fn parallel_traces_match_serial_with_grid_backend() {
     assert_eq!((hash, events), (serial_hash, serial_events));
 }
 
+/// `session_digest` under a permuted worker schedule.
+fn scheduled_digest(seed: u64, threads: usize, schedule_seed: u64) -> (u64, u64) {
+    let config = ClusterConfig {
+        seed,
+        cost_noise: 0.05,
+        threads,
+        schedule_seed,
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(config, 3);
+    let (tracer, sink) = Tracer::hashing();
+    cluster.set_tracer(tracer);
+    cluster.set_chaos(FaultPlan::random(seed ^ 0x9e37_79b9, 0.35, 120));
+    for _ in 0..40 {
+        cluster.add_user();
+    }
+    cluster.run(30);
+    for _ in 0..20 {
+        cluster.add_user();
+    }
+    cluster.run(40);
+    for _ in 0..10 {
+        cluster.remove_user();
+    }
+    cluster.run(50);
+    let guard = sink.lock().unwrap_or_else(|e| e.into_inner());
+    (guard.hash(), guard.events())
+}
+
+#[test]
+fn permuted_worker_schedules_produce_identical_traces() {
+    // The schedule-permutation harness in miniature: the same seeded
+    // session under eight different worker interleavings (spawn order,
+    // chunk walk order and preemption points all perturbed) must hash to
+    // the digest of the natural schedule. Any worker that reads sibling
+    // state mid-fan-out, or any tracer that observes arrival order, would
+    // flip at least one of these digests.
+    let (natural_hash, natural_events) = scheduled_digest(7, 4, 0);
+    assert!(natural_events > 0, "the session must actually trace");
+    for schedule_seed in 1..=8u64 {
+        let (hash, events) = scheduled_digest(7, 4, schedule_seed);
+        assert_eq!(
+            (hash, events),
+            (natural_hash, natural_events),
+            "trace diverged under schedule permutation {schedule_seed}"
+        );
+    }
+}
+
 #[test]
 fn aoi_backends_produce_identical_traces() {
     // The grid fast path changes host CPU cost only: same visible sets,
